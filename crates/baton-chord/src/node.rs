@@ -1,0 +1,140 @@
+//! Per-peer state of the Chord baseline.
+
+use std::collections::BTreeMap;
+
+use baton_net::PeerId;
+
+use crate::id::{ChordId, M};
+
+/// A finger-table entry: the node believed to succeed `start` on the ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Finger {
+    /// Start of the finger interval (`n + 2^k`).
+    pub start: ChordId,
+    /// Peer currently believed to be the successor of `start`.
+    pub node: PeerId,
+    /// That peer's identifier.
+    pub node_id: ChordId,
+}
+
+/// State of one Chord peer.
+#[derive(Clone, Debug)]
+pub struct ChordNode {
+    /// The peer's network address.
+    pub peer: PeerId,
+    /// The peer's identifier on the ring.
+    pub id: ChordId,
+    /// Immediate successor (peer, id).
+    pub successor: (PeerId, ChordId),
+    /// Immediate predecessor (peer, id).
+    pub predecessor: (PeerId, ChordId),
+    /// Finger table with up to [`M`] entries.
+    pub fingers: Vec<Option<Finger>>,
+    /// Keys stored at this node (key identifier → original keys).
+    pub store: BTreeMap<u64, Vec<u64>>,
+}
+
+impl ChordNode {
+    /// Creates a node that is its own successor and predecessor (a
+    /// single-node ring).
+    pub fn solo(peer: PeerId, id: ChordId) -> Self {
+        Self {
+            peer,
+            id,
+            successor: (peer, id),
+            predecessor: (peer, id),
+            fingers: vec![None; M as usize],
+            store: BTreeMap::new(),
+        }
+    }
+
+    /// Number of stored values.
+    pub fn load(&self) -> usize {
+        self.store.values().map(Vec::len).sum()
+    }
+
+    /// `true` if this node is responsible for identifier `id`: `id` lies in
+    /// `(predecessor, self]`.
+    pub fn owns(&self, id: ChordId) -> bool {
+        id.in_half_open_interval(self.predecessor.1, self.id)
+    }
+
+    /// The closest preceding finger for `target`, used by the iterative
+    /// lookup: the highest finger whose node id lies strictly between this
+    /// node and the target.
+    pub fn closest_preceding(&self, target: ChordId) -> Option<(PeerId, ChordId)> {
+        for finger in self.fingers.iter().rev().flatten() {
+            if finger.node_id.in_open_interval(self.id, target) {
+                return Some((finger.node, finger.node_id));
+            }
+        }
+        if self.successor.1.in_open_interval(self.id, target) {
+            return Some(self.successor);
+        }
+        None
+    }
+
+    /// Number of occupied finger entries.
+    pub fn finger_count(&self) -> usize {
+        self.fingers.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_node_owns_everything() {
+        let node = ChordNode::solo(PeerId(1), ChordId::new(100));
+        assert!(node.owns(ChordId::new(0)));
+        assert!(node.owns(ChordId::new(100)));
+        assert!(node.owns(ChordId::new(u32::MAX as u64)));
+        assert_eq!(node.load(), 0);
+        assert_eq!(node.finger_count(), 0);
+    }
+
+    #[test]
+    fn ownership_is_predecessor_exclusive_self_inclusive() {
+        let mut node = ChordNode::solo(PeerId(1), ChordId::new(100));
+        node.predecessor = (PeerId(2), ChordId::new(50));
+        assert!(node.owns(ChordId::new(100)));
+        assert!(node.owns(ChordId::new(51)));
+        assert!(!node.owns(ChordId::new(50)));
+        assert!(!node.owns(ChordId::new(101)));
+        assert!(!node.owns(ChordId::new(0)));
+    }
+
+    #[test]
+    fn closest_preceding_prefers_the_farthest_useful_finger() {
+        let mut node = ChordNode::solo(PeerId(1), ChordId::new(0));
+        node.successor = (PeerId(2), ChordId::new(10));
+        node.fingers[3] = Some(Finger {
+            start: ChordId::new(8),
+            node: PeerId(3),
+            node_id: ChordId::new(40),
+        });
+        node.fingers[5] = Some(Finger {
+            start: ChordId::new(32),
+            node: PeerId(4),
+            node_id: ChordId::new(90),
+        });
+        // Target beyond both fingers: pick the farther one (higher index).
+        assert_eq!(
+            node.closest_preceding(ChordId::new(100)),
+            Some((PeerId(4), ChordId::new(90)))
+        );
+        // Target between the fingers: pick the nearer one.
+        assert_eq!(
+            node.closest_preceding(ChordId::new(60)),
+            Some((PeerId(3), ChordId::new(40)))
+        );
+        // Target right after the node: only the successor helps.
+        assert_eq!(
+            node.closest_preceding(ChordId::new(20)),
+            Some((PeerId(2), ChordId::new(10)))
+        );
+        // Target before everything: nothing precedes it.
+        assert_eq!(node.closest_preceding(ChordId::new(5)), None);
+    }
+}

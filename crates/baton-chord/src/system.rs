@@ -1,0 +1,638 @@
+//! The Chord overlay simulation used as the paper's comparison baseline.
+//!
+//! This is a from-scratch Chord (Stoica et al., SIGCOMM 2001) sized for the
+//! message-count comparisons in Figure 8 of the BATON paper:
+//!
+//! * lookups route iteratively through finger tables in `O(log N)` messages;
+//! * a join finds its successor with one lookup and then builds its finger
+//!   table with further lookups — `O(log² N)` maintenance messages, the cost
+//!   the BATON paper contrasts with its own `O(log N)` table updates;
+//! * a departure hands its keys to its successor and the nodes whose fingers
+//!   pointed at it repair them with fresh lookups;
+//! * exact-match queries hash the key and look up its successor; range
+//!   queries are *not* supported (hashing destroys key order), which is the
+//!   motivation for BATON.
+
+use std::collections::HashMap;
+
+use baton_net::{NetMessage, OpScope, PeerId, SimNetwork, SimRng};
+
+use crate::id::{ChordId, M};
+use crate::node::{ChordNode, Finger};
+
+/// Protocol messages of the Chord baseline (used for message accounting).
+#[derive(Clone, Debug)]
+pub enum ChordMessage {
+    /// A lookup request being forwarded.
+    Lookup,
+    /// Final answer of a lookup.
+    LookupAnswer,
+    /// Join / leave notifications (successor, predecessor, key transfer).
+    Maintenance,
+    /// Data operation delivered to the owner.
+    Data,
+}
+
+impl NetMessage for ChordMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            ChordMessage::Lookup => "chord.lookup",
+            ChordMessage::LookupAnswer => "chord.lookup_answer",
+            ChordMessage::Maintenance => "chord.maintenance",
+            ChordMessage::Data => "chord.data",
+        }
+    }
+}
+
+/// Errors returned by the Chord baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChordError {
+    /// The referenced peer does not exist.
+    UnknownPeer(PeerId),
+    /// The ring is empty.
+    EmptyRing,
+    /// The last node cannot leave.
+    LastNode,
+}
+
+impl std::fmt::Display for ChordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChordError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+            ChordError::EmptyRing => write!(f, "the ring is empty"),
+            ChordError::LastNode => write!(f, "the last node cannot leave"),
+        }
+    }
+}
+
+impl std::error::Error for ChordError {}
+
+/// Result alias for Chord operations.
+pub type Result<T> = std::result::Result<T, ChordError>;
+
+/// Cost report of a Chord join or departure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChordChurnReport {
+    /// Messages to locate the join point (successor lookup); zero for
+    /// departures.
+    pub locate_messages: u64,
+    /// Messages to build / repair routing state (finger tables, successor
+    /// and predecessor pointers, key transfer).
+    pub update_messages: u64,
+}
+
+/// Cost report of a Chord lookup-based operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChordOpReport {
+    /// Messages used.
+    pub messages: u64,
+    /// Overlay hops of the lookup.
+    pub hops: u32,
+    /// Number of matching values found (exact query only).
+    pub matches: usize,
+}
+
+/// A Chord ring over the shared simulator substrate.
+#[derive(Debug)]
+pub struct ChordSystem {
+    net: SimNetwork<ChordMessage>,
+    nodes: HashMap<PeerId, ChordNode>,
+    rng: SimRng,
+}
+
+impl ChordSystem {
+    /// Creates an empty ring.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            net: SimNetwork::new(),
+            nodes: HashMap::new(),
+            rng: SimRng::seeded(seed),
+        }
+    }
+
+    /// Builds a ring of `n` nodes.
+    pub fn build(seed: u64, n: usize) -> Result<Self> {
+        let mut system = Self::new(seed);
+        for _ in 0..n {
+            system.join_random()?;
+        }
+        Ok(system)
+    }
+
+    /// Number of nodes in the ring.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All peers in the ring.
+    pub fn peers(&self) -> Vec<PeerId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Network statistics.
+    pub fn stats(&self) -> &baton_net::MessageStats {
+        self.net.stats()
+    }
+
+    /// Total number of stored values.
+    pub fn total_items(&self) -> usize {
+        self.nodes.values().map(ChordNode::load).sum()
+    }
+
+    fn random_peer(&mut self) -> Option<PeerId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut peers: Vec<PeerId> = self.nodes.keys().copied().collect();
+        peers.sort_unstable();
+        let idx = self.rng.index(peers.len());
+        Some(peers[idx])
+    }
+
+    fn fresh_id(&mut self) -> ChordId {
+        loop {
+            let id = ChordId::new(self.rng.uniform_u64(0, crate::id::RING));
+            if !self.nodes.values().any(|n| n.id == id) {
+                return id;
+            }
+        }
+    }
+
+    fn node(&self, peer: PeerId) -> Result<&ChordNode> {
+        self.nodes.get(&peer).ok_or(ChordError::UnknownPeer(peer))
+    }
+
+    fn node_mut(&mut self, peer: PeerId) -> Result<&mut ChordNode> {
+        self.nodes
+            .get_mut(&peer)
+            .ok_or(ChordError::UnknownPeer(peer))
+    }
+
+    /// Iterative lookup of the successor of `target`, starting at `issuer`.
+    /// Returns `(owner, messages, hops)`.
+    fn lookup(&mut self, op: OpScope, issuer: PeerId, target: ChordId) -> Result<(PeerId, u64, u32)> {
+        let mut current = issuer;
+        let mut messages = 0u64;
+        let mut hops = 0u32;
+        let limit = 4 * M + 32;
+        loop {
+            let node = self.node(current)?;
+            if node.owns(target) {
+                return Ok((current, messages, hops));
+            }
+            if target.in_half_open_interval(node.id, node.successor.1) {
+                let successor = node.successor.0;
+                self.net
+                    .send_with_hop(op, current, successor, hops + 1, ChordMessage::Lookup)
+                    .ok();
+                let _ = self.net.deliver_next();
+                messages += 1;
+                hops += 1;
+                return Ok((successor, messages, hops));
+            }
+            let next = node
+                .closest_preceding(target)
+                .map(|(p, _)| p)
+                .unwrap_or(node.successor.0);
+            self.net
+                .send_with_hop(op, current, next, hops + 1, ChordMessage::Lookup)
+                .ok();
+            let _ = self.net.deliver_next();
+            messages += 1;
+            hops += 1;
+            current = next;
+            if hops > limit {
+                // Routing state corrupted; fall back to the successor chain.
+                return Ok((current, messages, hops));
+            }
+        }
+    }
+
+    /// A new node joins the ring through a random existing node.
+    pub fn join_random(&mut self) -> Result<ChordChurnReport> {
+        let contact = self.random_peer();
+        self.join(contact)
+    }
+
+    /// A new node joins the ring through `contact` (`None` bootstraps the
+    /// first node).
+    pub fn join(&mut self, contact: Option<PeerId>) -> Result<ChordChurnReport> {
+        let peer = self.net.add_peer();
+        let id = self.fresh_id();
+        let op = self.net.begin_op("chord.join");
+
+        let Some(contact) = contact else {
+            self.nodes.insert(peer, ChordNode::solo(peer, id));
+            self.net.finish_op(op);
+            return Ok(ChordChurnReport::default());
+        };
+
+        // Locate the successor of the new identifier.
+        let (successor_peer, locate_messages, _) = self.lookup(op, contact, id)?;
+        let (successor_id, predecessor_peer, predecessor_id) = {
+            let s = self.node(successor_peer)?;
+            (s.id, s.predecessor.0, s.predecessor.1)
+        };
+
+        // Splice into the ring.
+        let mut update_messages = 0u64;
+        let mut new_node = ChordNode::solo(peer, id);
+        new_node.successor = (successor_peer, successor_id);
+        new_node.predecessor = (predecessor_peer, predecessor_id);
+        // Transfer the keys in (predecessor, id] from the successor.
+        let moved: Vec<(u64, Vec<u64>)> = {
+            let successor = self.node_mut(successor_peer)?;
+            let keys: Vec<u64> = successor
+                .store
+                .keys()
+                .copied()
+                .filter(|k| ChordId::new(*k).in_half_open_interval(predecessor_id, id))
+                .collect();
+            keys.into_iter()
+                .map(|k| (k, successor.store.remove(&k).unwrap_or_default()))
+                .collect()
+        };
+        for (k, vs) in moved {
+            new_node.store.insert(k, vs);
+        }
+        self.nodes.insert(peer, new_node);
+        // Notify successor and predecessor (plus the key transfer message).
+        self.net.count_message(op, "chord.maintenance", peer, successor_peer);
+        self.net.count_message(op, "chord.maintenance", peer, predecessor_peer);
+        self.net.count_message(op, "chord.maintenance", successor_peer, peer);
+        update_messages += 3;
+        self.node_mut(successor_peer)?.predecessor = (peer, id);
+        self.node_mut(predecessor_peer)?.successor = (peer, id);
+
+        // Build the finger table: one lookup per distinct finger interval
+        // (reusing the previous finger when it already covers the next
+        // interval, the standard optimisation) — O(log² N) messages.
+        let mut previous: Option<Finger> = None;
+        for k in 0..M {
+            let start = id.finger_start(k);
+            if let Some(prev) = previous {
+                if start.in_half_open_interval(id, prev.node_id) {
+                    let finger = Finger {
+                        start,
+                        node: prev.node,
+                        node_id: prev.node_id,
+                    };
+                    self.node_mut(peer)?.fingers[k as usize] = Some(finger);
+                    previous = Some(finger);
+                    continue;
+                }
+            }
+            let (owner, msgs, _) = self.lookup(op, peer, start)?;
+            update_messages += msgs;
+            let owner_id = self.node(owner)?.id;
+            let finger = Finger {
+                start,
+                node: owner,
+                node_id: owner_id,
+            };
+            self.node_mut(peer)?.fingers[k as usize] = Some(finger);
+            previous = Some(finger);
+        }
+
+        // `update_others`: existing nodes whose `i`-th finger interval now
+        // starts at or before the new identifier must repoint that finger at
+        // the new node.  For each finger index this is one lookup (to find
+        // the last node preceding `id − 2^i`) plus a walk back through
+        // predecessors — the O(log² N) maintenance term of the Chord join
+        // that the BATON paper contrasts with its own O(log N) updates.
+        for i in 0..M {
+            let target = ChordId::new(
+                (id.value() + crate::id::RING - (1u64 << i)) % crate::id::RING,
+            );
+            let (succ, msgs, _) = self.lookup(op, peer, target)?;
+            update_messages += msgs;
+            let mut current = self.node(succ)?.predecessor.0;
+            let mut walked = 0u32;
+            loop {
+                if current == peer {
+                    break;
+                }
+                let (start, finger_node_id, predecessor) = {
+                    let node = self.node(current)?;
+                    let start = node.id.finger_start(i);
+                    let finger_node_id = node.fingers[i as usize]
+                        .map(|f| f.node_id)
+                        .unwrap_or(node.successor.1);
+                    (start, finger_node_id, node.predecessor.0)
+                };
+                // The new node becomes this node's i-th finger if it lies in
+                // [start, current finger target).
+                let improves = id == start || id.in_open_interval(start, finger_node_id);
+                if !improves {
+                    break;
+                }
+                self.net.count_message(op, "chord.maintenance", peer, current);
+                update_messages += 1;
+                self.node_mut(current)?.fingers[i as usize] = Some(Finger {
+                    start,
+                    node: peer,
+                    node_id: id,
+                });
+                current = predecessor;
+                walked += 1;
+                if walked > M * 4 {
+                    break;
+                }
+            }
+        }
+
+        self.net.finish_op(op);
+        Ok(ChordChurnReport {
+            locate_messages,
+            update_messages,
+        })
+    }
+
+    /// A node leaves the ring gracefully: keys go to its successor,
+    /// neighbours re-link, and every stale finger pointing at it is repaired
+    /// with a fresh lookup.
+    pub fn leave(&mut self, peer: PeerId) -> Result<ChordChurnReport> {
+        if self.nodes.len() <= 1 {
+            return Err(ChordError::LastNode);
+        }
+        let op = self.net.begin_op("chord.leave");
+        let departing = self.nodes.remove(&peer).ok_or(ChordError::UnknownPeer(peer))?;
+        let mut update_messages = 0u64;
+
+        // Hand keys to the successor, re-link predecessor and successor.
+        let (succ_peer, succ_id) = departing.successor;
+        let (pred_peer, pred_id) = departing.predecessor;
+        {
+            let successor = self.node_mut(succ_peer)?;
+            for (k, vs) in &departing.store {
+                successor.store.entry(*k).or_default().extend(vs.iter().copied());
+            }
+            successor.predecessor = (pred_peer, pred_id);
+        }
+        self.node_mut(pred_peer)?.successor = (succ_peer, succ_id);
+        self.net.count_message(op, "chord.maintenance", peer, succ_peer);
+        self.net.count_message(op, "chord.maintenance", peer, pred_peer);
+        update_messages += 2;
+        self.net.depart_peer(peer);
+
+        // Repair stale fingers: every node that pointed at the departed peer
+        // re-runs a lookup for that finger interval.
+        let stale: Vec<(PeerId, usize, ChordId)> = self
+            .nodes
+            .iter()
+            .flat_map(|(p, n)| {
+                n.fingers.iter().enumerate().filter_map(move |(k, f)| {
+                    f.as_ref()
+                        .filter(|f| f.node == peer)
+                        .map(|f| (*p, k, f.start))
+                })
+            })
+            .collect();
+        for (holder, k, start) in stale {
+            let (owner, msgs, _) = self.lookup(op, holder, start)?;
+            update_messages += msgs;
+            let owner_id = self.node(owner)?.id;
+            self.node_mut(holder)?.fingers[k] = Some(Finger {
+                start,
+                node: owner,
+                node_id: owner_id,
+            });
+        }
+        // Successor pointers referencing the departed node are repaired for
+        // free by the predecessor update above; predecessor pointers at
+        // other nodes cannot reference it.
+
+        self.net.finish_op(op);
+        Ok(ChordChurnReport {
+            locate_messages: 0,
+            update_messages,
+        })
+    }
+
+    /// A random node leaves the ring.
+    pub fn leave_random(&mut self) -> Result<ChordChurnReport> {
+        let peer = self.random_peer().ok_or(ChordError::EmptyRing)?;
+        self.leave(peer)
+    }
+
+    /// Inserts `value` under `key` (hashed onto the ring).
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<ChordOpReport> {
+        let issuer = self.random_peer().ok_or(ChordError::EmptyRing)?;
+        let op = self.net.begin_op("chord.insert");
+        let id = ChordId::hash(key);
+        let (owner, mut messages, hops) = self.lookup(op, issuer, id)?;
+        self.net.count_message(op, "chord.data", issuer, owner);
+        messages += 1;
+        self.node_mut(owner)?
+            .store
+            .entry(id.value())
+            .or_default()
+            .push(value);
+        self.net.finish_op(op);
+        Ok(ChordOpReport {
+            messages,
+            hops,
+            matches: 0,
+        })
+    }
+
+    /// Deletes one value stored under `key`.
+    pub fn delete(&mut self, key: u64) -> Result<ChordOpReport> {
+        let issuer = self.random_peer().ok_or(ChordError::EmptyRing)?;
+        let op = self.net.begin_op("chord.delete");
+        let id = ChordId::hash(key);
+        let (owner, mut messages, hops) = self.lookup(op, issuer, id)?;
+        self.net.count_message(op, "chord.data", issuer, owner);
+        messages += 1;
+        let removed = {
+            let node = self.node_mut(owner)?;
+            match node.store.get_mut(&id.value()) {
+                Some(vs) => {
+                    let removed = vs.pop().is_some();
+                    if vs.is_empty() {
+                        node.store.remove(&id.value());
+                    }
+                    removed
+                }
+                None => false,
+            }
+        };
+        self.net.finish_op(op);
+        Ok(ChordOpReport {
+            messages,
+            hops,
+            matches: usize::from(removed),
+        })
+    }
+
+    /// Exact-match query for `key`.
+    pub fn search_exact(&mut self, key: u64) -> Result<ChordOpReport> {
+        let issuer = self.random_peer().ok_or(ChordError::EmptyRing)?;
+        let op = self.net.begin_op("chord.search");
+        let id = ChordId::hash(key);
+        let (owner, messages, hops) = self.lookup(op, issuer, id)?;
+        let matches = self
+            .node(owner)?
+            .store
+            .get(&id.value())
+            .map(Vec::len)
+            .unwrap_or(0);
+        self.net.finish_op(op);
+        Ok(ChordOpReport {
+            messages,
+            hops,
+            matches,
+        })
+    }
+
+    /// Chord cannot answer range queries natively (hashing destroys key
+    /// order); this always returns `None`, mirroring the paper's
+    /// observation.  The harness plots BATON and the multiway tree only.
+    pub fn search_range(&mut self, _low: u64, _high: u64) -> Option<ChordOpReport> {
+        None
+    }
+
+    /// Verifies ring invariants: successor/predecessor pointers are mutually
+    /// consistent and the identifiers strictly increase around the ring.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.nodes.is_empty() {
+            return Ok(());
+        }
+        for (peer, node) in &self.nodes {
+            let succ = self
+                .nodes
+                .get(&node.successor.0)
+                .ok_or_else(|| format!("{peer} successor {} missing", node.successor.0))?;
+            if succ.predecessor.0 != *peer {
+                return Err(format!(
+                    "{peer} successor {} does not point back",
+                    node.successor.0
+                ));
+            }
+            let pred = self
+                .nodes
+                .get(&node.predecessor.0)
+                .ok_or_else(|| format!("{peer} predecessor {} missing", node.predecessor.0))?;
+            if pred.successor.0 != *peer {
+                return Err(format!(
+                    "{peer} predecessor {} does not point forward",
+                    node.predecessor.0
+                ));
+            }
+        }
+        // Walking successors from any node must visit every node exactly once.
+        let start = *self.nodes.keys().next().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut current = start;
+        for _ in 0..self.nodes.len() {
+            if !seen.insert(current) {
+                return Err("successor cycle shorter than the ring".into());
+            }
+            current = self.nodes[&current].successor.0;
+        }
+        if current != start {
+            return Err("successor walk does not return to the start".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_a_consistent_ring() {
+        for n in [1usize, 2, 5, 32, 100] {
+            let system = ChordSystem::build(7, n).unwrap();
+            assert_eq!(system.node_count(), n);
+            system.validate().unwrap_or_else(|e| panic!("{n}-node ring invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn lookups_are_logarithmic() {
+        let mut system = ChordSystem::build(11, 256).unwrap();
+        let log_n = (system.node_count() as f64).log2();
+        let mut total = 0u64;
+        for key in 0..200u64 {
+            let report = system.search_exact(key * 977).unwrap();
+            total += report.messages;
+            assert!(
+                (report.messages as f64) <= 3.0 * log_n + 8.0,
+                "lookup took {} messages",
+                report.messages
+            );
+        }
+        let avg = total as f64 / 200.0;
+        assert!(avg <= 1.5 * log_n + 2.0, "average lookup cost {avg} too high");
+    }
+
+    #[test]
+    fn insert_then_search_finds_the_value() {
+        let mut system = ChordSystem::build(3, 40).unwrap();
+        for key in [1u64, 500, 999_999] {
+            system.insert(key, key * 2).unwrap();
+            let found = system.search_exact(key).unwrap();
+            assert_eq!(found.matches, 1, "key {key} not found");
+        }
+        let miss = system.search_exact(123_456_789).unwrap();
+        assert_eq!(miss.matches, 0);
+        assert_eq!(system.total_items(), 3);
+    }
+
+    #[test]
+    fn delete_removes_a_value() {
+        let mut system = ChordSystem::build(5, 30).unwrap();
+        system.insert(42, 1).unwrap();
+        assert_eq!(system.delete(42).unwrap().matches, 1);
+        assert_eq!(system.search_exact(42).unwrap().matches, 0);
+        assert_eq!(system.delete(42).unwrap().matches, 0);
+    }
+
+    #[test]
+    fn join_update_cost_is_superlogarithmic_but_bounded() {
+        let mut system = ChordSystem::build(13, 300).unwrap();
+        let log_n = (system.node_count() as f64).log2();
+        let report = system.join_random().unwrap();
+        assert!(report.locate_messages >= 1);
+        assert!(
+            (report.update_messages as f64) <= 3.0 * log_n * log_n + 40.0,
+            "update cost {} too high",
+            report.update_messages
+        );
+        system.validate().unwrap();
+    }
+
+    #[test]
+    fn leaves_keep_ring_consistent_and_data_safe() {
+        let mut system = ChordSystem::build(17, 60).unwrap();
+        for key in 0..100u64 {
+            system.insert(key, key).unwrap();
+        }
+        for _ in 0..30 {
+            system.leave_random().unwrap();
+            system.validate().unwrap();
+        }
+        assert_eq!(system.node_count(), 30);
+        assert_eq!(system.total_items(), 100);
+        for key in 0..100u64 {
+            assert_eq!(system.search_exact(key).unwrap().matches, 1);
+        }
+    }
+
+    #[test]
+    fn last_node_cannot_leave_and_empty_ring_errors() {
+        let mut system = ChordSystem::build(1, 1).unwrap();
+        let peer = system.peers()[0];
+        assert_eq!(system.leave(peer).unwrap_err(), ChordError::LastNode);
+        let mut empty = ChordSystem::new(1);
+        assert_eq!(empty.search_exact(1).unwrap_err(), ChordError::EmptyRing);
+    }
+
+    #[test]
+    fn range_queries_are_unsupported() {
+        let mut system = ChordSystem::build(2, 10).unwrap();
+        assert!(system.search_range(0, 100).is_none());
+    }
+}

@@ -1,0 +1,485 @@
+//! State held by a single BATON peer.
+//!
+//! A [`BatonNode`] is everything one peer knows: its own position and key
+//! range, its local data, and its links — parent, children, adjacent nodes
+//! and the two sideways routing tables (paper §III).  All protocol logic
+//! lives in [`crate::protocol`] and [`crate::system`]; this module is pure
+//! state plus small queries over that state.
+
+use serde::{Deserialize, Serialize};
+
+use baton_net::PeerId;
+
+use crate::position::{Position, Side};
+use crate::range::{Key, KeyRange};
+use crate::routing::{NodeLink, RoutingTable};
+use crate::store::LocalStore;
+
+/// State of one peer in the BATON overlay.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatonNode {
+    /// Physical address of this peer.
+    pub peer: PeerId,
+    /// Logical position in the balanced tree.
+    pub position: Position,
+    /// Key range this node manages directly.
+    pub range: KeyRange,
+    /// Link to the parent node (`None` only for the root).
+    pub parent: Option<NodeLink>,
+    /// Link to the left child, if present.
+    pub left_child: Option<NodeLink>,
+    /// Link to the right child, if present.
+    pub right_child: Option<NodeLink>,
+    /// Link to the left adjacent node (in-order predecessor).
+    pub left_adjacent: Option<NodeLink>,
+    /// Link to the right adjacent node (in-order successor).
+    pub right_adjacent: Option<NodeLink>,
+    /// Left sideways routing table.
+    pub left_table: RoutingTable,
+    /// Right sideways routing table.
+    pub right_table: RoutingTable,
+    /// Local index entries (keys inside `range`).
+    pub store: LocalStore,
+}
+
+impl BatonNode {
+    /// Creates a node at `position` managing `range`, with no links yet.
+    pub fn new(peer: PeerId, position: Position, range: KeyRange) -> Self {
+        Self {
+            peer,
+            position,
+            range,
+            parent: None,
+            left_child: None,
+            right_child: None,
+            left_adjacent: None,
+            right_adjacent: None,
+            left_table: RoutingTable::new(Side::Left, position),
+            right_table: RoutingTable::new(Side::Right, position),
+            store: LocalStore::new(),
+        }
+    }
+
+    /// The link other nodes should hold for this node, reflecting its
+    /// current position and range.
+    pub fn link(&self) -> NodeLink {
+        NodeLink::new(self.peer, self.position, self.range)
+    }
+
+    /// Level of this node in the tree.
+    pub fn level(&self) -> u32 {
+        self.position.level()
+    }
+
+    /// `true` if this node currently occupies the root position.
+    pub fn is_root(&self) -> bool {
+        self.position.is_root()
+    }
+
+    /// `true` if the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.left_child.is_none() && self.right_child.is_none()
+    }
+
+    /// Number of children (0, 1 or 2).
+    pub fn child_count(&self) -> usize {
+        usize::from(self.left_child.is_some()) + usize::from(self.right_child.is_some())
+    }
+
+    /// Child link on `side`.
+    pub fn child(&self, side: Side) -> Option<&NodeLink> {
+        match side {
+            Side::Left => self.left_child.as_ref(),
+            Side::Right => self.right_child.as_ref(),
+        }
+    }
+
+    /// Sets (or clears) the child link on `side`.
+    pub fn set_child(&mut self, side: Side, link: Option<NodeLink>) {
+        match side {
+            Side::Left => self.left_child = link,
+            Side::Right => self.right_child = link,
+        }
+    }
+
+    /// Adjacent link on `side`.
+    pub fn adjacent(&self, side: Side) -> Option<&NodeLink> {
+        match side {
+            Side::Left => self.left_adjacent.as_ref(),
+            Side::Right => self.right_adjacent.as_ref(),
+        }
+    }
+
+    /// Sets (or clears) the adjacent link on `side`.
+    pub fn set_adjacent(&mut self, side: Side, link: Option<NodeLink>) {
+        match side {
+            Side::Left => self.left_adjacent = link,
+            Side::Right => self.right_adjacent = link,
+        }
+    }
+
+    /// Routing table on `side`.
+    pub fn table(&self, side: Side) -> &RoutingTable {
+        match side {
+            Side::Left => &self.left_table,
+            Side::Right => &self.right_table,
+        }
+    }
+
+    /// Mutable routing table on `side`.
+    pub fn table_mut(&mut self, side: Side) -> &mut RoutingTable {
+        match side {
+            Side::Left => &mut self.left_table,
+            Side::Right => &mut self.right_table,
+        }
+    }
+
+    /// `true` if both sideways routing tables are full — the precondition of
+    /// Theorem 1 for accepting a child and the acceptance test of
+    /// Algorithm 1.
+    pub fn tables_full(&self) -> bool {
+        self.left_table.is_full() && self.right_table.is_full()
+    }
+
+    /// `true` if Algorithm 1 lets this node accept a new child right now:
+    /// both routing tables full and fewer than two children.
+    pub fn can_accept_child(&self) -> bool {
+        self.tables_full() && self.child_count() < 2
+    }
+
+    /// The side on which a new child would be attached (left preferred),
+    /// or `None` if both child positions are occupied.
+    pub fn free_child_side(&self) -> Option<Side> {
+        if self.left_child.is_none() {
+            Some(Side::Left)
+        } else if self.right_child.is_none() {
+            Some(Side::Right)
+        } else {
+            None
+        }
+    }
+
+    /// `true` if a leaf may depart directly without disturbing balance:
+    /// it has no children and no neighbour in either routing table has a
+    /// child (paper §III-B).
+    pub fn can_leave_without_replacement(&self) -> bool {
+        self.is_leaf()
+            && !self.left_table.any_neighbor_has_child()
+            && !self.right_table.any_neighbor_has_child()
+    }
+
+    /// Number of data items currently stored.
+    pub fn load(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if `key` belongs to this node's range.
+    pub fn owns_key(&self, key: Key) -> bool {
+        self.range.contains(key)
+    }
+
+    /// Every peer this node holds a link to (parent, children, adjacents and
+    /// routing-table targets), without duplicates.  These are exactly the
+    /// peers that must be notified when this node's range or address
+    /// changes.
+    pub fn linked_peers(&self) -> Vec<PeerId> {
+        let mut peers = Vec::new();
+        let mut push = |p: PeerId| {
+            if !peers.contains(&p) {
+                peers.push(p);
+            }
+        };
+        if let Some(l) = &self.parent {
+            push(l.peer);
+        }
+        if let Some(l) = &self.left_child {
+            push(l.peer);
+        }
+        if let Some(l) = &self.right_child {
+            push(l.peer);
+        }
+        if let Some(l) = &self.left_adjacent {
+            push(l.peer);
+        }
+        if let Some(l) = &self.right_adjacent {
+            push(l.peer);
+        }
+        for (_, e) in self.left_table.iter() {
+            push(e.link.peer);
+        }
+        for (_, e) in self.right_table.iter() {
+            push(e.link.peer);
+        }
+        peers
+    }
+
+    /// Replaces every reference to `old` (in parent/child/adjacent links and
+    /// routing tables) with a link to `new_link`.  Returns how many links
+    /// were rewritten.  Used when a replacement node takes over a departed
+    /// node's position (paper §III-B) — "all nodes with links to x must be
+    /// informed to change the physical address of the link to point to y".
+    pub fn rewrite_links(&mut self, old: PeerId, new_link: NodeLink) -> usize {
+        let mut rewritten = 0;
+        let mut rewrite = |slot: &mut Option<NodeLink>| {
+            if let Some(l) = slot {
+                if l.peer == old {
+                    *l = new_link;
+                    rewritten += 1;
+                }
+            }
+        };
+        rewrite(&mut self.parent);
+        rewrite(&mut self.left_child);
+        rewrite(&mut self.right_child);
+        rewrite(&mut self.left_adjacent);
+        rewrite(&mut self.right_adjacent);
+        for side in Side::BOTH {
+            let table = self.table_mut(side);
+            for i in 0..table.slot_count() {
+                if let Some(e) = table.entry_mut(i) {
+                    if e.link.peer == old {
+                        e.link = new_link;
+                        rewritten += 1;
+                    }
+                    if e.left_child == Some(old) {
+                        e.left_child = Some(new_link.peer);
+                        rewritten += 1;
+                    }
+                    if e.right_child == Some(old) {
+                        e.right_child = Some(new_link.peer);
+                        rewritten += 1;
+                    }
+                }
+            }
+        }
+        rewritten
+    }
+
+    /// Updates the recorded range on every link that points at `peer`.
+    /// Returns how many links were updated.
+    pub fn update_link_range(&mut self, peer: PeerId, range: KeyRange) -> usize {
+        let mut updated = 0;
+        let mut touch = |slot: &mut Option<NodeLink>| {
+            if let Some(l) = slot {
+                if l.peer == peer {
+                    l.range = range;
+                    updated += 1;
+                }
+            }
+        };
+        touch(&mut self.parent);
+        touch(&mut self.left_child);
+        touch(&mut self.right_child);
+        touch(&mut self.left_adjacent);
+        touch(&mut self.right_adjacent);
+        for side in Side::BOTH {
+            let table = self.table_mut(side);
+            for i in 0..table.slot_count() {
+                if let Some(e) = table.entry_mut(i) {
+                    if e.link.peer == peer {
+                        e.link.range = range;
+                        updated += 1;
+                    }
+                }
+            }
+        }
+        updated
+    }
+
+    /// Updates the child knowledge recorded for `neighbor` in both routing
+    /// tables.  Returns `true` if an entry was found and updated.
+    pub fn update_neighbor_children(
+        &mut self,
+        neighbor: PeerId,
+        left_child: Option<PeerId>,
+        right_child: Option<PeerId>,
+    ) -> bool {
+        let mut updated = false;
+        for side in Side::BOTH {
+            let table = self.table_mut(side);
+            for i in 0..table.slot_count() {
+                if let Some(e) = table.entry_mut(i) {
+                    if e.link.peer == neighbor {
+                        e.left_child = left_child;
+                        e.right_child = right_child;
+                        updated = true;
+                    }
+                }
+            }
+        }
+        updated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingEntry;
+
+    fn node(peer: u64, level: u32, number: u64) -> BatonNode {
+        BatonNode::new(
+            PeerId(peer),
+            Position::new(level, number),
+            KeyRange::new(0, 100),
+        )
+    }
+
+    fn link_to(n: &BatonNode) -> NodeLink {
+        n.link()
+    }
+
+    #[test]
+    fn fresh_node_is_a_rootless_leaf() {
+        let n = node(1, 2, 3);
+        assert!(n.is_leaf());
+        assert_eq!(n.child_count(), 0);
+        assert!(!n.is_root());
+        assert_eq!(n.level(), 2);
+        assert_eq!(n.load(), 0);
+        assert!(n.owns_key(50));
+        assert!(!n.owns_key(100));
+        assert_eq!(n.free_child_side(), Some(Side::Left));
+        assert!(n.linked_peers().is_empty());
+    }
+
+    #[test]
+    fn root_node_tables_are_trivially_full() {
+        let root = node(0, 0, 1);
+        assert!(root.is_root());
+        assert!(root.tables_full());
+        assert!(root.can_accept_child());
+    }
+
+    #[test]
+    fn child_and_adjacent_accessors() {
+        let mut n = node(1, 1, 1);
+        let c = node(2, 2, 1);
+        let a = node(3, 0, 1);
+        n.set_child(Side::Left, Some(link_to(&c)));
+        n.set_adjacent(Side::Right, Some(link_to(&a)));
+        assert_eq!(n.child(Side::Left).unwrap().peer, PeerId(2));
+        assert!(n.child(Side::Right).is_none());
+        assert_eq!(n.adjacent(Side::Right).unwrap().peer, PeerId(3));
+        assert!(n.adjacent(Side::Left).is_none());
+        assert_eq!(n.child_count(), 1);
+        assert!(!n.is_leaf());
+        assert_eq!(n.free_child_side(), Some(Side::Right));
+        n.set_child(Side::Right, Some(link_to(&a)));
+        assert_eq!(n.free_child_side(), None);
+        n.set_child(Side::Left, None);
+        assert_eq!(n.free_child_side(), Some(Side::Left));
+    }
+
+    #[test]
+    fn can_accept_child_requires_full_tables() {
+        // Node at level 1 number 1: right table has one valid slot (number 2).
+        let mut n = node(1, 1, 1);
+        assert!(!n.can_accept_child(), "right table not yet full");
+        let sibling = node(2, 1, 2);
+        n.right_table.set(0, RoutingEntry::new(link_to(&sibling)));
+        assert!(n.can_accept_child());
+        // Give it two children: still full tables but no capacity.
+        n.set_child(Side::Left, Some(link_to(&sibling)));
+        n.set_child(Side::Right, Some(link_to(&sibling)));
+        assert!(!n.can_accept_child());
+    }
+
+    #[test]
+    fn can_leave_without_replacement_logic() {
+        let mut n = node(1, 2, 2);
+        // Leaf, no routing entries: may depart.
+        assert!(n.can_leave_without_replacement());
+        // Neighbour with a child: must find a replacement.
+        let neighbor = node(2, 2, 3);
+        n.right_table.set(
+            0,
+            RoutingEntry::with_children(link_to(&neighbor), Some(PeerId(9)), None),
+        );
+        assert!(!n.can_leave_without_replacement());
+        // Non-leaf can never depart directly.
+        let mut m = node(3, 2, 2);
+        m.set_child(Side::Left, Some(link_to(&neighbor)));
+        assert!(!m.can_leave_without_replacement());
+    }
+
+    #[test]
+    fn linked_peers_deduplicates() {
+        let mut n = node(1, 2, 2);
+        let other = node(5, 2, 1);
+        let other_link = link_to(&other);
+        n.parent = Some(other_link);
+        n.left_adjacent = Some(other_link);
+        n.left_table.set(0, RoutingEntry::new(other_link));
+        assert_eq!(n.linked_peers(), vec![PeerId(5)]);
+    }
+
+    #[test]
+    fn rewrite_links_replaces_every_reference() {
+        let mut n = node(1, 2, 2);
+        let old = node(5, 2, 1);
+        let old_link = link_to(&old);
+        n.parent = Some(old_link);
+        n.left_adjacent = Some(old_link);
+        n.left_table.set(0, RoutingEntry::new(old_link));
+        let replacement = NodeLink::new(PeerId(9), Position::new(2, 1), KeyRange::new(0, 10));
+        let rewritten = n.rewrite_links(PeerId(5), replacement);
+        assert_eq!(rewritten, 3);
+        assert_eq!(n.parent.unwrap().peer, PeerId(9));
+        assert_eq!(n.left_adjacent.unwrap().peer, PeerId(9));
+        assert_eq!(n.left_table.entry(0).unwrap().link.peer, PeerId(9));
+        // No references to the old peer remain.
+        assert_eq!(n.rewrite_links(PeerId(5), replacement), 0);
+    }
+
+    #[test]
+    fn rewrite_links_updates_child_knowledge_in_tables() {
+        let mut n = node(1, 2, 2);
+        let neighbor = node(5, 2, 1);
+        n.left_table.set(
+            0,
+            RoutingEntry::with_children(link_to(&neighbor), Some(PeerId(7)), None),
+        );
+        let replacement = NodeLink::new(PeerId(8), Position::new(3, 1), KeyRange::new(0, 10));
+        let rewritten = n.rewrite_links(PeerId(7), replacement);
+        assert_eq!(rewritten, 1);
+        assert_eq!(n.left_table.entry(0).unwrap().left_child, Some(PeerId(8)));
+    }
+
+    #[test]
+    fn update_link_range_touches_all_link_kinds() {
+        let mut n = node(1, 2, 2);
+        let other = node(5, 2, 1);
+        let other_link = link_to(&other);
+        n.parent = Some(other_link);
+        n.right_adjacent = Some(other_link);
+        n.left_table.set(0, RoutingEntry::new(other_link));
+        let updated = n.update_link_range(PeerId(5), KeyRange::new(40, 60));
+        assert_eq!(updated, 3);
+        assert_eq!(n.parent.unwrap().range, KeyRange::new(40, 60));
+        assert_eq!(
+            n.left_table.entry(0).unwrap().link.range,
+            KeyRange::new(40, 60)
+        );
+        assert_eq!(n.update_link_range(PeerId(99), KeyRange::new(0, 1)), 0);
+    }
+
+    #[test]
+    fn update_neighbor_children_sets_table_knowledge() {
+        let mut n = node(1, 2, 2);
+        let neighbor = node(5, 2, 3);
+        n.right_table.set(0, RoutingEntry::new(link_to(&neighbor)));
+        assert!(!n.right_table.entry(0).unwrap().has_any_child());
+        assert!(n.update_neighbor_children(PeerId(5), Some(PeerId(8)), None));
+        assert_eq!(n.right_table.entry(0).unwrap().left_child, Some(PeerId(8)));
+        assert!(!n.update_neighbor_children(PeerId(99), None, None));
+    }
+
+    #[test]
+    fn node_link_reflects_current_state() {
+        let n = node(4, 3, 5);
+        let l = n.link();
+        assert_eq!(l.peer, PeerId(4));
+        assert_eq!(l.position, Position::new(3, 5));
+        assert_eq!(l.range, KeyRange::new(0, 100));
+    }
+}

@@ -1,0 +1,566 @@
+//! Load balancing (paper §IV-D).
+//!
+//! Two schemes, applied in order:
+//!
+//! 1. **Adjacent migration** — an overloaded node shifts part of its range
+//!    (and the data in it) to the less-loaded of its two in-order adjacent
+//!    nodes.  This is the only scheme non-leaf nodes use.
+//! 2. **Leaf re-join** — if an overloaded *leaf*'s adjacent nodes are also
+//!    heavily loaded, it locates a lightly loaded leaf through its routing
+//!    tables; that leaf hands its own data to its parent, leaves its
+//!    position (forcing a restructuring shift if its departure would break
+//!    balance), and re-joins as a child of the overloaded node, taking half
+//!    of its data — again forcing a restructuring shift if the overloaded
+//!    node cannot accept a child under Theorem 1.
+//!
+//! The number of nodes involved in each re-join (2 + the restructuring shift
+//! length) is recorded in the system's shift-size histogram, which is what
+//! Figure 8(h) plots.
+
+use baton_net::{OpScope, PeerId};
+
+use crate::error::{BatonError, Result};
+use crate::messages::BatonMessage;
+use crate::position::Side;
+use crate::range::Key;
+use crate::reports::{BalanceKind, LoadBalanceReport};
+use crate::system::BatonSystem;
+
+impl BatonSystem {
+    /// Explicitly runs the load-balancing check on `peer` (normally it runs
+    /// automatically after each insertion).
+    pub fn rebalance(&mut self, peer: PeerId) -> Result<LoadBalanceReport> {
+        self.check_alive(peer)?;
+        let op = self.net.begin_op("balance");
+        let report = self.rebalance_overloaded(op, peer)?;
+        self.net.finish_op(op);
+        Ok(report)
+    }
+
+    /// Hook called after every insertion: triggers balancing when the owner
+    /// exceeds the configured overload threshold.
+    pub(crate) fn maybe_balance_after_insert(
+        &mut self,
+        op: OpScope,
+        owner: PeerId,
+    ) -> Result<Option<LoadBalanceReport>> {
+        if !self.config.load_balance.enabled {
+            return Ok(None);
+        }
+        let threshold = self.config.load_balance.overload_threshold;
+        let load = self.node_ref(owner)?.load();
+        if load <= threshold {
+            return Ok(None);
+        }
+        // Once a node is over the threshold, re-probing the neighbourhood on
+        // every single insertion would dominate the cost when no lighter
+        // peer exists; check periodically instead (every `threshold / 2`
+        // insertions past the threshold — i.e. roughly once per re-fill
+        // after a successful halving), which keeps the amortized balancing
+        // overhead per insertion low, as in the paper (§IV-D).
+        let check_interval = (threshold / 2).max(1);
+        if (load - threshold) % check_interval != 1 % check_interval {
+            return Ok(None);
+        }
+        self.rebalance_overloaded(op, owner).map(Some)
+    }
+
+    fn rebalance_overloaded(&mut self, op: OpScope, overloaded: PeerId) -> Result<LoadBalanceReport> {
+        let noop = |messages| LoadBalanceReport {
+            kind: BalanceKind::AdjacentMigration,
+            trigger: overloaded,
+            messages,
+            items_moved: 0,
+            nodes_shifted: 0,
+        };
+        // A node that is not actually overloaded has nothing to do.
+        if self.node_ref(overloaded)?.load() <= self.config.load_balance.overload_threshold {
+            return Ok(noop(0));
+        }
+        // Scheme 1: adjacent migration.
+        if let Some(report) = self.try_adjacent_migration(op, overloaded)? {
+            return Ok(report);
+        }
+        // Scheme 2: leaf re-join (leaves only).
+        if self.node_ref(overloaded)?.is_leaf() {
+            if let Some(report) = self.try_leaf_rejoin(op, overloaded)? {
+                return Ok(report);
+            }
+        }
+        // Nothing could be improved: report a zero-effect migration so the
+        // caller still sees the probing cost.
+        Ok(noop(2))
+    }
+
+    /// Attempts to shift part of the overloaded node's range to the
+    /// less-loaded adjacent node.  Returns `None` if neither adjacent node
+    /// is meaningfully lighter.
+    fn try_adjacent_migration(
+        &mut self,
+        op: OpScope,
+        overloaded: PeerId,
+    ) -> Result<Option<LoadBalanceReport>> {
+        let mut messages = 0u64;
+        let (my_load, candidates) = {
+            let node = self.node_ref(overloaded)?;
+            let mut candidates = Vec::new();
+            if let Some(l) = node.left_adjacent {
+                candidates.push((l.peer, Side::Left));
+            }
+            if let Some(r) = node.right_adjacent {
+                candidates.push((r.peer, Side::Right));
+            }
+            (node.load(), candidates)
+        };
+        // Probe the adjacent nodes' loads (one message each).
+        let mut best: Option<(PeerId, Side, usize)> = None;
+        for (peer, side) in candidates {
+            self.notify(op, "balance.probe", overloaded, peer);
+            messages += 1;
+            let load = self.node_ref(peer)?.load();
+            if best.map_or(true, |(_, _, b)| load < b) {
+                best = Some((peer, side, load));
+            }
+        }
+        let Some((adjacent, side, adjacent_load)) = best else {
+            return Ok(None);
+        };
+        // Only migrate when it meaningfully evens things out and the
+        // adjacent node is not itself overloaded.
+        if adjacent_load + 2 > my_load
+            || adjacent_load >= self.config.load_balance.overload_threshold
+        {
+            return Ok(None);
+        }
+        let move_count = (my_load - adjacent_load) / 2;
+        if move_count == 0 {
+            return Ok(None);
+        }
+
+        // Pick the range boundary so that roughly `move_count` items move.
+        let boundary: Option<Key> = {
+            let node = self.node_ref(overloaded)?;
+            match side {
+                // Move the smallest `move_count` items to the left adjacent:
+                // everything strictly below the key at rank `move_count`.
+                Side::Left => node.store.iter().nth(move_count).map(|(k, _)| k),
+                // Move the largest `move_count` items to the right adjacent:
+                // everything at or above the key at rank `len - move_count`.
+                Side::Right => node
+                    .store
+                    .iter()
+                    .nth(my_load - move_count)
+                    .map(|(k, _)| k),
+            }
+        };
+        let Some(boundary) = boundary else {
+            return Ok(None);
+        };
+        let my_range = self.node_ref(overloaded)?.range;
+        if !my_range.contains(boundary) || boundary == my_range.low() {
+            // Duplicates concentrated on a single key: no useful split point.
+            return Ok(None);
+        }
+
+        // Perform the migration.
+        let (moved_range, kept_range) = match side {
+            Side::Left => {
+                let (moved, kept) = my_range.split_at(boundary);
+                (moved, kept)
+            }
+            Side::Right => {
+                let (kept, moved) = my_range.split_at(boundary);
+                (moved, kept)
+            }
+        };
+        let moved_items = {
+            let node = self.node_mut(overloaded)?;
+            let moved = node.store.split_off_range(moved_range);
+            node.range = kept_range;
+            moved
+        };
+        let items_moved = moved_items.len();
+        self.hop(
+            op,
+            overloaded,
+            adjacent,
+            1,
+            BatonMessage::BalanceMigrate {
+                range: moved_range,
+                items: items_moved,
+            },
+        )?;
+        messages += 1;
+        {
+            let adj = self.node_mut(adjacent)?;
+            adj.store.absorb(moved_items);
+            adj.range = adj.range.merge(moved_range).ok_or_else(|| {
+                BatonError::InvariantViolation(format!(
+                    "migrated range {moved_range} not contiguous with adjacent range {}",
+                    adj.range
+                ))
+            })?;
+        }
+        // Both nodes' ranges changed: refresh every link recording them.
+        messages += self.broadcast_range_update(op, overloaded)?;
+        messages += self.broadcast_range_update(op, adjacent)?;
+
+        self.balance_shift_sizes.record(2);
+        Ok(Some(LoadBalanceReport {
+            kind: BalanceKind::AdjacentMigration,
+            trigger: overloaded,
+            messages,
+            items_moved,
+            nodes_shifted: 0,
+        }))
+    }
+
+    /// Attempts the leaf re-join scheme: a lightly loaded leaf found through
+    /// the routing tables leaves its position and re-joins as a child of the
+    /// overloaded leaf.
+    fn try_leaf_rejoin(
+        &mut self,
+        op: OpScope,
+        overloaded: PeerId,
+    ) -> Result<Option<LoadBalanceReport>> {
+        let mut messages = 0u64;
+        let (candidate, probe_messages) = self.find_lightly_loaded_leaf(op, overloaded)?;
+        messages += probe_messages;
+        let Some(light) = candidate else {
+            return Ok(None);
+        };
+
+        // Ask the light leaf to move (one message).
+        self.hop(
+            op,
+            overloaded,
+            light,
+            1,
+            BatonMessage::BalanceRequestRejoin { overloaded },
+        )?;
+        messages += 1;
+
+        // 1. The light leaf leaves its position, handing its data and range
+        //    to its parent; if its departure would break balance, the
+        //    overlay restructures around the hole.
+        let mut nodes_shifted = 0usize;
+        if self.node_ref(light)?.can_leave_without_replacement() {
+            messages += self.detach_leaf(op, light, light)?;
+        } else {
+            let plan = match self.plan_restructure_remove(light, Side::Left)? {
+                Some(p) => p,
+                None => self
+                    .plan_restructure_remove(light, Side::Right)?
+                    .ok_or_else(|| {
+                        BatonError::InvariantViolation(
+                            "no direction admits a departure restructuring".into(),
+                        )
+                    })?,
+            };
+            messages += self.detach_leaf(op, light, light)?;
+            let report = self.apply_restructure_plan(op, &plan)?;
+            messages += report.messages;
+            nodes_shifted += report.nodes_shifted;
+        }
+
+        // 2. The light leaf re-joins next to the overloaded node, taking
+        //    half of its range and data.  If the overloaded node can attach
+        //    it as a child (it has a free slot), use the regular attach; a
+        //    restructuring shift follows when Theorem 1 would be violated.
+        //    If the restructuring that accompanied the light leaf's
+        //    departure left the overloaded node with two children, the new
+        //    neighbour is spliced in purely by restructuring.
+        let needs_restructure;
+        if self.node_ref(overloaded)?.free_child_side().is_some() {
+            let (_, _, attach_messages) = self.attach_child(op, overloaded, light)?;
+            messages += attach_messages;
+            needs_restructure = !self.node_ref(overloaded)?.tables_full();
+        } else {
+            messages += self.splice_in_as_predecessor(op, overloaded, light)?;
+            needs_restructure = true;
+        }
+        let items_moved = self.node_ref(light)?.store.len();
+
+        // 3. Find the spliced-in node a legitimate position by shifting the
+        //    overlay (paper §III-E).
+        if needs_restructure {
+            let plan = match self.plan_restructure_insert(light, Side::Right)? {
+                Some(p) => p,
+                None => self
+                    .plan_restructure_insert(light, Side::Left)?
+                    .ok_or_else(|| {
+                        BatonError::InvariantViolation(
+                            "no direction admits a join restructuring".into(),
+                        )
+                    })?,
+            };
+            let report = self.apply_restructure_plan(op, &plan)?;
+            messages += report.messages;
+            nodes_shifted += report.nodes_shifted;
+        }
+
+        self.balance_shift_sizes.record(2 + nodes_shifted);
+        Ok(Some(LoadBalanceReport {
+            kind: BalanceKind::LeafRejoin,
+            trigger: overloaded,
+            messages,
+            items_moved,
+            nodes_shifted,
+        }))
+    }
+
+    /// Splices `light` into the overlay as the in-order predecessor of
+    /// `overloaded` — range split, data handoff and adjacency — *without*
+    /// giving it a tree position yet.  Used when the overloaded node has no
+    /// free child slot; the caller immediately follows up with a
+    /// restructuring pass that assigns the position.
+    fn splice_in_as_predecessor(
+        &mut self,
+        op: OpScope,
+        overloaded: PeerId,
+        light: PeerId,
+    ) -> Result<u64> {
+        let mut messages = 0u64;
+        let (g_position, light_range) = {
+            let g = self.node_ref(overloaded)?;
+            let (low_half, _) = g.range.split_half();
+            (g.position, low_half)
+        };
+        // Build the new neighbour's node state.  Its position field is a
+        // placeholder (the overloaded node's own position) that is never
+        // registered in the position map; the restructuring pass assigns the
+        // real one.
+        let mut light_node = crate::node::BatonNode::new(light, g_position, light_range);
+        {
+            let g = self.node_mut(overloaded)?;
+            light_node.store = g.store.split_off_range(light_range);
+            g.range = crate::range::KeyRange::new(light_range.high(), g.range.high());
+        }
+        // Adjacency: predecessor(g) <-> light <-> g.
+        let outer = {
+            let g = self.node_ref(overloaded)?;
+            g.left_adjacent
+        };
+        let g_link = self.link_of(overloaded)?;
+        light_node.left_adjacent = outer;
+        light_node.right_adjacent = Some(g_link);
+        self.nodes.insert(light, light_node);
+        let light_link = self.link_of(light)?;
+        {
+            let g = self.node_mut(overloaded)?;
+            g.set_adjacent(Side::Left, Some(light_link));
+        }
+        self.hop(
+            op,
+            overloaded,
+            light,
+            1,
+            BatonMessage::BalanceMigrate {
+                range: light_range,
+                items: self.node_ref(light)?.store.len(),
+            },
+        )?;
+        messages += 1;
+        if let Some(outer) = outer {
+            self.notify(op, "table.adjacent_update", light, outer.peer);
+            messages += 1;
+            if let Some(outer_node) = self.nodes.get_mut(&outer.peer) {
+                outer_node.set_adjacent(Side::Right, Some(light_link));
+            }
+        }
+        // The overloaded node's range shrank.
+        messages += self.broadcast_range_update(op, overloaded)?;
+        Ok(messages)
+    }
+
+    /// Probes the overloaded node's routing-table neighbours (and their
+    /// recorded children) for a lightly loaded leaf.  Returns the best
+    /// candidate and the number of probe messages.
+    fn find_lightly_loaded_leaf(
+        &mut self,
+        op: OpScope,
+        overloaded: PeerId,
+    ) -> Result<(Option<PeerId>, u64)> {
+        let mut messages = 0u64;
+        let (my_load, exclude, probe_targets) = {
+            let node = self.node_ref(overloaded)?;
+            let mut exclude = vec![overloaded];
+            if let Some(l) = node.left_adjacent {
+                exclude.push(l.peer);
+            }
+            if let Some(r) = node.right_adjacent {
+                exclude.push(r.peer);
+            }
+            let mut targets = Vec::new();
+            for side in Side::BOTH {
+                for (_, e) in node.table(side).iter() {
+                    targets.push(e.link.peer);
+                    if let Some(c) = e.left_child {
+                        targets.push(c);
+                    }
+                    if let Some(c) = e.right_child {
+                        targets.push(c);
+                    }
+                }
+            }
+            (node.load(), exclude, targets)
+        };
+        let mut best: Option<(PeerId, usize)> = None;
+        for target in probe_targets {
+            if exclude.contains(&target) || !self.net.is_alive(target) {
+                continue;
+            }
+            self.notify(op, "balance.probe", overloaded, target);
+            messages += 1;
+            let Some(node) = self.nodes.get(&target) else {
+                continue;
+            };
+            if !node.is_leaf() {
+                continue;
+            }
+            let load = node.load();
+            if best.map_or(true, |(_, b)| load < b) {
+                best = Some((target, load));
+            }
+        }
+        let candidate = best.and_then(|(peer, load)| {
+            // The re-join halves the overloaded node's data, so it is only
+            // worthwhile if the candidate carries well under half its load.
+            let light_enough = load.saturating_mul(2) < my_load
+                && (load <= self.config.load_balance.underload_threshold
+                    || load.saturating_mul(4) < my_load);
+            light_enough.then_some(peer)
+        });
+        Ok((candidate, messages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatonConfig, LoadBalanceConfig};
+    use crate::validate::validate;
+
+    fn skew_config(overload: usize) -> BatonConfig {
+        BatonConfig::default().with_load_balance(LoadBalanceConfig {
+            enabled: true,
+            overload_threshold: overload,
+            underload_threshold: overload / 4,
+        })
+    }
+
+    #[test]
+    fn no_balancing_below_threshold() {
+        let mut system = BatonSystem::build(skew_config(1000), 1, 20).unwrap();
+        for i in 0..100u64 {
+            let report = system.insert(1 + i, i).unwrap();
+            assert!(report.balance.is_none());
+        }
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn disabled_load_balancing_never_triggers() {
+        let config = BatonConfig::default().with_load_balance(LoadBalanceConfig::disabled());
+        let mut system = BatonSystem::build(config, 2, 10).unwrap();
+        for i in 0..500u64 {
+            let report = system.insert(1 + (i % 7), i).unwrap();
+            assert!(report.balance.is_none());
+        }
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn skewed_inserts_trigger_balancing_and_keep_invariants() {
+        let mut system = BatonSystem::build(skew_config(50), 3, 30).unwrap();
+        let mut balanced = 0;
+        // All keys fall in a narrow band, overloading one node repeatedly.
+        for i in 0..2_000u64 {
+            let key = 1 + (i % 1_000);
+            let report = system.insert(key, i).unwrap();
+            if report.balance.is_some() {
+                balanced += 1;
+            }
+            if i % 250 == 0 {
+                validate(&system)
+                    .unwrap_or_else(|e| panic!("invariant broken after {i} skewed inserts: {e}"));
+            }
+        }
+        assert!(balanced > 0, "skewed workload never triggered balancing");
+        validate(&system).unwrap();
+        assert_eq!(system.total_items(), 2_000);
+    }
+
+    #[test]
+    fn balancing_reduces_maximum_load() {
+        let overload = 40;
+        let mut with_lb = BatonSystem::build(skew_config(overload), 5, 40).unwrap();
+        let config_no_lb =
+            BatonConfig::default().with_load_balance(LoadBalanceConfig::disabled());
+        let mut without_lb = BatonSystem::build(config_no_lb, 5, 40).unwrap();
+        for i in 0..3_000u64 {
+            // Zipf-ish: concentrate most keys at the low end of the domain.
+            let key = 1 + (i * i) % 10_000;
+            with_lb.insert(key, i).unwrap();
+            without_lb.insert(key, i).unwrap();
+        }
+        let max_with = with_lb
+            .peers()
+            .into_iter()
+            .map(|p| with_lb.node(p).unwrap().load())
+            .max()
+            .unwrap();
+        let max_without = without_lb
+            .peers()
+            .into_iter()
+            .map(|p| without_lb.node(p).unwrap().load())
+            .max()
+            .unwrap();
+        assert!(
+            max_with < max_without,
+            "load balancing did not reduce the maximum load ({max_with} vs {max_without})"
+        );
+        validate(&with_lb).unwrap();
+    }
+
+    #[test]
+    fn explicit_rebalance_on_underloaded_node_is_a_noop() {
+        let mut system = BatonSystem::build(skew_config(100), 7, 10).unwrap();
+        let peer = system.peers()[0];
+        let report = system.rebalance(peer).unwrap();
+        assert_eq!(report.items_moved, 0);
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn shift_histogram_records_balancing_events() {
+        let mut system = BatonSystem::build(skew_config(30), 9, 25).unwrap();
+        for i in 0..1_500u64 {
+            let key = 1 + (i % 500);
+            system.insert(key, i).unwrap();
+        }
+        let hist = system.balance_shift_histogram();
+        assert!(hist.total() > 0, "no balancing events were recorded");
+        // Events involve at least two nodes.
+        assert_eq!(hist.count(0), 0);
+        assert_eq!(hist.count(1), 0);
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn data_is_never_lost_by_balancing() {
+        let mut system = BatonSystem::build(skew_config(25), 11, 20).unwrap();
+        let mut expected = std::collections::HashMap::new();
+        for i in 0..1_200u64 {
+            let key = 1 + (i % 300);
+            system.insert(key, i).unwrap();
+            *expected.entry(key).or_insert(0usize) += 1;
+        }
+        assert_eq!(system.total_items(), 1_200);
+        for (key, count) in expected {
+            let found = system.search_exact(key).unwrap();
+            assert_eq!(found.matches.len(), count, "key {key} lost values");
+        }
+        validate(&system).unwrap();
+    }
+}

@@ -1,0 +1,222 @@
+//! Data insertion and deletion (paper §IV-C).
+//!
+//! Both operations locate the owning node with the exact-match routing walk
+//! and then act locally, so their cost is `O(log N)` messages.  Insertion of
+//! a key outside the current domain is handled by the leftmost / rightmost
+//! node expanding its range, which costs an extra `O(log N)` messages to
+//! refresh the links that record that node's range.  Insertions may trigger
+//! load balancing (§IV-D), reported separately.
+
+use baton_net::PeerId;
+
+use crate::error::{BatonError, Result};
+use crate::range::Key;
+use crate::reports::{DeleteReport, InsertReport};
+use crate::store::Value;
+use crate::system::BatonSystem;
+
+impl BatonSystem {
+    /// Inserts `value` under `key`, issuing the request at a uniformly
+    /// random node.
+    pub fn insert(&mut self, key: Key, value: Value) -> Result<InsertReport> {
+        let issuer = self.random_peer().ok_or(BatonError::EmptyNetwork)?;
+        self.insert_from(issuer, key, value)
+    }
+
+    /// Inserts `value` under `key`, issuing the request at `issuer`.
+    ///
+    /// Keys outside the current domain are accepted: the leftmost (or
+    /// rightmost) node expands its range to cover them, and the overlay's
+    /// domain grows accordingly (paper §IV-C).
+    pub fn insert_from(&mut self, issuer: PeerId, key: Key, value: Value) -> Result<InsertReport> {
+        self.check_alive(issuer)?;
+        let op = self.net.begin_op("insert");
+        let walk = self.locate_owner(op, issuer, key, "insert")?;
+        let mut expansion_messages = 0u64;
+        let owner_range = self.node_ref(walk.owner)?.range;
+        if !owner_range.contains(key) {
+            // Leftmost / rightmost expansion.
+            {
+                let node = self.node_mut(walk.owner)?;
+                if key < node.range.low() {
+                    node.range = node.range.extend_low(key);
+                } else {
+                    node.range = node.range.extend_high(key + 1);
+                }
+            }
+            if key < self.domain.low() {
+                self.domain = self.domain.extend_low(key);
+            } else if key >= self.domain.high() {
+                self.domain = self.domain.extend_high(key + 1);
+            }
+            expansion_messages = self.broadcast_range_update(op, walk.owner)?;
+        }
+        self.node_mut(walk.owner)?.store.insert(key, value);
+        let balance = self.maybe_balance_after_insert(op, walk.owner)?;
+        self.net.finish_op(op);
+        Ok(InsertReport {
+            key,
+            owner: walk.owner,
+            messages: walk.messages,
+            expansion_messages,
+            balance,
+        })
+    }
+
+    /// Deletes one value stored under `key`, issuing the request at a
+    /// uniformly random node.
+    pub fn delete(&mut self, key: Key) -> Result<DeleteReport> {
+        let issuer = self.random_peer().ok_or(BatonError::EmptyNetwork)?;
+        self.delete_from(issuer, key)
+    }
+
+    /// Deletes one value stored under `key`, issuing the request at
+    /// `issuer`.  Returns `removed == false` if no value was stored.
+    pub fn delete_from(&mut self, issuer: PeerId, key: Key) -> Result<DeleteReport> {
+        self.check_alive(issuer)?;
+        self.check_key(key)?;
+        let op = self.net.begin_op("delete");
+        let walk = self.locate_owner(op, issuer, key, "delete")?;
+        let removed = self.node_mut(walk.owner)?.store.remove_one(key).is_some();
+        self.net.finish_op(op);
+        Ok(DeleteReport {
+            key,
+            owner: walk.owner,
+            removed,
+            messages: walk.messages,
+            balance: None,
+        })
+    }
+
+    /// Inserts a batch of `(key, value)` pairs (the paper loads its networks
+    /// with `1000 × N` values "in batches").  Returns the per-insert reports.
+    pub fn insert_batch(&mut self, items: &[(Key, Value)]) -> Result<Vec<InsertReport>> {
+        items
+            .iter()
+            .map(|(k, v)| self.insert(*k, *v))
+            .collect::<Result<Vec<_>>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatonConfig, LoadBalanceConfig};
+    use crate::range::KeyRange;
+    use crate::validate::validate;
+
+    fn build(n: usize, seed: u64) -> BatonSystem {
+        BatonSystem::build(BatonConfig::default(), seed, n).expect("build network")
+    }
+
+    #[test]
+    fn insert_places_key_at_owner() {
+        let mut system = build(50, 1);
+        let report = system.insert(123_456_789, 7).unwrap();
+        let owner = system.node(report.owner).unwrap();
+        assert!(owner.range.contains(123_456_789));
+        assert_eq!(owner.store.get(123_456_789), &[7]);
+        assert_eq!(report.expansion_messages, 0);
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn insert_and_delete_roundtrip() {
+        let mut system = build(30, 2);
+        system.insert(42_000_000, 1).unwrap();
+        let found = system.search_exact(42_000_000).unwrap();
+        assert_eq!(found.matches, vec![1]);
+        let deleted = system.delete(42_000_000).unwrap();
+        assert!(deleted.removed);
+        let gone = system.search_exact(42_000_000).unwrap();
+        assert!(gone.matches.is_empty());
+        let missing = system.delete(42_000_000).unwrap();
+        assert!(!missing.removed);
+    }
+
+    #[test]
+    fn insert_cost_is_logarithmic() {
+        let mut system = build(400, 3);
+        let log_n = (system.node_count() as f64).log2();
+        let mut total = 0u64;
+        for i in 0..100u64 {
+            let key = 1 + (i * 9_876_543) % 999_999_998;
+            let report = system.insert(key, i).unwrap();
+            total += report.messages;
+        }
+        let avg = total as f64 / 100.0;
+        assert!(avg <= 1.6 * log_n + 2.0, "average insert cost {avg} too high");
+    }
+
+    #[test]
+    fn out_of_domain_insert_expands_leftmost_node() {
+        let config = BatonConfig::default()
+            .with_domain(KeyRange::new(1000, 2000))
+            .with_load_balance(LoadBalanceConfig::disabled());
+        let mut system = BatonSystem::build(config, 4, 20).unwrap();
+        let before = system.domain();
+        assert_eq!(before, KeyRange::new(1000, 2000));
+        let report = system.insert(5, 99).unwrap();
+        assert!(report.expansion_messages > 0);
+        assert_eq!(system.domain().low(), 5);
+        let owner = system.node(report.owner).unwrap();
+        assert!(owner.range.contains(5));
+        assert_eq!(owner.store.get(5), &[99]);
+        validate(&system).unwrap();
+        // And the value is findable afterwards.
+        let found = system.search_exact(5).unwrap();
+        assert_eq!(found.matches, vec![99]);
+    }
+
+    #[test]
+    fn out_of_domain_insert_expands_rightmost_node() {
+        let config = BatonConfig::default()
+            .with_domain(KeyRange::new(1000, 2000))
+            .with_load_balance(LoadBalanceConfig::disabled());
+        let mut system = BatonSystem::build(config, 4, 20).unwrap();
+        let report = system.insert(5000, 1).unwrap();
+        assert!(report.expansion_messages > 0);
+        assert_eq!(system.domain().high(), 5001);
+        validate(&system).unwrap();
+        assert_eq!(system.search_exact(5000).unwrap().matches, vec![1]);
+    }
+
+    #[test]
+    fn delete_out_of_domain_key_is_rejected() {
+        let mut system = build(10, 5);
+        assert_eq!(
+            system.delete(0).unwrap_err(),
+            BatonError::KeyOutOfDomain(0)
+        );
+    }
+
+    #[test]
+    fn insert_batch_inserts_everything() {
+        let mut system = build(20, 6);
+        let items: Vec<(Key, Value)> = (0..50u64).map(|i| (1 + i * 19_999_999, i)).collect();
+        let reports = system.insert_batch(&items).unwrap();
+        assert_eq!(reports.len(), 50);
+        assert_eq!(system.total_items(), 50);
+        for (k, v) in items {
+            let found = system.search_exact(k).unwrap();
+            assert_eq!(found.matches, vec![v]);
+        }
+    }
+
+    #[test]
+    fn data_stays_with_owner_across_further_joins() {
+        let mut system = build(10, 7);
+        for i in 0..100u64 {
+            system.insert(1 + i * 9_999_999, i).unwrap();
+        }
+        for _ in 0..40 {
+            system.join_random().unwrap();
+        }
+        validate(&system).unwrap();
+        assert_eq!(system.total_items(), 100);
+        for i in 0..100u64 {
+            let found = system.search_exact(1 + i * 9_999_999).unwrap();
+            assert_eq!(found.matches, vec![i], "key {i} lost after joins");
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Node failure and recovery (paper §III-C).
+//!
+//! When a node fails (or departs abruptly), the peers that discover the
+//! unreachable address report it to the failed node's parent.  The parent
+//! regenerates the failed node's routing knowledge from its own tables
+//! (Theorem 2 makes the failed node's neighbours reachable as children of
+//! the parent's neighbours) and then runs a *graceful departure* on the
+//! failed node's behalf: either the direct leaf removal or the
+//! FINDREPLACEMENT protocol, exactly as in §III-B.
+//!
+//! BATON does not replicate data, so the items stored at the failed node are
+//! lost; its key range, however, is preserved — it is taken over by the
+//! parent or by the replacement node so that the overlay keeps covering the
+//! whole domain.
+
+use baton_net::PeerId;
+
+use crate::error::{BatonError, Result};
+use crate::messages::BatonMessage;
+use crate::position::Side;
+use crate::reports::FailureReport;
+use crate::system::BatonSystem;
+
+impl BatonSystem {
+    /// Marks `peer` as failed **without** running the recovery protocol.
+    ///
+    /// Until [`BatonSystem::recover_failed`] (or another operation's repair
+    /// path) runs, the overlay must route *around* the dead node using the
+    /// redundancy of its sideways routing tables and parent–neighbour–child
+    /// detours — the fault-tolerance property of paper §III-D, exercised by
+    /// the resilient-search tests.
+    pub fn fail_silently(&mut self, peer: PeerId) -> Result<()> {
+        self.check_alive(peer)?;
+        self.net.fail_peer(peer);
+        Ok(())
+    }
+
+    /// Runs the §III-C recovery protocol for a peer previously failed with
+    /// [`BatonSystem::fail_silently`].
+    pub fn recover_failed(&mut self, peer: PeerId) -> Result<FailureReport> {
+        if !self.nodes.contains_key(&peer) {
+            return Err(BatonError::UnknownPeer(peer));
+        }
+        if self.net.is_alive(peer) {
+            return Err(BatonError::InvariantViolation(format!(
+                "recover_failed called for {peer}, which is still alive"
+            )));
+        }
+        self.recover_inner(peer)
+    }
+
+    /// Simulates the abrupt failure of `peer` and runs the recovery
+    /// protocol.
+    pub fn fail(&mut self, peer: PeerId) -> Result<FailureReport> {
+        self.check_alive(peer)?;
+        self.net.fail_peer(peer);
+        self.recover_inner(peer)
+    }
+
+    fn recover_inner(&mut self, peer: PeerId) -> Result<FailureReport> {
+        let op = self.net.begin_op("failure");
+
+        // Special case: the overlay's only node fails — nothing to recover.
+        if self.node_count() == 1 {
+            let lost_items = self.node_ref(peer)?.store.len();
+            self.net.fail_peer(peer);
+            let node = self.nodes.remove(&peer).expect("checked above");
+            self.vacate(node.position, peer);
+            self.net.finish_op(op);
+            return Ok(FailureReport {
+                failed: peer,
+                coordinator: None,
+                replacement: None,
+                regeneration_messages: 0,
+                departure_messages: 0,
+                lost_items,
+            });
+        }
+
+        self.net.fail_peer(peer);
+
+        // The coordinator is the failed node's parent; if the root failed,
+        // one of its children (or, degenerately, an adjacent node) takes
+        // over the recovery.
+        let (coordinator, reporter, lost_items, is_removable_leaf) = {
+            let node = self.node_ref(peer)?;
+            let coordinator = node
+                .parent
+                .map(|l| l.peer)
+                .or_else(|| node.left_child.map(|l| l.peer))
+                .or_else(|| node.right_child.map(|l| l.peer))
+                .or_else(|| node.left_adjacent.map(|l| l.peer))
+                .or_else(|| node.right_adjacent.map(|l| l.peer))
+                .ok_or_else(|| {
+                    BatonError::InvariantViolation(
+                        "failed node has no links but the overlay has other nodes".into(),
+                    )
+                })?;
+            // Any peer that held a link to the failed node may be the one
+            // that noticed; pick one different from the coordinator when
+            // possible.
+            let reporter = node
+                .linked_peers()
+                .into_iter()
+                .find(|p| *p != coordinator)
+                .unwrap_or(coordinator);
+            (
+                coordinator,
+                reporter,
+                node.store.len(),
+                node.can_leave_without_replacement(),
+            )
+        };
+
+        // Failure report: one message from the discovering peer to the
+        // coordinator.
+        let mut regeneration_messages = 0u64;
+        self.notify(op, "failure.report", reporter, coordinator);
+        regeneration_messages += 1;
+
+        // The coordinator regenerates the failed node's routing tables by
+        // querying the children of the nodes in its own routing tables: one
+        // query and one response per regenerated neighbour entry.
+        let neighbors: Vec<PeerId> = {
+            let node = self.node_ref(peer)?;
+            Side::BOTH
+                .iter()
+                .flat_map(|s| node.table(*s).iter().map(|(_, e)| e.link.peer))
+                .collect()
+        };
+        for neighbor in neighbors {
+            self.notify(op, "failure.table_regen", coordinator, neighbor);
+            self.notify(op, "failure.table_regen", neighbor, coordinator);
+            regeneration_messages += 2;
+        }
+
+        // The failed node's data is lost (no replication); clear it before
+        // the departure protocol merges the (now empty) content away.
+        self.node_mut(peer)?.store = Default::default();
+
+        // Graceful departure on the failed node's behalf, driven by the
+        // coordinator.
+        let mut departure_messages = 0u64;
+        let replacement = if is_removable_leaf {
+            departure_messages += self.detach_leaf(op, peer, coordinator)?;
+            None
+        } else {
+            let (replacement, locate) = self.find_replacement_via(op, peer, coordinator)?;
+            departure_messages += locate;
+            departure_messages += self.detach_leaf(op, replacement, replacement)?;
+            departure_messages += self.take_over_position(op, peer, replacement, coordinator)?;
+            Some(replacement)
+        };
+
+        self.net.finish_op(op);
+        Ok(FailureReport {
+            failed: peer,
+            coordinator: Some(coordinator),
+            replacement,
+            regeneration_messages,
+            departure_messages,
+            lost_items,
+        })
+    }
+
+    /// [`BatonSystem::find_replacement`] driven by a coordinator instead of
+    /// the (dead) departing node: the initial FINDREPLACEMENT request is
+    /// sent by `coordinator`.
+    pub(crate) fn find_replacement_via(
+        &mut self,
+        op: baton_net::OpScope,
+        departing: PeerId,
+        coordinator: PeerId,
+    ) -> Result<(PeerId, u64)> {
+        // The walk logic is identical; only the sender of the first message
+        // differs.  Reuse the existing walk by temporarily charging the
+        // initial hop to the coordinator.
+        let departing_pos = self.node_ref(departing)?.position;
+        let start = {
+            let node = self.node_ref(departing)?;
+            if node.is_leaf() {
+                let entry = node
+                    .left_table
+                    .first_with_a_child()
+                    .or_else(|| node.right_table.first_with_a_child())
+                    .map(|(_, e)| *e);
+                match entry {
+                    Some(e) => e.left_child.or(e.right_child).ok_or_else(|| {
+                        BatonError::InvariantViolation(
+                            "routing entry claims children but records none".into(),
+                        )
+                    })?,
+                    None => {
+                        return Err(BatonError::InvariantViolation(
+                            "find_replacement_via called on a directly removable leaf".into(),
+                        ))
+                    }
+                }
+            } else {
+                match (&node.left_adjacent, &node.right_adjacent) {
+                    (Some(l), Some(r)) => {
+                        if r.position.level() >= l.position.level() {
+                            r.peer
+                        } else {
+                            l.peer
+                        }
+                    }
+                    (Some(l), None) => l.peer,
+                    (None, Some(r)) => r.peer,
+                    (None, None) => {
+                        return Err(BatonError::InvariantViolation(
+                            "non-leaf node without adjacent links".into(),
+                        ))
+                    }
+                }
+            }
+        };
+        let mut messages = 1u64;
+        let mut hops = 1u32;
+        self.hop(
+            op,
+            coordinator,
+            start,
+            hops,
+            BatonMessage::FindReplacement {
+                departing,
+                position: departing_pos,
+            },
+        )?;
+        let limit = self.walk_limit();
+        let mut current = start;
+        loop {
+            let next = {
+                let node = self.node_ref(current)?;
+                if let Some(lc) = &node.left_child {
+                    Some(lc.peer)
+                } else if let Some(rc) = &node.right_child {
+                    Some(rc.peer)
+                } else {
+                    node.left_table
+                        .first_with_a_child()
+                        .or_else(|| node.right_table.first_with_a_child())
+                        .map(|(_, e)| e.left_child.or(e.right_child))
+                        .map(|child| {
+                            child.ok_or_else(|| {
+                                BatonError::InvariantViolation(
+                                    "routing entry claims children but records none".into(),
+                                )
+                            })
+                        })
+                        .transpose()?
+                }
+            };
+            let Some(next) = next else {
+                return Ok((current, messages));
+            };
+            hops += 1;
+            if hops > limit {
+                return Err(BatonError::RoutingLoop {
+                    operation: "find_replacement",
+                    hops,
+                });
+            }
+            self.hop(
+                op,
+                current,
+                next,
+                hops,
+                BatonMessage::FindReplacement {
+                    departing,
+                    position: departing_pos,
+                },
+            )?;
+            messages += 1;
+            current = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatonConfig;
+    use crate::validate::validate;
+
+    fn build(n: usize, seed: u64) -> BatonSystem {
+        BatonSystem::build(BatonConfig::default(), seed, n).expect("build network")
+    }
+
+    #[test]
+    fn failed_leaf_is_cleaned_up() {
+        let mut system = build(30, 1);
+        // Find a leaf.
+        let leaf = system
+            .peers()
+            .into_iter()
+            .find(|p| system.node(*p).unwrap().is_leaf())
+            .unwrap();
+        let report = system.fail(leaf).unwrap();
+        assert_eq!(report.failed, leaf);
+        assert!(report.coordinator.is_some());
+        assert_eq!(system.node_count(), 29);
+        assert!(system.node(leaf).is_none());
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn failed_internal_node_gets_replacement() {
+        let mut system = build(40, 2);
+        let internal = system
+            .peers()
+            .into_iter()
+            .find(|p| !system.node(*p).unwrap().is_leaf())
+            .unwrap();
+        let report = system.fail(internal).unwrap();
+        assert!(report.replacement.is_some());
+        assert_eq!(system.node_count(), 39);
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn root_failure_is_recovered() {
+        let mut system = build(25, 3);
+        let root = system.root().unwrap();
+        let report = system.fail(root).unwrap();
+        assert!(report.replacement.is_some());
+        assert_ne!(system.root(), Some(root));
+        assert!(system.root().is_some());
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn failed_node_data_is_lost_but_range_preserved() {
+        let mut system = build(20, 4);
+        // Insert data and find a node that stores some of it.
+        for i in 0..200u64 {
+            system.insert(1 + i * 4_999_999, i).unwrap();
+        }
+        let victim = system
+            .peers()
+            .into_iter()
+            .find(|p| system.node(*p).unwrap().store.len() > 0)
+            .unwrap();
+        let victim_items = system.node(victim).unwrap().store.len();
+        let before_total = system.total_items();
+        let report = system.fail(victim).unwrap();
+        assert_eq!(report.lost_items, victim_items);
+        assert_eq!(system.total_items(), before_total - victim_items);
+        // The domain is still fully covered.
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn repeated_failures_keep_the_overlay_consistent() {
+        let mut system = build(50, 5);
+        for round in 0..30 {
+            let peer = system.random_peer().unwrap();
+            if system.node_count() == 1 {
+                break;
+            }
+            system.fail(peer).unwrap();
+            validate(&system)
+                .unwrap_or_else(|e| panic!("invariant broken after failure {round}: {e}"));
+        }
+        assert_eq!(system.node_count(), 20);
+    }
+
+    #[test]
+    fn failing_the_last_node_empties_the_overlay() {
+        let mut system = BatonSystem::with_seed(6);
+        let root = system.bootstrap().unwrap();
+        system.insert(100, 1).unwrap();
+        let report = system.fail(root).unwrap();
+        assert_eq!(report.lost_items, 1);
+        assert!(system.is_empty());
+        assert_eq!(system.root(), None);
+    }
+
+    #[test]
+    fn failing_an_unknown_or_dead_peer_is_rejected() {
+        let mut system = build(5, 7);
+        assert!(matches!(
+            system.fail(PeerId(12345)),
+            Err(BatonError::UnknownPeer(_))
+        ));
+        let victim = system.peers()[0];
+        if system.node_count() > 1 {
+            system.fail(victim).unwrap();
+            assert!(matches!(
+                system.fail(victim),
+                Err(BatonError::UnknownPeer(_) | BatonError::PeerNotAlive(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn recovery_cost_is_logarithmic() {
+        let mut system = build(200, 8);
+        let log_n = (system.node_count() as f64).log2();
+        for _ in 0..20 {
+            let peer = system.random_peer().unwrap();
+            let report = system.fail(peer).unwrap();
+            assert!(
+                (report.total_messages() as f64) <= 14.0 * log_n + 30.0,
+                "recovery took {} messages",
+                report.total_messages()
+            );
+        }
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn searches_still_work_after_failures() {
+        let mut system = build(60, 9);
+        for i in 0..100u64 {
+            system.insert(1 + i * 9_000_000, i).unwrap();
+        }
+        for _ in 0..15 {
+            let peer = system.random_peer().unwrap();
+            system.fail(peer).unwrap();
+        }
+        validate(&system).unwrap();
+        // Every key still routes to a live owner (data at failed nodes is
+        // lost, but routing must never break).
+        for i in 0..100u64 {
+            let report = system.search_exact(1 + i * 9_000_000).unwrap();
+            assert!(system.node(report.owner).is_some());
+        }
+    }
+}

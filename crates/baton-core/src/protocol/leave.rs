@@ -1,0 +1,483 @@
+//! Node departure (paper §III-B, Algorithm 2).
+//!
+//! A leaf whose routing-table neighbours have no children may depart
+//! directly: it transfers its content and range to its parent, tells its
+//! neighbours to drop their links, and the parent refreshes its own
+//! neighbours — at most `4 log N` messages.
+//!
+//! Any other node must find a *replacement*: a FINDREPLACEMENT request walks
+//! down the tree (Algorithm 2) to a leaf whose own departure is safe; that
+//! leaf detaches from its position and takes over the departing node's
+//! position, links, range and content, and every node holding a link to the
+//! departed node is repointed — at most `8 log N` messages.
+
+use baton_net::{OpScope, PeerId};
+
+use crate::error::{BatonError, Result};
+use crate::messages::BatonMessage;
+use crate::position::Side;
+use crate::reports::LeaveReport;
+use crate::routing::NodeLink;
+use crate::system::BatonSystem;
+
+impl BatonSystem {
+    /// Gracefully removes `peer` from the overlay.
+    ///
+    /// Fails with [`BatonError::LastNode`] if it is the only node left.
+    pub fn leave(&mut self, peer: PeerId) -> Result<LeaveReport> {
+        self.check_alive(peer)?;
+        if self.node_count() == 1 {
+            return Err(BatonError::LastNode);
+        }
+        let op = self.net.begin_op("leave");
+        let node = self.node_ref(peer)?;
+        let report = if node.can_leave_without_replacement() {
+            let update_messages = self.detach_leaf(op, peer, peer)?;
+            LeaveReport {
+                departed: peer,
+                replacement: None,
+                locate_messages: 0,
+                update_messages,
+                restructure: None,
+            }
+        } else {
+            let (replacement, locate_messages) = self.find_replacement(op, peer)?;
+            // The replacement leaf first departs from its own position …
+            let mut update_messages = self.detach_leaf(op, replacement, replacement)?;
+            // … and then takes over the departing node's position.
+            update_messages += self.take_over_position(op, peer, replacement, peer)?;
+            LeaveReport {
+                departed: peer,
+                replacement: Some(replacement),
+                locate_messages,
+                update_messages,
+                restructure: None,
+            }
+        };
+        self.net.depart_peer(peer);
+        self.net.finish_op(op);
+        Ok(report)
+    }
+
+    /// A uniformly random live node leaves the overlay.
+    pub fn leave_random(&mut self) -> Result<LeaveReport> {
+        let peer = self.random_peer().ok_or(BatonError::EmptyNetwork)?;
+        self.leave(peer)
+    }
+
+    /// Algorithm 2: walk down from the departing node to a leaf that can
+    /// safely vacate its position.  Returns the replacement and the number
+    /// of messages used.
+    pub(crate) fn find_replacement(
+        &mut self,
+        op: OpScope,
+        departing: PeerId,
+    ) -> Result<(PeerId, u64)> {
+        let limit = self.walk_limit();
+        let mut messages = 0u64;
+        let mut hops = 1u32;
+        let departing_pos = self.node_ref(departing)?.position;
+        let start = {
+            let node = self.node_ref(departing)?;
+            if node.is_leaf() {
+                // A leaf that cannot depart directly has a neighbour with a
+                // child; start the walk at such a child.
+                let entry = node
+                    .left_table
+                    .first_with_a_child()
+                    .or_else(|| node.right_table.first_with_a_child())
+                    .map(|(_, e)| *e);
+                match entry {
+                    Some(e) => e.left_child.or(e.right_child).ok_or_else(|| {
+                        BatonError::InvariantViolation(
+                            "routing entry claims children but records none".into(),
+                        )
+                    })?,
+                    None => {
+                        return Err(BatonError::InvariantViolation(
+                            "find_replacement called on a directly removable leaf".into(),
+                        ))
+                    }
+                }
+            } else {
+                // A non-leaf starts at its deeper adjacent node, which lies
+                // in one of its subtrees.
+                match (&node.left_adjacent, &node.right_adjacent) {
+                    (Some(l), Some(r)) => {
+                        if r.position.level() >= l.position.level() {
+                            r.peer
+                        } else {
+                            l.peer
+                        }
+                    }
+                    (Some(l), None) => l.peer,
+                    (None, Some(r)) => r.peer,
+                    (None, None) => {
+                        return Err(BatonError::InvariantViolation(
+                            "non-leaf node without adjacent links".into(),
+                        ))
+                    }
+                }
+            }
+        };
+        self.hop(
+            op,
+            departing,
+            start,
+            hops,
+            BatonMessage::FindReplacement {
+                departing,
+                position: departing_pos,
+            },
+        )?;
+        messages += 1;
+        let mut current = start;
+        loop {
+            let next = {
+                let node = self.node_ref(current)?;
+                if let Some(lc) = &node.left_child {
+                    Some(lc.peer)
+                } else if let Some(rc) = &node.right_child {
+                    Some(rc.peer)
+                } else {
+                    let entry = node
+                        .left_table
+                        .first_with_a_child()
+                        .or_else(|| node.right_table.first_with_a_child())
+                        .map(|(_, e)| *e);
+                    match entry {
+                        Some(e) => Some(e.left_child.or(e.right_child).ok_or_else(|| {
+                            BatonError::InvariantViolation(
+                                "routing entry claims children but records none".into(),
+                            )
+                        })?),
+                        None => None,
+                    }
+                }
+            };
+            let Some(next) = next else {
+                return Ok((current, messages));
+            };
+            hops += 1;
+            if hops > limit {
+                return Err(BatonError::RoutingLoop {
+                    operation: "find_replacement",
+                    hops,
+                });
+            }
+            self.hop(
+                op,
+                current,
+                next,
+                hops,
+                BatonMessage::FindReplacement {
+                    departing,
+                    position: departing_pos,
+                },
+            )?;
+            messages += 1;
+            current = next;
+        }
+    }
+
+    /// Structurally removes a leaf that satisfies the direct-departure
+    /// condition: its content and range are merged into its parent, the
+    /// adjacency chain is spliced, its neighbours drop their table entries
+    /// and the parent refreshes its own neighbourhood.
+    ///
+    /// `actor` is the peer doing the talking (the leaf itself for a
+    /// voluntary departure, the recovery coordinator when cleaning up after
+    /// a failure).  Returns the number of messages used.
+    pub(crate) fn detach_leaf(&mut self, op: OpScope, leaf: PeerId, actor: PeerId) -> Result<u64> {
+        let mut messages = 0u64;
+        if !self.node_ref(leaf)?.is_leaf() {
+            return Err(BatonError::InvariantViolation(
+                "detach_leaf called on a non-leaf node".into(),
+            ));
+        }
+        let (position, range, parent_link, side, outer_adjacent, neighbor_peers, store) = {
+            let node = self.node_mut(leaf)?;
+            let parent_link = node.parent.ok_or_else(|| {
+                BatonError::InvariantViolation("detach_leaf called on the root".into())
+            })?;
+            let side = node
+                .position
+                .child_side()
+                .expect("a node with a parent is not the root");
+            let mut neighbors = Vec::new();
+            for s in Side::BOTH {
+                for (_, e) in node.table(s).iter() {
+                    neighbors.push(e.link.peer);
+                }
+            }
+            let store = std::mem::take(&mut node.store);
+            (
+                node.position,
+                node.range,
+                parent_link,
+                side,
+                node.adjacent(side).copied(),
+                neighbors,
+                store,
+            )
+        };
+
+        // 1. Tell routing-table neighbours to drop their entries.
+        for neighbor in &neighbor_peers {
+            self.notify(op, "leave.notify", actor, *neighbor);
+            messages += 1;
+            if let Some(n) = self.nodes.get_mut(neighbor) {
+                n.left_table.remove_peer(leaf);
+                n.right_table.remove_peer(leaf);
+            }
+        }
+
+        // 2. Transfer content and range to the parent.
+        let items = store.len();
+        self.hop(
+            op,
+            actor,
+            parent_link.peer,
+            1,
+            BatonMessage::LeaveTransfer { range, items },
+        )?;
+        messages += 1;
+        {
+            let parent = self.node_mut(parent_link.peer)?;
+            parent.store.absorb(store);
+            parent.range = parent.range.merge(range).ok_or_else(|| {
+                BatonError::InvariantViolation(format!(
+                    "leaf range {range} not contiguous with parent range {}",
+                    parent.range
+                ))
+            })?;
+            parent.set_child(side, None);
+        }
+
+        // 3. Splice the adjacency chain: the parent inherits the leaf's
+        //    outward adjacent link, and that node points back at the parent.
+        let parent_link_now = self.link_of(parent_link.peer)?;
+        {
+            let parent = self.node_mut(parent_link.peer)?;
+            parent.set_adjacent(side, outer_adjacent);
+        }
+        if let Some(outer) = outer_adjacent {
+            self.notify(op, "table.adjacent_update", actor, outer.peer);
+            messages += 1;
+            if let Some(outer_node) = self.nodes.get_mut(&outer.peer) {
+                outer_node.set_adjacent(side.opposite(), Some(parent_link_now));
+            }
+        }
+
+        // 4. Remove the leaf from the overlay.
+        self.vacate(position, leaf);
+        self.nodes.remove(&leaf);
+
+        // 5. The parent's range (and child set) changed: refresh everyone
+        //    holding a link to it with one combined notification each.
+        messages += self.broadcast_parent_update(op, parent_link.peer)?;
+
+        Ok(messages)
+    }
+
+    /// Makes `new_peer` (already detached from any previous position) take
+    /// over `old_peer`'s position, links, range and content, and repoints
+    /// every node that linked to `old_peer`.
+    ///
+    /// `via` is the peer that transfers the state (the departing node for a
+    /// voluntary departure, the recovery coordinator after a failure).
+    pub(crate) fn take_over_position(
+        &mut self,
+        op: OpScope,
+        old_peer: PeerId,
+        new_peer: PeerId,
+        via: PeerId,
+    ) -> Result<u64> {
+        let mut messages = 0u64;
+        let old_node = self
+            .nodes
+            .remove(&old_peer)
+            .ok_or(BatonError::UnknownPeer(old_peer))?;
+        self.vacate(old_node.position, old_peer);
+
+        // One message: the state / content handoff to the replacement.
+        self.hop(
+            op,
+            via,
+            new_peer,
+            1,
+            BatonMessage::ReplacementAnnounce {
+                old: old_peer,
+                new_link: NodeLink::new(new_peer, old_node.position, old_node.range),
+            },
+        )?;
+        messages += 1;
+
+        let mut new_node = old_node;
+        new_node.peer = new_peer;
+        let position = new_node.position;
+        self.occupy(position, new_peer);
+        self.nodes.insert(new_peer, new_node);
+
+        // Repoint every node that held a link to the departed peer.
+        let new_link = self.link_of(new_peer)?;
+        let linked = self.node_ref(new_peer)?.linked_peers();
+        for other in linked {
+            if other == new_peer {
+                continue;
+            }
+            self.notify(op, "leave.replacement_announce", new_peer, other);
+            messages += 1;
+            if let Some(other_node) = self.nodes.get_mut(&other) {
+                other_node.rewrite_links(old_peer, new_link);
+            }
+        }
+        // The parent's neighbours track the parent's children by address;
+        // refresh that knowledge too (the paper's `2·L1` term).
+        if let Some(parent_link) = self.node_ref(new_peer)?.parent {
+            messages += self.broadcast_child_update(op, parent_link.peer)?;
+        }
+        Ok(messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatonConfig;
+    use crate::validate::validate;
+
+    fn build(n: usize, seed: u64) -> BatonSystem {
+        BatonSystem::build(BatonConfig::default(), seed, n).expect("build network")
+    }
+
+    #[test]
+    fn last_node_cannot_leave() {
+        let mut system = BatonSystem::with_seed(1);
+        let root = system.bootstrap().unwrap();
+        assert_eq!(system.leave(root).unwrap_err(), BatonError::LastNode);
+    }
+
+    #[test]
+    fn leaf_departure_returns_range_to_parent() {
+        let mut system = BatonSystem::with_seed(2);
+        let root = system.bootstrap().unwrap();
+        let join = system.join_via(root).unwrap();
+        system.insert(5, 55).unwrap();
+        system.insert(999_000_000, 66).unwrap();
+        let before_items = system.total_items();
+        let report = system.leave(join.new_peer).unwrap();
+        assert_eq!(report.departed, join.new_peer);
+        assert!(report.replacement.is_none());
+        assert_eq!(report.locate_messages, 0);
+        assert_eq!(system.node_count(), 1);
+        // The root manages the whole domain again and kept all the data.
+        let root_node = system.node(root).unwrap();
+        assert_eq!(root_node.range, system.domain());
+        assert_eq!(system.total_items(), before_items);
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn root_departure_promotes_a_replacement() {
+        let mut system = build(20, 3);
+        let root = system.root().unwrap();
+        let report = system.leave(root).unwrap();
+        assert_eq!(report.departed, root);
+        let replacement = report.replacement.expect("non-leaf needs a replacement");
+        assert_ne!(replacement, root);
+        assert_eq!(system.root(), Some(replacement));
+        assert_eq!(system.node_count(), 19);
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn departures_preserve_invariants_and_data() {
+        let mut system = build(60, 4);
+        for i in 0..300u64 {
+            system.insert(1 + i * 3_333_333, i).unwrap();
+        }
+        let total = system.total_items();
+        for round in 0..40 {
+            let peer = system.random_peer().unwrap();
+            if system.node_count() == 1 {
+                break;
+            }
+            system.leave(peer).unwrap();
+            validate(&system)
+                .unwrap_or_else(|e| panic!("invariant broken after departure {round}: {e}"));
+            assert_eq!(system.total_items(), total, "data lost at round {round}");
+        }
+        assert_eq!(system.node_count(), 20);
+        // Every key must still be findable.
+        for i in 0..300u64 {
+            let found = system.search_exact(1 + i * 3_333_333).unwrap();
+            assert_eq!(found.matches, vec![i]);
+        }
+    }
+
+    #[test]
+    fn leave_costs_are_logarithmic() {
+        let mut system = build(300, 5);
+        let log_n = (system.node_count() as f64).log2();
+        for _ in 0..30 {
+            let report = system.leave_random().unwrap();
+            assert!(
+                (report.locate_messages as f64) <= 2.0 * log_n + 4.0,
+                "locate cost {} too high",
+                report.locate_messages
+            );
+            assert!(
+                (report.update_messages as f64) <= 10.0 * log_n + 20.0,
+                "update cost {} too high",
+                report.update_messages
+            );
+        }
+        validate(&system).unwrap();
+    }
+
+    #[test]
+    fn interleaved_joins_and_leaves_keep_invariants() {
+        let mut system = build(40, 6);
+        for i in 0..120u64 {
+            system.insert(1 + i * 8_000_000, i).unwrap();
+        }
+        for round in 0..60 {
+            if round % 3 == 0 && system.node_count() > 2 {
+                system.leave_random().unwrap();
+            } else {
+                system.join_random().unwrap();
+            }
+            validate(&system)
+                .unwrap_or_else(|e| panic!("invariant broken after churn round {round}: {e}"));
+        }
+        assert_eq!(system.total_items(), 120);
+    }
+
+    #[test]
+    fn leaving_twice_is_rejected() {
+        let mut system = build(10, 7);
+        let peer = system.peers()[0];
+        if system.node_count() > 1 {
+            system.leave(peer).unwrap();
+            let err = system.leave(peer).unwrap_err();
+            assert!(matches!(
+                err,
+                BatonError::UnknownPeer(_) | BatonError::PeerNotAlive(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn shrink_network_down_to_single_node() {
+        let mut system = build(33, 8);
+        while system.node_count() > 1 {
+            system.leave_random().unwrap();
+            validate(&system).unwrap();
+        }
+        let last = system.peers()[0];
+        let node = system.node(last).unwrap();
+        assert!(node.is_root());
+        assert_eq!(node.range, system.domain());
+    }
+}

@@ -1,0 +1,509 @@
+//! Network restructuring (paper §III-E).
+//!
+//! Restructuring is invoked when a join or departure is *forced* to happen
+//! at a specific place — as part of load balancing (§IV-D) — and redirecting
+//! the node elsewhere is not permitted.  It is the overlay analogue of an
+//! AVL rotation: peers shift along the in-order (adjacent-link) chain, each
+//! taking over the *position* of its in-order neighbour, until a spot is
+//! reached where a node can be added (or a position vacated) without
+//! violating the balance condition of Theorem 1.
+//!
+//! Crucially, **ranges and data do not move**: each peer keeps the key range
+//! it managed, and because every peer shifts by exactly one slot in the
+//! in-order position ordering, the in-order ordering of ranges is preserved.
+//! Only positions — and therefore parent / child / routing-table links —
+//! change.
+//!
+//! ### Simulation note
+//!
+//! Computing the shift plan uses only adjacent links and per-node state, as
+//! the distributed protocol does.  *Applying* the plan rebuilds the affected
+//! links from the system's position map instead of simulating each
+//! link-repair handshake peer by peer; the messages are charged per the
+//! paper's cost model (`O(log N)` per shifted node — concretely
+//! `2·level + 4` table-update messages each), which is the quantity the
+//! evaluation reports.
+
+use baton_net::{OpScope, PeerId};
+
+use crate::error::{BatonError, Result};
+use crate::position::{Position, Side};
+use crate::reports::RestructureReport;
+use crate::routing::{NodeLink, RoutingEntry, RoutingTable};
+use crate::system::BatonSystem;
+
+/// A planned restructuring: which peer moves to which position, plus the
+/// parent under which the final chain member is attached as a new child
+/// (insert direction) if any.
+#[derive(Clone, Debug)]
+pub(crate) struct RestructurePlan {
+    /// `(peer, new_position)` assignments, in chain order.
+    pub assignments: Vec<(PeerId, Position)>,
+    /// For an insert-direction plan: the position vacated is none and the
+    /// last assignment is a brand-new leaf position.  For a remove-direction
+    /// plan: the position that ends up vacated.
+    #[allow(dead_code)] // recorded for diagnostics and tests
+    pub vacated: Option<Position>,
+}
+
+impl RestructurePlan {
+    /// Number of peers that change position.
+    pub fn shift_size(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+impl BatonSystem {
+    /// Plans an *insert-direction* restructuring: `incoming` (currently
+    /// detached from any position, but already spliced into the adjacency
+    /// chain and owning its range) needs a position, and every occupant from
+    /// its in-order neighbour onwards shifts one slot until one of them can
+    /// be attached as a new child without violating Theorem 1.
+    ///
+    /// `side` selects the shift direction: [`Side::Right`] walks successor
+    /// links and attaches the final node as a *left* child; [`Side::Left`]
+    /// walks predecessor links and attaches as a *right* child.  Returns
+    /// `None` if the chain reaches the end of the tree without finding an
+    /// attachment point (the caller then tries the other direction).
+    pub(crate) fn plan_restructure_insert(
+        &self,
+        incoming: PeerId,
+        side: Side,
+    ) -> Result<Option<RestructurePlan>> {
+        let mut assignments = Vec::new();
+        let mut displaced = incoming;
+        let mut successor = self
+            .node_ref(incoming)?
+            .adjacent(side)
+            .map(|l| l.peer);
+        let limit = self.node_count() + 2;
+        loop {
+            let Some(s) = successor else {
+                return Ok(None);
+            };
+            let s_node = self.node_ref(s)?;
+            let child_free = s_node.child(side.opposite()).is_none();
+            if child_free && s_node.tables_full() {
+                // `displaced` becomes a new child of `s` on the side facing
+                // the shift origin, which is exactly its in-order slot.
+                assignments.push((displaced, s_node.position.child(side.opposite())));
+                return Ok(Some(RestructurePlan {
+                    assignments,
+                    vacated: None,
+                }));
+            }
+            assignments.push((displaced, s_node.position));
+            displaced = s;
+            successor = s_node.adjacent(side).map(|l| l.peer);
+            if assignments.len() > limit {
+                return Err(BatonError::InvariantViolation(
+                    "restructuring chain longer than the overlay".into(),
+                ));
+            }
+        }
+    }
+
+    /// Plans a *remove-direction* restructuring: `leaving`'s position must
+    /// be freed, but vacating it directly would violate Theorem 1, so
+    /// occupants shift towards it from the `side` direction until a position
+    /// that can be safely vacated is reached.
+    pub(crate) fn plan_restructure_remove(
+        &self,
+        leaving: PeerId,
+        side: Side,
+    ) -> Result<Option<RestructurePlan>> {
+        let mut assignments = Vec::new();
+        let mut hole = self.node_ref(leaving)?.position;
+        let mut candidate = self.node_ref(leaving)?.adjacent(side).map(|l| l.peer);
+        let limit = self.node_count() + 2;
+        loop {
+            let Some(c) = candidate else {
+                return Ok(None);
+            };
+            let c_node = self.node_ref(c)?;
+            let c_pos = c_node.position;
+            assignments.push((c, hole));
+            if self.position_safely_vacatable(c_pos) {
+                return Ok(Some(RestructurePlan {
+                    assignments,
+                    vacated: Some(c_pos),
+                }));
+            }
+            hole = c_pos;
+            candidate = c_node.adjacent(side).map(|l| l.peer);
+            if assignments.len() > limit {
+                return Err(BatonError::InvariantViolation(
+                    "restructuring chain longer than the overlay".into(),
+                ));
+            }
+        }
+    }
+
+    /// `true` if removing the occupant of `position` keeps Theorem 1 intact:
+    /// the position has no occupied children and no occupied same-level
+    /// neighbour (at any power-of-two distance) has occupied children.
+    pub(crate) fn position_safely_vacatable(&self, position: Position) -> bool {
+        let occupied = |p: Position| self.by_position.contains_key(&p);
+        if position.level() < Position::MAX_LEVEL
+            && (occupied(position.left_child()) || occupied(position.right_child()))
+        {
+            return false;
+        }
+        for side in Side::BOTH {
+            for index in 0..position.routing_table_size() {
+                if let Some(neighbor) = position.routing_neighbor(side, index) {
+                    if occupied(neighbor)
+                        && neighbor.level() < Position::MAX_LEVEL
+                        && (occupied(neighbor.left_child()) || occupied(neighbor.right_child()))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies a restructuring plan: reassigns positions, rebuilds the
+    /// structural links of the moved peers and of every node that links to
+    /// an affected position, and charges `2·level + 4` messages per moved
+    /// peer to `op`.
+    pub(crate) fn apply_restructure_plan(
+        &mut self,
+        op: OpScope,
+        plan: &RestructurePlan,
+    ) -> Result<RestructureReport> {
+        let mut messages = 0u64;
+
+        // 1. Vacate the old positions of every moved peer (the incoming peer
+        //    of an insert plan has no position yet, so skip it).
+        let mut old_positions = Vec::new();
+        for (peer, _) in &plan.assignments {
+            if let Some(node) = self.nodes.get(peer) {
+                if self.by_position.get(&node.position) == Some(peer) {
+                    old_positions.push(node.position);
+                    self.vacate(node.position, *peer);
+                }
+            }
+        }
+
+        // 2. Assign the new positions.
+        for (peer, new_pos) in &plan.assignments {
+            {
+                let node = self.node_mut(*peer)?;
+                node.position = *new_pos;
+            }
+            self.occupy(*new_pos, *peer);
+        }
+
+        // 3. Rebuild the moved peers' own structural links and the links of
+        //    every node pointing at an affected position.
+        let affected: Vec<Position> = {
+            let mut v: Vec<Position> = plan
+                .assignments
+                .iter()
+                .map(|(_, p)| *p)
+                .chain(old_positions.iter().copied())
+                .collect();
+            v.sort_by(|a, b| a.inorder_cmp(*b));
+            v.dedup();
+            v
+        };
+        for (peer, new_pos) in &plan.assignments {
+            self.rebuild_structural_links(*peer)?;
+            // One shift instruction plus `2·level + 2` link/table updates,
+            // the paper's O(log N)-per-node cost.
+            let charged = 2 * new_pos.level() as u64 + 4;
+            let linked = self.node_ref(*peer)?.linked_peers();
+            let mut sent = 0u64;
+            for other in linked {
+                if sent >= charged {
+                    break;
+                }
+                self.notify(op, "restructure.shift", *peer, other);
+                sent += 1;
+            }
+            // If the peer has fewer links than the cost model charges, count
+            // the remainder as maintenance traffic to its parent.
+            while sent < charged {
+                let target = self
+                    .node_ref(*peer)?
+                    .parent
+                    .map(|l| l.peer)
+                    .unwrap_or(*peer);
+                self.notify(op, "restructure.shift", *peer, target);
+                sent += 1;
+            }
+            messages += sent;
+        }
+        for position in &affected {
+            self.refresh_links_toward(*position)?;
+        }
+
+        // The occupants of the affected positions changed, so the *child
+        // knowledge* that their parents' same-level neighbours keep about
+        // those parents is stale; refresh it (this also covers the parent
+        // that gained the new leaf child and the parent that lost the
+        // vacated one).
+        let mut parent_positions: Vec<Position> = affected
+            .iter()
+            .filter_map(|p| p.parent())
+            .collect();
+        parent_positions.sort_by(|a, b| a.inorder_cmp(*b));
+        parent_positions.dedup();
+        for parent_pos in parent_positions {
+            if let Some(parent_peer) = self.by_position.get(&parent_pos).copied() {
+                messages += self.broadcast_child_update(op, parent_peer)?;
+            }
+        }
+
+        Ok(RestructureReport {
+            nodes_shifted: plan.shift_size(),
+            messages,
+        })
+    }
+
+    /// Recomputes a peer's parent link, child links and routing tables from
+    /// the current position occupancy.  Adjacent links are left untouched —
+    /// restructuring never changes the peer-level in-order chain.
+    pub(crate) fn rebuild_structural_links(&mut self, peer: PeerId) -> Result<()> {
+        let position = self.node_ref(peer)?.position;
+
+        let parent = position
+            .parent()
+            .and_then(|pp| self.by_position.get(&pp).copied())
+            .map(|p| self.link_of(p))
+            .transpose()?;
+        let left_child = self
+            .occupant_link(position.left_child_checked())
+            .transpose()?;
+        let right_child = self
+            .occupant_link(position.right_child_checked())
+            .transpose()?;
+
+        let mut left_table = RoutingTable::new(Side::Left, position);
+        let mut right_table = RoutingTable::new(Side::Right, position);
+        for side in Side::BOTH {
+            for index in 0..position.routing_table_size() {
+                let Some(target) = position.routing_neighbor(side, index) else {
+                    continue;
+                };
+                let Some(occupant) = self.by_position.get(&target).copied() else {
+                    continue;
+                };
+                let link = self.link_of(occupant)?;
+                let (lc, rc) = {
+                    let n = self.node_ref(occupant)?;
+                    (
+                        n.left_child.map(|l| l.peer),
+                        n.right_child.map(|l| l.peer),
+                    )
+                };
+                let entry = RoutingEntry::with_children(link, lc, rc);
+                match side {
+                    Side::Left => left_table.set(index, entry),
+                    Side::Right => right_table.set(index, entry),
+                }
+            }
+        }
+
+        let node = self.node_mut(peer)?;
+        node.parent = parent;
+        node.left_child = left_child;
+        node.right_child = right_child;
+        node.left_table = left_table;
+        node.right_table = right_table;
+        Ok(())
+    }
+
+    /// Updates the links held by *other* nodes that point at `position`:
+    /// the occupant of the parent position (child link), the occupants of
+    /// the child positions (parent link), the same-level neighbours (table
+    /// entry) and the in-order adjacent peers (recorded position in the
+    /// adjacent link).
+    pub(crate) fn refresh_links_toward(&mut self, position: Position) -> Result<()> {
+        let Some(occupant) = self.by_position.get(&position).copied() else {
+            // The position was vacated: clear the links other nodes held
+            // towards it (the parent's child link and the same-level
+            // neighbours' table entries).  Child positions cannot be
+            // occupied — a vacated position never leaves orphans.
+            if let Some(parent_pos) = position.parent() {
+                if let Some(parent_peer) = self.by_position.get(&parent_pos).copied() {
+                    let side = position.child_side().expect("non-root");
+                    let parent = self.node_mut(parent_peer)?;
+                    if parent
+                        .child(side)
+                        .is_some_and(|l| l.position == position)
+                    {
+                        parent.set_child(side, None);
+                    }
+                }
+            }
+            for side in Side::BOTH {
+                for index in 0..position.routing_table_size() {
+                    let Some(neighbor_pos) = position.routing_neighbor(side, index) else {
+                        continue;
+                    };
+                    let Some(neighbor_peer) = self.by_position.get(&neighbor_pos).copied() else {
+                        continue;
+                    };
+                    let neighbor = self.node_mut(neighbor_peer)?;
+                    let table = neighbor.table_mut(side.opposite());
+                    if table
+                        .entry(index)
+                        .is_some_and(|e| e.link.position == position)
+                    {
+                        table.clear(index);
+                    }
+                }
+            }
+            return Ok(());
+        };
+        let link = self.link_of(occupant)?;
+        let (occ_left, occ_right, occ_left_adj, occ_right_adj) = {
+            let n = self.node_ref(occupant)?;
+            (
+                n.left_child.map(|l| l.peer),
+                n.right_child.map(|l| l.peer),
+                n.left_adjacent.map(|l| l.peer),
+                n.right_adjacent.map(|l| l.peer),
+            )
+        };
+
+        // Parent's child link.
+        if let Some(parent_pos) = position.parent() {
+            if let Some(parent_peer) = self.by_position.get(&parent_pos).copied() {
+                let side = position.child_side().expect("non-root");
+                let parent = self.node_mut(parent_peer)?;
+                parent.set_child(side, Some(link));
+            }
+        }
+        // Children's parent links.
+        for child_pos in [
+            position.left_child_checked(),
+            position.right_child_checked(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if let Some(child_peer) = self.by_position.get(&child_pos).copied() {
+                let child = self.node_mut(child_peer)?;
+                child.parent = Some(link);
+            }
+        }
+        // Same-level neighbours' table entries.
+        for side in Side::BOTH {
+            for index in 0..position.routing_table_size() {
+                let Some(neighbor_pos) = position.routing_neighbor(side, index) else {
+                    continue;
+                };
+                let Some(neighbor_peer) = self.by_position.get(&neighbor_pos).copied() else {
+                    continue;
+                };
+                let neighbor = self.node_mut(neighbor_peer)?;
+                neighbor.table_mut(side.opposite()).set(
+                    index,
+                    RoutingEntry::with_children(link, occ_left, occ_right),
+                );
+            }
+        }
+        // Adjacent peers' recorded position/range for the occupant.
+        for (adj, side) in [(occ_left_adj, Side::Right), (occ_right_adj, Side::Left)] {
+            if let Some(adj_peer) = adj {
+                if let Some(adj_node) = self.nodes.get_mut(&adj_peer) {
+                    adj_node.set_adjacent(side, Some(link));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves an optional position to its occupant's link.
+    fn occupant_link(&self, position: Option<Position>) -> Option<Result<NodeLink>> {
+        let position = position?;
+        let occupant = self.by_position.get(&position).copied()?;
+        Some(self.link_of(occupant))
+    }
+}
+
+/// Checked child-position helpers used by the rebuild (avoid panicking at
+/// [`Position::MAX_LEVEL`]).
+trait CheckedChildren {
+    fn left_child_checked(self) -> Option<Position>;
+    fn right_child_checked(self) -> Option<Position>;
+}
+
+impl CheckedChildren for Position {
+    fn left_child_checked(self) -> Option<Position> {
+        Position::checked_new(self.level() + 1, 2 * self.number() - 1)
+    }
+
+    fn right_child_checked(self) -> Option<Position> {
+        Position::checked_new(self.level() + 1, 2 * self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatonConfig;
+
+    fn build(n: usize, seed: u64) -> BatonSystem {
+        BatonSystem::build(BatonConfig::default(), seed, n).expect("build network")
+    }
+
+    #[test]
+    fn position_safely_vacatable_matches_leaf_structure() {
+        let system = build(20, 1);
+        for peer in system.peers() {
+            let node = system.node(peer).unwrap();
+            let expected = node.can_leave_without_replacement();
+            assert_eq!(
+                system.position_safely_vacatable(node.position),
+                expected,
+                "vacatable mismatch at {:?}",
+                node.position
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_structural_links_is_idempotent_on_consistent_state() {
+        let mut system = build(40, 2);
+        let peers = system.peers();
+        for peer in peers {
+            let before = system.node(peer).unwrap().clone();
+            system.rebuild_structural_links(peer).unwrap();
+            let after = system.node(peer).unwrap();
+            assert_eq!(before.parent.map(|l| l.peer), after.parent.map(|l| l.peer));
+            assert_eq!(
+                before.left_child.map(|l| l.peer),
+                after.left_child.map(|l| l.peer)
+            );
+            assert_eq!(
+                before.right_child.map(|l| l.peer),
+                after.right_child.map(|l| l.peer)
+            );
+            assert_eq!(
+                before.left_table.occupied_count(),
+                after.left_table.occupied_count()
+            );
+            assert_eq!(
+                before.right_table.occupied_count(),
+                after.right_table.occupied_count()
+            );
+        }
+    }
+
+    #[test]
+    fn plan_shift_size_reporting() {
+        let plan = RestructurePlan {
+            assignments: vec![
+                (PeerId(1), Position::new(2, 1)),
+                (PeerId(2), Position::new(2, 2)),
+            ],
+            vacated: None,
+        };
+        assert_eq!(plan.shift_size(), 2);
+    }
+}

@@ -1,0 +1,421 @@
+//! Exact-match and range queries (paper §IV-A and §IV-B).
+//!
+//! Both query kinds route the same way: a node that does not own the
+//! searched value jumps as far as possible towards it using its sideways
+//! routing tables, falling back to a child link and then to an adjacent
+//! link.  Exact queries stop at the owner; range queries find the first
+//! intersecting node the same way and then sweep along adjacent links until
+//! the range is covered — `O(log N + X)` messages for a range spanning `X`
+//! nodes.
+
+use baton_net::{OpScope, PeerId};
+
+use crate::error::{BatonError, Result};
+use crate::messages::BatonMessage;
+use crate::range::{Key, KeyRange};
+use crate::reports::{RangeSearchReport, SearchReport};
+use crate::system::BatonSystem;
+
+/// Outcome of routing a query to the node owning a key.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OwnerWalk {
+    /// The node whose range contains the key (or the boundary node when the
+    /// key lies outside the current domain).
+    pub owner: PeerId,
+    /// Messages used by the walk.
+    pub messages: u64,
+    /// Overlay hops taken.
+    pub hops: u32,
+}
+
+impl BatonSystem {
+    /// Exact-match query issued at a uniformly random node.
+    pub fn search_exact(&mut self, key: Key) -> Result<SearchReport> {
+        let issuer = self.random_peer().ok_or(BatonError::EmptyNetwork)?;
+        self.search_exact_from(issuer, key)
+    }
+
+    /// Exact-match query issued at `issuer` (paper §IV-A).
+    pub fn search_exact_from(&mut self, issuer: PeerId, key: Key) -> Result<SearchReport> {
+        self.check_alive(issuer)?;
+        self.check_key(key)?;
+        let op = self.net.begin_op("search.exact");
+        let walk = self.locate_owner(op, issuer, key, "search_exact")?;
+        let matches = self.node_ref(walk.owner)?.store.get(key).to_vec();
+        self.net.finish_op(op);
+        Ok(SearchReport {
+            key,
+            owner: walk.owner,
+            matches,
+            messages: walk.messages,
+            hops: walk.hops,
+        })
+    }
+
+    /// Range query issued at a uniformly random node.
+    pub fn search_range(&mut self, range: KeyRange) -> Result<RangeSearchReport> {
+        let issuer = self.random_peer().ok_or(BatonError::EmptyNetwork)?;
+        self.search_range_from(issuer, range)
+    }
+
+    /// Range query issued at `issuer` (paper §IV-B).
+    ///
+    /// The query is clamped to the overlay's current domain; an empty
+    /// intersection returns an empty result without any messages.
+    pub fn search_range_from(&mut self, issuer: PeerId, range: KeyRange) -> Result<RangeSearchReport> {
+        self.check_alive(issuer)?;
+        let clamped = range.intersection(self.domain);
+        if clamped.is_empty() {
+            return Ok(RangeSearchReport {
+                range,
+                matches: Vec::new(),
+                messages: 0,
+                nodes_visited: 0,
+            });
+        }
+        let op = self.net.begin_op("search.range");
+        // Find the first intersecting node: route to the owner of the range's
+        // lower bound, exactly like a point query.
+        let walk = self.locate_owner(op, issuer, clamped.low(), "search_range")?;
+        let mut messages = walk.messages;
+        let mut matches = Vec::new();
+        let mut nodes_visited = 0usize;
+        let mut current = walk.owner;
+        let limit = self.walk_limit() as usize + self.node_count();
+        loop {
+            let (node_range, found, next) = {
+                let node = self.node_ref(current)?;
+                (
+                    node.range,
+                    node.store.scan(clamped),
+                    node.right_adjacent.map(|l| l.peer),
+                )
+            };
+            nodes_visited += 1;
+            matches.extend(found);
+            if node_range.high() >= clamped.high() {
+                break;
+            }
+            let Some(next) = next else { break };
+            let delivered = self.hop(
+                op,
+                current,
+                next,
+                walk.hops + nodes_visited as u32,
+                BatonMessage::SearchRange {
+                    range: clamped,
+                    issuer,
+                },
+            )?;
+            messages += 1;
+            if !delivered {
+                // The adjacent node is unreachable (an unrecovered failure):
+                // return the partial answer gathered so far.
+                break;
+            }
+            current = next;
+            if nodes_visited > limit {
+                return Err(BatonError::RoutingLoop {
+                    operation: "search_range",
+                    hops: nodes_visited as u32,
+                });
+            }
+        }
+        self.net.finish_op(op);
+        Ok(RangeSearchReport {
+            range,
+            matches,
+            messages,
+            nodes_visited,
+        })
+    }
+
+    /// Routes from `issuer` towards the node owning `key`, following the
+    /// `search_exact` algorithm of §IV-A.  Keys outside the current domain
+    /// terminate at the leftmost / rightmost node (the node that would
+    /// expand its range to cover them, §IV-C).
+    ///
+    /// The walk is fault tolerant (§III-D): at every step the forwarding
+    /// node considers its candidate links from the most to the least useful
+    /// — the sideways routing-table entries (farthest matching first), then
+    /// the relevant child, adjacent and parent links — and skips candidates
+    /// whose peer turns out to be unreachable, paying one (counted, failed)
+    /// message per dead candidate it bounces off.
+    pub(crate) fn locate_owner(
+        &mut self,
+        op: OpScope,
+        issuer: PeerId,
+        key: Key,
+        operation: &'static str,
+    ) -> Result<OwnerWalk> {
+        let limit = self.walk_limit();
+        let domain = self.domain;
+        let mut current = issuer;
+        let mut messages = 0u64;
+        let mut hops = 0u32;
+        loop {
+            let candidates: Vec<PeerId> = {
+                let node = self.node_ref(current)?;
+                if node.range.contains(key) {
+                    return Ok(OwnerWalk {
+                        owner: current,
+                        messages,
+                        hops,
+                    });
+                }
+                if key >= node.range.high() {
+                    // The key lies to the right of this node's range.
+                    if node.range.high() >= domain.high() {
+                        // Rightmost node: the key is beyond the domain and
+                        // this node would expand to cover it.
+                        return Ok(OwnerWalk {
+                            owner: current,
+                            messages,
+                            hops,
+                        });
+                    }
+                    let mut matching: Vec<&crate::routing::RoutingEntry> = node
+                        .right_table
+                        .iter()
+                        .filter(|(_, e)| e.link.range.low() <= key)
+                        .map(|(_, e)| e)
+                        .collect();
+                    matching.reverse(); // farthest matching entry first
+                    let mut candidates = Vec::new();
+                    for entry in matching {
+                        candidates.push(entry.link.peer);
+                        // §III-D detour: if the neighbour is unreachable,
+                        // its children (recorded in the entry) still lead
+                        // towards the key.
+                        candidates.extend(entry.right_child);
+                        candidates.extend(entry.left_child);
+                    }
+                    candidates.extend(node.right_child.iter().map(|l| l.peer));
+                    candidates.extend(node.right_adjacent.iter().map(|l| l.peer));
+                    candidates.extend(node.parent.iter().map(|l| l.peer));
+                    candidates
+                } else {
+                    // The key lies to the left of this node's range.
+                    if node.range.low() <= domain.low() {
+                        // Leftmost node: the key is below the domain.
+                        return Ok(OwnerWalk {
+                            owner: current,
+                            messages,
+                            hops,
+                        });
+                    }
+                    let mut matching: Vec<&crate::routing::RoutingEntry> = node
+                        .left_table
+                        .iter()
+                        .filter(|(_, e)| e.link.range.high() > key)
+                        .map(|(_, e)| e)
+                        .collect();
+                    matching.reverse(); // farthest matching entry first
+                    let mut candidates = Vec::new();
+                    for entry in matching {
+                        candidates.push(entry.link.peer);
+                        // §III-D detour through the unreachable neighbour's
+                        // children.
+                        candidates.extend(entry.left_child);
+                        candidates.extend(entry.right_child);
+                    }
+                    candidates.extend(node.left_child.iter().map(|l| l.peer));
+                    candidates.extend(node.left_adjacent.iter().map(|l| l.peer));
+                    candidates.extend(node.parent.iter().map(|l| l.peer));
+                    candidates
+                }
+            };
+            if candidates.is_empty() {
+                return Err(BatonError::InvariantViolation(format!(
+                    "no route from {current} towards key {key}"
+                )));
+            }
+            // Try the candidates from most to least useful, routing around
+            // unreachable peers (§III-D).  Each bounced attempt costs one
+            // message but does not count as forward progress against the
+            // routing-loop bound.
+            let mut chosen: Option<PeerId> = None;
+            for candidate in candidates {
+                let delivered = self.hop(
+                    op,
+                    current,
+                    candidate,
+                    hops + 1,
+                    BatonMessage::SearchExact { key, issuer },
+                )?;
+                messages += 1;
+                if delivered {
+                    chosen = Some(candidate);
+                    break;
+                }
+                if messages > (limit as u64) * 4 {
+                    return Err(BatonError::RoutingLoop { operation, hops });
+                }
+            }
+            hops += 1;
+            if hops > limit {
+                return Err(BatonError::RoutingLoop { operation, hops });
+            }
+            match chosen {
+                Some(next) => current = next,
+                None => {
+                    return Err(BatonError::PeerNotAlive(current));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatonConfig;
+    use crate::validate::validate;
+
+    fn build(n: usize, seed: u64) -> BatonSystem {
+        BatonSystem::build(BatonConfig::default(), seed, n).expect("build network")
+    }
+
+    #[test]
+    fn search_on_empty_network_fails() {
+        let mut system = BatonSystem::with_seed(1);
+        assert_eq!(
+            system.search_exact(5).unwrap_err(),
+            BatonError::EmptyNetwork
+        );
+    }
+
+    #[test]
+    fn search_out_of_domain_key_is_rejected() {
+        let mut system = build(4, 2);
+        let err = system.search_exact(0).unwrap_err();
+        assert_eq!(err, BatonError::KeyOutOfDomain(0));
+    }
+
+    #[test]
+    fn single_node_owns_every_key() {
+        let mut system = BatonSystem::with_seed(3);
+        let root = system.bootstrap().unwrap();
+        let report = system.search_exact_from(root, 123_456).unwrap();
+        assert_eq!(report.owner, root);
+        assert_eq!(report.messages, 0);
+        assert_eq!(report.hops, 0);
+        assert!(report.matches.is_empty());
+    }
+
+    #[test]
+    fn exact_search_finds_owner_from_every_node() {
+        let mut system = build(60, 5);
+        validate(&system).unwrap();
+        // Pick a handful of keys; from every issuer the walk must terminate
+        // at the node whose range contains the key.
+        let keys = [1u64, 999_999_999 - 1, 500_000_000, 123_456_789, 42];
+        for key in keys {
+            for issuer in system.peers() {
+                let report = system.search_exact_from(issuer, key).unwrap();
+                let owner_node = system.node(report.owner).unwrap();
+                assert!(
+                    owner_node.range.contains(key),
+                    "owner {:?} does not contain {key}",
+                    owner_node.range
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_search_is_logarithmic() {
+        let mut system = build(500, 7);
+        let log_n = (system.node_count() as f64).log2();
+        let mut total = 0u64;
+        let queries = 200;
+        for i in 0..queries {
+            let key = 1 + (i as u64 * 4_999_999) % 999_999_998;
+            let report = system.search_exact(key).unwrap();
+            total += report.messages;
+            assert!(
+                (report.messages as f64) <= 2.0 * log_n + 6.0,
+                "a single search took {} messages (log N = {log_n:.1})",
+                report.messages
+            );
+        }
+        let avg = total as f64 / queries as f64;
+        assert!(avg <= 1.6 * log_n + 2.0, "average {avg} too high");
+    }
+
+    #[test]
+    fn exact_search_finds_inserted_values() {
+        let mut system = build(30, 9);
+        system.insert(777_777, 42).unwrap();
+        system.insert(777_777, 43).unwrap();
+        let report = system.search_exact(777_777).unwrap();
+        assert_eq!(report.matches.len(), 2);
+        assert!(report.matches.contains(&42));
+        assert!(report.matches.contains(&43));
+        let miss = system.search_exact(777_778).unwrap();
+        assert!(miss.matches.is_empty());
+    }
+
+    #[test]
+    fn range_search_returns_all_matches_in_order() {
+        let mut system = build(40, 11);
+        let keys: Vec<u64> = (1..=200u64).map(|i| i * 4_000_000).collect();
+        for (i, k) in keys.iter().enumerate() {
+            system.insert(*k, i as u64).unwrap();
+        }
+        let range = KeyRange::new(100_000_000, 500_000_001);
+        let report = system.search_range(range).unwrap();
+        let expected: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| range.contains(*k))
+            .collect();
+        let found_keys: Vec<u64> = report.matches.iter().map(|(k, _)| *k).collect();
+        assert_eq!(found_keys, expected);
+        assert!(report.nodes_visited >= 1);
+        assert!(report.messages >= report.nodes_visited as u64 - 1);
+    }
+
+    #[test]
+    fn range_search_cost_is_log_n_plus_nodes_covered() {
+        let mut system = build(300, 13);
+        let log_n = (system.node_count() as f64).log2();
+        let report = system
+            .search_range(KeyRange::new(200_000_000, 400_000_000))
+            .unwrap();
+        let bound = 2.0 * log_n + 6.0 + report.nodes_visited as f64;
+        assert!(
+            (report.messages as f64) <= bound,
+            "range search took {} messages, visited {} nodes (bound {bound})",
+            report.messages,
+            report.nodes_visited
+        );
+    }
+
+    #[test]
+    fn empty_or_out_of_domain_range_returns_nothing() {
+        let mut system = build(10, 15);
+        let empty = system.search_range(KeyRange::new(5, 5)).unwrap();
+        assert!(empty.matches.is_empty());
+        assert_eq!(empty.messages, 0);
+        assert_eq!(empty.nodes_visited, 0);
+    }
+
+    #[test]
+    fn whole_domain_range_visits_every_node() {
+        let mut system = build(25, 17);
+        let report = system.search_range(KeyRange::paper_domain()).unwrap();
+        assert_eq!(report.nodes_visited, system.node_count());
+    }
+
+    #[test]
+    fn search_from_dead_issuer_is_rejected() {
+        let mut system = build(10, 19);
+        let victim = system.peers()[0];
+        system.net.fail_peer(victim);
+        assert_eq!(
+            system.search_exact_from(victim, 5).unwrap_err(),
+            BatonError::PeerNotAlive(victim)
+        );
+    }
+}

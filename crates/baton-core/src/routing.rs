@@ -1,0 +1,410 @@
+//! Links and sideways routing tables.
+//!
+//! Each BATON node keeps a link to its parent, each child, each adjacent
+//! node, and two *sideways routing tables* with entries to nodes at the same
+//! level whose number differs by a power of two (paper §III).  Every link
+//! records the key range managed by its target (paper §IV: "We record for
+//! each link the range of values managed by the node at the target of the
+//! link"), and routing-table entries additionally record whether the target
+//! currently has children — the information the join algorithm (Algorithm 1)
+//! and Theorem 1 rely on.
+
+use serde::{Deserialize, Serialize};
+
+use baton_net::PeerId;
+
+use crate::position::{Position, Side};
+use crate::range::KeyRange;
+
+/// A link to another node: the target's address, logical position and the
+/// key range it was last known to manage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeLink {
+    /// Physical address of the target peer.
+    pub peer: PeerId,
+    /// Logical position of the target in the tree.
+    pub position: Position,
+    /// Key range managed by the target, as last advertised.
+    pub range: KeyRange,
+}
+
+impl NodeLink {
+    /// Creates a link.
+    pub fn new(peer: PeerId, position: Position, range: KeyRange) -> Self {
+        Self {
+            peer,
+            position,
+            range,
+        }
+    }
+}
+
+/// One entry of a sideways routing table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingEntry {
+    /// Link to the neighbour node.
+    pub link: NodeLink,
+    /// Peer occupying the neighbour's left child position, if known.
+    pub left_child: Option<PeerId>,
+    /// Peer occupying the neighbour's right child position, if known.
+    pub right_child: Option<PeerId>,
+}
+
+impl RoutingEntry {
+    /// Creates an entry with no known children.
+    pub fn new(link: NodeLink) -> Self {
+        Self {
+            link,
+            left_child: None,
+            right_child: None,
+        }
+    }
+
+    /// Creates an entry with explicit child knowledge.
+    pub fn with_children(
+        link: NodeLink,
+        left_child: Option<PeerId>,
+        right_child: Option<PeerId>,
+    ) -> Self {
+        Self {
+            link,
+            left_child,
+            right_child,
+        }
+    }
+
+    /// `true` if the target is known to have at least one child.
+    pub fn has_any_child(&self) -> bool {
+        self.left_child.is_some() || self.right_child.is_some()
+    }
+
+    /// `true` if the target is known to have both children.
+    pub fn has_both_children(&self) -> bool {
+        self.left_child.is_some() && self.right_child.is_some()
+    }
+}
+
+/// A sideways routing table (left or right) of one node.
+///
+/// Slot `i` refers to the position at the same level whose number differs
+/// from the owner's by `2^i`.  A slot whose target position falls outside
+/// `1 ..= 2^level` is *invalid* and never counted towards fullness; a slot
+/// whose target position is in range but currently unoccupied holds `None`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    side: Side,
+    owner: Position,
+    slots: Vec<Option<RoutingEntry>>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for a node at `owner` on the given `side`.
+    pub fn new(side: Side, owner: Position) -> Self {
+        Self {
+            side,
+            owner,
+            slots: vec![None; owner.routing_table_size()],
+        }
+    }
+
+    /// Which side this table covers.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Position of the node owning this table.
+    pub fn owner(&self) -> Position {
+        self.owner
+    }
+
+    /// Number of slots (valid or not) in the table: equals the owner's level.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Target position of slot `index`, or `None` if that slot is invalid
+    /// (outside the level's number range).
+    pub fn target_position(&self, index: usize) -> Option<Position> {
+        self.owner.routing_neighbor(self.side, index)
+    }
+
+    /// Indices of the slots whose target position is in range.
+    pub fn valid_indices(&self) -> Vec<usize> {
+        (0..self.slot_count())
+            .filter(|&i| self.target_position(i).is_some())
+            .collect()
+    }
+
+    /// The entry in slot `index`, if set.
+    pub fn entry(&self, index: usize) -> Option<&RoutingEntry> {
+        self.slots.get(index).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the entry in slot `index`.
+    pub fn entry_mut(&mut self, index: usize) -> Option<&mut RoutingEntry> {
+        self.slots.get_mut(index).and_then(|s| s.as_mut())
+    }
+
+    /// Sets slot `index` to `entry`.
+    ///
+    /// # Panics
+    /// Panics if the slot is invalid for the owner's position, or if the
+    /// entry's position does not match the slot's target position.
+    pub fn set(&mut self, index: usize, entry: RoutingEntry) {
+        let target = self
+            .target_position(index)
+            .unwrap_or_else(|| panic!("slot {index} is invalid for owner {:?}", self.owner));
+        assert_eq!(
+            entry.link.position, target,
+            "entry position {:?} does not match slot target {:?}",
+            entry.link.position, target
+        );
+        self.slots[index] = Some(entry);
+    }
+
+    /// Clears slot `index`.
+    pub fn clear(&mut self, index: usize) {
+        if let Some(slot) = self.slots.get_mut(index) {
+            *slot = None;
+        }
+    }
+
+    /// Removes any entry pointing at `peer`, returning how many were removed.
+    pub fn remove_peer(&mut self, peer: PeerId) -> usize {
+        let mut removed = 0;
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|e| e.link.peer == peer) {
+                *slot = None;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// `true` if every *valid* slot holds an entry (the fullness condition
+    /// of Theorem 1 and Algorithm 1).
+    pub fn is_full(&self) -> bool {
+        (0..self.slot_count()).all(|i| self.target_position(i).is_none() || self.slots[i].is_some())
+    }
+
+    /// Number of slots currently holding an entry.
+    pub fn occupied_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over `(index, entry)` for every occupied slot, nearest
+    /// neighbour first.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &RoutingEntry)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+    }
+
+    /// The entry pointing at `position`, if present.
+    pub fn entry_for_position(&self, position: Position) -> Option<(usize, &RoutingEntry)> {
+        self.iter().find(|(_, e)| e.link.position == position)
+    }
+
+    /// The entry pointing at `peer`, if present.
+    pub fn entry_for_peer(&self, peer: PeerId) -> Option<(usize, &RoutingEntry)> {
+        self.iter().find(|(_, e)| e.link.peer == peer)
+    }
+
+    /// The farthest occupied entry (largest index), if any.  Used by the
+    /// search algorithms which greedily jump as far as possible.
+    pub fn farthest(&self) -> Option<(usize, &RoutingEntry)> {
+        self.iter().last()
+    }
+
+    /// The farthest occupied entry satisfying `pred`.
+    pub fn farthest_matching<F>(&self, mut pred: F) -> Option<(usize, &RoutingEntry)>
+    where
+        F: FnMut(&RoutingEntry) -> bool,
+    {
+        self.iter().filter(|(_, e)| pred(e)).last()
+    }
+
+    /// The nearest occupied entry satisfying `pred`.
+    pub fn nearest_matching<F>(&self, mut pred: F) -> Option<(usize, &RoutingEntry)>
+    where
+        F: FnMut(&RoutingEntry) -> bool,
+    {
+        self.iter().find(|(_, e)| pred(e))
+    }
+
+    /// First occupied entry whose target lacks at least one child (used by
+    /// Algorithm 1 to redirect a join towards a node that can still accept
+    /// children).
+    pub fn first_without_both_children(&self) -> Option<(usize, &RoutingEntry)> {
+        self.nearest_matching(|e| !e.has_both_children())
+    }
+
+    /// First occupied entry whose target has at least one child (used by
+    /// Algorithm 2 to find a replacement candidate deeper in the tree).
+    pub fn first_with_a_child(&self) -> Option<(usize, &RoutingEntry)> {
+        self.nearest_matching(RoutingEntry::has_any_child)
+    }
+
+    /// `true` if any occupied entry's target is known to have a child
+    /// (the condition deciding whether a leaf may depart directly,
+    /// paper §III-B).
+    pub fn any_neighbor_has_child(&self) -> bool {
+        self.iter().any(|(_, e)| e.has_any_child())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(peer: u64, pos: Position) -> NodeLink {
+        NodeLink::new(PeerId(peer), pos, KeyRange::new(0, 1))
+    }
+
+    #[test]
+    fn table_slot_geometry_matches_position_math() {
+        // Owner: level 3, number 1 (the paper's node h).
+        let owner = Position::new(3, 1);
+        let left = RoutingTable::new(Side::Left, owner);
+        let right = RoutingTable::new(Side::Right, owner);
+        assert_eq!(left.slot_count(), 3);
+        assert_eq!(right.slot_count(), 3);
+        assert!(left.valid_indices().is_empty());
+        assert_eq!(right.valid_indices(), vec![0, 1, 2]);
+        assert_eq!(right.target_position(0), Some(Position::new(3, 2)));
+        assert_eq!(right.target_position(2), Some(Position::new(3, 5)));
+        // A table with no valid slots is trivially full.
+        assert!(left.is_full());
+        assert!(!right.is_full());
+    }
+
+    #[test]
+    fn set_and_get_entries() {
+        let owner = Position::new(2, 2);
+        let mut table = RoutingTable::new(Side::Right, owner);
+        let target = Position::new(2, 3);
+        table.set(0, RoutingEntry::new(link(7, target)));
+        assert_eq!(table.occupied_count(), 1);
+        assert_eq!(table.entry(0).unwrap().link.peer, PeerId(7));
+        assert_eq!(table.entry(1), None);
+        assert_eq!(table.entry_for_position(target).unwrap().0, 0);
+        assert_eq!(table.entry_for_peer(PeerId(7)).unwrap().0, 0);
+        assert!(table.entry_for_peer(PeerId(8)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match slot target")]
+    fn set_rejects_wrong_position() {
+        let owner = Position::new(2, 2);
+        let mut table = RoutingTable::new(Side::Right, owner);
+        table.set(0, RoutingEntry::new(link(7, Position::new(2, 4))));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for owner")]
+    fn set_rejects_invalid_slot() {
+        let owner = Position::new(2, 4); // rightmost of level 2
+        let mut table = RoutingTable::new(Side::Right, owner);
+        table.set(0, RoutingEntry::new(link(7, Position::new(2, 4))));
+    }
+
+    #[test]
+    fn fullness_counts_only_valid_slots() {
+        // Owner level 2 number 4 (rightmost): right table has no valid slot,
+        // left table has slots for numbers 3 and 2.
+        let owner = Position::new(2, 4);
+        let right = RoutingTable::new(Side::Right, owner);
+        assert!(right.is_full());
+        let mut left = RoutingTable::new(Side::Left, owner);
+        assert!(!left.is_full());
+        left.set(0, RoutingEntry::new(link(1, Position::new(2, 3))));
+        assert!(!left.is_full());
+        left.set(1, RoutingEntry::new(link(2, Position::new(2, 2))));
+        assert!(left.is_full());
+        left.clear(0);
+        assert!(!left.is_full());
+    }
+
+    #[test]
+    fn remove_peer_clears_matching_slots() {
+        let owner = Position::new(3, 4);
+        let mut table = RoutingTable::new(Side::Left, owner);
+        table.set(0, RoutingEntry::new(link(10, Position::new(3, 3))));
+        table.set(1, RoutingEntry::new(link(11, Position::new(3, 2))));
+        assert_eq!(table.remove_peer(PeerId(10)), 1);
+        assert_eq!(table.remove_peer(PeerId(99)), 0);
+        assert_eq!(table.occupied_count(), 1);
+    }
+
+    #[test]
+    fn farthest_and_matching_selectors() {
+        let owner = Position::new(3, 1);
+        let mut table = RoutingTable::new(Side::Right, owner);
+        let mk = |peer: u64, num: u64, low: u64| {
+            RoutingEntry::new(NodeLink::new(
+                PeerId(peer),
+                Position::new(3, num),
+                KeyRange::new(low, low + 10),
+            ))
+        };
+        table.set(0, mk(1, 2, 10));
+        table.set(1, mk(2, 3, 20));
+        table.set(2, mk(3, 5, 40));
+        assert_eq!(table.farthest().unwrap().1.link.peer, PeerId(3));
+        // Farthest entry whose lower bound <= 25 is the one at number 3.
+        let (idx, e) = table
+            .farthest_matching(|e| e.link.range.low() <= 25)
+            .unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(e.link.peer, PeerId(2));
+        assert!(table.farthest_matching(|e| e.link.range.low() <= 5).is_none());
+        let (idx, _) = table.nearest_matching(|e| e.link.range.low() >= 20).unwrap();
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn child_knowledge_helpers() {
+        let owner = Position::new(2, 1);
+        let mut table = RoutingTable::new(Side::Right, owner);
+        let l1 = link(5, Position::new(2, 2));
+        let l2 = link(6, Position::new(2, 3));
+        table.set(0, RoutingEntry::with_children(l1, Some(PeerId(50)), None));
+        table.set(1, RoutingEntry::new(l2));
+        assert!(table.entry(0).unwrap().has_any_child());
+        assert!(!table.entry(0).unwrap().has_both_children());
+        assert!(!table.entry(1).unwrap().has_any_child());
+        assert!(table.any_neighbor_has_child());
+        assert_eq!(
+            table.first_without_both_children().unwrap().1.link.peer,
+            PeerId(5)
+        );
+        assert_eq!(table.first_with_a_child().unwrap().1.link.peer, PeerId(5));
+        // Fill both children of slot 0; now the first without both children is slot 1.
+        table.entry_mut(0).unwrap().right_child = Some(PeerId(51));
+        assert!(table.entry(0).unwrap().has_both_children());
+        assert_eq!(
+            table.first_without_both_children().unwrap().1.link.peer,
+            PeerId(6)
+        );
+    }
+
+    #[test]
+    fn iter_orders_slots_nearest_first() {
+        let owner = Position::new(3, 8);
+        let mut table = RoutingTable::new(Side::Left, owner);
+        table.set(2, RoutingEntry::new(link(3, Position::new(3, 4))));
+        table.set(0, RoutingEntry::new(link(1, Position::new(3, 7))));
+        let indices: Vec<usize> = table.iter().map(|(i, _)| i).collect();
+        assert_eq!(indices, vec![0, 2]);
+    }
+
+    #[test]
+    fn root_table_is_empty_and_full() {
+        let table = RoutingTable::new(Side::Left, Position::ROOT);
+        assert_eq!(table.slot_count(), 0);
+        assert!(table.is_full());
+        assert!(table.valid_indices().is_empty());
+        assert!(table.farthest().is_none());
+    }
+}

@@ -1,0 +1,459 @@
+//! The [`BatonSystem`]: the set of peers forming one BATON overlay plus the
+//! simulated network they communicate over.
+//!
+//! The system owns a [`SimNetwork`] (message counting, failure injection)
+//! and one [`BatonNode`] per participating peer.  All protocol logic —
+//! joins, departures, failures, restructuring, search, data maintenance and
+//! load balancing — is implemented in the [`crate::protocol`] modules as
+//! further `impl BatonSystem` blocks; this module holds the state, the
+//! public read API and the small helpers those protocols share.
+//!
+//! ### Simulation honesty
+//!
+//! Protocol code only navigates the overlay through links a real node would
+//! hold (parent, children, adjacent nodes, routing tables), and every hop or
+//! notification is charged to the operation through the network's
+//! statistics.  The one exception is documented in
+//! [`crate::protocol::restructure`]: after a restructuring shift the
+//! affected links are rebuilt from the global position map, with messages
+//! charged per the paper's cost model, because simulating the link-repair
+//! handshakes peer by peer adds no fidelity to the message counts the paper
+//! reports.
+
+use std::collections::HashMap;
+
+use baton_net::{Histogram, OpScope, PeerId, SimNetwork, SimRng};
+
+use crate::config::BatonConfig;
+use crate::error::{BatonError, Result};
+use crate::messages::BatonMessage;
+use crate::node::BatonNode;
+use crate::position::{Position, Side};
+use crate::range::{Key, KeyRange};
+use crate::routing::NodeLink;
+
+/// One BATON overlay: peers, their tree state, and the simulated network.
+#[derive(Debug)]
+pub struct BatonSystem {
+    pub(crate) net: SimNetwork<BatonMessage>,
+    pub(crate) nodes: HashMap<PeerId, BatonNode>,
+    pub(crate) by_position: HashMap<Position, PeerId>,
+    pub(crate) root: Option<PeerId>,
+    pub(crate) config: BatonConfig,
+    pub(crate) domain: KeyRange,
+    pub(crate) rng: SimRng,
+    pub(crate) balance_shift_sizes: Histogram,
+}
+
+impl BatonSystem {
+    /// Creates an empty overlay with the given configuration and RNG seed.
+    pub fn new(config: BatonConfig, seed: u64) -> Self {
+        Self {
+            net: SimNetwork::new(),
+            nodes: HashMap::new(),
+            by_position: HashMap::new(),
+            root: None,
+            domain: config.domain,
+            config,
+            rng: SimRng::seeded(seed),
+            balance_shift_sizes: Histogram::new(),
+        }
+    }
+
+    /// Creates an empty overlay with default (paper) configuration.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(BatonConfig::default(), seed)
+    }
+
+    /// Creates the first node of the overlay, managing the whole key domain.
+    ///
+    /// Returns an error if the overlay already has nodes.
+    pub fn bootstrap(&mut self) -> Result<PeerId> {
+        if !self.nodes.is_empty() {
+            return Err(BatonError::InvariantViolation(
+                "bootstrap called on a non-empty overlay".into(),
+            ));
+        }
+        let peer = self.net.add_peer();
+        let node = BatonNode::new(peer, Position::ROOT, self.domain);
+        self.by_position.insert(Position::ROOT, peer);
+        self.nodes.insert(peer, node);
+        self.root = Some(peer);
+        Ok(peer)
+    }
+
+    /// Builds an overlay of `n` nodes by bootstrapping one node and having
+    /// the remaining `n - 1` join through random existing contacts.
+    ///
+    /// This is the construction the paper uses for every experiment.
+    pub fn build(config: BatonConfig, seed: u64, n: usize) -> Result<Self> {
+        let mut system = Self::new(config, seed);
+        if n == 0 {
+            return Ok(system);
+        }
+        system.bootstrap()?;
+        for _ in 1..n {
+            system.join_random()?;
+        }
+        Ok(system)
+    }
+
+    // ------------------------------------------------------------------
+    // Read API
+    // ------------------------------------------------------------------
+
+    /// Number of live nodes in the overlay.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the overlay has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The peer currently occupying the root position, if any.
+    pub fn root(&self) -> Option<PeerId> {
+        self.root
+    }
+
+    /// The configuration the overlay was created with.
+    pub fn config(&self) -> &BatonConfig {
+        &self.config
+    }
+
+    /// The key domain currently covered by the overlay (may have grown
+    /// through leftmost/rightmost expansion, paper §IV-C).
+    pub fn domain(&self) -> KeyRange {
+        self.domain
+    }
+
+    /// Read access to a node's state.
+    pub fn node(&self, peer: PeerId) -> Option<&BatonNode> {
+        self.nodes.get(&peer)
+    }
+
+    /// The peer occupying a logical position, if any.
+    pub fn peer_at(&self, position: Position) -> Option<PeerId> {
+        self.by_position.get(&position).copied()
+    }
+
+    /// All live peers, in unspecified order.
+    pub fn peers(&self) -> Vec<PeerId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Height of the tree: `1 + max level` of any occupied position
+    /// (an empty overlay has height 0).
+    pub fn height(&self) -> u32 {
+        self.nodes
+            .values()
+            .map(|n| n.position.level() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of data items stored across all nodes.
+    pub fn total_items(&self) -> usize {
+        self.nodes.values().map(|n| n.store.len()).sum()
+    }
+
+    /// Network statistics (message counts per kind, per peer, per op).
+    pub fn stats(&self) -> &baton_net::MessageStats {
+        self.net.stats()
+    }
+
+    /// Mutable network statistics (harnesses reset per-peer counters
+    /// between experiment phases, e.g. for Figure 8(f)).
+    pub fn stats_mut(&mut self) -> &mut baton_net::MessageStats {
+        self.net.stats_mut()
+    }
+
+    /// Histogram of the number of nodes involved in each load-balancing
+    /// restructuring shift (Figure 8(h)).
+    pub fn balance_shift_histogram(&self) -> &Histogram {
+        &self.balance_shift_sizes
+    }
+
+    /// A uniformly random live peer, or `None` if the overlay is empty.
+    pub fn random_peer(&mut self) -> Option<PeerId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut peers: Vec<PeerId> = self.nodes.keys().copied().collect();
+        peers.sort_unstable();
+        let idx = self.rng.index(peers.len());
+        Some(peers[idx])
+    }
+
+    /// Number of messages received by each peer, grouped by tree level —
+    /// the per-level access load of Figure 8(f).
+    pub fn access_load_by_level(&self) -> Vec<(u32, f64)> {
+        let mut per_level: HashMap<u32, (u64, u64)> = HashMap::new();
+        for (peer, node) in &self.nodes {
+            let received = self.net.stats().received_count(*peer);
+            let entry = per_level.entry(node.position.level()).or_insert((0, 0));
+            entry.0 += received;
+            entry.1 += 1;
+        }
+        let mut levels: Vec<(u32, f64)> = per_level
+            .into_iter()
+            .map(|(level, (msgs, count))| (level, msgs as f64 / count.max(1) as f64))
+            .collect();
+        levels.sort_unstable_by_key(|(l, _)| *l);
+        levels
+    }
+
+    // ------------------------------------------------------------------
+    // Shared internal helpers (used by the protocol modules)
+    // ------------------------------------------------------------------
+
+    /// Read access to a node, as a [`Result`].
+    pub(crate) fn node_ref(&self, peer: PeerId) -> Result<&BatonNode> {
+        self.nodes.get(&peer).ok_or(BatonError::UnknownPeer(peer))
+    }
+
+    /// Mutable access to a node, as a [`Result`].
+    pub(crate) fn node_mut(&mut self, peer: PeerId) -> Result<&mut BatonNode> {
+        self.nodes
+            .get_mut(&peer)
+            .ok_or(BatonError::UnknownPeer(peer))
+    }
+
+    /// The current link (address, position, range) of `peer`.
+    pub(crate) fn link_of(&self, peer: PeerId) -> Result<NodeLink> {
+        Ok(self.node_ref(peer)?.link())
+    }
+
+    /// Maximum number of hops a forwarding walk may take before it is
+    /// declared a routing loop.
+    pub(crate) fn walk_limit(&self) -> u32 {
+        let height = self.height().max(1);
+        (height * self.config.walk_limit_factor).max(32)
+    }
+
+    /// Sends one protocol message from `from` to `to` and delivers it,
+    /// charging it to `op`.  Returns `Ok(true)` if the destination was
+    /// alive, `Ok(false)` if the delivery failed (dead destination).
+    pub(crate) fn hop(
+        &mut self,
+        op: OpScope,
+        from: PeerId,
+        to: PeerId,
+        hop_no: u32,
+        message: BatonMessage,
+    ) -> Result<bool> {
+        self.net
+            .send_with_hop(op, from, to, hop_no, message)
+            .map_err(|_| BatonError::PeerNotAlive(from))?;
+        match self.net.deliver_next() {
+            Some(Ok(_)) => Ok(true),
+            Some(Err(_)) => Ok(false),
+            None => Ok(true),
+        }
+    }
+
+    /// Charges a notification message (no reply modelled) to `op`.
+    pub(crate) fn notify(&mut self, op: OpScope, kind: &'static str, from: PeerId, to: PeerId) {
+        self.net.count_message(op, kind, from, to);
+    }
+
+    /// Registers that `peer` now occupies `position`.
+    pub(crate) fn occupy(&mut self, position: Position, peer: PeerId) {
+        self.by_position.insert(position, peer);
+        if position.is_root() {
+            self.root = Some(peer);
+        }
+    }
+
+    /// Removes the occupancy record for `position` if it is held by `peer`.
+    pub(crate) fn vacate(&mut self, position: Position, peer: PeerId) {
+        if self.by_position.get(&position) == Some(&peer) {
+            self.by_position.remove(&position);
+            if position.is_root() && self.root == Some(peer) {
+                self.root = None;
+            }
+        }
+    }
+
+    /// Informs every node linked to `peer` that its range changed, updating
+    /// their recorded link ranges.  Each notified node costs one message
+    /// charged to `op` with the `table.range_update` kind.
+    ///
+    /// Returns the number of messages sent.
+    pub(crate) fn broadcast_range_update(&mut self, op: OpScope, peer: PeerId) -> Result<u64> {
+        let (linked, range) = {
+            let node = self.node_ref(peer)?;
+            (node.linked_peers(), node.range)
+        };
+        let mut messages = 0;
+        for other in linked {
+            self.notify(op, "table.range_update", peer, other);
+            messages += 1;
+            if let Some(other_node) = self.nodes.get_mut(&other) {
+                other_node.update_link_range(peer, range);
+            }
+        }
+        Ok(messages)
+    }
+
+    /// Informs every routing-table neighbour of `peer` about its current
+    /// children, updating their child knowledge.  One message per neighbour,
+    /// charged to `op` with the `table.child_update` kind.
+    ///
+    /// Returns the number of messages sent.
+    pub(crate) fn broadcast_child_update(&mut self, op: OpScope, peer: PeerId) -> Result<u64> {
+        let (neighbors, left_child, right_child) = {
+            let node = self.node_ref(peer)?;
+            let mut neighbors = Vec::new();
+            for side in Side::BOTH {
+                for (_, e) in node.table(side).iter() {
+                    neighbors.push(e.link.peer);
+                }
+            }
+            (
+                neighbors,
+                node.left_child.map(|l| l.peer),
+                node.right_child.map(|l| l.peer),
+            )
+        };
+        let mut messages = 0;
+        for other in neighbors {
+            self.notify(op, "table.child_update", peer, other);
+            messages += 1;
+            if let Some(other_node) = self.nodes.get_mut(&other) {
+                other_node.update_neighbor_children(peer, left_child, right_child);
+            }
+        }
+        Ok(messages)
+    }
+
+    /// Informs every node linked to `peer` of both its current range and its
+    /// current children in a single notification per linked node — the
+    /// combined update a parent sends out after gaining or losing a child
+    /// (paper §III-A/B counts this as the `2·L1` term).
+    ///
+    /// Returns the number of messages sent.
+    pub(crate) fn broadcast_parent_update(&mut self, op: OpScope, peer: PeerId) -> Result<u64> {
+        let (linked, range, left_child, right_child) = {
+            let node = self.node_ref(peer)?;
+            (
+                node.linked_peers(),
+                node.range,
+                node.left_child.map(|l| l.peer),
+                node.right_child.map(|l| l.peer),
+            )
+        };
+        let mut messages = 0;
+        for other in linked {
+            self.notify(op, "table.child_update", peer, other);
+            messages += 1;
+            if let Some(other_node) = self.nodes.get_mut(&other) {
+                other_node.update_link_range(peer, range);
+                other_node.update_neighbor_children(peer, left_child, right_child);
+            }
+        }
+        Ok(messages)
+    }
+
+    /// Ensures `key` lies inside the overlay's current key domain (the
+    /// configured domain, possibly grown by leftmost/rightmost expansion).
+    pub(crate) fn check_key(&self, key: Key) -> Result<()> {
+        if self.domain.contains(key) {
+            Ok(())
+        } else {
+            Err(BatonError::KeyOutOfDomain(key))
+        }
+    }
+
+    /// Ensures `peer` is a live member of the overlay.
+    pub(crate) fn check_alive(&self, peer: PeerId) -> Result<()> {
+        if !self.nodes.contains_key(&peer) {
+            return Err(BatonError::UnknownPeer(peer));
+        }
+        if !self.net.is_alive(peer) {
+            return Err(BatonError::PeerNotAlive(peer));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_system_properties() {
+        let system = BatonSystem::with_seed(1);
+        assert!(system.is_empty());
+        assert_eq!(system.node_count(), 0);
+        assert_eq!(system.height(), 0);
+        assert_eq!(system.root(), None);
+        assert_eq!(system.total_items(), 0);
+        assert!(system.peers().is_empty());
+        assert_eq!(system.domain(), KeyRange::paper_domain());
+    }
+
+    #[test]
+    fn bootstrap_creates_root_over_whole_domain() {
+        let mut system = BatonSystem::with_seed(1);
+        let root = system.bootstrap().unwrap();
+        assert_eq!(system.node_count(), 1);
+        assert_eq!(system.root(), Some(root));
+        assert_eq!(system.height(), 1);
+        let node = system.node(root).unwrap();
+        assert_eq!(node.position, Position::ROOT);
+        assert_eq!(node.range, KeyRange::paper_domain());
+        assert!(node.is_leaf());
+        assert_eq!(system.peer_at(Position::ROOT), Some(root));
+    }
+
+    #[test]
+    fn bootstrap_twice_is_rejected() {
+        let mut system = BatonSystem::with_seed(1);
+        system.bootstrap().unwrap();
+        assert!(matches!(
+            system.bootstrap(),
+            Err(BatonError::InvariantViolation(_))
+        ));
+    }
+
+    #[test]
+    fn random_peer_on_empty_system_is_none() {
+        let mut system = BatonSystem::with_seed(1);
+        assert_eq!(system.random_peer(), None);
+        system.bootstrap().unwrap();
+        assert!(system.random_peer().is_some());
+    }
+
+    #[test]
+    fn check_key_respects_domain() {
+        let config = BatonConfig::default().with_domain(KeyRange::new(10, 20));
+        let system = BatonSystem::new(config, 1);
+        assert!(system.check_key(15).is_ok());
+        assert_eq!(system.check_key(5), Err(BatonError::KeyOutOfDomain(5)));
+        assert_eq!(system.check_key(20), Err(BatonError::KeyOutOfDomain(20)));
+    }
+
+    #[test]
+    fn check_alive_distinguishes_unknown_and_dead() {
+        let mut system = BatonSystem::with_seed(1);
+        let root = system.bootstrap().unwrap();
+        assert!(system.check_alive(root).is_ok());
+        assert_eq!(
+            system.check_alive(PeerId(999)),
+            Err(BatonError::UnknownPeer(PeerId(999)))
+        );
+        system.net.fail_peer(root);
+        assert_eq!(system.check_alive(root), Err(BatonError::PeerNotAlive(root)));
+    }
+
+    #[test]
+    fn walk_limit_scales_with_height() {
+        let mut system = BatonSystem::with_seed(1);
+        assert!(system.walk_limit() >= 32);
+        system.bootstrap().unwrap();
+        let limit1 = system.walk_limit();
+        assert!(limit1 >= system.config.walk_limit_factor);
+    }
+}

@@ -1,0 +1,82 @@
+//! Half-open key ranges for the multiway-tree baseline.
+//!
+//! Deliberately minimal — just what the baseline needs — and independent of
+//! `baton-core` so the two overlays stay decoupled.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open interval of keys `[low, high)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MRange {
+    /// Inclusive lower bound.
+    pub low: u64,
+    /// Exclusive upper bound.
+    pub high: u64,
+}
+
+impl MRange {
+    /// Creates the range `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low > high`.
+    pub fn new(low: u64, high: u64) -> Self {
+        assert!(low <= high, "invalid range [{low}, {high})");
+        Self { low, high }
+    }
+
+    /// `true` if `key` lies in `[low, high)`.
+    pub fn contains(self, key: u64) -> bool {
+        key >= self.low && key < self.high
+    }
+
+    /// `true` if the two ranges share a key.
+    pub fn intersects(self, other: MRange) -> bool {
+        self.low < other.high && other.low < self.high
+    }
+
+    /// Number of keys in the range.
+    pub fn width(self) -> u64 {
+        self.high - self.low
+    }
+
+    /// Splits the range in half, returning `(lower, upper)`.
+    pub fn split_half(self) -> (MRange, MRange) {
+        let mid = self.low + self.width() / 2;
+        (MRange::new(self.low, mid), MRange::new(mid, self.high))
+    }
+}
+
+impl std::fmt::Display for MRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.low, self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_intersects() {
+        let r = MRange::new(10, 20);
+        assert!(r.contains(10));
+        assert!(!r.contains(20));
+        assert!(r.intersects(MRange::new(15, 30)));
+        assert!(!r.intersects(MRange::new(20, 30)));
+        assert_eq!(r.width(), 10);
+    }
+
+    #[test]
+    fn split_half_partitions() {
+        let (a, b) = MRange::new(0, 11).split_half();
+        assert_eq!(a, MRange::new(0, 5));
+        assert_eq!(b, MRange::new(5, 11));
+        assert_eq!(a.width() + b.width(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn reversed_range_panics() {
+        MRange::new(5, 1);
+    }
+}

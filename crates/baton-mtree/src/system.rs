@@ -1,0 +1,756 @@
+//! The multiway-tree overlay simulation (the paper's baseline "[10]",
+//! Liau et al. 2004).
+//!
+//! Structure, as summarised in §II of the BATON paper: each peer owns a tree
+//! node linked to its parent, its children (with **no constraint on
+//! fan-out**), its siblings and its neighbours; there are no sideways
+//! routing tables and no balancing.  Consequences the paper's evaluation
+//! highlights and that this implementation reproduces:
+//!
+//! * joins are cheap (the responsible node accepts the newcomer directly),
+//! * departures are expensive (the departing node must gather information
+//!   from *all* of its children to pick and install a replacement),
+//! * searches hop link by link — down through children coverage, up through
+//!   parents — with no logarithmic sideways shortcuts, so they cost more
+//!   than BATON's and degrade further when the tree grows unbalanced under
+//!   skewed splits,
+//! * the tree is not height-balanced; with skewed join points it degenerates.
+
+use std::collections::HashMap;
+
+use baton_net::{NetMessage, OpScope, PeerId, SimNetwork, SimRng};
+
+use crate::node::{MLink, MNode};
+use crate::range::MRange;
+
+/// Protocol messages of the multiway-tree baseline.
+#[derive(Clone, Debug)]
+pub enum MTreeMessage {
+    /// Join request being routed to the responsible node.
+    Join,
+    /// Search / insert / delete request being routed.
+    Search,
+    /// Departure traffic (children queries, replacement installation).
+    Leave,
+    /// Link maintenance notifications.
+    Maintenance,
+}
+
+impl NetMessage for MTreeMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            MTreeMessage::Join => "mtree.join",
+            MTreeMessage::Search => "mtree.search",
+            MTreeMessage::Leave => "mtree.leave",
+            MTreeMessage::Maintenance => "mtree.maintenance",
+        }
+    }
+}
+
+/// Errors of the multiway-tree baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MTreeError {
+    /// The referenced peer does not exist.
+    UnknownPeer(PeerId),
+    /// The overlay is empty.
+    Empty,
+    /// The last node cannot leave.
+    LastNode,
+    /// The key is outside the indexed domain.
+    KeyOutOfDomain(u64),
+}
+
+impl std::fmt::Display for MTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MTreeError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+            MTreeError::Empty => write!(f, "the overlay is empty"),
+            MTreeError::LastNode => write!(f, "the last node cannot leave"),
+            MTreeError::KeyOutOfDomain(k) => write!(f, "key {k} outside the domain"),
+        }
+    }
+}
+
+impl std::error::Error for MTreeError {}
+
+/// Result alias for multiway-tree operations.
+pub type Result<T> = std::result::Result<T, MTreeError>;
+
+/// Cost report of a join or departure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MTreeChurnReport {
+    /// Messages to find the node that accepts the newcomer / to gather the
+    /// information needed to pick a replacement.
+    pub locate_messages: u64,
+    /// Messages to update links afterwards.
+    pub update_messages: u64,
+}
+
+/// Cost report of a routed operation (search, insert, delete).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MTreeOpReport {
+    /// Messages used.
+    pub messages: u64,
+    /// Number of matches (exact and range queries).
+    pub matches: usize,
+    /// Nodes visited by a range query.
+    pub nodes_visited: usize,
+}
+
+/// The multiway-tree overlay.
+#[derive(Debug)]
+pub struct MTreeSystem {
+    net: SimNetwork<MTreeMessage>,
+    nodes: HashMap<PeerId, MNode>,
+    root: Option<PeerId>,
+    domain: MRange,
+    rng: SimRng,
+}
+
+impl MTreeSystem {
+    /// Creates an empty overlay over the paper's `[1, 10^9)` domain.
+    pub fn new(seed: u64) -> Self {
+        Self::with_domain(seed, MRange::new(1, 1_000_000_000))
+    }
+
+    /// Creates an empty overlay over an explicit domain.
+    pub fn with_domain(seed: u64, domain: MRange) -> Self {
+        Self {
+            net: SimNetwork::new(),
+            nodes: HashMap::new(),
+            root: None,
+            domain,
+            rng: SimRng::seeded(seed),
+        }
+    }
+
+    /// Builds an overlay of `n` nodes.
+    pub fn build(seed: u64, n: usize) -> Result<Self> {
+        let mut system = Self::new(seed);
+        for _ in 0..n {
+            system.join_random()?;
+        }
+        Ok(system)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All peers.
+    pub fn peers(&self) -> Vec<PeerId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Height of the tree (max depth + 1); 0 when empty.
+    pub fn height(&self) -> u32 {
+        self.nodes.values().map(|n| n.depth + 1).max().unwrap_or(0)
+    }
+
+    /// Network statistics.
+    pub fn stats(&self) -> &baton_net::MessageStats {
+        self.net.stats()
+    }
+
+    /// Total stored items.
+    pub fn total_items(&self) -> usize {
+        self.nodes.values().map(|n| n.items).sum()
+    }
+
+    fn node(&self, peer: PeerId) -> Result<&MNode> {
+        self.nodes.get(&peer).ok_or(MTreeError::UnknownPeer(peer))
+    }
+
+    fn node_mut(&mut self, peer: PeerId) -> Result<&mut MNode> {
+        self.nodes
+            .get_mut(&peer)
+            .ok_or(MTreeError::UnknownPeer(peer))
+    }
+
+    fn random_peer(&mut self) -> Option<PeerId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut peers: Vec<PeerId> = self.nodes.keys().copied().collect();
+        peers.sort_unstable();
+        Some(peers[self.rng.index(peers.len())])
+    }
+
+    /// Routes from `issuer` to the node whose direct range contains `key`:
+    /// up through parents until the coverage contains the key, then down
+    /// through the covering children — one message per hop, no sideways
+    /// shortcuts.
+    fn route_to_owner(&mut self, op: OpScope, issuer: PeerId, key: u64) -> Result<(PeerId, u64)> {
+        let mut current = issuer;
+        let mut messages = 0u64;
+        let limit = 4 * self.height() as u64 + self.node_count() as u64 + 8;
+        loop {
+            let node = self.node(current)?;
+            if node.range.contains(key) {
+                return Ok((current, messages));
+            }
+            let next = if node.coverage.contains(key) {
+                match node.child_covering(key) {
+                    Some(child) => child.peer,
+                    None => return Ok((current, messages)),
+                }
+            } else {
+                match &node.parent {
+                    Some(p) => p.peer,
+                    None => return Ok((current, messages)),
+                }
+            };
+            self.net
+                .send_with_hop(op, current, next, messages as u32 + 1, MTreeMessage::Search)
+                .ok();
+            let _ = self.net.deliver_next();
+            messages += 1;
+            current = next;
+            if messages > limit {
+                return Ok((current, messages));
+            }
+        }
+    }
+
+    /// A new node joins: the request is routed to the node owning a random
+    /// point of the key space, which accepts the newcomer as a child
+    /// directly (fan-out is unconstrained) and hands it half of its range.
+    pub fn join_random(&mut self) -> Result<MTreeChurnReport> {
+        let peer = self.net.add_peer();
+        let op = self.net.begin_op("mtree.join");
+        if self.nodes.is_empty() {
+            let node = MNode::new(peer, self.domain);
+            self.root = Some(peer);
+            self.nodes.insert(peer, node);
+            self.net.finish_op(op);
+            return Ok(MTreeChurnReport::default());
+        }
+        let contact = self.random_peer().expect("non-empty");
+        let split_point = self.rng.uniform_u64(self.domain.low, self.domain.high);
+        let (acceptor, locate_messages) = self.route_to_owner(op, contact, split_point)?;
+
+        // The acceptor hands the upper half of its direct range to the new
+        // child; the child's coverage is exactly that half.
+        let mut update_messages = 0u64;
+        let (child_range, acceptor_link, child_depth, sibling_count) = {
+            let acceptor_node = self.node_mut(acceptor)?;
+            let (keep, give) = acceptor_node.range.split_half();
+            if give.width() == 0 {
+                // Cannot split further; attach with an empty range.
+                let link = acceptor_node.link();
+                (give, link, acceptor_node.depth + 1, acceptor_node.children.len())
+            } else {
+                acceptor_node.range = keep;
+                let link = acceptor_node.link();
+                (give, link, acceptor_node.depth + 1, acceptor_node.children.len())
+            }
+        };
+        let mut child = MNode::new(peer, child_range);
+        child.parent = Some(acceptor_link);
+        child.depth = child_depth;
+        // In-order neighbours: the child slots immediately after the
+        // acceptor's (shrunken) direct range.
+        let old_right = self.node(acceptor)?.right_neighbor;
+        child.left_neighbor = Some(acceptor_link);
+        child.right_neighbor = old_right;
+        let child_link = child.link();
+        self.nodes.insert(peer, child);
+        {
+            let acceptor_node = self.node_mut(acceptor)?;
+            acceptor_node.children.push(child_link);
+            acceptor_node.right_neighbor = Some(child_link);
+        }
+        if let Some(old_right) = old_right {
+            if let Some(n) = self.nodes.get_mut(&old_right.peer) {
+                n.left_neighbor = Some(child_link);
+            }
+            self.net
+                .count_message(op, "mtree.maintenance", peer, old_right.peer);
+            update_messages += 1;
+        }
+        // Accept message + notify the existing siblings about the newcomer.
+        self.net.count_message(op, "mtree.maintenance", acceptor, peer);
+        update_messages += 1;
+        let siblings: Vec<PeerId> = self
+            .node(acceptor)?
+            .children
+            .iter()
+            .map(|c| c.peer)
+            .filter(|p| *p != peer)
+            .collect();
+        for sibling in siblings {
+            self.net.count_message(op, "mtree.maintenance", acceptor, sibling);
+            update_messages += 1;
+        }
+        debug_assert_eq!(sibling_count, self.node(acceptor)?.children.len() - 1);
+        // The acceptor's direct range changed: tell its parent and neighbours.
+        let to_refresh: Vec<PeerId> = {
+            let a = self.node(acceptor)?;
+            a.parent
+                .iter()
+                .map(|l| l.peer)
+                .chain(a.left_neighbor.iter().map(|l| l.peer))
+                .collect()
+        };
+        let acceptor_link_now = self.node(acceptor)?.link();
+        for other in to_refresh {
+            self.net.count_message(op, "mtree.maintenance", acceptor, other);
+            update_messages += 1;
+            if let Some(n) = self.nodes.get_mut(&other) {
+                for c in &mut n.children {
+                    if c.peer == acceptor {
+                        *c = acceptor_link_now;
+                    }
+                }
+                if n.right_neighbor.map(|l| l.peer) == Some(acceptor) {
+                    n.right_neighbor = Some(acceptor_link_now);
+                }
+                if n.left_neighbor.map(|l| l.peer) == Some(acceptor) {
+                    n.left_neighbor = Some(acceptor_link_now);
+                }
+            }
+        }
+
+        self.net.finish_op(op);
+        Ok(MTreeChurnReport {
+            locate_messages: locate_messages.max(1),
+            update_messages,
+        })
+    }
+
+    /// A node leaves: it must query **all** of its children to pick a
+    /// replacement (this is what makes multiway-tree departures expensive),
+    /// the replacement absorbs its range and items, and every link to the
+    /// departed node is repointed.
+    pub fn leave(&mut self, peer: PeerId) -> Result<MTreeChurnReport> {
+        if self.nodes.len() <= 1 {
+            return Err(MTreeError::LastNode);
+        }
+        let op = self.net.begin_op("mtree.leave");
+        let departing = self
+            .nodes
+            .get(&peer)
+            .cloned()
+            .ok_or(MTreeError::UnknownPeer(peer))?;
+
+        // Gather information from every child (one query + one response per
+        // child) to select the replacement.
+        let mut locate_messages = 0u64;
+        for child in &departing.children {
+            self.net.count_message(op, "mtree.leave", peer, child.peer);
+            self.net.count_message(op, "mtree.leave", child.peer, peer);
+            locate_messages += 2;
+        }
+
+        let mut update_messages = 0u64;
+        self.nodes.remove(&peer);
+        self.net.depart_peer(peer);
+
+        if departing.children.is_empty() {
+            // Leaf: its direct range and items return to its in-order
+            // predecessor (or successor), which keeps the range partition
+            // contiguous.
+            let heir = departing
+                .left_neighbor
+                .map(|l| l.peer)
+                .or_else(|| departing.right_neighbor.map(|l| l.peer))
+                .expect("multi-node tree has a neighbour");
+            {
+                let h = self.node_mut(heir)?;
+                h.items += departing.items;
+                if h.range.high == departing.range.low {
+                    h.range = MRange::new(h.range.low, departing.range.high);
+                    if h.coverage.high == departing.range.low {
+                        h.coverage = MRange::new(h.coverage.low, departing.range.high);
+                    }
+                } else if h.range.low == departing.range.high {
+                    h.range = MRange::new(departing.range.low, h.range.high);
+                    if h.coverage.low == departing.range.high {
+                        h.coverage = MRange::new(departing.range.low, h.coverage.high);
+                    }
+                }
+            }
+            self.net.count_message(op, "mtree.leave", peer, heir);
+            update_messages += 1;
+            // Unlink from the parent's child list and from the neighbours.
+            if let Some(parent) = departing.parent {
+                if let Some(p) = self.nodes.get_mut(&parent.peer) {
+                    p.children.retain(|c| c.peer != peer);
+                }
+                self.net.count_message(op, "mtree.maintenance", peer, parent.peer);
+                update_messages += 1;
+            }
+            update_messages += self.splice_neighbors(op, &departing)?;
+        } else {
+            // Internal node: promote the child that is the departing node's
+            // in-order successor (the one whose coverage starts where the
+            // departing node's direct range ends), so absorbing the
+            // departing node's direct range keeps the partition contiguous.
+            let replacement = departing
+                .children
+                .iter()
+                .find(|c| c.coverage.low == departing.range.high)
+                .or_else(|| departing.children.last())
+                .expect("non-empty")
+                .peer;
+            let mut absorbed = false;
+            {
+                let r = self.node_mut(replacement)?;
+                r.items += departing.items;
+                r.coverage = departing.coverage;
+                if r.range.low == departing.range.high {
+                    // The replacement is the departing node's in-order
+                    // successor: absorb its direct range contiguously.
+                    r.range = MRange::new(departing.range.low, r.range.high);
+                    absorbed = true;
+                }
+                r.parent = departing.parent;
+                r.depth = departing.depth;
+            }
+            if !absorbed {
+                // Hand the departing node's direct range to its in-order
+                // predecessor (or successor) instead, keeping the partition
+                // contiguous.
+                if let Some(l) = departing.left_neighbor {
+                    if let Some(ln) = self.nodes.get_mut(&l.peer) {
+                        if ln.range.high == departing.range.low {
+                            ln.range = MRange::new(ln.range.low, departing.range.high);
+                            absorbed = true;
+                        }
+                    }
+                }
+                if !absorbed {
+                    if let Some(r) = departing.right_neighbor {
+                        if let Some(rn) = self.nodes.get_mut(&r.peer) {
+                            if rn.range.low == departing.range.high {
+                                rn.range = MRange::new(departing.range.low, rn.range.high);
+                            }
+                        }
+                    }
+                }
+            }
+            self.net.count_message(op, "mtree.leave", peer, replacement);
+            update_messages += 1;
+            // The departing node's other children become the replacement's
+            // children; each must be told about its new parent.
+            let replacement_link = self.node(replacement)?.link();
+            let others: Vec<MLink> = departing
+                .children
+                .iter()
+                .copied()
+                .filter(|c| c.peer != replacement)
+                .collect();
+            for child in &others {
+                if let Some(c) = self.nodes.get_mut(&child.peer) {
+                    c.parent = Some(replacement_link);
+                }
+                self.net.count_message(op, "mtree.maintenance", replacement, child.peer);
+                update_messages += 1;
+            }
+            {
+                let r = self.node_mut(replacement)?;
+                r.children.extend(others);
+            }
+            // The replacement's own children must also learn its new link.
+            let grandchildren: Vec<PeerId> = self
+                .node(replacement)?
+                .children
+                .iter()
+                .map(|c| c.peer)
+                .collect();
+            for gc in grandchildren {
+                if let Some(c) = self.nodes.get_mut(&gc) {
+                    if let Some(p) = &mut c.parent {
+                        if p.peer == replacement {
+                            *p = replacement_link;
+                        }
+                    }
+                }
+                self.net.count_message(op, "mtree.maintenance", replacement, gc);
+                update_messages += 1;
+            }
+            // Repoint the departed node's parent and neighbours.
+            if let Some(parent) = departing.parent {
+                if let Some(p) = self.nodes.get_mut(&parent.peer) {
+                    p.children.retain(|c| c.peer != peer);
+                    p.children.push(replacement_link);
+                }
+                self.net.count_message(op, "mtree.maintenance", replacement, parent.peer);
+                update_messages += 1;
+            } else {
+                self.root = Some(replacement);
+            }
+            update_messages += self.splice_neighbors(op, &departing)?;
+        }
+
+        self.net.finish_op(op);
+        Ok(MTreeChurnReport {
+            locate_messages,
+            update_messages,
+        })
+    }
+
+    /// A random node leaves.
+    pub fn leave_random(&mut self) -> Result<MTreeChurnReport> {
+        let peer = self.random_peer().ok_or(MTreeError::Empty)?;
+        self.leave(peer)
+    }
+
+    fn splice_neighbors(&mut self, op: OpScope, departing: &MNode) -> Result<u64> {
+        let mut messages = 0u64;
+        if let (Some(l), Some(r)) = (departing.left_neighbor, departing.right_neighbor) {
+            if let Some(ln) = self.nodes.get_mut(&l.peer) {
+                ln.right_neighbor = Some(r);
+            }
+            if let Some(rn) = self.nodes.get_mut(&r.peer) {
+                rn.left_neighbor = Some(l);
+            }
+            self.net.count_message(op, "mtree.maintenance", departing.peer, l.peer);
+            self.net.count_message(op, "mtree.maintenance", departing.peer, r.peer);
+            messages += 2;
+        } else if let Some(l) = departing.left_neighbor {
+            if let Some(ln) = self.nodes.get_mut(&l.peer) {
+                ln.right_neighbor = None;
+            }
+            self.net.count_message(op, "mtree.maintenance", departing.peer, l.peer);
+            messages += 1;
+        } else if let Some(r) = departing.right_neighbor {
+            if let Some(rn) = self.nodes.get_mut(&r.peer) {
+                rn.left_neighbor = None;
+            }
+            self.net.count_message(op, "mtree.maintenance", departing.peer, r.peer);
+            messages += 1;
+        }
+        Ok(messages)
+    }
+
+    /// Inserts a value under `key`.
+    pub fn insert(&mut self, key: u64) -> Result<MTreeOpReport> {
+        if !self.domain.contains(key) {
+            return Err(MTreeError::KeyOutOfDomain(key));
+        }
+        let issuer = self.random_peer().ok_or(MTreeError::Empty)?;
+        let op = self.net.begin_op("mtree.insert");
+        let (owner, messages) = self.route_to_owner(op, issuer, key)?;
+        self.node_mut(owner)?.items += 1;
+        self.net.finish_op(op);
+        Ok(MTreeOpReport {
+            messages,
+            matches: 0,
+            nodes_visited: 1,
+        })
+    }
+
+    /// Deletes a value under `key` (best effort — the baseline only tracks
+    /// item counts).
+    pub fn delete(&mut self, key: u64) -> Result<MTreeOpReport> {
+        if !self.domain.contains(key) {
+            return Err(MTreeError::KeyOutOfDomain(key));
+        }
+        let issuer = self.random_peer().ok_or(MTreeError::Empty)?;
+        let op = self.net.begin_op("mtree.delete");
+        let (owner, messages) = self.route_to_owner(op, issuer, key)?;
+        let removed = {
+            let node = self.node_mut(owner)?;
+            if node.items > 0 {
+                node.items -= 1;
+                1
+            } else {
+                0
+            }
+        };
+        self.net.finish_op(op);
+        Ok(MTreeOpReport {
+            messages,
+            matches: removed,
+            nodes_visited: 1,
+        })
+    }
+
+    /// Exact-match query for `key`.
+    pub fn search_exact(&mut self, key: u64) -> Result<MTreeOpReport> {
+        if !self.domain.contains(key) {
+            return Err(MTreeError::KeyOutOfDomain(key));
+        }
+        let issuer = self.random_peer().ok_or(MTreeError::Empty)?;
+        let op = self.net.begin_op("mtree.search");
+        let (owner, messages) = self.route_to_owner(op, issuer, key)?;
+        let matches = usize::from(self.node(owner)?.items > 0);
+        self.net.finish_op(op);
+        Ok(MTreeOpReport {
+            messages,
+            matches,
+            nodes_visited: 1,
+        })
+    }
+
+    /// Range query: find the first intersecting node, then walk right
+    /// neighbours one by one.
+    pub fn search_range(&mut self, low: u64, high: u64) -> Result<MTreeOpReport> {
+        let issuer = self.random_peer().ok_or(MTreeError::Empty)?;
+        let op = self.net.begin_op("mtree.range");
+        let start_key = low.max(self.domain.low).min(self.domain.high - 1);
+        let (mut current, mut messages) = self.route_to_owner(op, issuer, start_key)?;
+        let range = MRange::new(low.max(self.domain.low), high.min(self.domain.high));
+        let mut nodes_visited = 0usize;
+        let mut matches = 0usize;
+        let limit = self.node_count() + 2;
+        loop {
+            let node = self.node(current)?;
+            nodes_visited += 1;
+            if node.range.intersects(range) {
+                matches += node.items.min(1);
+            }
+            if node.range.high >= range.high {
+                break;
+            }
+            let Some(next) = node.right_neighbor.map(|l| l.peer) else {
+                break;
+            };
+            self.net
+                .send_with_hop(op, current, next, nodes_visited as u32, MTreeMessage::Search)
+                .ok();
+            let _ = self.net.deliver_next();
+            messages += 1;
+            current = next;
+            if nodes_visited > limit {
+                break;
+            }
+        }
+        self.net.finish_op(op);
+        Ok(MTreeOpReport {
+            messages,
+            matches,
+            nodes_visited,
+        })
+    }
+
+    /// Basic structural validation: children are reachable, parents point
+    /// back, coverage nests, and every key of the domain is owned by exactly
+    /// one node's direct range.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.nodes.is_empty() {
+            return Ok(());
+        }
+        for (peer, node) in &self.nodes {
+            for child in &node.children {
+                let c = self
+                    .nodes
+                    .get(&child.peer)
+                    .ok_or_else(|| format!("{peer} lists missing child {}", child.peer))?;
+                if c.parent.map(|l| l.peer) != Some(*peer) {
+                    return Err(format!("child {} does not point back at {peer}", child.peer));
+                }
+            }
+            if let Some(parent) = &node.parent {
+                let p = self
+                    .nodes
+                    .get(&parent.peer)
+                    .ok_or_else(|| format!("{peer} has missing parent {}", parent.peer))?;
+                if !p.children.iter().any(|c| c.peer == *peer) {
+                    return Err(format!("parent {} does not list {peer}", parent.peer));
+                }
+            }
+        }
+        // Direct ranges partition the domain.
+        let mut ranges: Vec<MRange> = self.nodes.values().map(|n| n.range).collect();
+        ranges.sort_by_key(|r| r.low);
+        if ranges.first().unwrap().low != self.domain.low
+            || ranges.last().unwrap().high != self.domain.high
+        {
+            return Err("direct ranges do not span the domain".into());
+        }
+        for pair in ranges.windows(2) {
+            if pair[0].high != pair[1].low {
+                return Err(format!("gap between {} and {}", pair[0], pair[1]));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_a_consistent_tree() {
+        for n in [1usize, 2, 10, 64, 200] {
+            let system = MTreeSystem::build(5, n).unwrap();
+            assert_eq!(system.node_count(), n);
+            system
+                .validate()
+                .unwrap_or_else(|e| panic!("{n}-node tree invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn join_is_cheap_but_tree_may_be_unbalanced() {
+        let mut system = MTreeSystem::build(7, 200).unwrap();
+        let report = system.join_random().unwrap();
+        assert!(report.locate_messages >= 1);
+        // No balance guarantee: the height may exceed the balanced bound.
+        assert!(system.height() >= (system.node_count() as f64).log2() as u32);
+    }
+
+    #[test]
+    fn search_reaches_the_owner() {
+        let mut system = MTreeSystem::build(9, 100).unwrap();
+        system.insert(123_456).unwrap();
+        let report = system.search_exact(123_456).unwrap();
+        assert_eq!(report.matches, 1);
+        assert!(report.messages > 0);
+    }
+
+    #[test]
+    fn leave_cost_grows_with_children() {
+        let mut system = MTreeSystem::build(11, 150).unwrap();
+        // Find the node with the most children and make it leave.
+        let busiest = system
+            .peers()
+            .into_iter()
+            .max_by_key(|p| system.node(*p).unwrap().children.len())
+            .unwrap();
+        let child_count = system.node(busiest).unwrap().children.len() as u64;
+        let report = system.leave(busiest).unwrap();
+        assert!(report.locate_messages >= 2 * child_count);
+        system.validate().unwrap();
+    }
+
+    #[test]
+    fn churn_keeps_structure_valid() {
+        let mut system = MTreeSystem::build(13, 60).unwrap();
+        for round in 0..60 {
+            if round % 3 == 0 && system.node_count() > 2 {
+                system.leave_random().unwrap();
+            } else {
+                system.join_random().unwrap();
+            }
+            system
+                .validate()
+                .unwrap_or_else(|e| panic!("invalid after round {round}: {e}"));
+        }
+    }
+
+    #[test]
+    fn range_query_visits_consecutive_nodes() {
+        let mut system = MTreeSystem::build(15, 50).unwrap();
+        let report = system.search_range(1, 1_000_000_000).unwrap();
+        assert!(report.nodes_visited >= system.node_count() / 2);
+    }
+
+    #[test]
+    fn errors_for_bad_inputs() {
+        let mut system = MTreeSystem::build(17, 3).unwrap();
+        assert!(matches!(
+            system.search_exact(0),
+            Err(MTreeError::KeyOutOfDomain(0))
+        ));
+        let mut empty = MTreeSystem::new(1);
+        assert!(matches!(empty.search_range(1, 2), Err(MTreeError::Empty)));
+        let only = MTreeSystem::build(19, 1).unwrap().peers()[0];
+        let mut single = MTreeSystem::build(19, 1).unwrap();
+        assert_eq!(single.leave(only).unwrap_err(), MTreeError::LastNode);
+    }
+}

@@ -1,0 +1,207 @@
+//! A compact binary wire format for envelopes.
+//!
+//! The paper evaluates BATON purely by message counts, but a production
+//! overlay must put messages on the wire.  This module provides a small,
+//! dependency-light framing format (built on [`bytes`]) used by the examples
+//! and by byte-level accounting: a fixed header followed by an opaque,
+//! protocol-defined payload.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! +--------+--------+--------+--------+----------------+
+//! | magic  | from   | to     | hop    | payload        |
+//! | u32    | u64    | u64    | u32    | u32 len + data |
+//! +--------+--------+--------+--------+----------------+
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::peer::PeerId;
+
+/// Magic number identifying a BATON simulator frame.
+pub const FRAME_MAGIC: u32 = 0xBA70_0001;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 4 + 8 + 8 + 4 + 4;
+
+/// A decoded frame: addressing metadata plus the raw payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Sender peer.
+    pub from: PeerId,
+    /// Destination peer.
+    pub to: PeerId,
+    /// Overlay hop count.
+    pub hop: u32,
+    /// Opaque protocol payload.
+    pub payload: Bytes,
+}
+
+/// Errors produced while decoding a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than the fixed header.
+    Truncated,
+    /// The magic number did not match [`FRAME_MAGIC`].
+    BadMagic(u32),
+    /// The header advertises more payload bytes than the buffer holds.
+    PayloadTruncated {
+        /// Bytes promised by the header.
+        expected: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame shorter than header"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            DecodeError::PayloadTruncated {
+                expected,
+                available,
+            } => write!(
+                f,
+                "payload truncated: expected {expected} bytes, got {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a frame into a freshly allocated buffer.
+pub fn encode(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + frame.payload.len());
+    buf.put_u32_le(FRAME_MAGIC);
+    buf.put_u64_le(frame.from.raw());
+    buf.put_u64_le(frame.to.raw());
+    buf.put_u32_le(frame.hop);
+    buf.put_u32_le(frame.payload.len() as u32);
+    buf.put_slice(&frame.payload);
+    buf.freeze()
+}
+
+/// Decodes a frame from `bytes`.
+pub fn decode(mut bytes: Bytes) -> Result<Frame, DecodeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = bytes.get_u32_le();
+    if magic != FRAME_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let from = PeerId(bytes.get_u64_le());
+    let to = PeerId(bytes.get_u64_le());
+    let hop = bytes.get_u32_le();
+    let payload_len = bytes.get_u32_le() as usize;
+    if bytes.len() < payload_len {
+        return Err(DecodeError::PayloadTruncated {
+            expected: payload_len,
+            available: bytes.len(),
+        });
+    }
+    let payload = bytes.split_to(payload_len);
+    Ok(Frame {
+        from,
+        to,
+        hop,
+        payload,
+    })
+}
+
+/// Total encoded size of a frame carrying `payload_len` payload bytes.
+pub fn encoded_len(payload_len: usize) -> usize {
+    HEADER_LEN + payload_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Frame {
+        Frame {
+            from: PeerId(17),
+            to: PeerId(99),
+            hop: 3,
+            payload: Bytes::from_static(b"search_exact:42"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let frame = sample_frame();
+        let encoded = encode(&frame);
+        assert_eq!(encoded.len(), encoded_len(frame.payload.len()));
+        let decoded = decode(encoded).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let frame = Frame {
+            from: PeerId(0),
+            to: PeerId(0),
+            hop: 0,
+            payload: Bytes::new(),
+        };
+        let decoded = decode(encode(&frame)).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let err = decode(Bytes::from_static(&[1, 2, 3])).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut encoded = BytesMut::from(&encode(&sample_frame())[..]);
+        encoded[0] = 0xFF;
+        let err = decode(encoded.freeze()).unwrap_err();
+        assert!(matches!(err, DecodeError::BadMagic(_)));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let encoded = encode(&sample_frame());
+        let cut = encoded.slice(..encoded.len() - 4);
+        let err = decode(cut).unwrap_err();
+        assert!(matches!(err, DecodeError::PayloadTruncated { .. }));
+    }
+
+    #[test]
+    fn decode_errors_format_humanly() {
+        assert_eq!(
+            DecodeError::Truncated.to_string(),
+            "frame shorter than header"
+        );
+        assert!(DecodeError::BadMagic(0xdead_beef)
+            .to_string()
+            .contains("deadbeef"));
+        assert!(DecodeError::PayloadTruncated {
+            expected: 10,
+            available: 4
+        }
+        .to_string()
+        .contains("expected 10"));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(from in 0u64..1_000_000, to in 0u64..1_000_000,
+                          hop in 0u32..10_000, payload in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..512)) {
+            let frame = Frame {
+                from: PeerId(from),
+                to: PeerId(to),
+                hop,
+                payload: Bytes::from(payload),
+            };
+            let decoded = decode(encode(&frame)).unwrap();
+            proptest::prop_assert_eq!(decoded, frame);
+        }
+    }
+}

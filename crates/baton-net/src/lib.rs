@@ -1,0 +1,71 @@
+//! # baton-net — deterministic message-passing P2P simulator
+//!
+//! This crate is the network substrate on top of which the BATON overlay
+//! ([`baton-core`]), the Chord baseline ([`baton-chord`]) and the multiway
+//! tree baseline ([`baton-mtree`]) are built.
+//!
+//! The BATON paper (Jagadish, Ooi, Rinard, Vu — VLDB 2005) evaluates every
+//! mechanism by the **number of messages** exchanged between peers, not by
+//! wall-clock latency on a particular testbed.  Consequently the substrate is
+//! a *deterministic* simulator: peers are logical entities identified by a
+//! [`PeerId`], messages are explicit [`Envelope`] values pushed through a
+//! [`SimNetwork`], and the network records per-kind, per-peer and
+//! per-operation counters in [`MessageStats`].
+//!
+//! ## Design
+//!
+//! * **Determinism.**  There is no background thread, no timer and no async
+//!   runtime.  Every experiment that uses the same seed produces identical
+//!   message counts, which makes the reproduction of the paper's figures
+//!   repeatable and the tests meaningful.
+//! * **Failure injection.**  Peers can be marked dead; sending to a dead peer
+//!   is counted as a failed delivery and surfaced to the caller so protocols
+//!   can exercise their fault-tolerance paths (paper §III-C/D).
+//! * **Accounting scopes.**  Higher layers wrap each logical operation
+//!   (join, leave, search, …) in an [`OpScope`] so the harness can report the
+//!   *average messages per operation* series that every sub-figure of
+//!   Figure 8 plots.
+//! * **Wire realism.**  [`codec`] provides a compact binary encoding of
+//!   envelopes (built on [`bytes`]) so byte-level traffic can also be
+//!   accounted, even though the paper itself only counts messages.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use baton_net::{NetMessage, PeerId, SimNetwork};
+//!
+//! #[derive(Clone, Debug)]
+//! enum Ping { Ping, Pong }
+//! impl NetMessage for Ping {
+//!     fn kind(&self) -> &'static str {
+//!         match self { Ping::Ping => "ping", Ping::Pong => "pong" }
+//!     }
+//! }
+//!
+//! let mut net: SimNetwork<Ping> = SimNetwork::new();
+//! let a = net.add_peer();
+//! let b = net.add_peer();
+//! let op = net.begin_op("rpc");
+//! net.send(op, a, b, Ping::Ping).unwrap();
+//! let env = net.deliver_next().unwrap().unwrap();
+//! assert_eq!(env.to, b);
+//! net.send(op, b, a, Ping::Pong).unwrap();
+//! net.finish_op(op);
+//! assert_eq!(net.stats().total_sent(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod message;
+pub mod network;
+pub mod peer;
+pub mod rng;
+pub mod stats;
+
+pub use message::{Envelope, NetMessage};
+pub use network::{DeliveryError, SendError, SimNetwork};
+pub use peer::{PeerId, PeerRegistry, PeerStatus};
+pub use rng::SimRng;
+pub use stats::{Histogram, MessageStats, OpId, OpScope, OpStats};

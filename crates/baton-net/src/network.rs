@@ -1,0 +1,353 @@
+//! The [`SimNetwork`]: message queue, delivery, failure injection and
+//! accounting glue.
+
+use std::collections::VecDeque;
+
+use crate::message::{Envelope, NetMessage};
+use crate::peer::{PeerId, PeerRegistry, PeerStatus};
+use crate::stats::{MessageStats, OpScope};
+
+/// Error returned by [`SimNetwork::send`] when the *sender* is not a live
+/// peer (sending from a dead peer indicates a protocol bug, not a simulated
+/// fault, so it is an error rather than a counted failure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// The sending peer is unknown to the registry.
+    UnknownSender(PeerId),
+    /// The sending peer exists but is not alive.
+    DeadSender(PeerId),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::UnknownSender(p) => write!(f, "unknown sender {p}"),
+            SendError::DeadSender(p) => write!(f, "sender {p} is not alive"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Delivery failure surfaced by [`SimNetwork::deliver_next`]: the destination
+/// peer was dead when the message arrived.  Protocols use this to trigger
+/// their fault-tolerance paths (paper §III-C/D).
+#[derive(Clone, Debug)]
+pub struct DeliveryError<M> {
+    /// The message that could not be delivered.
+    pub envelope: Envelope<M>,
+    /// Status of the destination at delivery time.
+    pub destination_status: Option<PeerStatus>,
+}
+
+/// A deterministic message-passing network simulator.
+///
+/// Messages are delivered in FIFO order.  Every send is counted in
+/// [`MessageStats`]; failed deliveries (dead destination) are counted
+/// separately and returned to the caller.
+#[derive(Clone, Debug, Default)]
+pub struct SimNetwork<M> {
+    peers: PeerRegistry,
+    queue: VecDeque<Envelope<M>>,
+    stats: MessageStats,
+}
+
+impl<M: NetMessage> SimNetwork<M> {
+    /// Creates an empty network with no peers.
+    pub fn new() -> Self {
+        Self {
+            peers: PeerRegistry::new(),
+            queue: VecDeque::new(),
+            stats: MessageStats::new(),
+        }
+    }
+
+    /// Registers a new live peer.
+    pub fn add_peer(&mut self) -> PeerId {
+        self.peers.register()
+    }
+
+    /// Read-only access to the peer registry.
+    pub fn peers(&self) -> &PeerRegistry {
+        &self.peers
+    }
+
+    /// Marks a peer as failed (abrupt departure).
+    pub fn fail_peer(&mut self, peer: PeerId) -> bool {
+        self.peers.mark_failed(peer)
+    }
+
+    /// Marks a peer as gracefully departed.
+    pub fn depart_peer(&mut self, peer: PeerId) -> bool {
+        self.peers.mark_departed(peer)
+    }
+
+    /// Brings a departed/failed peer back (e.g. a leaf re-joining during
+    /// load balancing).
+    pub fn revive_peer(&mut self, peer: PeerId) -> bool {
+        self.peers.mark_alive(peer)
+    }
+
+    /// `true` if the peer is currently alive.
+    pub fn is_alive(&self, peer: PeerId) -> bool {
+        self.peers.is_alive(peer)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Mutable access to statistics (used by harnesses to reset per-peer
+    /// counters between experiment phases).
+    pub fn stats_mut(&mut self) -> &mut MessageStats {
+        &mut self.stats
+    }
+
+    /// Opens a new operation accounting scope with the given label.
+    pub fn begin_op(&mut self, label: &str) -> OpScope {
+        self.stats.begin_op(label)
+    }
+
+    /// Closes an operation scope.
+    ///
+    /// This is currently a no-op bookkeeping hook (scopes are keyed by
+    /// [`OpId`] at send time), kept so call sites read naturally and so
+    /// future per-op finalization (e.g. latency accounting) has a seam.
+    pub fn finish_op(&mut self, _scope: OpScope) {}
+
+    /// Sends a message from `from` to `to`, attributed to operation `op`,
+    /// with an explicit hop count.
+    ///
+    /// The message is counted immediately (the paper counts *passing
+    /// messages*, i.e. transmissions, regardless of whether the destination
+    /// turns out to be dead).
+    pub fn send_with_hop(
+        &mut self,
+        op: OpScope,
+        from: PeerId,
+        to: PeerId,
+        hop: u32,
+        payload: M,
+    ) -> Result<(), SendError> {
+        match self.peers.status(from) {
+            None => return Err(SendError::UnknownSender(from)),
+            Some(status) if !status.is_alive() => return Err(SendError::DeadSender(from)),
+            Some(_) => {}
+        }
+        let bytes = payload.approximate_size();
+        self.stats.record_send(op.id, payload.kind(), bytes, hop);
+        self.queue.push_back(Envelope {
+            from,
+            to,
+            hop,
+            op: op.id,
+            payload,
+        });
+        Ok(())
+    }
+
+    /// Sends a message with hop count 1 (first hop of an operation).
+    pub fn send(
+        &mut self,
+        op: OpScope,
+        from: PeerId,
+        to: PeerId,
+        payload: M,
+    ) -> Result<(), SendError> {
+        self.send_with_hop(op, from, to, 1, payload)
+    }
+
+    /// Counts a message without enqueuing it for delivery.
+    ///
+    /// Several BATON maintenance steps are pure notifications whose replies
+    /// carry no protocol state the simulation needs to model (e.g. "inform
+    /// your children about the new node", paper §III-A). `count_message`
+    /// charges such traffic to the operation without forcing the caller to
+    /// round-trip a payload through the queue.
+    pub fn count_message(&mut self, op: OpScope, kind: &'static str, from: PeerId, to: PeerId) {
+        let _ = from;
+        self.stats.record_send(op.id, kind, 64, 1);
+        if self.peers.is_alive(to) {
+            self.stats.record_delivery(to);
+        } else {
+            self.stats.record_failure(op.id);
+        }
+    }
+
+    /// Number of messages waiting for delivery.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Delivers the next queued message.
+    ///
+    /// * `None` — the queue is empty.
+    /// * `Some(Ok(envelope))` — the destination is alive; the caller should
+    ///   invoke the destination's handler.
+    /// * `Some(Err(DeliveryError))` — the destination is dead; the caller
+    ///   owns fault handling.
+    #[allow(clippy::type_complexity)]
+    pub fn deliver_next(&mut self) -> Option<Result<Envelope<M>, DeliveryError<M>>> {
+        let envelope = self.queue.pop_front()?;
+        let status = self.peers.status(envelope.to);
+        if status.is_some_and(PeerStatus::is_alive) {
+            self.stats.record_delivery(envelope.to);
+            Some(Ok(envelope))
+        } else {
+            self.stats.record_failure(envelope.op);
+            Some(Err(DeliveryError {
+                envelope,
+                destination_status: status,
+            }))
+        }
+    }
+
+    /// Discards all queued messages (used between experiment phases).
+    pub fn drain_queue(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Messages attributed to operation `op` so far.
+    pub fn op_messages(&self, op: OpScope) -> u64 {
+        self.stats.op(op.id).map(|s| s.messages).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Hello,
+        World,
+    }
+
+    impl NetMessage for Msg {
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Hello => "hello",
+                Msg::World => "world",
+            }
+        }
+    }
+
+    fn two_peer_net() -> (SimNetwork<Msg>, PeerId, PeerId) {
+        let mut net = SimNetwork::new();
+        let a = net.add_peer();
+        let b = net.add_peer();
+        (net, a, b)
+    }
+
+    #[test]
+    fn send_and_deliver_fifo_order() {
+        let (mut net, a, b) = two_peer_net();
+        let op = net.begin_op("test");
+        net.send(op, a, b, Msg::Hello).unwrap();
+        net.send(op, b, a, Msg::World).unwrap();
+        assert_eq!(net.pending(), 2);
+        let first = net.deliver_next().unwrap().unwrap();
+        assert_eq!(first.payload, Msg::Hello);
+        assert_eq!(first.to, b);
+        let second = net.deliver_next().unwrap().unwrap();
+        assert_eq!(second.payload, Msg::World);
+        assert!(net.deliver_next().is_none());
+        assert_eq!(net.stats().total_sent(), 2);
+        assert_eq!(net.stats().total_delivered(), 2);
+    }
+
+    #[test]
+    fn sending_from_dead_peer_is_an_error() {
+        let (mut net, a, b) = two_peer_net();
+        let op = net.begin_op("test");
+        net.fail_peer(a);
+        let err = net.send(op, a, b, Msg::Hello).unwrap_err();
+        assert_eq!(err, SendError::DeadSender(a));
+        assert_eq!(net.stats().total_sent(), 0);
+    }
+
+    #[test]
+    fn sending_from_unknown_peer_is_an_error() {
+        let (mut net, _a, b) = two_peer_net();
+        let op = net.begin_op("test");
+        let ghost = PeerId(999);
+        let err = net.send(op, ghost, b, Msg::Hello).unwrap_err();
+        assert_eq!(err, SendError::UnknownSender(ghost));
+    }
+
+    #[test]
+    fn delivery_to_dead_peer_is_counted_and_surfaced() {
+        let (mut net, a, b) = two_peer_net();
+        let op = net.begin_op("test");
+        net.send(op, a, b, Msg::Hello).unwrap();
+        net.fail_peer(b);
+        let result = net.deliver_next().unwrap();
+        let err = result.unwrap_err();
+        assert_eq!(err.envelope.to, b);
+        assert_eq!(err.destination_status, Some(PeerStatus::Failed));
+        assert_eq!(net.stats().total_failed(), 1);
+        assert_eq!(net.stats().total_delivered(), 0);
+        // The send itself is still counted: the paper counts transmissions.
+        assert_eq!(net.stats().total_sent(), 1);
+        assert_eq!(net.op_messages(op), 1);
+        assert_eq!(net.stats().op(op.id).unwrap().failed_deliveries, 1);
+    }
+
+    #[test]
+    fn count_message_charges_op_without_queueing() {
+        let (mut net, a, b) = two_peer_net();
+        let op = net.begin_op("notify");
+        net.count_message(op, "notify.children", a, b);
+        assert_eq!(net.pending(), 0);
+        assert_eq!(net.op_messages(op), 1);
+        assert_eq!(net.stats().total_delivered(), 1);
+        net.fail_peer(b);
+        net.count_message(op, "notify.children", a, b);
+        assert_eq!(net.stats().total_failed(), 1);
+    }
+
+    #[test]
+    fn revive_peer_restores_delivery() {
+        let (mut net, a, b) = two_peer_net();
+        let op = net.begin_op("test");
+        net.depart_peer(b);
+        net.send(op, a, b, Msg::Hello).unwrap();
+        assert!(net.deliver_next().unwrap().is_err());
+        net.revive_peer(b);
+        net.send(op, a, b, Msg::Hello).unwrap();
+        assert!(net.deliver_next().unwrap().is_ok());
+    }
+
+    #[test]
+    fn hop_counts_are_preserved_and_tracked() {
+        let (mut net, a, b) = two_peer_net();
+        let op = net.begin_op("walk");
+        net.send_with_hop(op, a, b, 7, Msg::Hello).unwrap();
+        let env = net.deliver_next().unwrap().unwrap();
+        assert_eq!(env.hop, 7);
+        assert_eq!(net.stats().op(op.id).unwrap().max_hops, 7);
+    }
+
+    #[test]
+    fn drain_queue_discards_pending_messages() {
+        let (mut net, a, b) = two_peer_net();
+        let op = net.begin_op("test");
+        net.send(op, a, b, Msg::Hello).unwrap();
+        net.send(op, a, b, Msg::Hello).unwrap();
+        net.drain_queue();
+        assert_eq!(net.pending(), 0);
+        assert!(net.deliver_next().is_none());
+    }
+
+    #[test]
+    fn per_kind_counters() {
+        let (mut net, a, b) = two_peer_net();
+        let op = net.begin_op("test");
+        net.send(op, a, b, Msg::Hello).unwrap();
+        net.send(op, a, b, Msg::Hello).unwrap();
+        net.send(op, a, b, Msg::World).unwrap();
+        assert_eq!(net.stats().kind_count("hello"), 2);
+        assert_eq!(net.stats().kind_count("world"), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Peer identities and the liveness registry.
+//!
+//! A [`PeerId`] is the simulator's stand-in for a physical network address
+//! (the paper's "physical id in terms of its IP address").  The
+//! [`PeerRegistry`] tracks which peers exist and whether they are alive,
+//! which is all the substrate needs to model node failure (paper §III-C).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a peer (a physical compute node).
+///
+/// In a deployment this would be an IP address / port pair; in the simulator
+/// it is a dense integer handed out by [`PeerRegistry::register`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeerId(pub u64);
+
+impl PeerId {
+    /// Raw numeric value of the identifier.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+/// Liveness of a peer as observed by the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PeerStatus {
+    /// The peer is running and will receive messages.
+    Alive,
+    /// The peer departed gracefully (LEAVE protocol completed).
+    Departed,
+    /// The peer crashed or left abruptly; messages to it bounce.
+    Failed,
+}
+
+impl PeerStatus {
+    /// `true` if messages addressed to a peer with this status are delivered.
+    #[inline]
+    pub fn is_alive(self) -> bool {
+        matches!(self, PeerStatus::Alive)
+    }
+}
+
+/// Registry of every peer ever created in a simulation together with its
+/// liveness status.
+#[derive(Clone, Debug, Default)]
+pub struct PeerRegistry {
+    next: u64,
+    status: HashMap<PeerId, PeerStatus>,
+}
+
+impl PeerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a brand-new peer and returns its identifier.
+    pub fn register(&mut self) -> PeerId {
+        let id = PeerId(self.next);
+        self.next += 1;
+        self.status.insert(id, PeerStatus::Alive);
+        id
+    }
+
+    /// Number of peers ever registered (alive or not).
+    pub fn total(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Number of peers currently alive.
+    pub fn alive_count(&self) -> usize {
+        self.status.values().filter(|s| s.is_alive()).count()
+    }
+
+    /// Returns the status of `peer`, or `None` if it was never registered.
+    pub fn status(&self, peer: PeerId) -> Option<PeerStatus> {
+        self.status.get(&peer).copied()
+    }
+
+    /// `true` if the peer exists and is alive.
+    pub fn is_alive(&self, peer: PeerId) -> bool {
+        self.status(peer).is_some_and(PeerStatus::is_alive)
+    }
+
+    /// Marks a peer as having departed gracefully.
+    ///
+    /// Returns `false` if the peer was unknown.
+    pub fn mark_departed(&mut self, peer: PeerId) -> bool {
+        self.set_status(peer, PeerStatus::Departed)
+    }
+
+    /// Marks a peer as failed (crash / abrupt departure).
+    ///
+    /// Returns `false` if the peer was unknown.
+    pub fn mark_failed(&mut self, peer: PeerId) -> bool {
+        self.set_status(peer, PeerStatus::Failed)
+    }
+
+    /// Re-animates a peer (used when a departed peer re-joins, e.g. during
+    /// the load-balancing leaf re-join of paper §IV-D).
+    ///
+    /// Returns `false` if the peer was unknown.
+    pub fn mark_alive(&mut self, peer: PeerId) -> bool {
+        self.set_status(peer, PeerStatus::Alive)
+    }
+
+    fn set_status(&mut self, peer: PeerId, status: PeerStatus) -> bool {
+        match self.status.get_mut(&peer) {
+            Some(slot) => {
+                *slot = status;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over every registered peer and its status.
+    pub fn iter(&self) -> impl Iterator<Item = (PeerId, PeerStatus)> + '_ {
+        self.status.iter().map(|(p, s)| (*p, *s))
+    }
+
+    /// All currently alive peers, in unspecified order.
+    pub fn alive_peers(&self) -> Vec<PeerId> {
+        self.status
+            .iter()
+            .filter(|(_, s)| s.is_alive())
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_unique_dense_ids() {
+        let mut reg = PeerRegistry::new();
+        let a = reg.register();
+        let b = reg.register();
+        let c = reg.register();
+        assert_eq!(a, PeerId(0));
+        assert_eq!(b, PeerId(1));
+        assert_eq!(c, PeerId(2));
+        assert_eq!(reg.total(), 3);
+        assert_eq!(reg.alive_count(), 3);
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut reg = PeerRegistry::new();
+        let a = reg.register();
+        assert!(reg.is_alive(a));
+        assert!(reg.mark_failed(a));
+        assert!(!reg.is_alive(a));
+        assert_eq!(reg.status(a), Some(PeerStatus::Failed));
+        assert!(reg.mark_alive(a));
+        assert!(reg.is_alive(a));
+        assert!(reg.mark_departed(a));
+        assert_eq!(reg.status(a), Some(PeerStatus::Departed));
+        assert_eq!(reg.alive_count(), 0);
+    }
+
+    #[test]
+    fn unknown_peer_is_not_alive_and_cannot_change_status() {
+        let mut reg = PeerRegistry::new();
+        let ghost = PeerId(42);
+        assert_eq!(reg.status(ghost), None);
+        assert!(!reg.is_alive(ghost));
+        assert!(!reg.mark_failed(ghost));
+        assert!(!reg.mark_departed(ghost));
+        assert!(!reg.mark_alive(ghost));
+    }
+
+    #[test]
+    fn alive_peers_reflects_failures() {
+        let mut reg = PeerRegistry::new();
+        let peers: Vec<_> = (0..10).map(|_| reg.register()).collect();
+        for p in peers.iter().take(4) {
+            reg.mark_failed(*p);
+        }
+        let mut alive = reg.alive_peers();
+        alive.sort();
+        assert_eq!(alive, peers[4..].to_vec());
+        assert_eq!(reg.alive_count(), 6);
+    }
+
+    #[test]
+    fn peer_id_display_and_raw() {
+        let p = PeerId(7);
+        assert_eq!(p.raw(), 7);
+        assert_eq!(format!("{p}"), "peer#7");
+        assert_eq!(format!("{p:?}"), "peer#7");
+    }
+
+    #[test]
+    fn status_is_alive_helper() {
+        assert!(PeerStatus::Alive.is_alive());
+        assert!(!PeerStatus::Departed.is_alive());
+        assert!(!PeerStatus::Failed.is_alive());
+    }
+}

@@ -1,0 +1,387 @@
+//! Message accounting: per-kind, per-peer and per-operation counters.
+//!
+//! Every sub-figure of the paper's Figure 8 is an *average message count per
+//! operation* (or a distribution of such counts), so accounting is a
+//! first-class part of the substrate rather than an afterthought in the
+//! benchmark harness.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::peer::PeerId;
+
+/// Identifier of one logical operation (a join, a search, …) for accounting.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct OpId(pub u64);
+
+/// Counters accumulated for a single operation.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Label of the operation (e.g. `"join"`, `"search.exact"`).
+    pub label: String,
+    /// Messages sent while this operation was the active accounting scope.
+    pub messages: u64,
+    /// Messages that could not be delivered because the destination was dead.
+    pub failed_deliveries: u64,
+    /// Total bytes of the messages (approximate, see
+    /// [`crate::message::NetMessage::approximate_size`]).
+    pub bytes: u64,
+    /// Largest hop count observed on any message of this operation.
+    pub max_hops: u32,
+}
+
+/// A RAII-like handle for an operation accounting scope.
+///
+/// `OpScope` is deliberately **not** `Drop`-based: the simulator is purely
+/// synchronous and protocols explicitly call
+/// [`SimNetwork::finish_op`](crate::network::SimNetwork::finish_op) so that
+/// nested scopes never accidentally swallow each other's messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpScope {
+    /// Identifier of the scoped operation.
+    pub id: OpId,
+}
+
+/// A compact fixed-bucket histogram over small non-negative integers.
+///
+/// Used for Figure 8(h): the distribution of the number of nodes involved in
+/// a single load-balancing shift.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if self.counts.len() <= value {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of observations equal to `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Largest value ever recorded, or `None` if empty.
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Mean of the recorded values (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Fraction of observations equal to `value`.
+    pub fn frequency(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates over `(value, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            if self.counts.len() <= v {
+                self.counts.resize(v + 1, 0);
+            }
+            self.counts[v] += c;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Global message statistics for a [`SimNetwork`](crate::network::SimNetwork).
+#[derive(Clone, Debug, Default)]
+pub struct MessageStats {
+    total_sent: u64,
+    total_delivered: u64,
+    total_failed: u64,
+    total_bytes: u64,
+    by_kind: HashMap<&'static str, u64>,
+    received_by_peer: HashMap<PeerId, u64>,
+    ops: HashMap<OpId, OpStats>,
+    next_op: u64,
+}
+
+impl MessageStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total messages sent (delivered or not).
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// Total messages successfully delivered to an alive peer.
+    pub fn total_delivered(&self) -> u64 {
+        self.total_delivered
+    }
+
+    /// Total messages whose destination was dead at delivery time.
+    pub fn total_failed(&self) -> u64 {
+        self.total_failed
+    }
+
+    /// Approximate total bytes of all sent messages.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Messages sent per statistics bucket (message kind).
+    pub fn by_kind(&self) -> &HashMap<&'static str, u64> {
+        &self.by_kind
+    }
+
+    /// Messages sent with a given kind label.
+    pub fn kind_count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages *received* (delivered) per peer — the per-node access load of
+    /// Figure 8(f).
+    pub fn received_by_peer(&self) -> &HashMap<PeerId, u64> {
+        &self.received_by_peer
+    }
+
+    /// Messages received by one peer.
+    pub fn received_count(&self, peer: PeerId) -> u64 {
+        self.received_by_peer.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Begins a new operation accounting scope.
+    pub fn begin_op(&mut self, label: &str) -> OpScope {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.ops.insert(
+            id,
+            OpStats {
+                label: label.to_owned(),
+                ..OpStats::default()
+            },
+        );
+        OpScope { id }
+    }
+
+    /// Statistics of a finished or in-flight operation.
+    pub fn op(&self, id: OpId) -> Option<&OpStats> {
+        self.ops.get(&id)
+    }
+
+    /// All operations recorded so far.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &OpStats)> + '_ {
+        self.ops.iter().map(|(id, s)| (*id, s))
+    }
+
+    /// Number of operations begun.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Average messages per operation whose label matches `label`.
+    ///
+    /// Returns `None` if no such operation exists.
+    pub fn average_messages(&self, label: &str) -> Option<f64> {
+        let (count, sum) = self
+            .ops
+            .values()
+            .filter(|op| op.label == label)
+            .fold((0u64, 0u64), |(c, s), op| (c + 1, s + op.messages));
+        if count == 0 {
+            None
+        } else {
+            Some(sum as f64 / count as f64)
+        }
+    }
+
+    /// Records a message send attributed to `op`.
+    pub(crate) fn record_send(&mut self, op: OpId, kind: &'static str, bytes: usize, hop: u32) {
+        self.total_sent += 1;
+        self.total_bytes += bytes as u64;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+        if let Some(stats) = self.ops.get_mut(&op) {
+            stats.messages += 1;
+            stats.bytes += bytes as u64;
+            stats.max_hops = stats.max_hops.max(hop);
+        }
+    }
+
+    /// Records a successful delivery to `peer`.
+    pub(crate) fn record_delivery(&mut self, peer: PeerId) {
+        self.total_delivered += 1;
+        *self.received_by_peer.entry(peer).or_insert(0) += 1;
+    }
+
+    /// Records a failed delivery attributed to `op`.
+    pub(crate) fn record_failure(&mut self, op: OpId) {
+        self.total_failed += 1;
+        if let Some(stats) = self.ops.get_mut(&op) {
+            stats.failed_deliveries += 1;
+        }
+    }
+
+    /// Clears per-peer received counters (used when an experiment wants to
+    /// measure access load only over its query phase, as in Figure 8(f)).
+    pub fn reset_received_counters(&mut self) {
+        self.received_by_peer.clear();
+    }
+
+    /// Snapshot of the total number of sent messages; callers diff two
+    /// snapshots to attribute traffic to a phase of an experiment.
+    pub fn sent_snapshot(&self) -> u64 {
+        self.total_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_scopes_accumulate_messages_independently() {
+        let mut stats = MessageStats::new();
+        let a = stats.begin_op("join");
+        let b = stats.begin_op("leave");
+        stats.record_send(a.id, "x", 10, 1);
+        stats.record_send(a.id, "x", 10, 2);
+        stats.record_send(b.id, "y", 5, 1);
+        assert_eq!(stats.op(a.id).unwrap().messages, 2);
+        assert_eq!(stats.op(b.id).unwrap().messages, 1);
+        assert_eq!(stats.total_sent(), 3);
+        assert_eq!(stats.total_bytes(), 25);
+        assert_eq!(stats.kind_count("x"), 2);
+        assert_eq!(stats.kind_count("y"), 1);
+        assert_eq!(stats.kind_count("z"), 0);
+    }
+
+    #[test]
+    fn average_messages_by_label() {
+        let mut stats = MessageStats::new();
+        for msgs in [2u64, 4, 6] {
+            let op = stats.begin_op("search");
+            for i in 0..msgs {
+                stats.record_send(op.id, "s", 1, i as u32 + 1);
+            }
+        }
+        let other = stats.begin_op("join");
+        stats.record_send(other.id, "j", 1, 1);
+        assert_eq!(stats.average_messages("search"), Some(4.0));
+        assert_eq!(stats.average_messages("join"), Some(1.0));
+        assert_eq!(stats.average_messages("missing"), None);
+    }
+
+    #[test]
+    fn delivery_and_failure_counters() {
+        let mut stats = MessageStats::new();
+        let op = stats.begin_op("probe");
+        stats.record_send(op.id, "p", 1, 1);
+        stats.record_delivery(PeerId(3));
+        stats.record_send(op.id, "p", 1, 2);
+        stats.record_failure(op.id);
+        assert_eq!(stats.total_delivered(), 1);
+        assert_eq!(stats.total_failed(), 1);
+        assert_eq!(stats.received_count(PeerId(3)), 1);
+        assert_eq!(stats.received_count(PeerId(4)), 0);
+        assert_eq!(stats.op(op.id).unwrap().failed_deliveries, 1);
+    }
+
+    #[test]
+    fn max_hops_tracked_per_op() {
+        let mut stats = MessageStats::new();
+        let op = stats.begin_op("walk");
+        for hop in [1, 5, 3] {
+            stats.record_send(op.id, "w", 1, hop);
+        }
+        assert_eq!(stats.op(op.id).unwrap().max_hops, 5);
+    }
+
+    #[test]
+    fn reset_received_counters_only_clears_per_peer_data() {
+        let mut stats = MessageStats::new();
+        let op = stats.begin_op("x");
+        stats.record_send(op.id, "x", 1, 1);
+        stats.record_delivery(PeerId(0));
+        stats.reset_received_counters();
+        assert_eq!(stats.received_count(PeerId(0)), 0);
+        assert_eq!(stats.total_sent(), 1);
+        assert_eq!(stats.total_delivered(), 1);
+    }
+
+    #[test]
+    fn histogram_basic_statistics() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(10), 0);
+        assert_eq!(h.max_value(), Some(3));
+        assert!((h.mean() - 13.0 / 6.0).abs() < 1e-9);
+        assert!((h.frequency(3) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(0);
+        a.record(2);
+        let mut b = Histogram::new();
+        b.record(2);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+        assert_eq!(a.count(5), 1);
+        assert_eq!(a.max_value(), Some(5));
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.frequency(0), 0.0);
+        assert_eq!(h.iter().count(), 0);
+    }
+}

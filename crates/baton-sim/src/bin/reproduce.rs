@@ -1,0 +1,100 @@
+//! `reproduce` — regenerate the BATON paper's evaluation figures.
+//!
+//! ```text
+//! reproduce [--figure 8a|8b|...|8i|all] [--profile quick|full|paper|smoke]
+//!           [--json] [--csv]
+//! ```
+//!
+//! By default every figure is regenerated at the `quick` profile and printed
+//! as text tables.  `--profile full` uses the paper's network sizes
+//! (1000–10,000 nodes) with a scaled-down bulk load; `--profile paper` runs
+//! the publication's exact configuration (slow).
+
+use std::process::ExitCode;
+
+use baton_sim::{figures, render_json, render_report, Profile};
+
+struct Options {
+    figure: String,
+    profile: Profile,
+    json: bool,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut figure = "all".to_owned();
+    let mut profile = Profile::quick();
+    let mut json = false;
+    let mut csv = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--figure" | "-f" => {
+                figure = args.next().ok_or("--figure needs a value")?;
+            }
+            "--profile" | "-p" => {
+                let name = args.next().ok_or("--profile needs a value")?;
+                profile = match name.as_str() {
+                    "smoke" => Profile::smoke(),
+                    "quick" => Profile::quick(),
+                    "full" => Profile::full(),
+                    "paper" => Profile::paper(),
+                    other => return Err(format!("unknown profile '{other}'")),
+                };
+            }
+            "--json" => json = true,
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: reproduce [--figure 8a..8i|all] [--profile smoke|quick|full|paper] [--json] [--csv]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Options {
+        figure,
+        profile,
+        json,
+        csv,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let results = if options.figure.eq_ignore_ascii_case("all") {
+        figures::run_all(&options.profile)
+    } else {
+        match figures::run_figure(&options.figure, &options.profile) {
+            Some(result) => vec![result],
+            None => {
+                eprintln!(
+                    "unknown figure '{}'; available: {:?}",
+                    options.figure,
+                    figures::all_figure_ids()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if options.json {
+        println!("{}", render_json(&results));
+    } else if options.csv {
+        for result in &results {
+            println!("# Figure {}", result.id);
+            println!("{}", result.to_csv());
+        }
+    } else {
+        println!("{}", render_report(&results));
+    }
+    ExitCode::SUCCESS
+}

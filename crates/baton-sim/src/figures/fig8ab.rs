@@ -1,0 +1,119 @@
+//! Figures 8(a) and 8(b): cost of join and leave operations.
+//!
+//! * **8(a)** — average messages to find the node that accepts a join and to
+//!   find the replacement node for a departure, versus network size, for
+//!   BATON, Chord and the multiway tree.
+//! * **8(b)** — average messages to update routing tables after a join or a
+//!   departure, versus network size, for the same three systems.
+//!
+//! Expected shape (paper §V-A): BATON's locate cost is nearly flat and well
+//! below `log N`; Chord's grows with `log N`; the multiway tree is the most
+//! expensive overall.  For table updates BATON needs `O(log N)` messages,
+//! clearly below Chord's `O(log² N)`, while the multiway tree — which keeps
+//! almost no routing state — is the cheapest.
+
+use baton_chord::ChordSystem;
+use baton_mtree::MTreeSystem;
+
+use crate::profile::Profile;
+use crate::result::{Averager, FigureResult, SeriesPoint};
+
+use super::{build_baton, SERIES_BATON, SERIES_CHORD, SERIES_MTREE};
+
+/// Runs the churn-cost measurement and returns `(figure_8a, figure_8b)`.
+pub fn run(profile: &Profile) -> (FigureResult, FigureResult) {
+    let mut fig_a = FigureResult::new(
+        "8a",
+        "Finding the join node and the replacement node",
+        "nodes",
+        "messages per operation",
+    );
+    let mut fig_b = FigureResult::new(
+        "8b",
+        "Updating routing tables on join and leave",
+        "nodes",
+        "messages per operation",
+    );
+
+    for &n in &profile.network_sizes {
+        let mut locate = [Averager::new(), Averager::new(), Averager::new()];
+        let mut update = [Averager::new(), Averager::new(), Averager::new()];
+        for rep in 0..profile.repetitions {
+            let seed = profile.rep_seed(rep);
+
+            // --- BATON ---
+            let mut baton = build_baton(profile, n, seed);
+            for _ in 0..profile.churn_ops {
+                let join = baton.join_random().expect("join");
+                locate[0].add(join.locate_messages as f64);
+                update[0].add(join.update_messages as f64);
+                let leave = baton.leave_random().expect("leave");
+                locate[0].add(leave.locate_messages as f64);
+                update[0].add(leave.update_messages as f64);
+            }
+
+            // --- Chord ---
+            let mut chord = ChordSystem::build(seed, n).expect("chord build");
+            for _ in 0..profile.churn_ops {
+                let join = chord.join_random().expect("join");
+                locate[1].add(join.locate_messages as f64);
+                update[1].add(join.update_messages as f64);
+                let leave = chord.leave_random().expect("leave");
+                locate[1].add(leave.locate_messages as f64);
+                update[1].add(leave.update_messages as f64);
+            }
+
+            // --- Multiway tree ---
+            let mut mtree = MTreeSystem::build(seed, n).expect("mtree build");
+            for _ in 0..profile.churn_ops {
+                let join = mtree.join_random().expect("join");
+                locate[2].add(join.locate_messages as f64);
+                update[2].add(join.update_messages as f64);
+                let leave = mtree.leave_random().expect("leave");
+                locate[2].add(leave.locate_messages as f64);
+                update[2].add(leave.update_messages as f64);
+            }
+        }
+        fig_a.points.push(
+            SeriesPoint::at(n as f64)
+                .set(SERIES_BATON, locate[0].mean())
+                .set(SERIES_CHORD, locate[1].mean())
+                .set(SERIES_MTREE, locate[2].mean()),
+        );
+        fig_b.points.push(
+            SeriesPoint::at(n as f64)
+                .set(SERIES_BATON, update[0].mean())
+                .set(SERIES_CHORD, update[1].mean())
+                .set(SERIES_MTREE, update[2].mean()),
+        );
+    }
+    (fig_a, fig_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_costs_have_the_papers_shape() {
+        let profile = Profile::smoke();
+        let (a, b) = run(&profile);
+        assert_eq!(a.points.len(), profile.network_sizes.len());
+        assert_eq!(b.points.len(), profile.network_sizes.len());
+        let largest = *profile.network_sizes.last().unwrap() as f64;
+        let log_n = largest.log2();
+        // 8(a): BATON locates a join/replacement spot in well under log N.
+        let baton_locate = a.value_at(largest, SERIES_BATON).unwrap();
+        assert!(baton_locate > 0.0 && baton_locate < 2.0 * log_n);
+        // 8(b): BATON's table update is cheaper than Chord's.
+        let baton_update = b.value_at(largest, SERIES_BATON).unwrap();
+        let chord_update = b.value_at(largest, SERIES_CHORD).unwrap();
+        assert!(
+            baton_update < chord_update,
+            "BATON table update ({baton_update:.1}) should be below Chord ({chord_update:.1})"
+        );
+        // The multiway tree keeps almost no routing state: cheapest updates.
+        let mtree_update = b.value_at(largest, SERIES_MTREE).unwrap();
+        assert!(mtree_update < baton_update);
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 8(c): cost of insert and delete operations versus network size.
+//!
+//! Expected shape (paper §V-B): both BATON and Chord stay close to
+//! `O(log N)`; BATON is slightly above Chord (the balanced tree's height can
+//! reach `1.44 log N`); the multiway tree costs noticeably more.
+
+use baton_chord::ChordSystem;
+use baton_mtree::MTreeSystem;
+use baton_net::SimRng;
+use baton_workload::{KeyDistribution, KeyGenerator};
+
+use crate::profile::Profile;
+use crate::result::{Averager, FigureResult, SeriesPoint};
+
+use super::{build_baton, load_baton, SERIES_BATON, SERIES_CHORD, SERIES_MTREE};
+
+/// Runs the insert/delete cost measurement.
+pub fn run(profile: &Profile) -> FigureResult {
+    let mut figure = FigureResult::new(
+        "8c",
+        "Insert and delete operations",
+        "nodes",
+        "messages per operation",
+    );
+    let generator = KeyGenerator::paper(KeyDistribution::Uniform);
+
+    for &n in &profile.network_sizes {
+        let ops = profile.query_count();
+        let mut baton_avg = Averager::new();
+        let mut chord_avg = Averager::new();
+        let mut mtree_avg = Averager::new();
+        for rep in 0..profile.repetitions {
+            let seed = profile.rep_seed(rep);
+            let mut rng = SimRng::seeded(seed ^ 0xC0DE);
+
+            let mut baton = build_baton(profile, n, seed);
+            load_baton(profile, &mut baton, KeyDistribution::Uniform, seed);
+            let mut chord = ChordSystem::build(seed, n).expect("chord build");
+            let mut mtree = MTreeSystem::build(seed, n).expect("mtree build");
+
+            for i in 0..ops {
+                let key = generator.next_key(&mut rng);
+                let insert = baton.insert(key, i as u64).expect("insert");
+                baton_avg.add(insert.messages as f64);
+                let delete = baton.delete(key).expect("delete");
+                baton_avg.add(delete.messages as f64);
+
+                chord_avg.add(chord.insert(key, i as u64).expect("insert").messages as f64);
+                chord_avg.add(chord.delete(key).expect("delete").messages as f64);
+
+                mtree_avg.add(mtree.insert(key).expect("insert").messages as f64);
+                mtree_avg.add(mtree.delete(key).expect("delete").messages as f64);
+            }
+        }
+        figure.points.push(
+            SeriesPoint::at(n as f64)
+                .set(SERIES_BATON, baton_avg.mean())
+                .set(SERIES_CHORD, chord_avg.mean())
+                .set(SERIES_MTREE, mtree_avg.mean()),
+        );
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_delete_costs_are_logarithmic_and_ordered() {
+        let profile = Profile::smoke();
+        let figure = run(&profile);
+        let largest = *profile.network_sizes.last().unwrap() as f64;
+        let log_n = largest.log2();
+        let baton = figure.value_at(largest, SERIES_BATON).unwrap();
+        let mtree = figure.value_at(largest, SERIES_MTREE).unwrap();
+        assert!(baton > 0.0 && baton <= 2.0 * log_n + 4.0);
+        // The multiway tree (no sideways shortcuts) costs more than BATON.
+        assert!(mtree > baton);
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 8(e): cost of range queries versus network size.
+//!
+//! BATON answers a range query in `O(log N + X)` messages, where `X` is the
+//! number of nodes whose ranges intersect the query.  Chord cannot answer
+//! range queries at all (hashing destroys order), so — as in the paper — it
+//! does not appear in this figure; the multiway tree answers them by walking
+//! neighbour links after a more expensive initial descent.
+
+use baton_mtree::MTreeSystem;
+use baton_net::SimRng;
+use baton_workload::{KeyDistribution, Query, QueryWorkload};
+
+use crate::profile::Profile;
+use crate::result::{Averager, FigureResult, SeriesPoint};
+
+use super::{build_baton, load_baton, SERIES_BATON, SERIES_MTREE};
+
+/// Series reporting how many nodes each BATON range query touched.
+pub const SERIES_NODES_COVERED: &str = "BATON nodes covered (X)";
+
+/// Runs the range-query measurement.
+pub fn run(profile: &Profile) -> FigureResult {
+    let mut figure = FigureResult::new(
+        "8e",
+        "Range query",
+        "nodes",
+        "messages per query",
+    );
+
+    for &n in &profile.network_sizes {
+        let mut baton_avg = Averager::new();
+        let mut covered_avg = Averager::new();
+        let mut mtree_avg = Averager::new();
+        for rep in 0..profile.repetitions {
+            let seed = profile.rep_seed(rep);
+            let workload = QueryWorkload {
+                range_queries: profile.query_count(),
+                distribution: KeyDistribution::Uniform,
+                ..QueryWorkload::paper()
+            };
+            let queries = workload.ranges(&mut SimRng::seeded(seed ^ 0x4A4E));
+
+            let mut baton = build_baton(profile, n, seed);
+            load_baton(profile, &mut baton, KeyDistribution::Uniform, seed);
+            let mut mtree = MTreeSystem::build(seed, n).expect("mtree build");
+
+            for query in &queries {
+                let Query::Range { low, high } = query else { continue };
+                let report = baton
+                    .search_range(baton_core::KeyRange::new(*low, *high))
+                    .expect("range search");
+                baton_avg.add(report.messages as f64);
+                covered_avg.add(report.nodes_visited as f64);
+                mtree_avg.add(mtree.search_range(*low, *high).expect("range").messages as f64);
+            }
+        }
+        figure.points.push(
+            SeriesPoint::at(n as f64)
+                .set(SERIES_BATON, baton_avg.mean())
+                .set(SERIES_NODES_COVERED, covered_avg.mean())
+                .set(SERIES_MTREE, mtree_avg.mean()),
+        );
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_query_cost_is_log_n_plus_coverage() {
+        let profile = Profile::smoke();
+        let figure = run(&profile);
+        let largest = *profile.network_sizes.last().unwrap() as f64;
+        let log_n = largest.log2();
+        let baton = figure.value_at(largest, SERIES_BATON).unwrap();
+        let covered = figure.value_at(largest, SERIES_NODES_COVERED).unwrap();
+        assert!(covered >= 1.0);
+        assert!(
+            baton <= 2.0 * log_n + covered + 4.0,
+            "range cost {baton} exceeds log N + X bound"
+        );
+        let mtree = figure.value_at(largest, SERIES_MTREE).unwrap();
+        assert!(mtree > 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 8(i): effect of network dynamics — extra messages caused by
+//! concurrent joins and leaves.
+//!
+//! The paper observes that while a join or departure is being absorbed, the
+//! knowledge held by other nodes is briefly stale and messages can be
+//! "forwarded to wrong destinations", costing extra hops; the more
+//! operations are in flight concurrently, the more extra messages are paid.
+//!
+//! ### Model
+//!
+//! The simulator executes operations one at a time, so concurrency is
+//! modelled explicitly (and documented in `DESIGN.md` / `EXPERIMENTS.md`):
+//! during a batch of `c` concurrent joins and leaves over an `N`-node
+//! overlay, a routing hop taken by any of those operations encounters a
+//! stale link with probability `(c − 1) / (2 N)` — the expected fraction of
+//! links modified by the other in-flight operations and not yet repaired —
+//! and every stale encounter costs two extra messages (the bounced message
+//! plus the detour through a neighbour of the parent, §III-D).  The figure
+//! reports the *expected* extra messages per operation, measured over the
+//! actual hop counts of the batch.
+
+use crate::profile::Profile;
+use crate::result::{Averager, FigureResult, SeriesPoint};
+
+use super::{build_baton, SERIES_BATON};
+
+/// Concurrency levels (number of simultaneous joins + leaves) evaluated.
+pub fn concurrency_levels() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32, 64]
+}
+
+/// Runs the network-dynamics measurement.
+pub fn run(profile: &Profile) -> FigureResult {
+    let mut figure = FigureResult::new(
+        "8i",
+        "Effect of network dynamics (concurrent joins / leaves)",
+        "concurrent operations",
+        "extra messages per operation",
+    );
+    let n = *profile.network_sizes.last().expect("profile has sizes");
+
+    for c in concurrency_levels() {
+        let mut extra = Averager::new();
+        for rep in 0..profile.repetitions {
+            let seed = profile.rep_seed(rep);
+            let mut system = build_baton(profile, n, seed);
+            let batch = baton_workload::ConcurrentChurnBatch::of_intensity(c);
+            let stale_probability = (c.saturating_sub(1)) as f64 / (2.0 * n as f64);
+            // Perform the batch; every hop of every operation may hit a
+            // stale link left behind by the other in-flight operations.
+            let mut total_hops = 0u64;
+            let mut ops = 0u64;
+            for i in 0..batch.total() {
+                if i < batch.joins {
+                    let report = system.join_random().expect("join");
+                    total_hops += report.locate_messages + report.update_messages;
+                } else {
+                    let report = system.leave_random().expect("leave");
+                    total_hops += report.locate_messages + report.update_messages;
+                }
+                ops += 1;
+            }
+            let expected_extra = total_hops as f64 * stale_probability * 2.0;
+            extra.add(expected_extra / ops.max(1) as f64);
+        }
+        figure
+            .points
+            .push(SeriesPoint::at(c as f64).set(SERIES_BATON, extra.mean()));
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extra_messages_grow_with_concurrency() {
+        let profile = Profile::smoke();
+        let figure = run(&profile);
+        let levels = concurrency_levels();
+        assert_eq!(figure.points.len(), levels.len());
+        let first = figure.value_at(levels[0] as f64, SERIES_BATON).unwrap();
+        let last = figure
+            .value_at(*levels.last().unwrap() as f64, SERIES_BATON)
+            .unwrap();
+        assert!(
+            last > first,
+            "extra messages should grow with concurrency ({first} vs {last})"
+        );
+        assert!(first >= 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! One driver per figure of the paper's evaluation (Figure 8(a)–(i)).
+//!
+//! Every driver takes a [`Profile`](crate::profile::Profile) and returns a
+//! [`FigureResult`](crate::result::FigureResult) containing the same series
+//! the paper plots.  The mapping from figure to driver, workload and modules
+//! exercised is tabulated in `DESIGN.md` (per-experiment index) and the
+//! measured numbers are recorded in `EXPERIMENTS.md`.
+
+pub mod fig8ab;
+pub mod fig8c;
+pub mod fig8d;
+pub mod fig8e;
+pub mod fig8f;
+pub mod fig8g;
+pub mod fig8h;
+pub mod fig8i;
+
+use baton_core::{BatonConfig, BatonSystem, LoadBalanceConfig};
+use baton_net::SimRng;
+use baton_workload::{DatasetPlan, KeyDistribution};
+
+use crate::profile::Profile;
+use crate::result::FigureResult;
+
+/// Series name used for BATON measurements.
+pub const SERIES_BATON: &str = "BATON";
+/// Series name used for Chord measurements.
+pub const SERIES_CHORD: &str = "Chord";
+/// Series name used for the multiway-tree measurements.
+pub const SERIES_MTREE: &str = "Multiway tree";
+
+/// Builds a BATON overlay of `n` nodes for experiment use.
+///
+/// Load balancing thresholds are sized for the profile's expected average
+/// load so that the skew experiments can trigger balancing while the uniform
+/// ones mostly do not, as in the paper.
+pub(crate) fn build_baton(profile: &Profile, n: usize, seed: u64) -> BatonSystem {
+    let avg_load = (profile.dataset_size(n) / n.max(1)).max(4);
+    let config = BatonConfig::default()
+        .with_load_balance(LoadBalanceConfig::for_average_load(avg_load));
+    BatonSystem::build(config, seed, n).expect("building the BATON overlay cannot fail")
+}
+
+/// Bulk-loads a BATON overlay with the profile-scaled dataset.
+pub(crate) fn load_baton(
+    profile: &Profile,
+    system: &mut BatonSystem,
+    distribution: KeyDistribution,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    let plan = DatasetPlan {
+        values_per_node: 1000,
+        distribution,
+    }
+    .scaled(profile.data_scale);
+    let mut rng = SimRng::seeded(seed ^ 0xDA7A);
+    let data = plan.generate(&mut rng, system.node_count());
+    for (k, v) in &data {
+        system.insert(*k, *v).expect("insert cannot fail");
+    }
+    data
+}
+
+/// Runs every figure of the paper at the given profile, in order.
+pub fn run_all(profile: &Profile) -> Vec<FigureResult> {
+    let (a, b) = fig8ab::run(profile);
+    vec![
+        a,
+        b,
+        fig8c::run(profile),
+        fig8d::run(profile),
+        fig8e::run(profile),
+        fig8f::run(profile),
+        fig8g::run(profile),
+        fig8h::run(profile),
+        fig8i::run(profile),
+    ]
+}
+
+/// Runs a single figure by identifier (`"8a"`, `"8b"`, … `"8i"`).
+///
+/// Returns `None` for an unknown identifier.
+pub fn run_figure(id: &str, profile: &Profile) -> Option<FigureResult> {
+    match id.to_ascii_lowercase().as_str() {
+        "8a" | "a" => Some(fig8ab::run(profile).0),
+        "8b" | "b" => Some(fig8ab::run(profile).1),
+        "8c" | "c" => Some(fig8c::run(profile)),
+        "8d" | "d" => Some(fig8d::run(profile)),
+        "8e" | "e" => Some(fig8e::run(profile)),
+        "8f" | "f" => Some(fig8f::run(profile)),
+        "8g" | "g" => Some(fig8g::run(profile)),
+        "8h" | "h" => Some(fig8h::run(profile)),
+        "8i" | "i" => Some(fig8i::run(profile)),
+        _ => None,
+    }
+}
+
+/// Identifiers of every figure, in paper order.
+pub fn all_figure_ids() -> Vec<&'static str> {
+    vec!["8a", "8b", "8c", "8d", "8e", "8f", "8g", "8h", "8i"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_figure_rejects_unknown_ids() {
+        let profile = Profile::smoke();
+        assert!(run_figure("9z", &profile).is_none());
+    }
+
+    #[test]
+    fn helpers_build_and_load_networks() {
+        let profile = Profile::smoke();
+        let mut system = build_baton(&profile, 20, 1);
+        assert_eq!(system.node_count(), 20);
+        let data = load_baton(&profile, &mut system, KeyDistribution::Uniform, 1);
+        assert_eq!(system.total_items(), data.len());
+        baton_core::validate(&system).unwrap();
+    }
+}

@@ -1,0 +1,43 @@
+//! # baton-sim — experiment harness for the BATON reproduction
+//!
+//! Drivers that regenerate **every figure of the paper's evaluation**
+//! (Figure 8(a)–(i), §V) from the BATON implementation in [`baton_core`] and
+//! the two baselines ([`baton_chord`], [`baton_mtree`]), at a configurable
+//! scale ([`Profile`]).
+//!
+//! | figure | driver | what it measures |
+//! |---|---|---|
+//! | 8(a) | [`figures::fig8ab`] | messages to find the join / replacement node |
+//! | 8(b) | [`figures::fig8ab`] | messages to update routing tables on churn |
+//! | 8(c) | [`figures::fig8c`] | messages per insert / delete |
+//! | 8(d) | [`figures::fig8d`] | messages per exact-match query |
+//! | 8(e) | [`figures::fig8e`] | messages per range query |
+//! | 8(f) | [`figures::fig8f`] | access load per tree level |
+//! | 8(g) | [`figures::fig8g`] | load-balancing messages per insert (uniform vs Zipf) |
+//! | 8(h) | [`figures::fig8h`] | distribution of load-balancing shift sizes |
+//! | 8(i) | [`figures::fig8i`] | extra messages under concurrent churn |
+//!
+//! The `reproduce` binary (`cargo run -p baton-sim --bin reproduce --release`)
+//! prints the tables for any subset of figures; `crates/bench` wraps the
+//! same drivers in Criterion benchmarks.
+//!
+//! ```
+//! use baton_sim::{figures, Profile};
+//!
+//! let profile = Profile::smoke();
+//! let figure = figures::run_figure("8d", &profile).unwrap();
+//! assert_eq!(figure.id, "8d");
+//! assert!(!figure.points.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod profile;
+pub mod report;
+pub mod result;
+
+pub use profile::Profile;
+pub use report::{render_json, render_report};
+pub use result::{Averager, FigureResult, SeriesPoint};

@@ -1,0 +1,52 @@
+//! Rendering a batch of figure results as a report.
+
+use std::fmt::Write as _;
+
+use crate::result::FigureResult;
+
+/// Renders a set of figure results as a single text report.
+pub fn render_report(results: &[FigureResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "BATON reproduction — {} figure(s) regenerated\n",
+        results.len()
+    );
+    for result in results {
+        out.push_str(&result.to_table());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a set of figure results as a JSON document (an array of figures).
+pub fn render_json(results: &[FigureResult]) -> String {
+    serde_json::to_string_pretty(results).expect("figure results serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::SeriesPoint;
+
+    fn sample() -> Vec<FigureResult> {
+        let mut fig = FigureResult::new("8a", "sample", "nodes", "messages");
+        fig.points.push(SeriesPoint::at(10.0).set("BATON", 3.5));
+        vec![fig]
+    }
+
+    #[test]
+    fn text_report_contains_every_figure() {
+        let report = render_report(&sample());
+        assert!(report.contains("Figure 8a"));
+        assert!(report.contains("BATON"));
+        assert!(report.contains("3.50"));
+    }
+
+    #[test]
+    fn json_report_roundtrips() {
+        let json = render_json(&sample());
+        let parsed: Vec<FigureResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, sample());
+    }
+}

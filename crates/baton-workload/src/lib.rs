@@ -1,0 +1,27 @@
+//! # baton-workload — workload generators for the BATON evaluation
+//!
+//! Deterministic generators for everything the paper's experiments need:
+//!
+//! * [`keys`] — uniform and Zipfian(θ) key streams over `[1, 10^9)`;
+//! * [`dataset`] — the `1000 × N` bulk loads (uniform and skewed), with a
+//!   scale factor for fast test/bench profiles;
+//! * [`queries`] — the 1000-exact + 1000-range query workloads;
+//! * [`churn`] — join/leave/failure sequences and the concurrent-churn
+//!   batches of the network-dynamics experiment.
+//!
+//! All generators are driven by an explicit [`rand::Rng`] (normally a
+//! seeded `baton_net::SimRng`) so every experiment repetition is
+//! reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod churn;
+pub mod dataset;
+pub mod keys;
+pub mod queries;
+
+pub use churn::{ChurnEvent, ChurnWorkload, ConcurrentChurnBatch};
+pub use dataset::DatasetPlan;
+pub use keys::{KeyDistribution, KeyGenerator, DOMAIN_HIGH, DOMAIN_LOW};
+pub use queries::{Query, QueryWorkload};

@@ -1,0 +1,34 @@
+//! Figure 8(a): cost of finding the join node and the replacement node.
+//!
+//! Prints the reproduced series (BATON vs Chord vs multiway tree, messages
+//! per operation vs network size) and benchmarks the wall-clock cost of a
+//! BATON join and a BATON departure on a 1,000-node overlay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    baton_bench::print_figure("8a");
+
+    let mut group = c.benchmark_group("fig8a_join_leave");
+    group.sample_size(20);
+
+    let mut join_overlay = baton_bench::baton_overlay(1000, 41, 100);
+    group.bench_function("baton_join_n1000", |b| {
+        b.iter(|| {
+            join_overlay.join_random().expect("join");
+        })
+    });
+
+    let mut churn_overlay = baton_bench::baton_overlay(1000, 42, 100);
+    group.bench_function("baton_join_then_leave_n1000", |b| {
+        b.iter(|| {
+            let report = churn_overlay.join_random().expect("join");
+            churn_overlay.leave(report.new_peer).expect("leave");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

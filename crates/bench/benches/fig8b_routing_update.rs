@@ -1,0 +1,33 @@
+//! Figure 8(b): cost of updating routing tables on join and leave.
+//!
+//! Prints the reproduced series (BATON `O(log N)` vs Chord `O(log² N)` vs
+//! multiway tree) and benchmarks the maintenance-heavy part in isolation:
+//! a Chord join (finger construction) against a BATON join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    baton_bench::print_figure("8b");
+
+    let mut group = c.benchmark_group("fig8b_routing_update");
+    group.sample_size(20);
+
+    let mut baton = baton_bench::baton_overlay(1000, 7, 100);
+    group.bench_function("baton_join_table_update_n1000", |b| {
+        b.iter(|| {
+            baton.join_random().expect("join");
+        })
+    });
+
+    let mut chord = baton_chord::ChordSystem::build(7, 1000).expect("chord");
+    group.bench_function("chord_join_finger_build_n1000", |b| {
+        b.iter(|| {
+            chord.join_random().expect("join");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 8(c): cost of insert and delete operations.
+//!
+//! Prints the reproduced series and benchmarks BATON inserts and deletes on
+//! a 1,000-node overlay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    baton_bench::print_figure("8c");
+
+    let mut group = c.benchmark_group("fig8c_insert_delete");
+    group.sample_size(30);
+
+    let mut overlay = baton_bench::baton_overlay(1000, 11, 1_000_000);
+    let mut key = 1u64;
+    group.bench_function("baton_insert_n1000", |b| {
+        b.iter(|| {
+            key = (key * 48271) % 999_999_999 + 1;
+            overlay.insert(key, key).expect("insert");
+        })
+    });
+
+    let mut delete_overlay = baton_bench::baton_overlay(1000, 12, 1_000_000);
+    for i in 0..10_000u64 {
+        delete_overlay
+            .insert(1 + (i * 99_991) % 999_999_998, i)
+            .expect("preload");
+    }
+    let mut dkey = 1u64;
+    group.bench_function("baton_delete_n1000", |b| {
+        b.iter(|| {
+            dkey = (dkey * 48271) % 999_999_999 + 1;
+            delete_overlay.delete(dkey).expect("delete");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 8(d): cost of exact-match queries.
+//!
+//! Prints the reproduced series (BATON vs Chord vs multiway tree) and
+//! benchmarks a BATON exact query against a Chord lookup on 1,000-node
+//! overlays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    baton_bench::print_figure("8d");
+
+    let mut group = c.benchmark_group("fig8d_exact_query");
+    group.sample_size(30);
+
+    let mut baton = baton_bench::baton_overlay(1000, 21, 1_000_000);
+    for i in 0..20_000u64 {
+        baton
+            .insert(1 + (i * 49_999) % 999_999_998, i)
+            .expect("preload");
+    }
+    let mut key = 1u64;
+    group.bench_function("baton_search_exact_n1000", |b| {
+        b.iter(|| {
+            key = (key * 48271) % 999_999_999 + 1;
+            baton.search_exact(key).expect("search");
+        })
+    });
+
+    let mut chord = baton_chord::ChordSystem::build(21, 1000).expect("chord");
+    for i in 0..20_000u64 {
+        chord.insert(i * 7, i).expect("preload");
+    }
+    let mut ckey = 1u64;
+    group.bench_function("chord_search_exact_n1000", |b| {
+        b.iter(|| {
+            ckey = (ckey * 48271) % 999_999_999 + 1;
+            chord.search_exact(ckey).expect("search");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 8(e): cost of range queries.
+//!
+//! Prints the reproduced series (BATON `O(log N + X)`; Chord cannot answer
+//! range queries) and benchmarks BATON range queries of two selectivities on
+//! a 1,000-node overlay.
+
+use baton_core::KeyRange;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    baton_bench::print_figure("8e");
+
+    let mut group = c.benchmark_group("fig8e_range_query");
+    group.sample_size(20);
+
+    let mut overlay = baton_bench::baton_overlay(1000, 31, 1_000_000);
+    for i in 0..20_000u64 {
+        overlay
+            .insert(1 + (i * 49_999) % 999_999_998, i)
+            .expect("preload");
+    }
+
+    let mut low = 1u64;
+    group.bench_function("baton_range_query_0p1pct_n1000", |b| {
+        b.iter(|| {
+            low = (low * 48271) % 900_000_000 + 1;
+            overlay
+                .search_range(KeyRange::new(low, low + 1_000_000))
+                .expect("range");
+        })
+    });
+    group.bench_function("baton_range_query_1pct_n1000", |b| {
+        b.iter(|| {
+            low = (low * 48271) % 900_000_000 + 1;
+            overlay
+                .search_range(KeyRange::new(low, low + 10_000_000))
+                .expect("range");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

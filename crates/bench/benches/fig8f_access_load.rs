@@ -1,0 +1,33 @@
+//! Figure 8(f): access load of nodes at different tree levels.
+//!
+//! Prints the per-level insert/search load table (showing that the root is
+//! not a hotspot) and benchmarks the per-level aggregation itself plus a
+//! mixed insert+search workload that generates the load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    baton_bench::print_figure("8f");
+
+    let mut group = c.benchmark_group("fig8f_access_load");
+    group.sample_size(20);
+
+    let mut overlay = baton_bench::baton_overlay(500, 51, 1_000_000);
+    let mut key = 1u64;
+    group.bench_function("baton_mixed_insert_search_n500", |b| {
+        b.iter(|| {
+            key = (key * 48271) % 999_999_999 + 1;
+            overlay.insert(key, key).expect("insert");
+            overlay.search_exact(key).expect("search");
+        })
+    });
+
+    group.bench_function("access_load_aggregation_n500", |b| {
+        b.iter(|| overlay.access_load_by_level())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 8(g): average messages of the load-balancing operation,
+//! uniform versus skewed (Zipf 1.0) data.
+//!
+//! Prints the reproduced series and benchmarks skewed inserts (which carry
+//! the load-balancing machinery) against uniform inserts.
+
+use baton_net::SimRng;
+use baton_workload::{KeyDistribution, KeyGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    baton_bench::print_figure("8g");
+
+    let mut group = c.benchmark_group("fig8g_load_balance");
+    group.sample_size(20);
+
+    let mut uniform_overlay = baton_bench::baton_overlay(300, 61, 50);
+    let uniform_keys = KeyGenerator::paper(KeyDistribution::Uniform);
+    let mut rng = SimRng::seeded(611);
+    group.bench_function("baton_insert_uniform_n300", |b| {
+        b.iter(|| {
+            let key = uniform_keys.next_key(&mut rng);
+            uniform_overlay.insert(key, 0).expect("insert");
+        })
+    });
+
+    let mut skewed_overlay = baton_bench::baton_overlay(300, 62, 50);
+    let zipf_keys = KeyGenerator::paper(KeyDistribution::Zipf { theta: 1.0 });
+    let mut zipf_rng = SimRng::seeded(622);
+    group.bench_function("baton_insert_zipf_with_balancing_n300", |b| {
+        b.iter(|| {
+            let key = zipf_keys.next_key(&mut zipf_rng);
+            skewed_overlay.insert(key, 0).expect("insert");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 8(h): distribution of the number of nodes involved in one load
+//! balancing operation.
+//!
+//! Prints the reproduced distribution (sharply decaying with shift length)
+//! and benchmarks skewed inserts on a small overlay where balancing — and
+//! the forced restructuring shifts it triggers — fires frequently.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    baton_bench::print_figure("8h");
+
+    let mut group = c.benchmark_group("fig8h_shift_size");
+    group.sample_size(20);
+
+    // Keep one region overloaded by pumping keys into a narrow band, which
+    // exercises the balancing + restructuring path on most iterations.
+    let mut overlay = baton_bench::baton_overlay(200, 71, 20);
+    let mut i = 0u64;
+    group.bench_function("baton_skewed_insert_with_rebalance_n200", |b| {
+        b.iter(|| {
+            i += 1;
+            let key = 1 + (i % 1000);
+            let report = overlay.insert(key, i).expect("insert");
+            criterion::black_box(report.balance.is_some());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 8(i): effect of network dynamics — extra messages under
+//! concurrent joins and leaves.
+//!
+//! Prints the reproduced series (extra messages per operation vs the number
+//! of concurrent operations) and benchmarks a concurrent churn batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    baton_bench::print_figure("8i");
+
+    let mut group = c.benchmark_group("fig8i_network_dynamics");
+    group.sample_size(10);
+
+    let mut overlay = baton_bench::baton_overlay(500, 81, 100);
+    group.bench_function("baton_churn_batch_of_8_n500", |b| {
+        b.iter(|| {
+            let mut joined = Vec::new();
+            for _ in 0..4 {
+                joined.push(overlay.join_random().expect("join").new_peer);
+            }
+            for peer in joined {
+                overlay.leave(peer).expect("leave");
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

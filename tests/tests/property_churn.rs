@@ -1,0 +1,106 @@
+//! Property-based integration tests: random operation sequences, applied to
+//! a BATON overlay, never violate the structural invariants and never lose
+//! data (except at explicitly failed nodes).
+
+use baton_core::{validate, BatonConfig, BatonSystem, KeyRange, LoadBalanceConfig};
+use proptest::prelude::*;
+
+/// The operations the property tests draw from.
+#[derive(Clone, Debug)]
+enum Op {
+    Join,
+    Leave,
+    Fail,
+    Insert(u64),
+    Delete(u64),
+    SearchExact(u64),
+    SearchRange(u64, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Join),
+        2 => Just(Op::Leave),
+        1 => Just(Op::Fail),
+        4 => (1u64..1_000_000_000).prop_map(Op::Insert),
+        2 => (1u64..1_000_000_000).prop_map(Op::Delete),
+        2 => (1u64..1_000_000_000).prop_map(Op::SearchExact),
+        1 => (1u64..999_000_000, 1u64..1_000_000).prop_map(|(low, width)| Op::SearchRange(low, low + width)),
+    ]
+}
+
+fn apply(overlay: &mut BatonSystem, op: &Op, expected_items: &mut i64) {
+    match op {
+        Op::Join => {
+            overlay.join_random().unwrap();
+        }
+        Op::Leave => {
+            if overlay.node_count() > 2 {
+                overlay.leave_random().unwrap();
+            }
+        }
+        Op::Fail => {
+            if overlay.node_count() > 2 {
+                let victim = overlay.random_peer().unwrap();
+                let report = overlay.fail(victim).unwrap();
+                *expected_items -= report.lost_items as i64;
+            }
+        }
+        Op::Insert(key) => {
+            overlay.insert(*key, *key).unwrap();
+            *expected_items += 1;
+        }
+        Op::Delete(key) => {
+            let report = overlay.delete(*key).unwrap();
+            if report.removed {
+                *expected_items -= 1;
+            }
+        }
+        Op::SearchExact(key) => {
+            overlay.search_exact(*key).unwrap();
+        }
+        Op::SearchRange(low, high) => {
+            overlay.search_range(KeyRange::new(*low, *high)).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_operation_sequences_preserve_every_invariant(
+        seed in 0u64..1_000,
+        initial in 4usize..24,
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let config = BatonConfig::default()
+            .with_load_balance(LoadBalanceConfig::for_average_load(8));
+        let mut overlay = BatonSystem::build(config, seed, initial).unwrap();
+        let mut expected_items = 0i64;
+        for op in &ops {
+            apply(&mut overlay, op, &mut expected_items);
+            validate(&overlay)
+                .unwrap_or_else(|e| panic!("invariant violated after {op:?}: {e}"));
+        }
+        prop_assert_eq!(overlay.total_items() as i64, expected_items);
+    }
+
+    #[test]
+    fn inserted_keys_are_always_findable(
+        seed in 0u64..1_000,
+        keys in proptest::collection::vec(1u64..1_000_000_000, 1..80),
+    ) {
+        let mut overlay = BatonSystem::build(BatonConfig::default(), seed, 16).unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            overlay.insert(*key, i as u64).unwrap();
+        }
+        for (i, key) in keys.iter().enumerate() {
+            let report = overlay.search_exact(*key).unwrap();
+            prop_assert!(report.matches.contains(&(i as u64)), "lost key {}", key);
+        }
+        // Whole-domain range query returns everything.
+        let all = overlay.search_range(KeyRange::paper_domain()).unwrap();
+        prop_assert_eq!(all.matches.len(), keys.len());
+    }
+}
