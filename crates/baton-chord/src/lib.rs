@@ -25,8 +25,10 @@
 
 pub mod id;
 pub mod node;
+pub mod overlay;
 pub mod system;
 
+pub use baton_net::Overlay;
 pub use id::{ChordId, M, RING};
 pub use node::{ChordNode, Finger};
 pub use system::{ChordChurnReport, ChordError, ChordMessage, ChordOpReport, ChordSystem};

@@ -1,0 +1,127 @@
+//! [`Overlay`] implementation for [`ChordSystem`].
+//!
+//! Chord is a plain DHT: exact-match lookups and churn only.  Its
+//! capabilities report `range_queries: false` and [`Overlay::search_range`]
+//! returns [`OverlayError::Unsupported`], which is how the generic figure
+//! drivers know to omit Chord from Figure 8(e) — exactly as the paper does.
+
+use baton_net::{
+    ChurnCost, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError, OverlayResult,
+};
+
+use crate::system::{ChordError, ChordSystem};
+
+fn op_err(error: ChordError) -> OverlayError {
+    OverlayError::Op(error.to_string())
+}
+
+impl Overlay for ChordSystem {
+    fn name(&self) -> &'static str {
+        "Chord"
+    }
+
+    fn capabilities(&self) -> OverlayCapabilities {
+        OverlayCapabilities::DHT
+    }
+
+    fn node_count(&self) -> usize {
+        ChordSystem::node_count(self)
+    }
+
+    fn total_items(&self) -> usize {
+        ChordSystem::total_items(self)
+    }
+
+    fn stats(&self) -> &MessageStats {
+        ChordSystem::stats(self)
+    }
+
+    fn stats_mut(&mut self) -> &mut MessageStats {
+        ChordSystem::stats_mut(self)
+    }
+
+    fn join_random(&mut self) -> OverlayResult<ChurnCost> {
+        let report = ChordSystem::join_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
+    fn leave_random(&mut self) -> OverlayResult<ChurnCost> {
+        let report = ChordSystem::leave_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
+    fn insert(&mut self, key: u64, value: u64) -> OverlayResult<OpCost> {
+        let report = ChordSystem::insert(self, key, value).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: 0,
+            nodes_visited: 1,
+            balance_messages: 0,
+        })
+    }
+
+    fn delete(&mut self, key: u64) -> OverlayResult<OpCost> {
+        let report = ChordSystem::delete(self, key).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: report.matches,
+            nodes_visited: 1,
+            balance_messages: 0,
+        })
+    }
+
+    fn search_exact(&mut self, key: u64) -> OverlayResult<OpCost> {
+        let report = ChordSystem::search_exact(self, key).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: report.matches,
+            nodes_visited: 1,
+            balance_messages: 0,
+        })
+    }
+
+    fn search_range(&mut self, low: u64, high: u64) -> OverlayResult<OpCost> {
+        // Consistent hashing destroys key order; mirror the inherent API,
+        // which returns `None` for range queries.
+        debug_assert!(ChordSystem::search_range(self, low, high).is_none());
+        Err(OverlayError::Unsupported("range queries on a DHT"))
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        ChordSystem::validate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chord_through_the_trait_supports_exact_but_not_range() {
+        let mut overlay: Box<dyn Overlay> = Box::new(ChordSystem::build(1, 40).unwrap());
+        assert_eq!(overlay.name(), "Chord");
+        assert!(!overlay.capabilities().range_queries);
+
+        overlay.insert(42, 7).unwrap();
+        assert_eq!(overlay.search_exact(42).unwrap().matches, 1);
+        assert!(matches!(
+            overlay.search_range(0, 100),
+            Err(OverlayError::Unsupported(_))
+        ));
+        assert!(overlay.fail_random().is_err());
+
+        let join = overlay.join_random().unwrap();
+        assert!(join.locate_messages >= 1);
+        overlay.leave_random().unwrap();
+        assert_eq!(overlay.node_count(), 40);
+        overlay.validate().unwrap();
+    }
+}

@@ -134,6 +134,12 @@ impl ChordSystem {
         self.net.stats()
     }
 
+    /// Mutable network statistics (harnesses reset per-peer counters
+    /// between experiment phases).
+    pub fn stats_mut(&mut self) -> &mut baton_net::MessageStats {
+        self.net.stats_mut()
+    }
+
     /// Total number of stored values.
     pub fn total_items(&self) -> usize {
         self.nodes.values().map(ChordNode::load).sum()
@@ -170,7 +176,12 @@ impl ChordSystem {
 
     /// Iterative lookup of the successor of `target`, starting at `issuer`.
     /// Returns `(owner, messages, hops)`.
-    fn lookup(&mut self, op: OpScope, issuer: PeerId, target: ChordId) -> Result<(PeerId, u64, u32)> {
+    fn lookup(
+        &mut self,
+        op: OpScope,
+        issuer: PeerId,
+        target: ChordId,
+    ) -> Result<(PeerId, u64, u32)> {
         let mut current = issuer;
         let mut messages = 0u64;
         let mut hops = 0u32;
@@ -257,9 +268,12 @@ impl ChordSystem {
         }
         self.nodes.insert(peer, new_node);
         // Notify successor and predecessor (plus the key transfer message).
-        self.net.count_message(op, "chord.maintenance", peer, successor_peer);
-        self.net.count_message(op, "chord.maintenance", peer, predecessor_peer);
-        self.net.count_message(op, "chord.maintenance", successor_peer, peer);
+        self.net
+            .count_message(op, "chord.maintenance", peer, successor_peer);
+        self.net
+            .count_message(op, "chord.maintenance", peer, predecessor_peer);
+        self.net
+            .count_message(op, "chord.maintenance", successor_peer, peer);
         update_messages += 3;
         self.node_mut(successor_peer)?.predecessor = (peer, id);
         self.node_mut(predecessor_peer)?.successor = (peer, id);
@@ -301,9 +315,8 @@ impl ChordSystem {
         // predecessors — the O(log² N) maintenance term of the Chord join
         // that the BATON paper contrasts with its own O(log N) updates.
         for i in 0..M {
-            let target = ChordId::new(
-                (id.value() + crate::id::RING - (1u64 << i)) % crate::id::RING,
-            );
+            let target =
+                ChordId::new((id.value() + crate::id::RING - (1u64 << i)) % crate::id::RING);
             let (succ, msgs, _) = self.lookup(op, peer, target)?;
             update_messages += msgs;
             let mut current = self.node(succ)?.predecessor.0;
@@ -326,7 +339,8 @@ impl ChordSystem {
                 if !improves {
                     break;
                 }
-                self.net.count_message(op, "chord.maintenance", peer, current);
+                self.net
+                    .count_message(op, "chord.maintenance", peer, current);
                 update_messages += 1;
                 self.node_mut(current)?.fingers[i as usize] = Some(Finger {
                     start,
@@ -356,7 +370,10 @@ impl ChordSystem {
             return Err(ChordError::LastNode);
         }
         let op = self.net.begin_op("chord.leave");
-        let departing = self.nodes.remove(&peer).ok_or(ChordError::UnknownPeer(peer))?;
+        let departing = self
+            .nodes
+            .remove(&peer)
+            .ok_or(ChordError::UnknownPeer(peer))?;
         let mut update_messages = 0u64;
 
         // Hand keys to the successor, re-link predecessor and successor.
@@ -365,13 +382,19 @@ impl ChordSystem {
         {
             let successor = self.node_mut(succ_peer)?;
             for (k, vs) in &departing.store {
-                successor.store.entry(*k).or_default().extend(vs.iter().copied());
+                successor
+                    .store
+                    .entry(*k)
+                    .or_default()
+                    .extend(vs.iter().copied());
             }
             successor.predecessor = (pred_peer, pred_id);
         }
         self.node_mut(pred_peer)?.successor = (succ_peer, succ_id);
-        self.net.count_message(op, "chord.maintenance", peer, succ_peer);
-        self.net.count_message(op, "chord.maintenance", peer, pred_peer);
+        self.net
+            .count_message(op, "chord.maintenance", peer, succ_peer);
+        self.net
+            .count_message(op, "chord.maintenance", peer, pred_peer);
         update_messages += 2;
         self.net.depart_peer(peer);
 
@@ -546,7 +569,9 @@ mod tests {
         for n in [1usize, 2, 5, 32, 100] {
             let system = ChordSystem::build(7, n).unwrap();
             assert_eq!(system.node_count(), n);
-            system.validate().unwrap_or_else(|e| panic!("{n}-node ring invalid: {e}"));
+            system
+                .validate()
+                .unwrap_or_else(|e| panic!("{n}-node ring invalid: {e}"));
         }
     }
 
@@ -565,7 +590,10 @@ mod tests {
             );
         }
         let avg = total as f64 / 200.0;
-        assert!(avg <= 1.5 * log_n + 2.0, "average lookup cost {avg} too high");
+        assert!(
+            avg <= 1.5 * log_n + 2.0,
+            "average lookup cost {avg} too high"
+        );
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! System configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::range::KeyRange;
 
 /// Load-balancing policy (paper §IV-D).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LoadBalanceConfig {
     /// Whether load balancing runs at all.
     pub enabled: bool,
@@ -52,7 +50,7 @@ impl LoadBalanceConfig {
 }
 
 /// Configuration of a [`crate::BatonSystem`].
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BatonConfig {
     /// The key domain the overlay indexes.  The first node manages the whole
     /// domain; subsequent joins split it.

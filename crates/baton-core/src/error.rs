@@ -44,7 +44,10 @@ impl std::fmt::Display for BatonError {
             BatonError::EmptyNetwork => write!(f, "the overlay has no nodes"),
             BatonError::LastNode => write!(f, "the last node cannot leave the network"),
             BatonError::RoutingLoop { operation, hops } => {
-                write!(f, "{operation} exceeded {hops} hops: routing state corrupted")
+                write!(
+                    f,
+                    "{operation} exceeded {hops} hops: routing state corrupted"
+                )
             }
             BatonError::KeyOutOfDomain(k) => write!(f, "key {k} is outside the indexed domain"),
             BatonError::KeyNotFound(k) => write!(f, "key {k} not found"),
@@ -65,7 +68,9 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_details() {
-        assert!(BatonError::UnknownPeer(PeerId(3)).to_string().contains("peer#3"));
+        assert!(BatonError::UnknownPeer(PeerId(3))
+            .to_string()
+            .contains("peer#3"));
         assert!(BatonError::KeyOutOfDomain(42).to_string().contains("42"));
         assert!(BatonError::KeyNotFound(7).to_string().contains("7"));
         assert!(BatonError::RoutingLoop {

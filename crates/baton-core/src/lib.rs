@@ -63,6 +63,7 @@ pub mod config;
 pub mod error;
 pub mod messages;
 pub mod node;
+pub mod overlay;
 pub mod position;
 pub mod protocol;
 pub mod range;
@@ -87,5 +88,6 @@ pub use store::{LocalStore, Value};
 pub use system::BatonSystem;
 pub use validate::validate;
 
-// Re-export the substrate types users need to interact with reports/stats.
-pub use baton_net::{Histogram, MessageStats, PeerId};
+// Re-export the substrate types users need to interact with reports/stats
+// and the workspace-wide overlay interface BatonSystem implements.
+pub use baton_net::{Histogram, MessageStats, Overlay, PeerId};

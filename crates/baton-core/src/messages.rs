@@ -267,7 +267,11 @@ mod tests {
         let mut dedup = kinds.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), kinds.len(), "kinds must be distinct: {kinds:?}");
+        assert_eq!(
+            dedup.len(),
+            kinds.len(),
+            "kinds must be distinct: {kinds:?}"
+        );
     }
 
     #[test]

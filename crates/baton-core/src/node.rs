@@ -6,8 +6,6 @@
 //! lives in [`crate::protocol`] and [`crate::system`]; this module is pure
 //! state plus small queries over that state.
 
-use serde::{Deserialize, Serialize};
-
 use baton_net::PeerId;
 
 use crate::position::{Position, Side};
@@ -16,7 +14,7 @@ use crate::routing::{NodeLink, RoutingTable};
 use crate::store::LocalStore;
 
 /// State of one peer in the BATON overlay.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BatonNode {
     /// Physical address of this peer.
     pub peer: PeerId,

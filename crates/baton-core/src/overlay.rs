@@ -1,0 +1,186 @@
+//! [`Overlay`] implementation for [`BatonSystem`]: the adapter between
+//! BATON's rich protocol reports and the workspace-wide overlay interface
+//! the generic harness (`baton-workload` runners, `baton-sim` drivers)
+//! programs against.
+
+use baton_net::{
+    ChurnCost, Histogram, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError,
+    OverlayResult,
+};
+
+use crate::error::BatonError;
+use crate::range::KeyRange;
+use crate::system::BatonSystem;
+
+fn op_err(error: BatonError) -> OverlayError {
+    OverlayError::Op(error.to_string())
+}
+
+impl Overlay for BatonSystem {
+    fn name(&self) -> &'static str {
+        "BATON"
+    }
+
+    fn capabilities(&self) -> OverlayCapabilities {
+        OverlayCapabilities::FULL
+    }
+
+    fn node_count(&self) -> usize {
+        BatonSystem::node_count(self)
+    }
+
+    fn total_items(&self) -> usize {
+        BatonSystem::total_items(self)
+    }
+
+    fn stats(&self) -> &MessageStats {
+        BatonSystem::stats(self)
+    }
+
+    fn stats_mut(&mut self) -> &mut MessageStats {
+        BatonSystem::stats_mut(self)
+    }
+
+    fn join_random(&mut self) -> OverlayResult<ChurnCost> {
+        let report = BatonSystem::join_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
+    fn leave_random(&mut self) -> OverlayResult<ChurnCost> {
+        let report = BatonSystem::leave_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
+    fn fail_random(&mut self) -> OverlayResult<ChurnCost> {
+        let victim = self
+            .random_peer()
+            .ok_or_else(|| OverlayError::Op("the overlay is empty".into()))?;
+        let report = self.fail(victim).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.departure_messages,
+            update_messages: report.regeneration_messages,
+            lost_items: report.lost_items,
+        })
+    }
+
+    fn insert(&mut self, key: u64, value: u64) -> OverlayResult<OpCost> {
+        let report = BatonSystem::insert(self, key, value).map_err(op_err)?;
+        Ok(OpCost {
+            // Routing plus any leftmost/rightmost domain expansion; load
+            // balancing is reported separately, per the OpCost contract.
+            messages: report.messages + report.expansion_messages,
+            matches: 0,
+            nodes_visited: 1,
+            balance_messages: report.balance.as_ref().map_or(0, |b| b.messages),
+        })
+    }
+
+    fn delete(&mut self, key: u64) -> OverlayResult<OpCost> {
+        let report = BatonSystem::delete(self, key).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: usize::from(report.removed),
+            nodes_visited: 1,
+            balance_messages: report.balance.as_ref().map_or(0, |b| b.messages),
+        })
+    }
+
+    fn search_exact(&mut self, key: u64) -> OverlayResult<OpCost> {
+        let report = BatonSystem::search_exact(self, key).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: report.matches.len(),
+            nodes_visited: 1,
+            balance_messages: 0,
+        })
+    }
+
+    fn search_range(&mut self, low: u64, high: u64) -> OverlayResult<OpCost> {
+        let report = BatonSystem::search_range(self, KeyRange::new(low, high)).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: report.matches.len(),
+            nodes_visited: report.nodes_visited,
+            balance_messages: 0,
+        })
+    }
+
+    fn access_load_by_level(&self) -> Vec<(u32, f64)> {
+        BatonSystem::access_load_by_level(self)
+    }
+
+    fn balance_shift_histogram(&self) -> Option<&Histogram> {
+        Some(BatonSystem::balance_shift_histogram(self))
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        crate::validate(self).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatonConfig;
+
+    fn boxed(n: usize, seed: u64) -> Box<dyn Overlay> {
+        Box::new(BatonSystem::build(BatonConfig::default(), seed, n).unwrap())
+    }
+
+    #[test]
+    fn baton_is_fully_capable_through_the_trait() {
+        let mut overlay = boxed(30, 1);
+        assert_eq!(overlay.name(), "BATON");
+        assert_eq!(overlay.capabilities(), OverlayCapabilities::FULL);
+        assert_eq!(overlay.node_count(), 30);
+
+        let insert = overlay.insert(123_456, 7).unwrap();
+        assert!(insert.messages > 0);
+        assert_eq!(overlay.total_items(), 1);
+        let hit = overlay.search_exact(123_456).unwrap();
+        assert_eq!(hit.matches, 1);
+        let range = overlay.search_range(1, 1_000_000_000).unwrap();
+        assert_eq!(range.matches, 1);
+        assert!(range.nodes_visited >= 1);
+        let gone = overlay.delete(123_456).unwrap();
+        assert_eq!(gone.matches, 1);
+
+        let join = overlay.join_random().unwrap();
+        assert!(join.locate_messages + join.update_messages > 0);
+        overlay.leave_random().unwrap();
+        assert_eq!(overlay.node_count(), 30);
+        overlay.validate().unwrap();
+    }
+
+    #[test]
+    fn baton_failures_report_lost_items_through_the_trait() {
+        let mut overlay = boxed(20, 2);
+        for i in 0..100u64 {
+            overlay.insert(1 + i * 9_999_991, i).unwrap();
+        }
+        let before = overlay.total_items();
+        let cost = overlay.fail_random().unwrap();
+        assert_eq!(overlay.node_count(), 19);
+        assert_eq!(overlay.total_items() + cost.lost_items, before);
+        overlay.validate().unwrap();
+    }
+
+    #[test]
+    fn baton_reports_level_load_and_shift_histogram() {
+        let mut overlay = boxed(40, 3);
+        for i in 0..50u64 {
+            overlay.insert(1 + i * 13_999_999, i).unwrap();
+            overlay.search_exact(1 + i * 13_999_999).unwrap();
+        }
+        assert!(!overlay.access_load_by_level().is_empty());
+        assert!(overlay.balance_shift_histogram().is_some());
+    }
+}

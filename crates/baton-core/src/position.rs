@@ -14,11 +14,9 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Which side of a node: used for children, adjacent links and routing
 /// tables throughout the crate.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Side {
     /// Towards smaller keys / smaller in-order positions.
     Left,
@@ -51,7 +49,7 @@ impl fmt::Display for Side {
 
 /// A logical position in the BATON tree: `(level, number)` with
 /// `1 <= number <= 2^level`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Position {
     level: u32,
     number: u64,
@@ -137,7 +135,7 @@ impl Position {
     /// `true` if this position is the right child of its parent.
     #[inline]
     pub fn is_right_child(self) -> bool {
-        !self.is_root() && self.number % 2 == 0
+        !self.is_root() && self.number.is_multiple_of(2)
     }
 
     /// Which child of its parent this position is, or `None` for the root.
@@ -295,7 +293,6 @@ impl Position {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn root_properties() {
@@ -373,9 +370,18 @@ mod tests {
         for i in 0..3 {
             assert_eq!(h.routing_neighbor(Side::Left, i), None);
         }
-        assert_eq!(h.routing_neighbor(Side::Right, 0), Some(Position::new(3, 2)));
-        assert_eq!(h.routing_neighbor(Side::Right, 1), Some(Position::new(3, 3)));
-        assert_eq!(h.routing_neighbor(Side::Right, 2), Some(Position::new(3, 5)));
+        assert_eq!(
+            h.routing_neighbor(Side::Right, 0),
+            Some(Position::new(3, 2))
+        );
+        assert_eq!(
+            h.routing_neighbor(Side::Right, 1),
+            Some(Position::new(3, 3))
+        );
+        assert_eq!(
+            h.routing_neighbor(Side::Right, 2),
+            Some(Position::new(3, 5))
+        );
         assert_eq!(h.routing_neighbor(Side::Right, 3), None);
     }
 
@@ -468,87 +474,115 @@ mod tests {
         assert_eq!(format!("{p}"), "level 2 number 3");
     }
 
-    fn arb_position() -> impl Strategy<Value = Position> {
-        (0u32..20).prop_flat_map(|level| {
-            (Just(level), 1u64..=(1u64 << level)).prop_map(|(l, n)| Position::new(l, n))
-        })
+    fn random_position(rng: &mut baton_net::SimRng) -> Position {
+        let level = rng.uniform_u64(0, 20) as u32;
+        let number = rng.uniform_u64(1, (1u64 << level) + 1);
+        Position::new(level, number)
     }
 
-    proptest! {
-        #[test]
-        fn prop_parent_child_roundtrip(p in arb_position()) {
-            prop_assert_eq!(p.left_child().parent(), Some(p));
-            prop_assert_eq!(p.right_child().parent(), Some(p));
-            prop_assert!(p.left_child().is_left_child());
-            prop_assert!(p.right_child().is_right_child());
+    // Seeded stand-ins for the old proptest properties.
+    #[test]
+    fn prop_parent_child_roundtrip() {
+        let mut rng = baton_net::SimRng::seeded(0x9A97);
+        for _ in 0..500 {
+            let p = random_position(&mut rng);
+            assert_eq!(p.left_child().parent(), Some(p));
+            assert_eq!(p.right_child().parent(), Some(p));
+            assert!(p.left_child().is_left_child());
+            assert!(p.right_child().is_right_child());
         }
+    }
 
-        #[test]
-        fn prop_inorder_children_bracket_parent(p in arb_position()) {
-            prop_assert!(p.left_child().inorder_lt(p));
-            prop_assert!(p.inorder_lt(p.right_child()));
+    #[test]
+    fn prop_inorder_children_bracket_parent() {
+        let mut rng = baton_net::SimRng::seeded(0x1109);
+        for _ in 0..500 {
+            let p = random_position(&mut rng);
+            assert!(p.left_child().inorder_lt(p));
+            assert!(p.inorder_lt(p.right_child()));
         }
+    }
 
-        #[test]
-        fn prop_inorder_total_order_consistent(a in arb_position(), b in arb_position()) {
+    #[test]
+    fn prop_inorder_total_order_consistent() {
+        let mut rng = baton_net::SimRng::seeded(0x7074);
+        for _ in 0..500 {
+            let a = random_position(&mut rng);
+            let b = random_position(&mut rng);
             let ab = a.inorder_cmp(b);
             let ba = b.inorder_cmp(a);
-            prop_assert_eq!(ab, ba.reverse());
+            assert_eq!(ab, ba.reverse());
             if a == b {
-                prop_assert_eq!(ab, Ordering::Equal);
+                assert_eq!(ab, Ordering::Equal);
             } else {
-                prop_assert_ne!(ab, Ordering::Equal);
+                assert_ne!(ab, Ordering::Equal);
             }
         }
+    }
 
-        #[test]
-        fn prop_routing_neighbors_symmetric(p in arb_position(), i in 0usize..20) {
+    #[test]
+    fn prop_routing_neighbors_symmetric() {
+        let mut rng = baton_net::SimRng::seeded(0x20B5);
+        for _ in 0..500 {
+            let p = random_position(&mut rng);
+            let i = rng.index(20);
             // If q is p's right neighbour at index i then p is q's left
             // neighbour at index i, and vice versa.
             if let Some(q) = p.routing_neighbor(Side::Right, i) {
-                prop_assert_eq!(q.routing_neighbor(Side::Left, i), Some(p));
+                assert_eq!(q.routing_neighbor(Side::Left, i), Some(p));
             }
             if let Some(q) = p.routing_neighbor(Side::Left, i) {
-                prop_assert_eq!(q.routing_neighbor(Side::Right, i), Some(p));
+                assert_eq!(q.routing_neighbor(Side::Right, i), Some(p));
             }
         }
+    }
 
-        #[test]
-        fn prop_theorem2_parent_of_neighbor(p in arb_position(), i in 0usize..20) {
+    #[test]
+    fn prop_theorem2_parent_of_neighbor() {
+        let mut rng = baton_net::SimRng::seeded(0x7432);
+        for _ in 0..500 {
+            let p = random_position(&mut rng);
+            let i = rng.index(20);
             // Theorem 2: if x links to y (same-level neighbour at distance
             // 2^i), then parent(x) links to parent(y) (distance 2^(i-1)) or
             // they share a parent (i == 0 and siblings).
-            if p.is_root() { return Ok(()); }
+            if p.is_root() {
+                continue;
+            }
             for side in Side::BOTH {
                 if let Some(q) = p.routing_neighbor(side, i) {
                     let pp = p.parent().unwrap();
                     let qp = q.parent().unwrap();
                     if pp == qp {
-                        prop_assert_eq!(i, 0);
+                        assert_eq!(i, 0);
                     } else if i == 0 {
-                        // Adjacent but not siblings: parents are neighbours at distance 1...
-                        // distance between parents is 0 or 1; 0 handled above.
+                        // Adjacent but not siblings: parents are neighbours
+                        // at distance 1 (distance 0 handled above).
                         let d = pp.number().abs_diff(qp.number());
-                        prop_assert_eq!(d, 1);
+                        assert_eq!(d, 1);
                     } else {
                         let d = pp.number().abs_diff(qp.number());
-                        prop_assert_eq!(d, 1u64 << (i - 1));
+                        assert_eq!(d, 1u64 << (i - 1));
                     }
                 }
             }
         }
+    }
 
-        #[test]
-        fn prop_ancestor_iff_inorder_bracketed_by_subtree(p in arb_position()) {
+    #[test]
+    fn prop_ancestor_iff_inorder_bracketed_by_subtree() {
+        let mut rng = baton_net::SimRng::seeded(0xA2CE);
+        for _ in 0..500 {
+            let p = random_position(&mut rng);
             // Every position in p's subtree at level p.level()+2 is
             // recognised by is_ancestor_of_or_equal.
             let base = p.left_child().left_child();
             for offset in 0..4u64 {
                 let q = Position::new(base.level(), base.number() + offset);
-                prop_assert!(p.is_ancestor_of_or_equal(q));
+                assert!(p.is_ancestor_of_or_equal(q));
             }
             if let Some(outside) = Position::checked_new(base.level(), base.number() + 4) {
-                prop_assert!(!p.is_ancestor_of_or_equal(outside));
+                assert!(!p.is_ancestor_of_or_equal(outside));
             }
         }
     }

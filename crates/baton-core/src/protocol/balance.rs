@@ -65,7 +65,11 @@ impl BatonSystem {
         self.rebalance_overloaded(op, owner).map(Some)
     }
 
-    fn rebalance_overloaded(&mut self, op: OpScope, overloaded: PeerId) -> Result<LoadBalanceReport> {
+    fn rebalance_overloaded(
+        &mut self,
+        op: OpScope,
+        overloaded: PeerId,
+    ) -> Result<LoadBalanceReport> {
         let noop = |messages| LoadBalanceReport {
             kind: BalanceKind::AdjacentMigration,
             trigger: overloaded,
@@ -118,7 +122,7 @@ impl BatonSystem {
             self.notify(op, "balance.probe", overloaded, peer);
             messages += 1;
             let load = self.node_ref(peer)?.load();
-            if best.map_or(true, |(_, _, b)| load < b) {
+            if best.is_none_or(|(_, _, b)| load < b) {
                 best = Some((peer, side, load));
             }
         }
@@ -146,11 +150,7 @@ impl BatonSystem {
                 Side::Left => node.store.iter().nth(move_count).map(|(k, _)| k),
                 // Move the largest `move_count` items to the right adjacent:
                 // everything at or above the key at rank `len - move_count`.
-                Side::Right => node
-                    .store
-                    .iter()
-                    .nth(my_load - move_count)
-                    .map(|(k, _)| k),
+                Side::Right => node.store.iter().nth(my_load - move_count).map(|(k, _)| k),
             }
         };
         let Some(boundary) = boundary else {
@@ -270,15 +270,14 @@ impl BatonSystem {
         //    If the restructuring that accompanied the light leaf's
         //    departure left the overloaded node with two children, the new
         //    neighbour is spliced in purely by restructuring.
-        let needs_restructure;
-        if self.node_ref(overloaded)?.free_child_side().is_some() {
+        let needs_restructure = if self.node_ref(overloaded)?.free_child_side().is_some() {
             let (_, _, attach_messages) = self.attach_child(op, overloaded, light)?;
             messages += attach_messages;
-            needs_restructure = !self.node_ref(overloaded)?.tables_full();
+            !self.node_ref(overloaded)?.tables_full()
         } else {
             messages += self.splice_in_as_predecessor(op, overloaded, light)?;
-            needs_restructure = true;
-        }
+            true
+        };
         let items_moved = self.node_ref(light)?.store.len();
 
         // 3. Find the spliced-in node a legitimate position by shifting the
@@ -419,7 +418,7 @@ impl BatonSystem {
                 continue;
             }
             let load = node.load();
-            if best.map_or(true, |(_, b)| load < b) {
+            if best.is_none_or(|(_, b)| load < b) {
                 best = Some((target, load));
             }
         }
@@ -495,8 +494,7 @@ mod tests {
     fn balancing_reduces_maximum_load() {
         let overload = 40;
         let mut with_lb = BatonSystem::build(skew_config(overload), 5, 40).unwrap();
-        let config_no_lb =
-            BatonConfig::default().with_load_balance(LoadBalanceConfig::disabled());
+        let config_no_lb = BatonConfig::default().with_load_balance(LoadBalanceConfig::disabled());
         let mut without_lb = BatonSystem::build(config_no_lb, 5, 40).unwrap();
         for i in 0..3_000u64 {
             // Zipf-ish: concentrate most keys at the low end of the domain.

@@ -145,7 +145,10 @@ mod tests {
             total += report.messages;
         }
         let avg = total as f64 / 100.0;
-        assert!(avg <= 1.6 * log_n + 2.0, "average insert cost {avg} too high");
+        assert!(
+            avg <= 1.6 * log_n + 2.0,
+            "average insert cost {avg} too high"
+        );
     }
 
     #[test]
@@ -184,10 +187,7 @@ mod tests {
     #[test]
     fn delete_out_of_domain_key_is_rejected() {
         let mut system = build(10, 5);
-        assert_eq!(
-            system.delete(0).unwrap_err(),
-            BatonError::KeyOutOfDomain(0)
-        );
+        assert_eq!(system.delete(0).unwrap_err(), BatonError::KeyOutOfDomain(0));
     }
 
     #[test]

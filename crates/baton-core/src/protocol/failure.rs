@@ -339,7 +339,7 @@ mod tests {
         let victim = system
             .peers()
             .into_iter()
-            .find(|p| system.node(*p).unwrap().store.len() > 0)
+            .find(|p| !system.node(*p).unwrap().store.is_empty())
             .unwrap();
         let victim_items = system.node(victim).unwrap().store.len();
         let before_total = system.total_items();

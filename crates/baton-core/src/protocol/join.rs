@@ -417,7 +417,7 @@ mod tests {
 
     #[test]
     fn tree_height_stays_balanced() {
-        let mut system = build(200, 13);
+        let system = build(200, 13);
         let n = system.node_count() as f64;
         let height = system.height() as f64;
         // Balanced binary tree: height <= 1.44 log2 N (paper §III) + 1 slack.
@@ -427,7 +427,7 @@ mod tests {
         );
         // And at least log2(N).
         assert!(height >= n.log2().floor());
-        validate(&mut system).unwrap();
+        validate(&system).unwrap();
     }
 
     #[test]

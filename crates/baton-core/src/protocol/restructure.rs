@@ -72,10 +72,7 @@ impl BatonSystem {
     ) -> Result<Option<RestructurePlan>> {
         let mut assignments = Vec::new();
         let mut displaced = incoming;
-        let mut successor = self
-            .node_ref(incoming)?
-            .adjacent(side)
-            .map(|l| l.peer);
+        let mut successor = self.node_ref(incoming)?.adjacent(side).map(|l| l.peer);
         let limit = self.node_count() + 2;
         loop {
             let Some(s) = successor else {
@@ -245,10 +242,8 @@ impl BatonSystem {
         // those parents is stale; refresh it (this also covers the parent
         // that gained the new leaf child and the parent that lost the
         // vacated one).
-        let mut parent_positions: Vec<Position> = affected
-            .iter()
-            .filter_map(|p| p.parent())
-            .collect();
+        let mut parent_positions: Vec<Position> =
+            affected.iter().filter_map(|p| p.parent()).collect();
         parent_positions.sort_by(|a, b| a.inorder_cmp(*b));
         parent_positions.dedup();
         for parent_pos in parent_positions {
@@ -294,10 +289,7 @@ impl BatonSystem {
                 let link = self.link_of(occupant)?;
                 let (lc, rc) = {
                     let n = self.node_ref(occupant)?;
-                    (
-                        n.left_child.map(|l| l.peer),
-                        n.right_child.map(|l| l.peer),
-                    )
+                    (n.left_child.map(|l| l.peer), n.right_child.map(|l| l.peer))
                 };
                 let entry = RoutingEntry::with_children(link, lc, rc);
                 match side {
@@ -331,10 +323,7 @@ impl BatonSystem {
                 if let Some(parent_peer) = self.by_position.get(&parent_pos).copied() {
                     let side = position.child_side().expect("non-root");
                     let parent = self.node_mut(parent_peer)?;
-                    if parent
-                        .child(side)
-                        .is_some_and(|l| l.position == position)
-                    {
+                    if parent.child(side).is_some_and(|l| l.position == position) {
                         parent.set_child(side, None);
                     }
                 }

@@ -62,7 +62,11 @@ impl BatonSystem {
     ///
     /// The query is clamped to the overlay's current domain; an empty
     /// intersection returns an empty result without any messages.
-    pub fn search_range_from(&mut self, issuer: PeerId, range: KeyRange) -> Result<RangeSearchReport> {
+    pub fn search_range_from(
+        &mut self,
+        issuer: PeerId,
+        range: KeyRange,
+    ) -> Result<RangeSearchReport> {
         self.check_alive(issuer)?;
         let clamped = range.intersection(self.domain);
         if clamped.is_empty() {

@@ -7,14 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An index key.  The paper's workload uses values in `[1, 10^9)`; the
 /// library accepts the full `u64` domain.
 pub type Key = u64;
 
 /// A half-open interval of keys `[low, high)`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KeyRange {
     low: Key,
     high: Key,
@@ -120,7 +118,10 @@ impl KeyRange {
             return Some(self);
         }
         if self.intersects(other) || self.is_adjacent_to(other) {
-            Some(KeyRange::new(self.low.min(other.low), self.high.max(other.high)))
+            Some(KeyRange::new(
+                self.low.min(other.low),
+                self.high.max(other.high),
+            ))
         } else {
             None
         }
@@ -135,7 +136,10 @@ impl KeyRange {
             pivot >= self.low && pivot <= self.high,
             "pivot {pivot} outside {self}"
         );
-        (KeyRange::new(self.low, pivot), KeyRange::new(pivot, self.high))
+        (
+            KeyRange::new(self.low, pivot),
+            KeyRange::new(pivot, self.high),
+        )
     }
 
     /// Splits the range in half: `([low, mid), [mid, high))` with
@@ -178,7 +182,6 @@ impl KeyRange {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn construction_and_accessors() {
@@ -315,49 +318,73 @@ mod tests {
         KeyRange::new(100, 200).extend_high(150);
     }
 
-    fn arb_range() -> impl Strategy<Value = KeyRange> {
-        (0u64..1_000_000, 0u64..1_000_000)
-            .prop_map(|(a, b)| KeyRange::new(a.min(b), a.max(b)))
+    // Seeded stand-ins for the old proptest properties: many random ranges,
+    // deterministic per run.
+    fn random_range(rng: &mut baton_net::SimRng) -> KeyRange {
+        let a = rng.uniform_u64(0, 1_000_000);
+        let b = rng.uniform_u64(0, 1_000_000);
+        KeyRange::new(a.min(b), a.max(b))
     }
 
-    proptest! {
-        #[test]
-        fn prop_split_halves_partition_the_range(r in arb_range(), frac in 0.0f64..=1.0) {
-            let pivot = r.low() + ((r.width() as f64) * frac) as u64;
-            let pivot = pivot.min(r.high());
+    #[test]
+    fn prop_split_halves_partition_the_range() {
+        let mut rng = baton_net::SimRng::seeded(0x5117);
+        for _ in 0..500 {
+            let r = random_range(&mut rng);
+            let frac = rng.uniform_f64();
+            let pivot = (r.low() + ((r.width() as f64) * frac) as u64).min(r.high());
             let (l, h) = r.split_at(pivot);
-            prop_assert_eq!(l.width() + h.width(), r.width());
-            prop_assert!(l.merge(h).unwrap() == r || r.is_empty());
-            for k in [r.low(), pivot.saturating_sub(1), pivot, r.high().saturating_sub(1)] {
+            assert_eq!(l.width() + h.width(), r.width());
+            assert!(l.merge(h).unwrap() == r || r.is_empty());
+            for k in [
+                r.low(),
+                pivot.saturating_sub(1),
+                pivot,
+                r.high().saturating_sub(1),
+            ] {
                 if r.contains(k) {
-                    prop_assert!(l.contains(k) ^ h.contains(k));
+                    assert!(l.contains(k) ^ h.contains(k));
                 }
             }
         }
+    }
 
-        #[test]
-        fn prop_intersection_is_symmetric_and_contained(a in arb_range(), b in arb_range()) {
+    #[test]
+    fn prop_intersection_is_symmetric_and_contained() {
+        let mut rng = baton_net::SimRng::seeded(0x1237);
+        for _ in 0..500 {
+            let a = random_range(&mut rng);
+            let b = random_range(&mut rng);
             let i1 = a.intersection(b);
             let i2 = b.intersection(a);
-            prop_assert_eq!(i1.width(), i2.width());
+            assert_eq!(i1.width(), i2.width());
             if !i1.is_empty() {
-                prop_assert!(a.contains_range(i1));
-                prop_assert!(b.contains_range(i1));
-                prop_assert!(a.intersects(b));
+                assert!(a.contains_range(i1));
+                assert!(b.contains_range(i1));
+                assert!(a.intersects(b));
             } else {
-                prop_assert!(!a.intersects(b));
+                assert!(!a.intersects(b));
             }
         }
+    }
 
-        #[test]
-        fn prop_merge_of_split_is_identity(r in arb_range()) {
+    #[test]
+    fn prop_merge_of_split_is_identity() {
+        let mut rng = baton_net::SimRng::seeded(0x3E16);
+        for _ in 0..500 {
+            let r = random_range(&mut rng);
             let (l, h) = r.split_half();
-            prop_assert_eq!(l.merge(h), Some(r));
+            assert_eq!(l.merge(h), Some(r));
         }
+    }
 
-        #[test]
-        fn prop_contains_consistent_with_bounds(r in arb_range(), k in 0u64..1_000_000) {
-            prop_assert_eq!(r.contains(k), k >= r.low() && k < r.high());
+    #[test]
+    fn prop_contains_consistent_with_bounds() {
+        let mut rng = baton_net::SimRng::seeded(0xC0417);
+        for _ in 0..500 {
+            let r = random_range(&mut rng);
+            let k = rng.uniform_u64(0, 1_000_000);
+            assert_eq!(r.contains(k), k >= r.low() && k < r.high());
         }
     }
 }

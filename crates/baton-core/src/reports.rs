@@ -6,8 +6,6 @@
 //! to *update routing tables*, plus operation-specific detail such as the
 //! number of nodes shifted by a restructuring (Figure 8(h)).
 
-use serde::{Deserialize, Serialize};
-
 use baton_net::PeerId;
 
 use crate::position::Position;
@@ -15,7 +13,7 @@ use crate::range::{Key, KeyRange};
 use crate::store::Value;
 
 /// Cost of a network-restructuring pass (paper §III-E).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RestructureReport {
     /// Number of nodes whose position changed.
     pub nodes_shifted: usize,
@@ -24,7 +22,7 @@ pub struct RestructureReport {
 }
 
 /// Report of a node join (paper §III-A).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JoinReport {
     /// The peer that joined.
     pub new_peer: PeerId,
@@ -45,14 +43,12 @@ pub struct JoinReport {
 impl JoinReport {
     /// Total messages of the join.
     pub fn total_messages(&self) -> u64 {
-        self.locate_messages
-            + self.update_messages
-            + self.restructure.map_or(0, |r| r.messages)
+        self.locate_messages + self.update_messages + self.restructure.map_or(0, |r| r.messages)
     }
 }
 
 /// Report of a graceful node departure (paper §III-B).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LeaveReport {
     /// The peer that departed.
     pub departed: PeerId,
@@ -71,14 +67,12 @@ pub struct LeaveReport {
 impl LeaveReport {
     /// Total messages of the departure.
     pub fn total_messages(&self) -> u64 {
-        self.locate_messages
-            + self.update_messages
-            + self.restructure.map_or(0, |r| r.messages)
+        self.locate_messages + self.update_messages + self.restructure.map_or(0, |r| r.messages)
     }
 }
 
 /// Report of the recovery from a node failure (paper §III-C).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FailureReport {
     /// The peer that failed.
     pub failed: PeerId,
@@ -105,7 +99,7 @@ impl FailureReport {
 }
 
 /// Report of an exact-match query (paper §IV-A).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SearchReport {
     /// Key searched for.
     pub key: Key,
@@ -120,7 +114,7 @@ pub struct SearchReport {
 }
 
 /// Report of a range query (paper §IV-B).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RangeSearchReport {
     /// Range searched.
     pub range: KeyRange,
@@ -134,7 +128,7 @@ pub struct RangeSearchReport {
 }
 
 /// What kind of load-balancing action was taken (paper §IV-D).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BalanceKind {
     /// Data migrated to an adjacent node.
     AdjacentMigration,
@@ -144,7 +138,7 @@ pub enum BalanceKind {
 }
 
 /// Report of one load-balancing action.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoadBalanceReport {
     /// Which scheme was used.
     pub kind: BalanceKind,
@@ -160,7 +154,7 @@ pub struct LoadBalanceReport {
 }
 
 /// Report of a data insertion (paper §IV-C).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InsertReport {
     /// Key inserted.
     pub key: Key,
@@ -178,14 +172,12 @@ pub struct InsertReport {
 impl InsertReport {
     /// Total messages including load balancing.
     pub fn total_messages(&self) -> u64 {
-        self.messages
-            + self.expansion_messages
-            + self.balance.as_ref().map_or(0, |b| b.messages)
+        self.messages + self.expansion_messages + self.balance.as_ref().map_or(0, |b| b.messages)
     }
 }
 
 /// Report of a data deletion (paper §IV-C).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DeleteReport {
     /// Key deleted.
     pub key: Key,

@@ -9,8 +9,6 @@
 //! currently has children — the information the join algorithm (Algorithm 1)
 //! and Theorem 1 rely on.
 
-use serde::{Deserialize, Serialize};
-
 use baton_net::PeerId;
 
 use crate::position::{Position, Side};
@@ -18,7 +16,7 @@ use crate::range::KeyRange;
 
 /// A link to another node: the target's address, logical position and the
 /// key range it was last known to manage.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeLink {
     /// Physical address of the target peer.
     pub peer: PeerId,
@@ -40,7 +38,7 @@ impl NodeLink {
 }
 
 /// One entry of a sideways routing table.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RoutingEntry {
     /// Link to the neighbour node.
     pub link: NodeLink,
@@ -90,7 +88,7 @@ impl RoutingEntry {
 /// from the owner's by `2^i`.  A slot whose target position falls outside
 /// `1 ..= 2^level` is *invalid* and never counted towards fullness; a slot
 /// whose target position is in range but currently unoccupied holds `None`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoutingTable {
     side: Side,
     owner: Position,
@@ -358,8 +356,12 @@ mod tests {
             .unwrap();
         assert_eq!(idx, 1);
         assert_eq!(e.link.peer, PeerId(2));
-        assert!(table.farthest_matching(|e| e.link.range.low() <= 5).is_none());
-        let (idx, _) = table.nearest_matching(|e| e.link.range.low() >= 20).unwrap();
+        assert!(table
+            .farthest_matching(|e| e.link.range.low() <= 5)
+            .is_none());
+        let (idx, _) = table
+            .nearest_matching(|e| e.link.range.low() >= 20)
+            .unwrap();
         assert_eq!(idx, 1);
     }
 

@@ -8,8 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::range::{Key, KeyRange};
 
 /// An opaque value attached to an index entry.  The reproduction uses `u64`
@@ -17,7 +15,7 @@ use crate::range::{Key, KeyRange};
 pub type Value = u64;
 
 /// Ordered multimap of index entries managed by one node.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LocalStore {
     entries: BTreeMap<Key, Vec<Value>>,
     len: usize,
@@ -179,7 +177,6 @@ impl LocalStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn insert_get_and_len() {
@@ -282,38 +279,48 @@ mod tests {
         assert_eq!(collected, vec![(1, 2), (2, 3), (3, 1)]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_split_then_absorb_is_identity(keys in proptest::collection::vec(0u64..1000, 0..200), pivot in 0u64..1000) {
+    // Seeded stand-ins for the old proptest properties.
+    #[test]
+    fn prop_split_then_absorb_is_identity() {
+        let mut rng = baton_net::SimRng::seeded(0x5709);
+        for _ in 0..100 {
+            let key_count = rng.index(200);
+            let pivot = rng.uniform_u64(0, 1000);
             let mut store = LocalStore::new();
-            for (i, k) in keys.iter().enumerate() {
-                store.insert(*k, i as u64);
+            for i in 0..key_count {
+                store.insert(rng.uniform_u64(0, 1000), i as u64);
             }
             let original_len = store.len();
             let original: Vec<_> = store.iter().collect();
             let moved = store.split_off_range(KeyRange::new(0, pivot));
-            // Every moved key is below the pivot, every kept key is at or above it.
-            prop_assert!(moved.iter().all(|(k, _)| k < pivot));
-            prop_assert!(store.iter().all(|(k, _)| k >= pivot));
-            prop_assert_eq!(store.len() + moved.len(), original_len);
+            // Every moved key is below the pivot, every kept key is at or
+            // above it.
+            assert!(moved.iter().all(|(k, _)| k < pivot));
+            assert!(store.iter().all(|(k, _)| k >= pivot));
+            assert_eq!(store.len() + moved.len(), original_len);
             let mut reunited = moved;
             reunited.absorb(store);
-            prop_assert_eq!(reunited.len(), original_len);
+            assert_eq!(reunited.len(), original_len);
             let mut all: Vec<_> = reunited.iter().collect();
             let mut orig_sorted = original;
             all.sort_unstable();
             orig_sorted.sort_unstable();
-            prop_assert_eq!(all, orig_sorted);
+            assert_eq!(all, orig_sorted);
         }
+    }
 
-        #[test]
-        fn prop_count_matches_scan(keys in proptest::collection::vec(0u64..100, 0..100), lo in 0u64..100, hi in 0u64..100) {
+    #[test]
+    fn prop_count_matches_scan() {
+        let mut rng = baton_net::SimRng::seeded(0xC007);
+        for _ in 0..200 {
             let mut store = LocalStore::new();
-            for k in &keys {
-                store.insert(*k, 0);
+            for _ in 0..rng.index(100) {
+                store.insert(rng.uniform_u64(0, 100), 0);
             }
+            let lo = rng.uniform_u64(0, 100);
+            let hi = rng.uniform_u64(0, 100);
             let range = KeyRange::new(lo.min(hi), lo.max(hi));
-            prop_assert_eq!(store.count_in(range), store.scan(range).len());
+            assert_eq!(store.count_in(range), store.scan(range).len());
         }
     }
 }

@@ -445,7 +445,10 @@ mod tests {
             Err(BatonError::UnknownPeer(PeerId(999)))
         );
         system.net.fail_peer(root);
-        assert_eq!(system.check_alive(root), Err(BatonError::PeerNotAlive(root)));
+        assert_eq!(
+            system.check_alive(root),
+            Err(BatonError::PeerNotAlive(root))
+        );
     }
 
     #[test]

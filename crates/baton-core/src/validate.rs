@@ -106,7 +106,9 @@ fn check_tree_links(system: &BatonSystem) -> Result<()> {
                     )));
                 };
                 let Some(parent_link) = &node.parent else {
-                    return Err(violation(format!("{peer} at {position:?} lacks a parent link")));
+                    return Err(violation(format!(
+                        "{peer} at {position:?} lacks a parent link"
+                    )));
                 };
                 if parent_link.peer != parent_peer || parent_link.position != parent_pos {
                     return Err(violation(format!(
@@ -121,8 +123,8 @@ fn check_tree_links(system: &BatonSystem) -> Result<()> {
                     Some(l) if l.peer == peer => {}
                     other => {
                         return Err(violation(format!(
-                            "parent {parent_peer} child link on {side} is {other:?}, expected {peer}"
-                        )))
+                        "parent {parent_peer} child link on {side} is {other:?}, expected {peer}"
+                    )))
                     }
                 }
             }

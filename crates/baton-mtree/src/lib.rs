@@ -30,9 +30,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod node;
+pub mod overlay;
 pub mod range;
 pub mod system;
 
+pub use baton_net::Overlay;
 pub use node::{MLink, MNode};
 pub use range::MRange;
 pub use system::{MTreeChurnReport, MTreeError, MTreeMessage, MTreeOpReport, MTreeSystem};

@@ -3,10 +3,8 @@
 //! Deliberately minimal — just what the baseline needs — and independent of
 //! `baton-core` so the two overlays stay decoupled.
 
-use serde::{Deserialize, Serialize};
-
 /// A half-open interval of keys `[low, high)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MRange {
     /// Inclusive lower bound.
     pub low: u64,

@@ -143,6 +143,11 @@ impl MTreeSystem {
         self.nodes.keys().copied().collect()
     }
 
+    /// Iterates over `(peer, node)` pairs in unspecified order.
+    pub fn nodes(&self) -> impl Iterator<Item = (PeerId, &MNode)> + '_ {
+        self.nodes.iter().map(|(p, n)| (*p, n))
+    }
+
     /// Height of the tree (max depth + 1); 0 when empty.
     pub fn height(&self) -> u32 {
         self.nodes.values().map(|n| n.depth + 1).max().unwrap_or(0)
@@ -151,6 +156,12 @@ impl MTreeSystem {
     /// Network statistics.
     pub fn stats(&self) -> &baton_net::MessageStats {
         self.net.stats()
+    }
+
+    /// Mutable network statistics (harnesses reset per-peer counters
+    /// between experiment phases).
+    pub fn stats_mut(&mut self) -> &mut baton_net::MessageStats {
+        self.net.stats_mut()
     }
 
     /// Total stored items.
@@ -239,11 +250,21 @@ impl MTreeSystem {
             if give.width() == 0 {
                 // Cannot split further; attach with an empty range.
                 let link = acceptor_node.link();
-                (give, link, acceptor_node.depth + 1, acceptor_node.children.len())
+                (
+                    give,
+                    link,
+                    acceptor_node.depth + 1,
+                    acceptor_node.children.len(),
+                )
             } else {
                 acceptor_node.range = keep;
                 let link = acceptor_node.link();
-                (give, link, acceptor_node.depth + 1, acceptor_node.children.len())
+                (
+                    give,
+                    link,
+                    acceptor_node.depth + 1,
+                    acceptor_node.children.len(),
+                )
             }
         };
         let mut child = MNode::new(peer, child_range);
@@ -270,7 +291,8 @@ impl MTreeSystem {
             update_messages += 1;
         }
         // Accept message + notify the existing siblings about the newcomer.
-        self.net.count_message(op, "mtree.maintenance", acceptor, peer);
+        self.net
+            .count_message(op, "mtree.maintenance", acceptor, peer);
         update_messages += 1;
         let siblings: Vec<PeerId> = self
             .node(acceptor)?
@@ -280,7 +302,8 @@ impl MTreeSystem {
             .filter(|p| *p != peer)
             .collect();
         for sibling in siblings {
-            self.net.count_message(op, "mtree.maintenance", acceptor, sibling);
+            self.net
+                .count_message(op, "mtree.maintenance", acceptor, sibling);
             update_messages += 1;
         }
         debug_assert_eq!(sibling_count, self.node(acceptor)?.children.len() - 1);
@@ -295,7 +318,8 @@ impl MTreeSystem {
         };
         let acceptor_link_now = self.node(acceptor)?.link();
         for other in to_refresh {
-            self.net.count_message(op, "mtree.maintenance", acceptor, other);
+            self.net
+                .count_message(op, "mtree.maintenance", acceptor, other);
             update_messages += 1;
             if let Some(n) = self.nodes.get_mut(&other) {
                 for c in &mut n.children {
@@ -378,7 +402,8 @@ impl MTreeSystem {
                 if let Some(p) = self.nodes.get_mut(&parent.peer) {
                     p.children.retain(|c| c.peer != peer);
                 }
-                self.net.count_message(op, "mtree.maintenance", peer, parent.peer);
+                self.net
+                    .count_message(op, "mtree.maintenance", peer, parent.peer);
                 update_messages += 1;
             }
             update_messages += self.splice_neighbors(op, &departing)?;
@@ -445,7 +470,8 @@ impl MTreeSystem {
                 if let Some(c) = self.nodes.get_mut(&child.peer) {
                     c.parent = Some(replacement_link);
                 }
-                self.net.count_message(op, "mtree.maintenance", replacement, child.peer);
+                self.net
+                    .count_message(op, "mtree.maintenance", replacement, child.peer);
                 update_messages += 1;
             }
             {
@@ -467,7 +493,8 @@ impl MTreeSystem {
                         }
                     }
                 }
-                self.net.count_message(op, "mtree.maintenance", replacement, gc);
+                self.net
+                    .count_message(op, "mtree.maintenance", replacement, gc);
                 update_messages += 1;
             }
             // Repoint the departed node's parent and neighbours.
@@ -476,7 +503,8 @@ impl MTreeSystem {
                     p.children.retain(|c| c.peer != peer);
                     p.children.push(replacement_link);
                 }
-                self.net.count_message(op, "mtree.maintenance", replacement, parent.peer);
+                self.net
+                    .count_message(op, "mtree.maintenance", replacement, parent.peer);
                 update_messages += 1;
             } else {
                 self.root = Some(replacement);
@@ -506,20 +534,24 @@ impl MTreeSystem {
             if let Some(rn) = self.nodes.get_mut(&r.peer) {
                 rn.left_neighbor = Some(l);
             }
-            self.net.count_message(op, "mtree.maintenance", departing.peer, l.peer);
-            self.net.count_message(op, "mtree.maintenance", departing.peer, r.peer);
+            self.net
+                .count_message(op, "mtree.maintenance", departing.peer, l.peer);
+            self.net
+                .count_message(op, "mtree.maintenance", departing.peer, r.peer);
             messages += 2;
         } else if let Some(l) = departing.left_neighbor {
             if let Some(ln) = self.nodes.get_mut(&l.peer) {
                 ln.right_neighbor = None;
             }
-            self.net.count_message(op, "mtree.maintenance", departing.peer, l.peer);
+            self.net
+                .count_message(op, "mtree.maintenance", departing.peer, l.peer);
             messages += 1;
         } else if let Some(r) = departing.right_neighbor {
             if let Some(rn) = self.nodes.get_mut(&r.peer) {
                 rn.left_neighbor = None;
             }
-            self.net.count_message(op, "mtree.maintenance", departing.peer, r.peer);
+            self.net
+                .count_message(op, "mtree.maintenance", departing.peer, r.peer);
             messages += 1;
         }
         Ok(messages)
@@ -609,7 +641,13 @@ impl MTreeSystem {
                 break;
             };
             self.net
-                .send_with_hop(op, current, next, nodes_visited as u32, MTreeMessage::Search)
+                .send_with_hop(
+                    op,
+                    current,
+                    next,
+                    nodes_visited as u32,
+                    MTreeMessage::Search,
+                )
                 .ok();
             let _ = self.net.deliver_next();
             messages += 1;
@@ -640,7 +678,10 @@ impl MTreeSystem {
                     .get(&child.peer)
                     .ok_or_else(|| format!("{peer} lists missing child {}", child.peer))?;
                 if c.parent.map(|l| l.peer) != Some(*peer) {
-                    return Err(format!("child {} does not point back at {peer}", child.peer));
+                    return Err(format!(
+                        "child {} does not point back at {peer}",
+                        child.peer
+                    ));
                 }
             }
             if let Some(parent) = &node.parent {

@@ -26,8 +26,8 @@
 //!   *average messages per operation* series that every sub-figure of
 //!   Figure 8 plots.
 //! * **Wire realism.**  [`codec`] provides a compact binary encoding of
-//!   envelopes (built on [`bytes`]) so byte-level traffic can also be
-//!   accounted, even though the paper itself only counts messages.
+//!   envelopes so byte-level traffic can also be accounted, even though the
+//!   paper itself only counts messages.
 //!
 //! ## Quick example
 //!
@@ -60,12 +60,14 @@
 pub mod codec;
 pub mod message;
 pub mod network;
+pub mod overlay;
 pub mod peer;
 pub mod rng;
 pub mod stats;
 
 pub use message::{Envelope, NetMessage};
 pub use network::{DeliveryError, SendError, SimNetwork};
+pub use overlay::{ChurnCost, OpCost, Overlay, OverlayCapabilities, OverlayError, OverlayResult};
 pub use peer::{PeerId, PeerRegistry, PeerStatus};
 pub use rng::SimRng;
 pub use stats::{Histogram, MessageStats, OpId, OpScope, OpStats};

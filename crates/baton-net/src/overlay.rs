@@ -1,0 +1,311 @@
+//! The [`Overlay`] trait: one interface over every overlay simulator.
+//!
+//! The workspace compares three structured overlays — BATON (`baton-core`),
+//! Chord (`baton-chord`) and the multiway tree (`baton-mtree`) — on
+//! identical workloads.  Each system keeps its own rich, precise API
+//! (protocol-specific reports, validation oracles), but the experiment
+//! harness, the workload runners and the figure drivers only need a common
+//! denominator: build churn, move data, run queries, read message costs.
+//! That denominator is this trait.
+//!
+//! Anything a system cannot do is a *capability*, not a special case in the
+//! harness: Chord reports `range_queries: false` and its
+//! [`Overlay::search_range`] returns [`OverlayError::Unsupported`], so a
+//! generic driver simply skips the series — exactly how the paper's
+//! Figure 8(e) omits Chord.
+//!
+//! New baselines (D3-tree, ART, …) plug into every existing experiment by
+//! implementing this trait; no driver changes required.
+
+use crate::stats::{Histogram, MessageStats};
+
+/// What an overlay implementation can and cannot do.
+///
+/// Drivers consult the capabilities instead of hard-coding system names, so
+/// adding a baseline never means touching the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverlayCapabilities {
+    /// The overlay preserves key order and can answer range queries.
+    /// (`false` for DHTs such as Chord: hashing destroys order.)
+    pub range_queries: bool,
+    /// The overlay runs a load-balancing protocol; the
+    /// `balance_messages` field of [`OpCost`] and
+    /// [`Overlay::balance_shift_histogram`] are meaningful.
+    pub load_balancing: bool,
+    /// The overlay supports abrupt node failures via
+    /// [`Overlay::fail_random`].
+    pub failures: bool,
+    /// The overlay is a tree and [`Overlay::access_load_by_level`] reports
+    /// per-level load.
+    pub level_load: bool,
+}
+
+impl OverlayCapabilities {
+    /// Capabilities of a plain DHT: exact queries and churn only.
+    pub const DHT: Self = Self {
+        range_queries: false,
+        load_balancing: false,
+        failures: false,
+        level_load: false,
+    };
+
+    /// Capabilities of an order-preserving tree without balancing.
+    pub const PLAIN_TREE: Self = Self {
+        range_queries: true,
+        load_balancing: false,
+        failures: false,
+        level_load: true,
+    };
+
+    /// Every capability enabled.
+    pub const FULL: Self = Self {
+        range_queries: true,
+        load_balancing: true,
+        failures: true,
+        level_load: true,
+    };
+}
+
+/// Message cost of one churn event (join, leave or failure recovery).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnCost {
+    /// Messages to find the join node / the replacement node (Figure 8(a)).
+    pub locate_messages: u64,
+    /// Messages to update routing tables and links afterwards
+    /// (Figure 8(b)).
+    pub update_messages: u64,
+    /// Data items lost by the event (non-zero only for failures on systems
+    /// that do not replicate).
+    pub lost_items: usize,
+}
+
+impl ChurnCost {
+    /// Total messages of the event.
+    pub fn total_messages(&self) -> u64 {
+        self.locate_messages + self.update_messages
+    }
+}
+
+/// Message cost of one data operation (insert, delete, exact or range
+/// query).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Messages used by the operation, load balancing included.
+    pub messages: u64,
+    /// Number of matching values found (queries) or removed (deletes).
+    pub matches: usize,
+    /// Nodes whose range intersected the query (range queries; 1 for
+    /// point operations that reached an owner).
+    pub nodes_visited: usize,
+    /// Messages spent on load balancing triggered by the operation
+    /// (Figure 8(g); zero for systems without balancing).
+    pub balance_messages: u64,
+}
+
+/// Errors surfaced through the [`Overlay`] interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The operation is outside the overlay's capabilities (e.g. a range
+    /// query on Chord).  Generic drivers treat this as "skip the series",
+    /// not as a failure.
+    Unsupported(&'static str),
+    /// The operation failed; the message is the underlying system's error
+    /// rendering.
+    Op(String),
+}
+
+impl std::fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverlayError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            OverlayError::Op(message) => write!(f, "overlay operation failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// Result alias for [`Overlay`] operations.
+pub type OverlayResult<T> = Result<T, OverlayError>;
+
+/// A peer-to-peer overlay under simulation: the common surface the
+/// workload runners and figure drivers program against.
+///
+/// Implementations exist for `BatonSystem`, `ChordSystem` and
+/// `MTreeSystem`; the harness holds them as `Box<dyn Overlay>`.
+pub trait Overlay {
+    /// Short human-readable name ("BATON", "Chord", …), used as the series
+    /// label in figures.
+    fn name(&self) -> &'static str;
+
+    /// What this overlay can do; drivers skip unsupported series.
+    fn capabilities(&self) -> OverlayCapabilities;
+
+    /// Number of live nodes.
+    fn node_count(&self) -> usize;
+
+    /// Total data items stored across all nodes.
+    fn total_items(&self) -> usize;
+
+    /// Message statistics of the underlying simulated network.
+    fn stats(&self) -> &MessageStats;
+
+    /// Mutable statistics (experiments reset per-peer counters between
+    /// phases, as in Figure 8(f)).
+    fn stats_mut(&mut self) -> &mut MessageStats;
+
+    /// A new node joins through a random existing contact.
+    fn join_random(&mut self) -> OverlayResult<ChurnCost>;
+
+    /// A random node departs gracefully.
+    fn leave_random(&mut self) -> OverlayResult<ChurnCost>;
+
+    /// A random node fails abruptly and the overlay recovers.
+    ///
+    /// Default: unsupported (see [`OverlayCapabilities::failures`]).
+    fn fail_random(&mut self) -> OverlayResult<ChurnCost> {
+        Err(OverlayError::Unsupported("failure injection"))
+    }
+
+    /// Inserts `value` under `key` from a random issuer.
+    fn insert(&mut self, key: u64, value: u64) -> OverlayResult<OpCost>;
+
+    /// Deletes one value stored under `key` from a random issuer.
+    fn delete(&mut self, key: u64) -> OverlayResult<OpCost>;
+
+    /// Exact-match query for `key` from a random issuer.
+    fn search_exact(&mut self, key: u64) -> OverlayResult<OpCost>;
+
+    /// Range query for `[low, high)` from a random issuer.
+    ///
+    /// Returns [`OverlayError::Unsupported`] when
+    /// [`OverlayCapabilities::range_queries`] is `false`.
+    fn search_range(&mut self, low: u64, high: u64) -> OverlayResult<OpCost>;
+
+    /// Average messages received per node at each tree level (Figure 8(f)).
+    ///
+    /// Default: empty (see [`OverlayCapabilities::level_load`]).
+    fn access_load_by_level(&self) -> Vec<(u32, f64)> {
+        Vec::new()
+    }
+
+    /// Distribution of load-balancing shift sizes (Figure 8(h)).
+    ///
+    /// Default: `None` (see [`OverlayCapabilities::load_balancing`]).
+    fn balance_shift_histogram(&self) -> Option<&Histogram> {
+        None
+    }
+
+    /// Checks the overlay's structural invariants.
+    fn validate(&self) -> Result<(), String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal in-memory implementation used to exercise the trait's
+    /// defaults and the error plumbing.
+    struct Toy {
+        stats: MessageStats,
+        items: usize,
+        nodes: usize,
+    }
+
+    impl Overlay for Toy {
+        fn name(&self) -> &'static str {
+            "Toy"
+        }
+        fn capabilities(&self) -> OverlayCapabilities {
+            OverlayCapabilities::DHT
+        }
+        fn node_count(&self) -> usize {
+            self.nodes
+        }
+        fn total_items(&self) -> usize {
+            self.items
+        }
+        fn stats(&self) -> &MessageStats {
+            &self.stats
+        }
+        fn stats_mut(&mut self) -> &mut MessageStats {
+            &mut self.stats
+        }
+        fn join_random(&mut self) -> OverlayResult<ChurnCost> {
+            self.nodes += 1;
+            Ok(ChurnCost::default())
+        }
+        fn leave_random(&mut self) -> OverlayResult<ChurnCost> {
+            if self.nodes <= 1 {
+                return Err(OverlayError::Op("last node".into()));
+            }
+            self.nodes -= 1;
+            Ok(ChurnCost::default())
+        }
+        fn insert(&mut self, _key: u64, _value: u64) -> OverlayResult<OpCost> {
+            self.items += 1;
+            Ok(OpCost {
+                messages: 1,
+                ..OpCost::default()
+            })
+        }
+        fn delete(&mut self, _key: u64) -> OverlayResult<OpCost> {
+            Ok(OpCost::default())
+        }
+        fn search_exact(&mut self, _key: u64) -> OverlayResult<OpCost> {
+            Ok(OpCost::default())
+        }
+        fn search_range(&mut self, _low: u64, _high: u64) -> OverlayResult<OpCost> {
+            Err(OverlayError::Unsupported("range query"))
+        }
+        fn validate(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trait_objects_expose_defaults_and_capabilities() {
+        let mut toy = Toy {
+            stats: MessageStats::new(),
+            items: 0,
+            nodes: 1,
+        };
+        let overlay: &mut dyn Overlay = &mut toy;
+        assert_eq!(overlay.name(), "Toy");
+        assert!(!overlay.capabilities().range_queries);
+        assert!(overlay.fail_random().is_err());
+        assert!(overlay.access_load_by_level().is_empty());
+        assert!(overlay.balance_shift_histogram().is_none());
+        overlay.join_random().unwrap();
+        assert_eq!(overlay.node_count(), 2);
+        overlay.insert(1, 2).unwrap();
+        assert_eq!(overlay.total_items(), 1);
+        assert!(matches!(
+            overlay.search_range(0, 10),
+            Err(OverlayError::Unsupported(_))
+        ));
+        overlay.validate().unwrap();
+    }
+
+    #[test]
+    fn costs_and_errors_format_and_total() {
+        let cost = ChurnCost {
+            locate_messages: 3,
+            update_messages: 4,
+            lost_items: 0,
+        };
+        assert_eq!(cost.total_messages(), 7);
+        assert!(OverlayError::Unsupported("range query")
+            .to_string()
+            .contains("range query"));
+        assert!(OverlayError::Op("boom".into()).to_string().contains("boom"));
+        let presets = [
+            OverlayCapabilities::FULL,
+            OverlayCapabilities::DHT,
+            OverlayCapabilities::PLAIN_TREE,
+        ];
+        assert_eq!(presets.iter().filter(|c| c.range_queries).count(), 2);
+        assert_eq!(presets.iter().filter(|c| c.load_balancing).count(), 1);
+        assert_eq!(presets.iter().filter(|c| c.level_load).count(), 2);
+    }
+}

@@ -8,13 +8,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Opaque identifier of a peer (a physical compute node).
 ///
 /// In a deployment this would be an IP address / port pair; in the simulator
 /// it is a dense integer handed out by [`PeerRegistry::register`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PeerId(pub u64);
 
 impl PeerId {
@@ -38,7 +36,7 @@ impl fmt::Display for PeerId {
 }
 
 /// Liveness of a peer as observed by the simulator.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PeerStatus {
     /// The peer is running and will receive messages.
     Alive,

@@ -36,7 +36,9 @@ impl SimRng {
     pub fn derive(&self, salt: u64) -> Self {
         // SplitMix64-style mixing keeps derived seeds well distributed even
         // for small consecutive salts.
-        let mut z = self.seed.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut z = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;

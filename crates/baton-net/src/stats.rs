@@ -7,16 +7,14 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::peer::PeerId;
 
 /// Identifier of one logical operation (a join, a search, …) for accounting.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct OpId(pub u64);
 
 /// Counters accumulated for a single operation.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct OpStats {
     /// Label of the operation (e.g. `"join"`, `"search.exact"`).
     pub label: String,
@@ -47,7 +45,7 @@ pub struct OpScope {
 ///
 /// Used for Figure 8(h): the distribution of the number of nodes involved in
 /// a single load-balancing shift.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,

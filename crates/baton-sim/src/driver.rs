@@ -1,0 +1,131 @@
+//! The generic experiment driver: which overlays to run and how to build
+//! and load them.
+//!
+//! Every figure driver in [`crate::figures`] is written against
+//! `dyn Overlay` and a list of [`OverlaySpec`]s — there is exactly **one**
+//! measurement loop per experiment, not one per system.  Adding a new
+//! baseline to every figure therefore means adding one [`OverlaySpec`]
+//! here (and implementing [`Overlay`] for the system), nothing else.
+
+use baton_chord::ChordSystem;
+use baton_core::{BatonConfig, BatonSystem, LoadBalanceConfig};
+use baton_mtree::MTreeSystem;
+use baton_net::{Overlay, SimRng};
+use baton_workload::{runner, DatasetPlan, KeyDistribution};
+
+use crate::profile::Profile;
+
+/// How to build one overlay system for an experiment.
+pub struct OverlaySpec {
+    /// Series label used in figures ("BATON", "Chord", …).  Matches
+    /// [`Overlay::name`] of the built system.
+    pub series: &'static str,
+    build: fn(&Profile, usize, u64) -> Box<dyn Overlay>,
+}
+
+impl OverlaySpec {
+    /// Builds an overlay of `n` nodes for the given profile and seed.
+    pub fn build(&self, profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+        (self.build)(profile, n, seed)
+    }
+}
+
+fn build_baton(profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+    // Load-balancing thresholds sized for the profile's expected average
+    // load so that the skew experiments can trigger balancing while the
+    // uniform ones mostly do not, as in the paper.
+    let avg_load = (profile.dataset_size(n) / n.max(1)).max(4);
+    let config =
+        BatonConfig::default().with_load_balance(LoadBalanceConfig::for_average_load(avg_load));
+    Box::new(BatonSystem::build(config, seed, n).expect("building the BATON overlay cannot fail"))
+}
+
+fn build_chord(_profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+    Box::new(ChordSystem::build(seed, n).expect("building the Chord ring cannot fail"))
+}
+
+fn build_mtree(_profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+    Box::new(MTreeSystem::build(seed, n).expect("building the multiway tree cannot fail"))
+}
+
+/// The system under study: BATON.  Figures 8(f)–(i) plot it alone, as the
+/// paper does.
+pub fn reference_overlay() -> OverlaySpec {
+    OverlaySpec {
+        series: super::figures::SERIES_BATON,
+        build: build_baton,
+    }
+}
+
+/// Every system of the comparison, in the paper's order: BATON, Chord,
+/// multiway tree.
+pub fn standard_overlays() -> Vec<OverlaySpec> {
+    vec![
+        reference_overlay(),
+        OverlaySpec {
+            series: super::figures::SERIES_CHORD,
+            build: build_chord,
+        },
+        OverlaySpec {
+            series: super::figures::SERIES_MTREE,
+            build: build_mtree,
+        },
+    ]
+}
+
+/// Bulk-loads an overlay with the profile-scaled dataset, returning the
+/// inserted `(key, value)` pairs.
+///
+/// Works on any [`Overlay`]; the paper's `1000 × N` volume is scaled by the
+/// profile's `data_scale`.
+pub fn load_overlay(
+    profile: &Profile,
+    overlay: &mut dyn Overlay,
+    distribution: KeyDistribution,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    let plan = DatasetPlan {
+        values_per_node: 1000,
+        distribution,
+    }
+    .scaled(profile.data_scale);
+    let mut rng = SimRng::seeded(seed ^ 0xDA7A);
+    let data = plan.generate(&mut rng, overlay.node_count());
+    runner::bulk_load(overlay, &data).expect("bulk load cannot fail");
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_overlays_cover_the_papers_three_systems() {
+        let profile = Profile::smoke();
+        let specs = standard_overlays();
+        assert_eq!(specs.len(), 3);
+        let mut range_capable = 0;
+        for spec in &specs {
+            let overlay = spec.build(&profile, 15, 7);
+            assert_eq!(overlay.name(), spec.series);
+            assert_eq!(overlay.node_count(), 15);
+            overlay.validate().unwrap();
+            if overlay.capabilities().range_queries {
+                range_capable += 1;
+            }
+        }
+        // BATON and the multiway tree; Chord cannot answer range queries.
+        assert_eq!(range_capable, 2);
+    }
+
+    #[test]
+    fn load_overlay_scales_with_the_profile() {
+        let profile = Profile::smoke();
+        for spec in standard_overlays() {
+            let mut overlay = spec.build(&profile, 10, 3);
+            let data = load_overlay(&profile, &mut *overlay, KeyDistribution::Uniform, 3);
+            assert_eq!(data.len(), profile.dataset_size(10));
+            assert_eq!(overlay.total_items(), data.len());
+        }
+    }
+}

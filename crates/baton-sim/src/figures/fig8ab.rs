@@ -2,9 +2,9 @@
 //!
 //! * **8(a)** — average messages to find the node that accepts a join and to
 //!   find the replacement node for a departure, versus network size, for
-//!   BATON, Chord and the multiway tree.
+//!   every overlay in the comparison.
 //! * **8(b)** — average messages to update routing tables after a join or a
-//!   departure, versus network size, for the same three systems.
+//!   departure, versus network size, for the same systems.
 //!
 //! Expected shape (paper §V-A): BATON's locate cost is nearly flat and well
 //! below `log N`; Chord's grows with `log N`; the multiway tree is the most
@@ -12,13 +12,9 @@
 //! clearly below Chord's `O(log² N)`, while the multiway tree — which keeps
 //! almost no routing state — is the cheapest.
 
-use baton_chord::ChordSystem;
-use baton_mtree::MTreeSystem;
-
+use crate::driver::standard_overlays;
 use crate::profile::Profile;
 use crate::result::{Averager, FigureResult, SeriesPoint};
-
-use super::{build_baton, SERIES_BATON, SERIES_CHORD, SERIES_MTREE};
 
 /// Runs the churn-cost measurement and returns `(figure_8a, figure_8b)`.
 pub fn run(profile: &Profile) -> (FigureResult, FigureResult) {
@@ -34,58 +30,33 @@ pub fn run(profile: &Profile) -> (FigureResult, FigureResult) {
         "nodes",
         "messages per operation",
     );
+    let specs = standard_overlays();
 
     for &n in &profile.network_sizes {
-        let mut locate = [Averager::new(), Averager::new(), Averager::new()];
-        let mut update = [Averager::new(), Averager::new(), Averager::new()];
+        let mut locate = vec![Averager::new(); specs.len()];
+        let mut update = vec![Averager::new(); specs.len()];
         for rep in 0..profile.repetitions {
             let seed = profile.rep_seed(rep);
-
-            // --- BATON ---
-            let mut baton = build_baton(profile, n, seed);
-            for _ in 0..profile.churn_ops {
-                let join = baton.join_random().expect("join");
-                locate[0].add(join.locate_messages as f64);
-                update[0].add(join.update_messages as f64);
-                let leave = baton.leave_random().expect("leave");
-                locate[0].add(leave.locate_messages as f64);
-                update[0].add(leave.update_messages as f64);
-            }
-
-            // --- Chord ---
-            let mut chord = ChordSystem::build(seed, n).expect("chord build");
-            for _ in 0..profile.churn_ops {
-                let join = chord.join_random().expect("join");
-                locate[1].add(join.locate_messages as f64);
-                update[1].add(join.update_messages as f64);
-                let leave = chord.leave_random().expect("leave");
-                locate[1].add(leave.locate_messages as f64);
-                update[1].add(leave.update_messages as f64);
-            }
-
-            // --- Multiway tree ---
-            let mut mtree = MTreeSystem::build(seed, n).expect("mtree build");
-            for _ in 0..profile.churn_ops {
-                let join = mtree.join_random().expect("join");
-                locate[2].add(join.locate_messages as f64);
-                update[2].add(join.update_messages as f64);
-                let leave = mtree.leave_random().expect("leave");
-                locate[2].add(leave.locate_messages as f64);
-                update[2].add(leave.update_messages as f64);
+            for (i, spec) in specs.iter().enumerate() {
+                let mut overlay = spec.build(profile, n, seed);
+                for _ in 0..profile.churn_ops {
+                    let join = overlay.join_random().expect("join");
+                    locate[i].add(join.locate_messages as f64);
+                    update[i].add(join.update_messages as f64);
+                    let leave = overlay.leave_random().expect("leave");
+                    locate[i].add(leave.locate_messages as f64);
+                    update[i].add(leave.update_messages as f64);
+                }
             }
         }
-        fig_a.points.push(
-            SeriesPoint::at(n as f64)
-                .set(SERIES_BATON, locate[0].mean())
-                .set(SERIES_CHORD, locate[1].mean())
-                .set(SERIES_MTREE, locate[2].mean()),
-        );
-        fig_b.points.push(
-            SeriesPoint::at(n as f64)
-                .set(SERIES_BATON, update[0].mean())
-                .set(SERIES_CHORD, update[1].mean())
-                .set(SERIES_MTREE, update[2].mean()),
-        );
+        let mut point_a = SeriesPoint::at(n as f64);
+        let mut point_b = SeriesPoint::at(n as f64);
+        for (i, spec) in specs.iter().enumerate() {
+            point_a = point_a.set(spec.series, locate[i].mean());
+            point_b = point_b.set(spec.series, update[i].mean());
+        }
+        fig_a.points.push(point_a);
+        fig_b.points.push(point_b);
     }
     (fig_a, fig_b)
 }
@@ -93,6 +64,7 @@ pub fn run(profile: &Profile) -> (FigureResult, FigureResult) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::{SERIES_BATON, SERIES_CHORD, SERIES_MTREE};
 
     #[test]
     fn churn_costs_have_the_papers_shape() {

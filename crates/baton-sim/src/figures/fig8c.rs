@@ -4,15 +4,12 @@
 //! `O(log N)`; BATON is slightly above Chord (the balanced tree's height can
 //! reach `1.44 log N`); the multiway tree costs noticeably more.
 
-use baton_chord::ChordSystem;
-use baton_mtree::MTreeSystem;
 use baton_net::SimRng;
 use baton_workload::{KeyDistribution, KeyGenerator};
 
+use crate::driver::{load_overlay, standard_overlays};
 use crate::profile::Profile;
 use crate::result::{Averager, FigureResult, SeriesPoint};
-
-use super::{build_baton, load_baton, SERIES_BATON, SERIES_CHORD, SERIES_MTREE};
 
 /// Runs the insert/delete cost measurement.
 pub fn run(profile: &Profile) -> FigureResult {
@@ -23,41 +20,33 @@ pub fn run(profile: &Profile) -> FigureResult {
         "messages per operation",
     );
     let generator = KeyGenerator::paper(KeyDistribution::Uniform);
+    let specs = standard_overlays();
 
     for &n in &profile.network_sizes {
         let ops = profile.query_count();
-        let mut baton_avg = Averager::new();
-        let mut chord_avg = Averager::new();
-        let mut mtree_avg = Averager::new();
+        let mut averages = vec![Averager::new(); specs.len()];
         for rep in 0..profile.repetitions {
             let seed = profile.rep_seed(rep);
+            // One key stream per repetition, identical for every system.
             let mut rng = SimRng::seeded(seed ^ 0xC0DE);
+            let keys: Vec<u64> = (0..ops).map(|_| generator.next_key(&mut rng)).collect();
 
-            let mut baton = build_baton(profile, n, seed);
-            load_baton(profile, &mut baton, KeyDistribution::Uniform, seed);
-            let mut chord = ChordSystem::build(seed, n).expect("chord build");
-            let mut mtree = MTreeSystem::build(seed, n).expect("mtree build");
-
-            for i in 0..ops {
-                let key = generator.next_key(&mut rng);
-                let insert = baton.insert(key, i as u64).expect("insert");
-                baton_avg.add(insert.messages as f64);
-                let delete = baton.delete(key).expect("delete");
-                baton_avg.add(delete.messages as f64);
-
-                chord_avg.add(chord.insert(key, i as u64).expect("insert").messages as f64);
-                chord_avg.add(chord.delete(key).expect("delete").messages as f64);
-
-                mtree_avg.add(mtree.insert(key).expect("insert").messages as f64);
-                mtree_avg.add(mtree.delete(key).expect("delete").messages as f64);
+            for (i, spec) in specs.iter().enumerate() {
+                let mut overlay = spec.build(profile, n, seed);
+                load_overlay(profile, &mut *overlay, KeyDistribution::Uniform, seed);
+                for (j, key) in keys.iter().enumerate() {
+                    let insert = overlay.insert(*key, j as u64).expect("insert");
+                    averages[i].add(insert.messages as f64);
+                    let delete = overlay.delete(*key).expect("delete");
+                    averages[i].add(delete.messages as f64);
+                }
             }
         }
-        figure.points.push(
-            SeriesPoint::at(n as f64)
-                .set(SERIES_BATON, baton_avg.mean())
-                .set(SERIES_CHORD, chord_avg.mean())
-                .set(SERIES_MTREE, mtree_avg.mean()),
-        );
+        let mut point = SeriesPoint::at(n as f64);
+        for (i, spec) in specs.iter().enumerate() {
+            point = point.set(spec.series, averages[i].mean());
+        }
+        figure.points.push(point);
     }
     figure
 }
@@ -65,6 +54,7 @@ pub fn run(profile: &Profile) -> FigureResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::{SERIES_BATON, SERIES_MTREE};
 
     #[test]
     fn insert_delete_costs_are_logarithmic_and_ordered() {

@@ -4,29 +4,20 @@
 //! slightly higher (tree height up to `1.44 log N`), and the multiway tree
 //! clearly more expensive.
 
-use baton_chord::ChordSystem;
-use baton_mtree::MTreeSystem;
 use baton_net::SimRng;
-use baton_workload::{KeyDistribution, QueryWorkload, Query};
+use baton_workload::{runner, KeyDistribution, QueryWorkload};
 
+use crate::driver::{load_overlay, standard_overlays};
 use crate::profile::Profile;
 use crate::result::{Averager, FigureResult, SeriesPoint};
 
-use super::{build_baton, load_baton, SERIES_BATON, SERIES_CHORD, SERIES_MTREE};
-
 /// Runs the exact-match query measurement.
 pub fn run(profile: &Profile) -> FigureResult {
-    let mut figure = FigureResult::new(
-        "8d",
-        "Exact match query",
-        "nodes",
-        "messages per query",
-    );
+    let mut figure = FigureResult::new("8d", "Exact match query", "nodes", "messages per query");
+    let specs = standard_overlays();
 
     for &n in &profile.network_sizes {
-        let mut baton_avg = Averager::new();
-        let mut chord_avg = Averager::new();
-        let mut mtree_avg = Averager::new();
+        let mut averages = vec![Averager::new(); specs.len()];
         for rep in 0..profile.repetitions {
             let seed = profile.rep_seed(rep);
             let workload = QueryWorkload {
@@ -34,26 +25,21 @@ pub fn run(profile: &Profile) -> FigureResult {
                 distribution: KeyDistribution::Uniform,
                 ..QueryWorkload::paper()
             };
+            // One query batch per repetition, identical for every system.
             let queries = workload.exact(&mut SimRng::seeded(seed ^ 0xE5AC));
 
-            let mut baton = build_baton(profile, n, seed);
-            load_baton(profile, &mut baton, KeyDistribution::Uniform, seed);
-            let mut chord = ChordSystem::build(seed, n).expect("chord build");
-            let mut mtree = MTreeSystem::build(seed, n).expect("mtree build");
-
-            for query in &queries {
-                let Query::Exact(key) = query else { continue };
-                baton_avg.add(baton.search_exact(*key).expect("search").messages as f64);
-                chord_avg.add(chord.search_exact(*key).expect("search").messages as f64);
-                mtree_avg.add(mtree.search_exact(*key).expect("search").messages as f64);
+            for (i, spec) in specs.iter().enumerate() {
+                let mut overlay = spec.build(profile, n, seed);
+                load_overlay(profile, &mut *overlay, KeyDistribution::Uniform, seed);
+                let outcome = runner::run_queries(&mut *overlay, &queries).expect("queries");
+                averages[i].add_total(outcome.exact_messages as f64, outcome.exact_executed);
             }
         }
-        figure.points.push(
-            SeriesPoint::at(n as f64)
-                .set(SERIES_BATON, baton_avg.mean())
-                .set(SERIES_CHORD, chord_avg.mean())
-                .set(SERIES_MTREE, mtree_avg.mean()),
-        );
+        let mut point = SeriesPoint::at(n as f64);
+        for (i, spec) in specs.iter().enumerate() {
+            point = point.set(spec.series, averages[i].mean());
+        }
+        figure.points.push(point);
     }
     figure
 }
@@ -61,6 +47,7 @@ pub fn run(profile: &Profile) -> FigureResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::{SERIES_BATON, SERIES_MTREE};
 
     #[test]
     fn exact_query_costs_scale_like_log_n() {
@@ -71,8 +58,14 @@ mod tests {
         let log_n = largest.log2();
         let baton = figure.value_at(largest, SERIES_BATON).unwrap();
         let mtree = figure.value_at(largest, SERIES_MTREE).unwrap();
-        assert!(baton > 0.0 && baton <= 2.0 * log_n + 4.0, "BATON query cost {baton}");
-        assert!(mtree > baton, "multiway ({mtree:.1}) should exceed BATON ({baton:.1})");
+        assert!(
+            baton > 0.0 && baton <= 2.0 * log_n + 4.0,
+            "BATON query cost {baton}"
+        );
+        assert!(
+            mtree > baton,
+            "multiway ({mtree:.1}) should exceed BATON ({baton:.1})"
+        );
         // Costs grow (weakly) with network size.
         let smallest = *profile.network_sizes.first().unwrap() as f64;
         let baton_small = figure.value_at(smallest, SERIES_BATON).unwrap();

@@ -2,35 +2,37 @@
 //!
 //! BATON answers a range query in `O(log N + X)` messages, where `X` is the
 //! number of nodes whose ranges intersect the query.  Chord cannot answer
-//! range queries at all (hashing destroys order), so — as in the paper — it
-//! does not appear in this figure; the multiway tree answers them by walking
-//! neighbour links after a more expensive initial descent.
+//! range queries at all (hashing destroys order) — the generic driver
+//! discovers that through [`baton_net::OverlayCapabilities::range_queries`]
+//! and omits the series, as the paper does; the multiway tree answers them
+//! by walking neighbour links after a more expensive initial descent.
 
-use baton_mtree::MTreeSystem;
 use baton_net::SimRng;
 use baton_workload::{KeyDistribution, Query, QueryWorkload};
 
+use crate::driver::standard_overlays;
+use crate::figures::SERIES_BATON;
 use crate::profile::Profile;
 use crate::result::{Averager, FigureResult, SeriesPoint};
-
-use super::{build_baton, load_baton, SERIES_BATON, SERIES_MTREE};
 
 /// Series reporting how many nodes each BATON range query touched.
 pub const SERIES_NODES_COVERED: &str = "BATON nodes covered (X)";
 
 /// Runs the range-query measurement.
 pub fn run(profile: &Profile) -> FigureResult {
-    let mut figure = FigureResult::new(
-        "8e",
-        "Range query",
-        "nodes",
-        "messages per query",
-    );
+    let mut figure = FigureResult::new("8e", "Range query", "nodes", "messages per query");
+    let specs = standard_overlays();
+    // Capabilities are a property of the system, not of a particular build:
+    // probe each spec once on a tiny instance so unsupported systems (Chord)
+    // never pay for full-size throwaway builds below.
+    let supported: Vec<bool> = specs
+        .iter()
+        .map(|spec| spec.build(profile, 2, 0).capabilities().range_queries)
+        .collect();
 
     for &n in &profile.network_sizes {
-        let mut baton_avg = Averager::new();
-        let mut covered_avg = Averager::new();
-        let mut mtree_avg = Averager::new();
+        let mut averages = vec![Averager::new(); specs.len()];
+        let mut covered = vec![Averager::new(); specs.len()];
         for rep in 0..profile.repetitions {
             let seed = profile.rep_seed(rep);
             let workload = QueryWorkload {
@@ -40,26 +42,35 @@ pub fn run(profile: &Profile) -> FigureResult {
             };
             let queries = workload.ranges(&mut SimRng::seeded(seed ^ 0x4A4E));
 
-            let mut baton = build_baton(profile, n, seed);
-            load_baton(profile, &mut baton, KeyDistribution::Uniform, seed);
-            let mut mtree = MTreeSystem::build(seed, n).expect("mtree build");
-
-            for query in &queries {
-                let Query::Range { low, high } = query else { continue };
-                let report = baton
-                    .search_range(baton_core::KeyRange::new(*low, *high))
-                    .expect("range search");
-                baton_avg.add(report.messages as f64);
-                covered_avg.add(report.nodes_visited as f64);
-                mtree_avg.add(mtree.search_range(*low, *high).expect("range").messages as f64);
+            for (i, spec) in specs.iter().enumerate() {
+                if !supported[i] {
+                    continue;
+                }
+                let mut overlay = spec.build(profile, n, seed);
+                crate::driver::load_overlay(profile, &mut *overlay, KeyDistribution::Uniform, seed);
+                for query in &queries {
+                    let Query::Range { low, high } = query else {
+                        continue;
+                    };
+                    let cost = overlay.search_range(*low, *high).expect("range search");
+                    averages[i].add(cost.messages as f64);
+                    covered[i].add(cost.nodes_visited as f64);
+                }
             }
         }
-        figure.points.push(
-            SeriesPoint::at(n as f64)
-                .set(SERIES_BATON, baton_avg.mean())
-                .set(SERIES_NODES_COVERED, covered_avg.mean())
-                .set(SERIES_MTREE, mtree_avg.mean()),
-        );
+        let mut point = SeriesPoint::at(n as f64);
+        for (i, spec) in specs.iter().enumerate() {
+            if !supported[i] {
+                continue;
+            }
+            point = point.set(spec.series, averages[i].mean());
+            // The paper annotates BATON's curve with the number of nodes
+            // covered (the X of O(log N + X)).
+            if spec.series == SERIES_BATON {
+                point = point.set(SERIES_NODES_COVERED, covered[i].mean());
+            }
+        }
+        figure.points.push(point);
     }
     figure
 }
@@ -67,6 +78,7 @@ pub fn run(profile: &Profile) -> FigureResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::{SERIES_CHORD, SERIES_MTREE};
 
     #[test]
     fn range_query_cost_is_log_n_plus_coverage() {
@@ -83,5 +95,15 @@ mod tests {
         );
         let mtree = figure.value_at(largest, SERIES_MTREE).unwrap();
         assert!(mtree > 0.0);
+    }
+
+    #[test]
+    fn chord_is_omitted_by_capability_not_by_name() {
+        let profile = Profile::smoke();
+        let figure = run(&profile);
+        assert!(
+            !figure.series_names().iter().any(|s| s == SERIES_CHORD),
+            "Chord cannot appear in the range-query figure"
+        );
     }
 }

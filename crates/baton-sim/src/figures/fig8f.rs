@@ -6,14 +6,18 @@
 //! the insert phase and for the exact-query phase.  Expected shape: the
 //! insert load is roughly flat across levels and the search load at the
 //! leaves is at least as high as at the root.
+//!
+//! The paper plots BATON alone, so the driver runs the
+//! [`reference_overlay`](crate::driver::reference_overlay) — through the
+//! generic [`Overlay`](baton_net::Overlay) interface, gated on the
+//! `level_load` capability.
 
 use baton_net::SimRng;
 use baton_workload::{KeyDistribution, KeyGenerator};
 
+use crate::driver::{load_overlay, reference_overlay};
 use crate::profile::Profile;
 use crate::result::{FigureResult, SeriesPoint};
-
-use super::{build_baton, load_baton};
 
 /// Series of per-level load during the insert phase.
 pub const SERIES_INSERT_LOAD: &str = "insert load";
@@ -30,22 +34,25 @@ pub fn run(profile: &Profile) -> FigureResult {
     );
     let n = *profile.network_sizes.last().expect("profile has sizes");
     let seed = profile.rep_seed(0);
-    let mut system = build_baton(profile, n, seed);
+    let mut overlay = reference_overlay().build(profile, n, seed);
+    if !overlay.capabilities().level_load {
+        return figure;
+    }
 
     // Phase 1: inserts.
-    system.stats_mut().reset_received_counters();
-    load_baton(profile, &mut system, KeyDistribution::Uniform, seed);
-    let insert_load = system.access_load_by_level();
+    overlay.stats_mut().reset_received_counters();
+    load_overlay(profile, &mut *overlay, KeyDistribution::Uniform, seed);
+    let insert_load = overlay.access_load_by_level();
 
     // Phase 2: exact queries.
-    system.stats_mut().reset_received_counters();
+    overlay.stats_mut().reset_received_counters();
     let generator = KeyGenerator::paper(KeyDistribution::Uniform);
     let mut rng = SimRng::seeded(seed ^ 0xF1F1);
     for _ in 0..(profile.query_count() * 4) {
         let key = generator.next_key(&mut rng);
-        system.search_exact(key).expect("search");
+        overlay.search_exact(key).expect("search");
     }
-    let search_load = system.access_load_by_level();
+    let search_load = overlay.access_load_by_level();
 
     let max_level = insert_load
         .iter()

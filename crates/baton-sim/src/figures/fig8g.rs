@@ -4,14 +4,19 @@
 //! Expected shape (paper §V-D): the overhead is tiny for uniform data and
 //! noticeably larger — but still very low — for skewed data (the paper
 //! reports roughly one load-balancing message per 1500 insertions).
+//!
+//! The paper plots BATON alone (the baselines have no balancing), so the
+//! driver runs the [`reference_overlay`](crate::driver::reference_overlay)
+//! through the generic interface, gated on the `load_balancing` capability;
+//! the per-insert balancing cost comes from the
+//! [`bulk_load`](baton_workload::runner::bulk_load) runner's aggregate.
 
 use baton_net::SimRng;
-use baton_workload::{DatasetPlan, KeyDistribution};
+use baton_workload::{runner, DatasetPlan, KeyDistribution};
 
+use crate::driver::reference_overlay;
 use crate::profile::Profile;
 use crate::result::{Averager, FigureResult, SeriesPoint};
-
-use super::build_baton;
 
 /// Series for uniformly distributed data.
 pub const SERIES_UNIFORM: &str = "uniform data";
@@ -22,7 +27,10 @@ fn measure(profile: &Profile, n: usize, distribution: KeyDistribution) -> f64 {
     let mut avg = Averager::new();
     for rep in 0..profile.repetitions {
         let seed = profile.rep_seed(rep);
-        let mut system = build_baton(profile, n, seed);
+        let mut overlay = reference_overlay().build(profile, n, seed);
+        if !overlay.capabilities().load_balancing {
+            return 0.0;
+        }
         let plan = DatasetPlan {
             values_per_node: 1000,
             distribution,
@@ -30,11 +38,8 @@ fn measure(profile: &Profile, n: usize, distribution: KeyDistribution) -> f64 {
         .scaled(profile.data_scale);
         let mut rng = SimRng::seeded(seed ^ 0xBA1A);
         let data = plan.generate(&mut rng, n);
-        for (k, v) in &data {
-            let report = system.insert(*k, *v).expect("insert");
-            let balance_messages = report.balance.as_ref().map_or(0, |b| b.messages);
-            avg.add(balance_messages as f64);
-        }
+        let outcome = runner::bulk_load(&mut *overlay, &data).expect("bulk load");
+        avg.add_total(outcome.balance_messages as f64, outcome.inserted);
     }
     avg.mean()
 }
@@ -50,7 +55,10 @@ pub fn run(profile: &Profile) -> FigureResult {
     for &n in &profile.network_sizes {
         figure.points.push(
             SeriesPoint::at(n as f64)
-                .set(SERIES_UNIFORM, measure(profile, n, KeyDistribution::Uniform))
+                .set(
+                    SERIES_UNIFORM,
+                    measure(profile, n, KeyDistribution::Uniform),
+                )
                 .set(
                     SERIES_SKEWED,
                     measure(profile, n, KeyDistribution::Zipf { theta: 1.0 }),

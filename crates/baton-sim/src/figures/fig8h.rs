@@ -5,14 +5,18 @@
 //! involve only the two nodes exchanging data, and the frequency of longer
 //! restructuring shifts falls off roughly exponentially with the shift
 //! length.
+//!
+//! BATON-only (the baselines have no balancing): runs the
+//! [`reference_overlay`](crate::driver::reference_overlay) through the
+//! generic interface and reads
+//! [`balance_shift_histogram`](baton_net::Overlay::balance_shift_histogram).
 
 use baton_net::SimRng;
-use baton_workload::{DatasetPlan, KeyDistribution};
+use baton_workload::{runner, DatasetPlan, KeyDistribution};
 
+use crate::driver::reference_overlay;
 use crate::profile::Profile;
 use crate::result::{FigureResult, SeriesPoint};
-
-use super::build_baton;
 
 /// Series name: fraction of balancing operations of each size.
 pub const SERIES_FREQUENCY: &str = "fraction of balancing operations";
@@ -29,21 +33,23 @@ pub fn run(profile: &Profile) -> FigureResult {
     let mut histogram = baton_net::Histogram::new();
     for rep in 0..profile.repetitions {
         let seed = profile.rep_seed(rep);
-        let mut system = build_baton(profile, n, seed);
+        let mut overlay = reference_overlay().build(profile, n, seed);
         let plan = DatasetPlan {
             values_per_node: 1000,
             distribution: KeyDistribution::Zipf { theta: 1.0 },
         }
         .scaled(profile.data_scale);
         let mut rng = SimRng::seeded(seed ^ 0x51FE);
-        for (k, v) in plan.generate(&mut rng, n) {
-            system.insert(k, v).expect("insert");
+        let data = plan.generate(&mut rng, n);
+        runner::bulk_load(&mut *overlay, &data).expect("bulk load");
+        if let Some(shifts) = overlay.balance_shift_histogram() {
+            histogram.merge(shifts);
         }
-        histogram.merge(system.balance_shift_histogram());
     }
     if histogram.total() == 0 {
-        // No balancing triggered at this scale; report an explicit zero
-        // point so the table is never empty.
+        // No balancing triggered at this scale (or the reference overlay has
+        // no balancing); report an explicit zero point so the table is never
+        // empty.
         figure
             .points
             .push(SeriesPoint::at(0.0).set(SERIES_FREQUENCY, 0.0));

@@ -18,11 +18,16 @@
 //! plus the detour through a neighbour of the parent, §III-D).  The figure
 //! reports the *expected* extra messages per operation, measured over the
 //! actual hop counts of the batch.
+//!
+//! The paper plots BATON alone; the batch itself runs through the generic
+//! [`run_churn`](baton_workload::runner::run_churn) runner.
 
+use baton_workload::{runner, ChurnEvent};
+
+use crate::driver::reference_overlay;
+use crate::figures::SERIES_BATON;
 use crate::profile::Profile;
 use crate::result::{Averager, FigureResult, SeriesPoint};
-
-use super::{build_baton, SERIES_BATON};
 
 /// Concurrency levels (number of simultaneous joins + leaves) evaluated.
 pub fn concurrency_levels() -> Vec<usize> {
@@ -43,23 +48,17 @@ pub fn run(profile: &Profile) -> FigureResult {
         let mut extra = Averager::new();
         for rep in 0..profile.repetitions {
             let seed = profile.rep_seed(rep);
-            let mut system = build_baton(profile, n, seed);
+            let mut overlay = reference_overlay().build(profile, n, seed);
             let batch = baton_workload::ConcurrentChurnBatch::of_intensity(c);
             let stale_probability = (c.saturating_sub(1)) as f64 / (2.0 * n as f64);
             // Perform the batch; every hop of every operation may hit a
             // stale link left behind by the other in-flight operations.
-            let mut total_hops = 0u64;
-            let mut ops = 0u64;
-            for i in 0..batch.total() {
-                if i < batch.joins {
-                    let report = system.join_random().expect("join");
-                    total_hops += report.locate_messages + report.update_messages;
-                } else {
-                    let report = system.leave_random().expect("leave");
-                    total_hops += report.locate_messages + report.update_messages;
-                }
-                ops += 1;
-            }
+            let events: Vec<ChurnEvent> = std::iter::repeat_n(ChurnEvent::Join, batch.joins)
+                .chain(std::iter::repeat_n(ChurnEvent::Leave, batch.leaves))
+                .collect();
+            let outcome = runner::run_churn(&mut *overlay, &events, 2).expect("churn batch");
+            let total_hops = outcome.locate_messages + outcome.update_messages;
+            let ops = outcome.executed();
             let expected_extra = total_hops as f64 * stale_probability * 2.0;
             extra.add(expected_extra / ops.max(1) as f64);
         }

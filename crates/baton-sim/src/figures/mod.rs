@@ -2,9 +2,13 @@
 //!
 //! Every driver takes a [`Profile`](crate::profile::Profile) and returns a
 //! [`FigureResult`](crate::result::FigureResult) containing the same series
-//! the paper plots.  The mapping from figure to driver, workload and modules
-//! exercised is tabulated in `DESIGN.md` (per-experiment index) and the
-//! measured numbers are recorded in `EXPERIMENTS.md`.
+//! the paper plots.  All drivers are **generic over
+//! [`Overlay`](baton_net::Overlay)**: they loop over the
+//! [`OverlaySpec`](crate::driver::OverlaySpec)s of
+//! [`standard_overlays`](crate::driver::standard_overlays) (or the
+//! [`reference_overlay`](crate::driver::reference_overlay) for the
+//! BATON-only figures) and never dispatch on a concrete system type, so a
+//! new baseline appears in every figure by adding one spec.
 
 pub mod fig8ab;
 pub mod fig8c;
@@ -15,10 +19,6 @@ pub mod fig8g;
 pub mod fig8h;
 pub mod fig8i;
 
-use baton_core::{BatonConfig, BatonSystem, LoadBalanceConfig};
-use baton_net::SimRng;
-use baton_workload::{DatasetPlan, KeyDistribution};
-
 use crate::profile::Profile;
 use crate::result::FigureResult;
 
@@ -28,38 +28,6 @@ pub const SERIES_BATON: &str = "BATON";
 pub const SERIES_CHORD: &str = "Chord";
 /// Series name used for the multiway-tree measurements.
 pub const SERIES_MTREE: &str = "Multiway tree";
-
-/// Builds a BATON overlay of `n` nodes for experiment use.
-///
-/// Load balancing thresholds are sized for the profile's expected average
-/// load so that the skew experiments can trigger balancing while the uniform
-/// ones mostly do not, as in the paper.
-pub(crate) fn build_baton(profile: &Profile, n: usize, seed: u64) -> BatonSystem {
-    let avg_load = (profile.dataset_size(n) / n.max(1)).max(4);
-    let config = BatonConfig::default()
-        .with_load_balance(LoadBalanceConfig::for_average_load(avg_load));
-    BatonSystem::build(config, seed, n).expect("building the BATON overlay cannot fail")
-}
-
-/// Bulk-loads a BATON overlay with the profile-scaled dataset.
-pub(crate) fn load_baton(
-    profile: &Profile,
-    system: &mut BatonSystem,
-    distribution: KeyDistribution,
-    seed: u64,
-) -> Vec<(u64, u64)> {
-    let plan = DatasetPlan {
-        values_per_node: 1000,
-        distribution,
-    }
-    .scaled(profile.data_scale);
-    let mut rng = SimRng::seeded(seed ^ 0xDA7A);
-    let data = plan.generate(&mut rng, system.node_count());
-    for (k, v) in &data {
-        system.insert(*k, *v).expect("insert cannot fail");
-    }
-    data
-}
 
 /// Runs every figure of the paper at the given profile, in order.
 pub fn run_all(profile: &Profile) -> Vec<FigureResult> {
@@ -103,6 +71,8 @@ pub fn all_figure_ids() -> Vec<&'static str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::{load_overlay, standard_overlays};
+    use baton_workload::KeyDistribution;
 
     #[test]
     fn run_figure_rejects_unknown_ids() {
@@ -111,12 +81,14 @@ mod tests {
     }
 
     #[test]
-    fn helpers_build_and_load_networks() {
+    fn every_standard_overlay_builds_and_loads() {
         let profile = Profile::smoke();
-        let mut system = build_baton(&profile, 20, 1);
-        assert_eq!(system.node_count(), 20);
-        let data = load_baton(&profile, &mut system, KeyDistribution::Uniform, 1);
-        assert_eq!(system.total_items(), data.len());
-        baton_core::validate(&system).unwrap();
+        for spec in standard_overlays() {
+            let mut overlay = spec.build(&profile, 20, 1);
+            assert_eq!(overlay.node_count(), 20);
+            let data = load_overlay(&profile, &mut *overlay, KeyDistribution::Uniform, 1);
+            assert_eq!(overlay.total_items(), data.len());
+            overlay.validate().unwrap();
+        }
     }
 }

@@ -5,6 +5,11 @@
 //! the two baselines ([`baton_chord`], [`baton_mtree`]), at a configurable
 //! scale ([`Profile`]).
 //!
+//! All drivers are generic over the [`baton_net::Overlay`] trait: the
+//! [`driver`] module holds the list of [`OverlaySpec`]s, and each figure
+//! runs one measurement loop over that list rather than one hand-written
+//! loop per system.
+//!
 //! | figure | driver | what it measures |
 //! |---|---|---|
 //! | 8(a) | [`figures::fig8ab`] | messages to find the join / replacement node |
@@ -33,11 +38,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod driver;
 pub mod figures;
 pub mod profile;
 pub mod report;
 pub mod result;
 
+pub use driver::{load_overlay, reference_overlay, standard_overlays, OverlaySpec};
 pub use profile::Profile;
 pub use report::{render_json, render_report};
 pub use result::{Averager, FigureResult, SeriesPoint};

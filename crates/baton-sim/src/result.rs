@@ -2,10 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 /// One x-position of a figure with the value of every series at that x.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SeriesPoint {
     /// The x value (network size, tree level, shift size, …).
     pub x: f64,
@@ -30,7 +28,7 @@ impl SeriesPoint {
 }
 
 /// The reproduction of one figure of the paper.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FigureResult {
     /// Figure identifier, e.g. `"8a"`.
     pub id: String,
@@ -198,7 +196,10 @@ mod tests {
         let csv = fig.to_csv();
         assert!(csv.starts_with("N,baton,chord"));
         assert!(csv.contains("200,6,"));
-        assert_eq!(fig.series_names(), vec!["baton".to_owned(), "chord".to_owned()]);
+        assert_eq!(
+            fig.series_names(),
+            vec!["baton".to_owned(), "chord".to_owned()]
+        );
         assert_eq!(fig.value_at(100.0, "chord"), Some(7.5));
         assert_eq!(fig.value_at(200.0, "chord"), None);
     }

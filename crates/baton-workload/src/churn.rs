@@ -5,10 +5,9 @@
 //! leaves of increasing intensity ("network dynamics").
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One churn event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChurnEvent {
     /// A new node joins through a random contact.
     Join,
@@ -19,7 +18,7 @@ pub enum ChurnEvent {
 }
 
 /// Parameters of a churn sequence.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChurnWorkload {
     /// Total number of events.
     pub events: usize,
@@ -71,7 +70,7 @@ impl ChurnWorkload {
 /// A batch of concurrent churn for the network-dynamics experiment
 /// (Figure 8(i)): `concurrency` joins and leaves that are considered to be
 /// in flight at the same time.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ConcurrentChurnBatch {
     /// Number of concurrent joins.
     pub joins: usize,
@@ -139,6 +138,9 @@ mod tests {
     #[test]
     fn events_are_deterministic_per_seed() {
         let w = ChurnWorkload::default();
-        assert_eq!(w.events(&mut SimRng::seeded(5)), w.events(&mut SimRng::seeded(5)));
+        assert_eq!(
+            w.events(&mut SimRng::seeded(5)),
+            w.events(&mut SimRng::seeded(5))
+        );
     }
 }

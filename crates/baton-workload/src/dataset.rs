@@ -7,12 +7,11 @@
 //! full-scale plan available.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::keys::{KeyDistribution, KeyGenerator};
 
 /// A bulk-load plan.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DatasetPlan {
     /// Number of values to insert per node of the network (the paper uses
     /// 1000).

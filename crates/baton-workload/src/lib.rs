@@ -7,7 +7,10 @@
 //!   scale factor for fast test/bench profiles;
 //! * [`queries`] — the 1000-exact + 1000-range query workloads;
 //! * [`churn`] — join/leave/failure sequences and the concurrent-churn
-//!   batches of the network-dynamics experiment.
+//!   batches of the network-dynamics experiment;
+//! * [`runner`] — generic executors that apply the generated workloads to
+//!   **any** [`baton_net::Overlay`] implementation and aggregate the
+//!   message costs.
 //!
 //! All generators are driven by an explicit [`rand::Rng`] (normally a
 //! seeded `baton_net::SimRng`) so every experiment repetition is
@@ -20,8 +23,10 @@ pub mod churn;
 pub mod dataset;
 pub mod keys;
 pub mod queries;
+pub mod runner;
 
 pub use churn::{ChurnEvent, ChurnWorkload, ConcurrentChurnBatch};
 pub use dataset::DatasetPlan;
 pub use keys::{KeyDistribution, KeyGenerator, DOMAIN_HIGH, DOMAIN_LOW};
 pub use queries::{Query, QueryWorkload};
+pub use runner::{bulk_load, run_churn, run_queries, ChurnOutcome, LoadOutcome, QueryOutcome};

@@ -4,12 +4,11 @@
 //! configuration and reports the average message cost (§V).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::keys::{KeyDistribution, KeyGenerator};
 
 /// One query of a workload.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Query {
     /// Exact-match query for a key.
     Exact(u64),
@@ -23,7 +22,7 @@ pub enum Query {
 }
 
 /// Parameters of a query workload.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QueryWorkload {
     /// Number of exact-match queries.
     pub exact_queries: usize,
@@ -133,7 +132,13 @@ mod tests {
     #[test]
     fn queries_are_deterministic_per_seed() {
         let w = QueryWorkload::paper();
-        assert_eq!(w.exact(&mut SimRng::seeded(3)), w.exact(&mut SimRng::seeded(3)));
-        assert_ne!(w.exact(&mut SimRng::seeded(3)), w.exact(&mut SimRng::seeded(4)));
+        assert_eq!(
+            w.exact(&mut SimRng::seeded(3)),
+            w.exact(&mut SimRng::seeded(3))
+        );
+        assert_ne!(
+            w.exact(&mut SimRng::seeded(3)),
+            w.exact(&mut SimRng::seeded(4))
+        );
     }
 }

@@ -52,11 +52,12 @@ fn run(label: &str, balancing: bool) {
     let (max, avg) = max_and_avg_load(&overlay);
     println!("--- {label} ---");
     println!("  inserted {inserts} Zipf(1.0) keys into {nodes} nodes");
-    println!("  max node load {max}  (average {avg:.0}, imbalance ×{:.1})", max as f64 / avg);
+    println!(
+        "  max node load {max}  (average {avg:.0}, imbalance ×{:.1})",
+        max as f64 / avg
+    );
     if balancing {
-        println!(
-            "  balancing actions: {migrations} adjacent migrations, {rejoins} leaf re-joins"
-        );
+        println!("  balancing actions: {migrations} adjacent migrations, {rejoins} leaf re-joins");
         println!(
             "  balancing overhead: {balance_messages} messages \
              ({:.4} per insert — the paper reports ~1 per 1500 inserts)",

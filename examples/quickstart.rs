@@ -28,7 +28,7 @@ fn main() {
     println!("inserted 1000 values across {} nodes", overlay.node_count());
 
     // 3. Exact-match query from a random peer: O(log N) messages.
-    let key = 1 + 500 * 999_983 % 999_999_999;
+    let key = 1 + (500 * 999_983);
     let hit = overlay.search_exact(key).expect("exact query");
     println!(
         "exact query for key {key}: {} match(es), {} messages, {} hops",

@@ -1,0 +1,145 @@
+//! Cross-overlay smoke tests: all nine figure drivers run at
+//! `Profile::smoke()` through the generic `Overlay`-based driver, and every
+//! series they produce is non-empty and finite for BATON, Chord and the
+//! multiway tree (where the paper plots them).
+
+use std::collections::HashSet;
+
+use baton_net::OverlayError;
+use baton_sim::figures::{SERIES_BATON, SERIES_CHORD, SERIES_MTREE};
+use baton_sim::{figures, standard_overlays, Profile};
+use baton_workload::{runner, ChurnWorkload, Query, QueryWorkload};
+
+#[test]
+fn all_nine_figures_produce_finite_series_through_the_generic_driver() {
+    let profile = Profile::smoke();
+    let results = figures::run_all(&profile);
+    assert_eq!(results.len(), figures::all_figure_ids().len());
+
+    // Which figures the paper plots each comparison series in.
+    let baton_figures: HashSet<&str> = ["8a", "8b", "8c", "8d", "8e", "8i"].into();
+    let chord_figures: HashSet<&str> = ["8a", "8b", "8c", "8d"].into();
+    let mtree_figures: HashSet<&str> = ["8a", "8b", "8c", "8d", "8e"].into();
+
+    for result in &results {
+        let id = result.id.as_str();
+        assert!(!result.points.is_empty(), "figure {id} produced no points");
+        for point in &result.points {
+            assert!(point.x.is_finite(), "figure {id}: non-finite x");
+            for (series, value) in &point.values {
+                assert!(
+                    value.is_finite(),
+                    "figure {id}, series '{series}': non-finite value {value}"
+                );
+            }
+        }
+        let names = result.series_names();
+        for (series, expected_in) in [
+            (SERIES_BATON, &baton_figures),
+            (SERIES_CHORD, &chord_figures),
+            (SERIES_MTREE, &mtree_figures),
+        ] {
+            if expected_in.contains(id) {
+                assert!(
+                    names.iter().any(|n| n == series),
+                    "figure {id} is missing the '{series}' series (has {names:?})"
+                );
+                // Every point of an expected series carries a finite value.
+                for point in &result.points {
+                    let value = point.values.get(series).copied().unwrap_or_else(|| {
+                        panic!("figure {id}, x = {}: no '{series}' value", point.x)
+                    });
+                    assert!(value.is_finite() && value >= 0.0);
+                }
+            }
+        }
+        // Chord never sneaks into the range-query figure.
+        if id == "8e" {
+            assert!(!names.iter().any(|n| n == SERIES_CHORD));
+        }
+    }
+}
+
+#[test]
+fn one_workload_drives_every_overlay_through_the_runners() {
+    let profile = Profile::smoke();
+    let mut rng = baton_net::SimRng::seeded(777);
+    let churn = ChurnWorkload::balanced(40).events(&mut rng);
+    let workload = QueryWorkload::paper().scaled(0.02);
+    let mut queries: Vec<Query> = workload.exact(&mut rng);
+    queries.extend(workload.ranges(&mut rng));
+    let data: Vec<(u64, u64)> = (0..200u64).map(|i| (1 + i * 4_999_999, i)).collect();
+
+    for spec in standard_overlays() {
+        let mut overlay = spec.build(&profile, 30, 99);
+        let load = runner::bulk_load(&mut *overlay, &data).expect("load");
+        assert_eq!(load.inserted, data.len() as u64);
+        assert!(load.messages > 0, "{}: loads cost messages", spec.series);
+
+        let churn_outcome = runner::run_churn(&mut *overlay, &churn, 4).expect("churn");
+        assert!(churn_outcome.executed() > 0);
+        assert!(churn_outcome.mean_messages().is_finite());
+
+        let query_outcome = runner::run_queries(&mut *overlay, &queries).expect("queries");
+        assert_eq!(query_outcome.exact_executed, workload.exact_queries as u64);
+        let range_capable = overlay.capabilities().range_queries;
+        if range_capable {
+            assert_eq!(query_outcome.range_executed, workload.range_queries as u64);
+            assert_eq!(query_outcome.unsupported, 0);
+        } else {
+            assert_eq!(query_outcome.range_executed, 0);
+            assert_eq!(query_outcome.unsupported, workload.range_queries as u64);
+        }
+
+        overlay
+            .validate()
+            .unwrap_or_else(|e| panic!("{} inconsistent after the workload: {e}", spec.series));
+    }
+}
+
+#[test]
+fn capability_gates_match_the_systems() {
+    let profile = Profile::smoke();
+    let mut by_name: Vec<(String, bool, bool, bool)> = standard_overlays()
+        .iter()
+        .map(|spec| {
+            let overlay = spec.build(&profile, 8, 1);
+            let caps = overlay.capabilities();
+            (
+                overlay.name().to_owned(),
+                caps.range_queries,
+                caps.load_balancing,
+                caps.failures,
+            )
+        })
+        .collect();
+    by_name.sort();
+    assert_eq!(
+        by_name,
+        vec![
+            ("BATON".to_owned(), true, true, true),
+            ("Chord".to_owned(), false, false, false),
+            ("Multiway tree".to_owned(), true, false, false),
+        ]
+    );
+}
+
+#[test]
+fn unsupported_operations_are_errors_not_panics() {
+    let profile = Profile::smoke();
+    for spec in standard_overlays() {
+        let mut overlay = spec.build(&profile, 10, 5);
+        if !overlay.capabilities().range_queries {
+            assert!(matches!(
+                overlay.search_range(1, 100),
+                Err(OverlayError::Unsupported(_))
+            ));
+        }
+        if !overlay.capabilities().failures {
+            assert!(matches!(
+                overlay.fail_random(),
+                Err(OverlayError::Unsupported(_))
+            ));
+        }
+    }
+}

@@ -113,8 +113,7 @@ fn skewed_load_balancing_keeps_every_value_reachable() {
     // average so the Zipf hot spot (which receives ~10% of all inserts)
     // overloads its owner and triggers balancing.
     let avg = 10usize;
-    let config = BatonConfig::default()
-        .with_load_balance(LoadBalanceConfig::for_average_load(avg));
+    let config = BatonConfig::default().with_load_balance(LoadBalanceConfig::for_average_load(avg));
     let mut overlay = BatonSystem::build(config, 4, 50).unwrap();
     let plan = DatasetPlan::paper_zipf().scaled(0.01);
     let mut rng = SimRng::seeded(44);

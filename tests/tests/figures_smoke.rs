@@ -18,11 +18,18 @@ fn every_figure_runs_and_renders() {
         let table = result.to_table();
         assert!(table.contains(&format!("Figure {}", result.id)));
         let csv = result.to_csv();
-        assert!(csv.lines().count() >= 2, "figure {} CSV too short", result.id);
+        assert!(
+            csv.lines().count() >= 2,
+            "figure {} CSV too short",
+            result.id
+        );
     }
     let report = render_report(&results);
     for id in figures::all_figure_ids() {
-        assert!(report.contains(&format!("Figure {id}")), "missing figure {id}");
+        assert!(
+            report.contains(&format!("Figure {id}")),
+            "missing figure {id}"
+        );
     }
     let json = render_json(&results);
     assert!(json.contains("\"8a\"") && json.contains("\"8i\""));

@@ -1,9 +1,13 @@
-//! Property-based integration tests: random operation sequences, applied to
+//! Property-style integration tests: random operation sequences, applied to
 //! a BATON overlay, never violate the structural invariants and never lose
 //! data (except at explicitly failed nodes).
+//!
+//! These were originally `proptest` properties; without registry access they
+//! run as seeded deterministic loops over many random cases, which keeps the
+//! same coverage shape while staying reproducible.
 
 use baton_core::{validate, BatonConfig, BatonSystem, KeyRange, LoadBalanceConfig};
-use proptest::prelude::*;
+use baton_net::SimRng;
 
 /// The operations the property tests draw from.
 #[derive(Clone, Debug)]
@@ -17,16 +21,22 @@ enum Op {
     SearchRange(u64, u64),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => Just(Op::Join),
-        2 => Just(Op::Leave),
-        1 => Just(Op::Fail),
-        4 => (1u64..1_000_000_000).prop_map(Op::Insert),
-        2 => (1u64..1_000_000_000).prop_map(Op::Delete),
-        2 => (1u64..1_000_000_000).prop_map(Op::SearchExact),
-        1 => (1u64..999_000_000, 1u64..1_000_000).prop_map(|(low, width)| Op::SearchRange(low, low + width)),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    // Weighted draw mirroring the original proptest strategy:
+    // 2 join : 2 leave : 1 fail : 4 insert : 2 delete : 2 exact : 1 range.
+    match rng.index(14) {
+        0 | 1 => Op::Join,
+        2 | 3 => Op::Leave,
+        4 => Op::Fail,
+        5..=8 => Op::Insert(rng.uniform_u64(1, 1_000_000_000)),
+        9 | 10 => Op::Delete(rng.uniform_u64(1, 1_000_000_000)),
+        11 | 12 => Op::SearchExact(rng.uniform_u64(1, 1_000_000_000)),
+        _ => {
+            let low = rng.uniform_u64(1, 999_000_000);
+            let width = rng.uniform_u64(1, 1_000_000);
+            Op::SearchRange(low, low + width)
+        }
+    }
 }
 
 fn apply(overlay: &mut BatonSystem, op: &Op, expected_items: &mut i64) {
@@ -65,42 +75,55 @@ fn apply(overlay: &mut BatonSystem, op: &Op, expected_items: &mut i64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+#[test]
+fn random_operation_sequences_preserve_every_invariant() {
+    let mut meta_rng = SimRng::seeded(0xBA70_2005);
+    for case in 0..24 {
+        let seed = meta_rng.uniform_u64(0, 1_000);
+        let initial = 4 + meta_rng.index(20);
+        let op_count = 1 + meta_rng.index(59);
+        let ops: Vec<Op> = (0..op_count).map(|_| random_op(&mut meta_rng)).collect();
 
-    #[test]
-    fn random_operation_sequences_preserve_every_invariant(
-        seed in 0u64..1_000,
-        initial in 4usize..24,
-        ops in proptest::collection::vec(arb_op(), 1..60),
-    ) {
-        let config = BatonConfig::default()
-            .with_load_balance(LoadBalanceConfig::for_average_load(8));
+        let config =
+            BatonConfig::default().with_load_balance(LoadBalanceConfig::for_average_load(8));
         let mut overlay = BatonSystem::build(config, seed, initial).unwrap();
         let mut expected_items = 0i64;
         for op in &ops {
             apply(&mut overlay, op, &mut expected_items);
             validate(&overlay)
-                .unwrap_or_else(|e| panic!("invariant violated after {op:?}: {e}"));
+                .unwrap_or_else(|e| panic!("case {case}: invariant violated after {op:?}: {e}"));
         }
-        prop_assert_eq!(overlay.total_items() as i64, expected_items);
+        assert_eq!(
+            overlay.total_items() as i64,
+            expected_items,
+            "case {case} lost or duplicated items"
+        );
     }
+}
 
-    #[test]
-    fn inserted_keys_are_always_findable(
-        seed in 0u64..1_000,
-        keys in proptest::collection::vec(1u64..1_000_000_000, 1..80),
-    ) {
+#[test]
+fn inserted_keys_are_always_findable() {
+    let mut meta_rng = SimRng::seeded(0xF1AD);
+    for case in 0..24 {
+        let seed = meta_rng.uniform_u64(0, 1_000);
+        let key_count = 1 + meta_rng.index(79);
+        let keys: Vec<u64> = (0..key_count)
+            .map(|_| meta_rng.uniform_u64(1, 1_000_000_000))
+            .collect();
+
         let mut overlay = BatonSystem::build(BatonConfig::default(), seed, 16).unwrap();
         for (i, key) in keys.iter().enumerate() {
             overlay.insert(*key, i as u64).unwrap();
         }
         for (i, key) in keys.iter().enumerate() {
             let report = overlay.search_exact(*key).unwrap();
-            prop_assert!(report.matches.contains(&(i as u64)), "lost key {}", key);
+            assert!(
+                report.matches.contains(&(i as u64)),
+                "case {case}: lost key {key}"
+            );
         }
         // Whole-domain range query returns everything.
         let all = overlay.search_range(KeyRange::paper_domain()).unwrap();
-        prop_assert_eq!(all.matches.len(), keys.len());
+        assert_eq!(all.matches.len(), keys.len(), "case {case}");
     }
 }
