@@ -6,7 +6,8 @@
 //! drivers know to omit Chord from Figure 8(e) — exactly as the paper does.
 
 use baton_net::{
-    ChurnCost, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError, OverlayResult,
+    ChurnCost, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError,
+    OverlayResult, SimTime,
 };
 
 use crate::system::{ChordError, ChordSystem};
@@ -38,6 +39,18 @@ impl Overlay for ChordSystem {
 
     fn stats_mut(&mut self) -> &mut MessageStats {
         ChordSystem::stats_mut(self)
+    }
+
+    fn now(&self) -> SimTime {
+        ChordSystem::now(self)
+    }
+
+    fn advance_to(&mut self, at: SimTime) {
+        ChordSystem::advance_to(self, at);
+    }
+
+    fn set_latency_model(&mut self, model: LatencyModel) {
+        ChordSystem::set_latency_model(self, model);
     }
 
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {

@@ -4,8 +4,8 @@
 //! programs against.
 
 use baton_net::{
-    ChurnCost, Histogram, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError,
-    OverlayResult,
+    ChurnCost, Histogram, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities,
+    OverlayError, OverlayResult, SimTime,
 };
 
 use crate::error::BatonError;
@@ -39,6 +39,18 @@ impl Overlay for BatonSystem {
 
     fn stats_mut(&mut self) -> &mut MessageStats {
         BatonSystem::stats_mut(self)
+    }
+
+    fn now(&self) -> SimTime {
+        BatonSystem::now(self)
+    }
+
+    fn advance_to(&mut self, at: SimTime) {
+        BatonSystem::advance_to(self, at);
+    }
+
+    fn set_latency_model(&mut self, model: LatencyModel) {
+        BatonSystem::set_latency_model(self, model);
     }
 
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {

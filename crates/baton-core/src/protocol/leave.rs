@@ -271,7 +271,7 @@ impl BatonSystem {
 
         // 4. Remove the leaf from the overlay.
         self.vacate(position, leaf);
-        self.nodes.remove(&leaf);
+        self.unregister_node(leaf);
 
         // 5. The parent's range (and child set) changed: refresh everyone
         //    holding a link to it with one combined notification each.
@@ -295,8 +295,7 @@ impl BatonSystem {
     ) -> Result<u64> {
         let mut messages = 0u64;
         let old_node = self
-            .nodes
-            .remove(&old_peer)
+            .unregister_node(old_peer)
             .ok_or(BatonError::UnknownPeer(old_peer))?;
         self.vacate(old_node.position, old_peer);
 
@@ -317,7 +316,7 @@ impl BatonSystem {
         new_node.peer = new_peer;
         let position = new_node.position;
         self.occupy(position, new_peer);
-        self.nodes.insert(new_peer, new_node);
+        self.register_node(new_peer, new_node);
 
         // Repoint every node that held a link to the departed peer.
         let new_link = self.link_of(new_peer)?;

@@ -134,17 +134,163 @@ impl BatonSystem {
         })
     }
 
+    /// `true` if `peer` terminates the walk towards `key`: it owns the key,
+    /// or it is the boundary node that would expand its range to cover an
+    /// out-of-domain key (§IV-C).
+    fn walk_terminates_at(&self, peer: PeerId, key: Key) -> Result<bool> {
+        let domain = self.domain;
+        let node = self.node_ref(peer)?;
+        Ok(node.range.contains(key)
+            || (key >= node.range.high() && node.range.high() >= domain.high())
+            || (key < node.range.low() && node.range.low() <= domain.low()))
+    }
+
+    /// The greedy candidate links of `peer` for forwarding a query towards
+    /// `key`, most useful first — exactly the §IV-A order: the sideways
+    /// routing-table entries that do not overshoot the key (farthest first,
+    /// each followed by its recorded children as the §III-D detour), then
+    /// the key-side child, adjacent and parent links.  A healthy walk always
+    /// follows the first candidate, so this order alone reproduces the
+    /// paper's message counts.
+    ///
+    /// Duplicates keep their first (most useful) slot; the list is small
+    /// (O(log N)), so deduplication is a linear scan, not a hash set.
+    fn walk_candidates(&self, peer: PeerId, key: Key) -> Result<Vec<PeerId>> {
+        let node = self.node_ref(peer)?;
+        let towards_right = key >= node.range.high();
+        let mut candidates: Vec<PeerId> = Vec::new();
+        let push = |candidates: &mut Vec<PeerId>, p: PeerId| {
+            if p != peer && !candidates.contains(&p) {
+                candidates.push(p);
+            }
+        };
+
+        // 1. Matching key-side entries, farthest first (§IV-A greedy order).
+        let near_table = if towards_right {
+            &node.right_table
+        } else {
+            &node.left_table
+        };
+        let mut matching: Vec<&crate::routing::RoutingEntry> = near_table
+            .iter()
+            .filter(|(_, e)| {
+                if towards_right {
+                    e.link.range.low() <= key
+                } else {
+                    e.link.range.high() > key
+                }
+            })
+            .map(|(_, e)| e)
+            .collect();
+        matching.reverse();
+        for entry in matching {
+            push(&mut candidates, entry.link.peer);
+            // §III-D detour: if the neighbour is unreachable, its children
+            // (recorded in the entry) still lead towards the key.
+            let (first, second) = if towards_right {
+                (entry.right_child, entry.left_child)
+            } else {
+                (entry.left_child, entry.right_child)
+            };
+            first.into_iter().for_each(|p| push(&mut candidates, p));
+            second.into_iter().for_each(|p| push(&mut candidates, p));
+        }
+
+        // 2. Key-side child, adjacent and parent links.
+        let (child, adjacent) = if towards_right {
+            (node.right_child, node.right_adjacent)
+        } else {
+            (node.left_child, node.left_adjacent)
+        };
+        for link in [child, adjacent, node.parent].into_iter().flatten() {
+            push(&mut candidates, link.peer);
+        }
+        Ok(candidates)
+    }
+
+    /// The §III-D *fallback* candidates of `peer`: every remaining link —
+    /// overshooting key-side table entries (nearest first, with their
+    /// recorded children), the away-side child/adjacent links and the
+    /// away-side table — so that when failures block every greedy candidate
+    /// the walk can still detour through any live neighbour rather than
+    /// give up.
+    ///
+    /// Computed lazily, only when the greedy candidates of
+    /// [`walk_candidates`](Self::walk_candidates) are exhausted (i.e. a
+    /// failure was actually hit); `existing` is the greedy list, used to
+    /// drop duplicates.
+    fn walk_fallback_candidates(
+        &self,
+        peer: PeerId,
+        key: Key,
+        existing: &[PeerId],
+    ) -> Result<Vec<PeerId>> {
+        let node = self.node_ref(peer)?;
+        let towards_right = key >= node.range.high();
+        let mut seen: std::collections::HashSet<PeerId> = existing.iter().copied().collect();
+        seen.insert(peer);
+        let mut candidates: Vec<PeerId> = Vec::new();
+        let mut push = |candidates: &mut Vec<PeerId>, p: PeerId| {
+            if seen.insert(p) {
+                candidates.push(p);
+            }
+        };
+        let push_entry = |candidates: &mut Vec<PeerId>,
+                          push: &mut dyn FnMut(&mut Vec<PeerId>, PeerId),
+                          entry: &crate::routing::RoutingEntry| {
+            push(candidates, entry.link.peer);
+            entry
+                .left_child
+                .into_iter()
+                .chain(entry.right_child)
+                .for_each(|p| push(candidates, p));
+        };
+
+        let (near_table, far_table) = if towards_right {
+            (&node.right_table, &node.left_table)
+        } else {
+            (&node.left_table, &node.right_table)
+        };
+
+        // Overshooting key-side entries, nearest first — they land past the
+        // key, from where the walk can come back.
+        for (_, entry) in near_table.iter() {
+            push_entry(&mut candidates, &mut push, entry);
+        }
+
+        // The away side of the node, nearest first.
+        let (child, adjacent) = if towards_right {
+            (node.left_child, node.left_adjacent)
+        } else {
+            (node.right_child, node.right_adjacent)
+        };
+        for link in [child, adjacent].into_iter().flatten() {
+            push(&mut candidates, link.peer);
+        }
+        for (_, entry) in far_table.iter() {
+            push_entry(&mut candidates, &mut push, entry);
+        }
+        Ok(candidates)
+    }
+
     /// Routes from `issuer` towards the node owning `key`, following the
     /// `search_exact` algorithm of §IV-A.  Keys outside the current domain
     /// terminate at the leftmost / rightmost node (the node that would
     /// expand its range to cover them, §IV-C).
     ///
-    /// The walk is fault tolerant (§III-D): at every step the forwarding
-    /// node considers its candidate links from the most to the least useful
-    /// — the sideways routing-table entries (farthest matching first), then
-    /// the relevant child, adjacent and parent links — and skips candidates
-    /// whose peer turns out to be unreachable, paying one (counted, failed)
-    /// message per dead candidate it bounces off.
+    /// The walk is fault tolerant (§III-D) and implemented as a depth-first
+    /// exploration over [`walk_candidates`](Self::walk_candidates), extended
+    /// lazily with
+    /// [`walk_fallback_candidates`](Self::walk_fallback_candidates) when the
+    /// greedy options run out: each node tries its candidates from most to
+    /// least useful, paying one
+    /// (counted, failed) message per dead candidate it bounces off; the
+    /// request carries the set of nodes already visited so the walk never
+    /// ping-pongs, and a node whose every candidate is dead or visited sends
+    /// the request *back* to the node it came from (one more counted
+    /// message), which resumes with its own next candidate.  On a healthy
+    /// network the first candidate is always alive and unvisited, so the
+    /// walk — and its message count — is exactly the greedy §IV-A descent.
     pub(crate) fn locate_owner(
         &mut self,
         op: OpScope,
@@ -152,120 +298,102 @@ impl BatonSystem {
         key: Key,
         operation: &'static str,
     ) -> Result<OwnerWalk> {
-        let limit = self.walk_limit();
-        let domain = self.domain;
-        let mut current = issuer;
+        // A DFS visits every live node at most once and every link at most
+        // twice (forward try + backtrack), so this budget is a safety net
+        // against bookkeeping bugs, not a tuning knob.
+        let message_budget = (self.walk_limit() as u64) * 4 + 4 * self.node_count() as u64;
+        if self.walk_terminates_at(issuer, key)? {
+            return Ok(OwnerWalk {
+                owner: issuer,
+                messages: 0,
+                hops: 0,
+            });
+        }
+        struct Frame {
+            peer: PeerId,
+            candidates: Vec<PeerId>,
+            next: usize,
+            fallback_added: bool,
+        }
+        let new_frame = |peer: PeerId, candidates: Vec<PeerId>| Frame {
+            peer,
+            candidates,
+            next: 0,
+            fallback_added: false,
+        };
+        let mut visited = std::collections::HashSet::from([issuer]);
+        let mut stack = vec![new_frame(issuer, self.walk_candidates(issuer, key)?)];
         let mut messages = 0u64;
         let mut hops = 0u32;
         loop {
-            let candidates: Vec<PeerId> = {
-                let node = self.node_ref(current)?;
-                if node.range.contains(key) {
-                    return Ok(OwnerWalk {
-                        owner: current,
-                        messages,
-                        hops,
-                    });
+            let top = stack.last_mut().expect("stack never drains in the loop");
+            let current = top.peer;
+            let Some(&candidate) = top.candidates.get(top.next) else {
+                if !top.fallback_added {
+                    // The greedy candidates are exhausted (a failure was
+                    // actually hit): extend with the full §III-D fallback
+                    // link set, computed lazily so healthy hops never pay
+                    // for it.
+                    top.fallback_added = true;
+                    let greedy = std::mem::take(&mut top.candidates);
+                    let mut all = greedy;
+                    let fallback = self.walk_fallback_candidates(current, key, &all)?;
+                    all.extend(fallback);
+                    let top = stack.last_mut().expect("unchanged");
+                    top.candidates = all;
+                    continue;
                 }
-                if key >= node.range.high() {
-                    // The key lies to the right of this node's range.
-                    if node.range.high() >= domain.high() {
-                        // Rightmost node: the key is beyond the domain and
-                        // this node would expand to cover it.
-                        return Ok(OwnerWalk {
-                            owner: current,
-                            messages,
-                            hops,
-                        });
-                    }
-                    let mut matching: Vec<&crate::routing::RoutingEntry> = node
-                        .right_table
-                        .iter()
-                        .filter(|(_, e)| e.link.range.low() <= key)
-                        .map(|(_, e)| e)
-                        .collect();
-                    matching.reverse(); // farthest matching entry first
-                    let mut candidates = Vec::new();
-                    for entry in matching {
-                        candidates.push(entry.link.peer);
-                        // §III-D detour: if the neighbour is unreachable,
-                        // its children (recorded in the entry) still lead
-                        // towards the key.
-                        candidates.extend(entry.right_child);
-                        candidates.extend(entry.left_child);
-                    }
-                    candidates.extend(node.right_child.iter().map(|l| l.peer));
-                    candidates.extend(node.right_adjacent.iter().map(|l| l.peer));
-                    candidates.extend(node.parent.iter().map(|l| l.peer));
-                    candidates
-                } else {
-                    // The key lies to the left of this node's range.
-                    if node.range.low() <= domain.low() {
-                        // Leftmost node: the key is below the domain.
-                        return Ok(OwnerWalk {
-                            owner: current,
-                            messages,
-                            hops,
-                        });
-                    }
-                    let mut matching: Vec<&crate::routing::RoutingEntry> = node
-                        .left_table
-                        .iter()
-                        .filter(|(_, e)| e.link.range.high() > key)
-                        .map(|(_, e)| e)
-                        .collect();
-                    matching.reverse(); // farthest matching entry first
-                    let mut candidates = Vec::new();
-                    for entry in matching {
-                        candidates.push(entry.link.peer);
-                        // §III-D detour through the unreachable neighbour's
-                        // children.
-                        candidates.extend(entry.left_child);
-                        candidates.extend(entry.right_child);
-                    }
-                    candidates.extend(node.left_child.iter().map(|l| l.peer));
-                    candidates.extend(node.left_adjacent.iter().map(|l| l.peer));
-                    candidates.extend(node.parent.iter().map(|l| l.peer));
-                    candidates
-                }
-            };
-            if candidates.is_empty() {
-                return Err(BatonError::InvariantViolation(format!(
-                    "no route from {current} towards key {key}"
-                )));
-            }
-            // Try the candidates from most to least useful, routing around
-            // unreachable peers (§III-D).  Each bounced attempt costs one
-            // message but does not count as forward progress against the
-            // routing-loop bound.
-            let mut chosen: Option<PeerId> = None;
-            for candidate in candidates {
-                let delivered = self.hop(
+                // Every candidate of `current` is dead or already explored:
+                // hand the request back to the node it came from.
+                let exhausted = stack.pop().expect("just peeked");
+                let Some(previous) = stack.last() else {
+                    // The issuer itself is out of options: the key is
+                    // unreachable until the failures are repaired.
+                    return Err(BatonError::PeerNotAlive(exhausted.peer));
+                };
+                hops += 1;
+                self.hop(
                     op,
-                    current,
-                    candidate,
-                    hops + 1,
+                    exhausted.peer,
+                    previous.peer,
+                    hops,
                     BatonMessage::SearchExact { key, issuer },
                 )?;
                 messages += 1;
-                if delivered {
-                    chosen = Some(candidate);
-                    break;
-                }
-                if messages > (limit as u64) * 4 {
+                if messages > message_budget {
                     return Err(BatonError::RoutingLoop { operation, hops });
                 }
+                continue;
+            };
+            top.next += 1;
+            if visited.contains(&candidate) {
+                continue;
             }
-            hops += 1;
-            if hops > limit {
+            let delivered = self.hop(
+                op,
+                current,
+                candidate,
+                hops + 1,
+                BatonMessage::SearchExact { key, issuer },
+            )?;
+            messages += 1;
+            if messages > message_budget {
                 return Err(BatonError::RoutingLoop { operation, hops });
             }
-            match chosen {
-                Some(next) => current = next,
-                None => {
-                    return Err(BatonError::PeerNotAlive(current));
-                }
+            if !delivered {
+                continue;
             }
+            visited.insert(candidate);
+            hops += 1;
+            if self.walk_terminates_at(candidate, key)? {
+                return Ok(OwnerWalk {
+                    owner: candidate,
+                    messages,
+                    hops,
+                });
+            }
+            let candidates = self.walk_candidates(candidate, key)?;
+            stack.push(new_frame(candidate, candidates));
         }
     }
 }

@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 
-use baton_net::{Histogram, OpScope, PeerId, SimNetwork, SimRng};
+use baton_net::{Histogram, LatencyModel, OpScope, PeerId, SimNetwork, SimRng, SimTime};
 
 use crate::config::BatonConfig;
 use crate::error::{BatonError, Result};
@@ -37,6 +37,12 @@ use crate::routing::NodeLink;
 pub struct BatonSystem {
     pub(crate) net: SimNetwork<BatonMessage>,
     pub(crate) nodes: HashMap<PeerId, BatonNode>,
+    /// Every live peer, kept sorted by [`PeerId`], so uniform sampling is an
+    /// O(1) index instead of a collect-and-sort over the node map.  The
+    /// sorted order matters: it is the order the pre-event-engine
+    /// `random_peer` sampled from, so seeded experiments keep producing the
+    /// exact message counts of the seed figures.
+    pub(crate) peer_list: Vec<PeerId>,
     pub(crate) by_position: HashMap<Position, PeerId>,
     pub(crate) root: Option<PeerId>,
     pub(crate) config: BatonConfig,
@@ -51,6 +57,7 @@ impl BatonSystem {
         Self {
             net: SimNetwork::new(),
             nodes: HashMap::new(),
+            peer_list: Vec::new(),
             by_position: HashMap::new(),
             root: None,
             domain: config.domain,
@@ -77,7 +84,7 @@ impl BatonSystem {
         let peer = self.net.add_peer();
         let node = BatonNode::new(peer, Position::ROOT, self.domain);
         self.by_position.insert(Position::ROOT, peer);
-        self.nodes.insert(peer, node);
+        self.register_node(peer, node);
         self.root = Some(peer);
         Ok(peer)
     }
@@ -176,14 +183,32 @@ impl BatonSystem {
     }
 
     /// A uniformly random live peer, or `None` if the overlay is empty.
+    ///
+    /// O(1): one index draw into the sorted live-peer list maintained by
+    /// [`register_node`](Self::register_node) /
+    /// [`unregister_node`](Self::unregister_node).
     pub fn random_peer(&mut self) -> Option<PeerId> {
-        if self.nodes.is_empty() {
+        if self.peer_list.is_empty() {
             return None;
         }
-        let mut peers: Vec<PeerId> = self.nodes.keys().copied().collect();
-        peers.sort_unstable();
-        let idx = self.rng.index(peers.len());
-        Some(peers[idx])
+        let idx = self.rng.index(self.peer_list.len());
+        Some(self.peer_list[idx])
+    }
+
+    /// Virtual time the overlay's network has reached.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Advances the network's arrival clock (see
+    /// [`SimNetwork::advance_to`]).
+    pub fn advance_to(&mut self, at: SimTime) {
+        self.net.advance_to(at);
+    }
+
+    /// Replaces the network's link-latency model.
+    pub fn set_latency_model(&mut self, model: LatencyModel) {
+        self.net.set_latency_model(model);
     }
 
     /// Number of messages received by each peer, grouped by tree level —
@@ -207,6 +232,26 @@ impl BatonSystem {
     // ------------------------------------------------------------------
     // Shared internal helpers (used by the protocol modules)
     // ------------------------------------------------------------------
+
+    /// Adds `peer` to the node map and to the sorted live-peer sampling
+    /// list.  All membership changes must go through this and
+    /// [`unregister_node`](Self::unregister_node) so the two stay in sync.
+    pub(crate) fn register_node(&mut self, peer: PeerId, node: BatonNode) {
+        match self.peer_list.binary_search(&peer) {
+            Ok(_) => {} // re-registration (e.g. a replacement re-inserted)
+            Err(idx) => self.peer_list.insert(idx, peer),
+        }
+        self.nodes.insert(peer, node);
+    }
+
+    /// Removes `peer` from the node map and the sampling list, returning its
+    /// node state.
+    pub(crate) fn unregister_node(&mut self, peer: PeerId) -> Option<BatonNode> {
+        if let Ok(idx) = self.peer_list.binary_search(&peer) {
+            self.peer_list.remove(idx);
+        }
+        self.nodes.remove(&peer)
+    }
 
     /// Read access to a node, as a [`Result`].
     pub(crate) fn node_ref(&self, peer: PeerId) -> Result<&BatonNode> {

@@ -30,6 +30,7 @@ pub fn validate(system: &BatonSystem) -> Result<()> {
     if system.is_empty() {
         return Ok(());
     }
+    check_peer_list(system)?;
     check_position_bookkeeping(system)?;
     check_tree_links(system)?;
     check_balance(system)?;
@@ -42,6 +43,27 @@ pub fn validate(system: &BatonSystem) -> Result<()> {
 
 fn violation(msg: String) -> BatonError {
     BatonError::InvariantViolation(msg)
+}
+
+/// The O(1)-sampling peer list must mirror the node map exactly and stay
+/// sorted (the sampling order the seed figures were produced with).
+fn check_peer_list(system: &BatonSystem) -> Result<()> {
+    if system.peer_list.len() != system.nodes.len() {
+        return Err(violation(format!(
+            "peer list has {} entries but the node map has {}",
+            system.peer_list.len(),
+            system.nodes.len()
+        )));
+    }
+    if !system.peer_list.is_sorted() {
+        return Err(violation("peer list is not sorted".into()));
+    }
+    for peer in &system.peer_list {
+        if !system.nodes.contains_key(peer) {
+            return Err(violation(format!("peer list entry {peer} has no node")));
+        }
+    }
+    Ok(())
 }
 
 fn check_position_bookkeeping(system: &BatonSystem) -> Result<()> {

@@ -7,7 +7,8 @@
 use std::collections::HashMap;
 
 use baton_net::{
-    ChurnCost, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError, OverlayResult,
+    ChurnCost, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError,
+    OverlayResult, SimTime,
 };
 
 use crate::system::{MTreeError, MTreeSystem};
@@ -39,6 +40,18 @@ impl Overlay for MTreeSystem {
 
     fn stats_mut(&mut self) -> &mut MessageStats {
         MTreeSystem::stats_mut(self)
+    }
+
+    fn now(&self) -> SimTime {
+        MTreeSystem::now(self)
+    }
+
+    fn advance_to(&mut self, at: SimTime) {
+        MTreeSystem::advance_to(self, at);
+    }
+
+    fn set_latency_model(&mut self, model: LatencyModel) {
+        MTreeSystem::set_latency_model(self, model);
     }
 
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {

@@ -164,6 +164,22 @@ impl MTreeSystem {
         self.net.stats_mut()
     }
 
+    /// Virtual time the overlay's network has reached.
+    pub fn now(&self) -> baton_net::SimTime {
+        self.net.now()
+    }
+
+    /// Advances the network's arrival clock (see
+    /// [`baton_net::SimNetwork::advance_to`]).
+    pub fn advance_to(&mut self, at: baton_net::SimTime) {
+        self.net.advance_to(at);
+    }
+
+    /// Replaces the network's link-latency model.
+    pub fn set_latency_model(&mut self, model: baton_net::LatencyModel) {
+        self.net.set_latency_model(model);
+    }
+
     /// Total stored items.
     pub fn total_items(&self) -> usize {
         self.nodes.values().map(|n| n.items).sum()

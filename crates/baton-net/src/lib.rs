@@ -6,18 +6,29 @@
 //!
 //! The BATON paper (Jagadish, Ooi, Rinard, Vu — VLDB 2005) evaluates every
 //! mechanism by the **number of messages** exchanged between peers, not by
-//! wall-clock latency on a particular testbed.  Consequently the substrate is
-//! a *deterministic* simulator: peers are logical entities identified by a
+//! wall-clock latency on a particular testbed.  The substrate is therefore a
+//! *deterministic* simulator: peers are logical entities identified by a
 //! [`PeerId`], messages are explicit [`Envelope`] values pushed through a
 //! [`SimNetwork`], and the network records per-kind, per-peer and
 //! per-operation counters in [`MessageStats`].
 //!
+//! Beyond the paper's count-only evaluation, the network is a
+//! **discrete-event engine with virtual time** ([`time`]): each send draws a
+//! link latency from a pluggable [`LatencyModel`] and is scheduled on a
+//! binary-heap event queue, operations carry start/finish timestamps, and an
+//! open-loop workload can interleave operations by advancing the arrival
+//! clock ([`SimNetwork::advance_to`]).  The default model is constant-zero
+//! latency, under which message counts are bit-identical to the original
+//! count-only substrate.
+//!
 //! ## Design
 //!
 //! * **Determinism.**  There is no background thread, no timer and no async
-//!   runtime.  Every experiment that uses the same seed produces identical
-//!   message counts, which makes the reproduction of the paper's figures
-//!   repeatable and the tests meaningful.
+//!   runtime.  Virtual time is derived purely from seeded latency models,
+//!   never from the wall clock, and latency streams are separate from
+//!   protocol RNGs.  Every experiment that uses the same seed produces
+//!   identical message counts and latencies, which makes the reproduction of
+//!   the paper's figures repeatable and the tests meaningful.
 //! * **Failure injection.**  Peers can be marked dead; sending to a dead peer
 //!   is counted as a failed delivery and surfaced to the caller so protocols
 //!   can exercise their fault-tolerance paths (paper §III-C/D).
@@ -64,6 +75,7 @@ pub mod overlay;
 pub mod peer;
 pub mod rng;
 pub mod stats;
+pub mod time;
 
 pub use message::{Envelope, NetMessage};
 pub use network::{DeliveryError, SendError, SimNetwork};
@@ -71,3 +83,4 @@ pub use overlay::{ChurnCost, OpCost, Overlay, OverlayCapabilities, OverlayError,
 pub use peer::{PeerId, PeerRegistry, PeerStatus};
 pub use rng::SimRng;
 pub use stats::{Histogram, MessageStats, OpId, OpScope, OpStats};
+pub use time::{LatencyModel, SimTime};

@@ -3,6 +3,7 @@
 
 use crate::peer::PeerId;
 use crate::stats::OpId;
+use crate::time::SimTime;
 
 /// Trait implemented by protocol message payloads so the simulator can
 /// classify traffic without knowing the concrete protocol.
@@ -33,6 +34,9 @@ pub struct Envelope<M> {
     pub hop: u32,
     /// Operation this message is attributed to (see [`crate::stats`]).
     pub op: OpId,
+    /// Virtual time at which the message is scheduled to be delivered
+    /// (send time plus one link-latency draw; see [`crate::time`]).
+    pub deliver_at: SimTime,
     /// Protocol payload.
     pub payload: M,
 }
@@ -66,6 +70,7 @@ mod tests {
             to: PeerId(2),
             hop: 1,
             op: OpId(0),
+            deliver_at: SimTime::ZERO,
             payload: Dummy("probe"),
         };
         assert_eq!(env.kind(), "probe");

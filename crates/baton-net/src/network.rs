@@ -1,11 +1,33 @@
-//! The [`SimNetwork`]: message queue, delivery, failure injection and
-//! accounting glue.
+//! The [`SimNetwork`]: discrete-event message delivery, virtual time,
+//! failure injection and accounting glue.
+//!
+//! Messages are no longer a synchronous FIFO: every send draws a link
+//! latency from the network's [`LatencyModel`] and is scheduled on a
+//! binary-heap event queue keyed by virtual delivery time.  Two clocks
+//! cooperate:
+//!
+//! * the **arrival clock** (moved by [`SimNetwork::advance_to`]) is where
+//!   newly issued operations begin — an open-loop workload advances it to
+//!   each operation's arrival time, so operations *interleave* in virtual
+//!   time instead of executing back-to-back;
+//! * each operation's **frontier** (tracked in [`OpStats`]) is the delivery
+//!   time of the latest hop in its request chain — the next hop departs from
+//!   there, so an operation's latency is the sum of its own hop chain while
+//!   independent operations overlap freely.
+//!
+//! [`SimNetwork::now`] reports the high-water mark over both, i.e. the
+//! virtual instant the simulation has reached.  With the default
+//! constant-zero latency model every delivery happens "instantly": the queue
+//! degenerates to FIFO order (ties break by send sequence) and message
+//! counts are bit-identical to the old count-only substrate.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::message::{Envelope, NetMessage};
 use crate::peer::{PeerId, PeerRegistry, PeerStatus};
 use crate::stats::{MessageStats, OpScope};
+use crate::time::{LatencyModel, SimTime};
 
 /// Error returned by [`SimNetwork::send`] when the *sender* is not a live
 /// peer (sending from a dead peer indicates a protocol bug, not a simulated
@@ -40,26 +62,107 @@ pub struct DeliveryError<M> {
     pub destination_status: Option<PeerStatus>,
 }
 
-/// A deterministic message-passing network simulator.
+/// One scheduled delivery in the event queue.
 ///
-/// Messages are delivered in FIFO order.  Every send is counted in
-/// [`MessageStats`]; failed deliveries (dead destination) are counted
-/// separately and returned to the caller.
+/// Ordered by `(deliver_at, seq)`: earliest delivery first, and equal
+/// timestamps (the whole simulation, under the zero-latency model) fall back
+/// to send order, preserving the legacy FIFO semantics exactly.
+#[derive(Clone, Debug)]
+struct Scheduled<M> {
+    seq: u64,
+    envelope: Envelope<M>,
+}
+
+impl<M> Scheduled<M> {
+    fn deliver_at(&self) -> SimTime {
+        self.envelope.deliver_at
+    }
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at() == other.deliver_at() && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at(), self.seq).cmp(&(other.deliver_at(), other.seq))
+    }
+}
+
+/// A deterministic discrete-event message-passing network simulator.
+///
+/// Every send is counted in [`MessageStats`] and scheduled for delivery at
+/// `frontier(op) + latency(src, dst)`; failed deliveries (dead destination)
+/// are counted separately and returned to the caller.
 #[derive(Clone, Debug, Default)]
 pub struct SimNetwork<M> {
     peers: PeerRegistry,
-    queue: VecDeque<Envelope<M>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    next_seq: u64,
+    /// Where newly issued operations begin (moved by `advance_to`).
+    arrival_clock: SimTime,
+    /// High-water mark of every delivery scheduled or performed.
+    horizon: SimTime,
+    latency: LatencyModel,
     stats: MessageStats,
 }
 
 impl<M: NetMessage> SimNetwork<M> {
-    /// Creates an empty network with no peers.
+    /// Creates an empty network with no peers and the count-only
+    /// (zero-latency) model.
     pub fn new() -> Self {
+        Self::with_latency(LatencyModel::zero())
+    }
+
+    /// Creates an empty network with an explicit latency model.
+    pub fn with_latency(latency: LatencyModel) -> Self {
         Self {
             peers: PeerRegistry::new(),
-            queue: VecDeque::new(),
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            arrival_clock: SimTime::ZERO,
+            horizon: SimTime::ZERO,
+            latency,
             stats: MessageStats::new(),
         }
+    }
+
+    /// Replaces the latency model.
+    ///
+    /// Typically called right after construction; swapping models mid-run is
+    /// allowed (pending messages keep their already-drawn delivery times).
+    pub fn set_latency_model(&mut self, latency: LatencyModel) {
+        self.latency = latency;
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The virtual instant the simulation has reached: the latest of the
+    /// arrival clock and every delivery performed or scheduled.
+    pub fn now(&self) -> SimTime {
+        self.horizon.max(self.arrival_clock)
+    }
+
+    /// Advances the arrival clock to `at` (no-op if it is already past it).
+    ///
+    /// Operations begun after this call are stamped as issued at `at`; the
+    /// open-loop workload runner calls this with each operation's scheduled
+    /// arrival time so that independent operations overlap in virtual time.
+    pub fn advance_to(&mut self, at: SimTime) {
+        self.arrival_clock = self.arrival_clock.max(at);
     }
 
     /// Registers a new live peer.
@@ -104,24 +207,27 @@ impl<M: NetMessage> SimNetwork<M> {
         &mut self.stats
     }
 
-    /// Opens a new operation accounting scope with the given label.
+    /// Opens a new operation accounting scope with the given label, issued
+    /// at the current arrival clock.
     pub fn begin_op(&mut self, label: &str) -> OpScope {
-        self.stats.begin_op(label)
+        self.stats.begin_op_at(label, self.arrival_clock)
     }
 
-    /// Closes an operation scope.
-    ///
-    /// This is currently a no-op bookkeeping hook (scopes are keyed by
-    /// [`OpId`] at send time), kept so call sites read naturally and so
-    /// future per-op finalization (e.g. latency accounting) has a seam.
-    pub fn finish_op(&mut self, _scope: OpScope) {}
+    /// Closes an operation scope, stamping the operation's completion time
+    /// (the latest of its request-chain frontier and every notification it
+    /// broadcast).  The operation's virtual latency becomes readable through
+    /// [`OpStats::latency`](crate::stats::OpStats::latency).
+    pub fn finish_op(&mut self, scope: OpScope) {
+        self.stats.finish_op(scope.id);
+    }
 
     /// Sends a message from `from` to `to`, attributed to operation `op`,
     /// with an explicit hop count.
     ///
     /// The message is counted immediately (the paper counts *passing
     /// messages*, i.e. transmissions, regardless of whether the destination
-    /// turns out to be dead).
+    /// turns out to be dead) and scheduled for delivery at the operation's
+    /// frontier plus one link-latency draw.
     pub fn send_with_hop(
         &mut self,
         op: OpScope,
@@ -137,13 +243,22 @@ impl<M: NetMessage> SimNetwork<M> {
         }
         let bytes = payload.approximate_size();
         self.stats.record_send(op.id, payload.kind(), bytes, hop);
-        self.queue.push_back(Envelope {
-            from,
-            to,
-            hop,
-            op: op.id,
-            payload,
-        });
+        let sent_at = self.stats.op_frontier(op.id).unwrap_or(self.arrival_clock);
+        let deliver_at = sent_at + self.latency.sample(from, to);
+        self.horizon = self.horizon.max(deliver_at);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            seq,
+            envelope: Envelope {
+                from,
+                to,
+                hop,
+                op: op.id,
+                deliver_at,
+                payload,
+            },
+        }));
         Ok(())
     }
 
@@ -165,9 +280,17 @@ impl<M: NetMessage> SimNetwork<M> {
     /// your children about the new node", paper §III-A). `count_message`
     /// charges such traffic to the operation without forcing the caller to
     /// round-trip a payload through the queue.
+    ///
+    /// Notifications still take time on the wire: each draws a latency and
+    /// lands at `frontier(op) + latency`, extending the operation's
+    /// *completion* time — but, being fire-and-forget, they run in parallel
+    /// with the request chain and never push its frontier.
     pub fn count_message(&mut self, op: OpScope, kind: &'static str, from: PeerId, to: PeerId) {
-        let _ = from;
         self.stats.record_send(op.id, kind, 64, 1);
+        let sent_at = self.stats.op_frontier(op.id).unwrap_or(self.arrival_clock);
+        let lands_at = sent_at + self.latency.sample(from, to);
+        self.horizon = self.horizon.max(lands_at);
+        self.stats.extend_op_completion(op.id, lands_at);
         if self.peers.is_alive(to) {
             self.stats.record_delivery(to);
         } else {
@@ -180,16 +303,26 @@ impl<M: NetMessage> SimNetwork<M> {
         self.queue.len()
     }
 
-    /// Delivers the next queued message.
+    /// Virtual delivery time of the next queued message, if any.
+    pub fn next_delivery_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(s)| s.deliver_at())
+    }
+
+    /// Delivers the earliest queued message, advancing virtual time.
     ///
     /// * `None` — the queue is empty.
     /// * `Some(Ok(envelope))` — the destination is alive; the caller should
     ///   invoke the destination's handler.
     /// * `Some(Err(DeliveryError))` — the destination is dead; the caller
-    ///   owns fault handling.
+    ///   owns fault handling.  A bounce takes wire time like any delivery,
+    ///   so the operation's frontier advances either way.
     #[allow(clippy::type_complexity)]
     pub fn deliver_next(&mut self) -> Option<Result<Envelope<M>, DeliveryError<M>>> {
-        let envelope = self.queue.pop_front()?;
+        let Reverse(scheduled) = self.queue.pop()?;
+        let envelope = scheduled.envelope;
+        self.horizon = self.horizon.max(envelope.deliver_at);
+        self.stats
+            .advance_op_frontier(envelope.op, envelope.deliver_at);
         let status = self.peers.status(envelope.to);
         if status.is_some_and(PeerStatus::is_alive) {
             self.stats.record_delivery(envelope.to);
@@ -255,6 +388,8 @@ mod tests {
         assert!(net.deliver_next().is_none());
         assert_eq!(net.stats().total_sent(), 2);
         assert_eq!(net.stats().total_delivered(), 2);
+        // Zero-latency model: no virtual time passes.
+        assert_eq!(net.now(), SimTime::ZERO);
     }
 
     #[test]
@@ -349,5 +484,126 @@ mod tests {
         net.send(op, a, b, Msg::World).unwrap();
         assert_eq!(net.stats().kind_count("hello"), 2);
         assert_eq!(net.stats().kind_count("world"), 1);
+    }
+
+    #[test]
+    fn constant_latency_accumulates_along_a_hop_chain() {
+        let mut net: SimNetwork<Msg> =
+            SimNetwork::with_latency(LatencyModel::constant(SimTime::from_millis(10)));
+        let a = net.add_peer();
+        let b = net.add_peer();
+        let c = net.add_peer();
+        let op = net.begin_op("chain");
+        net.send_with_hop(op, a, b, 1, Msg::Hello).unwrap();
+        let env = net.deliver_next().unwrap().unwrap();
+        assert_eq!(env.deliver_at, SimTime::from_millis(10));
+        net.send_with_hop(op, b, c, 2, Msg::Hello).unwrap();
+        let env = net.deliver_next().unwrap().unwrap();
+        assert_eq!(env.deliver_at, SimTime::from_millis(20));
+        net.finish_op(op);
+        assert_eq!(
+            net.stats().op(op.id).unwrap().latency(),
+            Some(SimTime::from_millis(20))
+        );
+        assert_eq!(net.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn operations_started_at_different_arrivals_overlap() {
+        let mut net: SimNetwork<Msg> =
+            SimNetwork::with_latency(LatencyModel::constant(SimTime::from_millis(10)));
+        let a = net.add_peer();
+        let b = net.add_peer();
+        // Op 1 arrives at t=0 and takes two 10ms hops -> finishes at 20ms.
+        let op1 = net.begin_op("op1");
+        // Op 2 arrives at t=5ms and takes one hop -> finishes at 15ms,
+        // *before* op 1, even though it is processed afterwards.
+        net.advance_to(SimTime::from_millis(5));
+        let op2 = net.begin_op("op2");
+
+        net.send(op1, a, b, Msg::Hello).unwrap();
+        net.deliver_next().unwrap().unwrap();
+        net.send_with_hop(op1, b, a, 2, Msg::Hello).unwrap();
+        net.deliver_next().unwrap().unwrap();
+        net.finish_op(op1);
+
+        net.send(op2, a, b, Msg::World).unwrap();
+        net.deliver_next().unwrap().unwrap();
+        net.finish_op(op2);
+
+        let s1 = net.stats().op(op1.id).unwrap();
+        let s2 = net.stats().op(op2.id).unwrap();
+        assert_eq!(s1.latency(), Some(SimTime::from_millis(20)));
+        assert_eq!(s2.latency(), Some(SimTime::from_millis(10)));
+        assert_eq!(s2.started_at, SimTime::from_millis(5));
+        assert_eq!(s2.finished_at, Some(SimTime::from_millis(15)));
+        assert_eq!(net.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn queued_deliveries_pop_in_timestamp_order() {
+        let mut net: SimNetwork<Msg> = SimNetwork::with_latency(LatencyModel::uniform(
+            SimTime::from_micros(100),
+            SimTime::from_millis(50),
+            1234,
+        ));
+        let a = net.add_peer();
+        let b = net.add_peer();
+        // Independent ops: each message departs its own op's frontier (t=0)
+        // with a random latency, so queue order != send order.
+        let ops: Vec<_> = (0..32).map(|i| net.begin_op(&format!("op{i}"))).collect();
+        for op in &ops {
+            net.send(*op, a, b, Msg::Hello).unwrap();
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen = 0;
+        while let Some(result) = net.deliver_next() {
+            let env = result.unwrap();
+            assert!(
+                env.deliver_at >= last,
+                "event queue went backwards: {} after {}",
+                env.deliver_at,
+                last
+            );
+            last = env.deliver_at;
+            seen += 1;
+        }
+        assert_eq!(seen, 32);
+        assert_eq!(net.now(), last.max(SimTime::ZERO));
+    }
+
+    #[test]
+    fn notifications_extend_completion_but_not_the_frontier() {
+        let mut net: SimNetwork<Msg> =
+            SimNetwork::with_latency(LatencyModel::constant(SimTime::from_millis(10)));
+        let a = net.add_peer();
+        let b = net.add_peer();
+        let c = net.add_peer();
+        let op = net.begin_op("broadcast");
+        net.send(op, a, b, Msg::Hello).unwrap();
+        net.deliver_next().unwrap().unwrap();
+        // Three parallel notifications from the frontier (10ms): each lands
+        // at 20ms without pushing the frontier.
+        for target in [a, b, c] {
+            net.count_message(op, "notify", b, target);
+        }
+        assert_eq!(
+            net.stats().op_frontier(op.id),
+            Some(SimTime::from_millis(10))
+        );
+        net.finish_op(op);
+        assert_eq!(
+            net.stats().op(op.id).unwrap().latency(),
+            Some(SimTime::from_millis(20))
+        );
+    }
+
+    #[test]
+    fn next_delivery_at_peeks_the_earliest_event() {
+        let (mut net, a, b) = two_peer_net();
+        assert_eq!(net.next_delivery_at(), None);
+        let op = net.begin_op("peek");
+        net.send(op, a, b, Msg::Hello).unwrap();
+        assert_eq!(net.next_delivery_at(), Some(SimTime::ZERO));
     }
 }

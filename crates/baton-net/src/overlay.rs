@@ -18,6 +18,7 @@
 //! implementing this trait; no driver changes required.
 
 use crate::stats::{Histogram, MessageStats};
+use crate::time::{LatencyModel, SimTime};
 
 /// What an overlay implementation can and cannot do.
 ///
@@ -153,6 +154,33 @@ pub trait Overlay {
     /// Mutable statistics (experiments reset per-peer counters between
     /// phases, as in Figure 8(f)).
     fn stats_mut(&mut self) -> &mut MessageStats;
+
+    /// The virtual instant the overlay's simulated network has reached.
+    ///
+    /// Default: the origin — for overlays that do not simulate time.
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+
+    /// Advances the network's arrival clock to `at`: operations issued after
+    /// this call are stamped as arriving at `at`, so an open-loop workload
+    /// can interleave operations in virtual time.
+    ///
+    /// Default: no-op — for overlays that do not simulate time.
+    fn advance_to(&mut self, _at: SimTime) {}
+
+    /// Replaces the link-latency model of the overlay's simulated network.
+    ///
+    /// Default: no-op — for overlays that do not simulate time; such
+    /// overlays simply report zero latency for every operation.
+    fn set_latency_model(&mut self, _model: LatencyModel) {}
+
+    /// `(label, virtual latency)` of every finished operation, in issue
+    /// order — the raw series behind the latency percentiles the harness
+    /// reports next to the paper's message counts.
+    fn op_latencies(&self) -> Vec<(String, SimTime)> {
+        self.stats().op_latencies()
+    }
 
     /// A new node joins through a random existing contact.
     fn join_random(&mut self) -> OverlayResult<ChurnCost>;

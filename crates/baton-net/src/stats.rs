@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use crate::peer::PeerId;
+use crate::time::SimTime;
 
 /// Identifier of one logical operation (a join, a search, …) for accounting.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -27,6 +28,29 @@ pub struct OpStats {
     pub bytes: u64,
     /// Largest hop count observed on any message of this operation.
     pub max_hops: u32,
+    /// Virtual time at which the operation was issued.
+    pub started_at: SimTime,
+    /// Virtual time at which the operation completed (set by
+    /// [`SimNetwork::finish_op`](crate::network::SimNetwork::finish_op)).
+    pub finished_at: Option<SimTime>,
+    /// The operation's critical path so far: the delivery time of the latest
+    /// hop in its request chain.  The next hop of the operation departs from
+    /// here, so a chain of hops accumulates latency while independent
+    /// operations overlap freely in virtual time.
+    pub(crate) frontier: SimTime,
+    /// Completion candidate including fire-and-forget notifications, which
+    /// run in parallel with (and may outlast) the request chain.
+    pub(crate) completion: SimTime,
+}
+
+impl OpStats {
+    /// Virtual latency of the operation: time from issue to completion.
+    ///
+    /// `None` until the operation is finished.
+    pub fn latency(&self) -> Option<SimTime> {
+        self.finished_at
+            .map(|finished| finished.saturating_sub(self.started_at))
+    }
 }
 
 /// A RAII-like handle for an operation accounting scope.
@@ -93,6 +117,43 @@ impl Histogram {
             .map(|(v, c)| v as u64 * c)
             .sum();
         sum as f64 / self.total as f64
+    }
+
+    /// The `q`-quantile of the recorded values (`q` in `(0, 1]`): the
+    /// smallest recorded value `v` such that at least `q · total`
+    /// observations are `≤ v`.  Returns `None` for an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<usize> {
+        assert!(q > 0.0 && q <= 1.0, "percentile requires q in (0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (value, count) in self.iter() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(value);
+            }
+        }
+        self.max_value()
+    }
+
+    /// Median (50th percentile); `None` if empty.
+    pub fn p50(&self) -> Option<usize> {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile; `None` if empty.
+    pub fn p95(&self) -> Option<usize> {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile; `None` if empty.
+    pub fn p99(&self) -> Option<usize> {
+        self.percentile(0.99)
     }
 
     /// Fraction of observations equal to `value`.
@@ -185,18 +246,94 @@ impl MessageStats {
         self.received_by_peer.get(&peer).copied().unwrap_or(0)
     }
 
-    /// Begins a new operation accounting scope.
+    /// Begins a new operation accounting scope starting at virtual time zero.
     pub fn begin_op(&mut self, label: &str) -> OpScope {
+        self.begin_op_at(label, SimTime::ZERO)
+    }
+
+    /// Begins a new operation accounting scope issued at virtual time `at`.
+    pub fn begin_op_at(&mut self, label: &str, at: SimTime) -> OpScope {
         let id = OpId(self.next_op);
         self.next_op += 1;
         self.ops.insert(
             id,
             OpStats {
                 label: label.to_owned(),
+                started_at: at,
+                frontier: at,
+                completion: at,
                 ..OpStats::default()
             },
         );
         OpScope { id }
+    }
+
+    /// Identifier the *next* [`begin_op`](Self::begin_op) call will hand out.
+    ///
+    /// Harnesses snapshot this before dispatching an operation and then read
+    /// the stats of every op in `[snapshot, next_op_id())` afterwards — that
+    /// range covers the operation itself plus anything it triggered (e.g. a
+    /// load-balancing pass).
+    pub fn next_op_id(&self) -> u64 {
+        self.next_op
+    }
+
+    /// The critical-path frontier of an in-flight operation: the virtual
+    /// time its next hop would depart at.
+    pub fn op_frontier(&self, id: OpId) -> Option<SimTime> {
+        self.ops.get(&id).map(|s| s.frontier)
+    }
+
+    /// Advances an operation's critical path to `at` (a hop of its request
+    /// chain was delivered at that time).
+    pub(crate) fn advance_op_frontier(&mut self, id: OpId, at: SimTime) {
+        if let Some(stats) = self.ops.get_mut(&id) {
+            stats.frontier = stats.frontier.max(at);
+            stats.completion = stats.completion.max(at);
+        }
+    }
+
+    /// Records that a fire-and-forget notification of the operation lands at
+    /// `at`.  Notifications run in parallel with the request chain, so they
+    /// extend the operation's completion time without moving its frontier.
+    pub(crate) fn extend_op_completion(&mut self, id: OpId, at: SimTime) {
+        if let Some(stats) = self.ops.get_mut(&id) {
+            stats.completion = stats.completion.max(at);
+        }
+    }
+
+    /// Marks an operation as complete, stamping its finish time.
+    pub(crate) fn finish_op(&mut self, id: OpId) {
+        if let Some(stats) = self.ops.get_mut(&id) {
+            stats.finished_at = Some(stats.completion.max(stats.frontier));
+        }
+    }
+
+    /// `(label, latency)` of every finished operation, in issue order.
+    pub fn op_latencies(&self) -> Vec<(String, SimTime)> {
+        let mut finished: Vec<(OpId, &OpStats)> = self
+            .ops
+            .iter()
+            .filter(|(_, s)| s.finished_at.is_some())
+            .map(|(id, s)| (*id, s))
+            .collect();
+        finished.sort_unstable_by_key(|(id, _)| *id);
+        finished
+            .into_iter()
+            .filter_map(|(_, s)| s.latency().map(|l| (s.label.clone(), l)))
+            .collect()
+    }
+
+    /// Average virtual latency of finished operations whose label matches
+    /// `label`, or `None` if there are none.
+    pub fn average_latency(&self, label: &str) -> Option<SimTime> {
+        let (count, sum) = self
+            .ops
+            .values()
+            .filter(|op| op.label == label)
+            .filter_map(|op| op.latency())
+            .fold((0u64, 0u64), |(c, s), l| (c + 1, s + l.as_micros()));
+        sum.checked_div(count).map(SimTime::from_micros)
     }
 
     /// Statistics of a finished or in-flight operation.

@@ -1,0 +1,305 @@
+//! Virtual time and link-latency models for the discrete-event engine.
+//!
+//! The original substrate counted messages and nothing else; every question
+//! the paper's Figure 8 asks is a message count.  Latency, throughput and
+//! churn-under-load require a notion of *when* things happen, so the
+//! simulator keeps a virtual clock: every message is scheduled for delivery
+//! at `send time + link latency` and the network advances its clock as the
+//! event queue drains.  Virtual time is deterministic — it is derived purely
+//! from the seeded latency model, never from the wall clock.
+
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::peer::PeerId;
+use crate::rng::SimRng;
+
+/// A point in (or span of) virtual time, in integer microseconds.
+///
+/// One type serves as both instant and duration — the simulation starts at
+/// [`SimTime::ZERO`] and only ever moves forward, so the distinction buys
+/// nothing but conversion noise here.  Microsecond resolution keeps the
+/// arithmetic exact (no float drift in the event queue ordering) while
+/// comfortably covering sub-millisecond link jitter and multi-hour runs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time point / duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// A time point / duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// A time point / duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// The value in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The value in milliseconds, as a float (for reports).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The value in seconds, as a float (for reports).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// `true` at the origin (or for a zero duration).
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The span from `earlier` to `self`, clamped to zero if `earlier` is
+    /// actually later (virtual time never runs backwards, so a non-zero
+    /// clamp indicates a caller bug, not an engine state).
+    pub fn saturating_sub(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+/// How long a message takes from one peer to another.
+///
+/// The model owns its own [`SimRng`] stream, deliberately separate from the
+/// protocol RNGs: switching latency models (or sampling from one) never
+/// perturbs join points, query keys or victim choices, which is what makes
+/// the constant-zero model reproduce the count-only substrate *exactly*.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Every link takes the same fixed time.  `Constant(SimTime::ZERO)` is
+    /// the legacy count-only behaviour: all messages deliver "instantly"
+    /// and every operation has zero virtual latency.
+    Constant(SimTime),
+    /// Uniform jitter in `[min, max]` — a flat random spread around a LAN- or
+    /// WAN-like base latency.
+    Uniform {
+        /// Smallest possible link latency.
+        min: SimTime,
+        /// Largest possible link latency.
+        max: SimTime,
+        /// Seeded generator for the jitter stream.
+        rng: SimRng,
+    },
+    /// Log-normal latency — the standard heavy-tailed model of internet
+    /// round-trip times: most links are near the median, a few are much
+    /// slower.
+    LogNormal {
+        /// Median link latency (the distribution's scale parameter).
+        median: SimTime,
+        /// Shape parameter σ of the underlying normal; larger means a
+        /// heavier tail.  Typical internet fits use 0.3–0.7.
+        sigma: f64,
+        /// Seeded generator for the latency stream.
+        rng: SimRng,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::zero()
+    }
+}
+
+impl LatencyModel {
+    /// The legacy count-only model: every delivery is instantaneous.
+    pub fn zero() -> Self {
+        LatencyModel::Constant(SimTime::ZERO)
+    }
+
+    /// A constant per-link latency.
+    pub fn constant(latency: SimTime) -> Self {
+        LatencyModel::Constant(latency)
+    }
+
+    /// Uniform jitter in `[min, max]`, drawn from a stream seeded with
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `min > max`.
+    pub fn uniform(min: SimTime, max: SimTime, seed: u64) -> Self {
+        assert!(min <= max, "uniform latency requires min <= max");
+        LatencyModel::Uniform {
+            min,
+            max,
+            rng: SimRng::seeded(seed),
+        }
+    }
+
+    /// Log-normal latency with the given median and shape, drawn from a
+    /// stream seeded with `seed`.
+    pub fn log_normal(median: SimTime, sigma: f64, seed: u64) -> Self {
+        LatencyModel::LogNormal {
+            median,
+            sigma,
+            rng: SimRng::seeded(seed),
+        }
+    }
+
+    /// `true` if every sample is zero (the count-only model).
+    pub fn is_zero(&self) -> bool {
+        matches!(self, LatencyModel::Constant(t) if t.is_zero())
+    }
+
+    /// Draws the latency of one message from `from` to `to`.
+    ///
+    /// The endpoints are part of the contract so that future models can be
+    /// topology-aware (e.g. coordinate-based delay); the current models are
+    /// endpoint-oblivious.
+    pub fn sample(&mut self, from: PeerId, to: PeerId) -> SimTime {
+        let _ = (from, to);
+        match self {
+            LatencyModel::Constant(latency) => *latency,
+            LatencyModel::Uniform { min, max, rng } => {
+                if min == max {
+                    *min
+                } else {
+                    SimTime::from_micros(rng.uniform_u64(min.as_micros(), max.as_micros() + 1))
+                }
+            }
+            LatencyModel::LogNormal { median, sigma, rng } => {
+                // Box–Muller transform: two uniforms -> one standard normal.
+                let u1 = rng.uniform_f64().max(f64::MIN_POSITIVE);
+                let u2 = rng.uniform_f64();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let factor = (*sigma * z).exp();
+                SimTime::from_micros((median.as_micros() as f64 * factor).round() as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimTime::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimTime::from_micros(2500).as_millis_f64(), 2.5);
+        assert!(SimTime::ZERO.is_zero());
+        assert!(!SimTime::from_micros(1).is_zero());
+    }
+
+    #[test]
+    fn sim_time_arithmetic_is_saturating_on_subtraction() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!(a + b, SimTime::from_micros(14));
+        assert_eq!(a - b, SimTime::from_micros(6));
+        assert_eq!(b - a, SimTime::ZERO);
+        let mut c = b;
+        c += a;
+        assert_eq!(c, SimTime::from_micros(14));
+    }
+
+    #[test]
+    fn sim_time_display_picks_a_readable_unit() {
+        assert_eq!(format!("{}", SimTime::from_micros(7)), "7µs");
+        assert_eq!(format!("{}", SimTime::from_micros(2_500)), "2.500ms");
+        assert_eq!(format!("{}", SimTime::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn constant_model_is_exact_and_zero_detects() {
+        let mut zero = LatencyModel::zero();
+        assert!(zero.is_zero());
+        assert_eq!(zero.sample(PeerId(0), PeerId(1)), SimTime::ZERO);
+        let mut fixed = LatencyModel::constant(SimTime::from_millis(5));
+        assert!(!fixed.is_zero());
+        for _ in 0..10 {
+            assert_eq!(fixed.sample(PeerId(0), PeerId(1)), SimTime::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn uniform_model_respects_bounds() {
+        let min = SimTime::from_micros(100);
+        let max = SimTime::from_micros(200);
+        let mut model = LatencyModel::uniform(min, max, 42);
+        for _ in 0..1000 {
+            let s = model.sample(PeerId(0), PeerId(1));
+            assert!(s >= min && s <= max, "sample {s} out of bounds");
+        }
+        let mut degenerate = LatencyModel::uniform(min, min, 42);
+        assert_eq!(degenerate.sample(PeerId(0), PeerId(1)), min);
+    }
+
+    #[test]
+    fn log_normal_model_is_positive_and_centred_near_the_median() {
+        let median = SimTime::from_millis(40);
+        let mut model = LatencyModel::log_normal(median, 0.5, 7);
+        let mut below = 0usize;
+        let n = 2000usize;
+        for _ in 0..n {
+            let s = model.sample(PeerId(0), PeerId(1));
+            assert!(s > SimTime::ZERO);
+            if s < median {
+                below += 1;
+            }
+        }
+        // The median of a log-normal is its scale parameter: about half the
+        // samples fall on each side.
+        assert!(
+            (n / 2).abs_diff(below) < n / 10,
+            "{below}/{n} samples below the median"
+        );
+    }
+
+    #[test]
+    fn seeded_models_are_deterministic() {
+        let mut a = LatencyModel::log_normal(SimTime::from_millis(10), 0.4, 99);
+        let mut b = LatencyModel::log_normal(SimTime::from_millis(10), 0.4, 99);
+        for _ in 0..100 {
+            assert_eq!(
+                a.sample(PeerId(0), PeerId(1)),
+                b.sample(PeerId(0), PeerId(1))
+            );
+        }
+    }
+}

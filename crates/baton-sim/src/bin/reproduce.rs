@@ -1,21 +1,24 @@
-//! `reproduce` — regenerate the BATON paper's evaluation figures.
+//! `reproduce` — regenerate the BATON paper's evaluation figures and the
+//! time-domain scenario reports.
 //!
 //! ```text
-//! reproduce [--figure 8a|8b|...|8i|all] [--profile quick|full|paper|smoke]
-//!           [--json] [--csv]
+//! reproduce [--figure 8a|8b|...|8i|all|none] [--scenario latency_under_churn|all|none]
+//!           [--profile quick|full|paper|smoke] [--json] [--csv]
 //! ```
 //!
 //! By default every figure is regenerated at the `quick` profile and printed
-//! as text tables.  `--profile full` uses the paper's network sizes
-//! (1000–10,000 nodes) with a scaled-down bulk load; `--profile paper` runs
-//! the publication's exact configuration (slow).
+//! as text tables, followed by every scenario (latency percentiles and
+//! throughput from the discrete-event engine).  `--profile full` uses the
+//! paper's network sizes (1000–10,000 nodes) with a scaled-down bulk load;
+//! `--profile paper` runs the publication's exact configuration (slow).
 
 use std::process::ExitCode;
 
-use baton_sim::{figures, render_json, render_report, Profile};
+use baton_sim::{figures, render_json, render_report, scenario, Profile};
 
 struct Options {
     figure: String,
+    scenario: String,
     profile: Profile,
     json: bool,
     csv: bool,
@@ -23,6 +26,7 @@ struct Options {
 
 fn parse_args() -> Result<Options, String> {
     let mut figure = "all".to_owned();
+    let mut scenario = "all".to_owned();
     let mut profile = Profile::quick();
     let mut json = false;
     let mut csv = false;
@@ -31,6 +35,9 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--figure" | "-f" => {
                 figure = args.next().ok_or("--figure needs a value")?;
+            }
+            "--scenario" | "-s" => {
+                scenario = args.next().ok_or("--scenario needs a value")?;
             }
             "--profile" | "-p" => {
                 let name = args.next().ok_or("--profile needs a value")?;
@@ -46,7 +53,8 @@ fn parse_args() -> Result<Options, String> {
             "--csv" => csv = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: reproduce [--figure 8a..8i|all] [--profile smoke|quick|full|paper] [--json] [--csv]"
+                    "usage: reproduce [--figure 8a..8i|all|none] [--scenario latency_under_churn|all|none] \
+                     [--profile smoke|quick|full|paper] [--json] [--csv]"
                         .to_owned(),
                 )
             }
@@ -55,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
     }
     Ok(Options {
         figure,
+        scenario,
         profile,
         json,
         csv,
@@ -70,7 +79,9 @@ fn main() -> ExitCode {
         }
     };
 
-    let results = if options.figure.eq_ignore_ascii_case("all") {
+    let results = if options.figure.eq_ignore_ascii_case("none") {
+        Vec::new()
+    } else if options.figure.eq_ignore_ascii_case("all") {
         figures::run_all(&options.profile)
     } else {
         match figures::run_figure(&options.figure, &options.profile) {
@@ -86,6 +97,36 @@ fn main() -> ExitCode {
         }
     };
 
+    // Scenario reports only have a table rendering; the machine-readable
+    // modes print the figure series exactly as before the event engine.
+    // The identifier is still validated there, so a typo'd --scenario never
+    // passes silently.
+    let scenario_ids = if options.scenario.eq_ignore_ascii_case("none") {
+        Vec::new()
+    } else if options.scenario.eq_ignore_ascii_case("all") {
+        scenario::all_scenario_ids()
+    } else if let Some(id) = scenario::all_scenario_ids()
+        .into_iter()
+        .find(|id| id.eq_ignore_ascii_case(&options.scenario))
+    {
+        vec![id]
+    } else {
+        eprintln!(
+            "unknown scenario '{}'; available: {:?}",
+            options.scenario,
+            scenario::all_scenario_ids()
+        );
+        return ExitCode::FAILURE;
+    };
+    let scenarios: Vec<_> = if options.json || options.csv {
+        Vec::new()
+    } else {
+        scenario_ids
+            .into_iter()
+            .map(|id| scenario::run_scenario(id, &options.profile).expect("registered scenario"))
+            .collect()
+    };
+
     if options.json {
         println!("{}", render_json(&results));
     } else if options.csv {
@@ -93,8 +134,13 @@ fn main() -> ExitCode {
             println!("# Figure {}", result.id);
             println!("{}", result.to_csv());
         }
-    } else {
+    } else if !results.is_empty() {
         println!("{}", render_report(&results));
+    }
+    if !options.json && !options.csv {
+        for result in &scenarios {
+            println!("{}", result.to_table());
+        }
     }
     ExitCode::SUCCESS
 }

@@ -22,9 +22,15 @@
 //! | 8(h) | [`figures::fig8h`] | distribution of load-balancing shift sizes |
 //! | 8(i) | [`figures::fig8i`] | extra messages under concurrent churn |
 //!
+//! Beyond the paper's message counts, the [`scenario`] module drives the
+//! discrete-event engine in the time domain: `latency_under_churn` reports
+//! p50/p95/p99 virtual latency per operation class and throughput (ops per
+//! virtual second) for every overlay while 10% of the peers churn per
+//! virtual minute.
+//!
 //! The `reproduce` binary (`cargo run -p baton-sim --bin reproduce --release`)
-//! prints the tables for any subset of figures; `crates/bench` wraps the
-//! same drivers in Criterion benchmarks.
+//! prints the tables for any subset of figures plus the scenario report;
+//! `crates/bench` wraps the same drivers in Criterion benchmarks.
 //!
 //! ```
 //! use baton_sim::{figures, Profile};
@@ -43,8 +49,10 @@ pub mod figures;
 pub mod profile;
 pub mod report;
 pub mod result;
+pub mod scenario;
 
 pub use driver::{load_overlay, reference_overlay, standard_overlays, OverlaySpec};
 pub use profile::Profile;
 pub use report::{render_json, render_report};
 pub use result::{Averager, FigureResult, SeriesPoint};
+pub use scenario::{latency_under_churn, ScenarioResult};

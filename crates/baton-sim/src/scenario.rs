@@ -1,0 +1,265 @@
+//! Time-domain scenario drivers: virtual latency and throughput, measured
+//! with the discrete-event engine — the report section the paper's
+//! count-only evaluation cannot produce.
+//!
+//! The first (and template) scenario is [`latency_under_churn`]: an
+//! open-loop mix of searches, range queries, inserts, joins, leaves and
+//! failures over log-normal links, with 10% of the peers churning per
+//! virtual minute.  It runs over the same [`OverlaySpec`] list as every
+//! Figure-8 driver, so new baselines appear in the latency report the same
+//! way they appear in the message-count figures: by adding one spec.
+//!
+//! Future workloads (flash crowds, correlated failures, degraded links)
+//! should follow the same shape: build an [`OpenLoopWorkload`], pick a
+//! seeded [`LatencyModel`], call
+//! [`run_open_loop`](baton_workload::run_open_loop), and summarise per-class
+//! percentiles into a [`ScenarioResult`].
+
+use std::fmt::Write as _;
+
+use baton_net::{LatencyModel, SimRng, SimTime};
+use baton_workload::{run_open_loop, KeyDistribution, LatencySummary, OpClass, OpenLoopWorkload};
+
+use crate::driver::{load_overlay, standard_overlays};
+use crate::profile::Profile;
+
+/// Latency percentiles of one operation class, in milliseconds of virtual
+/// time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassLatency {
+    /// Operation class name (`"search"`, `"join"`, …).
+    pub class: String,
+    /// Completed operations of the class.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 95th-percentile latency.
+    pub p95_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+}
+
+/// One overlay's row of a scenario: per-class latency percentiles plus
+/// throughput.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSeries {
+    /// Overlay name ("BATON", "Chord", …).
+    pub overlay: String,
+    /// Per-class latency summaries, in class-name order.
+    pub classes: Vec<ClassLatency>,
+    /// Completed operations per virtual second, averaged over repetitions.
+    pub throughput: f64,
+    /// Virtual seconds the run covered (averaged over repetitions).
+    pub virtual_seconds: f64,
+    /// Total messages across all repetitions.
+    pub messages: u64,
+    /// Operations skipped (node floor / unsupported class).
+    pub skipped: u64,
+}
+
+/// The result of one time-domain scenario across every overlay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario identifier (`"latency_under_churn"`).
+    pub id: String,
+    /// Human-readable description of the setup.
+    pub title: String,
+    /// One row per overlay.
+    pub series: Vec<ScenarioSeries>,
+}
+
+impl ScenarioResult {
+    /// Renders the scenario as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Scenario {} — {}", self.id, self.title);
+        for series in &self.series {
+            let _ = writeln!(
+                out,
+                "  {}: {:.2} ops per virtual second over {:.1}s, {} messages, {} skipped",
+                series.overlay,
+                series.throughput,
+                series.virtual_seconds,
+                series.messages,
+                series.skipped
+            );
+            let _ = writeln!(
+                out,
+                "    {:>8} | {:>7} | {:>10} | {:>10} | {:>10} | {:>10}",
+                "class", "count", "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"
+            );
+            for class in &series.classes {
+                let _ = writeln!(
+                    out,
+                    "    {:>8} | {:>7} | {:>10.2} | {:>10.2} | {:>10.2} | {:>10.2}",
+                    class.class,
+                    class.count,
+                    class.mean_ms,
+                    class.p50_ms,
+                    class.p95_ms,
+                    class.p99_ms
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The `latency_under_churn` scenario: search/insert/range traffic measured
+/// while 10% of the peers join or leave (and a few abruptly fail) per
+/// virtual minute, over seeded log-normal links with a 40ms median.
+///
+/// Runs every overlay of [`standard_overlays`] at the profile's largest
+/// network size, repeated and aggregated per the profile.
+pub fn latency_under_churn(profile: &Profile) -> ScenarioResult {
+    let n = *profile
+        .network_sizes
+        .last()
+        .expect("profile has network sizes");
+    let duration = SimTime::from_secs(60);
+    let search_rate = (profile.query_count() as f64 / duration.as_secs_f64()).max(0.2);
+    let mut workload = OpenLoopWorkload::churn_under_load(duration, search_rate, n, 0.10);
+    workload.insert_rate = search_rate / 2.0;
+    workload.range_rate = search_rate / 4.0;
+    // A quarter of the departures are abrupt failures (graceful on overlays
+    // without a failure protocol).
+    workload.fail_rate = workload.leave_rate / 4.0;
+    workload.leave_rate -= workload.fail_rate;
+    workload.distribution = KeyDistribution::Uniform;
+
+    let mut result = ScenarioResult {
+        id: "latency_under_churn".to_owned(),
+        title: format!(
+            "operation latency and throughput, N = {n}, 10% churn per virtual minute, \
+             log-normal links (median 40ms, σ = 0.5)"
+        ),
+        series: Vec::new(),
+    };
+    for spec in standard_overlays() {
+        let mut latencies: std::collections::BTreeMap<&'static str, Vec<SimTime>> =
+            Default::default();
+        let mut skipped = 0u64;
+        let mut messages = 0u64;
+        let mut throughput_sum = 0.0f64;
+        let mut seconds_sum = 0.0f64;
+        for rep in 0..profile.repetitions {
+            let seed = profile.rep_seed(rep);
+            let mut overlay = spec.build(profile, n, seed);
+            load_overlay(profile, &mut *overlay, KeyDistribution::Uniform, seed);
+            overlay.set_latency_model(LatencyModel::log_normal(
+                SimTime::from_millis(40),
+                0.5,
+                seed ^ 0x1A7E,
+            ));
+            let mut rng = SimRng::seeded(seed ^ 0x0BE7);
+            let events = workload.schedule(&mut rng.derive(1));
+            let outcome = run_open_loop(&mut *overlay, &events, &workload, &mut rng, n / 2)
+                .expect("open-loop run cannot fail");
+            skipped += outcome.skipped;
+            messages += outcome.messages;
+            throughput_sum += outcome.throughput();
+            seconds_sum += outcome.makespan.as_secs_f64();
+            for (class, samples) in &outcome.latencies {
+                latencies.entry(class).or_default().extend(samples);
+            }
+        }
+        let reps = profile.repetitions.max(1) as f64;
+        let classes = OpClass::ALL
+            .iter()
+            .filter_map(|class| {
+                let samples = latencies.get(class.name())?;
+                let summary = LatencySummary::from_samples(samples)?;
+                Some(ClassLatency {
+                    class: class.name().to_owned(),
+                    count: summary.count as u64,
+                    mean_ms: summary.mean.as_millis_f64(),
+                    p50_ms: summary.p50.as_millis_f64(),
+                    p95_ms: summary.p95.as_millis_f64(),
+                    p99_ms: summary.p99.as_millis_f64(),
+                })
+            })
+            .collect();
+        result.series.push(ScenarioSeries {
+            overlay: spec.series.to_owned(),
+            classes,
+            throughput: throughput_sum / reps,
+            virtual_seconds: seconds_sum / reps,
+            messages,
+            skipped,
+        });
+    }
+    result
+}
+
+/// Runs a scenario by identifier; `None` for an unknown one.
+pub fn run_scenario(id: &str, profile: &Profile) -> Option<ScenarioResult> {
+    match id.to_ascii_lowercase().as_str() {
+        "latency_under_churn" => Some(latency_under_churn(profile)),
+        _ => None,
+    }
+}
+
+/// Identifiers of every scenario.
+pub fn all_scenario_ids() -> Vec<&'static str> {
+    vec!["latency_under_churn"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_under_churn_reports_every_overlay_with_ordered_percentiles() {
+        let profile = Profile::smoke();
+        let result = latency_under_churn(&profile);
+        assert_eq!(result.series.len(), 3);
+        for series in &result.series {
+            assert!(
+                series.throughput.is_finite() && series.throughput > 0.0,
+                "{} throughput {}",
+                series.overlay,
+                series.throughput
+            );
+            assert!(series.virtual_seconds > 0.0);
+            assert!(
+                !series.classes.is_empty(),
+                "{} has no classes",
+                series.overlay
+            );
+            for class in &series.classes {
+                assert!(class.count > 0);
+                for v in [class.mean_ms, class.p50_ms, class.p95_ms, class.p99_ms] {
+                    assert!(v.is_finite() && v >= 0.0, "{v} not finite");
+                }
+                assert!(
+                    class.p50_ms <= class.p95_ms && class.p95_ms <= class.p99_ms,
+                    "{}::{} percentiles out of order",
+                    series.overlay,
+                    class.class
+                );
+            }
+        }
+        // Searches route over >= 1 hop of ~40ms links: medians must be in a
+        // sane band, not zero and not absurd.
+        let baton = &result.series[0];
+        let search = baton.classes.iter().find(|c| c.class == "search").unwrap();
+        assert!(
+            search.p50_ms > 1.0,
+            "search p50 {} too small",
+            search.p50_ms
+        );
+        let table = result.to_table();
+        assert!(table.contains("latency_under_churn"));
+        assert!(table.contains("BATON"));
+    }
+
+    #[test]
+    fn scenario_registry_resolves_ids() {
+        assert_eq!(all_scenario_ids(), vec!["latency_under_churn"]);
+        let profile = Profile::smoke();
+        assert!(run_scenario("nonsense", &profile).is_none());
+        assert!(run_scenario("LATENCY_UNDER_CHURN", &profile).is_some());
+    }
+}

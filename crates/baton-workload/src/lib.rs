@@ -10,7 +10,10 @@
 //!   batches of the network-dynamics experiment;
 //! * [`runner`] — generic executors that apply the generated workloads to
 //!   **any** [`baton_net::Overlay`] implementation and aggregate the
-//!   message costs.
+//!   message costs;
+//! * [`openloop`] — open-loop arrival schedules over virtual time: searches,
+//!   inserts, joins, leaves and failures interleave in the discrete-event
+//!   engine, yielding latency percentiles and throughput under churn.
 //!
 //! All generators are driven by an explicit [`rand::Rng`] (normally a
 //! seeded `baton_net::SimRng`) so every experiment repetition is
@@ -22,11 +25,15 @@
 pub mod churn;
 pub mod dataset;
 pub mod keys;
+pub mod openloop;
 pub mod queries;
 pub mod runner;
 
 pub use churn::{ChurnEvent, ChurnWorkload, ConcurrentChurnBatch};
 pub use dataset::DatasetPlan;
 pub use keys::{KeyDistribution, KeyGenerator, DOMAIN_HIGH, DOMAIN_LOW};
+pub use openloop::{
+    run_open_loop, ArrivalEvent, LatencySummary, OpClass, OpenLoopOutcome, OpenLoopWorkload,
+};
 pub use queries::{Query, QueryWorkload};
 pub use runner::{bulk_load, run_churn, run_queries, ChurnOutcome, LoadOutcome, QueryOutcome};

@@ -1,0 +1,405 @@
+//! Open-loop workloads: operations arrive on a virtual-time schedule and
+//! *interleave*, instead of executing back-to-back.
+//!
+//! The closed-loop runners in [`crate::runner`] issue the next operation the
+//! moment the previous one finishes — fine for counting messages, useless
+//! for latency or throughput, because the system is never under load.  An
+//! open-loop workload draws per-class Poisson arrival processes (searches,
+//! inserts, joins, leaves, failures) from a seeded RNG, merges them into one
+//! schedule, and dispatches each operation at its arrival time by advancing
+//! the overlay's arrival clock ([`baton_net::Overlay::advance_to`]).  Two
+//! operations whose hop chains overlap in virtual time then genuinely
+//! overlap: each accumulates only its own chain's latency.
+//!
+//! This is the substrate for churn-under-load questions the paper cannot
+//! ask, e.g. *what is search latency while 10% of the peers join or leave
+//! per virtual minute?*
+
+use std::collections::BTreeMap;
+
+use baton_net::{Overlay, OverlayError, OverlayResult, SimRng, SimTime};
+
+use crate::keys::{KeyDistribution, KeyGenerator, DOMAIN_HIGH, DOMAIN_LOW};
+
+/// The class of an operation in an open-loop schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Exact-match query for a random key.
+    Search,
+    /// Range query for a random interval.
+    Range,
+    /// Insert of a random key/value pair.
+    Insert,
+    /// A new node joins through a random contact.
+    Join,
+    /// A random node departs gracefully.
+    Leave,
+    /// A random node fails abruptly (degrades to a graceful leave on
+    /// overlays without failure support, like [`crate::runner::run_churn`]).
+    Fail,
+}
+
+impl OpClass {
+    /// Every class, in scheduling order.
+    pub const ALL: [OpClass; 6] = [
+        OpClass::Search,
+        OpClass::Range,
+        OpClass::Insert,
+        OpClass::Join,
+        OpClass::Leave,
+        OpClass::Fail,
+    ];
+
+    /// Stable name used to group latency samples in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Search => "search",
+            OpClass::Range => "range",
+            OpClass::Insert => "insert",
+            OpClass::Join => "join",
+            OpClass::Leave => "leave",
+            OpClass::Fail => "fail",
+        }
+    }
+}
+
+/// One scheduled arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrivalEvent {
+    /// Virtual arrival time of the operation.
+    pub at: SimTime,
+    /// What arrives.
+    pub class: OpClass,
+}
+
+/// An open-loop workload: per-class Poisson arrival rates over a virtual
+/// duration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpenLoopWorkload {
+    /// Virtual length of the run.
+    pub duration: SimTime,
+    /// Exact-match queries per virtual second.
+    pub search_rate: f64,
+    /// Range queries per virtual second.
+    pub range_rate: f64,
+    /// Inserts per virtual second.
+    pub insert_rate: f64,
+    /// Joins per virtual second.
+    pub join_rate: f64,
+    /// Graceful departures per virtual second.
+    pub leave_rate: f64,
+    /// Abrupt failures per virtual second.
+    pub fail_rate: f64,
+    /// Distribution query and insert keys are drawn from.
+    pub distribution: KeyDistribution,
+    /// Width of each range query as a fraction of the domain.
+    pub range_selectivity: f64,
+}
+
+impl OpenLoopWorkload {
+    /// A query-only workload: `search_rate` exact queries per virtual
+    /// second, nothing else.
+    pub fn queries_only(duration: SimTime, search_rate: f64) -> Self {
+        Self {
+            duration,
+            search_rate,
+            range_rate: 0.0,
+            insert_rate: 0.0,
+            join_rate: 0.0,
+            leave_rate: 0.0,
+            fail_rate: 0.0,
+            distribution: KeyDistribution::Uniform,
+            range_selectivity: 0.001,
+        }
+    }
+
+    /// The churn-under-load scenario: `search_rate` queries per second while
+    /// `churn_per_minute` (a fraction of the `n` starting peers, e.g. `0.1`
+    /// for 10%) joins *and* the same fraction leaves per virtual minute —
+    /// node count stays stationary in expectation while the routing state
+    /// churns underneath the queries.
+    pub fn churn_under_load(
+        duration: SimTime,
+        search_rate: f64,
+        n: usize,
+        churn_per_minute: f64,
+    ) -> Self {
+        let churn_rate = (n as f64 * churn_per_minute) / 2.0 / 60.0;
+        Self {
+            join_rate: churn_rate,
+            leave_rate: churn_rate,
+            ..Self::queries_only(duration, search_rate)
+        }
+    }
+
+    /// Rate of `class` arrivals, per virtual second.
+    pub fn rate(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::Search => self.search_rate,
+            OpClass::Range => self.range_rate,
+            OpClass::Insert => self.insert_rate,
+            OpClass::Join => self.join_rate,
+            OpClass::Leave => self.leave_rate,
+            OpClass::Fail => self.fail_rate,
+        }
+    }
+
+    /// Draws the merged arrival schedule: one Poisson process per class
+    /// (exponential inter-arrival times at the class rate), merged and
+    /// sorted by arrival time.
+    ///
+    /// Deterministic for a given `rng` seed; ties are broken by class order
+    /// so the schedule is stable across platforms.
+    pub fn schedule(&self, rng: &mut SimRng) -> Vec<ArrivalEvent> {
+        let mut events = Vec::new();
+        for class in OpClass::ALL {
+            let rate = self.rate(class);
+            if rate <= 0.0 {
+                continue;
+            }
+            let mut class_rng = rng.derive(class as u64 + 1);
+            let mut t = 0.0f64; // seconds
+            loop {
+                let u = class_rng.uniform_f64().max(f64::MIN_POSITIVE);
+                t += -u.ln() / rate;
+                let at = SimTime::from_micros((t * 1_000_000.0) as u64);
+                if at >= self.duration {
+                    break;
+                }
+                events.push(ArrivalEvent { at, class });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.class));
+        events
+    }
+}
+
+/// Latency percentiles over one class of operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of completed operations the summary covers.
+    pub count: usize,
+    /// Mean virtual latency.
+    pub mean: SimTime,
+    /// Median (50th percentile).
+    pub p50: SimTime,
+    /// 95th percentile.
+    pub p95: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Slowest completed operation.
+    pub max: SimTime,
+}
+
+impl LatencySummary {
+    /// Summarises a set of latency samples; `None` if empty.
+    ///
+    /// Percentile convention matches
+    /// [`Histogram::percentile`](baton_net::Histogram::percentile): the
+    /// smallest sample such that at least `q · count` samples are ≤ it.
+    pub fn from_samples(samples: &[SimTime]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let at = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        let total: u64 = sorted.iter().map(|t| t.as_micros()).sum();
+        Some(Self {
+            count: n,
+            mean: SimTime::from_micros(total / n as u64),
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            max: sorted[n - 1],
+        })
+    }
+}
+
+/// Aggregate outcome of an open-loop run.
+#[derive(Clone, Debug, Default)]
+pub struct OpenLoopOutcome {
+    /// Operations executed, per class.
+    pub executed: BTreeMap<&'static str, u64>,
+    /// Operations skipped (node floor reached, or a class the overlay does
+    /// not support, e.g. range queries on a DHT).
+    pub skipped: u64,
+    /// Virtual instant the overlay had reached when the run ended — the
+    /// denominator of [`throughput`](Self::throughput).
+    pub makespan: SimTime,
+    /// Completed-operation latency samples, per class, in completion order.
+    pub latencies: BTreeMap<&'static str, Vec<SimTime>>,
+    /// Total messages across all executed operations.
+    pub messages: u64,
+}
+
+impl OpenLoopOutcome {
+    /// Total operations executed across all classes.
+    pub fn total_executed(&self) -> u64 {
+        self.executed.values().sum()
+    }
+
+    /// Completed operations per virtual second (0.0 for a zero makespan,
+    /// i.e. under the count-only zero-latency model).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            self.total_executed() as f64 / self.makespan.as_secs_f64()
+        }
+    }
+
+    /// Latency percentiles of one class; `None` if nothing completed.
+    pub fn summary(&self, class: OpClass) -> Option<LatencySummary> {
+        self.latencies
+            .get(class.name())
+            .and_then(|samples| LatencySummary::from_samples(samples))
+    }
+}
+
+/// Executes an open-loop schedule against an overlay.
+///
+/// Each event advances the overlay's arrival clock to its scheduled time and
+/// dispatches the operation; the operation's virtual latency (read back from
+/// the overlay's per-op statistics) is recorded under its class.  Leaves and
+/// failures are skipped while the overlay has `min_nodes` nodes or fewer;
+/// failures degrade to graceful departures on overlays without failure
+/// support; range queries are skipped on overlays without range support —
+/// one schedule drives every system, as with the closed-loop runners.
+pub fn run_open_loop(
+    overlay: &mut dyn Overlay,
+    events: &[ArrivalEvent],
+    workload: &OpenLoopWorkload,
+    rng: &mut SimRng,
+    min_nodes: usize,
+) -> OverlayResult<OpenLoopOutcome> {
+    let keygen = KeyGenerator::paper(workload.distribution);
+    let range_width =
+        (((DOMAIN_HIGH - DOMAIN_LOW) as f64 * workload.range_selectivity) as u64).max(1);
+    let mut outcome = OpenLoopOutcome::default();
+    for event in events {
+        overlay.advance_to(event.at);
+        let first_op = baton_net::OpId(overlay.stats().next_op_id());
+        let messages = match event.class {
+            OpClass::Search => Some(overlay.search_exact(keygen.next_key(rng))?.messages),
+            OpClass::Range => {
+                let low = keygen.next_key(rng);
+                let high = (low + range_width).min(DOMAIN_HIGH);
+                match overlay.search_range(low, high) {
+                    Ok(cost) => Some(cost.messages),
+                    Err(OverlayError::Unsupported(_)) => None,
+                    Err(other) => return Err(other),
+                }
+            }
+            OpClass::Insert => {
+                let key = keygen.next_key(rng);
+                let cost = overlay.insert(key, key)?;
+                Some(cost.messages + cost.balance_messages)
+            }
+            OpClass::Join => Some(overlay.join_random()?.total_messages()),
+            OpClass::Leave | OpClass::Fail => {
+                if overlay.node_count() <= min_nodes {
+                    None
+                } else if event.class == OpClass::Fail {
+                    match overlay.fail_random() {
+                        Ok(cost) => Some(cost.total_messages()),
+                        // No failure protocol: degrade to a graceful leave.
+                        Err(OverlayError::Unsupported(_)) => {
+                            Some(overlay.leave_random()?.total_messages())
+                        }
+                        Err(other) => return Err(other),
+                    }
+                } else {
+                    Some(overlay.leave_random()?.total_messages())
+                }
+            }
+        };
+        let Some(messages) = messages else {
+            outcome.skipped += 1;
+            continue;
+        };
+        *outcome.executed.entry(event.class.name()).or_insert(0) += 1;
+        outcome.messages += messages;
+        // The first op begun by the dispatch is the client-visible one;
+        // anything after it (e.g. a triggered load-balancing pass) is
+        // background maintenance and not part of the client's latency.
+        if let Some(latency) = overlay.stats().op(first_op).and_then(|s| s.latency()) {
+            outcome
+                .latencies
+                .entry(event.class.name())
+                .or_default()
+                .push(latency);
+        }
+    }
+    outcome.makespan = overlay.now();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_sorted_deterministic_and_rate_proportional() {
+        let workload = OpenLoopWorkload {
+            duration: SimTime::from_secs(100),
+            search_rate: 10.0,
+            range_rate: 0.0,
+            insert_rate: 2.0,
+            join_rate: 1.0,
+            leave_rate: 1.0,
+            fail_rate: 0.0,
+            distribution: KeyDistribution::Uniform,
+            range_selectivity: 0.001,
+        };
+        let events = workload.schedule(&mut SimRng::seeded(1));
+        let again = workload.schedule(&mut SimRng::seeded(1));
+        assert_eq!(events, again);
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at), "unsorted");
+        assert!(events.iter().all(|e| e.at < workload.duration));
+        let count = |c: OpClass| events.iter().filter(|e| e.class == c).count();
+        let searches = count(OpClass::Search);
+        let inserts = count(OpClass::Insert);
+        assert_eq!(count(OpClass::Range), 0);
+        assert_eq!(count(OpClass::Fail), 0);
+        // ~1000 searches, ~200 inserts: Poisson noise stays well inside 2x.
+        assert!((500..2000).contains(&searches), "searches = {searches}");
+        assert!((100..400).contains(&inserts), "inserts = {inserts}");
+    }
+
+    #[test]
+    fn churn_under_load_rates_match_the_fraction() {
+        let w = OpenLoopWorkload::churn_under_load(SimTime::from_secs(60), 5.0, 1200, 0.1);
+        // 10% of 1200 peers per minute, split between joins and leaves:
+        // 1 join/s and 1 leave/s.
+        assert!((w.join_rate - 1.0).abs() < 1e-9);
+        assert!((w.leave_rate - 1.0).abs() < 1e-9);
+        assert_eq!(w.search_rate, 5.0);
+        assert_eq!(w.fail_rate, 0.0);
+    }
+
+    #[test]
+    fn latency_summary_percentiles_are_ordered() {
+        let samples: Vec<SimTime> = (1..=100).map(SimTime::from_millis).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, SimTime::from_millis(50));
+        assert_eq!(s.p95, SimTime::from_millis(95));
+        assert_eq!(s.p99, SimTime::from_millis(99));
+        assert_eq!(s.max, SimTime::from_millis(100));
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!(LatencySummary::from_samples(&[]).is_none());
+        let one = LatencySummary::from_samples(&[SimTime::from_millis(7)]).unwrap();
+        assert_eq!(one.p50, SimTime::from_millis(7));
+        assert_eq!(one.p99, SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn empty_outcome_reports_zero_throughput() {
+        let outcome = OpenLoopOutcome::default();
+        assert_eq!(outcome.total_executed(), 0);
+        assert_eq!(outcome.throughput(), 0.0);
+        assert!(outcome.summary(OpClass::Search).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the discrete-event simulation core (seeded
+//! deterministic loops, matching the `property_churn` conventions):
+//!
+//! * the event queue is monotone in virtual time — deliveries never run
+//!   backwards, whatever order messages were scheduled in;
+//! * the constant-zero latency model reproduces the pre-refactor seed
+//!   figures *exactly* (golden-fixture comparison — the regression check of
+//!   the count-only substrate's subsumption);
+//! * every emitted latency series satisfies p50 ≤ p95 ≤ p99.
+
+use baton_net::{LatencyModel, NetMessage, SimNetwork, SimRng, SimTime};
+use baton_sim::{figures, render_json, scenario, Profile};
+use baton_workload::LatencySummary;
+
+#[derive(Clone, Debug)]
+struct Probe;
+
+impl NetMessage for Probe {
+    fn kind(&self) -> &'static str {
+        "probe"
+    }
+}
+
+/// Deliveries pop in nondecreasing virtual-time order, across many random
+/// schedules: messages from independent operations (each departing its own
+/// op's frontier) and chained hops (departing ever-later frontiers) are
+/// pushed in arbitrary interleavings, then drained.
+#[test]
+fn event_queue_is_monotone_in_virtual_time() {
+    for case in 0..50u64 {
+        let mut rng = SimRng::seeded(0xE7E27 + case);
+        let mut net: SimNetwork<Probe> = SimNetwork::with_latency(LatencyModel::log_normal(
+            SimTime::from_millis(1 + case % 50),
+            0.7,
+            case,
+        ));
+        let peers: Vec<_> = (0..8).map(|_| net.add_peer()).collect();
+        let ops: Vec<_> = (0..6)
+            .map(|i| {
+                // Stagger op arrivals so frontiers start at different times.
+                net.advance_to(SimTime::from_micros(rng.uniform_u64(0, 10_000)));
+                net.begin_op(&format!("op{i}"))
+            })
+            .collect();
+        // Random mix of sends; chained ops reuse the same scope so their
+        // messages depart later and later frontiers.
+        for _ in 0..rng.uniform_u64(5, 60) {
+            let op = ops[rng.index(ops.len())];
+            let from = peers[rng.index(peers.len())];
+            let to = peers[rng.index(peers.len())];
+            net.send(op, from, to, Probe).unwrap();
+            // Occasionally drain one event mid-stream, like the synchronous
+            // protocols do.
+            if rng.chance(0.5) {
+                net.deliver_next();
+            }
+        }
+        // Drain the remainder: the *queued* portion must be monotone.
+        let mut last = net.next_delivery_at().unwrap_or(SimTime::ZERO);
+        while let Some(result) = net.deliver_next() {
+            let envelope = result.unwrap();
+            assert!(
+                envelope.deliver_at >= last,
+                "case {case}: delivery at {} after {}",
+                envelope.deliver_at,
+                last
+            );
+            last = envelope.deliver_at;
+        }
+        assert!(net.now() >= last);
+    }
+}
+
+/// With the default constant-zero latency model, all nine Figure-8 drivers
+/// reproduce the exact message-count series captured from the substrate
+/// before the event-engine refactor (`tests/fixtures/fig8_smoke_seed.json`,
+/// generated with `reproduce --profile smoke --json` at the seed commit).
+#[test]
+fn zero_latency_model_reproduces_the_seed_figures_exactly() {
+    let fixture = include_str!("../fixtures/fig8_smoke_seed.json");
+    let results = figures::run_all(&Profile::smoke());
+    let rendered = render_json(&results);
+    assert_eq!(
+        rendered.trim(),
+        fixture.trim(),
+        "figure output diverged from the pre-refactor seed fixture"
+    );
+}
+
+/// Under the zero-latency model every operation completes with exactly zero
+/// virtual latency — the count-only world is a special case of the event
+/// engine, not an approximation.
+#[test]
+fn zero_latency_model_reports_zero_latencies() {
+    let profile = Profile::smoke();
+    for spec in baton_sim::standard_overlays() {
+        let mut overlay = spec.build(&profile, 30, 11);
+        overlay.search_exact(123_456_789).unwrap();
+        overlay.join_random().unwrap();
+        assert_eq!(overlay.now(), SimTime::ZERO, "{}", overlay.name());
+        let latencies = overlay.op_latencies();
+        assert!(!latencies.is_empty(), "{} recorded no ops", overlay.name());
+        assert!(
+            latencies.iter().all(|(_, l)| l.is_zero()),
+            "{} leaked non-zero latency under the zero model",
+            overlay.name()
+        );
+    }
+}
+
+/// p50 ≤ p95 ≤ p99 on every emitted latency series: the scenario report and
+/// randomly generated sample sets.
+#[test]
+fn latency_percentiles_are_ordered_on_every_series() {
+    // Random sample sets through the summary used by every report.
+    for case in 0..100u64 {
+        let mut rng = SimRng::seeded(0x9E4C + case);
+        let samples: Vec<SimTime> = (0..rng.uniform_u64(1, 200))
+            .map(|_| SimTime::from_micros(rng.uniform_u64(0, 10_000_000)))
+            .collect();
+        let summary = LatencySummary::from_samples(&samples).unwrap();
+        assert!(
+            summary.p50 <= summary.p95 && summary.p95 <= summary.p99 && summary.p99 <= summary.max,
+            "case {case}: {summary:?}"
+        );
+        assert!(summary.mean <= summary.max && summary.count == samples.len());
+    }
+    // The actual emitted scenario series.
+    let result = scenario::latency_under_churn(&Profile::smoke());
+    assert!(!result.series.is_empty());
+    for series in &result.series {
+        for class in &series.classes {
+            assert!(
+                class.p50_ms <= class.p95_ms && class.p95_ms <= class.p99_ms,
+                "{}::{}: p50 {} p95 {} p99 {}",
+                series.overlay,
+                class.class,
+                class.p50_ms,
+                class.p95_ms,
+                class.p99_ms
+            );
+        }
+    }
+}
+
+/// The histogram percentile accessors agree with a brute-force rank count
+/// over random data.
+#[test]
+fn histogram_percentiles_match_brute_force() {
+    for case in 0..50u64 {
+        let mut rng = SimRng::seeded(0x415709 + case);
+        let mut histogram = baton_net::Histogram::new();
+        let mut values = Vec::new();
+        for _ in 0..rng.uniform_u64(1, 300) {
+            let v = rng.index(40);
+            histogram.record(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+        for (q, accessor) in [
+            (0.50, histogram.p50()),
+            (0.95, histogram.p95()),
+            (0.99, histogram.p99()),
+        ] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let expected = values[rank - 1];
+            assert_eq!(
+                accessor,
+                Some(expected),
+                "case {case}: q = {q}, values = {values:?}"
+            );
+        }
+        let p50 = histogram.p50().unwrap();
+        let p99 = histogram.p99().unwrap();
+        assert!(p50 <= p99);
+    }
+    assert_eq!(baton_net::Histogram::new().p50(), None);
+}
