@@ -13,7 +13,7 @@
 //!   queries are *not* supported (hashing destroys key order), which is the
 //!   motivation for BATON.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use baton_net::{NetMessage, OpScope, PeerId, SimNetwork, SimRng};
 
@@ -97,6 +97,15 @@ pub struct ChordOpReport {
 pub struct ChordSystem {
     net: SimNetwork<ChordMessage>,
     nodes: HashMap<PeerId, ChordNode>,
+    /// Every live peer, kept sorted by [`PeerId`] — the order the old
+    /// collect-and-sort `random_peer` sampled from, so seeded experiments
+    /// keep their exact message counts while sampling is O(1).
+    peer_list: Vec<PeerId>,
+    /// Ring identifiers of the *live* nodes: the collision set of
+    /// [`fresh_id`](Self::fresh_id).  Kept in lockstep with `nodes` (ids of
+    /// departed peers are released) so the seeded draw sequence is
+    /// bit-identical to the old scan over live nodes.
+    used_ids: HashSet<u64>,
     rng: SimRng,
 }
 
@@ -106,6 +115,8 @@ impl ChordSystem {
         Self {
             net: SimNetwork::new(),
             nodes: HashMap::new(),
+            peer_list: Vec::new(),
+            used_ids: HashSet::new(),
             rng: SimRng::seeded(seed),
         }
     }
@@ -124,9 +135,10 @@ impl ChordSystem {
         self.nodes.len()
     }
 
-    /// All peers in the ring.
-    pub fn peers(&self) -> Vec<PeerId> {
-        self.nodes.keys().copied().collect()
+    /// All peers in the ring, sorted by id — a borrowed view of the
+    /// sampling list.
+    pub fn peers(&self) -> &[PeerId] {
+        &self.peer_list
     }
 
     /// Network statistics.
@@ -162,20 +174,41 @@ impl ChordSystem {
     }
 
     fn random_peer(&mut self) -> Option<PeerId> {
-        if self.nodes.is_empty() {
+        if self.peer_list.is_empty() {
             return None;
         }
-        let mut peers: Vec<PeerId> = self.nodes.keys().copied().collect();
-        peers.sort_unstable();
-        let idx = self.rng.index(peers.len());
-        Some(peers[idx])
+        let idx = self.rng.index(self.peer_list.len());
+        Some(self.peer_list[idx])
+    }
+
+    /// Adds `peer` to the node map and the sorted sampling list, reserving
+    /// its ring identifier.  `used_ids` is only updated here and in
+    /// [`unregister_node`](Self::unregister_node) so it stays in lockstep
+    /// with the live nodes even when a join fails after drawing an id.
+    fn register_node(&mut self, peer: PeerId, node: ChordNode) {
+        if let Err(idx) = self.peer_list.binary_search(&peer) {
+            self.peer_list.insert(idx, peer);
+        }
+        self.used_ids.insert(node.id.value());
+        self.nodes.insert(peer, node);
+    }
+
+    /// Removes `peer` from the node map and the sampling list, releasing
+    /// its ring identifier.
+    fn unregister_node(&mut self, peer: PeerId) -> Option<ChordNode> {
+        if let Ok(idx) = self.peer_list.binary_search(&peer) {
+            self.peer_list.remove(idx);
+        }
+        let node = self.nodes.remove(&peer)?;
+        self.used_ids.remove(&node.id.value());
+        Some(node)
     }
 
     fn fresh_id(&mut self) -> ChordId {
         loop {
-            let id = ChordId::new(self.rng.uniform_u64(0, crate::id::RING));
-            if !self.nodes.values().any(|n| n.id == id) {
-                return id;
+            let raw = self.rng.uniform_u64(0, crate::id::RING);
+            if !self.used_ids.contains(&raw) {
+                return ChordId::new(raw);
             }
         }
     }
@@ -249,7 +282,7 @@ impl ChordSystem {
         let op = self.net.begin_op("chord.join");
 
         let Some(contact) = contact else {
-            self.nodes.insert(peer, ChordNode::solo(peer, id));
+            self.register_node(peer, ChordNode::solo(peer, id));
             self.net.finish_op(op);
             return Ok(ChordChurnReport::default());
         };
@@ -282,7 +315,7 @@ impl ChordSystem {
         for (k, vs) in moved {
             new_node.store.insert(k, vs);
         }
-        self.nodes.insert(peer, new_node);
+        self.register_node(peer, new_node);
         // Notify successor and predecessor (plus the key transfer message).
         self.net
             .count_message(op, "chord.maintenance", peer, successor_peer);
@@ -387,8 +420,7 @@ impl ChordSystem {
         }
         let op = self.net.begin_op("chord.leave");
         let departing = self
-            .nodes
-            .remove(&peer)
+            .unregister_node(peer)
             .ok_or(ChordError::UnknownPeer(peer))?;
         let mut update_messages = 0u64;
 

@@ -232,21 +232,18 @@ impl BatonNode {
         rewrite(&mut self.left_adjacent);
         rewrite(&mut self.right_adjacent);
         for side in Side::BOTH {
-            let table = self.table_mut(side);
-            for i in 0..table.slot_count() {
-                if let Some(e) = table.entry_mut(i) {
-                    if e.link.peer == old {
-                        e.link = new_link;
-                        rewritten += 1;
-                    }
-                    if e.left_child == Some(old) {
-                        e.left_child = Some(new_link.peer);
-                        rewritten += 1;
-                    }
-                    if e.right_child == Some(old) {
-                        e.right_child = Some(new_link.peer);
-                        rewritten += 1;
-                    }
+            for (_, e) in self.table_mut(side).iter_mut() {
+                if e.link.peer == old {
+                    e.link = new_link;
+                    rewritten += 1;
+                }
+                if e.left_child == Some(old) {
+                    e.left_child = Some(new_link.peer);
+                    rewritten += 1;
+                }
+                if e.right_child == Some(old) {
+                    e.right_child = Some(new_link.peer);
+                    rewritten += 1;
                 }
             }
         }
@@ -271,13 +268,10 @@ impl BatonNode {
         touch(&mut self.left_adjacent);
         touch(&mut self.right_adjacent);
         for side in Side::BOTH {
-            let table = self.table_mut(side);
-            for i in 0..table.slot_count() {
-                if let Some(e) = table.entry_mut(i) {
-                    if e.link.peer == peer {
-                        e.link.range = range;
-                        updated += 1;
-                    }
+            for (_, e) in self.table_mut(side).iter_mut() {
+                if e.link.peer == peer {
+                    e.link.range = range;
+                    updated += 1;
                 }
             }
         }
@@ -294,14 +288,11 @@ impl BatonNode {
     ) -> bool {
         let mut updated = false;
         for side in Side::BOTH {
-            let table = self.table_mut(side);
-            for i in 0..table.slot_count() {
-                if let Some(e) = table.entry_mut(i) {
-                    if e.link.peer == neighbor {
-                        e.left_child = left_child;
-                        e.right_child = right_child;
-                        updated = true;
-                    }
+            for (_, e) in self.table_mut(side).iter_mut() {
+                if e.link.peer == neighbor {
+                    e.left_child = left_child;
+                    e.right_child = right_child;
+                    updated = true;
                 }
             }
         }

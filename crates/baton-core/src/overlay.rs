@@ -106,20 +106,23 @@ impl Overlay for BatonSystem {
     }
 
     fn search_exact(&mut self, key: u64) -> OverlayResult<OpCost> {
-        let report = BatonSystem::search_exact(self, key).map_err(op_err)?;
+        // Count-only variant: the trait reports costs, so the matched
+        // values are never materialised on this hot path.
+        let report = BatonSystem::search_exact_count(self, key).map_err(op_err)?;
         Ok(OpCost {
             messages: report.messages,
-            matches: report.matches.len(),
-            nodes_visited: 1,
+            matches: report.matches,
+            nodes_visited: report.nodes_visited,
             balance_messages: 0,
         })
     }
 
     fn search_range(&mut self, low: u64, high: u64) -> OverlayResult<OpCost> {
-        let report = BatonSystem::search_range(self, KeyRange::new(low, high)).map_err(op_err)?;
+        let report =
+            BatonSystem::search_range_count(self, KeyRange::new(low, high)).map_err(op_err)?;
         Ok(OpCost {
             messages: report.messages,
-            matches: report.matches.len(),
+            matches: report.matches,
             nodes_visited: report.nodes_visited,
             balance_messages: 0,
         })

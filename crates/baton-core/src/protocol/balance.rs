@@ -363,7 +363,7 @@ impl BatonSystem {
         if let Some(outer) = outer {
             self.notify(op, "table.adjacent_update", light, outer.peer);
             messages += 1;
-            if let Some(outer_node) = self.nodes.get_mut(&outer.peer) {
+            if let Some(outer_node) = self.node_opt_mut(outer.peer) {
                 outer_node.set_adjacent(Side::Right, Some(light_link));
             }
         }
@@ -411,7 +411,7 @@ impl BatonSystem {
             }
             self.notify(op, "balance.probe", overloaded, target);
             messages += 1;
-            let Some(node) = self.nodes.get(&target) else {
+            let Some(node) = self.node(target) else {
                 continue;
             };
             if !node.is_leaf() {
@@ -504,14 +504,14 @@ mod tests {
         }
         let max_with = with_lb
             .peers()
-            .into_iter()
-            .map(|p| with_lb.node(p).unwrap().load())
+            .iter()
+            .map(|&p| with_lb.node(p).unwrap().load())
             .max()
             .unwrap();
         let max_without = without_lb
             .peers()
-            .into_iter()
-            .map(|p| without_lb.node(p).unwrap().load())
+            .iter()
+            .map(|&p| without_lb.node(p).unwrap().load())
             .max()
             .unwrap();
         assert!(

@@ -38,7 +38,7 @@ impl BatonSystem {
     /// Runs the §III-C recovery protocol for a peer previously failed with
     /// [`BatonSystem::fail_silently`].
     pub fn recover_failed(&mut self, peer: PeerId) -> Result<FailureReport> {
-        if !self.nodes.contains_key(&peer) {
+        if self.node(peer).is_none() {
             return Err(BatonError::UnknownPeer(peer));
         }
         if self.net.is_alive(peer) {
@@ -293,7 +293,8 @@ mod tests {
         // Find a leaf.
         let leaf = system
             .peers()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|p| system.node(*p).unwrap().is_leaf())
             .unwrap();
         let report = system.fail(leaf).unwrap();
@@ -309,7 +310,8 @@ mod tests {
         let mut system = build(40, 2);
         let internal = system
             .peers()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|p| !system.node(*p).unwrap().is_leaf())
             .unwrap();
         let report = system.fail(internal).unwrap();
@@ -338,7 +340,8 @@ mod tests {
         }
         let victim = system
             .peers()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|p| !system.node(*p).unwrap().store.is_empty())
             .unwrap();
         let victim_items = system.node(victim).unwrap().store.len();

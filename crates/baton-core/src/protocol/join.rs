@@ -230,7 +230,7 @@ impl BatonSystem {
             self.notify(op, "table.adjacent_update", joiner, outer.peer);
             messages += 1;
             let child_link = self.link_of(joiner)?;
-            if let Some(outer_node) = self.nodes.get_mut(&outer.peer) {
+            if let Some(outer_node) = self.node_opt_mut(outer.peer) {
                 outer_node.set_adjacent(side.opposite(), Some(child_link));
             }
         }
@@ -448,7 +448,8 @@ mod tests {
         let system = build(100, 17);
         let mut ranges: Vec<KeyRange> = system
             .peers()
-            .into_iter()
+            .iter()
+            .copied()
             .map(|p| system.node(p).unwrap().range)
             .collect();
         ranges.sort_by_key(|r| r.low());
@@ -464,7 +465,7 @@ mod tests {
         // Indirectly verified by Theorem 1 holding after each join; also
         // check explicitly that all internal nodes have full tables.
         let system = build(150, 19);
-        for peer in system.peers() {
+        for &peer in system.peers() {
             let node = system.node(peer).unwrap();
             if !node.is_leaf() {
                 assert!(

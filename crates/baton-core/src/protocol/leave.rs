@@ -226,7 +226,7 @@ impl BatonSystem {
         for neighbor in &neighbor_peers {
             self.notify(op, "leave.notify", actor, *neighbor);
             messages += 1;
-            if let Some(n) = self.nodes.get_mut(neighbor) {
+            if let Some(n) = self.node_opt_mut(*neighbor) {
                 n.left_table.remove_peer(leaf);
                 n.right_table.remove_peer(leaf);
             }
@@ -264,7 +264,7 @@ impl BatonSystem {
         if let Some(outer) = outer_adjacent {
             self.notify(op, "table.adjacent_update", actor, outer.peer);
             messages += 1;
-            if let Some(outer_node) = self.nodes.get_mut(&outer.peer) {
+            if let Some(outer_node) = self.node_opt_mut(outer.peer) {
                 outer_node.set_adjacent(side.opposite(), Some(parent_link_now));
             }
         }
@@ -327,7 +327,7 @@ impl BatonSystem {
             }
             self.notify(op, "leave.replacement_announce", new_peer, other);
             messages += 1;
-            if let Some(other_node) = self.nodes.get_mut(&other) {
+            if let Some(other_node) = self.node_opt_mut(other) {
                 other_node.rewrite_links(old_peer, new_link);
             }
         }

@@ -140,7 +140,7 @@ impl BatonSystem {
     /// the position has no occupied children and no occupied same-level
     /// neighbour (at any power-of-two distance) has occupied children.
     pub(crate) fn position_safely_vacatable(&self, position: Position) -> bool {
-        let occupied = |p: Position| self.by_position.contains_key(&p);
+        let occupied = |p: Position| self.by_position.contains(p);
         if position.level() < Position::MAX_LEVEL
             && (occupied(position.left_child()) || occupied(position.right_child()))
         {
@@ -176,8 +176,8 @@ impl BatonSystem {
         //    of an insert plan has no position yet, so skip it).
         let mut old_positions = Vec::new();
         for (peer, _) in &plan.assignments {
-            if let Some(node) = self.nodes.get(peer) {
-                if self.by_position.get(&node.position) == Some(peer) {
+            if let Some(node) = self.node(*peer) {
+                if self.by_position.get(node.position) == Some(*peer) {
                     old_positions.push(node.position);
                     self.vacate(node.position, *peer);
                 }
@@ -247,7 +247,7 @@ impl BatonSystem {
         parent_positions.sort_by(|a, b| a.inorder_cmp(*b));
         parent_positions.dedup();
         for parent_pos in parent_positions {
-            if let Some(parent_peer) = self.by_position.get(&parent_pos).copied() {
+            if let Some(parent_peer) = self.by_position.get(parent_pos) {
                 messages += self.broadcast_child_update(op, parent_peer)?;
             }
         }
@@ -266,7 +266,7 @@ impl BatonSystem {
 
         let parent = position
             .parent()
-            .and_then(|pp| self.by_position.get(&pp).copied())
+            .and_then(|pp| self.by_position.get(pp))
             .map(|p| self.link_of(p))
             .transpose()?;
         let left_child = self
@@ -283,7 +283,7 @@ impl BatonSystem {
                 let Some(target) = position.routing_neighbor(side, index) else {
                     continue;
                 };
-                let Some(occupant) = self.by_position.get(&target).copied() else {
+                let Some(occupant) = self.by_position.get(target) else {
                     continue;
                 };
                 let link = self.link_of(occupant)?;
@@ -314,13 +314,13 @@ impl BatonSystem {
     /// entry) and the in-order adjacent peers (recorded position in the
     /// adjacent link).
     pub(crate) fn refresh_links_toward(&mut self, position: Position) -> Result<()> {
-        let Some(occupant) = self.by_position.get(&position).copied() else {
+        let Some(occupant) = self.by_position.get(position) else {
             // The position was vacated: clear the links other nodes held
             // towards it (the parent's child link and the same-level
             // neighbours' table entries).  Child positions cannot be
             // occupied — a vacated position never leaves orphans.
             if let Some(parent_pos) = position.parent() {
-                if let Some(parent_peer) = self.by_position.get(&parent_pos).copied() {
+                if let Some(parent_peer) = self.by_position.get(parent_pos) {
                     let side = position.child_side().expect("non-root");
                     let parent = self.node_mut(parent_peer)?;
                     if parent.child(side).is_some_and(|l| l.position == position) {
@@ -333,7 +333,7 @@ impl BatonSystem {
                     let Some(neighbor_pos) = position.routing_neighbor(side, index) else {
                         continue;
                     };
-                    let Some(neighbor_peer) = self.by_position.get(&neighbor_pos).copied() else {
+                    let Some(neighbor_peer) = self.by_position.get(neighbor_pos) else {
                         continue;
                     };
                     let neighbor = self.node_mut(neighbor_peer)?;
@@ -361,7 +361,7 @@ impl BatonSystem {
 
         // Parent's child link.
         if let Some(parent_pos) = position.parent() {
-            if let Some(parent_peer) = self.by_position.get(&parent_pos).copied() {
+            if let Some(parent_peer) = self.by_position.get(parent_pos) {
                 let side = position.child_side().expect("non-root");
                 let parent = self.node_mut(parent_peer)?;
                 parent.set_child(side, Some(link));
@@ -375,7 +375,7 @@ impl BatonSystem {
         .into_iter()
         .flatten()
         {
-            if let Some(child_peer) = self.by_position.get(&child_pos).copied() {
+            if let Some(child_peer) = self.by_position.get(child_pos) {
                 let child = self.node_mut(child_peer)?;
                 child.parent = Some(link);
             }
@@ -386,7 +386,7 @@ impl BatonSystem {
                 let Some(neighbor_pos) = position.routing_neighbor(side, index) else {
                     continue;
                 };
-                let Some(neighbor_peer) = self.by_position.get(&neighbor_pos).copied() else {
+                let Some(neighbor_peer) = self.by_position.get(neighbor_pos) else {
                     continue;
                 };
                 let neighbor = self.node_mut(neighbor_peer)?;
@@ -399,7 +399,7 @@ impl BatonSystem {
         // Adjacent peers' recorded position/range for the occupant.
         for (adj, side) in [(occ_left_adj, Side::Right), (occ_right_adj, Side::Left)] {
             if let Some(adj_peer) = adj {
-                if let Some(adj_node) = self.nodes.get_mut(&adj_peer) {
+                if let Some(adj_node) = self.node_opt_mut(adj_peer) {
                     adj_node.set_adjacent(side, Some(link));
                 }
             }
@@ -410,7 +410,7 @@ impl BatonSystem {
     /// Resolves an optional position to its occupant's link.
     fn occupant_link(&self, position: Option<Position>) -> Option<Result<NodeLink>> {
         let position = position?;
-        let occupant = self.by_position.get(&position).copied()?;
+        let occupant = self.by_position.get(position)?;
         Some(self.link_of(occupant))
     }
 }
@@ -444,7 +444,7 @@ mod tests {
     #[test]
     fn position_safely_vacatable_matches_leaf_structure() {
         let system = build(20, 1);
-        for peer in system.peers() {
+        for &peer in system.peers() {
             let node = system.node(peer).unwrap();
             let expected = node.can_leave_without_replacement();
             assert_eq!(
@@ -459,7 +459,7 @@ mod tests {
     #[test]
     fn rebuild_structural_links_is_idempotent_on_consistent_state() {
         let mut system = build(40, 2);
-        let peers = system.peers();
+        let peers = system.peers().to_vec();
         for peer in peers {
             let before = system.node(peer).unwrap().clone();
             system.rebuild_structural_links(peer).unwrap();

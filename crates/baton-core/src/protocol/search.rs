@@ -12,6 +12,7 @@ use baton_net::{OpScope, PeerId};
 
 use crate::error::{BatonError, Result};
 use crate::messages::BatonMessage;
+use crate::node::BatonNode;
 use crate::range::{Key, KeyRange};
 use crate::reports::{RangeSearchReport, SearchReport};
 use crate::system::BatonSystem;
@@ -28,6 +29,91 @@ pub(crate) struct OwnerWalk {
     pub hops: u32,
 }
 
+/// Message cost of a count-only query (see
+/// [`BatonSystem::search_exact_count`] /
+/// [`BatonSystem::search_range_count`]): everything the harness plots,
+/// without materialising the matched values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchCostReport {
+    /// Matching values found.
+    pub matches: usize,
+    /// Messages used.
+    pub messages: u64,
+    /// Nodes whose range intersected the query (1 for exact queries).
+    pub nodes_visited: usize,
+}
+
+/// One suspended step of the fault-tolerant DFS walk: the candidates of
+/// `peer` occupy `arena[start..end]` of the shared candidate arena and the
+/// walk has tried the first `next` of them.
+#[derive(Clone, Copy, Debug)]
+struct WalkFrame {
+    peer: PeerId,
+    start: usize,
+    end: usize,
+    next: usize,
+    fallback_added: bool,
+}
+
+/// Reusable buffers of the `locate_owner` walk, carried on the
+/// [`BatonSystem`] so a healthy walk performs no allocation at all:
+///
+/// * `visited` is an epoch-stamped slab over the dense peer-id space — the
+///   DFS visited set without a hash set or a per-walk clear;
+/// * `arena` holds every stack frame's candidate list contiguously (frames
+///   are strictly stack-ordered, so the top frame always owns the arena
+///   tail and fallback extension appends in place);
+/// * `frames` is the DFS stack itself.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WalkScratch {
+    visited: Vec<u32>,
+    epoch: u32,
+    arena: Vec<PeerId>,
+    frames: Vec<WalkFrame>,
+}
+
+impl WalkScratch {
+    /// Prepares the scratch for a fresh walk over `total_peers` peer ids.
+    fn begin(&mut self, total_peers: usize) {
+        self.arena.clear();
+        self.frames.clear();
+        if self.visited.len() < total_peers {
+            self.visited.resize(total_peers, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: old stamps could alias the new epoch, so clear.
+            self.visited.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn mark_visited(&mut self, peer: PeerId) {
+        let index = peer.raw() as usize;
+        if self.visited.len() <= index {
+            self.visited.resize(index + 1, 0);
+        }
+        self.visited[index] = self.epoch;
+    }
+
+    #[inline]
+    fn is_visited(&self, peer: PeerId) -> bool {
+        self.visited.get(peer.raw() as usize) == Some(&self.epoch)
+    }
+}
+
+/// Pushes `candidate` into the frame segment `arena[start..]` unless it is
+/// the owner itself or already present.  Duplicates keep their first (most
+/// useful) slot; the segment is small (O(log N)), so deduplication is a
+/// linear scan, not a hash set.
+#[inline]
+fn push_candidate(arena: &mut Vec<PeerId>, start: usize, owner: PeerId, candidate: PeerId) {
+    if candidate != owner && !arena[start..].contains(&candidate) {
+        arena.push(candidate);
+    }
+}
+
 impl BatonSystem {
     /// Exact-match query issued at a uniformly random node.
     pub fn search_exact(&mut self, key: Key) -> Result<SearchReport> {
@@ -37,12 +123,8 @@ impl BatonSystem {
 
     /// Exact-match query issued at `issuer` (paper §IV-A).
     pub fn search_exact_from(&mut self, issuer: PeerId, key: Key) -> Result<SearchReport> {
-        self.check_alive(issuer)?;
-        self.check_key(key)?;
-        let op = self.net.begin_op("search.exact");
-        let walk = self.locate_owner(op, issuer, key, "search_exact")?;
+        let walk = self.search_exact_walk(issuer, key)?;
         let matches = self.node_ref(walk.owner)?.store.get(key).to_vec();
-        self.net.finish_op(op);
         Ok(SearchReport {
             key,
             owner: walk.owner,
@@ -50,6 +132,35 @@ impl BatonSystem {
             messages: walk.messages,
             hops: walk.hops,
         })
+    }
+
+    /// Exact-match query from a uniformly random node, reporting costs and
+    /// the match count only — the allocation-free variant the generic
+    /// harness and the throughput benches drive.
+    pub fn search_exact_count(&mut self, key: Key) -> Result<SearchCostReport> {
+        let issuer = self.random_peer().ok_or(BatonError::EmptyNetwork)?;
+        let walk = self.search_exact_walk(issuer, key)?;
+        let matches = self.node_ref(walk.owner)?.store.get(key).len();
+        Ok(SearchCostReport {
+            matches,
+            messages: walk.messages,
+            nodes_visited: 1,
+        })
+    }
+
+    /// Routes an exact query to the owner inside a fresh accounting scope.
+    ///
+    /// The scope is finished even when routing fails (an unreachable key on
+    /// an unrecovered network): an unfinished operation at the front of the
+    /// live window would block [`baton_net::MessageStats::retire_finished`]
+    /// for the rest of the run.
+    fn search_exact_walk(&mut self, issuer: PeerId, key: Key) -> Result<OwnerWalk> {
+        self.check_alive(issuer)?;
+        self.check_key(key)?;
+        let op = self.net.begin_op("search.exact");
+        let walk = self.locate_owner(op, issuer, key, "search_exact");
+        self.net.finish_op(op);
+        walk
     }
 
     /// Range query issued at a uniformly random node.
@@ -67,36 +178,83 @@ impl BatonSystem {
         issuer: PeerId,
         range: KeyRange,
     ) -> Result<RangeSearchReport> {
+        let mut matches = Vec::new();
+        let (messages, nodes_visited) = self.range_walk(issuer, range, |node, clamped| {
+            matches.extend(node.store.scan(clamped))
+        })?;
+        Ok(RangeSearchReport {
+            range,
+            matches,
+            messages,
+            nodes_visited,
+        })
+    }
+
+    /// Range query from a uniformly random node, reporting costs and the
+    /// match count only (no value materialisation — the sweep counts keys
+    /// in place).
+    pub fn search_range_count(&mut self, range: KeyRange) -> Result<SearchCostReport> {
+        let issuer = self.random_peer().ok_or(BatonError::EmptyNetwork)?;
+        let mut matches = 0usize;
+        let (messages, nodes_visited) = self.range_walk(issuer, range, |node, clamped| {
+            matches += node.store.count_in(clamped)
+        })?;
+        Ok(SearchCostReport {
+            matches,
+            messages,
+            nodes_visited,
+        })
+    }
+
+    /// The shared range-query engine: routes to the owner of the range's
+    /// lower bound, then sweeps right along adjacent links until the range
+    /// is covered, calling `visit(node, clamped_range)` on every
+    /// intersecting node.  Returns `(messages, nodes_visited)`.
+    fn range_walk<F>(
+        &mut self,
+        issuer: PeerId,
+        range: KeyRange,
+        mut visit: F,
+    ) -> Result<(u64, usize)>
+    where
+        F: FnMut(&BatonNode, KeyRange),
+    {
         self.check_alive(issuer)?;
         let clamped = range.intersection(self.domain);
         if clamped.is_empty() {
-            return Ok(RangeSearchReport {
-                range,
-                matches: Vec::new(),
-                messages: 0,
-                nodes_visited: 0,
-            });
+            return Ok((0, 0));
         }
         let op = self.net.begin_op("search.range");
-        // Find the first intersecting node: route to the owner of the range's
-        // lower bound, exactly like a point query.
+        // The scope is finished even on a routing error, as in
+        // `search_exact_walk`: an unfinished front op would block
+        // retirement for the rest of the run.
+        let result = self.range_walk_in_op(op, issuer, clamped, &mut visit);
+        self.net.finish_op(op);
+        result
+    }
+
+    /// The body of [`range_walk`](Self::range_walk), inside an open scope:
+    /// route to the owner of the range's lower bound (exactly like a point
+    /// query), then sweep right.
+    fn range_walk_in_op(
+        &mut self,
+        op: OpScope,
+        issuer: PeerId,
+        clamped: KeyRange,
+        visit: &mut dyn FnMut(&BatonNode, KeyRange),
+    ) -> Result<(u64, usize)> {
         let walk = self.locate_owner(op, issuer, clamped.low(), "search_range")?;
         let mut messages = walk.messages;
-        let mut matches = Vec::new();
         let mut nodes_visited = 0usize;
         let mut current = walk.owner;
         let limit = self.walk_limit() as usize + self.node_count();
         loop {
-            let (node_range, found, next) = {
+            let (node_range, next) = {
                 let node = self.node_ref(current)?;
-                (
-                    node.range,
-                    node.store.scan(clamped),
-                    node.right_adjacent.map(|l| l.peer),
-                )
+                visit(node, clamped);
+                (node.range, node.right_adjacent.map(|l| l.peer))
             };
             nodes_visited += 1;
-            matches.extend(found);
             if node_range.high() >= clamped.high() {
                 break;
             }
@@ -125,13 +283,7 @@ impl BatonSystem {
                 });
             }
         }
-        self.net.finish_op(op);
-        Ok(RangeSearchReport {
-            range,
-            matches,
-            messages,
-            nodes_visited,
-        })
+        Ok((messages, nodes_visited))
     }
 
     /// `true` if `peer` terminates the walk towards `key`: it owns the key,
@@ -145,25 +297,22 @@ impl BatonSystem {
             || (key < node.range.low() && node.range.low() <= domain.low()))
     }
 
-    /// The greedy candidate links of `peer` for forwarding a query towards
-    /// `key`, most useful first — exactly the §IV-A order: the sideways
-    /// routing-table entries that do not overshoot the key (farthest first,
-    /// each followed by its recorded children as the §III-D detour), then
-    /// the key-side child, adjacent and parent links.  A healthy walk always
-    /// follows the first candidate, so this order alone reproduces the
-    /// paper's message counts.
-    ///
-    /// Duplicates keep their first (most useful) slot; the list is small
-    /// (O(log N)), so deduplication is a linear scan, not a hash set.
-    fn walk_candidates(&self, peer: PeerId, key: Key) -> Result<Vec<PeerId>> {
+    /// Appends the greedy candidate links of `peer` for forwarding a query
+    /// towards `key` to `arena[start..]`, most useful first — exactly the
+    /// §IV-A order: the sideways routing-table entries that do not overshoot
+    /// the key (farthest first, each followed by its recorded children as
+    /// the §III-D detour), then the key-side child, adjacent and parent
+    /// links.  A healthy walk always follows the first candidate, so this
+    /// order alone reproduces the paper's message counts.
+    fn push_walk_candidates(
+        &self,
+        peer: PeerId,
+        key: Key,
+        arena: &mut Vec<PeerId>,
+        start: usize,
+    ) -> Result<()> {
         let node = self.node_ref(peer)?;
         let towards_right = key >= node.range.high();
-        let mut candidates: Vec<PeerId> = Vec::new();
-        let push = |candidates: &mut Vec<PeerId>, p: PeerId| {
-            if p != peer && !candidates.contains(&p) {
-                candidates.push(p);
-            }
-        };
 
         // 1. Matching key-side entries, farthest first (§IV-A greedy order).
         let near_table = if towards_right {
@@ -171,20 +320,16 @@ impl BatonSystem {
         } else {
             &node.left_table
         };
-        let mut matching: Vec<&crate::routing::RoutingEntry> = near_table
-            .iter()
-            .filter(|(_, e)| {
-                if towards_right {
-                    e.link.range.low() <= key
-                } else {
-                    e.link.range.high() > key
-                }
-            })
-            .map(|(_, e)| e)
-            .collect();
-        matching.reverse();
-        for entry in matching {
-            push(&mut candidates, entry.link.peer);
+        for (_, entry) in near_table.iter().rev() {
+            let matching = if towards_right {
+                entry.link.range.low() <= key
+            } else {
+                entry.link.range.high() > key
+            };
+            if !matching {
+                continue;
+            }
+            push_candidate(arena, start, peer, entry.link.peer);
             // §III-D detour: if the neighbour is unreachable, its children
             // (recorded in the entry) still lead towards the key.
             let (first, second) = if towards_right {
@@ -192,8 +337,9 @@ impl BatonSystem {
             } else {
                 (entry.left_child, entry.right_child)
             };
-            first.into_iter().for_each(|p| push(&mut candidates, p));
-            second.into_iter().for_each(|p| push(&mut candidates, p));
+            for candidate in first.into_iter().chain(second) {
+                push_candidate(arena, start, peer, candidate);
+            }
         }
 
         // 2. Key-side child, adjacent and parent links.
@@ -203,47 +349,36 @@ impl BatonSystem {
             (node.left_child, node.left_adjacent)
         };
         for link in [child, adjacent, node.parent].into_iter().flatten() {
-            push(&mut candidates, link.peer);
+            push_candidate(arena, start, peer, link.peer);
         }
-        Ok(candidates)
+        Ok(())
     }
 
-    /// The §III-D *fallback* candidates of `peer`: every remaining link —
-    /// overshooting key-side table entries (nearest first, with their
-    /// recorded children), the away-side child/adjacent links and the
-    /// away-side table — so that when failures block every greedy candidate
-    /// the walk can still detour through any live neighbour rather than
-    /// give up.
+    /// Appends the §III-D *fallback* candidates of `peer` to
+    /// `arena[start..]`: every remaining link — overshooting key-side table
+    /// entries (nearest first, with their recorded children), the away-side
+    /// child/adjacent links and the away-side table — so that when failures
+    /// block every greedy candidate the walk can still detour through any
+    /// live neighbour rather than give up.
     ///
     /// Computed lazily, only when the greedy candidates of
-    /// [`walk_candidates`](Self::walk_candidates) are exhausted (i.e. a
-    /// failure was actually hit); `existing` is the greedy list, used to
-    /// drop duplicates.
-    fn walk_fallback_candidates(
+    /// [`push_walk_candidates`](Self::push_walk_candidates) are exhausted
+    /// (i.e. a failure was actually hit); `arena[start..]` already holds the
+    /// greedy list, which the shared dedup naturally skips.
+    fn push_fallback_candidates(
         &self,
         peer: PeerId,
         key: Key,
-        existing: &[PeerId],
-    ) -> Result<Vec<PeerId>> {
+        arena: &mut Vec<PeerId>,
+        start: usize,
+    ) -> Result<()> {
         let node = self.node_ref(peer)?;
         let towards_right = key >= node.range.high();
-        let mut seen: std::collections::HashSet<PeerId> = existing.iter().copied().collect();
-        seen.insert(peer);
-        let mut candidates: Vec<PeerId> = Vec::new();
-        let mut push = |candidates: &mut Vec<PeerId>, p: PeerId| {
-            if seen.insert(p) {
-                candidates.push(p);
+        let push_entry = |arena: &mut Vec<PeerId>, entry: &crate::routing::RoutingEntry| {
+            push_candidate(arena, start, peer, entry.link.peer);
+            for candidate in entry.left_child.into_iter().chain(entry.right_child) {
+                push_candidate(arena, start, peer, candidate);
             }
-        };
-        let push_entry = |candidates: &mut Vec<PeerId>,
-                          push: &mut dyn FnMut(&mut Vec<PeerId>, PeerId),
-                          entry: &crate::routing::RoutingEntry| {
-            push(candidates, entry.link.peer);
-            entry
-                .left_child
-                .into_iter()
-                .chain(entry.right_child)
-                .for_each(|p| push(candidates, p));
         };
 
         let (near_table, far_table) = if towards_right {
@@ -255,7 +390,7 @@ impl BatonSystem {
         // Overshooting key-side entries, nearest first — they land past the
         // key, from where the walk can come back.
         for (_, entry) in near_table.iter() {
-            push_entry(&mut candidates, &mut push, entry);
+            push_entry(arena, entry);
         }
 
         // The away side of the node, nearest first.
@@ -265,12 +400,12 @@ impl BatonSystem {
             (node.right_child, node.right_adjacent)
         };
         for link in [child, adjacent].into_iter().flatten() {
-            push(&mut candidates, link.peer);
+            push_candidate(arena, start, peer, link.peer);
         }
         for (_, entry) in far_table.iter() {
-            push_entry(&mut candidates, &mut push, entry);
+            push_entry(arena, entry);
         }
-        Ok(candidates)
+        Ok(())
     }
 
     /// Routes from `issuer` towards the node owning `key`, following the
@@ -298,10 +433,6 @@ impl BatonSystem {
         key: Key,
         operation: &'static str,
     ) -> Result<OwnerWalk> {
-        // A DFS visits every live node at most once and every link at most
-        // twice (forward try + backtrack), so this budget is a safety net
-        // against bookkeeping bugs, not a tuning knob.
-        let message_budget = (self.walk_limit() as u64) * 4 + 4 * self.node_count() as u64;
         if self.walk_terminates_at(issuer, key)? {
             return Ok(OwnerWalk {
                 owner: issuer,
@@ -309,53 +440,79 @@ impl BatonSystem {
                 hops: 0,
             });
         }
-        struct Frame {
-            peer: PeerId,
-            candidates: Vec<PeerId>,
-            next: usize,
-            fallback_added: bool,
-        }
-        let new_frame = |peer: PeerId, candidates: Vec<PeerId>| Frame {
-            peer,
-            candidates,
+        // Borrow juggling: the scratch buffers live on the system but the
+        // walk also sends messages through `self`, so take them out for the
+        // duration of the walk and put them back whatever the outcome.
+        let mut scratch = std::mem::take(&mut self.walk_scratch);
+        let result = self.locate_owner_walk(op, issuer, key, operation, &mut scratch);
+        self.walk_scratch = scratch;
+        result
+    }
+
+    /// The DFS itself, running entirely inside `scratch` (see
+    /// [`WalkScratch`]): no allocation on a healthy walk after the buffers
+    /// have warmed up.
+    fn locate_owner_walk(
+        &mut self,
+        op: OpScope,
+        issuer: PeerId,
+        key: Key,
+        operation: &'static str,
+        scratch: &mut WalkScratch,
+    ) -> Result<OwnerWalk> {
+        // A DFS visits every live node at most once and every link at most
+        // twice (forward try + backtrack), so this budget is a safety net
+        // against bookkeeping bugs, not a tuning knob.
+        let message_budget = (self.walk_limit() as u64) * 4 + 4 * self.node_count() as u64;
+        scratch.begin(self.net.peers().total());
+        scratch.mark_visited(issuer);
+        self.push_walk_candidates(issuer, key, &mut scratch.arena, 0)?;
+        scratch.frames.push(WalkFrame {
+            peer: issuer,
+            start: 0,
+            end: scratch.arena.len(),
             next: 0,
             fallback_added: false,
-        };
-        let mut visited = std::collections::HashSet::from([issuer]);
-        let mut stack = vec![new_frame(issuer, self.walk_candidates(issuer, key)?)];
+        });
         let mut messages = 0u64;
         let mut hops = 0u32;
         loop {
-            let top = stack.last_mut().expect("stack never drains in the loop");
+            let top = *scratch
+                .frames
+                .last()
+                .expect("stack never drains in the loop");
             let current = top.peer;
-            let Some(&candidate) = top.candidates.get(top.next) else {
+            let next_index = top.start + top.next;
+            let candidate = (next_index < top.end).then(|| scratch.arena[next_index]);
+            let Some(candidate) = candidate else {
                 if !top.fallback_added {
                     // The greedy candidates are exhausted (a failure was
                     // actually hit): extend with the full §III-D fallback
                     // link set, computed lazily so healthy hops never pay
-                    // for it.
-                    top.fallback_added = true;
-                    let greedy = std::mem::take(&mut top.candidates);
-                    let mut all = greedy;
-                    let fallback = self.walk_fallback_candidates(current, key, &all)?;
-                    all.extend(fallback);
-                    let top = stack.last_mut().expect("unchanged");
-                    top.candidates = all;
+                    // for it.  The top frame owns the arena tail, so the
+                    // fallback candidates append in place.
+                    debug_assert_eq!(top.end, scratch.arena.len());
+                    self.push_fallback_candidates(current, key, &mut scratch.arena, top.start)?;
+                    let frame = scratch.frames.last_mut().expect("unchanged");
+                    frame.fallback_added = true;
+                    frame.end = scratch.arena.len();
                     continue;
                 }
                 // Every candidate of `current` is dead or already explored:
                 // hand the request back to the node it came from.
-                let exhausted = stack.pop().expect("just peeked");
-                let Some(previous) = stack.last() else {
+                let exhausted = scratch.frames.pop().expect("just peeked");
+                scratch.arena.truncate(exhausted.start);
+                let Some(previous) = scratch.frames.last() else {
                     // The issuer itself is out of options: the key is
                     // unreachable until the failures are repaired.
                     return Err(BatonError::PeerNotAlive(exhausted.peer));
                 };
+                let previous_peer = previous.peer;
                 hops += 1;
                 self.hop(
                     op,
                     exhausted.peer,
-                    previous.peer,
+                    previous_peer,
                     hops,
                     BatonMessage::SearchExact { key, issuer },
                 )?;
@@ -365,8 +522,8 @@ impl BatonSystem {
                 }
                 continue;
             };
-            top.next += 1;
-            if visited.contains(&candidate) {
+            scratch.frames.last_mut().expect("unchanged").next += 1;
+            if scratch.is_visited(candidate) {
                 continue;
             }
             let delivered = self.hop(
@@ -383,7 +540,7 @@ impl BatonSystem {
             if !delivered {
                 continue;
             }
-            visited.insert(candidate);
+            scratch.mark_visited(candidate);
             hops += 1;
             if self.walk_terminates_at(candidate, key)? {
                 return Ok(OwnerWalk {
@@ -392,8 +549,15 @@ impl BatonSystem {
                     hops,
                 });
             }
-            let candidates = self.walk_candidates(candidate, key)?;
-            stack.push(new_frame(candidate, candidates));
+            let start = scratch.arena.len();
+            self.push_walk_candidates(candidate, key, &mut scratch.arena, start)?;
+            scratch.frames.push(WalkFrame {
+                peer: candidate,
+                start,
+                end: scratch.arena.len(),
+                next: 0,
+                fallback_added: false,
+            });
         }
     }
 }
@@ -443,7 +607,7 @@ mod tests {
         // at the node whose range contains the key.
         let keys = [1u64, 999_999_999 - 1, 500_000_000, 123_456_789, 42];
         for key in keys {
-            for issuer in system.peers() {
+            for issuer in system.peers().to_vec() {
                 let report = system.search_exact_from(issuer, key).unwrap();
                 let owner_node = system.node(report.owner).unwrap();
                 assert!(
@@ -531,6 +695,40 @@ mod tests {
         assert!(empty.matches.is_empty());
         assert_eq!(empty.messages, 0);
         assert_eq!(empty.nodes_visited, 0);
+    }
+
+    #[test]
+    fn failed_search_still_finishes_its_op_so_retirement_drains() {
+        // Kill every peer except one issuer: the walk cannot reach keys
+        // owned by the dead peers and errors out.  The errored operation
+        // must still be finished — an unfinished op at the front of the
+        // live window would block `retire_finished` for the rest of the
+        // run.
+        let mut system = build(8, 21);
+        let peers = system.peers().to_vec();
+        let issuer = peers[0];
+        for peer in &peers[1..] {
+            system.net.fail_peer(*peer);
+        }
+        let victim_key = {
+            let survivor = system.node(issuer).unwrap().range;
+            // Any key outside the survivor's range is owned by a dead peer.
+            if survivor.low() > system.domain().low() {
+                system.domain().low()
+            } else {
+                survivor.high()
+            }
+        };
+        assert!(system.search_exact_from(issuer, victim_key).is_err());
+        assert!(system
+            .search_range_from(issuer, KeyRange::new(victim_key, victim_key + 1))
+            .is_err());
+        system.stats_mut().retire_finished();
+        assert_eq!(
+            system.stats().live_op_count(),
+            0,
+            "errored searches left unfinished ops behind"
+        );
     }
 
     #[test]

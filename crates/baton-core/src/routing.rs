@@ -126,11 +126,10 @@ impl RoutingTable {
         self.owner.routing_neighbor(self.side, index)
     }
 
-    /// Indices of the slots whose target position is in range.
-    pub fn valid_indices(&self) -> Vec<usize> {
-        (0..self.slot_count())
-            .filter(|&i| self.target_position(i).is_some())
-            .collect()
+    /// Iterates over the indices of the slots whose target position is in
+    /// range, without allocating — the form the protocol hot loops use.
+    pub fn valid_slot_indices(&self) -> impl DoubleEndedIterator<Item = usize> + '_ {
+        (0..self.slot_count()).filter(|&i| self.target_position(i).is_some())
     }
 
     /// The entry in slot `index`, if set.
@@ -182,7 +181,7 @@ impl RoutingTable {
     /// `true` if every *valid* slot holds an entry (the fullness condition
     /// of Theorem 1 and Algorithm 1).
     pub fn is_full(&self) -> bool {
-        (0..self.slot_count()).all(|i| self.target_position(i).is_none() || self.slots[i].is_some())
+        self.valid_slot_indices().all(|i| self.slots[i].is_some())
     }
 
     /// Number of slots currently holding an entry.
@@ -191,12 +190,22 @@ impl RoutingTable {
     }
 
     /// Iterates over `(index, entry)` for every occupied slot, nearest
-    /// neighbour first.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &RoutingEntry)> + '_ {
+    /// neighbour first (reversible: `.rev()` walks farthest first, which is
+    /// how the search hot path builds its greedy candidate order).
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = (usize, &RoutingEntry)> + '_ {
         self.slots
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+    }
+
+    /// Iterates mutably over `(index, entry)` for every occupied slot,
+    /// nearest neighbour first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut RoutingEntry)> + '_ {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|e| (i, e)))
     }
 
     /// The entry pointing at `position`, if present.
@@ -212,7 +221,7 @@ impl RoutingTable {
     /// The farthest occupied entry (largest index), if any.  Used by the
     /// search algorithms which greedily jump as far as possible.
     pub fn farthest(&self) -> Option<(usize, &RoutingEntry)> {
-        self.iter().last()
+        self.iter().next_back()
     }
 
     /// The farthest occupied entry satisfying `pred`.
@@ -220,7 +229,7 @@ impl RoutingTable {
     where
         F: FnMut(&RoutingEntry) -> bool,
     {
-        self.iter().filter(|(_, e)| pred(e)).last()
+        self.iter().rev().find(|(_, e)| pred(e))
     }
 
     /// The nearest occupied entry satisfying `pred`.
@@ -268,8 +277,11 @@ mod tests {
         let right = RoutingTable::new(Side::Right, owner);
         assert_eq!(left.slot_count(), 3);
         assert_eq!(right.slot_count(), 3);
-        assert!(left.valid_indices().is_empty());
-        assert_eq!(right.valid_indices(), vec![0, 1, 2]);
+        assert_eq!(left.valid_slot_indices().count(), 0);
+        assert_eq!(
+            right.valid_slot_indices().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(right.target_position(0), Some(Position::new(3, 2)));
         assert_eq!(right.target_position(2), Some(Position::new(3, 5)));
         // A table with no valid slots is trivially full.
@@ -406,7 +418,7 @@ mod tests {
         let table = RoutingTable::new(Side::Left, Position::ROOT);
         assert_eq!(table.slot_count(), 0);
         assert!(table.is_full());
-        assert!(table.valid_indices().is_empty());
+        assert_eq!(table.valid_slot_indices().count(), 0);
         assert!(table.farthest().is_none());
     }
 }

@@ -20,8 +20,6 @@
 //! handshakes peer by peer adds no fidelity to the message counts the paper
 //! reports.
 
-use std::collections::HashMap;
-
 use baton_net::{Histogram, LatencyModel, OpScope, PeerId, SimNetwork, SimRng, SimTime};
 
 use crate::config::BatonConfig;
@@ -32,23 +30,102 @@ use crate::position::{Position, Side};
 use crate::range::{Key, KeyRange};
 use crate::routing::NodeLink;
 
+/// Dense position-to-peer index: one vector per tree level, indexed by the
+/// position number within the level.
+///
+/// BATON keeps the tree balanced, so the occupied positions of an `N`-node
+/// overlay span `O(N)` slots across `O(log N)` levels — dense rows cost the
+/// same order of memory as a hash map while every occupancy probe (several
+/// per restructuring step) is two array indexes.  Rows grow lazily to the
+/// highest number occupied on their level.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PositionMap {
+    levels: Vec<Vec<Option<PeerId>>>,
+    /// Occupied positions per level, so the tree height — consulted by
+    /// every search walk for its loop budget — is an O(levels) scan
+    /// instead of an O(N) sweep over the nodes.
+    occupied: Vec<usize>,
+}
+
+impl PositionMap {
+    /// The peer occupying `position`, if any.
+    #[inline]
+    pub(crate) fn get(&self, position: Position) -> Option<PeerId> {
+        *self
+            .levels
+            .get(position.level() as usize)?
+            .get((position.number() - 1) as usize)?
+    }
+
+    /// `true` if `position` is occupied.
+    #[inline]
+    pub(crate) fn contains(&self, position: Position) -> bool {
+        self.get(position).is_some()
+    }
+
+    /// Records that `peer` occupies `position`.
+    pub(crate) fn insert(&mut self, position: Position, peer: PeerId) {
+        let level = position.level() as usize;
+        if self.levels.len() <= level {
+            self.levels.resize_with(level + 1, Vec::new);
+            self.occupied.resize(level + 1, 0);
+        }
+        let row = &mut self.levels[level];
+        let index = (position.number() - 1) as usize;
+        if row.len() <= index {
+            row.resize(index + 1, None);
+        }
+        if row[index].is_none() {
+            self.occupied[level] += 1;
+        }
+        row[index] = Some(peer);
+    }
+
+    /// Clears the occupancy record of `position`.
+    pub(crate) fn remove(&mut self, position: Position) {
+        if let Some(row) = self.levels.get_mut(position.level() as usize) {
+            if let Some(slot) = row.get_mut((position.number() - 1) as usize) {
+                if slot.take().is_some() {
+                    self.occupied[position.level() as usize] -= 1;
+                }
+            }
+        }
+    }
+
+    /// `1 + deepest occupied level` (0 when nothing is occupied).
+    pub(crate) fn height(&self) -> u32 {
+        self.occupied
+            .iter()
+            .rposition(|&count| count > 0)
+            .map(|level| level as u32 + 1)
+            .unwrap_or(0)
+    }
+}
+
 /// One BATON overlay: peers, their tree state, and the simulated network.
 #[derive(Debug)]
 pub struct BatonSystem {
     pub(crate) net: SimNetwork<BatonMessage>,
-    pub(crate) nodes: HashMap<PeerId, BatonNode>,
+    /// Node state, slab-indexed by the dense peer id ([`PeerId::raw`]).
+    /// Departed/failed peers leave `None` slots behind; ids are never
+    /// reused (see [`baton_net::PeerRegistry`]).
+    pub(crate) nodes: Vec<Option<BatonNode>>,
     /// Every live peer, kept sorted by [`PeerId`], so uniform sampling is an
     /// O(1) index instead of a collect-and-sort over the node map.  The
     /// sorted order matters: it is the order the pre-event-engine
     /// `random_peer` sampled from, so seeded experiments keep producing the
     /// exact message counts of the seed figures.
     pub(crate) peer_list: Vec<PeerId>,
-    pub(crate) by_position: HashMap<Position, PeerId>,
+    pub(crate) by_position: PositionMap,
     pub(crate) root: Option<PeerId>,
     pub(crate) config: BatonConfig,
     pub(crate) domain: KeyRange,
     pub(crate) rng: SimRng,
     pub(crate) balance_shift_sizes: Histogram,
+    /// Reusable buffers for the fault-tolerant search walk (see
+    /// [`crate::protocol::search`]); carried here so a walk allocates
+    /// nothing in steady state.
+    pub(crate) walk_scratch: crate::protocol::search::WalkScratch,
 }
 
 impl BatonSystem {
@@ -56,14 +133,15 @@ impl BatonSystem {
     pub fn new(config: BatonConfig, seed: u64) -> Self {
         Self {
             net: SimNetwork::new(),
-            nodes: HashMap::new(),
+            nodes: Vec::new(),
             peer_list: Vec::new(),
-            by_position: HashMap::new(),
+            by_position: PositionMap::default(),
             root: None,
             domain: config.domain,
             config,
             rng: SimRng::seeded(seed),
             balance_shift_sizes: Histogram::new(),
+            walk_scratch: Default::default(),
         }
     }
 
@@ -76,7 +154,7 @@ impl BatonSystem {
     ///
     /// Returns an error if the overlay already has nodes.
     pub fn bootstrap(&mut self) -> Result<PeerId> {
-        if !self.nodes.is_empty() {
+        if !self.is_empty() {
             return Err(BatonError::InvariantViolation(
                 "bootstrap called on a non-empty overlay".into(),
             ));
@@ -111,12 +189,12 @@ impl BatonSystem {
 
     /// Number of live nodes in the overlay.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.peer_list.len()
     }
 
     /// `true` if the overlay has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.peer_list.is_empty()
     }
 
     /// The peer currently occupying the root position, if any.
@@ -136,33 +214,39 @@ impl BatonSystem {
     }
 
     /// Read access to a node's state.
+    #[inline]
     pub fn node(&self, peer: PeerId) -> Option<&BatonNode> {
-        self.nodes.get(&peer)
+        self.nodes.get(peer.raw() as usize)?.as_ref()
     }
 
     /// The peer occupying a logical position, if any.
     pub fn peer_at(&self, position: Position) -> Option<PeerId> {
-        self.by_position.get(&position).copied()
+        self.by_position.get(position)
     }
 
-    /// All live peers, in unspecified order.
-    pub fn peers(&self) -> Vec<PeerId> {
-        self.nodes.keys().copied().collect()
+    /// All live peers, sorted by id — a borrowed view of the sampling list,
+    /// cloned by callers that mutate the overlay while iterating.
+    pub fn peers(&self) -> &[PeerId] {
+        &self.peer_list
+    }
+
+    /// Iterates over every live node, in peer-id order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (PeerId, &BatonNode)> + '_ {
+        self.peer_list
+            .iter()
+            .filter_map(|p| self.node(*p).map(|n| (*p, n)))
     }
 
     /// Height of the tree: `1 + max level` of any occupied position
-    /// (an empty overlay has height 0).
+    /// (an empty overlay has height 0).  O(levels), from the per-level
+    /// occupancy counters of the position map.
     pub fn height(&self) -> u32 {
-        self.nodes
-            .values()
-            .map(|n| n.position.level() + 1)
-            .max()
-            .unwrap_or(0)
+        self.by_position.height()
     }
 
     /// Total number of data items stored across all nodes.
     pub fn total_items(&self) -> usize {
-        self.nodes.values().map(|n| n.store.len()).sum()
+        self.iter_nodes().map(|(_, n)| n.store.len()).sum()
     }
 
     /// Network statistics (message counts per kind, per peer, per op).
@@ -214,19 +298,22 @@ impl BatonSystem {
     /// Number of messages received by each peer, grouped by tree level —
     /// the per-level access load of Figure 8(f).
     pub fn access_load_by_level(&self) -> Vec<(u32, f64)> {
-        let mut per_level: HashMap<u32, (u64, u64)> = HashMap::new();
-        for (peer, node) in &self.nodes {
-            let received = self.net.stats().received_count(*peer);
-            let entry = per_level.entry(node.position.level()).or_insert((0, 0));
-            entry.0 += received;
-            entry.1 += 1;
+        let mut per_level: Vec<(u64, u64)> = Vec::new();
+        for (peer, node) in self.iter_nodes() {
+            let received = self.net.stats().received_count(peer);
+            let level = node.position.level() as usize;
+            if per_level.len() <= level {
+                per_level.resize(level + 1, (0, 0));
+            }
+            per_level[level].0 += received;
+            per_level[level].1 += 1;
         }
-        let mut levels: Vec<(u32, f64)> = per_level
+        per_level
             .into_iter()
-            .map(|(level, (msgs, count))| (level, msgs as f64 / count.max(1) as f64))
-            .collect();
-        levels.sort_unstable_by_key(|(l, _)| *l);
-        levels
+            .enumerate()
+            .filter(|(_, (_, count))| *count > 0)
+            .map(|(level, (msgs, count))| (level as u32, msgs as f64 / count as f64))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -241,28 +328,43 @@ impl BatonSystem {
             Ok(_) => {} // re-registration (e.g. a replacement re-inserted)
             Err(idx) => self.peer_list.insert(idx, peer),
         }
-        self.nodes.insert(peer, node);
+        let index = peer.raw() as usize;
+        if self.nodes.len() <= index {
+            self.nodes.resize_with(index + 1, || None);
+        }
+        self.nodes[index] = Some(node);
     }
 
-    /// Removes `peer` from the node map and the sampling list, returning its
-    /// node state.
+    /// Removes `peer` from the node slab and the sampling list, returning
+    /// its node state.  The slab slot stays behind as a hole — peer ids are
+    /// never reused.
     pub(crate) fn unregister_node(&mut self, peer: PeerId) -> Option<BatonNode> {
         if let Ok(idx) = self.peer_list.binary_search(&peer) {
             self.peer_list.remove(idx);
         }
-        self.nodes.remove(&peer)
+        self.nodes.get_mut(peer.raw() as usize)?.take()
     }
 
     /// Read access to a node, as a [`Result`].
+    #[inline]
     pub(crate) fn node_ref(&self, peer: PeerId) -> Result<&BatonNode> {
-        self.nodes.get(&peer).ok_or(BatonError::UnknownPeer(peer))
+        self.node(peer).ok_or(BatonError::UnknownPeer(peer))
     }
 
     /// Mutable access to a node, as a [`Result`].
+    #[inline]
     pub(crate) fn node_mut(&mut self, peer: PeerId) -> Result<&mut BatonNode> {
         self.nodes
-            .get_mut(&peer)
+            .get_mut(peer.raw() as usize)
+            .and_then(Option::as_mut)
             .ok_or(BatonError::UnknownPeer(peer))
+    }
+
+    /// Mutable access to a node, or `None` — the slab-indexed equivalent of
+    /// the old `nodes.get_mut(&peer)`.
+    #[inline]
+    pub(crate) fn node_opt_mut(&mut self, peer: PeerId) -> Option<&mut BatonNode> {
+        self.nodes.get_mut(peer.raw() as usize)?.as_mut()
     }
 
     /// The current link (address, position, range) of `peer`.
@@ -313,8 +415,8 @@ impl BatonSystem {
 
     /// Removes the occupancy record for `position` if it is held by `peer`.
     pub(crate) fn vacate(&mut self, position: Position, peer: PeerId) {
-        if self.by_position.get(&position) == Some(&peer) {
-            self.by_position.remove(&position);
+        if self.by_position.get(position) == Some(peer) {
+            self.by_position.remove(position);
             if position.is_root() && self.root == Some(peer) {
                 self.root = None;
             }
@@ -335,7 +437,7 @@ impl BatonSystem {
         for other in linked {
             self.notify(op, "table.range_update", peer, other);
             messages += 1;
-            if let Some(other_node) = self.nodes.get_mut(&other) {
+            if let Some(other_node) = self.node_opt_mut(other) {
                 other_node.update_link_range(peer, range);
             }
         }
@@ -366,7 +468,7 @@ impl BatonSystem {
         for other in neighbors {
             self.notify(op, "table.child_update", peer, other);
             messages += 1;
-            if let Some(other_node) = self.nodes.get_mut(&other) {
+            if let Some(other_node) = self.node_opt_mut(other) {
                 other_node.update_neighbor_children(peer, left_child, right_child);
             }
         }
@@ -393,7 +495,7 @@ impl BatonSystem {
         for other in linked {
             self.notify(op, "table.child_update", peer, other);
             messages += 1;
-            if let Some(other_node) = self.nodes.get_mut(&other) {
+            if let Some(other_node) = self.node_opt_mut(other) {
                 other_node.update_link_range(peer, range);
                 other_node.update_neighbor_children(peer, left_child, right_child);
             }
@@ -413,7 +515,7 @@ impl BatonSystem {
 
     /// Ensures `peer` is a live member of the overlay.
     pub(crate) fn check_alive(&self, peer: PeerId) -> Result<()> {
-        if !self.nodes.contains_key(&peer) {
+        if self.node(peer).is_none() {
             return Err(BatonError::UnknownPeer(peer));
         }
         if !self.net.is_alive(peer) {

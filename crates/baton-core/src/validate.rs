@@ -48,18 +48,19 @@ fn violation(msg: String) -> BatonError {
 /// The O(1)-sampling peer list must mirror the node map exactly and stay
 /// sorted (the sampling order the seed figures were produced with).
 fn check_peer_list(system: &BatonSystem) -> Result<()> {
-    if system.peer_list.len() != system.nodes.len() {
+    let live_slots = system.nodes.iter().filter(|n| n.is_some()).count();
+    if system.peer_list.len() != live_slots {
         return Err(violation(format!(
-            "peer list has {} entries but the node map has {}",
+            "peer list has {} entries but the node slab holds {} live nodes",
             system.peer_list.len(),
-            system.nodes.len()
+            live_slots
         )));
     }
     if !system.peer_list.is_sorted() {
         return Err(violation("peer list is not sorted".into()));
     }
     for peer in &system.peer_list {
-        if !system.nodes.contains_key(peer) {
+        if system.node(*peer).is_none() {
             return Err(violation(format!("peer list entry {peer} has no node")));
         }
     }
@@ -67,7 +68,7 @@ fn check_peer_list(system: &BatonSystem) -> Result<()> {
 }
 
 fn check_position_bookkeeping(system: &BatonSystem) -> Result<()> {
-    for peer in system.peers() {
+    for &peer in system.peers() {
         let node = system.node(peer).unwrap();
         if node.peer != peer {
             return Err(violation(format!(
@@ -111,7 +112,7 @@ fn check_position_bookkeeping(system: &BatonSystem) -> Result<()> {
 }
 
 fn check_tree_links(system: &BatonSystem) -> Result<()> {
-    for peer in system.peers() {
+    for &peer in system.peers() {
         let node = system.node(peer).unwrap();
         let position = node.position;
         // Parent.
@@ -189,7 +190,7 @@ fn check_balance(system: &BatonSystem) -> Result<()> {
         }
         1 + height(system, position.left_child()).max(height(system, position.right_child()))
     }
-    for peer in system.peers() {
+    for &peer in system.peers() {
         let position = system.node(peer).unwrap().position;
         let left = height(system, position.left_child());
         let right = height(system, position.right_child());
@@ -203,7 +204,7 @@ fn check_balance(system: &BatonSystem) -> Result<()> {
 }
 
 fn check_theorem1(system: &BatonSystem) -> Result<()> {
-    for peer in system.peers() {
+    for &peer in system.peers() {
         let node = system.node(peer).unwrap();
         if !node.is_leaf() && !node.tables_full() {
             return Err(violation(format!(
@@ -216,7 +217,7 @@ fn check_theorem1(system: &BatonSystem) -> Result<()> {
 }
 
 fn check_routing_tables(system: &BatonSystem) -> Result<()> {
-    for peer in system.peers() {
+    for &peer in system.peers() {
         let node = system.node(peer).unwrap();
         let position = node.position;
         for side in Side::BOTH {
@@ -276,7 +277,7 @@ fn check_routing_tables(system: &BatonSystem) -> Result<()> {
 fn check_adjacency_and_ranges(system: &BatonSystem) -> Result<()> {
     // Sort all nodes by in-order position: this is the expected adjacency
     // chain and also the expected range order.
-    let mut peers = system.peers();
+    let mut peers = system.peers().to_vec();
     peers.sort_by(|a, b| {
         system
             .node(*a)
@@ -334,7 +335,7 @@ fn check_adjacency_and_ranges(system: &BatonSystem) -> Result<()> {
     }
 
     // Every link records the target's actual range and position.
-    for peer in system.peers() {
+    for &peer in system.peers() {
         let node = system.node(peer).unwrap();
         let links = [
             ("parent", node.parent),
@@ -370,7 +371,7 @@ fn check_adjacency_and_ranges(system: &BatonSystem) -> Result<()> {
 }
 
 fn check_data_placement(system: &BatonSystem) -> Result<()> {
-    for peer in system.peers() {
+    for &peer in system.peers() {
         let node = system.node(peer).unwrap();
         if let Some(min) = node.store.min_key() {
             if !node.range.contains(min) {
@@ -418,7 +419,7 @@ mod tests {
         let mut system = BatonSystem::build(BatonConfig::default(), 1, 8).unwrap();
         let peer = system.peers()[0];
         {
-            let node = system.nodes.get_mut(&peer).unwrap();
+            let node = system.node_opt_mut(peer).unwrap();
             node.range = KeyRange::new(0, 1);
         }
         assert!(validate(&system).is_err());
@@ -427,10 +428,10 @@ mod tests {
     #[test]
     fn detects_corrupted_adjacency() {
         let mut system = BatonSystem::build(BatonConfig::default(), 2, 8).unwrap();
-        let peers = system.peers();
+        let peers = system.peers().to_vec();
         let a = peers[0];
         {
-            let node = system.nodes.get_mut(&a).unwrap();
+            let node = system.node_opt_mut(a).unwrap();
             node.left_adjacent = None;
             node.right_adjacent = None;
         }
@@ -443,14 +444,15 @@ mod tests {
         // Find a node with at least one routing entry and corrupt its range.
         let victim = system
             .peers()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|p| {
                 let n = system.node(*p).unwrap();
                 n.left_table.occupied_count() + n.right_table.occupied_count() > 0
             })
             .unwrap();
         {
-            let node = system.nodes.get_mut(&victim).unwrap();
+            let node = system.node_opt_mut(victim).unwrap();
             'outer: for side in Side::BOTH {
                 let table = node.table_mut(side);
                 for i in 0..table.slot_count() {
@@ -469,7 +471,8 @@ mod tests {
         let mut system = BatonSystem::build(BatonConfig::default(), 4, 12).unwrap();
         let parent_of_someone = system
             .peers()
-            .into_iter()
+            .iter()
+            .copied()
             .find(|p| !system.node(*p).unwrap().is_leaf())
             .unwrap();
         {
@@ -478,7 +481,7 @@ mod tests {
                 Position::new(5, 1),
                 KeyRange::new(0, 1),
             );
-            let node = system.nodes.get_mut(&parent_of_someone).unwrap();
+            let node = system.node_opt_mut(parent_of_someone).unwrap();
             if node.left_child.is_some() {
                 node.left_child = Some(fake);
             } else {

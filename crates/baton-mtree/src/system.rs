@@ -102,6 +102,10 @@ pub struct MTreeOpReport {
 pub struct MTreeSystem {
     net: SimNetwork<MTreeMessage>,
     nodes: HashMap<PeerId, MNode>,
+    /// Every live peer, kept sorted by [`PeerId`] — the order the old
+    /// collect-and-sort `random_peer` sampled from, so seeded experiments
+    /// keep their exact message counts while sampling is O(1).
+    peer_list: Vec<PeerId>,
     root: Option<PeerId>,
     domain: MRange,
     rng: SimRng,
@@ -118,6 +122,7 @@ impl MTreeSystem {
         Self {
             net: SimNetwork::new(),
             nodes: HashMap::new(),
+            peer_list: Vec::new(),
             root: None,
             domain,
             rng: SimRng::seeded(seed),
@@ -138,9 +143,9 @@ impl MTreeSystem {
         self.nodes.len()
     }
 
-    /// All peers.
-    pub fn peers(&self) -> Vec<PeerId> {
-        self.nodes.keys().copied().collect()
+    /// All peers, sorted by id — a borrowed view of the sampling list.
+    pub fn peers(&self) -> &[PeerId] {
+        &self.peer_list
     }
 
     /// Iterates over `(peer, node)` pairs in unspecified order.
@@ -196,12 +201,27 @@ impl MTreeSystem {
     }
 
     fn random_peer(&mut self) -> Option<PeerId> {
-        if self.nodes.is_empty() {
+        if self.peer_list.is_empty() {
             return None;
         }
-        let mut peers: Vec<PeerId> = self.nodes.keys().copied().collect();
-        peers.sort_unstable();
-        Some(peers[self.rng.index(peers.len())])
+        let idx = self.rng.index(self.peer_list.len());
+        Some(self.peer_list[idx])
+    }
+
+    /// Adds `peer` to the node map and the sorted sampling list.
+    fn register_node(&mut self, peer: PeerId, node: MNode) {
+        if let Err(idx) = self.peer_list.binary_search(&peer) {
+            self.peer_list.insert(idx, peer);
+        }
+        self.nodes.insert(peer, node);
+    }
+
+    /// Removes `peer` from the node map and the sampling list.
+    fn unregister_node(&mut self, peer: PeerId) -> Option<MNode> {
+        if let Ok(idx) = self.peer_list.binary_search(&peer) {
+            self.peer_list.remove(idx);
+        }
+        self.nodes.remove(&peer)
     }
 
     /// Routes from `issuer` to the node whose direct range contains `key`:
@@ -249,7 +269,7 @@ impl MTreeSystem {
         if self.nodes.is_empty() {
             let node = MNode::new(peer, self.domain);
             self.root = Some(peer);
-            self.nodes.insert(peer, node);
+            self.register_node(peer, node);
             self.net.finish_op(op);
             return Ok(MTreeChurnReport::default());
         }
@@ -292,7 +312,7 @@ impl MTreeSystem {
         child.left_neighbor = Some(acceptor_link);
         child.right_neighbor = old_right;
         let child_link = child.link();
-        self.nodes.insert(peer, child);
+        self.register_node(peer, child);
         {
             let acceptor_node = self.node_mut(acceptor)?;
             acceptor_node.children.push(child_link);
@@ -384,7 +404,7 @@ impl MTreeSystem {
         }
 
         let mut update_messages = 0u64;
-        self.nodes.remove(&peer);
+        self.unregister_node(peer);
         self.net.depart_peer(peer);
 
         if departing.children.is_empty() {
@@ -766,7 +786,8 @@ mod tests {
         // Find the node with the most children and make it leave.
         let busiest = system
             .peers()
-            .into_iter()
+            .iter()
+            .copied()
             .max_by_key(|p| system.node(*p).unwrap().children.len())
             .unwrap();
         let child_count = system.node(busiest).unwrap().children.len() as u64;

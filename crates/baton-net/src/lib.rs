@@ -82,5 +82,5 @@ pub use network::{DeliveryError, SendError, SimNetwork};
 pub use overlay::{ChurnCost, OpCost, Overlay, OverlayCapabilities, OverlayError, OverlayResult};
 pub use peer::{PeerId, PeerRegistry, PeerStatus};
 pub use rng::SimRng;
-pub use stats::{Histogram, MessageStats, OpId, OpScope, OpStats};
+pub use stats::{ClassStats, Histogram, MessageStats, OpId, OpScope, OpStats};
 pub use time::{LatencyModel, SimTime};

@@ -5,7 +5,6 @@
 //! [`PeerRegistry`] tracks which peers exist and whether they are alive,
 //! which is all the substrate needs to model node failure (paper §III-C).
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// Opaque identifier of a peer (a physical compute node).
@@ -56,10 +55,17 @@ impl PeerStatus {
 
 /// Registry of every peer ever created in a simulation together with its
 /// liveness status.
+///
+/// [`PeerId`]s are dense sequential integers, so the registry is a plain
+/// `Vec` slab indexed by the raw id: every status probe on the message hot
+/// path (two per delivery) is an array index, not a hash lookup.
+/// Identifiers are never reused — a departed or failed peer leaves a dead
+/// slot behind — because seeded experiments sample from peer lists ordered
+/// by id and id reuse would silently reorder them.
 #[derive(Clone, Debug, Default)]
 pub struct PeerRegistry {
-    next: u64,
-    status: HashMap<PeerId, PeerStatus>,
+    status: Vec<PeerStatus>,
+    alive: usize,
 }
 
 impl PeerRegistry {
@@ -70,9 +76,9 @@ impl PeerRegistry {
 
     /// Registers a brand-new peer and returns its identifier.
     pub fn register(&mut self) -> PeerId {
-        let id = PeerId(self.next);
-        self.next += 1;
-        self.status.insert(id, PeerStatus::Alive);
+        let id = PeerId(self.status.len() as u64);
+        self.status.push(PeerStatus::Alive);
+        self.alive += 1;
         id
     }
 
@@ -83,12 +89,13 @@ impl PeerRegistry {
 
     /// Number of peers currently alive.
     pub fn alive_count(&self) -> usize {
-        self.status.values().filter(|s| s.is_alive()).count()
+        self.alive
     }
 
     /// Returns the status of `peer`, or `None` if it was never registered.
+    #[inline]
     pub fn status(&self, peer: PeerId) -> Option<PeerStatus> {
-        self.status.get(&peer).copied()
+        self.status.get(peer.0 as usize).copied()
     }
 
     /// `true` if the peer exists and is alive.
@@ -119,8 +126,10 @@ impl PeerRegistry {
     }
 
     fn set_status(&mut self, peer: PeerId, status: PeerStatus) -> bool {
-        match self.status.get_mut(&peer) {
+        match self.status.get_mut(peer.0 as usize) {
             Some(slot) => {
+                self.alive -= usize::from(slot.is_alive());
+                self.alive += usize::from(status.is_alive());
                 *slot = status;
                 true
             }
@@ -128,17 +137,19 @@ impl PeerRegistry {
         }
     }
 
-    /// Iterates over every registered peer and its status.
+    /// Iterates over every registered peer and its status, in id order.
     pub fn iter(&self) -> impl Iterator<Item = (PeerId, PeerStatus)> + '_ {
-        self.status.iter().map(|(p, s)| (*p, *s))
-    }
-
-    /// All currently alive peers, in unspecified order.
-    pub fn alive_peers(&self) -> Vec<PeerId> {
         self.status
             .iter()
+            .enumerate()
+            .map(|(i, s)| (PeerId(i as u64), *s))
+    }
+
+    /// All currently alive peers, in id order.
+    pub fn alive_peers(&self) -> Vec<PeerId> {
+        self.iter()
             .filter(|(_, s)| s.is_alive())
-            .map(|(p, _)| *p)
+            .map(|(p, _)| p)
             .collect()
     }
 }

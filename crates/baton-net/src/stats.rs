@@ -4,8 +4,21 @@
 //! operation* (or a distribution of such counts), so accounting is a
 //! first-class part of the substrate rather than an afterthought in the
 //! benchmark harness.
+//!
+//! ### Slab-addressed hot paths, streaming aggregates
+//!
+//! [`OpId`]s are dense sequential integers and [`PeerId`]s are dense slab
+//! indices, so the two structures every message send and delivery touches —
+//! the live-operation table and the per-peer received counters — are flat
+//! vectors, not hash maps.  Live operations occupy a sliding window
+//! (`VecDeque` plus a base offset): [`MessageStats::retire_finished`] pops
+//! finished operations off the front and folds them into per-class
+//! [`ClassStats`] aggregates (fixed-bucket [`Histogram`]s plus exact sums),
+//! so a long open-loop run holds O(in-flight) operation state instead of
+//! O(operations-ever).  Class labels are interned once per distinct label;
+//! beginning an operation allocates nothing in steady state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::peer::PeerId;
 use crate::time::SimTime;
@@ -17,8 +30,9 @@ pub struct OpId(pub u64);
 /// Counters accumulated for a single operation.
 #[derive(Clone, Debug, Default)]
 pub struct OpStats {
-    /// Label of the operation (e.g. `"join"`, `"search.exact"`).
-    pub label: String,
+    /// Interned class of the operation (resolve the label through
+    /// [`MessageStats::op_label`] or [`ClassStats::name`]).
+    pub(crate) class: u32,
     /// Messages sent while this operation was the active accounting scope.
     pub messages: u64,
     /// Messages that could not be delivered because the destination was dead.
@@ -67,8 +81,9 @@ pub struct OpScope {
 
 /// A compact fixed-bucket histogram over small non-negative integers.
 ///
-/// Used for Figure 8(h): the distribution of the number of nodes involved in
-/// a single load-balancing shift.
+/// Used for Figure 8(h) (the distribution of load-balancing shift sizes) and
+/// as the aggregate an operation retires into: messages-per-op, hops-per-op
+/// and whole-millisecond latency distributions per operation class.
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
     counts: Vec<u64>,
@@ -186,6 +201,96 @@ impl Histogram {
     }
 }
 
+/// Streaming aggregate of every *retired* operation of one class (label).
+///
+/// Retirement ([`MessageStats::retire_finished`]) folds a finished
+/// operation's counters into these fixed-size aggregates and drops the
+/// per-operation record, bounding a run's memory by the number of in-flight
+/// operations plus the number of distinct labels.
+#[derive(Clone, Debug, Default)]
+pub struct ClassStats {
+    name: String,
+    retired: u64,
+    messages_sum: u64,
+    bytes: u64,
+    failed_deliveries: u64,
+    latency_us_sum: u64,
+    messages: Histogram,
+    hops: Histogram,
+    latency_ms: Histogram,
+}
+
+impl ClassStats {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    fn retire(&mut self, op: &OpStats) {
+        self.retired += 1;
+        self.messages_sum += op.messages;
+        self.bytes += op.bytes;
+        self.failed_deliveries += op.failed_deliveries;
+        self.messages.record(op.messages as usize);
+        self.hops.record(op.max_hops as usize);
+        let latency = op.latency().unwrap_or(SimTime::ZERO);
+        self.latency_us_sum += latency.as_micros();
+        self.latency_ms
+            .record((latency.as_micros() / 1000) as usize);
+    }
+
+    /// The operation label this aggregate covers.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations retired into this aggregate.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Total messages across retired operations.
+    pub fn messages_sum(&self) -> u64 {
+        self.messages_sum
+    }
+
+    /// Total approximate bytes across retired operations.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total failed deliveries across retired operations.
+    pub fn failed_deliveries(&self) -> u64 {
+        self.failed_deliveries
+    }
+
+    /// Distribution of messages per retired operation.
+    pub fn messages_histogram(&self) -> &Histogram {
+        &self.messages
+    }
+
+    /// Distribution of the maximum hop count per retired operation.
+    pub fn hops_histogram(&self) -> &Histogram {
+        &self.hops
+    }
+
+    /// Distribution of virtual latency per retired operation, in whole
+    /// milliseconds (sub-millisecond latencies land in bucket 0).
+    pub fn latency_ms_histogram(&self) -> &Histogram {
+        &self.latency_ms
+    }
+
+    /// Mean virtual latency of retired operations (exact, from the
+    /// microsecond sum rather than the millisecond buckets).
+    pub fn mean_latency(&self) -> Option<SimTime> {
+        self.latency_us_sum
+            .checked_div(self.retired)
+            .map(SimTime::from_micros)
+    }
+}
+
 /// Global message statistics for a [`SimNetwork`](crate::network::SimNetwork).
 #[derive(Clone, Debug, Default)]
 pub struct MessageStats {
@@ -194,9 +299,16 @@ pub struct MessageStats {
     total_failed: u64,
     total_bytes: u64,
     by_kind: HashMap<&'static str, u64>,
-    received_by_peer: HashMap<PeerId, u64>,
-    ops: HashMap<OpId, OpStats>,
+    /// Messages received per peer, slab-indexed by the dense peer id.
+    received_by_peer: Vec<u64>,
+    /// Sliding window of live operations: the op with [`OpId`] `base + i`
+    /// lives at index `i`.  `retire_finished` pops the front.
+    live: VecDeque<OpStats>,
+    base: u64,
     next_op: u64,
+    /// Per-class streaming aggregates, indexed by interned class id.
+    classes: Vec<ClassStats>,
+    class_ids: HashMap<String, u32>,
 }
 
 impl MessageStats {
@@ -235,15 +347,34 @@ impl MessageStats {
         self.by_kind.get(kind).copied().unwrap_or(0)
     }
 
-    /// Messages *received* (delivered) per peer — the per-node access load of
-    /// Figure 8(f).
-    pub fn received_by_peer(&self) -> &HashMap<PeerId, u64> {
-        &self.received_by_peer
+    /// `(peer, received)` for every peer that received at least one message —
+    /// the per-node access load of Figure 8(f).
+    pub fn received_counts(&self) -> impl Iterator<Item = (PeerId, u64)> + '_ {
+        self.received_by_peer
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (PeerId(i as u64), c))
     }
 
     /// Messages received by one peer.
+    #[inline]
     pub fn received_count(&self, peer: PeerId) -> u64 {
-        self.received_by_peer.get(&peer).copied().unwrap_or(0)
+        self.received_by_peer
+            .get(peer.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Interns `label`, returning its class id.
+    fn class_id(&mut self, label: &str) -> u32 {
+        if let Some(&id) = self.class_ids.get(label) {
+            return id;
+        }
+        let id = self.classes.len() as u32;
+        self.classes.push(ClassStats::new(label));
+        self.class_ids.insert(label.to_owned(), id);
+        id
     }
 
     /// Begins a new operation accounting scope starting at virtual time zero.
@@ -252,19 +383,20 @@ impl MessageStats {
     }
 
     /// Begins a new operation accounting scope issued at virtual time `at`.
+    ///
+    /// Allocation-free in steady state: the label is interned on its first
+    /// occurrence and the live window reuses its buffer.
     pub fn begin_op_at(&mut self, label: &str, at: SimTime) -> OpScope {
+        let class = self.class_id(label);
         let id = OpId(self.next_op);
         self.next_op += 1;
-        self.ops.insert(
-            id,
-            OpStats {
-                label: label.to_owned(),
-                started_at: at,
-                frontier: at,
-                completion: at,
-                ..OpStats::default()
-            },
-        );
+        self.live.push_back(OpStats {
+            class,
+            started_at: at,
+            frontier: at,
+            completion: at,
+            ..OpStats::default()
+        });
         OpScope { id }
     }
 
@@ -278,16 +410,27 @@ impl MessageStats {
         self.next_op
     }
 
+    #[inline]
+    fn live_index(&self, id: OpId) -> Option<usize> {
+        id.0.checked_sub(self.base).map(|i| i as usize)
+    }
+
+    #[inline]
+    fn live_mut(&mut self, id: OpId) -> Option<&mut OpStats> {
+        let index = self.live_index(id)?;
+        self.live.get_mut(index)
+    }
+
     /// The critical-path frontier of an in-flight operation: the virtual
     /// time its next hop would depart at.
     pub fn op_frontier(&self, id: OpId) -> Option<SimTime> {
-        self.ops.get(&id).map(|s| s.frontier)
+        self.op(id).map(|s| s.frontier)
     }
 
     /// Advances an operation's critical path to `at` (a hop of its request
-    /// chain was delivered at that time).
+    /// chain was delivered at that time).  A no-op for retired operations.
     pub(crate) fn advance_op_frontier(&mut self, id: OpId, at: SimTime) {
-        if let Some(stats) = self.ops.get_mut(&id) {
+        if let Some(stats) = self.live_mut(id) {
             stats.frontier = stats.frontier.max(at);
             stats.completion = stats.completion.max(at);
         }
@@ -297,69 +440,128 @@ impl MessageStats {
     /// `at`.  Notifications run in parallel with the request chain, so they
     /// extend the operation's completion time without moving its frontier.
     pub(crate) fn extend_op_completion(&mut self, id: OpId, at: SimTime) {
-        if let Some(stats) = self.ops.get_mut(&id) {
+        if let Some(stats) = self.live_mut(id) {
             stats.completion = stats.completion.max(at);
         }
     }
 
     /// Marks an operation as complete, stamping its finish time.
     pub(crate) fn finish_op(&mut self, id: OpId) {
-        if let Some(stats) = self.ops.get_mut(&id) {
+        if let Some(stats) = self.live_mut(id) {
             stats.finished_at = Some(stats.completion.max(stats.frontier));
         }
     }
 
-    /// `(label, latency)` of every finished operation, in issue order.
+    /// Retires every finished operation at the front of the live window into
+    /// its class aggregate ([`ClassStats`]), dropping the per-operation
+    /// records.  Called by the workload runners after each dispatch, this
+    /// bounds a long run's operation state to O(in-flight operations).
+    ///
+    /// Retired operations are no longer visible through [`op`](Self::op) /
+    /// [`ops`](Self::ops) / [`op_latencies`](Self::op_latencies); their
+    /// contribution lives on in [`class_stats`](Self::class_stats).
+    pub fn retire_finished(&mut self) {
+        while let Some(front) = self.live.front() {
+            if front.finished_at.is_none() {
+                break;
+            }
+            let op = self.live.pop_front().expect("front exists");
+            self.base += 1;
+            self.classes[op.class as usize].retire(&op);
+        }
+    }
+
+    /// Number of operations currently held in the live window (in-flight
+    /// plus finished-but-not-yet-retired).
+    pub fn live_op_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of operations retired into class aggregates.
+    pub fn retired_op_count(&self) -> u64 {
+        self.base
+    }
+
+    /// The streaming aggregate of one operation label, if any operation of
+    /// that label was ever begun.
+    pub fn class_stats(&self, label: &str) -> Option<&ClassStats> {
+        let id = *self.class_ids.get(label)?;
+        self.classes.get(id as usize)
+    }
+
+    /// Every class aggregate, in first-seen label order.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassStats> + '_ {
+        self.classes.iter()
+    }
+
+    /// The label an operation was begun with (`None` for retired ids).
+    pub fn op_label(&self, id: OpId) -> Option<&str> {
+        self.op(id)
+            .map(|s| self.classes[s.class as usize].name.as_str())
+    }
+
+    /// `(label, latency)` of every finished *live* (not yet retired)
+    /// operation, in issue order.
     pub fn op_latencies(&self) -> Vec<(String, SimTime)> {
-        let mut finished: Vec<(OpId, &OpStats)> = self
-            .ops
+        self.live
             .iter()
-            .filter(|(_, s)| s.finished_at.is_some())
-            .map(|(id, s)| (*id, s))
-            .collect();
-        finished.sort_unstable_by_key(|(id, _)| *id);
-        finished
-            .into_iter()
-            .filter_map(|(_, s)| s.latency().map(|l| (s.label.clone(), l)))
+            .filter_map(|s| {
+                s.latency()
+                    .map(|l| (self.classes[s.class as usize].name.clone(), l))
+            })
             .collect()
     }
 
     /// Average virtual latency of finished operations whose label matches
-    /// `label`, or `None` if there are none.
+    /// `label` — retired and live alike — or `None` if there are none.
     pub fn average_latency(&self, label: &str) -> Option<SimTime> {
+        let id = *self.class_ids.get(label)?;
+        let class = &self.classes[id as usize];
         let (count, sum) = self
-            .ops
-            .values()
-            .filter(|op| op.label == label)
+            .live
+            .iter()
+            .filter(|op| op.class == id)
             .filter_map(|op| op.latency())
-            .fold((0u64, 0u64), |(c, s), l| (c + 1, s + l.as_micros()));
+            .fold((class.retired, class.latency_us_sum), |(c, s), l| {
+                (c + 1, s + l.as_micros())
+            });
         sum.checked_div(count).map(SimTime::from_micros)
     }
 
-    /// Statistics of a finished or in-flight operation.
+    /// Statistics of a live (in-flight or not yet retired) operation.
     pub fn op(&self, id: OpId) -> Option<&OpStats> {
-        self.ops.get(&id)
+        let index = self.live_index(id)?;
+        self.live.get(index)
     }
 
-    /// All operations recorded so far.
+    /// All live operations, in issue order.
     pub fn ops(&self) -> impl Iterator<Item = (OpId, &OpStats)> + '_ {
-        self.ops.iter().map(|(id, s)| (*id, s))
+        self.live
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (OpId(self.base + i as u64), s))
     }
 
-    /// Number of operations begun.
+    /// Number of operations begun over the lifetime of the run (retired or
+    /// live).
     pub fn op_count(&self) -> usize {
-        self.ops.len()
+        self.next_op as usize
     }
 
-    /// Average messages per operation whose label matches `label`.
+    /// Average messages per operation whose label matches `label`, over
+    /// retired and live operations alike.
     ///
     /// Returns `None` if no such operation exists.
     pub fn average_messages(&self, label: &str) -> Option<f64> {
+        let id = *self.class_ids.get(label)?;
+        let class = &self.classes[id as usize];
         let (count, sum) = self
-            .ops
-            .values()
-            .filter(|op| op.label == label)
-            .fold((0u64, 0u64), |(c, s), op| (c + 1, s + op.messages));
+            .live
+            .iter()
+            .filter(|op| op.class == id)
+            .fold((class.retired, class.messages_sum), |(c, s), op| {
+                (c + 1, s + op.messages)
+            });
         if count == 0 {
             None
         } else {
@@ -372,7 +574,7 @@ impl MessageStats {
         self.total_sent += 1;
         self.total_bytes += bytes as u64;
         *self.by_kind.entry(kind).or_insert(0) += 1;
-        if let Some(stats) = self.ops.get_mut(&op) {
+        if let Some(stats) = self.live_mut(op) {
             stats.messages += 1;
             stats.bytes += bytes as u64;
             stats.max_hops = stats.max_hops.max(hop);
@@ -382,13 +584,17 @@ impl MessageStats {
     /// Records a successful delivery to `peer`.
     pub(crate) fn record_delivery(&mut self, peer: PeerId) {
         self.total_delivered += 1;
-        *self.received_by_peer.entry(peer).or_insert(0) += 1;
+        let index = peer.0 as usize;
+        if self.received_by_peer.len() <= index {
+            self.received_by_peer.resize(index + 1, 0);
+        }
+        self.received_by_peer[index] += 1;
     }
 
     /// Records a failed delivery attributed to `op`.
     pub(crate) fn record_failure(&mut self, op: OpId) {
         self.total_failed += 1;
-        if let Some(stats) = self.ops.get_mut(&op) {
+        if let Some(stats) = self.live_mut(op) {
             stats.failed_deliveries += 1;
         }
     }
@@ -396,7 +602,7 @@ impl MessageStats {
     /// Clears per-peer received counters (used when an experiment wants to
     /// measure access load only over its query phase, as in Figure 8(f)).
     pub fn reset_received_counters(&mut self) {
-        self.received_by_peer.clear();
+        self.received_by_peer.iter_mut().for_each(|c| *c = 0);
     }
 
     /// Snapshot of the total number of sent messages; callers diff two
@@ -456,6 +662,10 @@ mod tests {
         assert_eq!(stats.received_count(PeerId(3)), 1);
         assert_eq!(stats.received_count(PeerId(4)), 0);
         assert_eq!(stats.op(op.id).unwrap().failed_deliveries, 1);
+        assert_eq!(
+            stats.received_counts().collect::<Vec<_>>(),
+            vec![(PeerId(3), 1)]
+        );
     }
 
     #[test]
@@ -478,6 +688,88 @@ mod tests {
         assert_eq!(stats.received_count(PeerId(0)), 0);
         assert_eq!(stats.total_sent(), 1);
         assert_eq!(stats.total_delivered(), 1);
+    }
+
+    #[test]
+    fn retirement_folds_finished_ops_into_class_aggregates() {
+        let mut stats = MessageStats::new();
+        let a = stats.begin_op("search");
+        stats.record_send(a.id, "s", 7, 1);
+        stats.record_send(a.id, "s", 7, 2);
+        let b = stats.begin_op("search");
+        stats.record_send(b.id, "s", 7, 1);
+        let c = stats.begin_op("join");
+        stats.finish_op(a.id);
+        // b unfinished: retirement stops at it even though a is done.
+        stats.retire_finished();
+        assert_eq!(stats.live_op_count(), 2);
+        assert_eq!(stats.retired_op_count(), 1);
+        assert!(stats.op(a.id).is_none(), "a was retired");
+        assert!(stats.op(b.id).is_some());
+        let class = stats.class_stats("search").unwrap();
+        assert_eq!(class.retired(), 1);
+        assert_eq!(class.messages_sum(), 2);
+        assert_eq!(class.bytes(), 14);
+        assert_eq!(class.messages_histogram().count(2), 1);
+        assert_eq!(class.hops_histogram().max_value(), Some(2));
+
+        stats.finish_op(b.id);
+        stats.finish_op(c.id);
+        stats.retire_finished();
+        assert_eq!(stats.live_op_count(), 0);
+        assert_eq!(stats.retired_op_count(), 3);
+        let class = stats.class_stats("search").unwrap();
+        assert_eq!(class.retired(), 2);
+        // Averages keep covering retired operations.
+        assert_eq!(stats.average_messages("search"), Some(1.5));
+        assert_eq!(stats.average_messages("join"), Some(0.0));
+        assert_eq!(stats.op_count(), 3);
+    }
+
+    #[test]
+    fn retired_ops_ignore_late_updates_and_keep_latency_aggregates() {
+        let mut stats = MessageStats::new();
+        let op = stats.begin_op_at("rpc", SimTime::from_millis(5));
+        stats.advance_op_frontier(op.id, SimTime::from_millis(12));
+        stats.finish_op(op.id);
+        assert_eq!(
+            stats.op(op.id).unwrap().latency(),
+            Some(SimTime::from_millis(7))
+        );
+        stats.retire_finished();
+        // Late traffic attributed to the retired id is dropped silently:
+        // global counters still move, per-op state is gone.
+        stats.record_send(op.id, "r", 9, 3);
+        stats.advance_op_frontier(op.id, SimTime::from_millis(99));
+        stats.extend_op_completion(op.id, SimTime::from_millis(99));
+        stats.finish_op(op.id);
+        assert_eq!(stats.total_sent(), 1);
+        let class = stats.class_stats("rpc").unwrap();
+        assert_eq!(class.retired(), 1);
+        assert_eq!(class.latency_ms_histogram().count(7), 1);
+        assert_eq!(class.mean_latency(), Some(SimTime::from_millis(7)));
+        assert_eq!(stats.average_latency("rpc"), Some(SimTime::from_millis(7)));
+        assert_eq!(stats.op_label(op.id), None);
+    }
+
+    #[test]
+    fn live_window_indexing_survives_retirement() {
+        let mut stats = MessageStats::new();
+        let ops: Vec<OpScope> = (0..10).map(|_| stats.begin_op("w")).collect();
+        for op in &ops[..4] {
+            stats.finish_op(op.id);
+        }
+        stats.retire_finished();
+        // Ids keep resolving to the right records after the window slid.
+        for (i, op) in ops.iter().enumerate().skip(4) {
+            stats.record_send(op.id, "w", 1, i as u32);
+        }
+        for (i, op) in ops.iter().enumerate().skip(4) {
+            assert_eq!(stats.op(op.id).unwrap().max_hops, i as u32);
+        }
+        let ids: Vec<u64> = stats.ops().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, (4..10).collect::<Vec<u64>>());
+        assert_eq!(stats.op_label(ops[5].id), Some("w"));
     }
 
     #[test]

@@ -53,6 +53,6 @@ pub mod scenario;
 
 pub use driver::{load_overlay, reference_overlay, standard_overlays, OverlaySpec};
 pub use profile::Profile;
-pub use report::{render_json, render_report};
+pub use report::{json_string, render_json, render_report};
 pub use result::{Averager, FigureResult, SeriesPoint};
 pub use scenario::{latency_under_churn, ScenarioResult};

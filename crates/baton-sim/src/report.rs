@@ -65,7 +65,11 @@ pub fn render_json(results: &[FigureResult]) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+/// Quotes and escapes `s` as a JSON string literal.
+///
+/// Shared by every hand-rolled JSON emitter in the workspace (the build
+/// environment cannot fetch `serde_json`); keep escaping fixes here.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -331,6 +331,10 @@ pub fn run_open_loop(
                 .or_default()
                 .push(latency);
         }
+        // Everything the dispatch begun has finished: retire it into the
+        // per-class aggregates so a long open-loop run holds O(in-flight)
+        // operation state, not O(operations-ever).
+        overlay.stats_mut().retire_finished();
     }
     outcome.makespan = overlay.now();
     Ok(outcome)

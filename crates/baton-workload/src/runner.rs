@@ -57,6 +57,11 @@ impl ChurnOutcome {
 /// usually want to keep a floor).  Failures on overlays without failure
 /// support fall back to graceful departures, so one event sequence drives
 /// every system.
+///
+/// Like every runner here, finished operations are retired into the
+/// per-class streaming aggregates after each event
+/// ([`baton_net::MessageStats::retire_finished`]), so long workloads hold
+/// O(in-flight) per-operation state instead of O(events-ever).
 pub fn run_churn(
     overlay: &mut dyn Overlay,
     events: &[ChurnEvent],
@@ -96,6 +101,7 @@ pub fn run_churn(
                 outcome.lost_items += cost.lost_items;
             }
         }
+        overlay.stats_mut().retire_finished();
     }
     Ok(outcome)
 }
@@ -139,6 +145,7 @@ pub fn bulk_load(overlay: &mut dyn Overlay, data: &[(u64, u64)]) -> OverlayResul
         outcome.inserted += 1;
         outcome.messages += cost.messages;
         outcome.balance_messages += cost.balance_messages;
+        overlay.stats_mut().retire_finished();
     }
     Ok(outcome)
 }
@@ -206,6 +213,7 @@ pub fn run_queries(overlay: &mut dyn Overlay, queries: &[Query]) -> OverlayResul
                 Err(other) => return Err(other),
             },
         }
+        overlay.stats_mut().retire_finished();
     }
     Ok(outcome)
 }

@@ -1,0 +1,102 @@
+//! Wall-clock perf harness: times the simulator's hot paths and writes the
+//! machine-readable `BENCH_perf.json` report.
+//!
+//! ```text
+//! perf [--profile full|smoke] [--out PATH] [--check PATH]
+//! ```
+//!
+//! * `--profile full` (default): paper scale — a 10,000-node BATON build,
+//!   1000 exact-match (fig8d) and 1000 range (fig8e) queries, and the
+//!   `latency_under_churn` scenario at N = 1000.
+//! * `--profile smoke`: a reduced run for CI (seconds).
+//! * `--out PATH`: where to write the JSON report (default
+//!   `BENCH_perf.json` in the current directory).
+//! * `--check PATH`: validate an existing report against the
+//!   `baton-perf/1` schema instead of running measurements (exit code 1 on
+//!   schema violations) — the CI gate for the uploaded artifact.
+
+use std::process::ExitCode;
+
+use baton_bench::perf::{render_json, run, validate_json, PerfProfile};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut profile = PerfProfile::full();
+    let mut out_path = String::from("BENCH_perf.json");
+    let mut check_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--profile needs a value (full|smoke)");
+                    return ExitCode::FAILURE;
+                };
+                match PerfProfile::by_name(&name) {
+                    Some(p) => profile = p,
+                    None => {
+                        eprintln!("unknown profile {name:?} (expected full|smoke)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(path) => check_path = Some(path),
+                None => {
+                    eprintln!("--check needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: perf [--profile full|smoke] [--out PATH] [--check PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("cannot read {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_json(&text) {
+            Ok(count) => {
+                println!("{path}: valid baton-perf/1 report with {count} measurement(s)");
+                ExitCode::SUCCESS
+            }
+            Err(problem) => {
+                eprintln!("{path}: invalid report: {problem}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    eprintln!("perf: profile {}", profile.name);
+    let measurements = run(&profile);
+    for m in &measurements {
+        eprintln!(
+            "  {:<20} {:>12.1} ms   {:>12.1} {}/s   ({})",
+            m.id, m.wall_ms, m.per_second, m.unit, m.detail
+        );
+    }
+    let rendered = render_json(&profile, &measurements);
+    if let Err(error) = std::fs::write(&out_path, &rendered) {
+        eprintln!("cannot write {out_path}: {error}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf: wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -16,6 +16,8 @@
 use baton_core::{BatonConfig, BatonSystem, LoadBalanceConfig};
 use baton_sim::{figures, Profile};
 
+pub mod perf;
+
 /// Profile used when a bench reproduces its figure (kept small so that
 /// `cargo bench` completes in minutes; use the `reproduce` binary for the
 /// paper-scale run).

@@ -1,0 +1,591 @@
+//! The `perf` target: wall-clock measurements of the simulator's hot paths.
+//!
+//! Unlike the Criterion benches (which reproduce the paper's *message
+//! counts*), this module tracks how fast the substrate itself runs: overlay
+//! construction, the paper-profile exact-match (fig8d) and range-search
+//! (fig8e) query drivers, and the `latency_under_churn` time-domain
+//! scenario.  The `perf` binary emits the results as `BENCH_perf.json` so
+//! successive PRs can regress against a machine-readable wall-clock
+//! trajectory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use baton_net::SimRng;
+use baton_sim::{json_string, scenario, Profile};
+use baton_workload::{runner, KeyDistribution, QueryWorkload};
+
+/// One timed measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Stable identifier (`"build"`, `"exact_fig8d"`, …).
+    pub id: String,
+    /// Human-readable description of what was timed.
+    pub detail: String,
+    /// Number of work items the wall time covers (nodes joined, queries
+    /// executed, operations dispatched).
+    pub work_items: u64,
+    /// What one work item is (`"joins"`, `"queries"`, `"ops"`).
+    pub unit: String,
+    /// Wall-clock milliseconds for the whole measurement.
+    pub wall_ms: f64,
+    /// Work items per wall-clock second.
+    pub per_second: f64,
+}
+
+impl Measurement {
+    fn timed<T>(id: &str, detail: String, unit: &str, run: impl FnOnce() -> (u64, T)) -> (Self, T) {
+        let started = Instant::now();
+        let (work_items, value) = run();
+        let wall = started.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let per_second = if wall.as_secs_f64() > 0.0 {
+            work_items as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        (
+            Self {
+                id: id.to_owned(),
+                detail,
+                work_items,
+                unit: unit.to_owned(),
+                wall_ms,
+                per_second,
+            },
+            value,
+        )
+    }
+}
+
+/// Scale knobs of one perf run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfProfile {
+    /// Profile name recorded in the report (`"full"` / `"smoke"`).
+    pub name: &'static str,
+    /// Nodes in the overlay whose construction and queries are timed.
+    pub build_n: usize,
+    /// Fraction of the paper's `1000 × N` bulk load inserted before the
+    /// query measurements.
+    pub data_scale: f64,
+    /// Exact-match and range queries timed (the paper uses 1000 of each).
+    pub queries: usize,
+    /// Profile handed to the `latency_under_churn` scenario.
+    pub scenario: Profile,
+}
+
+impl PerfProfile {
+    /// The paper-scale profile: a 10,000-node overlay, 1000 + 1000 queries,
+    /// and the scenario at N = 1000.
+    pub fn full() -> Self {
+        Self {
+            name: "full",
+            build_n: 10_000,
+            data_scale: 0.01,
+            queries: 1000,
+            scenario: Profile {
+                network_sizes: vec![1000],
+                repetitions: 1,
+                data_scale: 0.02,
+                query_scale: 1.0,
+                churn_ops: 100,
+                seed: 2005,
+            },
+        }
+    }
+
+    /// A reduced profile for CI smoke runs (seconds, not minutes).
+    pub fn smoke() -> Self {
+        Self {
+            name: "smoke",
+            build_n: 300,
+            data_scale: 0.01,
+            queries: 50,
+            scenario: Profile::smoke(),
+        }
+    }
+
+    /// Resolves a profile by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "full" => Some(Self::full()),
+            "smoke" => Some(Self::smoke()),
+            _ => None,
+        }
+    }
+}
+
+/// Runs every perf measurement at the given profile.
+pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
+    let seed = 2005;
+    let mut measurements = Vec::new();
+
+    // 1. Overlay construction: N sequential joins through random contacts.
+    let n = profile.build_n;
+    let (build, mut overlay) = Measurement::timed(
+        "build",
+        format!("BATON overlay build, {n} nodes"),
+        "joins",
+        || (n as u64, crate::baton_overlay(n, seed, 1000)),
+    );
+    measurements.push(build);
+
+    // Bulk-load the dataset the query drivers scan (not itself reported:
+    // insert cost is dominated by the same routing path as exact queries).
+    let plan = baton_workload::DatasetPlan {
+        values_per_node: 1000,
+        distribution: KeyDistribution::Uniform,
+    }
+    .scaled(profile.data_scale);
+    let data = plan.generate(&mut SimRng::seeded(seed ^ 0xDA7A), n);
+    runner::bulk_load(&mut overlay, &data).expect("bulk load");
+
+    // 2. Exact-match queries, fig8d shape: uniform keys, paper count.
+    let workload = QueryWorkload {
+        exact_queries: profile.queries,
+        range_queries: profile.queries,
+        distribution: KeyDistribution::Uniform,
+        ..QueryWorkload::paper()
+    };
+    let exact = workload.exact(&mut SimRng::seeded(seed ^ 0xE5AC));
+    let (exact_m, _) = Measurement::timed(
+        "exact_fig8d",
+        format!(
+            "{} uniform exact-match queries on the {n}-node overlay",
+            exact.len()
+        ),
+        "queries",
+        || {
+            let outcome = runner::run_queries(&mut overlay, &exact).expect("exact queries");
+            (outcome.exact_executed, ())
+        },
+    );
+    measurements.push(exact_m);
+
+    // 3. Range queries, fig8e shape: 0.1% selectivity, paper count.
+    let ranges = workload.ranges(&mut SimRng::seeded(seed ^ 0x4A4E));
+    let (range_m, _) = Measurement::timed(
+        "range_fig8e",
+        format!(
+            "{} range queries (0.1% selectivity) on the {n}-node overlay",
+            ranges.len()
+        ),
+        "queries",
+        || {
+            let outcome = runner::run_queries(&mut overlay, &ranges).expect("range queries");
+            (outcome.range_executed, ())
+        },
+    );
+    measurements.push(range_m);
+    drop(overlay);
+
+    // 4. The latency_under_churn scenario (all three overlays, open loop).
+    let scenario_profile = profile.scenario.clone();
+    let scenario_n = *scenario_profile.network_sizes.last().unwrap_or(&0);
+    let (scenario_m, _) = Measurement::timed(
+        "latency_under_churn",
+        format!("latency_under_churn scenario, N = {scenario_n}, every overlay"),
+        "ops",
+        || {
+            let result = scenario::latency_under_churn(&scenario_profile);
+            let ops: u64 = result
+                .series
+                .iter()
+                .flat_map(|s| s.classes.iter())
+                .map(|c| c.count)
+                .sum();
+            (ops, ())
+        },
+    );
+    measurements.push(scenario_m);
+
+    measurements
+}
+
+/// Renders a perf report as the `BENCH_perf.json` document.
+///
+/// Schema (`baton-perf/1`):
+///
+/// ```json
+/// {
+///   "schema": "baton-perf/1",
+///   "profile": "full",
+///   "measurements": [
+///     {"id": "build", "detail": "…", "work_items": 10000,
+///      "unit": "joins", "wall_ms": 1234.5, "per_second": 8100.2}
+///   ]
+/// }
+/// ```
+pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"baton-perf/1\",");
+    let _ = writeln!(out, "  \"profile\": {},", json_string(profile.name));
+    out.push_str("  \"measurements\": [");
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(out, "\"id\": {}, ", json_string(&m.id));
+        let _ = write!(out, "\"detail\": {}, ", json_string(&m.detail));
+        let _ = write!(out, "\"work_items\": {}, ", m.work_items);
+        let _ = write!(out, "\"unit\": {}, ", json_string(&m.unit));
+        let _ = write!(out, "\"wall_ms\": {:.3}, ", m.wall_ms);
+        let _ = write!(out, "\"per_second\": {:.3}", m.per_second);
+        out.push('}');
+    }
+    if !measurements.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Validates that `text` parses as a `baton-perf/1` document: well-formed
+/// JSON (for the subset the renderer emits), the schema marker, and at least
+/// one measurement carrying every required field with finite numbers.
+///
+/// Returns the number of measurements, or a description of the first
+/// problem.  Used by the `perf --check` mode so CI can gate on the artifact
+/// without external tooling.
+pub fn validate_json(text: &str) -> Result<usize, String> {
+    let value = json::parse(text)?;
+    let root = value.as_object().ok_or("root is not an object")?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != "baton-perf/1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    root.get("profile")
+        .and_then(Json::as_str)
+        .ok_or("missing \"profile\"")?;
+    let measurements = root
+        .get("measurements")
+        .and_then(Json::as_array)
+        .ok_or("missing \"measurements\"")?;
+    if measurements.is_empty() {
+        return Err("no measurements".into());
+    }
+    for (i, m) in measurements.iter().enumerate() {
+        let m = m
+            .as_object()
+            .ok_or_else(|| format!("measurement {i} is not an object"))?;
+        for key in ["id", "detail", "unit"] {
+            m.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("measurement {i} missing string {key:?}"))?;
+        }
+        for key in ["work_items", "wall_ms", "per_second"] {
+            let number = m
+                .get(key)
+                .and_then(Json::as_number)
+                .ok_or_else(|| format!("measurement {i} missing number {key:?}"))?;
+            if !number.is_finite() || number < 0.0 {
+                return Err(format!("measurement {i} has bad {key}: {number}"));
+            }
+        }
+    }
+    Ok(measurements.len())
+}
+
+pub use json::Json;
+
+/// A minimal recursive-descent JSON parser, sufficient to validate the
+/// documents this module emits (and any standards-compliant JSON without
+/// exotic number forms).  Hand-rolled because the build environment has no
+/// crates.io access for `serde_json`.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Json {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (parsed as `f64`).
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Json>),
+        /// An object, insertion-ordered.
+        Object(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_number(&self) -> Option<f64> {
+            match self {
+                Json::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// An object view with key lookup, if this is an object.
+        pub fn as_object(&self) -> Option<ObjectView<'_>> {
+            match self {
+                Json::Object(pairs) => Some(ObjectView { pairs }),
+                _ => None,
+            }
+        }
+    }
+
+    /// Key-lookup view over an object's pairs.
+    pub struct ObjectView<'a> {
+        pairs: &'a [(String, Json)],
+    }
+
+    impl<'a> ObjectView<'a> {
+        /// The value stored under `key`, if present.
+        pub fn get(&self, key: &str) -> Option<&'a Json> {
+            self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+    }
+
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&byte) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                *pos,
+                bytes.get(*pos).map(|b| *b as char)
+            ))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+            Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        literal: &str,
+        value: Json,
+    ) -> Result<Json, String> {
+        if bytes[*pos..].starts_with(literal.as_bytes()) {
+            *pos += literal.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(bytes, pos, b'{')?;
+        let mut pairs = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            pairs.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let start = *pos;
+                    *pos += 1;
+                    while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                        *pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_profile_runs_and_renders_valid_json() {
+        let profile = PerfProfile::smoke();
+        let measurements = run(&profile);
+        assert_eq!(measurements.len(), 4);
+        let ids: Vec<&str> = measurements.iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec!["build", "exact_fig8d", "range_fig8e", "latency_under_churn"]
+        );
+        for m in &measurements {
+            assert!(m.work_items > 0, "{} did no work", m.id);
+            assert!(m.wall_ms.is_finite() && m.wall_ms >= 0.0);
+        }
+        let rendered = render_json(&profile, &measurements);
+        assert_eq!(validate_json(&rendered), Ok(4));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("{\"schema\": \"other/1\"}").is_err());
+        assert!(validate_json(
+            "{\"schema\": \"baton-perf/1\", \"profile\": \"x\", \"measurements\": []}"
+        )
+        .is_err());
+        // Bad number in an otherwise complete measurement.
+        let bad = "{\"schema\": \"baton-perf/1\", \"profile\": \"x\", \"measurements\": [\
+                   {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
+                   \"work_items\": 1, \"wall_ms\": -5.0, \"per_second\": 0.0}]}";
+        assert!(validate_json(bad).unwrap_err().contains("wall_ms"));
+    }
+
+    #[test]
+    fn json_parser_handles_the_usual_shapes() {
+        let doc = r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}, "e": "x\n\"y\""}"#;
+        let value = Json::as_object(&super::json::parse(doc).unwrap())
+            .and_then(|o| o.get("a").cloned())
+            .unwrap();
+        assert_eq!(value.as_array().unwrap()[2].as_number(), Some(-300.0));
+        assert!(super::json::parse("[1, 2,]").is_err());
+        assert!(super::json::parse("{\"a\" 1}").is_err());
+        assert!(super::json::parse("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        assert_eq!(PerfProfile::by_name("FULL").unwrap().build_n, 10_000);
+        assert_eq!(PerfProfile::by_name("smoke").unwrap().name, "smoke");
+        assert!(PerfProfile::by_name("nope").is_none());
+    }
+}

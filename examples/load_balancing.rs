@@ -13,8 +13,8 @@ use baton_workload::{KeyDistribution, KeyGenerator};
 fn max_and_avg_load(overlay: &BatonSystem) -> (usize, f64) {
     let loads: Vec<usize> = overlay
         .peers()
-        .into_iter()
-        .map(|p| overlay.node(p).unwrap().load())
+        .iter()
+        .map(|&p| overlay.node(p).unwrap().load())
         .collect();
     let max = loads.iter().copied().max().unwrap_or(0);
     let avg = loads.iter().sum::<usize>() as f64 / loads.len().max(1) as f64;

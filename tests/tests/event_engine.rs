@@ -108,6 +108,88 @@ fn zero_latency_model_reports_zero_latencies() {
     }
 }
 
+/// Churn first, figures after: joins, graceful leaves and abrupt failures
+/// punch holes into the dense peer-id space (dead slab slots that are never
+/// reused), and the seeded measurements that follow must not notice.  The
+/// message counts below were captured from the pre-slab (HashMap-backed)
+/// substrate; the slab refactor must reproduce them bit-for-bit because
+/// peer-id assignment and the sorted live-peer sampling order are unchanged.
+#[test]
+fn churned_overlay_reproduces_pinned_seeded_message_counts() {
+    use baton_core::{BatonConfig, BatonSystem};
+
+    let mut system = BatonSystem::build(BatonConfig::default(), 0xBA70, 60).expect("build");
+    for _ in 0..12 {
+        system.leave_random().expect("leave");
+    }
+    for _ in 0..8 {
+        let victim = system.random_peer().expect("non-empty");
+        system.fail(victim).expect("fail");
+    }
+    for _ in 0..20 {
+        system.join_random().expect("join");
+    }
+    assert_eq!(system.node_count(), 60);
+    baton_core::validate(&system).expect("post-churn invariants");
+
+    let sent_before_queries = system.stats().total_sent();
+    let mut search_messages = 0u64;
+    for i in 0..100u64 {
+        let key = 1 + (i * 9_999_991) % 999_999_998;
+        search_messages += system.search_exact(key).expect("search").messages;
+    }
+    let mut range_messages = 0u64;
+    for i in 0..20u64 {
+        let low = 1 + (i * 49_999_999) % 900_000_000;
+        range_messages += system
+            .search_range(baton_core::KeyRange::new(low, low + 2_000_000))
+            .expect("range")
+            .messages;
+    }
+    let total_query_traffic = system.stats().total_sent() - sent_before_queries;
+    assert_eq!(
+        (search_messages, range_messages, total_query_traffic),
+        (299, 67, 366),
+        "seeded post-churn query traffic diverged from the pre-slab substrate"
+    );
+}
+
+/// A long open-loop run retires finished operations into the per-class
+/// streaming aggregates as it goes: when the run quiesces the live
+/// per-operation window is empty — memory is bounded by the in-flight set,
+/// not by the number of operations ever dispatched — while the begun-op
+/// counter and the class aggregates keep the full history.
+#[test]
+fn open_loop_retires_finished_ops_into_bounded_aggregates() {
+    use baton_core::{BatonConfig, BatonSystem};
+    use baton_workload::{run_open_loop, OpenLoopWorkload};
+
+    let mut overlay = BatonSystem::build(BatonConfig::default(), 7, 40).expect("build");
+    // Construction ran outside any runner, so its ops still sit in the live
+    // window: this is the unbounded behaviour the runners retire away.
+    let build_ops = overlay.stats().live_op_count();
+    assert!(build_ops >= 39, "every join should still be live");
+
+    let workload = OpenLoopWorkload::queries_only(SimTime::from_secs(120), 20.0);
+    let mut rng = SimRng::seeded(0xFEED);
+    let events = workload.schedule(&mut rng.derive(1));
+    assert!(events.len() > 1500, "want a long run, got {}", events.len());
+    let outcome = run_open_loop(&mut overlay, &events, &workload, &mut rng, 1).expect("run");
+    assert_eq!(outcome.total_executed(), events.len() as u64);
+
+    let stats = overlay.stats();
+    assert_eq!(
+        stats.live_op_count(),
+        0,
+        "the live op slab must drain once operations finish"
+    );
+    assert_eq!(stats.retired_op_count(), stats.op_count() as u64);
+    let searches = stats.class_stats("search.exact").expect("searches ran");
+    assert_eq!(searches.retired(), outcome.total_executed());
+    assert!(searches.messages_histogram().mean() > 0.0);
+    assert_eq!(stats.class_stats("join").expect("joins ran").retired(), 39);
+}
+
 /// p50 ≤ p95 ≤ p99 on every emitted latency series: the scenario report and
 /// randomly generated sample sets.
 #[test]

@@ -21,7 +21,7 @@ fn queries_route_around_unrecovered_failures() {
 
     // Silently fail 10% of the peers: no recovery protocol yet.
     let mut rng = SimRng::seeded(7);
-    let mut peers = overlay.peers();
+    let mut peers = overlay.peers().to_vec();
     peers.sort_unstable();
     rng.shuffle(&mut peers);
     let failed: Vec<_> = peers.iter().copied().take(20).collect();
@@ -40,8 +40,9 @@ fn queries_route_around_unrecovered_failures() {
     let owner_of = |overlay: &BatonSystem, key: u64| {
         overlay
             .peers()
-            .into_iter()
-            .find(|p| overlay.node(*p).unwrap().range.contains(key))
+            .iter()
+            .copied()
+            .find(|&p| overlay.node(p).unwrap().range.contains(key))
             .expect("domain fully covered")
     };
     let mut live_owned = 0usize;
@@ -89,7 +90,7 @@ fn single_failure_blocks_nothing() {
     // route-around in `locate_owner` must leave no hole unreachable.
     let keys: Vec<u64> = (0..100u64).map(|i| 1 + i * 9_999_998).collect();
     let base = build(120, 9);
-    let mut peers = base.peers();
+    let mut peers = base.peers().to_vec();
     peers.sort_unstable();
     let victims: Vec<_> = peers
         .iter()
@@ -146,7 +147,7 @@ fn routing_around_failures_costs_only_a_few_extra_messages() {
     // Fail a handful of peers silently and repeat the same queries from live
     // issuers.
     let mut rng = SimRng::seeded(3);
-    let mut peers = overlay.peers();
+    let mut peers = overlay.peers().to_vec();
     peers.sort_unstable();
     rng.shuffle(&mut peers);
     let failed: Vec<_> = peers.iter().copied().take(8).collect();
