@@ -1,0 +1,150 @@
+//! Per-peer and per-bucket state of the D3-Tree baseline.
+//!
+//! A D3-Tree peer lives in exactly one **bucket** (a leaf of the perfect
+//! binary backbone) and owns a contiguous slice of the key domain inside
+//! that bucket.  Peers of a bucket — and buckets themselves — are kept in
+//! key order, so the global in-order sequence of peers partitions the whole
+//! domain and doubles as the horizontal adjacency list range sweeps walk.
+
+use baton_net::PeerId;
+
+use crate::range::DRange;
+
+/// One peer of a bucket: its address, the key slice it owns and the sorted
+/// multiset of keys stored under that slice.
+#[derive(Clone, Debug)]
+pub struct BucketPeer {
+    /// The peer's network address.
+    pub peer: PeerId,
+    /// The contiguous slice of the domain this peer owns.
+    pub range: DRange,
+    /// Stored keys, sorted; every key lies inside `range`.
+    pub keys: Vec<u64>,
+}
+
+impl BucketPeer {
+    /// Creates a peer owning `range` with no data.
+    pub fn new(peer: PeerId, range: DRange) -> Self {
+        Self {
+            peer,
+            range,
+            keys: Vec::new(),
+        }
+    }
+
+    /// Inserts one key, keeping the multiset sorted.
+    pub fn insert_key(&mut self, key: u64) {
+        let at = self.keys.partition_point(|k| *k <= key);
+        self.keys.insert(at, key);
+    }
+
+    /// Removes one occurrence of `key`; `true` if one was present.
+    pub fn remove_key(&mut self, key: u64) -> bool {
+        let at = self.keys.partition_point(|k| *k < key);
+        if self.keys.get(at) == Some(&key) {
+            self.keys.remove(at);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of stored occurrences of `key`.
+    pub fn count_key(&self, key: u64) -> usize {
+        self.keys.partition_point(|k| *k <= key) - self.keys.partition_point(|k| *k < key)
+    }
+
+    /// Number of stored keys in `[low, high)`.
+    pub fn count_in(&self, low: u64, high: u64) -> usize {
+        self.keys.partition_point(|k| *k < high) - self.keys.partition_point(|k| *k < low)
+    }
+}
+
+/// A leaf bucket of the backbone: consecutive peers in key order.
+///
+/// The invariant the whole overlay rests on: a bucket is **never empty**
+/// (departures that would empty one trigger bucket-local repair or a
+/// backbone contraction first), and the concatenation of its peers' ranges
+/// is contiguous.
+#[derive(Clone, Debug, Default)]
+pub struct Bucket {
+    /// The bucket's peers, in key order.
+    pub peers: Vec<BucketPeer>,
+}
+
+impl Bucket {
+    /// Lowest key covered by the bucket.
+    pub fn low(&self) -> u64 {
+        self.peers.first().expect("bucket is never empty").range.low
+    }
+
+    /// One past the highest key covered by the bucket.
+    pub fn high(&self) -> u64 {
+        self.peers.last().expect("bucket is never empty").range.high
+    }
+
+    /// The peer that hosts this bucket's backbone leaf (its first peer).
+    pub fn head(&self) -> PeerId {
+        self.peers.first().expect("bucket is never empty").peer
+    }
+
+    /// Number of peers in the bucket.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// `true` when the bucket holds no peers (only ever observed
+    /// mid-repair).
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Total stored keys across the bucket's peers.
+    pub fn item_count(&self) -> u64 {
+        self.peers.iter().map(|p| p.keys.len() as u64).sum()
+    }
+
+    /// Position of the peer whose range contains `key`, if any.
+    pub fn position_of_key(&self, key: u64) -> Option<usize> {
+        self.peers.iter().position(|p| p.range.contains(key))
+    }
+
+    /// Position of `peer` in the bucket, if present.
+    pub fn position_of_peer(&self, peer: PeerId) -> Option<usize> {
+        self.peers.iter().position(|p| p.peer == peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_multiset_operations() {
+        let mut p = BucketPeer::new(PeerId(1), DRange::new(0, 100));
+        for k in [5u64, 3, 5, 9, 5] {
+            p.insert_key(k);
+        }
+        assert_eq!(p.keys, vec![3, 5, 5, 5, 9]);
+        assert_eq!(p.count_key(5), 3);
+        assert_eq!(p.count_in(4, 9), 3);
+        assert!(p.remove_key(5));
+        assert!(!p.remove_key(7));
+        assert_eq!(p.count_key(5), 2);
+    }
+
+    #[test]
+    fn bucket_views() {
+        let mut b = Bucket::default();
+        b.peers.push(BucketPeer::new(PeerId(1), DRange::new(0, 50)));
+        b.peers
+            .push(BucketPeer::new(PeerId(2), DRange::new(50, 100)));
+        assert_eq!((b.low(), b.high()), (0, 100));
+        assert_eq!(b.head(), PeerId(1));
+        assert_eq!(b.position_of_key(75), Some(1));
+        assert_eq!(b.position_of_peer(PeerId(2)), Some(1));
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.item_count(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! [`Overlay`] implementation for [`D3TreeSystem`].
+//!
+//! The D3-Tree is fully capable through the trait: it preserves key order
+//! (range queries), runs the deterministic weight-based balancer
+//! (`load_balancing`), repairs abrupt failures bucket-locally (`failures`)
+//! and reports per-backbone-level access load (`level_load`).
+
+use baton_net::{
+    ChurnCost, Histogram, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities,
+    OverlayError, OverlayResult, SimTime,
+};
+
+use crate::system::{D3Error, D3TreeSystem};
+
+fn op_err(error: D3Error) -> OverlayError {
+    OverlayError::Op(error.to_string())
+}
+
+impl Overlay for D3TreeSystem {
+    fn name(&self) -> &'static str {
+        "D3-Tree"
+    }
+
+    fn capabilities(&self) -> OverlayCapabilities {
+        OverlayCapabilities::FULL
+    }
+
+    fn node_count(&self) -> usize {
+        D3TreeSystem::node_count(self)
+    }
+
+    fn total_items(&self) -> usize {
+        D3TreeSystem::total_items(self)
+    }
+
+    fn stats(&self) -> &MessageStats {
+        D3TreeSystem::stats(self)
+    }
+
+    fn stats_mut(&mut self) -> &mut MessageStats {
+        D3TreeSystem::stats_mut(self)
+    }
+
+    fn now(&self) -> SimTime {
+        D3TreeSystem::now(self)
+    }
+
+    fn advance_to(&mut self, at: SimTime) {
+        D3TreeSystem::advance_to(self, at);
+    }
+
+    fn set_latency_model(&mut self, model: LatencyModel) {
+        D3TreeSystem::set_latency_model(self, model);
+    }
+
+    fn join_random(&mut self) -> OverlayResult<ChurnCost> {
+        let report = D3TreeSystem::join_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
+    fn leave_random(&mut self) -> OverlayResult<ChurnCost> {
+        let report = D3TreeSystem::leave_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
+    fn fail_random(&mut self) -> OverlayResult<ChurnCost> {
+        let report = D3TreeSystem::fail_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: report.lost_items,
+        })
+    }
+
+    fn insert(&mut self, key: u64, _value: u64) -> OverlayResult<OpCost> {
+        // The baseline tracks key multisets; values are not materialised.
+        let report = D3TreeSystem::insert(self, key).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: 0,
+            nodes_visited: report.nodes_visited,
+            balance_messages: report.balance_messages,
+        })
+    }
+
+    fn delete(&mut self, key: u64) -> OverlayResult<OpCost> {
+        let report = D3TreeSystem::delete(self, key).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: report.matches,
+            nodes_visited: report.nodes_visited,
+            balance_messages: report.balance_messages,
+        })
+    }
+
+    fn search_exact(&mut self, key: u64) -> OverlayResult<OpCost> {
+        let report = D3TreeSystem::search_exact(self, key).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: report.matches,
+            nodes_visited: report.nodes_visited,
+            balance_messages: 0,
+        })
+    }
+
+    fn search_range(&mut self, low: u64, high: u64) -> OverlayResult<OpCost> {
+        let report = D3TreeSystem::search_range(self, low, high).map_err(op_err)?;
+        Ok(OpCost {
+            messages: report.messages,
+            matches: report.matches,
+            nodes_visited: report.nodes_visited,
+            balance_messages: 0,
+        })
+    }
+
+    fn access_load_by_level(&self) -> Vec<(u32, f64)> {
+        D3TreeSystem::access_load_by_level(self)
+    }
+
+    fn balance_shift_histogram(&self) -> Option<&Histogram> {
+        Some(D3TreeSystem::balance_shift_histogram(self))
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        D3TreeSystem::validate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d3tree_is_fully_capable_through_the_trait() {
+        let mut overlay: Box<dyn Overlay> = Box::new(D3TreeSystem::build(1, 50).unwrap());
+        assert_eq!(overlay.name(), "D3-Tree");
+        assert_eq!(overlay.capabilities(), OverlayCapabilities::FULL);
+
+        overlay.insert(123_456, 99).unwrap();
+        assert_eq!(overlay.search_exact(123_456).unwrap().matches, 1);
+        let range = overlay.search_range(1, 1_000_000_000).unwrap();
+        assert_eq!(range.matches, 1);
+        assert!(range.nodes_visited >= 1);
+        assert_eq!(overlay.delete(123_456).unwrap().matches, 1);
+
+        overlay.join_random().unwrap();
+        overlay.leave_random().unwrap();
+        let fail = overlay.fail_random().unwrap();
+        assert!(fail.locate_messages + fail.update_messages > 0);
+        assert_eq!(overlay.node_count(), 49);
+        assert!(overlay.balance_shift_histogram().is_some());
+        overlay.validate().unwrap();
+    }
+
+    #[test]
+    fn d3tree_reports_per_level_access_load() {
+        let mut overlay: Box<dyn Overlay> = Box::new(D3TreeSystem::build(2, 120).unwrap());
+        for i in 0..200u64 {
+            overlay.search_exact(1 + i * 4_999_999).unwrap();
+        }
+        let by_level = overlay.access_load_by_level();
+        assert!(by_level.len() >= 2);
+        assert!(by_level.iter().any(|(_, load)| *load > 0.0));
+        // The root host concentrates routed traffic.
+        assert!(by_level[0].1 > 0.0);
+    }
+}

@@ -38,9 +38,10 @@ pub struct MNode {
     pub left_neighbor: Option<MLink>,
     /// In-order successor by key range.
     pub right_neighbor: Option<MLink>,
-    /// Number of data items stored (the baseline does not need the actual
-    /// values for any experiment).
-    pub items: usize,
+    /// Stored keys, sorted.  The figures only need counts, but the
+    /// cross-overlay range oracle asserts exact results, so the baseline
+    /// tracks the actual multiset (values are never materialised).
+    pub keys: Vec<u64>,
     /// Depth of this node (root = 0).
     pub depth: u32,
 }
@@ -56,8 +57,76 @@ impl MNode {
             children: Vec::new(),
             left_neighbor: None,
             right_neighbor: None,
-            items: 0,
+            keys: Vec::new(),
             depth: 0,
+        }
+    }
+
+    /// Number of stored data items.
+    pub fn items(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Inserts one key, keeping the multiset sorted.
+    pub fn insert_key(&mut self, key: u64) {
+        let at = self.keys.partition_point(|k| *k <= key);
+        self.keys.insert(at, key);
+    }
+
+    /// Removes one occurrence of `key`; `true` if one was present.
+    pub fn remove_key(&mut self, key: u64) -> bool {
+        let at = self.keys.partition_point(|k| *k < key);
+        if self.keys.get(at) == Some(&key) {
+            self.keys.remove(at);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of stored occurrences of `key`.
+    pub fn count_key(&self, key: u64) -> usize {
+        self.keys.partition_point(|k| *k <= key) - self.keys.partition_point(|k| *k < key)
+    }
+
+    /// Number of stored keys in `[low, high)`.
+    pub fn count_in(&self, low: u64, high: u64) -> usize {
+        self.keys.partition_point(|k| *k < high) - self.keys.partition_point(|k| *k < low)
+    }
+
+    /// Splits off and returns every stored key `>= at`.
+    pub fn split_keys_at(&mut self, at: u64) -> Vec<u64> {
+        let idx = self.keys.partition_point(|k| *k < at);
+        self.keys.split_off(idx)
+    }
+
+    /// Merges another sorted key multiset into this node's, preserving
+    /// order.  The common cases — the heir is the in-order neighbour of a
+    /// departed node, so one run entirely precedes the other — are a plain
+    /// append/prepend; anything else falls back to a linear merge.
+    pub fn merge_keys(&mut self, mut other: Vec<u64>) {
+        debug_assert!(other.windows(2).all(|w| w[0] <= w[1]));
+        if other.is_empty() {
+            return;
+        }
+        if self.keys.last() <= other.first() {
+            self.keys.append(&mut other);
+        } else if other.last() <= self.keys.first() {
+            other.extend_from_slice(&self.keys);
+            self.keys = other;
+        } else {
+            let mine = std::mem::take(&mut self.keys);
+            self.keys = Vec::with_capacity(mine.len() + other.len());
+            let (mut a, mut b) = (mine.into_iter().peekable(), other.into_iter().peekable());
+            while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+                if x <= y {
+                    self.keys.push(a.next().expect("peeked"));
+                } else {
+                    self.keys.push(b.next().expect("peeked"));
+                }
+            }
+            self.keys.extend(a);
+            self.keys.extend(b);
         }
     }
 

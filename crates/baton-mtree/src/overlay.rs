@@ -73,7 +73,7 @@ impl Overlay for MTreeSystem {
     }
 
     fn insert(&mut self, key: u64, _value: u64) -> OverlayResult<OpCost> {
-        // The baseline only tracks item counts, so the value is dropped.
+        // The baseline tracks key multisets; values are not materialised.
         let report = MTreeSystem::insert(self, key).map_err(op_err)?;
         Ok(OpCost {
             messages: report.messages,

@@ -187,7 +187,7 @@ impl MTreeSystem {
 
     /// Total stored items.
     pub fn total_items(&self) -> usize {
-        self.nodes.values().map(|n| n.items).sum()
+        self.nodes.values().map(|n| n.items()).sum()
     }
 
     fn node(&self, peer: PeerId) -> Result<&MNode> {
@@ -278,9 +278,11 @@ impl MTreeSystem {
         let (acceptor, locate_messages) = self.route_to_owner(op, contact, split_point)?;
 
         // The acceptor hands the upper half of its direct range to the new
-        // child; the child's coverage is exactly that half.
+        // child; the child's coverage is exactly that half.  Stored keys in
+        // the handed-over half move with it (no extra messages: the paper's
+        // model piggybacks the data on the accept message).
         let mut update_messages = 0u64;
-        let (child_range, acceptor_link, child_depth, sibling_count) = {
+        let (child_range, child_keys, acceptor_link, child_depth, sibling_count) = {
             let acceptor_node = self.node_mut(acceptor)?;
             let (keep, give) = acceptor_node.range.split_half();
             if give.width() == 0 {
@@ -288,15 +290,18 @@ impl MTreeSystem {
                 let link = acceptor_node.link();
                 (
                     give,
+                    Vec::new(),
                     link,
                     acceptor_node.depth + 1,
                     acceptor_node.children.len(),
                 )
             } else {
                 acceptor_node.range = keep;
+                let moved = acceptor_node.split_keys_at(give.low);
                 let link = acceptor_node.link();
                 (
                     give,
+                    moved,
                     link,
                     acceptor_node.depth + 1,
                     acceptor_node.children.len(),
@@ -304,6 +309,7 @@ impl MTreeSystem {
             }
         };
         let mut child = MNode::new(peer, child_range);
+        child.keys = child_keys;
         child.parent = Some(acceptor_link);
         child.depth = child_depth;
         // In-order neighbours: the child slots immediately after the
@@ -418,7 +424,7 @@ impl MTreeSystem {
                 .expect("multi-node tree has a neighbour");
             {
                 let h = self.node_mut(heir)?;
-                h.items += departing.items;
+                h.merge_keys(departing.keys.clone());
                 if h.range.high == departing.range.low {
                     h.range = MRange::new(h.range.low, departing.range.high);
                     if h.coverage.high == departing.range.low {
@@ -455,21 +461,20 @@ impl MTreeSystem {
                 .or_else(|| departing.children.last())
                 .expect("non-empty")
                 .peer;
-            let mut absorbed = false;
+            let mut absorber: Option<PeerId> = None;
             {
                 let r = self.node_mut(replacement)?;
-                r.items += departing.items;
                 r.coverage = departing.coverage;
                 if r.range.low == departing.range.high {
                     // The replacement is the departing node's in-order
                     // successor: absorb its direct range contiguously.
                     r.range = MRange::new(departing.range.low, r.range.high);
-                    absorbed = true;
+                    absorber = Some(replacement);
                 }
                 r.parent = departing.parent;
                 r.depth = departing.depth;
             }
-            if !absorbed {
+            if absorber.is_none() {
                 // Hand the departing node's direct range to its in-order
                 // predecessor (or successor) instead, keeping the partition
                 // contiguous.
@@ -477,20 +482,25 @@ impl MTreeSystem {
                     if let Some(ln) = self.nodes.get_mut(&l.peer) {
                         if ln.range.high == departing.range.low {
                             ln.range = MRange::new(ln.range.low, departing.range.high);
-                            absorbed = true;
+                            absorber = Some(l.peer);
                         }
                     }
                 }
-                if !absorbed {
+                if absorber.is_none() {
                     if let Some(r) = departing.right_neighbor {
                         if let Some(rn) = self.nodes.get_mut(&r.peer) {
                             if rn.range.low == departing.range.high {
                                 rn.range = MRange::new(departing.range.low, rn.range.high);
+                                absorber = Some(r.peer);
                             }
                         }
                     }
                 }
             }
+            // The stored keys follow the direct range to whichever node
+            // absorbed it (the replacement, degenerately, if none did).
+            let keys_heir = absorber.unwrap_or(replacement);
+            self.node_mut(keys_heir)?.merge_keys(departing.keys.clone());
             self.net.count_message(op, "mtree.leave", peer, replacement);
             update_messages += 1;
             // The departing node's other children become the replacement's
@@ -601,7 +611,7 @@ impl MTreeSystem {
         let issuer = self.random_peer().ok_or(MTreeError::Empty)?;
         let op = self.net.begin_op("mtree.insert");
         let (owner, messages) = self.route_to_owner(op, issuer, key)?;
-        self.node_mut(owner)?.items += 1;
+        self.node_mut(owner)?.insert_key(key);
         self.net.finish_op(op);
         Ok(MTreeOpReport {
             messages,
@@ -610,8 +620,7 @@ impl MTreeSystem {
         })
     }
 
-    /// Deletes a value under `key` (best effort — the baseline only tracks
-    /// item counts).
+    /// Deletes one stored occurrence of `key`, if any.
     pub fn delete(&mut self, key: u64) -> Result<MTreeOpReport> {
         if !self.domain.contains(key) {
             return Err(MTreeError::KeyOutOfDomain(key));
@@ -619,15 +628,7 @@ impl MTreeSystem {
         let issuer = self.random_peer().ok_or(MTreeError::Empty)?;
         let op = self.net.begin_op("mtree.delete");
         let (owner, messages) = self.route_to_owner(op, issuer, key)?;
-        let removed = {
-            let node = self.node_mut(owner)?;
-            if node.items > 0 {
-                node.items -= 1;
-                1
-            } else {
-                0
-            }
-        };
+        let removed = usize::from(self.node_mut(owner)?.remove_key(key));
         self.net.finish_op(op);
         Ok(MTreeOpReport {
             messages,
@@ -644,7 +645,7 @@ impl MTreeSystem {
         let issuer = self.random_peer().ok_or(MTreeError::Empty)?;
         let op = self.net.begin_op("mtree.search");
         let (owner, messages) = self.route_to_owner(op, issuer, key)?;
-        let matches = usize::from(self.node(owner)?.items > 0);
+        let matches = self.node(owner)?.count_key(key);
         self.net.finish_op(op);
         Ok(MTreeOpReport {
             messages,
@@ -668,7 +669,7 @@ impl MTreeSystem {
             let node = self.node(current)?;
             nodes_visited += 1;
             if node.range.intersects(range) {
-                matches += node.items.min(1);
+                matches += node.count_in(range.low, range.high);
             }
             if node.range.high >= range.high {
                 break;

@@ -2,8 +2,8 @@
 //! time-domain scenario reports.
 //!
 //! ```text
-//! reproduce [--figure 8a|8b|...|8i|all|none] [--scenario latency_under_churn|all|none]
-//!           [--profile quick|full|paper|smoke] [--json] [--csv]
+//! reproduce [--figure 8a|8b|...|8i|all|none] [--scenario latency_under_churn|flash_crowd|all|none]
+//!           [--profile quick|full|paper|smoke] [--overlays NAME[,NAME...]] [--json] [--csv]
 //! ```
 //!
 //! By default every figure is regenerated at the `quick` profile and printed
@@ -11,6 +11,11 @@
 //! throughput from the discrete-event engine).  `--profile full` uses the
 //! paper's network sizes (1000–10,000 nodes) with a scaled-down bulk load;
 //! `--profile paper` runs the publication's exact configuration (slow).
+//!
+//! `--overlays` narrows the comparison list (comma-separated series names,
+//! case-insensitive — e.g. `--overlays D3-Tree`) so a single overlay can be
+//! run or debugged in isolation; the BATON-only figures 8(f)–(i) are
+//! unaffected.
 
 use std::process::ExitCode;
 
@@ -20,6 +25,7 @@ struct Options {
     figure: String,
     scenario: String,
     profile: Profile,
+    overlays: Vec<String>,
     json: bool,
     csv: bool,
 }
@@ -28,6 +34,7 @@ fn parse_args() -> Result<Options, String> {
     let mut figure = "all".to_owned();
     let mut scenario = "all".to_owned();
     let mut profile = Profile::quick();
+    let mut overlays = Vec::new();
     let mut json = false;
     let mut csv = false;
     let mut args = std::env::args().skip(1);
@@ -38,6 +45,14 @@ fn parse_args() -> Result<Options, String> {
             }
             "--scenario" | "-s" => {
                 scenario = args.next().ok_or("--scenario needs a value")?;
+            }
+            "--overlays" | "-o" => {
+                let list = args.next().ok_or("--overlays needs a value")?;
+                overlays.extend(
+                    list.split(',')
+                        .map(|name| name.trim().to_owned())
+                        .filter(|name| !name.is_empty()),
+                );
             }
             "--profile" | "-p" => {
                 let name = args.next().ok_or("--profile needs a value")?;
@@ -52,11 +67,12 @@ fn parse_args() -> Result<Options, String> {
             "--json" => json = true,
             "--csv" => csv = true,
             "--help" | "-h" => {
-                return Err(
-                    "usage: reproduce [--figure 8a..8i|all|none] [--scenario latency_under_churn|all|none] \
-                     [--profile smoke|quick|full|paper] [--json] [--csv]"
-                        .to_owned(),
-                )
+                return Err(format!(
+                    "usage: reproduce [--figure 8a..8i|all|none] \
+                     [--scenario {}|all|none] [--profile smoke|quick|full|paper] \
+                     [--overlays NAME[,NAME...]] [--json] [--csv]",
+                    scenario::all_scenario_ids().join("|")
+                ))
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -65,6 +81,7 @@ fn parse_args() -> Result<Options, String> {
         figure,
         scenario,
         profile,
+        overlays,
         json,
         csv,
     })
@@ -78,6 +95,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(msg) = baton_sim::set_overlay_filter(&options.overlays) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
 
     let results = if options.figure.eq_ignore_ascii_case("none") {
         Vec::new()

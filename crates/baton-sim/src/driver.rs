@@ -6,9 +6,16 @@
 //! measurement loop per experiment, not one per system.  Adding a new
 //! baseline to every figure therefore means adding one [`OverlaySpec`]
 //! here (and implementing [`Overlay`] for the system), nothing else.
+//!
+//! The list can be narrowed process-wide with [`set_overlay_filter`] (the
+//! `reproduce --overlays` and `perf --overlays` flags), so a single overlay
+//! can be run or debugged in isolation without touching any driver.
+
+use std::sync::RwLock;
 
 use baton_chord::ChordSystem;
 use baton_core::{BatonConfig, BatonSystem, LoadBalanceConfig};
+use baton_d3tree::D3TreeSystem;
 use baton_mtree::MTreeSystem;
 use baton_net::{Overlay, SimRng};
 use baton_workload::{runner, DatasetPlan, KeyDistribution};
@@ -48,8 +55,12 @@ fn build_mtree(_profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
     Box::new(MTreeSystem::build(seed, n).expect("building the multiway tree cannot fail"))
 }
 
+fn build_d3tree(_profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+    Box::new(D3TreeSystem::build(seed, n).expect("building the D3-Tree cannot fail"))
+}
+
 /// The system under study: BATON.  Figures 8(f)–(i) plot it alone, as the
-/// paper does.
+/// paper does; the overlay filter does not apply to them.
 pub fn reference_overlay() -> OverlaySpec {
     OverlaySpec {
         series: super::figures::SERIES_BATON,
@@ -57,9 +68,9 @@ pub fn reference_overlay() -> OverlaySpec {
     }
 }
 
-/// Every system of the comparison, in the paper's order: BATON, Chord,
-/// multiway tree.
-pub fn standard_overlays() -> Vec<OverlaySpec> {
+/// Every known comparison system, unfiltered, in series order: BATON, the
+/// paper's two baselines, then the post-paper baselines.
+pub fn all_overlays() -> Vec<OverlaySpec> {
     vec![
         reference_overlay(),
         OverlaySpec {
@@ -70,7 +81,64 @@ pub fn standard_overlays() -> Vec<OverlaySpec> {
             series: super::figures::SERIES_MTREE,
             build: build_mtree,
         },
+        OverlaySpec {
+            series: super::figures::SERIES_D3TREE,
+            build: build_d3tree,
+        },
     ]
+}
+
+/// Series names of every known overlay, in the order of [`all_overlays`].
+pub fn overlay_names() -> Vec<&'static str> {
+    all_overlays().into_iter().map(|s| s.series).collect()
+}
+
+/// Process-wide overlay selection (`None` = every overlay).  Set once by a
+/// binary before running experiments; not intended for concurrent
+/// mutation.
+static OVERLAY_FILTER: RwLock<Option<Vec<String>>> = RwLock::new(None);
+
+/// Restricts [`standard_overlays`] to the given series names
+/// (case-insensitive).  An empty list clears the filter.  Returns an error
+/// naming the first unknown overlay.
+pub fn set_overlay_filter(names: &[String]) -> Result<(), String> {
+    let known = overlay_names();
+    let mut selected = Vec::new();
+    for name in names {
+        match known.iter().find(|k| k.eq_ignore_ascii_case(name)) {
+            Some(series) => {
+                if !selected.contains(&(*series).to_owned()) {
+                    selected.push((*series).to_owned());
+                }
+            }
+            None => return Err(format!("unknown overlay '{name}'; available: {known:?}")),
+        }
+    }
+    let mut filter = OVERLAY_FILTER.write().expect("filter lock");
+    *filter = if selected.is_empty() {
+        None
+    } else {
+        Some(selected)
+    };
+    Ok(())
+}
+
+/// Clears any process-wide overlay filter.
+pub fn clear_overlay_filter() {
+    *OVERLAY_FILTER.write().expect("filter lock") = None;
+}
+
+/// The systems of the comparison — [`all_overlays`] narrowed by any
+/// process-wide filter ([`set_overlay_filter`]).
+pub fn standard_overlays() -> Vec<OverlaySpec> {
+    let filter = OVERLAY_FILTER.read().expect("filter lock");
+    match filter.as_deref() {
+        None => all_overlays(),
+        Some(names) => all_overlays()
+            .into_iter()
+            .filter(|spec| names.iter().any(|n| n == spec.series))
+            .collect(),
+    }
 }
 
 /// Bulk-loads an overlay with the profile-scaled dataset, returning the
@@ -100,10 +168,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_overlays_cover_the_papers_three_systems() {
+    fn standard_overlays_cover_every_comparison_system() {
         let profile = Profile::smoke();
         let specs = standard_overlays();
-        assert_eq!(specs.len(), 3);
+        assert_eq!(specs.len(), 4);
         let mut range_capable = 0;
         for spec in &specs {
             let overlay = spec.build(&profile, 15, 7);
@@ -114,8 +182,9 @@ mod tests {
                 range_capable += 1;
             }
         }
-        // BATON and the multiway tree; Chord cannot answer range queries.
-        assert_eq!(range_capable, 2);
+        // BATON, the multiway tree and the D3-Tree; Chord cannot answer
+        // range queries.
+        assert_eq!(range_capable, 3);
     }
 
     #[test]
@@ -127,5 +196,16 @@ mod tests {
             assert_eq!(data.len(), profile.dataset_size(10));
             assert_eq!(overlay.total_items(), data.len());
         }
+    }
+
+    #[test]
+    fn overlay_filter_validates_names() {
+        // Only validation is exercised here: mutating the process-wide
+        // filter would race the other driver tests.
+        assert!(set_overlay_filter(&["nonsense".to_owned()]).is_err());
+        assert_eq!(
+            overlay_names(),
+            vec!["BATON", "Chord", "Multiway tree", "D3-Tree"]
+        );
     }
 }

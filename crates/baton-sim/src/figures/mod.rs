@@ -28,6 +28,8 @@ pub const SERIES_BATON: &str = "BATON";
 pub const SERIES_CHORD: &str = "Chord";
 /// Series name used for the multiway-tree measurements.
 pub const SERIES_MTREE: &str = "Multiway tree";
+/// Series name used for the D3-Tree measurements.
+pub const SERIES_D3TREE: &str = "D3-Tree";
 
 /// Runs every figure of the paper at the given profile, in order.
 pub fn run_all(profile: &Profile) -> Vec<FigureResult> {

@@ -51,8 +51,11 @@ pub mod report;
 pub mod result;
 pub mod scenario;
 
-pub use driver::{load_overlay, reference_overlay, standard_overlays, OverlaySpec};
+pub use driver::{
+    all_overlays, clear_overlay_filter, load_overlay, overlay_names, reference_overlay,
+    set_overlay_filter, standard_overlays, OverlaySpec,
+};
 pub use profile::Profile;
 pub use report::{json_string, render_json, render_report};
 pub use result::{Averager, FigureResult, SeriesPoint};
-pub use scenario::{latency_under_churn, ScenarioResult};
+pub use scenario::{flash_crowd, latency_under_churn, ScenarioResult, ScenarioSeries};

@@ -2,23 +2,33 @@
 //! with the discrete-event engine — the report section the paper's
 //! count-only evaluation cannot produce.
 //!
-//! The first (and template) scenario is [`latency_under_churn`]: an
-//! open-loop mix of searches, range queries, inserts, joins, leaves and
-//! failures over log-normal links, with 10% of the peers churning per
-//! virtual minute.  It runs over the same [`OverlaySpec`] list as every
-//! Figure-8 driver, so new baselines appear in the latency report the same
-//! way they appear in the message-count figures: by adding one spec.
+//! Two scenarios are registered:
 //!
-//! Future workloads (flash crowds, correlated failures, degraded links)
-//! should follow the same shape: build an [`OpenLoopWorkload`], pick a
-//! seeded [`LatencyModel`], call
-//! [`run_open_loop`](baton_workload::run_open_loop), and summarise per-class
-//! percentiles into a [`ScenarioResult`].
+//! * [`latency_under_churn`] — the template: an open-loop mix of searches,
+//!   range queries, inserts, joins, leaves and failures over log-normal
+//!   links, with 10% of the peers churning per virtual minute;
+//! * [`flash_crowd`] — the same substrate with no churn but a 20-second
+//!   burst window during which the search/range/insert key distribution
+//!   collapses onto a hot 1% slice of the domain, stressing whichever peers
+//!   own the hot keys.
+//!
+//! Every scenario runs over the same [`OverlaySpec`] list as the Figure-8
+//! drivers, so new baselines appear in the latency reports the same way
+//! they appear in the message-count figures: by adding one spec.
+//!
+//! Future workloads (correlated regional failures, degraded links, mixed
+//! read/write skew) should follow the same shape: build an
+//! [`OpenLoopWorkload`], pick a seeded latency model, call
+//! [`run_open_loop`](baton_workload::run_open_loop), and summarise
+//! per-class percentiles into a [`ScenarioResult`].
 
 use std::fmt::Write as _;
 
 use baton_net::{LatencyModel, SimRng, SimTime};
-use baton_workload::{run_open_loop, KeyDistribution, LatencySummary, OpClass, OpenLoopWorkload};
+use baton_workload::{
+    run_open_loop, HotBurst, KeyDistribution, LatencySummary, OpClass, OpenLoopWorkload,
+    DOMAIN_HIGH, DOMAIN_LOW,
+};
 
 use crate::driver::{load_overlay, standard_overlays};
 use crate::profile::Profile;
@@ -55,8 +65,17 @@ pub struct ScenarioSeries {
     pub virtual_seconds: f64,
     /// Total messages across all repetitions.
     pub messages: u64,
-    /// Operations skipped (node floor / unsupported class).
-    pub skipped: u64,
+    /// Operations skipped, broken out per [`OpClass`] (in class order), so
+    /// "Chord skipped ranges" is distinguishable from "node-floor skipped
+    /// leaves".  Classes with zero skips are omitted.
+    pub skipped: Vec<(String, u64)>,
+}
+
+impl ScenarioSeries {
+    /// Total operations skipped across all classes.
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped.iter().map(|(_, n)| n).sum()
+    }
 }
 
 /// The result of one time-domain scenario across every overlay.
@@ -76,14 +95,20 @@ impl ScenarioResult {
         let mut out = String::new();
         let _ = writeln!(out, "Scenario {} — {}", self.id, self.title);
         for series in &self.series {
+            let skipped = if series.skipped.is_empty() {
+                "0 skipped".to_owned()
+            } else {
+                let detail: Vec<String> = series
+                    .skipped
+                    .iter()
+                    .map(|(class, n)| format!("{class}: {n}"))
+                    .collect();
+                format!("{} skipped ({})", series.skipped_total(), detail.join(", "))
+            };
             let _ = writeln!(
                 out,
-                "  {}: {:.2} ops per virtual second over {:.1}s, {} messages, {} skipped",
-                series.overlay,
-                series.throughput,
-                series.virtual_seconds,
-                series.messages,
-                series.skipped
+                "  {}: {:.2} ops per virtual second over {:.1}s, {} messages, {}",
+                series.overlay, series.throughput, series.virtual_seconds, series.messages, skipped
             );
             let _ = writeln!(
                 out,
@@ -105,6 +130,75 @@ impl ScenarioResult {
         }
         out
     }
+}
+
+/// Runs `workload` against every overlay of [`standard_overlays`] at size
+/// `n`, over seeded log-normal 40ms links, aggregating the profile's
+/// repetitions into one [`ScenarioSeries`] per overlay.
+fn measure(profile: &Profile, workload: &OpenLoopWorkload, n: usize) -> Vec<ScenarioSeries> {
+    let mut series = Vec::new();
+    for spec in standard_overlays() {
+        let mut latencies: std::collections::BTreeMap<&'static str, Vec<SimTime>> =
+            Default::default();
+        let mut skipped: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        let mut messages = 0u64;
+        let mut throughput_sum = 0.0f64;
+        let mut seconds_sum = 0.0f64;
+        for rep in 0..profile.repetitions {
+            let seed = profile.rep_seed(rep);
+            let mut overlay = spec.build(profile, n, seed);
+            load_overlay(profile, &mut *overlay, KeyDistribution::Uniform, seed);
+            overlay.set_latency_model(LatencyModel::log_normal(
+                SimTime::from_millis(40),
+                0.5,
+                seed ^ 0x1A7E,
+            ));
+            let mut rng = SimRng::seeded(seed ^ 0x0BE7);
+            let events = workload.schedule(&mut rng.derive(1));
+            let outcome = run_open_loop(&mut *overlay, &events, workload, &mut rng, n / 2)
+                .expect("open-loop run cannot fail");
+            for (class, count) in &outcome.skipped {
+                *skipped.entry(class).or_insert(0) += count;
+            }
+            messages += outcome.messages;
+            throughput_sum += outcome.throughput();
+            seconds_sum += outcome.makespan.as_secs_f64();
+            for (class, samples) in &outcome.latencies {
+                latencies.entry(class).or_default().extend(samples);
+            }
+        }
+        let reps = profile.repetitions.max(1) as f64;
+        let classes = OpClass::ALL
+            .iter()
+            .filter_map(|class| {
+                let samples = latencies.get(class.name())?;
+                let summary = LatencySummary::from_samples(samples)?;
+                Some(ClassLatency {
+                    class: class.name().to_owned(),
+                    count: summary.count as u64,
+                    mean_ms: summary.mean.as_millis_f64(),
+                    p50_ms: summary.p50.as_millis_f64(),
+                    p95_ms: summary.p95.as_millis_f64(),
+                    p99_ms: summary.p99.as_millis_f64(),
+                })
+            })
+            .collect();
+        series.push(ScenarioSeries {
+            overlay: spec.series.to_owned(),
+            classes,
+            throughput: throughput_sum / reps,
+            virtual_seconds: seconds_sum / reps,
+            messages,
+            skipped: OpClass::ALL
+                .iter()
+                .filter_map(|class| {
+                    let count = *skipped.get(class.name())?;
+                    (count > 0).then(|| (class.name().to_owned(), count))
+                })
+                .collect(),
+        });
+    }
+    series
 }
 
 /// The `latency_under_churn` scenario: search/insert/range traffic measured
@@ -129,81 +223,62 @@ pub fn latency_under_churn(profile: &Profile) -> ScenarioResult {
     workload.leave_rate -= workload.fail_rate;
     workload.distribution = KeyDistribution::Uniform;
 
-    let mut result = ScenarioResult {
+    ScenarioResult {
         id: "latency_under_churn".to_owned(),
         title: format!(
             "operation latency and throughput, N = {n}, 10% churn per virtual minute, \
              log-normal links (median 40ms, σ = 0.5)"
         ),
-        series: Vec::new(),
-    };
-    for spec in standard_overlays() {
-        let mut latencies: std::collections::BTreeMap<&'static str, Vec<SimTime>> =
-            Default::default();
-        let mut skipped = 0u64;
-        let mut messages = 0u64;
-        let mut throughput_sum = 0.0f64;
-        let mut seconds_sum = 0.0f64;
-        for rep in 0..profile.repetitions {
-            let seed = profile.rep_seed(rep);
-            let mut overlay = spec.build(profile, n, seed);
-            load_overlay(profile, &mut *overlay, KeyDistribution::Uniform, seed);
-            overlay.set_latency_model(LatencyModel::log_normal(
-                SimTime::from_millis(40),
-                0.5,
-                seed ^ 0x1A7E,
-            ));
-            let mut rng = SimRng::seeded(seed ^ 0x0BE7);
-            let events = workload.schedule(&mut rng.derive(1));
-            let outcome = run_open_loop(&mut *overlay, &events, &workload, &mut rng, n / 2)
-                .expect("open-loop run cannot fail");
-            skipped += outcome.skipped;
-            messages += outcome.messages;
-            throughput_sum += outcome.throughput();
-            seconds_sum += outcome.makespan.as_secs_f64();
-            for (class, samples) in &outcome.latencies {
-                latencies.entry(class).or_default().extend(samples);
-            }
-        }
-        let reps = profile.repetitions.max(1) as f64;
-        let classes = OpClass::ALL
-            .iter()
-            .filter_map(|class| {
-                let samples = latencies.get(class.name())?;
-                let summary = LatencySummary::from_samples(samples)?;
-                Some(ClassLatency {
-                    class: class.name().to_owned(),
-                    count: summary.count as u64,
-                    mean_ms: summary.mean.as_millis_f64(),
-                    p50_ms: summary.p50.as_millis_f64(),
-                    p95_ms: summary.p95.as_millis_f64(),
-                    p99_ms: summary.p99.as_millis_f64(),
-                })
-            })
-            .collect();
-        result.series.push(ScenarioSeries {
-            overlay: spec.series.to_owned(),
-            classes,
-            throughput: throughput_sum / reps,
-            virtual_seconds: seconds_sum / reps,
-            messages,
-            skipped,
-        });
+        series: measure(profile, &workload, n),
     }
-    result
+}
+
+/// The `flash_crowd` scenario: a steady open-loop mix whose search, range
+/// and insert keys collapse onto a hot 1% slice of the domain for the
+/// middle 20 virtual seconds of the run — the whole crowd hammers the few
+/// peers owning the hot slice, and the per-class percentiles show how each
+/// overlay absorbs it.
+pub fn flash_crowd(profile: &Profile) -> ScenarioResult {
+    let n = *profile
+        .network_sizes
+        .last()
+        .expect("profile has network sizes");
+    let duration = SimTime::from_secs(60);
+    // A denser query stream than the churn scenario: the crowd is the load.
+    let search_rate = (profile.query_count() as f64 / duration.as_secs_f64() * 5.0).max(2.0);
+    let mut workload = OpenLoopWorkload::queries_only(duration, search_rate);
+    workload.insert_rate = search_rate / 4.0;
+    workload.range_rate = search_rate / 8.0;
+    let hot_width = (DOMAIN_HIGH - DOMAIN_LOW) / 100;
+    workload.hot_burst = Some(HotBurst {
+        from: SimTime::from_secs(20),
+        until: SimTime::from_secs(40),
+        low: DOMAIN_LOW,
+        high: DOMAIN_LOW + hot_width,
+    });
+
+    ScenarioResult {
+        id: "flash_crowd".to_owned(),
+        title: format!(
+            "flash crowd, N = {n}: keys collapse onto the hottest 1% of the domain \
+             during t = [20s, 40s), log-normal links (median 40ms, σ = 0.5)"
+        ),
+        series: measure(profile, &workload, n),
+    }
 }
 
 /// Runs a scenario by identifier; `None` for an unknown one.
 pub fn run_scenario(id: &str, profile: &Profile) -> Option<ScenarioResult> {
     match id.to_ascii_lowercase().as_str() {
         "latency_under_churn" => Some(latency_under_churn(profile)),
+        "flash_crowd" => Some(flash_crowd(profile)),
         _ => None,
     }
 }
 
 /// Identifiers of every scenario.
 pub fn all_scenario_ids() -> Vec<&'static str> {
-    vec!["latency_under_churn"]
+    vec!["latency_under_churn", "flash_crowd"]
 }
 
 #[cfg(test)]
@@ -214,7 +289,7 @@ mod tests {
     fn latency_under_churn_reports_every_overlay_with_ordered_percentiles() {
         let profile = Profile::smoke();
         let result = latency_under_churn(&profile);
-        assert_eq!(result.series.len(), 3);
+        assert_eq!(result.series.len(), 4);
         for series in &result.series {
             assert!(
                 series.throughput.is_finite() && series.throughput > 0.0,
@@ -253,13 +328,65 @@ mod tests {
         let table = result.to_table();
         assert!(table.contains("latency_under_churn"));
         assert!(table.contains("BATON"));
+        assert!(table.contains("D3-Tree"));
+    }
+
+    #[test]
+    fn skips_are_attributed_to_classes() {
+        let profile = Profile::smoke();
+        let result = latency_under_churn(&profile);
+        // Chord cannot answer range queries: every one of its skips must be
+        // attributed, and the range class must be among them.
+        let chord = result
+            .series
+            .iter()
+            .find(|s| s.overlay == "Chord")
+            .expect("Chord series");
+        let ranged: u64 = chord
+            .skipped
+            .iter()
+            .filter(|(class, _)| class == "range")
+            .map(|(_, n)| *n)
+            .sum();
+        assert!(ranged > 0, "Chord skipped no ranges: {:?}", chord.skipped);
+        assert_eq!(
+            chord.skipped_total(),
+            chord.skipped.iter().map(|(_, n)| n).sum::<u64>()
+        );
+        // Fully capable overlays never skip ranges.
+        let baton = &result.series[0];
+        assert!(baton.skipped.iter().all(|(class, _)| class != "range"));
+    }
+
+    #[test]
+    fn flash_crowd_reports_every_overlay() {
+        let profile = Profile::smoke();
+        let result = flash_crowd(&profile);
+        assert_eq!(result.series.len(), 4);
+        for series in &result.series {
+            assert!(series.throughput > 0.0, "{} idle", series.overlay);
+            let search = series
+                .classes
+                .iter()
+                .find(|c| c.class == "search")
+                .unwrap_or_else(|| panic!("{} ran no searches", series.overlay));
+            assert!(search.count > 0);
+            assert!(search.p50_ms > 1.0);
+        }
+        let table = result.to_table();
+        assert!(table.contains("flash_crowd"));
+        assert!(table.contains("hottest 1%"));
     }
 
     #[test]
     fn scenario_registry_resolves_ids() {
-        assert_eq!(all_scenario_ids(), vec!["latency_under_churn"]);
+        assert_eq!(
+            all_scenario_ids(),
+            vec!["latency_under_churn", "flash_crowd"]
+        );
         let profile = Profile::smoke();
         assert!(run_scenario("nonsense", &profile).is_none());
         assert!(run_scenario("LATENCY_UNDER_CHURN", &profile).is_some());
+        assert!(run_scenario("Flash_Crowd", &profile).is_some());
     }
 }

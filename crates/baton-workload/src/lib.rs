@@ -33,7 +33,8 @@ pub use churn::{ChurnEvent, ChurnWorkload, ConcurrentChurnBatch};
 pub use dataset::DatasetPlan;
 pub use keys::{KeyDistribution, KeyGenerator, DOMAIN_HIGH, DOMAIN_LOW};
 pub use openloop::{
-    run_open_loop, ArrivalEvent, LatencySummary, OpClass, OpenLoopOutcome, OpenLoopWorkload,
+    run_open_loop, ArrivalEvent, HotBurst, LatencySummary, OpClass, OpenLoopOutcome,
+    OpenLoopWorkload,
 };
 pub use queries::{Query, QueryWorkload};
 pub use runner::{bulk_load, run_churn, run_queries, ChurnOutcome, LoadOutcome, QueryOutcome};

@@ -72,6 +72,28 @@ pub struct ArrivalEvent {
     pub class: OpClass,
 }
 
+/// A burst window during which the key distribution of searches, range
+/// queries and inserts collapses onto a hot slice of the domain — the
+/// flash-crowd ingredient of an open-loop workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotBurst {
+    /// Virtual instant the burst starts (inclusive).
+    pub from: SimTime,
+    /// Virtual instant the burst ends (exclusive).
+    pub until: SimTime,
+    /// Inclusive lower bound of the hot key slice.
+    pub low: u64,
+    /// Exclusive upper bound of the hot key slice.
+    pub high: u64,
+}
+
+impl HotBurst {
+    /// `true` while the burst is active at `at`.
+    pub fn covers(&self, at: SimTime) -> bool {
+        at >= self.from && at < self.until
+    }
+}
+
 /// An open-loop workload: per-class Poisson arrival rates over a virtual
 /// duration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -94,6 +116,10 @@ pub struct OpenLoopWorkload {
     pub distribution: KeyDistribution,
     /// Width of each range query as a fraction of the domain.
     pub range_selectivity: f64,
+    /// Optional flash-crowd window: while active, search/range/insert keys
+    /// are drawn uniformly from the burst's hot slice instead of
+    /// `distribution`.
+    pub hot_burst: Option<HotBurst>,
 }
 
 impl OpenLoopWorkload {
@@ -110,6 +136,7 @@ impl OpenLoopWorkload {
             fail_rate: 0.0,
             distribution: KeyDistribution::Uniform,
             range_selectivity: 0.001,
+            hot_burst: None,
         }
     }
 
@@ -222,9 +249,11 @@ impl LatencySummary {
 pub struct OpenLoopOutcome {
     /// Operations executed, per class.
     pub executed: BTreeMap<&'static str, u64>,
-    /// Operations skipped (node floor reached, or a class the overlay does
-    /// not support, e.g. range queries on a DHT).
-    pub skipped: u64,
+    /// Operations skipped, per class (node floor reached, or a class the
+    /// overlay does not support, e.g. range queries on a DHT) — kept per
+    /// [`OpClass`] so "Chord skipped ranges" stays distinguishable from
+    /// "node-floor skipped leaves" in reports.
+    pub skipped: BTreeMap<&'static str, u64>,
     /// Virtual instant the overlay had reached when the run ended — the
     /// denominator of [`throughput`](Self::throughput).
     pub makespan: SimTime,
@@ -238,6 +267,16 @@ impl OpenLoopOutcome {
     /// Total operations executed across all classes.
     pub fn total_executed(&self) -> u64 {
         self.executed.values().sum()
+    }
+
+    /// Total operations skipped across all classes.
+    pub fn total_skipped(&self) -> u64 {
+        self.skipped.values().sum()
+    }
+
+    /// Operations of one class that were skipped.
+    pub fn skipped_of(&self, class: OpClass) -> u64 {
+        self.skipped.get(class.name()).copied().unwrap_or(0)
     }
 
     /// Completed operations per virtual second (0.0 for a zero makespan,
@@ -275,6 +314,15 @@ pub fn run_open_loop(
     min_nodes: usize,
 ) -> OverlayResult<OpenLoopOutcome> {
     let keygen = KeyGenerator::paper(workload.distribution);
+    let hot_keygen = workload
+        .hot_burst
+        .map(|burst| KeyGenerator::new(burst.low, burst.high, KeyDistribution::Uniform));
+    // Draws the next data key: from the hot slice while a burst covers the
+    // arrival, from the workload's distribution otherwise.
+    let next_key = |at: SimTime, rng: &mut SimRng| match (&workload.hot_burst, &hot_keygen) {
+        (Some(burst), Some(hot)) if burst.covers(at) => hot.next_key(rng),
+        _ => keygen.next_key(rng),
+    };
     let range_width =
         (((DOMAIN_HIGH - DOMAIN_LOW) as f64 * workload.range_selectivity) as u64).max(1);
     let mut outcome = OpenLoopOutcome::default();
@@ -282,9 +330,9 @@ pub fn run_open_loop(
         overlay.advance_to(event.at);
         let first_op = baton_net::OpId(overlay.stats().next_op_id());
         let messages = match event.class {
-            OpClass::Search => Some(overlay.search_exact(keygen.next_key(rng))?.messages),
+            OpClass::Search => Some(overlay.search_exact(next_key(event.at, rng))?.messages),
             OpClass::Range => {
-                let low = keygen.next_key(rng);
+                let low = next_key(event.at, rng);
                 let high = (low + range_width).min(DOMAIN_HIGH);
                 match overlay.search_range(low, high) {
                     Ok(cost) => Some(cost.messages),
@@ -293,7 +341,7 @@ pub fn run_open_loop(
                 }
             }
             OpClass::Insert => {
-                let key = keygen.next_key(rng);
+                let key = next_key(event.at, rng);
                 let cost = overlay.insert(key, key)?;
                 Some(cost.messages + cost.balance_messages)
             }
@@ -316,7 +364,7 @@ pub fn run_open_loop(
             }
         };
         let Some(messages) = messages else {
-            outcome.skipped += 1;
+            *outcome.skipped.entry(event.class.name()).or_insert(0) += 1;
             continue;
         };
         *outcome.executed.entry(event.class.name()).or_insert(0) += 1;
@@ -356,6 +404,7 @@ mod tests {
             fail_rate: 0.0,
             distribution: KeyDistribution::Uniform,
             range_selectivity: 0.001,
+            hot_burst: None,
         };
         let events = workload.schedule(&mut SimRng::seeded(1));
         let again = workload.schedule(&mut SimRng::seeded(1));
@@ -403,7 +452,23 @@ mod tests {
     fn empty_outcome_reports_zero_throughput() {
         let outcome = OpenLoopOutcome::default();
         assert_eq!(outcome.total_executed(), 0);
+        assert_eq!(outcome.total_skipped(), 0);
+        assert_eq!(outcome.skipped_of(OpClass::Range), 0);
         assert_eq!(outcome.throughput(), 0.0);
         assert!(outcome.summary(OpClass::Search).is_none());
+    }
+
+    #[test]
+    fn hot_burst_covers_its_window_half_open() {
+        let burst = HotBurst {
+            from: SimTime::from_secs(20),
+            until: SimTime::from_secs(40),
+            low: 1,
+            high: 10_000_001,
+        };
+        assert!(!burst.covers(SimTime::from_millis(19_999)));
+        assert!(burst.covers(SimTime::from_secs(20)));
+        assert!(burst.covers(SimTime::from_millis(39_999)));
+        assert!(!burst.covers(SimTime::from_secs(40)));
     }
 }

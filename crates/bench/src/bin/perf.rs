@@ -2,7 +2,7 @@
 //! machine-readable `BENCH_perf.json` report.
 //!
 //! ```text
-//! perf [--profile full|smoke] [--out PATH] [--check PATH]
+//! perf [--profile full|smoke] [--overlays NAME[,NAME...]] [--out PATH] [--check PATH]
 //! ```
 //!
 //! * `--profile full` (default): paper scale — a 10,000-node BATON build,
@@ -11,6 +11,9 @@
 //! * `--profile smoke`: a reduced run for CI (seconds).
 //! * `--out PATH`: where to write the JSON report (default
 //!   `BENCH_perf.json` in the current directory).
+//! * `--overlays NAME[,NAME...]`: time only the named overlays
+//!   (case-insensitive series names, e.g. `--overlays D3-Tree`); the
+//!   scenario measurement is narrowed to the same list.
 //! * `--check PATH`: validate an existing report against the
 //!   `baton-perf/1` schema instead of running measurements (exit code 1 on
 //!   schema violations) — the CI gate for the uploaded artifact.
@@ -24,8 +27,20 @@ fn main() -> ExitCode {
     let mut profile = PerfProfile::full();
     let mut out_path = String::from("BENCH_perf.json");
     let mut check_path: Option<String> = None;
+    let mut overlays: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--overlays" => match args.next() {
+                Some(list) => overlays.extend(
+                    list.split(',')
+                        .map(|name| name.trim().to_owned())
+                        .filter(|name| !name.is_empty()),
+                ),
+                None => {
+                    eprintln!("--overlays needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--profile" => {
                 let Some(name) = args.next() else {
                     eprintln!("--profile needs a value (full|smoke)");
@@ -54,7 +69,10 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: perf [--profile full|smoke] [--out PATH] [--check PATH]");
+                eprintln!(
+                    "usage: perf [--profile full|smoke] [--overlays NAME[,NAME...]] \
+                     [--out PATH] [--check PATH]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -82,6 +100,25 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+
+    // One selection channel: the process-wide filter narrows both the
+    // per-overlay timing groups and the scenario's overlay list.
+    if let Err(msg) = baton_sim::set_overlay_filter(&overlays) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+    for name in &overlays {
+        if !baton_bench::perf::TIMED_OVERLAYS
+            .iter()
+            .any(|t| t.eq_ignore_ascii_case(name))
+        {
+            eprintln!(
+                "perf: note: {name} has no build/query timing group (only {:?} do); \
+                 it is timed inside the scenario measurement only",
+                baton_bench::perf::TIMED_OVERLAYS
+            );
+        }
     }
 
     eprintln!("perf: profile {}", profile.name);

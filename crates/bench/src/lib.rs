@@ -14,6 +14,7 @@
 //!    regression tracking on top of the message-count reproduction.
 
 use baton_core::{BatonConfig, BatonSystem, LoadBalanceConfig};
+use baton_d3tree::D3TreeSystem;
 use baton_sim::{figures, Profile};
 
 pub mod perf;
@@ -43,6 +44,12 @@ pub fn baton_overlay(n: usize, seed: u64, avg_load: usize) -> BatonSystem {
     let config = BatonConfig::default()
         .with_load_balance(LoadBalanceConfig::for_average_load(avg_load.max(4)));
     BatonSystem::build(config, seed, n).expect("overlay build")
+}
+
+/// Builds a D3-Tree overlay of `n` nodes, for the perf harness's baseline
+/// build/query timings.
+pub fn d3tree_overlay(n: usize, seed: u64) -> D3TreeSystem {
+    D3TreeSystem::build(seed, n).expect("overlay build")
 }
 
 #[cfg(test)]

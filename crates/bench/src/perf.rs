@@ -11,7 +11,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use baton_net::SimRng;
+use baton_net::{Overlay, SimRng};
 use baton_sim::{json_string, scenario, Profile};
 use baton_workload::{runner, KeyDistribution, QueryWorkload};
 
@@ -115,20 +115,25 @@ impl PerfProfile {
     }
 }
 
-/// Runs every perf measurement at the given profile.
-pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
-    let seed = 2005;
-    let mut measurements = Vec::new();
-
+/// Times one overlay's build, exact-match (fig8d) and range (fig8e) query
+/// drivers, appending three measurements with the given id suffix.
+fn time_overlay_group(
+    measurements: &mut Vec<Measurement>,
+    profile: &PerfProfile,
+    label: &str,
+    id_suffix: &str,
+    seed: u64,
+    build: impl FnOnce() -> Box<dyn Overlay>,
+) {
     // 1. Overlay construction: N sequential joins through random contacts.
     let n = profile.build_n;
-    let (build, mut overlay) = Measurement::timed(
-        "build",
-        format!("BATON overlay build, {n} nodes"),
+    let (build_m, mut overlay) = Measurement::timed(
+        &format!("build{id_suffix}"),
+        format!("{label} overlay build, {n} nodes"),
         "joins",
-        || (n as u64, crate::baton_overlay(n, seed, 1000)),
+        || (n as u64, build()),
     );
-    measurements.push(build);
+    measurements.push(build_m);
 
     // Bulk-load the dataset the query drivers scan (not itself reported:
     // insert cost is dominated by the same routing path as exact queries).
@@ -138,7 +143,7 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
     }
     .scaled(profile.data_scale);
     let data = plan.generate(&mut SimRng::seeded(seed ^ 0xDA7A), n);
-    runner::bulk_load(&mut overlay, &data).expect("bulk load");
+    runner::bulk_load(&mut *overlay, &data).expect("bulk load");
 
     // 2. Exact-match queries, fig8d shape: uniform keys, paper count.
     let workload = QueryWorkload {
@@ -149,14 +154,14 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
     };
     let exact = workload.exact(&mut SimRng::seeded(seed ^ 0xE5AC));
     let (exact_m, _) = Measurement::timed(
-        "exact_fig8d",
+        &format!("exact_fig8d{id_suffix}"),
         format!(
-            "{} uniform exact-match queries on the {n}-node overlay",
+            "{} uniform exact-match queries on the {n}-node {label} overlay",
             exact.len()
         ),
         "queries",
         || {
-            let outcome = runner::run_queries(&mut overlay, &exact).expect("exact queries");
+            let outcome = runner::run_queries(&mut *overlay, &exact).expect("exact queries");
             (outcome.exact_executed, ())
         },
     );
@@ -165,26 +170,67 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
     // 3. Range queries, fig8e shape: 0.1% selectivity, paper count.
     let ranges = workload.ranges(&mut SimRng::seeded(seed ^ 0x4A4E));
     let (range_m, _) = Measurement::timed(
-        "range_fig8e",
+        &format!("range_fig8e{id_suffix}"),
         format!(
-            "{} range queries (0.1% selectivity) on the {n}-node overlay",
+            "{} range queries (0.1% selectivity) on the {n}-node {label} overlay",
             ranges.len()
         ),
         "queries",
         || {
-            let outcome = runner::run_queries(&mut overlay, &ranges).expect("range queries");
+            let outcome = runner::run_queries(&mut *overlay, &ranges).expect("range queries");
             (outcome.range_executed, ())
         },
     );
     measurements.push(range_m);
-    drop(overlay);
+}
 
-    // 4. The latency_under_churn scenario (all three overlays, open loop).
+/// Overlays that have a dedicated build/query timing group in [`run`].
+/// Chord and the multiway tree appear only inside the scenario measurement
+/// (their figure timings are covered by the Criterion benches); the `perf`
+/// binary warns when a selection names an overlay outside this list.
+pub const TIMED_OVERLAYS: [&str; 2] = ["BATON", "D3-Tree"];
+
+/// Runs every perf measurement at the given profile.
+///
+/// The overlays measured — both the per-overlay build/query groups (see
+/// [`TIMED_OVERLAYS`]) and the scenario's comparison list — come from
+/// `baton_sim::standard_overlays()`, so the process-wide filter
+/// (`baton_sim::set_overlay_filter`, the `perf --overlays` flag) is the
+/// single selection channel and the scenario row always covers the same
+/// overlay set as the timing groups.
+pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
+    let seed = 2005;
+    let mut measurements = Vec::new();
+    let selected: Vec<&'static str> = baton_sim::standard_overlays()
+        .iter()
+        .map(|spec| spec.series)
+        .collect();
+
+    if selected.contains(&"BATON") {
+        time_overlay_group(&mut measurements, profile, "BATON", "", seed, || {
+            Box::new(crate::baton_overlay(profile.build_n, seed, 1000))
+        });
+    }
+    if selected.contains(&"D3-Tree") {
+        time_overlay_group(
+            &mut measurements,
+            profile,
+            "D3-Tree",
+            "_d3tree",
+            seed,
+            || Box::new(crate::d3tree_overlay(profile.build_n, seed)),
+        );
+    }
+
+    // The latency_under_churn scenario (every selected overlay, open loop).
     let scenario_profile = profile.scenario.clone();
     let scenario_n = *scenario_profile.network_sizes.last().unwrap_or(&0);
     let (scenario_m, _) = Measurement::timed(
         "latency_under_churn",
-        format!("latency_under_churn scenario, N = {scenario_n}, every overlay"),
+        format!(
+            "latency_under_churn scenario, N = {scenario_n}, overlays: {}",
+            selected.join(", ")
+        ),
         "ops",
         || {
             let result = scenario::latency_under_churn(&scenario_profile);
@@ -536,22 +582,51 @@ mod json {
 mod tests {
     use super::*;
 
+    /// One test covers both the full run and the filtered run: the overlay
+    /// selection is process-global (`baton_sim::set_overlay_filter`), so
+    /// splitting this into two tests would race within the test binary.
     #[test]
-    fn smoke_profile_runs_and_renders_valid_json() {
+    fn smoke_profile_runs_filters_and_renders_valid_json() {
         let profile = PerfProfile::smoke();
         let measurements = run(&profile);
-        assert_eq!(measurements.len(), 4);
+        assert_eq!(measurements.len(), 7);
         let ids: Vec<&str> = measurements.iter().map(|m| m.id.as_str()).collect();
         assert_eq!(
             ids,
-            vec!["build", "exact_fig8d", "range_fig8e", "latency_under_churn"]
+            vec![
+                "build",
+                "exact_fig8d",
+                "range_fig8e",
+                "build_d3tree",
+                "exact_fig8d_d3tree",
+                "range_fig8e_d3tree",
+                "latency_under_churn"
+            ]
         );
         for m in &measurements {
             assert!(m.work_items > 0, "{} did no work", m.id);
             assert!(m.wall_ms.is_finite() && m.wall_ms >= 0.0);
         }
         let rendered = render_json(&profile, &measurements);
-        assert_eq!(validate_json(&rendered), Ok(4));
+        assert_eq!(validate_json(&rendered), Ok(7));
+
+        // Narrowed to one overlay, the timing groups and the scenario
+        // follow the same selection — the scenario detail names it.
+        baton_sim::set_overlay_filter(&["D3-Tree".to_owned()]).expect("known overlay");
+        let narrowed = run(&profile);
+        baton_sim::clear_overlay_filter();
+        let ids: Vec<&str> = narrowed.iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "build_d3tree",
+                "exact_fig8d_d3tree",
+                "range_fig8e_d3tree",
+                "latency_under_churn"
+            ]
+        );
+        let scenario = narrowed.last().expect("scenario measurement");
+        assert!(scenario.detail.contains("overlays: D3-Tree"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Side-by-side comparison of BATON against the paper's two baselines —
-//! Chord and the multiway tree — on the same workload: a miniature version
-//! of the whole Figure 8 evaluation in one program.
+//! Chord and the multiway tree — plus the post-paper D3-Tree, on the same
+//! workload: a miniature version of the whole Figure 8 evaluation in one
+//! program.
 //!
 //! The entire comparison is written against the [`baton_net::Overlay`]
 //! trait: one measurement loop runs every system, and Chord drops out of the
@@ -13,6 +14,7 @@
 
 use baton_chord::ChordSystem;
 use baton_core::{BatonConfig, BatonSystem};
+use baton_d3tree::D3TreeSystem;
 use baton_mtree::MTreeSystem;
 use baton_net::{Overlay, SimRng};
 use baton_workload::{runner, ChurnEvent, KeyDistribution, KeyGenerator, Query};
@@ -80,11 +82,12 @@ fn main() {
     let queries = 300usize;
     let seed = 4242u64;
 
-    println!("building three {n}-node overlays on identical workloads…\n");
+    println!("building four {n}-node overlays on identical workloads…\n");
     let mut overlays: Vec<Box<dyn Overlay>> = vec![
         Box::new(BatonSystem::build(BatonConfig::default(), seed, n).expect("baton")),
         Box::new(ChordSystem::build(seed, n).expect("chord")),
         Box::new(MTreeSystem::build(seed, n).expect("mtree")),
+        Box::new(D3TreeSystem::build(seed, n).expect("d3tree")),
     ];
 
     let rows: Vec<Row> = overlays

@@ -6,7 +6,7 @@
 use std::collections::HashSet;
 
 use baton_net::OverlayError;
-use baton_sim::figures::{SERIES_BATON, SERIES_CHORD, SERIES_MTREE};
+use baton_sim::figures::{SERIES_BATON, SERIES_CHORD, SERIES_D3TREE, SERIES_MTREE};
 use baton_sim::{figures, standard_overlays, Profile};
 use baton_workload::{runner, ChurnWorkload, Query, QueryWorkload};
 
@@ -16,10 +16,13 @@ fn all_nine_figures_produce_finite_series_through_the_generic_driver() {
     let results = figures::run_all(&profile);
     assert_eq!(results.len(), figures::all_figure_ids().len());
 
-    // Which figures the paper plots each comparison series in.
+    // Which figures each comparison series appears in: the paper's
+    // placement for its three systems, and every comparison figure for the
+    // post-paper D3-Tree baseline (it is fully capable).
     let baton_figures: HashSet<&str> = ["8a", "8b", "8c", "8d", "8e", "8i"].into();
     let chord_figures: HashSet<&str> = ["8a", "8b", "8c", "8d"].into();
     let mtree_figures: HashSet<&str> = ["8a", "8b", "8c", "8d", "8e"].into();
+    let d3tree_figures: HashSet<&str> = ["8a", "8b", "8c", "8d", "8e"].into();
 
     for result in &results {
         let id = result.id.as_str();
@@ -38,6 +41,7 @@ fn all_nine_figures_produce_finite_series_through_the_generic_driver() {
             (SERIES_BATON, &baton_figures),
             (SERIES_CHORD, &chord_figures),
             (SERIES_MTREE, &mtree_figures),
+            (SERIES_D3TREE, &d3tree_figures),
         ] {
             if expected_in.contains(id) {
                 assert!(
@@ -119,6 +123,7 @@ fn capability_gates_match_the_systems() {
         vec![
             ("BATON".to_owned(), true, true, true),
             ("Chord".to_owned(), false, false, false),
+            ("D3-Tree".to_owned(), true, true, true),
             ("Multiway tree".to_owned(), true, false, false),
         ]
     );

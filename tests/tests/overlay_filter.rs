@@ -1,0 +1,59 @@
+//! The `--overlays` filter: narrowing the process-wide overlay list must
+//! (a) drop every unselected series with zero per-figure code and (b) leave
+//! the selected overlays' numbers **bit-identical** — the filtered run over
+//! the paper's three systems reproduces the pre-D3-Tree golden fixture
+//! exactly.
+//!
+//! The filter is process-global, so this file keeps all of its assertions
+//! in a single test: test binaries run their tests concurrently, and two
+//! tests mutating the filter would race.
+
+use baton_sim::figures::{SERIES_BATON, SERIES_CHORD, SERIES_D3TREE, SERIES_MTREE};
+use baton_sim::{
+    clear_overlay_filter, figures, render_json, set_overlay_filter, standard_overlays, Profile,
+};
+
+#[test]
+fn overlay_filter_narrows_every_driver_and_preserves_series_bits() {
+    let profile = Profile::smoke();
+
+    // Unknown names are rejected and leave the filter untouched.
+    assert!(set_overlay_filter(&["Pastry".to_owned()]).is_err());
+    assert_eq!(standard_overlays().len(), 4);
+
+    // Filtered to the paper's three systems, the full figure run is
+    // bit-identical to the fixture captured before the D3-Tree existed.
+    let baselines: Vec<String> = [SERIES_BATON, SERIES_CHORD, SERIES_MTREE]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    set_overlay_filter(&baselines).expect("known names");
+    assert_eq!(standard_overlays().len(), 3);
+    let results = figures::run_all(&profile);
+    let fixture = include_str!("../fixtures/fig8_smoke_pre_d3tree.json");
+    assert_eq!(
+        render_json(&results).trim(),
+        fixture.trim(),
+        "filtered figure output diverged from the pre-D3-Tree fixture"
+    );
+
+    // A single-overlay selection isolates that overlay in the comparison
+    // figures (case-insensitively), without touching the BATON-only ones.
+    set_overlay_filter(&["d3-tree".to_owned()]).expect("case-insensitive");
+    let specs = standard_overlays();
+    assert_eq!(specs.len(), 1);
+    assert_eq!(specs[0].series, SERIES_D3TREE);
+    let fig8d = figures::run_figure("8d", &profile).expect("8d");
+    assert_eq!(fig8d.series_names(), vec![SERIES_D3TREE.to_owned()]);
+    let fig8g = figures::run_figure("8g", &profile).expect("8g");
+    assert!(
+        !fig8g.series_names().is_empty(),
+        "reference-only figures ignore the filter"
+    );
+
+    // An empty list clears the filter.
+    clear_overlay_filter();
+    assert_eq!(standard_overlays().len(), 4);
+    set_overlay_filter(&[]).expect("empty clears");
+    assert_eq!(standard_overlays().len(), 4);
+}
