@@ -7,7 +7,7 @@
 
 use baton_net::{
     ChurnCost, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError,
-    OverlayResult, SimTime,
+    OverlayResult, PeerId, SimTime,
 };
 
 use crate::system::{ChordError, ChordSystem};
@@ -62,8 +62,21 @@ impl Overlay for ChordSystem {
         })
     }
 
+    fn peers(&self) -> &[PeerId] {
+        ChordSystem::peers(self)
+    }
+
     fn leave_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = ChordSystem::leave_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
+    fn leave_peer(&mut self, peer: PeerId) -> OverlayResult<ChurnCost> {
+        let report = ChordSystem::leave(self, peer).map_err(op_err)?;
         Ok(ChurnCost {
             locate_messages: report.locate_messages,
             update_messages: report.update_messages,

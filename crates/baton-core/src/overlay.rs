@@ -5,7 +5,7 @@
 
 use baton_net::{
     ChurnCost, Histogram, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities,
-    OverlayError, OverlayResult, SimTime,
+    OverlayError, OverlayResult, PeerId, SimTime,
 };
 
 use crate::error::BatonError;
@@ -62,8 +62,21 @@ impl Overlay for BatonSystem {
         })
     }
 
+    fn peers(&self) -> &[PeerId] {
+        BatonSystem::peers(self)
+    }
+
     fn leave_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = BatonSystem::leave_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
+    fn leave_peer(&mut self, peer: PeerId) -> OverlayResult<ChurnCost> {
+        let report = BatonSystem::leave(self, peer).map_err(op_err)?;
         Ok(ChurnCost {
             locate_messages: report.locate_messages,
             update_messages: report.update_messages,
@@ -75,7 +88,11 @@ impl Overlay for BatonSystem {
         let victim = self
             .random_peer()
             .ok_or_else(|| OverlayError::Op("the overlay is empty".into()))?;
-        let report = self.fail(victim).map_err(op_err)?;
+        self.fail_peer(victim)
+    }
+
+    fn fail_peer(&mut self, peer: PeerId) -> OverlayResult<ChurnCost> {
+        let report = self.fail(peer).map_err(op_err)?;
         Ok(ChurnCost {
             locate_messages: report.departure_messages,
             update_messages: report.regeneration_messages,

@@ -7,7 +7,7 @@
 
 use baton_net::{
     ChurnCost, Histogram, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities,
-    OverlayError, OverlayResult, SimTime,
+    OverlayError, OverlayResult, PeerId, SimTime,
 };
 
 use crate::system::{D3Error, D3TreeSystem};
@@ -62,6 +62,10 @@ impl Overlay for D3TreeSystem {
         })
     }
 
+    fn peers(&self) -> &[PeerId] {
+        D3TreeSystem::peers(self)
+    }
+
     fn leave_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = D3TreeSystem::leave_random(self).map_err(op_err)?;
         Ok(ChurnCost {
@@ -71,8 +75,26 @@ impl Overlay for D3TreeSystem {
         })
     }
 
+    fn leave_peer(&mut self, peer: PeerId) -> OverlayResult<ChurnCost> {
+        let report = D3TreeSystem::leave(self, peer).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
     fn fail_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = D3TreeSystem::fail_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: report.lost_items,
+        })
+    }
+
+    fn fail_peer(&mut self, peer: PeerId) -> OverlayResult<ChurnCost> {
+        let report = D3TreeSystem::fail(self, peer).map_err(op_err)?;
         Ok(ChurnCost {
             locate_messages: report.locate_messages,
             update_messages: report.update_messages,

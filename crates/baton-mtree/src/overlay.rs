@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use baton_net::{
     ChurnCost, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError,
-    OverlayResult, SimTime,
+    OverlayResult, PeerId, SimTime,
 };
 
 use crate::system::{MTreeError, MTreeSystem};
@@ -63,8 +63,21 @@ impl Overlay for MTreeSystem {
         })
     }
 
+    fn peers(&self) -> &[PeerId] {
+        MTreeSystem::peers(self)
+    }
+
     fn leave_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = MTreeSystem::leave_random(self).map_err(op_err)?;
+        Ok(ChurnCost {
+            locate_messages: report.locate_messages,
+            update_messages: report.update_messages,
+            lost_items: 0,
+        })
+    }
+
+    fn leave_peer(&mut self, peer: PeerId) -> OverlayResult<ChurnCost> {
+        let report = MTreeSystem::leave(self, peer).map_err(op_err)?;
         Ok(ChurnCost {
             locate_messages: report.locate_messages,
             update_messages: report.update_messages,

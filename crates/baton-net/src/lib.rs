@@ -83,4 +83,6 @@ pub use overlay::{ChurnCost, OpCost, Overlay, OverlayCapabilities, OverlayError,
 pub use peer::{PeerId, PeerRegistry, PeerStatus};
 pub use rng::SimRng;
 pub use stats::{ClassStats, Histogram, MessageStats, OpId, OpScope, OpStats};
-pub use time::{LatencyModel, SimTime};
+pub use time::{
+    LatencyModel, LatencyPlan, LinkDegradation, LinkScope, RegionMap, RegionalLatency, SimTime,
+};

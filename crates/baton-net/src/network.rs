@@ -244,7 +244,7 @@ impl<M: NetMessage> SimNetwork<M> {
         let bytes = payload.approximate_size();
         self.stats.record_send(op.id, payload.kind(), bytes, hop);
         let sent_at = self.stats.op_frontier(op.id).unwrap_or(self.arrival_clock);
-        let deliver_at = sent_at + self.latency.sample(from, to);
+        let deliver_at = sent_at + self.latency.sample(from, to, sent_at);
         self.horizon = self.horizon.max(deliver_at);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -288,7 +288,7 @@ impl<M: NetMessage> SimNetwork<M> {
     pub fn count_message(&mut self, op: OpScope, kind: &'static str, from: PeerId, to: PeerId) {
         self.stats.record_send(op.id, kind, 64, 1);
         let sent_at = self.stats.op_frontier(op.id).unwrap_or(self.arrival_clock);
-        let lands_at = sent_at + self.latency.sample(from, to);
+        let lands_at = sent_at + self.latency.sample(from, to, sent_at);
         self.horizon = self.horizon.max(lands_at);
         self.stats.extend_op_completion(op.id, lands_at);
         if self.peers.is_alive(to) {

@@ -17,6 +17,7 @@
 //! New baselines (D3-tree, ART, …) plug into every existing experiment by
 //! implementing this trait; no driver changes required.
 
+use crate::peer::PeerId;
 use crate::stats::{Histogram, MessageStats};
 use crate::time::{LatencyModel, SimTime};
 
@@ -182,17 +183,51 @@ pub trait Overlay {
         self.stats().op_latencies()
     }
 
+    /// The live peers, sorted by id.
+    ///
+    /// Fault plans use this to target *specific* peers (e.g. "kill half of
+    /// region 2"); the id order is the stable sampling order the systems
+    /// maintain for `random_peer`.
+    ///
+    /// Default: empty — overlays that do not expose their peer list cannot
+    /// be targeted by region-scoped faults (region kills degrade to no-ops).
+    fn peers(&self) -> &[PeerId] {
+        &[]
+    }
+
     /// A new node joins through a random existing contact.
     fn join_random(&mut self) -> OverlayResult<ChurnCost>;
 
     /// A random node departs gracefully.
     fn leave_random(&mut self) -> OverlayResult<ChurnCost>;
 
+    /// The *specific* peer `peer` departs gracefully.
+    ///
+    /// Default: unsupported — an overlay supporting neither this nor
+    /// [`fail_peer`](Self::fail_peer) cannot be hit by targeted fault
+    /// plans: its fault kills are *skipped* (never degraded to removing a
+    /// random peer, which would misreport a correlated failure as an
+    /// uncorrelated one).
+    fn leave_peer(&mut self, _peer: PeerId) -> OverlayResult<ChurnCost> {
+        Err(OverlayError::Unsupported("targeted departure"))
+    }
+
     /// A random node fails abruptly and the overlay recovers.
     ///
     /// Default: unsupported (see [`OverlayCapabilities::failures`]).
     fn fail_random(&mut self) -> OverlayResult<ChurnCost> {
         Err(OverlayError::Unsupported("failure injection"))
+    }
+
+    /// The *specific* peer `peer` fails abruptly and the overlay recovers.
+    ///
+    /// Default: unsupported — fault plans degrade a targeted failure to a
+    /// targeted graceful departure ([`leave_peer`](Self::leave_peer)),
+    /// mirroring how [`fail_random`](Self::fail_random) degrades on
+    /// overlays without a failure protocol; an overlay supporting neither
+    /// targeted form is skipped rather than losing a random peer.
+    fn fail_peer(&mut self, _peer: PeerId) -> OverlayResult<ChurnCost> {
+        Err(OverlayError::Unsupported("targeted failure"))
     }
 
     /// Inserts `value` under `key` from a random issuer.

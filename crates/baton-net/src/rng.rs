@@ -9,6 +9,15 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+/// The SplitMix64 finalizer: a cheap, well-distributed bijection on `u64`,
+/// shared by seed derivation ([`SimRng::derive`]) and the stateless
+/// peer-to-region hash ([`RegionMap`](crate::time::RegionMap)).
+pub(crate) fn splitmix64_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A seeded random number generator with convenience helpers used across the
 /// workspace (uniform keys, index selection, Bernoulli trials, shuffles).
 #[derive(Clone, Debug)]
@@ -36,13 +45,10 @@ impl SimRng {
     pub fn derive(&self, salt: u64) -> Self {
         // SplitMix64-style mixing keeps derived seeds well distributed even
         // for small consecutive salts.
-        let mut z = self
-            .seed
-            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        Self::seeded(z)
+        Self::seeded(splitmix64_finalize(
+            self.seed
+                .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ))
     }
 
     /// Uniform value in `[low, high)`.

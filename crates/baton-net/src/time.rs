@@ -27,6 +27,9 @@ impl SimTime {
     /// The origin of virtual time.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The end of virtual time — a window bounded by `MAX` never closes.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// A time point / duration of `micros` microseconds.
     pub const fn from_micros(micros: u64) -> Self {
         SimTime(micros)
@@ -102,6 +105,149 @@ impl std::fmt::Display for SimTime {
     }
 }
 
+/// A seeded assignment of peers to geographic regions.
+///
+/// The assignment is a pure hash of the peer id and the map's salt: it never
+/// changes as peers join and leave, costs no storage, and two copies of the
+/// same `(regions, salt)` pair agree on every peer — the latency model and a
+/// fault plan can therefore share a topology without sharing state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionMap {
+    regions: u32,
+    salt: u64,
+}
+
+impl RegionMap {
+    /// A map of `regions` regions with the given hash salt.
+    ///
+    /// # Panics
+    /// Panics if `regions` is zero.
+    pub fn new(regions: u32, salt: u64) -> Self {
+        assert!(regions > 0, "a region map needs at least one region");
+        Self { regions, salt }
+    }
+
+    /// Number of regions peers are spread across.
+    pub fn regions(&self) -> u32 {
+        self.regions
+    }
+
+    /// The region of `peer`, in `[0, regions)`.
+    pub fn region_of(&self, peer: PeerId) -> u32 {
+        // SplitMix64 finalizer over (id, salt): uniform spread even for the
+        // dense consecutive ids the registry hands out.
+        let z = crate::rng::splitmix64_finalize(
+            (peer.raw() ^ self.salt).wrapping_add(0x9E37_79B9_7F4A_7C15),
+        );
+        (z % u64::from(self.regions)) as u32
+    }
+
+    /// `true` if both peers hash into the same region.
+    pub fn same_region(&self, a: PeerId, b: PeerId) -> bool {
+        self.region_of(a) == self.region_of(b)
+    }
+}
+
+/// Which links a [`LinkDegradation`] applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkScope {
+    /// Every link.
+    All,
+    /// Links whose endpoints share a region.
+    IntraRegion,
+    /// Links whose endpoints sit in different regions.
+    InterRegion,
+    /// Links with at least one endpoint in the given region.
+    Region(u32),
+}
+
+impl LinkScope {
+    /// `true` if a link between regions `from` and `to` is in scope.
+    pub fn covers(&self, from: u32, to: u32) -> bool {
+        match self {
+            LinkScope::All => true,
+            LinkScope::IntraRegion => from == to,
+            LinkScope::InterRegion => from != to,
+            LinkScope::Region(r) => from == *r || to == *r,
+        }
+    }
+}
+
+/// A virtual-time-scheduled latency multiplier: while active, every sampled
+/// latency on an in-scope link is scaled by up to `factor`.
+///
+/// The multiplier ramps linearly from 1 to `factor` over the first `ramp` of
+/// the window (a zero `ramp` switches instantly) and drops back to 1 at
+/// `until` — mid-run link degradation without swapping models.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkDegradation {
+    /// Virtual instant the degradation starts (inclusive).
+    pub from: SimTime,
+    /// Virtual instant it ends (exclusive); [`SimTime::MAX`] never ends.
+    pub until: SimTime,
+    /// Time to ramp linearly from 1× up to the full factor.
+    pub ramp: SimTime,
+    /// Latency multiplier at full strength (≥ 1 slows links down).
+    pub factor: f64,
+    /// Which links are affected.
+    pub scope: LinkScope,
+}
+
+impl LinkDegradation {
+    /// The multiplier this degradation contributes at virtual time `at`
+    /// (1.0 outside its window).
+    pub fn factor_at(&self, at: SimTime) -> f64 {
+        if at < self.from || at >= self.until {
+            return 1.0;
+        }
+        let elapsed = at.saturating_sub(self.from);
+        if self.ramp.is_zero() || elapsed >= self.ramp {
+            self.factor
+        } else {
+            1.0 + (self.factor - 1.0) * (elapsed.as_micros() as f64 / self.ramp.as_micros() as f64)
+        }
+    }
+}
+
+/// The topology-aware latency model: peers hash into regions, links inside a
+/// region draw from `intra`, links between regions draw from `inter`, and a
+/// schedule of [`LinkDegradation`]s scales in-scope links as virtual time
+/// passes.
+#[derive(Clone, Debug)]
+pub struct RegionalLatency {
+    /// The seeded peer → region assignment.
+    pub map: RegionMap,
+    /// Model for links whose endpoints share a region.
+    pub intra: Box<LatencyModel>,
+    /// Model for links that cross a region boundary.
+    pub inter: Box<LatencyModel>,
+    /// Scheduled degradations, applied multiplicatively when overlapping.
+    pub degradations: Vec<LinkDegradation>,
+}
+
+impl RegionalLatency {
+    fn sample(&mut self, from: PeerId, to: PeerId, at: SimTime) -> SimTime {
+        let from_region = self.map.region_of(from);
+        let to_region = self.map.region_of(to);
+        let base = if from_region == to_region {
+            self.intra.sample(from, to, at)
+        } else {
+            self.inter.sample(from, to, at)
+        };
+        let mut factor = 1.0f64;
+        for degradation in &self.degradations {
+            if degradation.scope.covers(from_region, to_region) {
+                factor *= degradation.factor_at(at);
+            }
+        }
+        if factor == 1.0 {
+            base
+        } else {
+            SimTime::from_micros((base.as_micros() as f64 * factor).round() as u64)
+        }
+    }
+}
+
 /// How long a message takes from one peer to another.
 ///
 /// The model owns its own [`SimRng`] stream, deliberately separate from the
@@ -136,6 +282,11 @@ pub enum LatencyModel {
         /// Seeded generator for the latency stream.
         rng: SimRng,
     },
+    /// Topology-aware latency: peers hash into regions with separate
+    /// intra-/inter-region models and a schedule of timed link
+    /// degradations.  The only model whose samples depend on the endpoints
+    /// and on virtual time.
+    Regional(Box<RegionalLatency>),
 }
 
 impl Default for LatencyModel {
@@ -179,18 +330,35 @@ impl LatencyModel {
         }
     }
 
+    /// Topology-aware latency over `map`: intra-region links draw from
+    /// `intra`, cross-region links from `inter`, with `degradations` scaling
+    /// in-scope links as virtual time passes.
+    pub fn regional(
+        map: RegionMap,
+        intra: LatencyModel,
+        inter: LatencyModel,
+        degradations: Vec<LinkDegradation>,
+    ) -> Self {
+        LatencyModel::Regional(Box::new(RegionalLatency {
+            map,
+            intra: Box::new(intra),
+            inter: Box::new(inter),
+            degradations,
+        }))
+    }
+
     /// `true` if every sample is zero (the count-only model).
     pub fn is_zero(&self) -> bool {
         matches!(self, LatencyModel::Constant(t) if t.is_zero())
     }
 
-    /// Draws the latency of one message from `from` to `to`.
+    /// Draws the latency of one message from `from` to `to`, sent at
+    /// virtual time `at`.
     ///
-    /// The endpoints are part of the contract so that future models can be
-    /// topology-aware (e.g. coordinate-based delay); the current models are
-    /// endpoint-oblivious.
-    pub fn sample(&mut self, from: PeerId, to: PeerId) -> SimTime {
-        let _ = (from, to);
+    /// The endpoints and the send time are part of the contract so that
+    /// models can be topology-aware; the [`Regional`](LatencyModel::Regional)
+    /// model uses both, the others ignore them.
+    pub fn sample(&mut self, from: PeerId, to: PeerId, at: SimTime) -> SimTime {
         match self {
             LatencyModel::Constant(latency) => *latency,
             LatencyModel::Uniform { min, max, rng } => {
@@ -208,6 +376,83 @@ impl LatencyModel {
                 let factor = (*sigma * z).exp();
                 SimTime::from_micros((median.as_micros() as f64 * factor).round() as u64)
             }
+            LatencyModel::Regional(regional) => regional.sample(from, to, at),
+        }
+    }
+}
+
+/// A seed-free *description* of a latency model.
+///
+/// Scenario plans are built once per profile but instantiated once per
+/// repetition with a per-repetition seed; a plan therefore carries the
+/// distribution parameters and [`build`](LatencyPlan::build) turns them into
+/// a seeded [`LatencyModel`] on demand.
+#[derive(Clone, Debug)]
+pub enum LatencyPlan {
+    /// Fixed per-link latency (zero = the count-only model).
+    Constant(SimTime),
+    /// Uniform jitter in `[min, max]`.
+    Uniform {
+        /// Smallest possible link latency.
+        min: SimTime,
+        /// Largest possible link latency.
+        max: SimTime,
+    },
+    /// Log-normal latency with the given median and shape.
+    LogNormal {
+        /// Median link latency.
+        median: SimTime,
+        /// Shape parameter σ of the underlying normal.
+        sigma: f64,
+    },
+    /// Topology-aware latency: seeded regions, nested intra/inter plans and
+    /// a degradation schedule.
+    Regional {
+        /// The seeded peer → region assignment (its salt is part of the
+        /// plan, so regions are stable across repetitions).
+        map: RegionMap,
+        /// Plan for links whose endpoints share a region.
+        intra: Box<LatencyPlan>,
+        /// Plan for links that cross a region boundary.
+        inter: Box<LatencyPlan>,
+        /// Scheduled degradations.
+        degradations: Vec<LinkDegradation>,
+    },
+}
+
+impl LatencyPlan {
+    /// Instantiates the plan with jitter streams seeded from `seed`.
+    ///
+    /// For the non-regional plans the seed is used verbatim, so
+    /// `LatencyPlan::LogNormal { m, s }.build(seed)` is byte-for-byte
+    /// `LatencyModel::log_normal(m, s, seed)` — the legacy scenarios depend
+    /// on this to stay fixture-identical.
+    pub fn build(&self, seed: u64) -> LatencyModel {
+        match self {
+            LatencyPlan::Constant(latency) => LatencyModel::constant(*latency),
+            LatencyPlan::Uniform { min, max } => LatencyModel::uniform(*min, *max, seed),
+            LatencyPlan::LogNormal { median, sigma } => {
+                LatencyModel::log_normal(*median, *sigma, seed)
+            }
+            LatencyPlan::Regional {
+                map,
+                intra,
+                inter,
+                degradations,
+            } => LatencyModel::regional(
+                *map,
+                intra.build(seed ^ 0x17A4),
+                inter.build(seed ^ 0x17E4),
+                degradations.clone(),
+            ),
+        }
+    }
+
+    /// The region assignment, for plans that have one.
+    pub fn region_map(&self) -> Option<RegionMap> {
+        match self {
+            LatencyPlan::Regional { map, .. } => Some(*map),
+            _ => None,
         }
     }
 }
@@ -249,11 +494,17 @@ mod tests {
     fn constant_model_is_exact_and_zero_detects() {
         let mut zero = LatencyModel::zero();
         assert!(zero.is_zero());
-        assert_eq!(zero.sample(PeerId(0), PeerId(1)), SimTime::ZERO);
+        assert_eq!(
+            zero.sample(PeerId(0), PeerId(1), SimTime::ZERO),
+            SimTime::ZERO
+        );
         let mut fixed = LatencyModel::constant(SimTime::from_millis(5));
         assert!(!fixed.is_zero());
         for _ in 0..10 {
-            assert_eq!(fixed.sample(PeerId(0), PeerId(1)), SimTime::from_millis(5));
+            assert_eq!(
+                fixed.sample(PeerId(0), PeerId(1), SimTime::ZERO),
+                SimTime::from_millis(5)
+            );
         }
     }
 
@@ -263,11 +514,11 @@ mod tests {
         let max = SimTime::from_micros(200);
         let mut model = LatencyModel::uniform(min, max, 42);
         for _ in 0..1000 {
-            let s = model.sample(PeerId(0), PeerId(1));
+            let s = model.sample(PeerId(0), PeerId(1), SimTime::ZERO);
             assert!(s >= min && s <= max, "sample {s} out of bounds");
         }
         let mut degenerate = LatencyModel::uniform(min, min, 42);
-        assert_eq!(degenerate.sample(PeerId(0), PeerId(1)), min);
+        assert_eq!(degenerate.sample(PeerId(0), PeerId(1), SimTime::ZERO), min);
     }
 
     #[test]
@@ -277,7 +528,7 @@ mod tests {
         let mut below = 0usize;
         let n = 2000usize;
         for _ in 0..n {
-            let s = model.sample(PeerId(0), PeerId(1));
+            let s = model.sample(PeerId(0), PeerId(1), SimTime::ZERO);
             assert!(s > SimTime::ZERO);
             if s < median {
                 below += 1;
@@ -297,8 +548,150 @@ mod tests {
         let mut b = LatencyModel::log_normal(SimTime::from_millis(10), 0.4, 99);
         for _ in 0..100 {
             assert_eq!(
-                a.sample(PeerId(0), PeerId(1)),
-                b.sample(PeerId(0), PeerId(1))
+                a.sample(PeerId(0), PeerId(1), SimTime::ZERO),
+                b.sample(PeerId(0), PeerId(1), SimTime::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn region_map_is_stable_and_spreads_peers() {
+        let map = RegionMap::new(4, 0xBA70);
+        let twin = RegionMap::new(4, 0xBA70);
+        let mut counts = [0usize; 4];
+        for id in 0..1000u64 {
+            let region = map.region_of(PeerId(id));
+            assert!(region < 4);
+            assert_eq!(region, twin.region_of(PeerId(id)), "copies must agree");
+            counts[region as usize] += 1;
+        }
+        // Hash spread: every region gets a meaningful share of 1000 peers.
+        for (region, count) in counts.iter().enumerate() {
+            assert!(
+                (150..=350).contains(count),
+                "region {region} got {count}/1000 peers"
+            );
+        }
+        // A different salt shuffles the assignment.
+        let other = RegionMap::new(4, 0x5EED);
+        assert!((0..1000u64).any(|id| map.region_of(PeerId(id)) != other.region_of(PeerId(id))));
+        assert!(map.same_region(PeerId(3), PeerId(3)));
+    }
+
+    #[test]
+    fn link_scopes_cover_the_expected_region_pairs() {
+        assert!(LinkScope::All.covers(0, 1));
+        assert!(LinkScope::IntraRegion.covers(2, 2));
+        assert!(!LinkScope::IntraRegion.covers(0, 1));
+        assert!(LinkScope::InterRegion.covers(0, 1));
+        assert!(!LinkScope::InterRegion.covers(2, 2));
+        assert!(LinkScope::Region(1).covers(1, 3));
+        assert!(LinkScope::Region(1).covers(3, 1));
+        assert!(!LinkScope::Region(1).covers(0, 3));
+    }
+
+    #[test]
+    fn degradation_ramps_linearly_and_ends() {
+        let degradation = LinkDegradation {
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(30),
+            ramp: SimTime::from_secs(4),
+            factor: 5.0,
+            scope: LinkScope::All,
+        };
+        assert_eq!(degradation.factor_at(SimTime::from_secs(9)), 1.0);
+        assert_eq!(degradation.factor_at(SimTime::from_secs(10)), 1.0);
+        assert_eq!(degradation.factor_at(SimTime::from_secs(12)), 3.0);
+        assert_eq!(degradation.factor_at(SimTime::from_secs(14)), 5.0);
+        assert_eq!(degradation.factor_at(SimTime::from_secs(29)), 5.0);
+        assert_eq!(degradation.factor_at(SimTime::from_secs(30)), 1.0);
+        // A zero ramp switches instantly; a MAX window never closes.
+        let step = LinkDegradation {
+            ramp: SimTime::ZERO,
+            until: SimTime::MAX,
+            ..degradation
+        };
+        assert_eq!(step.factor_at(SimTime::from_secs(10)), 5.0);
+        assert_eq!(step.factor_at(SimTime::from_secs(1_000_000)), 5.0);
+    }
+
+    #[test]
+    fn regional_model_separates_intra_and_inter_links() {
+        let map = RegionMap::new(2, 7);
+        // Find one same-region and one cross-region pair.
+        let base = PeerId(0);
+        let same = (1..100)
+            .map(PeerId)
+            .find(|p| map.same_region(base, *p))
+            .unwrap();
+        let cross = (1..100)
+            .map(PeerId)
+            .find(|p| !map.same_region(base, *p))
+            .unwrap();
+        let mut model = LatencyModel::regional(
+            map,
+            LatencyModel::constant(SimTime::from_millis(5)),
+            LatencyModel::constant(SimTime::from_millis(50)),
+            vec![LinkDegradation {
+                from: SimTime::from_secs(10),
+                until: SimTime::from_secs(20),
+                ramp: SimTime::ZERO,
+                factor: 5.0,
+                scope: LinkScope::InterRegion,
+            }],
+        );
+        assert!(!model.is_zero());
+        assert_eq!(
+            model.sample(base, same, SimTime::ZERO),
+            SimTime::from_millis(5)
+        );
+        assert_eq!(
+            model.sample(base, cross, SimTime::ZERO),
+            SimTime::from_millis(50)
+        );
+        // Inside the degradation window only cross-region links slow down.
+        let mid = SimTime::from_secs(15);
+        assert_eq!(model.sample(base, same, mid), SimTime::from_millis(5));
+        assert_eq!(model.sample(base, cross, mid), SimTime::from_millis(250));
+        // And the window closes.
+        let after = SimTime::from_secs(25);
+        assert_eq!(model.sample(base, cross, after), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn latency_plan_builds_the_seeded_model_verbatim() {
+        // The non-regional plans must hand the seed through unchanged: the
+        // legacy scenario fixtures depend on it.
+        let plan = LatencyPlan::LogNormal {
+            median: SimTime::from_millis(40),
+            sigma: 0.5,
+        };
+        let mut from_plan = plan.build(1234);
+        let mut direct = LatencyModel::log_normal(SimTime::from_millis(40), 0.5, 1234);
+        for _ in 0..50 {
+            assert_eq!(
+                from_plan.sample(PeerId(0), PeerId(1), SimTime::ZERO),
+                direct.sample(PeerId(0), PeerId(1), SimTime::ZERO)
+            );
+        }
+        assert!(plan.region_map().is_none());
+
+        let regional = LatencyPlan::Regional {
+            map: RegionMap::new(3, 9),
+            intra: Box::new(LatencyPlan::Constant(SimTime::from_millis(1))),
+            inter: Box::new(LatencyPlan::Uniform {
+                min: SimTime::from_millis(10),
+                max: SimTime::from_millis(20),
+            }),
+            degradations: Vec::new(),
+        };
+        assert_eq!(regional.region_map(), Some(RegionMap::new(3, 9)));
+        let mut a = regional.build(7);
+        let mut b = regional.build(7);
+        for id in 0..32u64 {
+            assert_eq!(
+                a.sample(PeerId(0), PeerId(id), SimTime::ZERO),
+                b.sample(PeerId(0), PeerId(id), SimTime::ZERO)
             );
         }
     }

@@ -2,8 +2,9 @@
 //! time-domain scenario reports.
 //!
 //! ```text
-//! reproduce [--figure 8a|8b|...|8i|all|none] [--scenario latency_under_churn|flash_crowd|all|none]
-//!           [--profile quick|full|paper|smoke] [--overlays NAME[,NAME...]] [--json] [--csv]
+//! reproduce [--figure 8a|8b|...|8i|all|none] [--scenario ID[,ID...]|all|none]
+//!           [--profile quick|full|paper|smoke] [--seed N]
+//!           [--overlays NAME[,NAME...]] [--json] [--csv] [--list]
 //! ```
 //!
 //! By default every figure is regenerated at the `quick` profile and printed
@@ -12,31 +13,50 @@
 //! paper's network sizes (1000–10,000 nodes) with a scaled-down bulk load;
 //! `--profile paper` runs the publication's exact configuration (slow).
 //!
+//! `--list` prints every registered figure, scenario and overlay id and
+//! exits — the machine-checkable catalog, so CI and users never have to grep
+//! the source for valid identifiers.
+//!
+//! `--seed N` overrides the profile's base RNG seed for quick variance
+//! spot-checks.  The committed fixtures (`tests/fixtures/*.json`) assume the
+//! default seed; a run with an overridden seed will not diff clean against
+//! them.
+//!
 //! `--overlays` narrows the comparison list (comma-separated series names,
 //! case-insensitive — e.g. `--overlays D3-Tree`) so a single overlay can be
 //! run or debugged in isolation; the BATON-only figures 8(f)–(i) are
 //! unaffected.
+//!
+//! Output modes: the default prints text tables.  `--json` emits the figure
+//! array, the scenario array, or — when both are requested — one object
+//! `{"figures": [...], "scenarios": [...]}`.  `--csv` prints one CSV block
+//! per figure and per scenario.
 
 use std::process::ExitCode;
 
-use baton_sim::{figures, render_json, render_report, scenario, Profile};
+use baton_sim::{
+    figures, overlay_names, render_json, render_report, render_scenarios_json, scenario, Profile,
+};
 
 struct Options {
     figure: String,
-    scenario: String,
+    scenarios: Vec<String>,
     profile: Profile,
     overlays: Vec<String>,
     json: bool,
     csv: bool,
+    list: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut figure = "all".to_owned();
-    let mut scenario = "all".to_owned();
+    let mut scenarios = vec!["all".to_owned()];
     let mut profile = Profile::quick();
+    let mut seed: Option<u64> = None;
     let mut overlays = Vec::new();
     let mut json = false;
     let mut csv = false;
+    let mut list = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,7 +64,15 @@ fn parse_args() -> Result<Options, String> {
                 figure = args.next().ok_or("--figure needs a value")?;
             }
             "--scenario" | "-s" => {
-                scenario = args.next().ok_or("--scenario needs a value")?;
+                let value = args.next().ok_or("--scenario needs a value")?;
+                scenarios = value
+                    .split(',')
+                    .map(|id| id.trim().to_owned())
+                    .filter(|id| !id.is_empty())
+                    .collect();
+                if scenarios.is_empty() {
+                    return Err("--scenario needs at least one identifier".into());
+                }
             }
             "--overlays" | "-o" => {
                 let list = args.next().ok_or("--overlays needs a value")?;
@@ -64,27 +92,84 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown profile '{other}'")),
                 };
             }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                seed = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("--seed needs an unsigned integer, got '{value}'"))?,
+                );
+            }
             "--json" => json = true,
             "--csv" => csv = true,
+            "--list" => list = true,
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: reproduce [--figure 8a..8i|all|none] \
-                     [--scenario {}|all|none] [--profile smoke|quick|full|paper] \
-                     [--overlays NAME[,NAME...]] [--json] [--csv]",
+                     [--scenario {}|all|none (comma-separated)] \
+                     [--profile smoke|quick|full|paper] [--seed N] \
+                     [--overlays NAME[,NAME...]] [--json] [--csv] [--list]",
                     scenario::all_scenario_ids().join("|")
                 ))
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    // The override applies to whichever profile was selected, in any
+    // argument order.
+    if let Some(seed) = seed {
+        profile.seed = seed;
+    }
     Ok(Options {
         figure,
-        scenario,
+        scenarios,
         profile,
         overlays,
         json,
         csv,
+        list,
     })
+}
+
+/// Resolves the `--scenario` selection into registered identifiers, or an
+/// error naming the first unknown one.
+fn resolve_scenarios(selection: &[String]) -> Result<Vec<&'static str>, String> {
+    let known = scenario::all_scenario_ids();
+    if selection.len() == 1 {
+        if selection[0].eq_ignore_ascii_case("none") {
+            return Ok(Vec::new());
+        }
+        if selection[0].eq_ignore_ascii_case("all") {
+            return Ok(known);
+        }
+    }
+    let mut ids = Vec::new();
+    for wanted in selection {
+        match known.iter().find(|id| id.eq_ignore_ascii_case(wanted)) {
+            Some(id) => {
+                if !ids.contains(id) {
+                    ids.push(*id);
+                }
+            }
+            None => return Err(format!("unknown scenario '{wanted}'; available: {known:?}")),
+        }
+    }
+    Ok(ids)
+}
+
+fn print_catalog() {
+    println!("figures:");
+    for id in figures::all_figure_ids() {
+        println!("  {id}");
+    }
+    println!("scenarios:");
+    for id in scenario::all_scenario_ids() {
+        println!("  {id}");
+    }
+    println!("overlays:");
+    for name in overlay_names() {
+        println!("  {name}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -95,10 +180,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if options.list {
+        print_catalog();
+        return ExitCode::SUCCESS;
+    }
     if let Err(msg) = baton_sim::set_overlay_filter(&options.overlays) {
         eprintln!("{msg}");
         return ExitCode::FAILURE;
     }
+    // Validate the scenario selection before any figure runs: a typo'd id
+    // must not cost a full (possibly paper-profile) figure pass first.
+    let scenario_ids = match resolve_scenarios(&options.scenarios) {
+        Ok(ids) => ids,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let results = if options.figure.eq_ignore_ascii_case("none") {
         Vec::new()
@@ -118,47 +216,36 @@ fn main() -> ExitCode {
         }
     };
 
-    // Scenario reports only have a table rendering; the machine-readable
-    // modes print the figure series exactly as before the event engine.
-    // The identifier is still validated there, so a typo'd --scenario never
-    // passes silently.
-    let scenario_ids = if options.scenario.eq_ignore_ascii_case("none") {
-        Vec::new()
-    } else if options.scenario.eq_ignore_ascii_case("all") {
-        scenario::all_scenario_ids()
-    } else if let Some(id) = scenario::all_scenario_ids()
+    let scenarios: Vec<_> = scenario_ids
         .into_iter()
-        .find(|id| id.eq_ignore_ascii_case(&options.scenario))
-    {
-        vec![id]
-    } else {
-        eprintln!(
-            "unknown scenario '{}'; available: {:?}",
-            options.scenario,
-            scenario::all_scenario_ids()
-        );
-        return ExitCode::FAILURE;
-    };
-    let scenarios: Vec<_> = if options.json || options.csv {
-        Vec::new()
-    } else {
-        scenario_ids
-            .into_iter()
-            .map(|id| scenario::run_scenario(id, &options.profile).expect("registered scenario"))
-            .collect()
-    };
+        .map(|id| scenario::run_scenario(id, &options.profile).expect("registered scenario"))
+        .collect();
 
     if options.json {
-        println!("{}", render_json(&results));
+        // A figures-only (or scenarios-only) request emits the bare array so
+        // fixture diffs stay byte-stable; both together wrap in one object.
+        match (results.is_empty(), scenarios.is_empty()) {
+            (_, true) => println!("{}", render_json(&results)),
+            (true, false) => println!("{}", render_scenarios_json(&scenarios)),
+            (false, false) => println!(
+                "{{\n\"figures\": {},\n\"scenarios\": {}\n}}",
+                render_json(&results),
+                render_scenarios_json(&scenarios)
+            ),
+        }
     } else if options.csv {
         for result in &results {
             println!("# Figure {}", result.id);
             println!("{}", result.to_csv());
         }
-    } else if !results.is_empty() {
-        println!("{}", render_report(&results));
-    }
-    if !options.json && !options.csv {
+        for result in &scenarios {
+            println!("# Scenario {}", result.id);
+            println!("{}", result.to_csv());
+        }
+    } else {
+        if !results.is_empty() {
+            println!("{}", render_report(&results));
+        }
         for result in &scenarios {
             println!("{}", result.to_table());
         }

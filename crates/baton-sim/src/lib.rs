@@ -23,10 +23,14 @@
 //! | 8(i) | [`figures::fig8i`] | extra messages under concurrent churn |
 //!
 //! Beyond the paper's message counts, the [`scenario`] module drives the
-//! discrete-event engine in the time domain: `latency_under_churn` reports
-//! p50/p95/p99 virtual latency per operation class and throughput (ops per
-//! virtual second) for every overlay while 10% of the peers churn per
-//! virtual minute.
+//! discrete-event engine in the time domain through a declarative registry:
+//! each [`scenario::ScenarioSpec`] builds a [`scenario::ScenarioPlan`]
+//! (phased workload, latency topology, fault plan) that one generic engine
+//! runs against every registered overlay.  Five scenarios are registered —
+//! `latency_under_churn`, `flash_crowd`, `regional_failure`,
+//! `degraded_links` and `skew_ramp` — each reporting p50/p95/p99 virtual
+//! latency per operation class and throughput (ops per virtual second) per
+//! overlay.
 //!
 //! The `reproduce` binary (`cargo run -p baton-sim --bin reproduce --release`)
 //! prints the tables for any subset of figures plus the scenario report;
@@ -56,6 +60,9 @@ pub use driver::{
     set_overlay_filter, standard_overlays, OverlaySpec,
 };
 pub use profile::Profile;
-pub use report::{json_string, render_json, render_report};
+pub use report::{json_string, render_json, render_report, render_scenarios_json};
 pub use result::{Averager, FigureResult, SeriesPoint};
-pub use scenario::{flash_crowd, latency_under_churn, ScenarioResult, ScenarioSeries};
+pub use scenario::{
+    all_scenarios, flash_crowd, latency_under_churn, run_scenario, ScenarioPlan, ScenarioResult,
+    ScenarioSeries, ScenarioSpec,
+};

@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use crate::result::FigureResult;
+use crate::scenario::ScenarioResult;
 
 /// Renders a set of figure results as a single text report.
 pub fn render_report(results: &[FigureResult]) -> String {
@@ -54,6 +55,82 @@ pub fn render_json(results: &[FigureResult]) -> String {
             out.push_str("}}");
         }
         if !result.points.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }");
+    }
+    if !results.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a set of scenario results as a JSON document (an array of
+/// scenarios), mirroring [`render_json`] for the time-domain reports.
+///
+/// The byte-level layout of this rendering is pinned by
+/// `tests/fixtures/scenario_smoke_seed.json`: the legacy scenarios must
+/// produce identical bytes through any future engine refactor.
+pub fn render_scenarios_json(results: &[ScenarioResult]) -> String {
+    let mut out = String::from("[");
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let _ = write!(out, "\n    \"id\": {},", json_string(&result.id));
+        let _ = write!(out, "\n    \"title\": {},", json_string(&result.title));
+        out.push_str("\n    \"series\": [");
+        for (j, series) in result.series.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n      {");
+            let _ = write!(out, "\"overlay\": {},", json_string(&series.overlay));
+            let _ = write!(out, " \"throughput\": {},", json_number(series.throughput));
+            let _ = write!(
+                out,
+                " \"virtual_seconds\": {},",
+                json_number(series.virtual_seconds)
+            );
+            let _ = write!(out, " \"messages\": {},", series.messages);
+            // Only scenarios with an active fault plan carry the key: the
+            // legacy fixtures (zero kills) stay byte-identical.
+            if series.fault_kills > 0 {
+                let _ = write!(out, " \"fault_kills\": {},", series.fault_kills);
+            }
+            out.push_str(" \"skipped\": {");
+            for (k, (class, count)) in series.skipped.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_string(class), count);
+            }
+            out.push_str("},");
+            out.push_str("\n       \"classes\": [");
+            for (k, class) in series.classes.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n        {{\"class\": {}, \"count\": {}, \"mean_ms\": {}, \
+                     \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}",
+                    json_string(&class.class),
+                    class.count,
+                    json_number(class.mean_ms),
+                    json_number(class.p50_ms),
+                    json_number(class.p95_ms),
+                    json_number(class.p99_ms)
+                );
+            }
+            if !series.classes.is_empty() {
+                out.push_str("\n       ");
+            }
+            out.push_str("]}");
+        }
+        if !result.series.is_empty() {
             out.push_str("\n    ");
         }
         out.push_str("]\n  }");

@@ -1,37 +1,39 @@
-//! Time-domain scenario drivers: virtual latency and throughput, measured
-//! with the discrete-event engine — the report section the paper's
-//! count-only evaluation cannot produce.
+//! Time-domain scenarios: virtual latency and throughput, measured with the
+//! discrete-event engine — the report section the paper's count-only
+//! evaluation cannot produce.
 //!
-//! Two scenarios are registered:
+//! A scenario is *declared*, not hand-rolled: a [`ScenarioSpec`] pairs an
+//! identifier with a function that builds a [`ScenarioPlan`] — the network
+//! size, a [`LatencyPlan`](baton_net::LatencyPlan) (possibly topology-aware,
+//! with regions and timed link degradations), a
+//! [`PhasedWorkload`](baton_workload::PhasedWorkload) (per-phase rates and
+//! key distributions) and a [`FaultPlan`](baton_workload::FaultPlan) (timed
+//! correlated faults).  One generic engine ([`run_plan`]) drives every
+//! registered overlay through any plan, so a new scenario is a ~30-line spec
+//! and a new overlay appears in every scenario by registration alone —
+//! exactly how [`OverlaySpec`](crate::OverlaySpec) works for the figures.
 //!
-//! * [`latency_under_churn`] — the template: an open-loop mix of searches,
-//!   range queries, inserts, joins, leaves and failures over log-normal
-//!   links, with 10% of the peers churning per virtual minute;
-//! * [`flash_crowd`] — the same substrate with no churn but a 20-second
-//!   burst window during which the search/range/insert key distribution
-//!   collapses onto a hot 1% slice of the domain, stressing whichever peers
-//!   own the hot keys.
+//! Registered scenarios (see [`specs`] for the plans):
 //!
-//! Every scenario runs over the same [`OverlaySpec`] list as the Figure-8
-//! drivers, so new baselines appear in the latency reports the same way
-//! they appear in the message-count figures: by adding one spec.
-//!
-//! Future workloads (correlated regional failures, degraded links, mixed
-//! read/write skew) should follow the same shape: build an
-//! [`OpenLoopWorkload`], pick a seeded latency model, call
-//! [`run_open_loop`](baton_workload::run_open_loop), and summarise
-//! per-class percentiles into a [`ScenarioResult`].
+//! | id | stress |
+//! |---|---|
+//! | `latency_under_churn` | 10%/min churn under an open-loop query mix |
+//! | `flash_crowd` | keys collapse onto a hot 1% slice for 20s |
+//! | `regional_failure` | half of one region fails at once, then refills |
+//! | `degraded_links` | inter-region latency ramps 5× mid-run |
+//! | `skew_ramp` | Zipf read/write mix whose skew tightens over time |
+
+pub mod specs;
 
 use std::fmt::Write as _;
 
-use baton_net::{LatencyModel, SimRng, SimTime};
-use baton_workload::{
-    run_open_loop, HotBurst, KeyDistribution, LatencySummary, OpClass, OpenLoopWorkload,
-    DOMAIN_HIGH, DOMAIN_LOW,
-};
+use baton_net::SimRng;
+use baton_workload::{run_phased, LatencySummary, OpClass};
 
 use crate::driver::{load_overlay, standard_overlays};
 use crate::profile::Profile;
+
+pub use specs::ScenarioPlan;
 
 /// Latency percentiles of one operation class, in milliseconds of virtual
 /// time.
@@ -69,6 +71,10 @@ pub struct ScenarioSeries {
     /// "Chord skipped ranges" is distinguishable from "node-floor skipped
     /// leaves".  Classes with zero skips are omitted.
     pub skipped: Vec<(String, u64)>,
+    /// Peers killed by the scenario's fault plan across all repetitions
+    /// (zero for scenarios without injected faults; the kills also count
+    /// toward the `fail` class).
+    pub fault_kills: u64,
 }
 
 impl ScenarioSeries {
@@ -90,6 +96,29 @@ pub struct ScenarioResult {
 }
 
 impl ScenarioResult {
+    /// Renders the per-class latency rows as CSV (one row per overlay and
+    /// operation class; overlay-level totals live in the JSON rendering).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("scenario,overlay,class,count,mean_ms,p50_ms,p95_ms,p99_ms\n");
+        for series in &self.series {
+            for class in &series.classes {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{:.3},{:.3},{:.3},{:.3}",
+                    self.id,
+                    series.overlay,
+                    class.class,
+                    class.count,
+                    class.mean_ms,
+                    class.p50_ms,
+                    class.p95_ms,
+                    class.p99_ms
+                );
+            }
+        }
+        out
+    }
+
     /// Renders the scenario as an aligned text table.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
@@ -105,10 +134,20 @@ impl ScenarioResult {
                     .collect();
                 format!("{} skipped ({})", series.skipped_total(), detail.join(", "))
             };
+            let faults = if series.fault_kills > 0 {
+                format!(", {} killed by faults", series.fault_kills)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "  {}: {:.2} ops per virtual second over {:.1}s, {} messages, {}",
-                series.overlay, series.throughput, series.virtual_seconds, series.messages, skipped
+                "  {}: {:.2} ops per virtual second over {:.1}s, {} messages, {}{}",
+                series.overlay,
+                series.throughput,
+                series.virtual_seconds,
+                series.messages,
+                skipped,
+                faults
             );
             let _ = writeln!(
                 out,
@@ -132,35 +171,104 @@ impl ScenarioResult {
     }
 }
 
-/// Runs `workload` against every overlay of [`standard_overlays`] at size
-/// `n`, over seeded log-normal 40ms links, aggregating the profile's
+/// One registered scenario: an identifier plus the function that turns a
+/// [`Profile`] into the declarative [`ScenarioPlan`] the generic engine
+/// runs.
+pub struct ScenarioSpec {
+    /// Stable scenario identifier (`"latency_under_churn"`, …).
+    pub id: &'static str,
+    /// Builds the plan for a profile.
+    pub build: fn(&Profile) -> ScenarioPlan,
+}
+
+/// Every registered scenario, in catalog order.  Adding a scenario here —
+/// and nowhere else — puts it in `reproduce --scenario`, `--list`, the JSON
+/// and CSV reports and the determinism test, for every registered overlay.
+pub fn all_scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            id: "latency_under_churn",
+            build: specs::latency_under_churn_plan,
+        },
+        ScenarioSpec {
+            id: "flash_crowd",
+            build: specs::flash_crowd_plan,
+        },
+        ScenarioSpec {
+            id: "regional_failure",
+            build: specs::regional_failure_plan,
+        },
+        ScenarioSpec {
+            id: "degraded_links",
+            build: specs::degraded_links_plan,
+        },
+        ScenarioSpec {
+            id: "skew_ramp",
+            build: specs::skew_ramp_plan,
+        },
+    ]
+}
+
+/// Identifiers of every scenario, in catalog order.
+pub fn all_scenario_ids() -> Vec<&'static str> {
+    all_scenarios().into_iter().map(|s| s.id).collect()
+}
+
+/// Runs a scenario by identifier (case-insensitive); `None` for an unknown
+/// one.
+pub fn run_scenario(id: &str, profile: &Profile) -> Option<ScenarioResult> {
+    let spec = all_scenarios()
+        .into_iter()
+        .find(|s| s.id.eq_ignore_ascii_case(id))?;
+    let plan = (spec.build)(profile);
+    Some(ScenarioResult {
+        id: spec.id.to_owned(),
+        title: plan.title.clone(),
+        series: run_plan(profile, &plan),
+    })
+}
+
+/// The generic scenario engine: drives every overlay of
+/// [`standard_overlays`] through `plan`, aggregating the profile's
 /// repetitions into one [`ScenarioSeries`] per overlay.
-fn measure(profile: &Profile, workload: &OpenLoopWorkload, n: usize) -> Vec<ScenarioSeries> {
+///
+/// Per repetition: build the overlay at the plan's size, bulk-load it,
+/// instantiate the latency plan with the repetition seed, draw the phased
+/// arrival schedule and execute it with the fault plan interleaved.  All
+/// seeding matches the pre-registry engine byte for byte, which is what pins
+/// the legacy scenarios to their fixtures.
+pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
+    let n = plan.n;
     let mut series = Vec::new();
     for spec in standard_overlays() {
-        let mut latencies: std::collections::BTreeMap<&'static str, Vec<SimTime>> =
+        let mut latencies: std::collections::BTreeMap<&'static str, Vec<baton_net::SimTime>> =
             Default::default();
         let mut skipped: std::collections::BTreeMap<&'static str, u64> = Default::default();
         let mut messages = 0u64;
+        let mut fault_kills = 0u64;
         let mut throughput_sum = 0.0f64;
         let mut seconds_sum = 0.0f64;
         for rep in 0..profile.repetitions {
             let seed = profile.rep_seed(rep);
             let mut overlay = spec.build(profile, n, seed);
-            load_overlay(profile, &mut *overlay, KeyDistribution::Uniform, seed);
-            overlay.set_latency_model(LatencyModel::log_normal(
-                SimTime::from_millis(40),
-                0.5,
-                seed ^ 0x1A7E,
-            ));
+            load_overlay(profile, &mut *overlay, plan.load, seed);
+            overlay.set_latency_model(plan.latency.build(seed ^ 0x1A7E));
             let mut rng = SimRng::seeded(seed ^ 0x0BE7);
-            let events = workload.schedule(&mut rng.derive(1));
-            let outcome = run_open_loop(&mut *overlay, &events, workload, &mut rng, n / 2)
-                .expect("open-loop run cannot fail");
+            let events = plan.workload.schedule(&mut rng.derive(1));
+            let outcome = run_phased(
+                &mut *overlay,
+                &events,
+                &plan.workload,
+                &plan.faults,
+                &mut rng,
+                n / 2,
+            )
+            .expect("open-loop run cannot fail");
             for (class, count) in &outcome.skipped {
                 *skipped.entry(class).or_insert(0) += count;
             }
             messages += outcome.messages;
+            fault_kills += outcome.fault_kills;
             throughput_sum += outcome.throughput();
             seconds_sum += outcome.makespan.as_secs_f64();
             for (class, samples) in &outcome.latencies {
@@ -196,6 +304,7 @@ fn measure(profile: &Profile, workload: &OpenLoopWorkload, n: usize) -> Vec<Scen
                     (count > 0).then(|| (class.name().to_owned(), count))
                 })
                 .collect(),
+            fault_kills,
         });
     }
     series
@@ -204,81 +313,15 @@ fn measure(profile: &Profile, workload: &OpenLoopWorkload, n: usize) -> Vec<Scen
 /// The `latency_under_churn` scenario: search/insert/range traffic measured
 /// while 10% of the peers join or leave (and a few abruptly fail) per
 /// virtual minute, over seeded log-normal links with a 40ms median.
-///
-/// Runs every overlay of [`standard_overlays`] at the profile's largest
-/// network size, repeated and aggregated per the profile.
 pub fn latency_under_churn(profile: &Profile) -> ScenarioResult {
-    let n = *profile
-        .network_sizes
-        .last()
-        .expect("profile has network sizes");
-    let duration = SimTime::from_secs(60);
-    let search_rate = (profile.query_count() as f64 / duration.as_secs_f64()).max(0.2);
-    let mut workload = OpenLoopWorkload::churn_under_load(duration, search_rate, n, 0.10);
-    workload.insert_rate = search_rate / 2.0;
-    workload.range_rate = search_rate / 4.0;
-    // A quarter of the departures are abrupt failures (graceful on overlays
-    // without a failure protocol).
-    workload.fail_rate = workload.leave_rate / 4.0;
-    workload.leave_rate -= workload.fail_rate;
-    workload.distribution = KeyDistribution::Uniform;
-
-    ScenarioResult {
-        id: "latency_under_churn".to_owned(),
-        title: format!(
-            "operation latency and throughput, N = {n}, 10% churn per virtual minute, \
-             log-normal links (median 40ms, σ = 0.5)"
-        ),
-        series: measure(profile, &workload, n),
-    }
+    run_scenario("latency_under_churn", profile).expect("registered scenario")
 }
 
 /// The `flash_crowd` scenario: a steady open-loop mix whose search, range
 /// and insert keys collapse onto a hot 1% slice of the domain for the
-/// middle 20 virtual seconds of the run — the whole crowd hammers the few
-/// peers owning the hot slice, and the per-class percentiles show how each
-/// overlay absorbs it.
+/// middle 20 virtual seconds of the run.
 pub fn flash_crowd(profile: &Profile) -> ScenarioResult {
-    let n = *profile
-        .network_sizes
-        .last()
-        .expect("profile has network sizes");
-    let duration = SimTime::from_secs(60);
-    // A denser query stream than the churn scenario: the crowd is the load.
-    let search_rate = (profile.query_count() as f64 / duration.as_secs_f64() * 5.0).max(2.0);
-    let mut workload = OpenLoopWorkload::queries_only(duration, search_rate);
-    workload.insert_rate = search_rate / 4.0;
-    workload.range_rate = search_rate / 8.0;
-    let hot_width = (DOMAIN_HIGH - DOMAIN_LOW) / 100;
-    workload.hot_burst = Some(HotBurst {
-        from: SimTime::from_secs(20),
-        until: SimTime::from_secs(40),
-        low: DOMAIN_LOW,
-        high: DOMAIN_LOW + hot_width,
-    });
-
-    ScenarioResult {
-        id: "flash_crowd".to_owned(),
-        title: format!(
-            "flash crowd, N = {n}: keys collapse onto the hottest 1% of the domain \
-             during t = [20s, 40s), log-normal links (median 40ms, σ = 0.5)"
-        ),
-        series: measure(profile, &workload, n),
-    }
-}
-
-/// Runs a scenario by identifier; `None` for an unknown one.
-pub fn run_scenario(id: &str, profile: &Profile) -> Option<ScenarioResult> {
-    match id.to_ascii_lowercase().as_str() {
-        "latency_under_churn" => Some(latency_under_churn(profile)),
-        "flash_crowd" => Some(flash_crowd(profile)),
-        _ => None,
-    }
-}
-
-/// Identifiers of every scenario.
-pub fn all_scenario_ids() -> Vec<&'static str> {
-    vec!["latency_under_churn", "flash_crowd"]
+    run_scenario("flash_crowd", profile).expect("registered scenario")
 }
 
 #[cfg(test)]
@@ -382,11 +425,68 @@ mod tests {
     fn scenario_registry_resolves_ids() {
         assert_eq!(
             all_scenario_ids(),
-            vec!["latency_under_churn", "flash_crowd"]
+            vec![
+                "latency_under_churn",
+                "flash_crowd",
+                "regional_failure",
+                "degraded_links",
+                "skew_ramp"
+            ]
         );
         let profile = Profile::smoke();
         assert!(run_scenario("nonsense", &profile).is_none());
         assert!(run_scenario("LATENCY_UNDER_CHURN", &profile).is_some());
         assert!(run_scenario("Flash_Crowd", &profile).is_some());
+    }
+
+    #[test]
+    fn regional_failure_kills_a_correlated_slice_and_recovers() {
+        let profile = Profile::smoke();
+        let result = run_scenario("regional_failure", &profile).expect("registered");
+        assert_eq!(result.series.len(), 4);
+        for series in &result.series {
+            // The fault plan fires on every overlay — targeted kills on the
+            // systems that expose their peer list (all four do).
+            assert!(
+                series.fault_kills > 0,
+                "{} saw no fault kills",
+                series.overlay
+            );
+            let fails: u64 = series
+                .classes
+                .iter()
+                .filter(|c| c.class == "fail")
+                .map(|c| c.count)
+                .sum();
+            assert!(
+                fails >= series.fault_kills,
+                "{}: fail class ({fails}) must cover the {} fault kills",
+                series.overlay,
+                series.fault_kills
+            );
+            assert!(series.throughput > 0.0);
+        }
+        let table = result.to_table();
+        assert!(table.contains("killed by faults"));
+    }
+
+    #[test]
+    fn degraded_links_and_skew_ramp_run_every_overlay() {
+        let profile = Profile::smoke();
+        for id in ["degraded_links", "skew_ramp"] {
+            let result = run_scenario(id, &profile).expect("registered");
+            assert_eq!(result.series.len(), 4, "{id}");
+            for series in &result.series {
+                assert!(series.throughput > 0.0, "{id}: {} idle", series.overlay);
+                assert_eq!(series.fault_kills, 0, "{id} plans no faults");
+                let search = series
+                    .classes
+                    .iter()
+                    .find(|c| c.class == "search")
+                    .unwrap_or_else(|| panic!("{id}: {} ran no searches", series.overlay));
+                assert!(search.count > 0);
+                assert!(search.p50_ms > 1.0);
+            }
+        }
     }
 }

@@ -1,0 +1,184 @@
+//! Seeded fault plans: timed fault events injected into a phased open-loop
+//! run.
+//!
+//! The per-class `fail` arrival rate of an [`OpRates`](crate::OpRates) kills
+//! *random* peers at Poisson times; a [`FaultPlan`] instead schedules
+//! *specific* faults at specific virtual instants — most importantly the
+//! correlated regional failure ("kill half of region 2 at t = 20s") the
+//! paper's independent-failure model cannot express.  Victims are selected
+//! deterministically from the run's seeded RNG, so a fault plan is as
+//! reproducible as the workload around it.
+
+use baton_net::{PeerId, RegionMap, SimRng, SimTime};
+
+/// What a [`FaultEvent`] does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Kill `count` peers chosen uniformly from the live set.
+    Kill {
+        /// Number of peers to fail.
+        count: usize,
+    },
+    /// Kill a fraction of one region's live peers — the correlated failure:
+    /// every victim shares the region, as when a data centre or its uplink
+    /// goes down.
+    KillRegion {
+        /// The region assignment (shared with the latency topology).
+        map: RegionMap,
+        /// The region that fails.
+        region: u32,
+        /// Fraction of the region's live peers to kill, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual instant the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Chooses the victims of this fault from `peers` (the overlay's sorted
+    /// live list), using `rng` for the seeded selection.
+    pub fn select_victims(&self, peers: &[PeerId], rng: &mut SimRng) -> Vec<PeerId> {
+        match self.kind {
+            FaultKind::Kill { count } => pick(peers.to_vec(), count, rng),
+            FaultKind::KillRegion {
+                map,
+                region,
+                fraction,
+            } => {
+                let pool: Vec<PeerId> = peers
+                    .iter()
+                    .copied()
+                    .filter(|p| map.region_of(*p) == region)
+                    .collect();
+                let count = (pool.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
+                pick(pool, count, rng)
+            }
+        }
+    }
+}
+
+/// Partial Fisher–Yates: the first `count` elements of a seeded shuffle.
+fn pick(mut pool: Vec<PeerId>, count: usize, rng: &mut SimRng) -> Vec<PeerId> {
+    let count = count.min(pool.len());
+    for i in 0..count {
+        let j = i + rng.index(pool.len() - i);
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool
+}
+
+/// A schedule of fault events, kept sorted by firing time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no injected faults (every legacy scenario).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan firing the given events (sorted by time on construction).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { events }
+    }
+
+    /// The events, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// `true` if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers(n: u64) -> Vec<PeerId> {
+        (0..n).map(PeerId).collect()
+    }
+
+    #[test]
+    fn kill_selects_exactly_count_distinct_peers() {
+        let pool = peers(50);
+        let event = FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::Kill { count: 10 },
+        };
+        let mut rng = SimRng::seeded(3);
+        let victims = event.select_victims(&pool, &mut rng);
+        assert_eq!(victims.len(), 10);
+        let mut unique = victims.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 10, "victims must be distinct");
+        // Deterministic per seed.
+        let again = event.select_victims(&pool, &mut SimRng::seeded(3));
+        assert_eq!(victims, again);
+        // Requesting more than exist kills everyone, no panic.
+        let all = event.select_victims(&peers(4), &mut SimRng::seeded(3));
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn kill_region_only_touches_the_named_region() {
+        let map = RegionMap::new(4, 0xFA17);
+        let pool = peers(200);
+        let region = 2u32;
+        let in_region = pool.iter().filter(|p| map.region_of(**p) == region).count();
+        let event = FaultEvent {
+            at: SimTime::from_secs(20),
+            kind: FaultKind::KillRegion {
+                map,
+                region,
+                fraction: 0.5,
+            },
+        };
+        let victims = event.select_victims(&pool, &mut SimRng::seeded(9));
+        assert_eq!(victims.len(), (in_region as f64 * 0.5).round() as usize);
+        assert!(victims.iter().all(|v| map.region_of(*v) == region));
+        // A full-fraction kill takes the whole region and nothing more.
+        let total = FaultEvent {
+            at: SimTime::from_secs(20),
+            kind: FaultKind::KillRegion {
+                map,
+                region,
+                fraction: 1.0,
+            },
+        };
+        let all = total.select_victims(&pool, &mut SimRng::seeded(9));
+        assert_eq!(all.len(), in_region);
+    }
+
+    #[test]
+    fn plans_sort_their_events_and_report_emptiness() {
+        assert!(FaultPlan::none().is_empty());
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: SimTime::from_secs(30),
+                kind: FaultKind::Kill { count: 1 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(10),
+                kind: FaultKind::Kill { count: 2 },
+            },
+        ]);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events()[0].at, SimTime::from_secs(10));
+        assert_eq!(plan.events()[1].at, SimTime::from_secs(30));
+    }
+}

@@ -11,9 +11,15 @@
 //! * [`runner`] — generic executors that apply the generated workloads to
 //!   **any** [`baton_net::Overlay`] implementation and aggregate the
 //!   message costs;
-//! * [`openloop`] — open-loop arrival schedules over virtual time: searches,
-//!   inserts, joins, leaves and failures interleave in the discrete-event
-//!   engine, yielding latency percentiles and throughput under churn.
+//! * [`phases`] — declarative phased workloads: per-class arrival rates and
+//!   key distributions (uniform / hot-slice / Zipf) that step at phase
+//!   boundaries, plus timed key-window overrides;
+//! * [`faults`] — seeded fault plans: timed targeted fault events, including
+//!   correlated regional kills ("fail half of region 2 at t = 20s");
+//! * [`openloop`] — open-loop execution over virtual time: the phased
+//!   schedule's searches, inserts, joins, leaves, failures and fault events
+//!   interleave in the discrete-event engine, yielding latency percentiles
+//!   and throughput under churn.
 //!
 //! All generators are driven by an explicit [`rand::Rng`] (normally a
 //! seeded `baton_net::SimRng`) so every experiment repetition is
@@ -24,17 +30,18 @@
 
 pub mod churn;
 pub mod dataset;
+pub mod faults;
 pub mod keys;
 pub mod openloop;
+pub mod phases;
 pub mod queries;
 pub mod runner;
 
 pub use churn::{ChurnEvent, ChurnWorkload, ConcurrentChurnBatch};
 pub use dataset::DatasetPlan;
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use keys::{KeyDistribution, KeyGenerator, DOMAIN_HIGH, DOMAIN_LOW};
-pub use openloop::{
-    run_open_loop, ArrivalEvent, HotBurst, LatencySummary, OpClass, OpenLoopOutcome,
-    OpenLoopWorkload,
-};
+pub use openloop::{run_phased, ArrivalEvent, LatencySummary, OpClass, OpenLoopOutcome};
+pub use phases::{KeyMix, KeyWindow, OpRates, Phase, PhasedWorkload, ResolvedKeys};
 pub use queries::{Query, QueryWorkload};
 pub use runner::{bulk_load, run_churn, run_queries, ChurnOutcome, LoadOutcome, QueryOutcome};

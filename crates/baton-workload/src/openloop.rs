@@ -1,25 +1,28 @@
-//! Open-loop workloads: operations arrive on a virtual-time schedule and
+//! Open-loop execution: operations arrive on a virtual-time schedule and
 //! *interleave*, instead of executing back-to-back.
 //!
 //! The closed-loop runners in [`crate::runner`] issue the next operation the
 //! moment the previous one finishes — fine for counting messages, useless
 //! for latency or throughput, because the system is never under load.  An
-//! open-loop workload draws per-class Poisson arrival processes (searches,
-//! inserts, joins, leaves, failures) from a seeded RNG, merges them into one
-//! schedule, and dispatches each operation at its arrival time by advancing
-//! the overlay's arrival clock ([`baton_net::Overlay::advance_to`]).  Two
-//! operations whose hop chains overlap in virtual time then genuinely
-//! overlap: each accumulates only its own chain's latency.
+//! open-loop run takes the merged arrival schedule of a
+//! [`PhasedWorkload`](crate::PhasedWorkload) and dispatches each operation
+//! at its arrival time by advancing the overlay's arrival clock
+//! ([`baton_net::Overlay::advance_to`]).  Two operations whose hop chains
+//! overlap in virtual time then genuinely overlap: each accumulates only its
+//! own chain's latency.
 //!
-//! This is the substrate for churn-under-load questions the paper cannot
-//! ask, e.g. *what is search latency while 10% of the peers join or leave
-//! per virtual minute?*
+//! On top of the schedule, a [`FaultPlan`](crate::FaultPlan) injects timed
+//! targeted faults (correlated regional kills) between arrivals — the
+//! substrate for stress questions the paper cannot ask, e.g. *what happens
+//! to search latency when half of one region fails at t = 20s?*
 
 use std::collections::BTreeMap;
 
-use baton_net::{Overlay, OverlayError, OverlayResult, SimRng, SimTime};
+use baton_net::{OpId, Overlay, OverlayError, OverlayResult, PeerId, SimRng, SimTime};
 
-use crate::keys::{KeyDistribution, KeyGenerator, DOMAIN_HIGH, DOMAIN_LOW};
+use crate::faults::{FaultEvent, FaultPlan};
+use crate::keys::{DOMAIN_HIGH, DOMAIN_LOW};
+use crate::phases::PhasedWorkload;
 
 /// The class of an operation in an open-loop schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -70,135 +73,6 @@ pub struct ArrivalEvent {
     pub at: SimTime,
     /// What arrives.
     pub class: OpClass,
-}
-
-/// A burst window during which the key distribution of searches, range
-/// queries and inserts collapses onto a hot slice of the domain — the
-/// flash-crowd ingredient of an open-loop workload.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct HotBurst {
-    /// Virtual instant the burst starts (inclusive).
-    pub from: SimTime,
-    /// Virtual instant the burst ends (exclusive).
-    pub until: SimTime,
-    /// Inclusive lower bound of the hot key slice.
-    pub low: u64,
-    /// Exclusive upper bound of the hot key slice.
-    pub high: u64,
-}
-
-impl HotBurst {
-    /// `true` while the burst is active at `at`.
-    pub fn covers(&self, at: SimTime) -> bool {
-        at >= self.from && at < self.until
-    }
-}
-
-/// An open-loop workload: per-class Poisson arrival rates over a virtual
-/// duration.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct OpenLoopWorkload {
-    /// Virtual length of the run.
-    pub duration: SimTime,
-    /// Exact-match queries per virtual second.
-    pub search_rate: f64,
-    /// Range queries per virtual second.
-    pub range_rate: f64,
-    /// Inserts per virtual second.
-    pub insert_rate: f64,
-    /// Joins per virtual second.
-    pub join_rate: f64,
-    /// Graceful departures per virtual second.
-    pub leave_rate: f64,
-    /// Abrupt failures per virtual second.
-    pub fail_rate: f64,
-    /// Distribution query and insert keys are drawn from.
-    pub distribution: KeyDistribution,
-    /// Width of each range query as a fraction of the domain.
-    pub range_selectivity: f64,
-    /// Optional flash-crowd window: while active, search/range/insert keys
-    /// are drawn uniformly from the burst's hot slice instead of
-    /// `distribution`.
-    pub hot_burst: Option<HotBurst>,
-}
-
-impl OpenLoopWorkload {
-    /// A query-only workload: `search_rate` exact queries per virtual
-    /// second, nothing else.
-    pub fn queries_only(duration: SimTime, search_rate: f64) -> Self {
-        Self {
-            duration,
-            search_rate,
-            range_rate: 0.0,
-            insert_rate: 0.0,
-            join_rate: 0.0,
-            leave_rate: 0.0,
-            fail_rate: 0.0,
-            distribution: KeyDistribution::Uniform,
-            range_selectivity: 0.001,
-            hot_burst: None,
-        }
-    }
-
-    /// The churn-under-load scenario: `search_rate` queries per second while
-    /// `churn_per_minute` (a fraction of the `n` starting peers, e.g. `0.1`
-    /// for 10%) joins *and* the same fraction leaves per virtual minute —
-    /// node count stays stationary in expectation while the routing state
-    /// churns underneath the queries.
-    pub fn churn_under_load(
-        duration: SimTime,
-        search_rate: f64,
-        n: usize,
-        churn_per_minute: f64,
-    ) -> Self {
-        let churn_rate = (n as f64 * churn_per_minute) / 2.0 / 60.0;
-        Self {
-            join_rate: churn_rate,
-            leave_rate: churn_rate,
-            ..Self::queries_only(duration, search_rate)
-        }
-    }
-
-    /// Rate of `class` arrivals, per virtual second.
-    pub fn rate(&self, class: OpClass) -> f64 {
-        match class {
-            OpClass::Search => self.search_rate,
-            OpClass::Range => self.range_rate,
-            OpClass::Insert => self.insert_rate,
-            OpClass::Join => self.join_rate,
-            OpClass::Leave => self.leave_rate,
-            OpClass::Fail => self.fail_rate,
-        }
-    }
-
-    /// Draws the merged arrival schedule: one Poisson process per class
-    /// (exponential inter-arrival times at the class rate), merged and
-    /// sorted by arrival time.
-    ///
-    /// Deterministic for a given `rng` seed; ties are broken by class order
-    /// so the schedule is stable across platforms.
-    pub fn schedule(&self, rng: &mut SimRng) -> Vec<ArrivalEvent> {
-        let mut events = Vec::new();
-        for class in OpClass::ALL {
-            let rate = self.rate(class);
-            if rate <= 0.0 {
-                continue;
-            }
-            let mut class_rng = rng.derive(class as u64 + 1);
-            let mut t = 0.0f64; // seconds
-            loop {
-                let u = class_rng.uniform_f64().max(f64::MIN_POSITIVE);
-                t += -u.ln() / rate;
-                let at = SimTime::from_micros((t * 1_000_000.0) as u64);
-                if at >= self.duration {
-                    break;
-                }
-                events.push(ArrivalEvent { at, class });
-            }
-        }
-        events.sort_by_key(|e| (e.at, e.class));
-        events
-    }
 }
 
 /// Latency percentiles over one class of operations.
@@ -261,6 +135,10 @@ pub struct OpenLoopOutcome {
     pub latencies: BTreeMap<&'static str, Vec<SimTime>>,
     /// Total messages across all executed operations.
     pub messages: u64,
+    /// Peers killed by the fault plan (counted under the `fail` class in
+    /// `executed`, tallied here as well so reports can attribute correlated
+    /// failures separately from the Poisson `fail` arrivals).
+    pub fault_kills: u64,
 }
 
 impl OpenLoopOutcome {
@@ -295,44 +173,126 @@ impl OpenLoopOutcome {
             .get(class.name())
             .and_then(|samples| LatencySummary::from_samples(samples))
     }
+
+    /// Records a completed dispatch: the executed count, its messages, and
+    /// the client-visible latency of its first begun operation.
+    fn record(&mut self, overlay: &mut dyn Overlay, class: OpClass, first_op: OpId, messages: u64) {
+        *self.executed.entry(class.name()).or_insert(0) += 1;
+        self.messages += messages;
+        // The first op begun by the dispatch is the client-visible one;
+        // anything after it (e.g. a triggered load-balancing pass) is
+        // background maintenance and not part of the client's latency.
+        if let Some(latency) = overlay.stats().op(first_op).and_then(|s| s.latency()) {
+            self.latencies
+                .entry(class.name())
+                .or_default()
+                .push(latency);
+        }
+        // Everything the dispatch begun has finished: retire it into the
+        // per-class aggregates so a long open-loop run holds O(in-flight)
+        // operation state, not O(operations-ever).
+        overlay.stats_mut().retire_finished();
+    }
 }
 
-/// Executes an open-loop schedule against an overlay.
+/// Kills one specific peer: abruptly when the overlay supports targeted
+/// failures, degrading to a targeted graceful departure otherwise.
+/// Returns the messages spent, or `None` if the overlay supports no
+/// *targeted* departure at all — a fault kill that silently removed some
+/// other random peer would misreport an uncorrelated failure pattern as a
+/// correlated one, so untargetable overlays skip instead.
+fn kill_peer(overlay: &mut dyn Overlay, victim: PeerId) -> OverlayResult<Option<u64>> {
+    match overlay.fail_peer(victim) {
+        Ok(cost) => Ok(Some(cost.total_messages())),
+        Err(OverlayError::Unsupported(_)) => match overlay.leave_peer(victim) {
+            Ok(cost) => Ok(Some(cost.total_messages())),
+            Err(OverlayError::Unsupported(_)) => Ok(None),
+            Err(other) => Err(other),
+        },
+        Err(other) => Err(other),
+    }
+}
+
+/// Fires one fault event: advances the clock to the fault's instant,
+/// selects the victims from the live peer list, and kills each one
+/// (respecting the node floor).  Kills are accounted under the `fail`
+/// class, exactly like Poisson `fail` arrivals.
 ///
-/// Each event advances the overlay's arrival clock to its scheduled time and
-/// dispatches the operation; the operation's virtual latency (read back from
-/// the overlay's per-op statistics) is recorded under its class.  Leaves and
-/// failures are skipped while the overlay has `min_nodes` nodes or fewer;
+/// `fault_rng` is a stream dedicated to victim selection, separate from the
+/// key-draw stream: the number of draws a selection consumes depends on the
+/// overlay's live peer set (which diverges across overlays once churn
+/// runs), and sharing one stream would desynchronise the data keys that
+/// keep every overlay on the same workload.
+fn apply_fault(
+    overlay: &mut dyn Overlay,
+    fault: &FaultEvent,
+    fault_rng: &mut SimRng,
+    min_nodes: usize,
+    outcome: &mut OpenLoopOutcome,
+) -> OverlayResult<()> {
+    overlay.advance_to(fault.at);
+    let victims = fault.select_victims(overlay.peers(), fault_rng);
+    for victim in victims {
+        if overlay.node_count() <= min_nodes {
+            *outcome.skipped.entry(OpClass::Fail.name()).or_insert(0) += 1;
+            continue;
+        }
+        // A victim can disappear between selection and execution (an
+        // earlier kill's replacement protocol may have vacated it).
+        if overlay.peers().binary_search(&victim).is_err() {
+            *outcome.skipped.entry(OpClass::Fail.name()).or_insert(0) += 1;
+            continue;
+        }
+        let first_op = OpId(overlay.stats().next_op_id());
+        let Some(messages) = kill_peer(overlay, victim)? else {
+            *outcome.skipped.entry(OpClass::Fail.name()).or_insert(0) += 1;
+            continue;
+        };
+        outcome.fault_kills += 1;
+        outcome.record(overlay, OpClass::Fail, first_op, messages);
+    }
+    Ok(())
+}
+
+/// Executes a phased open-loop schedule — with its fault plan — against an
+/// overlay.
+///
+/// Each arrival advances the overlay's arrival clock to its scheduled time
+/// and dispatches the operation; the operation's virtual latency (read back
+/// from the overlay's per-op statistics) is recorded under its class.
+/// Fault events fire between arrivals, in time order (a fault scheduled at
+/// the same instant as an arrival fires first).  Leaves, failures and fault
+/// kills are skipped while the overlay has `min_nodes` nodes or fewer;
 /// failures degrade to graceful departures on overlays without failure
 /// support; range queries are skipped on overlays without range support —
 /// one schedule drives every system, as with the closed-loop runners.
-pub fn run_open_loop(
+pub fn run_phased(
     overlay: &mut dyn Overlay,
     events: &[ArrivalEvent],
-    workload: &OpenLoopWorkload,
+    workload: &PhasedWorkload,
+    faults: &FaultPlan,
     rng: &mut SimRng,
     min_nodes: usize,
 ) -> OverlayResult<OpenLoopOutcome> {
-    let keygen = KeyGenerator::paper(workload.distribution);
-    let hot_keygen = workload
-        .hot_burst
-        .map(|burst| KeyGenerator::new(burst.low, burst.high, KeyDistribution::Uniform));
-    // Draws the next data key: from the hot slice while a burst covers the
-    // arrival, from the workload's distribution otherwise.
-    let next_key = |at: SimTime, rng: &mut SimRng| match (&workload.hot_burst, &hot_keygen) {
-        (Some(burst), Some(hot)) if burst.covers(at) => hot.next_key(rng),
-        _ => keygen.next_key(rng),
-    };
+    let keys = workload.resolve_keys();
     let range_width =
         (((DOMAIN_HIGH - DOMAIN_LOW) as f64 * workload.range_selectivity) as u64).max(1);
     let mut outcome = OpenLoopOutcome::default();
+    // Victim selection gets its own derived stream (see `apply_fault`);
+    // `derive` reads the parent's seed without advancing it, so a faultless
+    // run consumes `rng` exactly as the pre-fault engine did.
+    let mut fault_rng = rng.derive(0xFA17);
+    let mut fault_queue = faults.events().iter().peekable();
     for event in events {
+        while let Some(fault) = fault_queue.next_if(|f| f.at <= event.at) {
+            apply_fault(overlay, fault, &mut fault_rng, min_nodes, &mut outcome)?;
+        }
         overlay.advance_to(event.at);
-        let first_op = baton_net::OpId(overlay.stats().next_op_id());
+        let first_op = OpId(overlay.stats().next_op_id());
         let messages = match event.class {
-            OpClass::Search => Some(overlay.search_exact(next_key(event.at, rng))?.messages),
+            OpClass::Search => Some(overlay.search_exact(keys.draw(event.at, rng))?.messages),
             OpClass::Range => {
-                let low = next_key(event.at, rng);
+                let low = keys.draw(event.at, rng);
                 let high = (low + range_width).min(DOMAIN_HIGH);
                 match overlay.search_range(low, high) {
                     Ok(cost) => Some(cost.messages),
@@ -341,7 +301,7 @@ pub fn run_open_loop(
                 }
             }
             OpClass::Insert => {
-                let key = next_key(event.at, rng);
+                let key = keys.draw(event.at, rng);
                 let cost = overlay.insert(key, key)?;
                 Some(cost.messages + cost.balance_messages)
             }
@@ -367,22 +327,11 @@ pub fn run_open_loop(
             *outcome.skipped.entry(event.class.name()).or_insert(0) += 1;
             continue;
         };
-        *outcome.executed.entry(event.class.name()).or_insert(0) += 1;
-        outcome.messages += messages;
-        // The first op begun by the dispatch is the client-visible one;
-        // anything after it (e.g. a triggered load-balancing pass) is
-        // background maintenance and not part of the client's latency.
-        if let Some(latency) = overlay.stats().op(first_op).and_then(|s| s.latency()) {
-            outcome
-                .latencies
-                .entry(event.class.name())
-                .or_default()
-                .push(latency);
-        }
-        // Everything the dispatch begun has finished: retire it into the
-        // per-class aggregates so a long open-loop run holds O(in-flight)
-        // operation state, not O(operations-ever).
-        overlay.stats_mut().retire_finished();
+        outcome.record(overlay, event.class, first_op, messages);
+    }
+    // Faults scheduled after the last arrival still fire.
+    for fault in fault_queue {
+        apply_fault(overlay, fault, &mut fault_rng, min_nodes, &mut outcome)?;
     }
     outcome.makespan = overlay.now();
     Ok(outcome)
@@ -391,46 +340,6 @@ pub fn run_open_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn schedule_is_sorted_deterministic_and_rate_proportional() {
-        let workload = OpenLoopWorkload {
-            duration: SimTime::from_secs(100),
-            search_rate: 10.0,
-            range_rate: 0.0,
-            insert_rate: 2.0,
-            join_rate: 1.0,
-            leave_rate: 1.0,
-            fail_rate: 0.0,
-            distribution: KeyDistribution::Uniform,
-            range_selectivity: 0.001,
-            hot_burst: None,
-        };
-        let events = workload.schedule(&mut SimRng::seeded(1));
-        let again = workload.schedule(&mut SimRng::seeded(1));
-        assert_eq!(events, again);
-        assert!(events.windows(2).all(|w| w[0].at <= w[1].at), "unsorted");
-        assert!(events.iter().all(|e| e.at < workload.duration));
-        let count = |c: OpClass| events.iter().filter(|e| e.class == c).count();
-        let searches = count(OpClass::Search);
-        let inserts = count(OpClass::Insert);
-        assert_eq!(count(OpClass::Range), 0);
-        assert_eq!(count(OpClass::Fail), 0);
-        // ~1000 searches, ~200 inserts: Poisson noise stays well inside 2x.
-        assert!((500..2000).contains(&searches), "searches = {searches}");
-        assert!((100..400).contains(&inserts), "inserts = {inserts}");
-    }
-
-    #[test]
-    fn churn_under_load_rates_match_the_fraction() {
-        let w = OpenLoopWorkload::churn_under_load(SimTime::from_secs(60), 5.0, 1200, 0.1);
-        // 10% of 1200 peers per minute, split between joins and leaves:
-        // 1 join/s and 1 leave/s.
-        assert!((w.join_rate - 1.0).abs() < 1e-9);
-        assert!((w.leave_rate - 1.0).abs() < 1e-9);
-        assert_eq!(w.search_rate, 5.0);
-        assert_eq!(w.fail_rate, 0.0);
-    }
 
     #[test]
     fn latency_summary_percentiles_are_ordered() {
@@ -455,20 +364,7 @@ mod tests {
         assert_eq!(outcome.total_skipped(), 0);
         assert_eq!(outcome.skipped_of(OpClass::Range), 0);
         assert_eq!(outcome.throughput(), 0.0);
+        assert_eq!(outcome.fault_kills, 0);
         assert!(outcome.summary(OpClass::Search).is_none());
-    }
-
-    #[test]
-    fn hot_burst_covers_its_window_half_open() {
-        let burst = HotBurst {
-            from: SimTime::from_secs(20),
-            until: SimTime::from_secs(40),
-            low: 1,
-            high: 10_000_001,
-        };
-        assert!(!burst.covers(SimTime::from_millis(19_999)));
-        assert!(burst.covers(SimTime::from_secs(20)));
-        assert!(burst.covers(SimTime::from_millis(39_999)));
-        assert!(!burst.covers(SimTime::from_secs(40)));
     }
 }

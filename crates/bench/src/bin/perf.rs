@@ -7,7 +7,7 @@
 //!
 //! * `--profile full` (default): paper scale — a 10,000-node BATON build,
 //!   1000 exact-match (fig8d) and 1000 range (fig8e) queries, and the
-//!   `latency_under_churn` scenario at N = 1000.
+//!   `latency_under_churn` and `regional_failure` scenarios at N = 1000.
 //! * `--profile smoke`: a reduced run for CI (seconds).
 //! * `--out PATH`: where to write the JSON report (default
 //!   `BENCH_perf.json` in the current directory).
@@ -15,7 +15,7 @@
 //!   (case-insensitive series names, e.g. `--overlays D3-Tree`); the
 //!   scenario measurement is narrowed to the same list.
 //! * `--check PATH`: validate an existing report against the
-//!   `baton-perf/1` schema instead of running measurements (exit code 1 on
+//!   `baton-perf/2` schema instead of running measurements (exit code 1 on
 //!   schema violations) — the CI gate for the uploaded artifact.
 
 use std::process::ExitCode;
@@ -92,7 +92,7 @@ fn main() -> ExitCode {
         };
         return match validate_json(&text) {
             Ok(count) => {
-                println!("{path}: valid baton-perf/1 report with {count} measurement(s)");
+                println!("{path}: valid baton-perf/2 report with {count} measurement(s)");
                 ExitCode::SUCCESS
             }
             Err(problem) => {

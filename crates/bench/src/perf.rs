@@ -3,10 +3,13 @@
 //! Unlike the Criterion benches (which reproduce the paper's *message
 //! counts*), this module tracks how fast the substrate itself runs: overlay
 //! construction, the paper-profile exact-match (fig8d) and range-search
-//! (fig8e) query drivers, and the `latency_under_churn` time-domain
-//! scenario.  The `perf` binary emits the results as `BENCH_perf.json` so
-//! successive PRs can regress against a machine-readable wall-clock
-//! trajectory.
+//! (fig8e) query drivers, and two time-domain scenarios —
+//! `latency_under_churn` (the original open-loop template) and
+//! `regional_failure` (the phased engine with a regional latency topology
+//! and a correlated fault plan, representative of the scenario registry's
+//! new machinery).  The `perf` binary emits the results as
+//! `BENCH_perf.json` so successive PRs can regress against a
+//! machine-readable wall-clock trajectory.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -190,6 +193,10 @@ fn time_overlay_group(
 /// binary warns when a selection names an overlay outside this list.
 pub const TIMED_OVERLAYS: [&str; 2] = ["BATON", "D3-Tree"];
 
+/// Scenarios with a wall-clock measurement row in [`run`]: the original
+/// open-loop template plus one representative of the phased/fault engine.
+pub const TIMED_SCENARIOS: [&str; 2] = ["latency_under_churn", "regional_failure"];
+
 /// Runs every perf measurement at the given profile.
 ///
 /// The overlays measured — both the per-overlay build/query groups (see
@@ -222,39 +229,44 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
         );
     }
 
-    // The latency_under_churn scenario (every selected overlay, open loop).
+    // Two time-domain scenarios (every selected overlay, open loop): the
+    // original churn template and a representative of the phased registry
+    // (regional topology + correlated fault plan).
     let scenario_profile = profile.scenario.clone();
     let scenario_n = *scenario_profile.network_sizes.last().unwrap_or(&0);
-    let (scenario_m, _) = Measurement::timed(
-        "latency_under_churn",
-        format!(
-            "latency_under_churn scenario, N = {scenario_n}, overlays: {}",
-            selected.join(", ")
-        ),
-        "ops",
-        || {
-            let result = scenario::latency_under_churn(&scenario_profile);
-            let ops: u64 = result
-                .series
-                .iter()
-                .flat_map(|s| s.classes.iter())
-                .map(|c| c.count)
-                .sum();
-            (ops, ())
-        },
-    );
-    measurements.push(scenario_m);
+    for id in TIMED_SCENARIOS {
+        let (scenario_m, _) = Measurement::timed(
+            id,
+            format!(
+                "{id} scenario, N = {scenario_n}, overlays: {}",
+                selected.join(", ")
+            ),
+            "ops",
+            || {
+                let result =
+                    scenario::run_scenario(id, &scenario_profile).expect("registered scenario");
+                let ops: u64 = result
+                    .series
+                    .iter()
+                    .flat_map(|s| s.classes.iter())
+                    .map(|c| c.count)
+                    .sum();
+                (ops, ())
+            },
+        );
+        measurements.push(scenario_m);
+    }
 
     measurements
 }
 
 /// Renders a perf report as the `BENCH_perf.json` document.
 ///
-/// Schema (`baton-perf/1`):
+/// Schema (`baton-perf/2`):
 ///
 /// ```json
 /// {
-///   "schema": "baton-perf/1",
+///   "schema": "baton-perf/2",
 ///   "profile": "full",
 ///   "measurements": [
 ///     {"id": "build", "detail": "…", "work_items": 10000,
@@ -264,7 +276,7 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
 /// ```
 pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"baton-perf/1\",");
+    let _ = writeln!(out, "  \"schema\": \"baton-perf/2\",");
     let _ = writeln!(out, "  \"profile\": {},", json_string(profile.name));
     out.push_str("  \"measurements\": [");
     for (i, m) in measurements.iter().enumerate() {
@@ -287,7 +299,7 @@ pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> Strin
     out
 }
 
-/// Validates that `text` parses as a `baton-perf/1` document: well-formed
+/// Validates that `text` parses as a `baton-perf/2` document: well-formed
 /// JSON (for the subset the renderer emits), the schema marker, and at least
 /// one measurement carrying every required field with finite numbers.
 ///
@@ -301,7 +313,7 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "baton-perf/1" {
+    if schema != "baton-perf/2" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     root.get("profile")
@@ -589,7 +601,7 @@ mod tests {
     fn smoke_profile_runs_filters_and_renders_valid_json() {
         let profile = PerfProfile::smoke();
         let measurements = run(&profile);
-        assert_eq!(measurements.len(), 7);
+        assert_eq!(measurements.len(), 8);
         let ids: Vec<&str> = measurements.iter().map(|m| m.id.as_str()).collect();
         assert_eq!(
             ids,
@@ -600,7 +612,8 @@ mod tests {
                 "build_d3tree",
                 "exact_fig8d_d3tree",
                 "range_fig8e_d3tree",
-                "latency_under_churn"
+                "latency_under_churn",
+                "regional_failure"
             ]
         );
         for m in &measurements {
@@ -608,7 +621,7 @@ mod tests {
             assert!(m.wall_ms.is_finite() && m.wall_ms >= 0.0);
         }
         let rendered = render_json(&profile, &measurements);
-        assert_eq!(validate_json(&rendered), Ok(7));
+        assert_eq!(validate_json(&rendered), Ok(8));
 
         // Narrowed to one overlay, the timing groups and the scenario
         // follow the same selection — the scenario detail names it.
@@ -622,7 +635,8 @@ mod tests {
                 "build_d3tree",
                 "exact_fig8d_d3tree",
                 "range_fig8e_d3tree",
-                "latency_under_churn"
+                "latency_under_churn",
+                "regional_failure"
             ]
         );
         let scenario = narrowed.last().expect("scenario measurement");
@@ -635,11 +649,11 @@ mod tests {
         assert!(validate_json("{}").is_err());
         assert!(validate_json("{\"schema\": \"other/1\"}").is_err());
         assert!(validate_json(
-            "{\"schema\": \"baton-perf/1\", \"profile\": \"x\", \"measurements\": []}"
+            "{\"schema\": \"baton-perf/2\", \"profile\": \"x\", \"measurements\": []}"
         )
         .is_err());
         // Bad number in an otherwise complete measurement.
-        let bad = "{\"schema\": \"baton-perf/1\", \"profile\": \"x\", \"measurements\": [\
+        let bad = "{\"schema\": \"baton-perf/2\", \"profile\": \"x\", \"measurements\": [\
                    {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                    \"work_items\": 1, \"wall_ms\": -5.0, \"per_second\": 0.0}]}";
         assert!(validate_json(bad).unwrap_err().contains("wall_ms"));

@@ -162,7 +162,7 @@ fn churned_overlay_reproduces_pinned_seeded_message_counts() {
 #[test]
 fn open_loop_retires_finished_ops_into_bounded_aggregates() {
     use baton_core::{BatonConfig, BatonSystem};
-    use baton_workload::{run_open_loop, OpenLoopWorkload};
+    use baton_workload::{run_phased, FaultPlan, PhasedWorkload};
 
     let mut overlay = BatonSystem::build(BatonConfig::default(), 7, 40).expect("build");
     // Construction ran outside any runner, so its ops still sit in the live
@@ -170,11 +170,19 @@ fn open_loop_retires_finished_ops_into_bounded_aggregates() {
     let build_ops = overlay.stats().live_op_count();
     assert!(build_ops >= 39, "every join should still be live");
 
-    let workload = OpenLoopWorkload::queries_only(SimTime::from_secs(120), 20.0);
+    let workload = PhasedWorkload::queries_only(SimTime::from_secs(120), 20.0);
     let mut rng = SimRng::seeded(0xFEED);
     let events = workload.schedule(&mut rng.derive(1));
     assert!(events.len() > 1500, "want a long run, got {}", events.len());
-    let outcome = run_open_loop(&mut overlay, &events, &workload, &mut rng, 1).expect("run");
+    let outcome = run_phased(
+        &mut overlay,
+        &events,
+        &workload,
+        &FaultPlan::none(),
+        &mut rng,
+        1,
+    )
+    .expect("run");
     assert_eq!(outcome.total_executed(), events.len() as u64);
 
     let stats = overlay.stats();
