@@ -13,13 +13,19 @@ pub const M: u32 = 32;
 pub const RING: u64 = 1 << M;
 
 /// A point on the Chord identifier circle, always `< 2^M`.
+///
+/// Stored as a `u32` — the full `2^32` circle fits exactly — so a
+/// [`Finger`](crate::node::Finger) (id + peer + id) packs into 12 bytes
+/// instead of 24.  All arithmetic still runs in `u64` (via
+/// [`value`](ChordId::value)) to keep the wraparound math overflow-free.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct ChordId(pub u64);
+#[repr(transparent)]
+pub struct ChordId(u32);
 
 impl ChordId {
     /// Wraps an arbitrary value onto the circle.
     pub fn new(value: u64) -> Self {
-        ChordId(value % RING)
+        ChordId((value % RING) as u32)
     }
 
     /// Hashes an arbitrary key onto the circle (SplitMix64 finalizer —
@@ -29,22 +35,27 @@ impl ChordId {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        ChordId(z % RING)
+        ChordId((z % RING) as u32)
     }
 
-    /// The raw identifier value.
+    /// The raw identifier value, widened to the `u64` arithmetic domain.
     pub fn value(self) -> u64 {
+        u64::from(self.0)
+    }
+
+    /// The raw identifier value in its compact storage width.
+    pub fn compact(self) -> u32 {
         self.0
     }
 
     /// `self + 2^k` on the circle: the start of the `k`-th finger interval.
     pub fn finger_start(self, k: u32) -> ChordId {
-        ChordId((self.0 + (1u64 << k)) % RING)
+        ChordId::new(self.value() + (1u64 << k))
     }
 
     /// Clockwise distance from `self` to `other`.
     pub fn distance_to(self, other: ChordId) -> u64 {
-        (other.0 + RING - self.0) % RING
+        (other.value() + RING - self.value()) % RING
     }
 
     /// `true` if `self` lies in the clockwise-open interval `(from, to)`.

@@ -53,6 +53,21 @@ impl ChordNode {
         self.store.values().map(Vec::len).sum()
     }
 
+    /// Approximate resident bytes of this node's state: the struct itself,
+    /// the finger table and the key store (B-tree entries plus per-key
+    /// value vectors, with ~16 bytes of amortised tree overhead each).
+    pub fn estimated_state_bytes(&self) -> u64 {
+        let fingers = (self.fingers.capacity() * std::mem::size_of::<Option<Finger>>()) as u64;
+        let entry = std::mem::size_of::<(u64, Vec<u64>)>() as u64 + 16;
+        let store = self.store.len() as u64 * entry
+            + self
+                .store
+                .values()
+                .map(|v| (v.capacity() * std::mem::size_of::<u64>()) as u64)
+                .sum::<u64>();
+        std::mem::size_of::<Self>() as u64 + fingers + store
+    }
+
     /// `true` if this node is responsible for identifier `id`: `id` lies in
     /// `(predecessor, self]`.
     pub fn owns(&self, id: ChordId) -> bool {

@@ -53,6 +53,10 @@ impl Overlay for ChordSystem {
         ChordSystem::set_latency_model(self, model);
     }
 
+    fn estimated_state_bytes(&self) -> u64 {
+        ChordSystem::estimated_state_bytes(self)
+    }
+
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = ChordSystem::join_random(self).map_err(op_err)?;
         Ok(ChurnCost {

@@ -104,8 +104,10 @@ pub struct ChordSystem {
     /// Ring identifiers of the *live* nodes: the collision set of
     /// [`fresh_id`](Self::fresh_id).  Kept in lockstep with `nodes` (ids of
     /// departed peers are released) so the seeded draw sequence is
-    /// bit-identical to the old scan over live nodes.
-    used_ids: HashSet<u64>,
+    /// bit-identical to the old scan over live nodes.  Stored in the id's
+    /// compact `u32` width — the full `2^32` circle fits — which halves
+    /// the set's key footprint at million-node scale.
+    used_ids: HashSet<u32>,
     rng: SimRng,
 }
 
@@ -133,6 +135,23 @@ impl ChordSystem {
     /// Number of nodes in the ring.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Approximate resident bytes of per-peer protocol state: the node map
+    /// (hash-table slots at the ~8/7 load-factor reciprocal), every node's
+    /// finger table and key store, the sampling list and the live-id set.
+    /// The shared network substrate is excluded.
+    pub fn estimated_state_bytes(&self) -> u64 {
+        let slot = std::mem::size_of::<(PeerId, ChordNode)>() as u64 + 1;
+        let map = self.nodes.capacity() as u64 * slot * 8 / 7;
+        let heap: u64 = self
+            .nodes
+            .values()
+            .map(|node| node.estimated_state_bytes() - std::mem::size_of::<ChordNode>() as u64)
+            .sum();
+        let peers = (self.peer_list.capacity() * std::mem::size_of::<PeerId>()) as u64;
+        let ids = self.used_ids.capacity() as u64 * (std::mem::size_of::<u32>() as u64 + 1) * 8 / 7;
+        map + heap + peers + ids
     }
 
     /// All peers in the ring, sorted by id — a borrowed view of the
@@ -186,10 +205,20 @@ impl ChordSystem {
     /// [`unregister_node`](Self::unregister_node) so it stays in lockstep
     /// with the live nodes even when a join fails after drawing an id.
     fn register_node(&mut self, peer: PeerId, node: ChordNode) {
-        if let Err(idx) = self.peer_list.binary_search(&peer) {
-            self.peer_list.insert(idx, peer);
+        // New peers come from the registry's monotonically increasing id
+        // counter, so in the common case the peer sorts after everything in
+        // the list and registration is an O(1) push; the binary-search
+        // fallback covers re-registrations (e.g. a failed join retried).
+        match self.peer_list.last() {
+            Some(&last) if peer > last => self.peer_list.push(peer),
+            None => self.peer_list.push(peer),
+            _ => {
+                if let Err(idx) = self.peer_list.binary_search(&peer) {
+                    self.peer_list.insert(idx, peer);
+                }
+            }
         }
-        self.used_ids.insert(node.id.value());
+        self.used_ids.insert(node.id.compact());
         self.nodes.insert(peer, node);
     }
 
@@ -200,14 +229,26 @@ impl ChordSystem {
             self.peer_list.remove(idx);
         }
         let node = self.nodes.remove(&peer)?;
-        self.used_ids.remove(&node.id.value());
+        self.used_ids.remove(&node.id.compact());
         Some(node)
     }
 
+    /// Draws an unused ring identifier.
+    ///
+    /// Expected O(1): a draw collides with probability `n / 2^32`, so even
+    /// a million-node ring rejects ~0.02% of draws.  The saturation guard
+    /// turns the (astronomically remote) full-circle case into a clean
+    /// panic instead of an unbounded spin, and the draw itself —
+    /// `uniform_u64(0, RING)` — is unchanged from the wide-id substrate so
+    /// every seeded experiment keeps its exact id sequence.
     fn fresh_id(&mut self) -> ChordId {
+        assert!(
+            (self.used_ids.len() as u64) < crate::id::RING,
+            "chord identifier circle exhausted"
+        );
         loop {
             let raw = self.rng.uniform_u64(0, crate::id::RING);
-            if !self.used_ids.contains(&raw) {
+            if !self.used_ids.contains(&(raw as u32)) {
                 return ChordId::new(raw);
             }
         }

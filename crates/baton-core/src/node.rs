@@ -58,6 +58,15 @@ impl BatonNode {
         }
     }
 
+    /// Approximate resident bytes of this node's state: the struct itself
+    /// plus the heap behind its routing tables and local store.
+    pub fn estimated_state_bytes(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64
+            + self.left_table.estimated_heap_bytes()
+            + self.right_table.estimated_heap_bytes()
+            + self.store.estimated_heap_bytes()
+    }
+
     /// The link other nodes should hold for this node, reflecting its
     /// current position and range.
     pub fn link(&self) -> NodeLink {
@@ -305,7 +314,7 @@ mod tests {
     use super::*;
     use crate::routing::RoutingEntry;
 
-    fn node(peer: u64, level: u32, number: u64) -> BatonNode {
+    fn node(peer: u32, level: u32, number: u64) -> BatonNode {
         BatonNode::new(
             PeerId(peer),
             Position::new(level, number),

@@ -16,6 +16,15 @@
 //! The number of nodes involved in each re-join (2 + the restructuring shift
 //! length) is recorded in the system's shift-size histogram, which is what
 //! Figure 8(h) plots.
+//!
+//! Re-joins are *screened*: both restructuring chains are planned (purely)
+//! up front, and a re-join whose shift would exceed the
+//! [`balance_shift_budget`](BatonSystem::balance_shift_budget) of
+//! `4·⌈log₂ N⌉` nodes is declined before anything moves.  Without the
+//! screen, a freshly bulk-loaded network — whose leaf level is one long run
+//! of non-vacatable positions — produces shift chains that grow linearly
+//! with N, turning the §IV-D heuristic into an O(N)-messages-per-insert
+//! cost at large scale.
 
 use baton_net::{OpScope, PeerId};
 
@@ -230,6 +239,46 @@ impl BatonSystem {
             return Ok(None);
         };
 
+        // Pre-screen the restructuring cost of both halves of the re-join
+        // before mutating anything: on a dense network the shift chains can
+        // run the length of the leaf level, and a re-join whose chains
+        // exceed the O(log N) budget is declined outright (the overloaded
+        // node stays as it is until adjacent migration or a cheaper
+        // candidate catches up).  Both planners are pure, so a re-join that
+        // passes the screen proceeds exactly as it would have unscreened.
+        let budget = self.balance_shift_budget();
+        let departure_plan = if self.node_ref(light)?.can_leave_without_replacement() {
+            None
+        } else {
+            let plan = match self.plan_restructure_remove(light, Side::Left)? {
+                Some(p) => p,
+                None => self
+                    .plan_restructure_remove(light, Side::Right)?
+                    .ok_or_else(|| {
+                        BatonError::InvariantViolation(
+                            "no direction admits a departure restructuring".into(),
+                        )
+                    })?,
+            };
+            if plan.shift_size() > budget {
+                return Ok(None);
+            }
+            Some(plan)
+        };
+        {
+            // Estimate the insert-side chain from the overloaded node
+            // outwards, mirroring step 3's direction preference (the spliced
+            // node's successor chain starts at the overloaded node itself).
+            let left_start = self.node_ref(overloaded)?.left_adjacent.map(|l| l.peer);
+            let estimate = match self.insert_chain_estimate(Some(overloaded), Side::Right)? {
+                Some(e) => Some(e),
+                None => self.insert_chain_estimate(left_start, Side::Left)?,
+            };
+            if estimate.is_some_and(|e| e > budget) {
+                return Ok(None);
+            }
+        }
+
         // Ask the light leaf to move (one message).
         self.hop(
             op,
@@ -244,23 +293,14 @@ impl BatonSystem {
         //    to its parent; if its departure would break balance, the
         //    overlay restructures around the hole.
         let mut nodes_shifted = 0usize;
-        if self.node_ref(light)?.can_leave_without_replacement() {
-            messages += self.detach_leaf(op, light, light)?;
-        } else {
-            let plan = match self.plan_restructure_remove(light, Side::Left)? {
-                Some(p) => p,
-                None => self
-                    .plan_restructure_remove(light, Side::Right)?
-                    .ok_or_else(|| {
-                        BatonError::InvariantViolation(
-                            "no direction admits a departure restructuring".into(),
-                        )
-                    })?,
-            };
-            messages += self.detach_leaf(op, light, light)?;
-            let report = self.apply_restructure_plan(op, &plan)?;
-            messages += report.messages;
-            nodes_shifted += report.nodes_shifted;
+        match departure_plan {
+            None => messages += self.detach_leaf(op, light, light)?,
+            Some(plan) => {
+                messages += self.detach_leaf(op, light, light)?;
+                let report = self.apply_restructure_plan(op, &plan)?;
+                messages += report.messages;
+                nodes_shifted += report.nodes_shifted;
+            }
         }
 
         // 2. The light leaf re-joins next to the overloaded node, taking

@@ -54,6 +54,58 @@ impl RestructurePlan {
 }
 
 impl BatonSystem {
+    /// Upper bound on the length of shift chains that *load balancing* is
+    /// willing to trigger: `4·⌈log₂ N⌉`, floored at 128.
+    ///
+    /// Restructuring itself has no such bound (a forced join or departure
+    /// must complete whatever the cost), but the leaf re-join of §IV-D is a
+    /// best-effort heuristic — and on a bulk-loaded network whose leaf level
+    /// is one long run of non-vacatable positions, an unscreened re-join
+    /// shifts O(N) nodes at O(log N) messages each, which at million-peer
+    /// scale turns the heuristic into the dominant cost of the entire run.
+    /// The floor of 128 exceeds every network size whose simulation output
+    /// is pinned byte-for-byte by the committed fixtures, so the budget can
+    /// only ever bind — and only ever *decline* a re-join — at scales no
+    /// fixture covers.
+    pub(crate) fn balance_shift_budget(&self) -> usize {
+        let n = self.node_count().max(2);
+        let log2_ceil = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        (4 * log2_ceil).max(128)
+    }
+
+    /// Estimated shift size of an insert-direction restructuring whose
+    /// chain starts at `first` — the pure pre-screen counterpart of
+    /// [`plan_restructure_insert`](Self::plan_restructure_insert), used to
+    /// veto expensive re-joins *before* the overlay is mutated.  Returns
+    /// `None` when the chain reaches the end of the tree without an
+    /// attachment point.
+    pub(crate) fn insert_chain_estimate(
+        &self,
+        first: Option<PeerId>,
+        side: Side,
+    ) -> Result<Option<usize>> {
+        // The incoming node itself is the first assignment of the real plan.
+        let mut shifted = 1usize;
+        let mut successor = first;
+        let limit = self.node_count() + 2;
+        loop {
+            let Some(s) = successor else {
+                return Ok(None);
+            };
+            let s_node = self.node_ref(s)?;
+            if s_node.child(side.opposite()).is_none() && s_node.tables_full() {
+                return Ok(Some(shifted));
+            }
+            shifted += 1;
+            successor = s_node.adjacent(side).map(|l| l.peer);
+            if shifted > limit {
+                return Err(BatonError::InvariantViolation(
+                    "restructuring chain longer than the overlay".into(),
+                ));
+            }
+        }
+    }
+
     /// Plans an *insert-direction* restructuring: `incoming` (currently
     /// detached from any position, but already spliced into the adjacency
     /// chain and owning its range) needs a position, and every occupant from

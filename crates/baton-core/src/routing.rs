@@ -96,6 +96,12 @@ pub struct RoutingTable {
 }
 
 impl RoutingTable {
+    /// Heap bytes behind the table's slot vector.  Part of the perf
+    /// harness's bytes-per-peer estimate.
+    pub fn estimated_heap_bytes(&self) -> u64 {
+        (self.slots.capacity() * std::mem::size_of::<Option<RoutingEntry>>()) as u64
+    }
+
     /// Creates an empty table for a node at `owner` on the given `side`.
     pub fn new(side: Side, owner: Position) -> Self {
         Self {
@@ -265,7 +271,7 @@ impl RoutingTable {
 mod tests {
     use super::*;
 
-    fn link(peer: u64, pos: Position) -> NodeLink {
+    fn link(peer: u32, pos: Position) -> NodeLink {
         NodeLink::new(PeerId(peer), pos, KeyRange::new(0, 1))
     }
 
@@ -351,7 +357,7 @@ mod tests {
     fn farthest_and_matching_selectors() {
         let owner = Position::new(3, 1);
         let mut table = RoutingTable::new(Side::Right, owner);
-        let mk = |peer: u64, num: u64, low: u64| {
+        let mk = |peer: u32, num: u64, low: u64| {
             RoutingEntry::new(NodeLink::new(
                 PeerId(peer),
                 Position::new(3, num),

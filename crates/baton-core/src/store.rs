@@ -42,6 +42,23 @@ impl LocalStore {
         self.entries.len()
     }
 
+    /// Approximate heap bytes behind this store: B-tree nodes (keyed entry
+    /// plus amortised tree overhead) and the per-key value vectors.  Used by
+    /// the perf harness's bytes-per-peer accounting; it is an estimate, not
+    /// an allocator measurement.
+    pub fn estimated_heap_bytes(&self) -> u64 {
+        // Each B-tree entry stores a `(Key, Vec<Value>)` pair; ~16 bytes of
+        // amortised node bookkeeping (parent pointers, length fields spread
+        // over 11-entry nodes) is charged per entry.
+        let entry = std::mem::size_of::<(Key, Vec<Value>)>() as u64 + 16;
+        let values: u64 = self
+            .entries
+            .values()
+            .map(|v| (v.capacity() * std::mem::size_of::<Value>()) as u64)
+            .sum();
+        self.entries.len() as u64 * entry + values
+    }
+
     /// Inserts a value under `key`.  Duplicate keys are allowed (the paper
     /// explicitly discusses duplicate partition-key values, §IV-A).
     pub fn insert(&mut self, key: Key, value: Value) {

@@ -197,6 +197,23 @@ impl BatonSystem {
         self.peer_list.is_empty()
     }
 
+    /// Approximate resident bytes of per-peer protocol state: the node slab
+    /// (including `None` slots left by departures — they stay resident) plus
+    /// every live node's routing tables and local store.  The shared network
+    /// substrate is excluded; this is the figure the perf harness divides by
+    /// [`node_count`](Self::node_count) for its bytes-per-peer rows.
+    pub fn estimated_state_bytes(&self) -> u64 {
+        let slab = (self.nodes.capacity() * std::mem::size_of::<Option<BatonNode>>()) as u64;
+        let heap: u64 = self
+            .nodes
+            .iter()
+            .flatten()
+            .map(|node| node.estimated_state_bytes() - std::mem::size_of::<BatonNode>() as u64)
+            .sum();
+        let peers = (self.peer_list.capacity() * std::mem::size_of::<PeerId>()) as u64;
+        slab + heap + peers
+    }
+
     /// The peer currently occupying the root position, if any.
     pub fn root(&self) -> Option<PeerId> {
         self.root

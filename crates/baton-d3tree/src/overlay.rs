@@ -53,6 +53,10 @@ impl Overlay for D3TreeSystem {
         D3TreeSystem::set_latency_model(self, model);
     }
 
+    fn estimated_state_bytes(&self) -> u64 {
+        D3TreeSystem::estimated_state_bytes(self)
+    }
+
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = D3TreeSystem::join_random(self).map_err(op_err)?;
         Ok(ChurnCost {

@@ -186,6 +186,36 @@ impl D3TreeSystem {
         self.peer_list.len()
     }
 
+    /// Approximate resident bytes of per-peer protocol state: the bucket
+    /// vectors and their peers' key multisets, the peer→bucket map
+    /// (hash-table slots at the ~8/7 load-factor reciprocal), the sampling
+    /// list and the backbone weight matrices.  The shared network substrate
+    /// is excluded.
+    pub fn estimated_state_bytes(&self) -> u64 {
+        let buckets = (self.buckets.capacity() * std::mem::size_of::<Bucket>()) as u64;
+        let peers_in_buckets: u64 = self
+            .buckets
+            .iter()
+            .map(|b| {
+                (b.peers.capacity() * std::mem::size_of::<BucketPeer>()) as u64
+                    + b.peers
+                        .iter()
+                        .map(|p| (p.keys.capacity() * std::mem::size_of::<u64>()) as u64)
+                        .sum::<u64>()
+            })
+            .sum();
+        let slot = std::mem::size_of::<(PeerId, usize)>() as u64 + 1;
+        let map = self.bucket_of.capacity() as u64 * slot * 8 / 7;
+        let peers = (self.peer_list.capacity() * std::mem::size_of::<PeerId>()) as u64;
+        let weights: u64 = self
+            .peer_weights
+            .iter()
+            .chain(self.item_weights.iter())
+            .map(|level| (level.capacity() * std::mem::size_of::<u64>()) as u64)
+            .sum();
+        buckets + peers_in_buckets + map + peers + weights
+    }
+
     /// All peers, sorted by id — a borrowed view of the sampling list.
     pub fn peers(&self) -> &[PeerId] {
         &self.peer_list

@@ -54,6 +54,10 @@ impl Overlay for MTreeSystem {
         MTreeSystem::set_latency_model(self, model);
     }
 
+    fn estimated_state_bytes(&self) -> u64 {
+        MTreeSystem::estimated_state_bytes(self)
+    }
+
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = MTreeSystem::join_random(self).map_err(op_err)?;
         Ok(ChurnCost {

@@ -143,6 +143,25 @@ impl MTreeSystem {
         self.nodes.len()
     }
 
+    /// Approximate resident bytes of per-peer protocol state: the node map
+    /// (hash-table slots at the ~8/7 load-factor reciprocal), every node's
+    /// child-link and key vectors, and the sampling list.  The shared
+    /// network substrate is excluded.
+    pub fn estimated_state_bytes(&self) -> u64 {
+        let slot = std::mem::size_of::<(PeerId, MNode)>() as u64 + 1;
+        let map = self.nodes.capacity() as u64 * slot * 8 / 7;
+        let heap: u64 = self
+            .nodes
+            .values()
+            .map(|node| {
+                (node.children.capacity() * std::mem::size_of::<MLink>()
+                    + node.keys.capacity() * std::mem::size_of::<u64>()) as u64
+            })
+            .sum();
+        let peers = (self.peer_list.capacity() * std::mem::size_of::<PeerId>()) as u64;
+        map + heap + peers
+    }
+
     /// All peers, sorted by id — a borrowed view of the sampling list.
     pub fn peers(&self) -> &[PeerId] {
         &self.peer_list

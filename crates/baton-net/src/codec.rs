@@ -50,6 +50,9 @@ pub enum DecodeError {
         /// Bytes actually available.
         available: usize,
     },
+    /// A peer id on the wire exceeds the narrow (`u32`) id space the
+    /// registry hands out; the frame is corrupt or from a foreign encoder.
+    BadPeerId(u64),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -64,6 +67,7 @@ impl std::fmt::Display for DecodeError {
                 f,
                 "payload truncated: expected {expected} bytes, got {available}"
             ),
+            DecodeError::BadPeerId(raw) => write!(f, "peer id {raw} exceeds the u32 id space"),
         }
     }
 }
@@ -103,6 +107,14 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Validates a wire peer id against the registry's narrow id space.
+fn peer_id(raw: u64) -> Result<PeerId, DecodeError> {
+    if raw > u32::MAX as u64 {
+        return Err(DecodeError::BadPeerId(raw));
+    }
+    Ok(PeerId(raw as u32))
+}
+
 /// Decodes a frame from `bytes`.
 pub fn decode(bytes: &[u8]) -> Result<Frame, DecodeError> {
     if bytes.len() < HEADER_LEN {
@@ -113,8 +125,8 @@ pub fn decode(bytes: &[u8]) -> Result<Frame, DecodeError> {
     if magic != FRAME_MAGIC {
         return Err(DecodeError::BadMagic(magic));
     }
-    let from = PeerId(reader.u64());
-    let to = PeerId(reader.u64());
+    let from = peer_id(reader.u64())?;
+    let to = peer_id(reader.u64())?;
     let hop = reader.u32();
     let payload_len = reader.u32() as usize;
     if reader.bytes.len() < payload_len {
@@ -221,13 +233,23 @@ mod tests {
                 *byte = rng.uniform_u64(0, 256) as u8;
             }
             let frame = Frame {
-                from: PeerId(rng.uniform_u64(0, 1_000_000)),
-                to: PeerId(rng.uniform_u64(0, 1_000_000)),
+                from: PeerId(rng.uniform_u64(0, 1_000_000) as u32),
+                to: PeerId(rng.uniform_u64(0, 1_000_000) as u32),
                 hop: rng.uniform_u64(0, 10_000) as u32,
                 payload,
             };
             let decoded = decode(&encode(&frame)).unwrap();
             assert_eq!(decoded, frame);
         }
+    }
+
+    #[test]
+    fn wide_peer_id_on_the_wire_is_rejected() {
+        let mut encoded = encode(&sample_frame());
+        // Corrupt the `from` field (bytes 4..12) with a value above u32::MAX.
+        encoded[4..12].copy_from_slice(&(u64::from(u32::MAX) + 1).to_le_bytes());
+        let err = decode(&encoded).unwrap_err();
+        assert_eq!(err, DecodeError::BadPeerId(u64::from(u32::MAX) + 1));
+        assert!(err.to_string().contains("u32 id space"));
     }
 }

@@ -72,6 +72,7 @@ pub mod codec;
 pub mod message;
 pub mod network;
 pub mod overlay;
+pub mod parallel;
 pub mod peer;
 pub mod rng;
 pub mod stats;
@@ -80,6 +81,7 @@ pub mod time;
 pub use message::{Envelope, NetMessage};
 pub use network::{DeliveryError, SendError, SimNetwork};
 pub use overlay::{ChurnCost, OpCost, Overlay, OverlayCapabilities, OverlayError, OverlayResult};
+pub use parallel::{default_threads, run_indexed, set_threads, threads};
 pub use peer::{PeerId, PeerRegistry, PeerStatus};
 pub use rng::SimRng;
 pub use stats::{ClassStats, Histogram, MessageStats, OpId, OpScope, OpStats};

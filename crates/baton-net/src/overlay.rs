@@ -176,6 +176,17 @@ pub trait Overlay {
     /// overlays simply report zero latency for every operation.
     fn set_latency_model(&mut self, _model: LatencyModel) {}
 
+    /// Approximate resident bytes of the overlay's protocol state: node
+    /// structs, links, routing tables and stored items, including their
+    /// heap allocations, but excluding the shared network substrate (event
+    /// queue, statistics).  This is what the perf harness divides by
+    /// `node_count()` for the bytes-per-peer rows.
+    ///
+    /// Default: 0 — for test doubles and overlays that do not report.
+    fn estimated_state_bytes(&self) -> u64 {
+        0
+    }
+
     /// `(label, virtual latency)` of every finished operation, in issue
     /// order — the raw series behind the latency percentiles the harness
     /// reports next to the paper's message counts.

@@ -1,0 +1,133 @@
+//! Process-global thread-count knob and a deterministic fork/join helper.
+//!
+//! The simulator parallelises at two levels.  Inside one run the event
+//! queue is sharded by region (see [`SimNetwork`](crate::network::SimNetwork)),
+//! and across runs the scenario engine executes independent
+//! (overlay × repetition) units on a pool of OS threads.  Both levels take
+//! their thread budget from this module: `--threads N` on the binaries
+//! calls [`set_threads`], everything else calls [`threads`].
+//!
+//! Determinism contract: [`run_indexed`] assigns each unit a fixed index
+//! and returns results **in index order**, so callers that aggregate in
+//! index order produce byte-identical output regardless of how many worker
+//! threads happened to execute the units, or in which wall-clock order they
+//! finished.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// `0` means "not set": fall back to the machine's available parallelism.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-thread budget for this process.
+///
+/// `0` restores the default (available parallelism).  Mirrors the style of
+/// the process-global overlay filter: a plain global because the binaries
+/// configure it once from the command line before any run starts.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The configured worker-thread budget: the value of the last
+/// [`set_threads`] call, or the machine's available parallelism when unset
+/// (falling back to 1 if even that is unknown).
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// The machine's available parallelism (what `--threads` defaults to).
+pub fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `count` independent units on up to [`threads`] worker threads and
+/// returns their results **in index order**.
+///
+/// Workers claim unit indices from a shared atomic counter, so the
+/// assignment of units to threads is racy — but each unit's inputs depend
+/// only on its index and the results are reassembled by index, which is
+/// what keeps the output bit-deterministic for any thread count.  With a
+/// budget of one (or a single unit) the units run inline on the caller's
+/// thread, with no pool at all.
+pub fn run_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, T)>> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            per_worker.push(handle.join().expect("worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (i, value) in per_worker.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("unit {i} produced no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        set_threads(4);
+        let out = run_indexed(100, |i| i * i);
+        set_threads(0);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_budget_runs_inline() {
+        set_threads(1);
+        let out = run_indexed(10, |i| i + 1);
+        set_threads(0);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_units_is_fine() {
+        let out: Vec<usize> = run_indexed(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_budget_round_trips() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+        assert!(default_threads() >= 1);
+    }
+}

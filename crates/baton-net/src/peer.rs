@@ -10,15 +10,37 @@ use std::fmt;
 /// Opaque identifier of a peer (a physical compute node).
 ///
 /// In a deployment this would be an IP address / port pair; in the simulator
-/// it is a dense integer handed out by [`PeerRegistry::register`].
+/// it is a dense integer handed out by [`PeerRegistry::register`].  The id
+/// is a `u32`: four billion peers is three orders of magnitude beyond the
+/// million-peer target, and the narrow id halves every link, routing-table
+/// entry and finger across all four overlays.  [`PeerId::raw`] still speaks
+/// `u64` so seeded hashes (region maps, wire frames) are bit-identical to
+/// the wide-id substrate.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct PeerId(pub u64);
+#[repr(transparent)]
+pub struct PeerId(pub u32);
 
 impl PeerId {
-    /// Raw numeric value of the identifier.
+    /// Raw numeric value of the identifier, widened to the `u64` domain the
+    /// seeded hashes and the wire format use.
     #[inline]
     pub fn raw(self) -> u64 {
-        self.0
+        self.0 as u64
+    }
+
+    /// Rebuilds an id from its [`raw`](Self::raw) value.
+    ///
+    /// # Panics
+    /// Panics if `raw` does not fit the narrow id space — such a value can
+    /// only come from a corrupt frame or a bug, never from
+    /// [`PeerRegistry::register`].
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        assert!(
+            raw <= u32::MAX as u64,
+            "peer id {raw} exceeds the u32 id space"
+        );
+        PeerId(raw as u32)
     }
 }
 
@@ -75,8 +97,16 @@ impl PeerRegistry {
     }
 
     /// Registers a brand-new peer and returns its identifier.
+    ///
+    /// # Panics
+    /// Panics if the dense `u32` id space is exhausted (more than four
+    /// billion registrations) instead of silently wrapping ids.
     pub fn register(&mut self) -> PeerId {
-        let id = PeerId(self.status.len() as u64);
+        assert!(
+            self.status.len() < u32::MAX as usize,
+            "peer id space exhausted"
+        );
+        let id = PeerId(self.status.len() as u32);
         self.status.push(PeerStatus::Alive);
         self.alive += 1;
         id
@@ -142,7 +172,7 @@ impl PeerRegistry {
         self.status
             .iter()
             .enumerate()
-            .map(|(i, s)| (PeerId(i as u64), *s))
+            .map(|(i, s)| (PeerId(i as u32), *s))
     }
 
     /// All currently alive peers, in id order.

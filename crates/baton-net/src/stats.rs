@@ -354,7 +354,7 @@ impl MessageStats {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (PeerId(i as u64), c))
+            .map(|(i, &c)| (PeerId(i as u32), c))
     }
 
     /// Messages received by one peer.

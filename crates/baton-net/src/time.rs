@@ -217,9 +217,16 @@ impl LinkDegradation {
 pub struct RegionalLatency {
     /// The seeded peer → region assignment.
     pub map: RegionMap,
-    /// Model for links whose endpoints share a region.
-    pub intra: Box<LatencyModel>,
-    /// Model for links that cross a region boundary.
+    /// Per-region models for links whose endpoints share a region: a link
+    /// inside region `r` draws from `intra[r]`.  Each region owning its own
+    /// jitter stream is what lets the sharded event engine sample
+    /// intra-region latencies without cross-shard RNG contention — and the
+    /// streams are derived deterministically from the one intra seed, so
+    /// the split itself is reproducible.
+    pub intra: Vec<LatencyModel>,
+    /// Model for links that cross a region boundary (a single stream:
+    /// cross-region traffic serialises through the inter-region barrier
+    /// anyway).
     pub inter: Box<LatencyModel>,
     /// Scheduled degradations, applied multiplicatively when overlapping.
     pub degradations: Vec<LinkDegradation>,
@@ -230,7 +237,7 @@ impl RegionalLatency {
         let from_region = self.map.region_of(from);
         let to_region = self.map.region_of(to);
         let base = if from_region == to_region {
-            self.intra.sample(from, to, at)
+            self.intra[to_region as usize].sample(from, to, at)
         } else {
             self.inter.sample(from, to, at)
         };
@@ -333,18 +340,65 @@ impl LatencyModel {
     /// Topology-aware latency over `map`: intra-region links draw from
     /// `intra`, cross-region links from `inter`, with `degradations` scaling
     /// in-scope links as virtual time passes.
+    ///
+    /// `intra` is replicated into one model per region, each with a jitter
+    /// stream deterministically derived from the original (region `r` gets
+    /// `derive(r)`), so every shard of the event engine owns an independent
+    /// per-region RNG stream.
     pub fn regional(
         map: RegionMap,
         intra: LatencyModel,
         inter: LatencyModel,
         degradations: Vec<LinkDegradation>,
     ) -> Self {
+        let intra = (0..map.regions())
+            .map(|r| intra.with_derived_stream(u64::from(r)))
+            .collect();
         LatencyModel::Regional(Box::new(RegionalLatency {
             map,
-            intra: Box::new(intra),
+            intra,
             inter: Box::new(inter),
             degradations,
         }))
+    }
+
+    /// A copy of this model whose jitter stream(s) are re-derived with
+    /// `salt`, leaving the distribution parameters untouched.  Deriving from
+    /// the embedded stream's *seed* (not its state) keeps the result
+    /// deterministic however many samples the original has drawn.
+    fn with_derived_stream(&self, salt: u64) -> LatencyModel {
+        match self {
+            LatencyModel::Constant(latency) => LatencyModel::Constant(*latency),
+            LatencyModel::Uniform { min, max, rng } => LatencyModel::Uniform {
+                min: *min,
+                max: *max,
+                rng: rng.derive(salt),
+            },
+            LatencyModel::LogNormal { median, sigma, rng } => LatencyModel::LogNormal {
+                median: *median,
+                sigma: *sigma,
+                rng: rng.derive(salt),
+            },
+            LatencyModel::Regional(regional) => LatencyModel::Regional(Box::new(RegionalLatency {
+                map: regional.map,
+                intra: regional
+                    .intra
+                    .iter()
+                    .map(|m| m.with_derived_stream(salt))
+                    .collect(),
+                inter: Box::new(regional.inter.with_derived_stream(salt)),
+                degradations: regional.degradations.clone(),
+            })),
+        }
+    }
+
+    /// The region assignment of a [`Regional`](LatencyModel::Regional)
+    /// model — the shard boundary the event queue organises around.
+    pub fn region_map(&self) -> Option<RegionMap> {
+        match self {
+            LatencyModel::Regional(regional) => Some(regional.map),
+            _ => None,
+        }
     }
 
     /// `true` if every sample is zero (the count-only model).
@@ -559,7 +613,7 @@ mod tests {
         let map = RegionMap::new(4, 0xBA70);
         let twin = RegionMap::new(4, 0xBA70);
         let mut counts = [0usize; 4];
-        for id in 0..1000u64 {
+        for id in 0..1000u32 {
             let region = map.region_of(PeerId(id));
             assert!(region < 4);
             assert_eq!(region, twin.region_of(PeerId(id)), "copies must agree");
@@ -574,7 +628,7 @@ mod tests {
         }
         // A different salt shuffles the assignment.
         let other = RegionMap::new(4, 0x5EED);
-        assert!((0..1000u64).any(|id| map.region_of(PeerId(id)) != other.region_of(PeerId(id))));
+        assert!((0..1000u32).any(|id| map.region_of(PeerId(id)) != other.region_of(PeerId(id))));
         assert!(map.same_region(PeerId(3), PeerId(3)));
     }
 
@@ -659,6 +713,47 @@ mod tests {
     }
 
     #[test]
+    fn regional_model_gives_each_region_its_own_seeded_stream() {
+        let map = RegionMap::new(4, 0xBA70);
+        let build = || {
+            LatencyModel::regional(
+                map,
+                LatencyModel::log_normal(SimTime::from_millis(10), 0.5, 77),
+                LatencyModel::constant(SimTime::from_millis(60)),
+                Vec::new(),
+            )
+        };
+        // Pick one intra-region pair in each of two different regions.
+        let pair_in = |region: u32| {
+            let a = (0..200u32)
+                .map(PeerId)
+                .find(|p| map.region_of(*p) == region)
+                .unwrap();
+            let b = (a.0 + 1..400)
+                .map(PeerId)
+                .find(|p| map.region_of(*p) == region)
+                .unwrap();
+            (a, b)
+        };
+        let (a0, b0) = pair_in(0);
+        let (a1, b1) = pair_in(1);
+        // Different regions draw from different (uncorrelated) streams...
+        let mut m = build();
+        let r0: Vec<_> = (0..16).map(|_| m.sample(a0, b0, SimTime::ZERO)).collect();
+        let mut m = build();
+        let r1: Vec<_> = (0..16).map(|_| m.sample(a1, b1, SimTime::ZERO)).collect();
+        assert_ne!(r0, r1, "regions must not share one jitter stream");
+        // ...and sampling in region 1 first leaves region 0's stream
+        // untouched: the per-region split is what decouples shards.
+        let mut m = build();
+        for _ in 0..16 {
+            m.sample(a1, b1, SimTime::ZERO);
+        }
+        let r0_after: Vec<_> = (0..16).map(|_| m.sample(a0, b0, SimTime::ZERO)).collect();
+        assert_eq!(r0, r0_after, "region 0's stream must be independent");
+    }
+
+    #[test]
     fn latency_plan_builds_the_seeded_model_verbatim() {
         // The non-regional plans must hand the seed through unchanged: the
         // legacy scenario fixtures depend on it.
@@ -688,7 +783,7 @@ mod tests {
         assert_eq!(regional.region_map(), Some(RegionMap::new(3, 9)));
         let mut a = regional.build(7);
         let mut b = regional.build(7);
-        for id in 0..32u64 {
+        for id in 0..32u32 {
             assert_eq!(
                 a.sample(PeerId(0), PeerId(id), SimTime::ZERO),
                 b.sample(PeerId(0), PeerId(id), SimTime::ZERO)

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! reproduce [--figure 8a|8b|...|8i|all|none] [--scenario ID[,ID...]|all|none]
-//!           [--profile quick|full|paper|smoke] [--seed N]
+//!           [--profile quick|full|paper|smoke] [--seed N] [--threads N]
 //!           [--overlays NAME[,NAME...]] [--json] [--csv] [--list]
 //! ```
 //!
@@ -21,6 +21,11 @@
 //! spot-checks.  The committed fixtures (`tests/fixtures/*.json`) assume the
 //! default seed; a run with an overridden seed will not diff clean against
 //! them.
+//!
+//! `--threads N` caps the worker threads the scenario engine fans
+//! (overlay × repetition) units across; the default is the machine's
+//! available parallelism.  Results are byte-identical at any thread count —
+//! aggregation runs in canonical unit order, never in completion order.
 //!
 //! `--overlays` narrows the comparison list (comma-separated series names,
 //! case-insensitive — e.g. `--overlays D3-Tree`) so a single overlay can be
@@ -43,6 +48,7 @@ struct Options {
     scenarios: Vec<String>,
     profile: Profile,
     overlays: Vec<String>,
+    threads: usize,
     json: bool,
     csv: bool,
     list: bool,
@@ -54,6 +60,7 @@ fn parse_args() -> Result<Options, String> {
     let mut profile = Profile::quick();
     let mut seed: Option<u64> = None;
     let mut overlays = Vec::new();
+    let mut threads = baton_net::default_threads();
     let mut json = false;
     let mut csv = false;
     let mut list = false;
@@ -100,6 +107,15 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| format!("--seed needs an unsigned integer, got '{value}'"))?,
                 );
             }
+            "--threads" | "-t" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                threads = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads needs an unsigned integer, got '{value}'"))?;
+                if threads == 0 {
+                    return Err("--threads needs at least 1".into());
+                }
+            }
             "--json" => json = true,
             "--csv" => csv = true,
             "--list" => list = true,
@@ -108,6 +124,7 @@ fn parse_args() -> Result<Options, String> {
                     "usage: reproduce [--figure 8a..8i|all|none] \
                      [--scenario {}|all|none (comma-separated)] \
                      [--profile smoke|quick|full|paper] [--seed N] \
+                     [--threads N (default: available parallelism)] \
                      [--overlays NAME[,NAME...]] [--json] [--csv] [--list]",
                     scenario::all_scenario_ids().join("|")
                 ))
@@ -125,6 +142,7 @@ fn parse_args() -> Result<Options, String> {
         scenarios,
         profile,
         overlays,
+        threads,
         json,
         csv,
         list,
@@ -170,6 +188,7 @@ fn print_catalog() {
     for name in overlay_names() {
         println!("  {name}");
     }
+    println!("threads: {} (default)", baton_net::default_threads());
 }
 
 fn main() -> ExitCode {
@@ -184,6 +203,7 @@ fn main() -> ExitCode {
         print_catalog();
         return ExitCode::SUCCESS;
     }
+    baton_net::set_threads(options.threads);
     if let Err(msg) = baton_sim::set_overlay_filter(&options.overlays) {
         eprintln!("{msg}");
         return ExitCode::FAILURE;

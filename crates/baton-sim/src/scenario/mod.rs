@@ -239,8 +239,36 @@ pub fn run_scenario(id: &str, profile: &Profile) -> Option<ScenarioResult> {
 /// the legacy scenarios to their fixtures.
 pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
     let n = plan.n;
+    let specs = standard_overlays();
+    let reps = profile.repetitions;
+    // Every (overlay, repetition) unit is self-contained: the overlay is
+    // built, bulk-loaded and driven entirely inside the unit from seeds
+    // derived only from the unit's indices, so the units fan out across the
+    // configured worker threads.  Aggregation below walks the outcomes in
+    // canonical (overlay, repetition) order — the output depends on that
+    // order alone, never on execution order, which keeps results
+    // byte-identical at any thread count.
+    let outcomes = baton_net::run_indexed(specs.len() * reps, |unit| {
+        let spec = &specs[unit / reps];
+        let rep = unit % reps;
+        let seed = profile.rep_seed(rep);
+        let mut overlay = spec.build(profile, n, seed);
+        load_overlay(profile, &mut *overlay, plan.load, seed);
+        overlay.set_latency_model(plan.latency.build(seed ^ 0x1A7E));
+        let mut rng = SimRng::seeded(seed ^ 0x0BE7);
+        let events = plan.workload.schedule(&mut rng.derive(1));
+        run_phased(
+            &mut *overlay,
+            &events,
+            &plan.workload,
+            &plan.faults,
+            &mut rng,
+            n / 2,
+        )
+        .expect("open-loop run cannot fail")
+    });
     let mut series = Vec::new();
-    for spec in standard_overlays() {
+    for (idx, spec) in specs.iter().enumerate() {
         let mut latencies: std::collections::BTreeMap<&'static str, Vec<baton_net::SimTime>> =
             Default::default();
         let mut skipped: std::collections::BTreeMap<&'static str, u64> = Default::default();
@@ -248,22 +276,7 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
         let mut fault_kills = 0u64;
         let mut throughput_sum = 0.0f64;
         let mut seconds_sum = 0.0f64;
-        for rep in 0..profile.repetitions {
-            let seed = profile.rep_seed(rep);
-            let mut overlay = spec.build(profile, n, seed);
-            load_overlay(profile, &mut *overlay, plan.load, seed);
-            overlay.set_latency_model(plan.latency.build(seed ^ 0x1A7E));
-            let mut rng = SimRng::seeded(seed ^ 0x0BE7);
-            let events = plan.workload.schedule(&mut rng.derive(1));
-            let outcome = run_phased(
-                &mut *overlay,
-                &events,
-                &plan.workload,
-                &plan.faults,
-                &mut rng,
-                n / 2,
-            )
-            .expect("open-loop run cannot fail");
+        for outcome in &outcomes[idx * reps..(idx + 1) * reps] {
             for (class, count) in &outcome.skipped {
                 *skipped.entry(class).or_insert(0) += count;
             }
@@ -275,7 +288,7 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
                 latencies.entry(class).or_default().extend(samples);
             }
         }
-        let reps = profile.repetitions.max(1) as f64;
+        let divisor = reps.max(1) as f64;
         let classes = OpClass::ALL
             .iter()
             .filter_map(|class| {
@@ -294,8 +307,8 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
         series.push(ScenarioSeries {
             overlay: spec.series.to_owned(),
             classes,
-            throughput: throughput_sum / reps,
-            virtual_seconds: seconds_sum / reps,
+            throughput: throughput_sum / divisor,
+            virtual_seconds: seconds_sum / divisor,
             messages,
             skipped: OpClass::ALL
                 .iter()

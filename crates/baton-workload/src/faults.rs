@@ -108,7 +108,7 @@ impl FaultPlan {
 mod tests {
     use super::*;
 
-    fn peers(n: u64) -> Vec<PeerId> {
+    fn peers(n: u32) -> Vec<PeerId> {
         (0..n).map(PeerId).collect()
     }
 

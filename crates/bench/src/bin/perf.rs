@@ -2,20 +2,27 @@
 //! machine-readable `BENCH_perf.json` report.
 //!
 //! ```text
-//! perf [--profile full|smoke] [--overlays NAME[,NAME...]] [--out PATH] [--check PATH]
+//! perf [--profile full|smoke] [--overlays NAME[,NAME...]] [--threads N]
+//!      [--out PATH] [--check PATH]
 //! ```
 //!
 //! * `--profile full` (default): paper scale — a 10,000-node BATON build,
-//!   1000 exact-match (fig8d) and 1000 range (fig8e) queries, and the
-//!   `latency_under_churn` and `regional_failure` scenarios at N = 1000.
-//! * `--profile smoke`: a reduced run for CI (seconds).
+//!   1000 exact-match (fig8d) and 1000 range (fig8e) queries, the
+//!   `latency_under_churn` and `regional_failure` scenarios at N = 1000,
+//!   plus the million-node `scale_build`/`mem_scale` rows and the
+//!   single- vs multi-threaded `scale_churn_t*` comparison at N = 100,000.
+//! * `--profile smoke`: a reduced run for CI (seconds), including reduced
+//!   scale rows.
 //! * `--out PATH`: where to write the JSON report (default
 //!   `BENCH_perf.json` in the current directory).
 //! * `--overlays NAME[,NAME...]`: time only the named overlays
 //!   (case-insensitive series names, e.g. `--overlays D3-Tree`); the
 //!   scenario measurement is narrowed to the same list.
+//! * `--threads N`: worker threads the scenario engine fans repetitions
+//!   across (default: available parallelism).  The `scale_churn_t*` rows
+//!   pin their own thread counts and are unaffected.
 //! * `--check PATH`: validate an existing report against the
-//!   `baton-perf/2` schema instead of running measurements (exit code 1 on
+//!   `baton-perf/3` schema instead of running measurements (exit code 1 on
 //!   schema violations) — the CI gate for the uploaded artifact.
 
 use std::process::ExitCode;
@@ -28,6 +35,7 @@ fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_perf.json");
     let mut check_path: Option<String> = None;
     let mut overlays: Vec<String> = Vec::new();
+    let mut threads = baton_net::default_threads();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--overlays" => match args.next() {
@@ -68,9 +76,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--threads needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => threads = n,
+                    _ => {
+                        eprintln!("--threads needs an integer >= 1, got {value:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: perf [--profile full|smoke] [--overlays NAME[,NAME...]] \
+                     [--threads N (default: available parallelism)] \
                      [--out PATH] [--check PATH]"
                 );
                 return ExitCode::SUCCESS;
@@ -92,7 +114,7 @@ fn main() -> ExitCode {
         };
         return match validate_json(&text) {
             Ok(count) => {
-                println!("{path}: valid baton-perf/2 report with {count} measurement(s)");
+                println!("{path}: valid baton-perf/3 report with {count} measurement(s)");
                 ExitCode::SUCCESS
             }
             Err(problem) => {
@@ -121,7 +143,8 @@ fn main() -> ExitCode {
         }
     }
 
-    eprintln!("perf: profile {}", profile.name);
+    baton_net::set_threads(threads);
+    eprintln!("perf: profile {}, {threads} worker thread(s)", profile.name);
     let measurements = run(&profile);
     for m in &measurements {
         eprintln!(

@@ -13,8 +13,10 @@
 //!    searches, inserts, …) on a pre-built overlay, giving wall-clock
 //!    regression tracking on top of the message-count reproduction.
 
+use baton_chord::ChordSystem;
 use baton_core::{BatonConfig, BatonSystem, LoadBalanceConfig};
 use baton_d3tree::D3TreeSystem;
+use baton_mtree::MTreeSystem;
 use baton_sim::{figures, Profile};
 
 pub mod perf;
@@ -50,6 +52,18 @@ pub fn baton_overlay(n: usize, seed: u64, avg_load: usize) -> BatonSystem {
 /// build/query timings.
 pub fn d3tree_overlay(n: usize, seed: u64) -> D3TreeSystem {
     D3TreeSystem::build(seed, n).expect("overlay build")
+}
+
+/// Builds a Chord ring of `n` nodes, for the perf harness's bytes-per-peer
+/// accounting.
+pub fn chord_overlay(n: usize, seed: u64) -> ChordSystem {
+    ChordSystem::build(seed, n).expect("overlay build")
+}
+
+/// Builds a multiway-tree overlay of `n` nodes, for the perf harness's
+/// bytes-per-peer accounting.
+pub fn mtree_overlay(n: usize, seed: u64) -> MTreeSystem {
+    MTreeSystem::build(seed, n).expect("overlay build")
 }
 
 #[cfg(test)]

@@ -38,9 +38,14 @@ pub struct Measurement {
 
 impl Measurement {
     fn timed<T>(id: &str, detail: String, unit: &str, run: impl FnOnce() -> (u64, T)) -> (Self, T) {
+        // Progress goes to stderr as each stage starts and finishes — full
+        // runs take minutes, and a silent harness is indistinguishable from
+        // a hung one.
+        eprintln!("perf: running {id} ({detail})");
         let started = Instant::now();
         let (work_items, value) = run();
         let wall = started.elapsed();
+        eprintln!("perf: {id} finished in {:.1} ms", wall.as_secs_f64() * 1e3);
         let wall_ms = wall.as_secs_f64() * 1e3;
         let per_second = if wall.as_secs_f64() > 0.0 {
             work_items as f64 / wall.as_secs_f64()
@@ -75,11 +80,22 @@ pub struct PerfProfile {
     pub queries: usize,
     /// Profile handed to the `latency_under_churn` scenario.
     pub scenario: Profile,
+    /// Nodes in the large-scale BATON build (`scale_build` / `scale_mem`
+    /// rows) — one million at the full profile.
+    pub scale_n: usize,
+    /// Profile of the multi-threaded `latency_under_churn` scale rows
+    /// (`scale_churn_t*`): its repetitions are the units the engine fans
+    /// across worker threads.
+    pub scale_churn: Profile,
+    /// Worker threads of the parallel scale-churn row (compared against a
+    /// single-threaded run of the same profile).
+    pub scale_threads: usize,
 }
 
 impl PerfProfile {
     /// The paper-scale profile: a 10,000-node overlay, 1000 + 1000 queries,
-    /// and the scenario at N = 1000.
+    /// the scenario at N = 1000, a million-node scale build and the scale
+    /// churn comparison at N = 100,000.
     pub fn full() -> Self {
         Self {
             name: "full",
@@ -94,6 +110,16 @@ impl PerfProfile {
                 churn_ops: 100,
                 seed: 2005,
             },
+            scale_n: 1_000_000,
+            scale_churn: Profile {
+                network_sizes: vec![100_000],
+                repetitions: 4,
+                data_scale: 0.02,
+                query_scale: 1.0,
+                churn_ops: 100,
+                seed: 2005,
+            },
+            scale_threads: 4,
         }
     }
 
@@ -105,6 +131,16 @@ impl PerfProfile {
             data_scale: 0.01,
             queries: 50,
             scenario: Profile::smoke(),
+            scale_n: 10_000,
+            scale_churn: Profile {
+                network_sizes: vec![400],
+                repetitions: 2,
+                data_scale: 0.02,
+                query_scale: 0.2,
+                churn_ops: 20,
+                seed: 2005,
+            },
+            scale_threads: 2,
         }
     }
 
@@ -118,8 +154,31 @@ impl PerfProfile {
     }
 }
 
+/// Appends a `mem{id_suffix}` row: the overlay's estimated resident
+/// protocol-state bytes divided by its node count.  Not a timing — the
+/// `work_items` column carries bytes per peer and the wall columns are
+/// zero — but it rides in the same report so bytes-per-peer regresses
+/// alongside the wall-clock trajectory.
+fn push_mem_row(
+    measurements: &mut Vec<Measurement>,
+    overlay: &dyn Overlay,
+    label: &str,
+    id_suffix: &str,
+) {
+    let nodes = overlay.node_count().max(1) as u64;
+    measurements.push(Measurement {
+        id: format!("mem{id_suffix}"),
+        detail: format!("estimated resident protocol state per peer, {nodes}-node {label} overlay"),
+        work_items: overlay.estimated_state_bytes() / nodes,
+        unit: "bytes/peer".to_owned(),
+        wall_ms: 0.0,
+        per_second: 0.0,
+    });
+}
+
 /// Times one overlay's build, exact-match (fig8d) and range (fig8e) query
-/// drivers, appending three measurements with the given id suffix.
+/// drivers, appending three measurements (plus a bytes-per-peer `mem` row)
+/// with the given id suffix.
 fn time_overlay_group(
     measurements: &mut Vec<Measurement>,
     profile: &PerfProfile,
@@ -185,12 +244,16 @@ fn time_overlay_group(
         },
     );
     measurements.push(range_m);
+
+    // 4. Bytes per peer of the loaded overlay.
+    push_mem_row(measurements, &*overlay, label, id_suffix);
 }
 
 /// Overlays that have a dedicated build/query timing group in [`run`].
-/// Chord and the multiway tree appear only inside the scenario measurement
-/// (their figure timings are covered by the Criterion benches); the `perf`
-/// binary warns when a selection names an overlay outside this list.
+/// Chord and the multiway tree appear only in the bytes-per-peer rows and
+/// inside the scenario measurement (their figure timings are covered by the
+/// Criterion benches); the `perf` binary warns when a selection names an
+/// overlay outside this list.
 pub const TIMED_OVERLAYS: [&str; 2] = ["BATON", "D3-Tree"];
 
 /// Scenarios with a wall-clock measurement row in [`run`]: the original
@@ -229,6 +292,34 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
         );
     }
 
+    // Bytes-per-peer rows for the overlays without a timing group, so every
+    // overlay of the comparison reports its memory footprint at the same
+    // size and bulk load as the timed ones.
+    type MemOnlyBuild = fn(usize, u64) -> Box<dyn Overlay>;
+    let mem_only: [(&str, &str, MemOnlyBuild); 2] = [
+        ("Chord", "_chord", |n, seed| {
+            Box::new(crate::chord_overlay(n, seed))
+        }),
+        ("Multiway tree", "_mtree", |n, seed| {
+            Box::new(crate::mtree_overlay(n, seed))
+        }),
+    ];
+    for (label, id_suffix, build) in mem_only {
+        if !selected.contains(&label) {
+            continue;
+        }
+        let n = profile.build_n;
+        let mut overlay = build(n, seed);
+        let plan = baton_workload::DatasetPlan {
+            values_per_node: 1000,
+            distribution: KeyDistribution::Uniform,
+        }
+        .scaled(profile.data_scale);
+        let data = plan.generate(&mut SimRng::seeded(seed ^ 0xDA7A), n);
+        runner::bulk_load(&mut *overlay, &data).expect("bulk load");
+        push_mem_row(&mut measurements, &*overlay, label, id_suffix);
+    }
+
     // Two time-domain scenarios (every selected overlay, open loop): the
     // original churn template and a representative of the phased registry
     // (regional topology + correlated fault plan).
@@ -257,16 +348,75 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
         measurements.push(scenario_m);
     }
 
+    // Million-peer scale rows (BATON only — the overlay under study).  The
+    // build/mem pair shows a million peers fit in RAM with the compact node
+    // layouts; the churn pair runs the same scenario profile single- and
+    // multi-threaded so the sharded engine's scaling is tracked in the
+    // report.  Results are byte-identical across thread counts (aggregation
+    // is in canonical unit order), so only the wall clock may differ.
+    if selected.contains(&"BATON") {
+        let n = profile.scale_n;
+        let (scale_build_m, overlay) = Measurement::timed(
+            "scale_build",
+            format!("BATON overlay build, {n} nodes (scale row)"),
+            "joins",
+            || (n as u64, crate::baton_overlay(n, seed, 1000)),
+        );
+        measurements.push(scale_build_m);
+        push_mem_row(&mut measurements, &overlay, "BATON", "_scale");
+        drop(overlay);
+
+        let churn_n = *profile.scale_churn.network_sizes.last().unwrap_or(&0);
+        let reps = profile.scale_churn.repetitions;
+        let prior_threads = baton_net::threads();
+        baton_sim::set_overlay_filter(&["BATON".to_owned()]).expect("BATON is registered");
+        let thread_counts: &[usize] = if profile.scale_threads > 1 {
+            &[1, profile.scale_threads]
+        } else {
+            &[1]
+        };
+        for &threads in thread_counts {
+            baton_net::set_threads(threads);
+            let (churn_m, _) = Measurement::timed(
+                &format!("scale_churn_t{threads}"),
+                format!(
+                    "latency_under_churn scenario, N = {churn_n}, BATON only, \
+                     {reps} repetitions across {threads} thread(s)"
+                ),
+                "ops",
+                || {
+                    let result =
+                        scenario::run_scenario("latency_under_churn", &profile.scale_churn)
+                            .expect("registered scenario");
+                    let ops: u64 = result
+                        .series
+                        .iter()
+                        .flat_map(|s| s.classes.iter())
+                        .map(|c| c.count)
+                        .sum();
+                    (ops, ())
+                },
+            );
+            measurements.push(churn_m);
+        }
+        baton_net::set_threads(prior_threads);
+        // Restore the caller's overlay selection (the full list is
+        // equivalent to no filter).
+        let restore: Vec<String> = selected.iter().map(|s| (*s).to_owned()).collect();
+        baton_sim::set_overlay_filter(&restore).expect("previously selected overlays");
+    }
+
     measurements
 }
 
 /// Renders a perf report as the `BENCH_perf.json` document.
 ///
-/// Schema (`baton-perf/2`):
+/// Schema (`baton-perf/3` — version 3 added the `mem_*` bytes-per-peer rows
+/// and the `scale_*` million-peer rows):
 ///
 /// ```json
 /// {
-///   "schema": "baton-perf/2",
+///   "schema": "baton-perf/3",
 ///   "profile": "full",
 ///   "measurements": [
 ///     {"id": "build", "detail": "…", "work_items": 10000,
@@ -276,7 +426,7 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
 /// ```
 pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"baton-perf/2\",");
+    let _ = writeln!(out, "  \"schema\": \"baton-perf/3\",");
     let _ = writeln!(out, "  \"profile\": {},", json_string(profile.name));
     out.push_str("  \"measurements\": [");
     for (i, m) in measurements.iter().enumerate() {
@@ -299,7 +449,7 @@ pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> Strin
     out
 }
 
-/// Validates that `text` parses as a `baton-perf/2` document: well-formed
+/// Validates that `text` parses as a `baton-perf/3` document: well-formed
 /// JSON (for the subset the renderer emits), the schema marker, and at least
 /// one measurement carrying every required field with finite numbers.
 ///
@@ -313,7 +463,7 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "baton-perf/2" {
+    if schema != "baton-perf/3" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     root.get("profile")
@@ -601,7 +751,7 @@ mod tests {
     fn smoke_profile_runs_filters_and_renders_valid_json() {
         let profile = PerfProfile::smoke();
         let measurements = run(&profile);
-        assert_eq!(measurements.len(), 8);
+        assert_eq!(measurements.len(), 16);
         let ids: Vec<&str> = measurements.iter().map(|m| m.id.as_str()).collect();
         assert_eq!(
             ids,
@@ -609,11 +759,19 @@ mod tests {
                 "build",
                 "exact_fig8d",
                 "range_fig8e",
+                "mem",
                 "build_d3tree",
                 "exact_fig8d_d3tree",
                 "range_fig8e_d3tree",
+                "mem_d3tree",
+                "mem_chord",
+                "mem_mtree",
                 "latency_under_churn",
-                "regional_failure"
+                "regional_failure",
+                "scale_build",
+                "mem_scale",
+                "scale_churn_t1",
+                "scale_churn_t2"
             ]
         );
         for m in &measurements {
@@ -621,10 +779,21 @@ mod tests {
             assert!(m.wall_ms.is_finite() && m.wall_ms >= 0.0);
         }
         let rendered = render_json(&profile, &measurements);
-        assert_eq!(validate_json(&rendered), Ok(8));
+        assert_eq!(validate_json(&rendered), Ok(16));
 
-        // Narrowed to one overlay, the timing groups and the scenario
-        // follow the same selection — the scenario detail names it.
+        // The thread-count comparison times the same deterministic work, so
+        // both rows must report the same op count.
+        let t1 = measurements.iter().find(|m| m.id == "scale_churn_t1");
+        let t2 = measurements.iter().find(|m| m.id == "scale_churn_t2");
+        assert_eq!(
+            t1.map(|m| m.work_items),
+            t2.map(|m| m.work_items),
+            "thread count changed the scenario's op count"
+        );
+
+        // Narrowed to one overlay, the timing groups, the scenario and the
+        // scale rows follow the same selection — the scenario detail names
+        // it, and the BATON-only scale group disappears.
         baton_sim::set_overlay_filter(&["D3-Tree".to_owned()]).expect("known overlay");
         let narrowed = run(&profile);
         baton_sim::clear_overlay_filter();
@@ -635,6 +804,7 @@ mod tests {
                 "build_d3tree",
                 "exact_fig8d_d3tree",
                 "range_fig8e_d3tree",
+                "mem_d3tree",
                 "latency_under_churn",
                 "regional_failure"
             ]
@@ -648,12 +818,18 @@ mod tests {
         assert!(validate_json("").is_err());
         assert!(validate_json("{}").is_err());
         assert!(validate_json("{\"schema\": \"other/1\"}").is_err());
+        // The previous schema version is rejected — consumers must not mix
+        // pre-`mem_*`/`scale_*` reports into the trajectory.
         assert!(validate_json(
             "{\"schema\": \"baton-perf/2\", \"profile\": \"x\", \"measurements\": []}"
         )
         .is_err());
+        assert!(validate_json(
+            "{\"schema\": \"baton-perf/3\", \"profile\": \"x\", \"measurements\": []}"
+        )
+        .is_err());
         // Bad number in an otherwise complete measurement.
-        let bad = "{\"schema\": \"baton-perf/2\", \"profile\": \"x\", \"measurements\": [\
+        let bad = "{\"schema\": \"baton-perf/3\", \"profile\": \"x\", \"measurements\": [\
                    {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                    \"work_items\": 1, \"wall_ms\": -5.0, \"per_second\": 0.0}]}";
         assert!(validate_json(bad).unwrap_err().contains("wall_ms"));
