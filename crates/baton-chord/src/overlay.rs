@@ -22,7 +22,7 @@ impl Overlay for ChordSystem {
     }
 
     fn capabilities(&self) -> OverlayCapabilities {
-        OverlayCapabilities::DHT
+        OverlayCapabilities::DHT.with_bulk_build()
     }
 
     fn node_count(&self) -> usize {
@@ -86,6 +86,11 @@ impl Overlay for ChordSystem {
             update_messages: report.update_messages,
             lost_items: 0,
         })
+    }
+
+    fn load_direct(&mut self, data: &[(u64, u64)]) -> bool {
+        ChordSystem::load_direct(self, data);
+        true
     }
 
     fn insert(&mut self, key: u64, value: u64) -> OverlayResult<OpCost> {

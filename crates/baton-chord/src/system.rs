@@ -132,6 +132,106 @@ impl ChordSystem {
         Ok(system)
     }
 
+    /// Builds a ring of `n` nodes directly, without running the join
+    /// protocol: identifiers are drawn up front, the ring order is one
+    /// sort, and every finger is resolved by binary search over the sorted
+    /// identifiers.  `O(N (log N + M))` arithmetic instead of the join
+    /// path's `O(N log² N)` simulated lookups; no messages are charged.
+    ///
+    /// The result passes [`validate`](Self::validate) and behaves like a
+    /// join-built ring under all subsequent operations, but is not
+    /// byte-identical to one (identifier draw order differs), so the bulk
+    /// path is opt-in — committed fixtures always use [`build`](Self::build).
+    pub fn bulk_build(seed: u64, n: usize) -> Result<Self> {
+        let mut system = Self::new(seed);
+        if n == 0 {
+            return Ok(system);
+        }
+        let peers: Vec<PeerId> = (0..n).map(|_| system.net.add_peer()).collect();
+        let ids: Vec<ChordId> = (0..n)
+            .map(|_| {
+                let id = system.fresh_id();
+                // Reserve immediately so later draws cannot collide;
+                // register_node's insert is idempotent.
+                system.used_ids.insert(id.compact());
+                id
+            })
+            .collect();
+
+        // Ring order and each node's ring position.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| ids[i]);
+        let mut rank = vec![0usize; n];
+        for (position, &i) in order.iter().enumerate() {
+            rank[i] = position;
+        }
+        let sorted_ids: Vec<ChordId> = order.iter().map(|&i| ids[i]).collect();
+        // The ring position owning `id`: the first node at or after it,
+        // wrapping past the top of the circle.
+        let successor_position = |id: ChordId| match sorted_ids.binary_search(&id) {
+            Ok(k) => k,
+            Err(k) if k == n => 0,
+            Err(k) => k,
+        };
+
+        for i in 0..n {
+            let position = rank[i];
+            let prev = order[(position + n - 1) % n];
+            let next = order[(position + 1) % n];
+            let mut node = ChordNode::solo(peers[i], ids[i]);
+            node.successor = (peers[next], ids[next]);
+            node.predecessor = (peers[prev], ids[prev]);
+            for k in 0..M {
+                let start = ids[i].finger_start(k);
+                let owner = order[successor_position(start)];
+                node.fingers[k as usize] = Some(Finger {
+                    start,
+                    node: peers[owner],
+                    node_id: ids[owner],
+                });
+            }
+            system.register_node(peers[i], node);
+        }
+        Ok(system)
+    }
+
+    /// Places `data` directly into the owning nodes' stores without running
+    /// lookups — the data-load analogue of [`bulk_build`](Self::bulk_build).
+    /// Each key hashes to its ring identifier and lands at that
+    /// identifier's successor, the same node a routed insert reaches; no
+    /// messages are charged.
+    pub fn load_direct(&mut self, data: &[(u64, u64)]) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut ring: Vec<(ChordId, PeerId)> = self
+            .nodes
+            .iter()
+            .map(|(&peer, node)| (node.id, peer))
+            .collect();
+        ring.sort_unstable();
+        // One stable sort by ring identifier, then a merge-style pass with
+        // a monotonic cursor (wrapping the top of the circle back to the
+        // first node) — every node's items arrive while it is cache-hot.
+        // The stable sort keeps identifier collisions in dataset order, so
+        // per-key value order matches a routed load exactly.
+        let mut items: Vec<(ChordId, u64)> = data
+            .iter()
+            .map(|&(key, value)| (ChordId::hash(key), value))
+            .collect();
+        items.sort_by_key(|&(id, _)| id);
+        let mut cursor = 0usize;
+        for &(id, value) in &items {
+            while cursor < ring.len() && ring[cursor].0 < id {
+                cursor += 1;
+            }
+            let slot = if cursor == ring.len() { 0 } else { cursor };
+            if let Some(node) = self.nodes.get_mut(&ring[slot].1) {
+                node.store.entry(id.value()).or_default().push(value);
+            }
+        }
+    }
+
     /// Number of nodes in the ring.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -661,6 +761,62 @@ mod tests {
             system
                 .validate()
                 .unwrap_or_else(|e| panic!("{n}-node ring invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn bulk_build_produces_a_consistent_ring() {
+        for n in [0usize, 1, 2, 5, 32, 100] {
+            let system = ChordSystem::bulk_build(7, n).unwrap();
+            assert_eq!(system.node_count(), n);
+            system
+                .validate()
+                .unwrap_or_else(|e| panic!("bulk {n}-node ring invalid: {e}"));
+            assert_eq!(
+                system.stats().total_sent(),
+                0,
+                "bulk build charged messages"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_built_ring_answers_lookups_and_survives_churn() {
+        let mut system = ChordSystem::bulk_build(11, 64).unwrap();
+        let log_n = (system.node_count() as f64).log2();
+        for key in [1u64, 500, 999_999] {
+            system.insert(key, key * 2).unwrap();
+            let found = system.search_exact(key).unwrap();
+            assert_eq!(found.matches, 1, "key {key} not found");
+            assert!((found.messages as f64) <= 3.0 * log_n + 8.0);
+        }
+        system.join_random().unwrap();
+        system.leave_random().unwrap();
+        system.validate().unwrap();
+        assert_eq!(system.total_items(), 3);
+    }
+
+    #[test]
+    fn direct_load_places_keys_at_the_lookup_owner() {
+        let mut direct = ChordSystem::bulk_build(5, 64).unwrap();
+        let mut routed = ChordSystem::bulk_build(5, 64).unwrap();
+        let data: Vec<(u64, u64)> = (0..200u64).map(|i| (1 + i * 4_999_999, i)).collect();
+        direct.load_direct(&data);
+        for &(k, v) in &data {
+            routed.insert(k, v).unwrap();
+        }
+        assert_eq!(direct.total_items(), data.len());
+        assert_eq!(
+            direct.stats().total_sent(),
+            0,
+            "direct load charged messages"
+        );
+        for &(k, _) in &data {
+            assert_eq!(
+                direct.search_exact(k).unwrap().matches,
+                routed.search_exact(k).unwrap().matches,
+                "key {k} diverged between direct and routed load"
+            );
         }
     }
 

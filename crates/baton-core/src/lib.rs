@@ -52,6 +52,7 @@
 //! | [`routing`] | links and the sideways routing tables (§III) |
 //! | [`node`] | the per-peer state |
 //! | [`system`] | [`BatonSystem`]: the overlay + simulated network |
+//! | [`bulk`] | direct deterministic construction of an N-node overlay |
 //! | [`protocol`] | join, leave, failure, search, data, restructuring, load balancing |
 //! | [`validate`] | whole-overlay invariant checking (the test oracle) |
 //! | [`reports`] | per-operation message-cost reports used by the benchmarks |
@@ -59,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bulk;
 pub mod config;
 pub mod error;
 pub mod messages;

@@ -22,7 +22,7 @@ impl Overlay for BatonSystem {
     }
 
     fn capabilities(&self) -> OverlayCapabilities {
-        OverlayCapabilities::FULL
+        OverlayCapabilities::FULL.with_bulk_build()
     }
 
     fn node_count(&self) -> usize {
@@ -104,6 +104,11 @@ impl Overlay for BatonSystem {
         })
     }
 
+    fn load_direct(&mut self, data: &[(u64, u64)]) -> bool {
+        BatonSystem::load_direct(self, data);
+        true
+    }
+
     fn insert(&mut self, key: u64, value: u64) -> OverlayResult<OpCost> {
         let report = BatonSystem::insert(self, key, value).map_err(op_err)?;
         Ok(OpCost {
@@ -175,7 +180,10 @@ mod tests {
     fn baton_is_fully_capable_through_the_trait() {
         let mut overlay = boxed(30, 1);
         assert_eq!(overlay.name(), "BATON");
-        assert_eq!(overlay.capabilities(), OverlayCapabilities::FULL);
+        assert_eq!(
+            overlay.capabilities(),
+            OverlayCapabilities::FULL.with_bulk_build()
+        );
         assert_eq!(overlay.node_count(), 30);
 
         let insert = overlay.insert(123_456, 7).unwrap();

@@ -58,6 +58,7 @@ impl BatonSystem {
     }
 
     fn recover_inner(&mut self, peer: PeerId) -> Result<FailureReport> {
+        let _t = baton_net::profiler::scope("baton.fail.recover");
         let op = self.net.begin_op("failure");
 
         // Special case: the overlay's only node fails — nothing to recover.

@@ -446,6 +446,7 @@ impl BatonSystem {
     ///
     /// Returns the number of messages sent.
     pub(crate) fn broadcast_range_update(&mut self, op: OpScope, peer: PeerId) -> Result<u64> {
+        let _t = baton_net::profiler::scope("baton.broadcast.range");
         let (linked, range) = {
             let node = self.node_ref(peer)?;
             (node.linked_peers(), node.range)
@@ -467,6 +468,7 @@ impl BatonSystem {
     ///
     /// Returns the number of messages sent.
     pub(crate) fn broadcast_child_update(&mut self, op: OpScope, peer: PeerId) -> Result<u64> {
+        let _t = baton_net::profiler::scope("baton.broadcast.child");
         let (neighbors, left_child, right_child) = {
             let node = self.node_ref(peer)?;
             let mut neighbors = Vec::new();
@@ -499,6 +501,7 @@ impl BatonSystem {
     ///
     /// Returns the number of messages sent.
     pub(crate) fn broadcast_parent_update(&mut self, op: OpScope, peer: PeerId) -> Result<u64> {
+        let _t = baton_net::profiler::scope("baton.broadcast.parent");
         let (linked, range, left_child, right_child) = {
             let node = self.node_ref(peer)?;
             (

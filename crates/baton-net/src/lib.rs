@@ -74,6 +74,7 @@ pub mod network;
 pub mod overlay;
 pub mod parallel;
 pub mod peer;
+pub mod profiler;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -81,7 +82,9 @@ pub mod time;
 pub use message::{Envelope, NetMessage};
 pub use network::{DeliveryError, SendError, SimNetwork};
 pub use overlay::{ChurnCost, OpCost, Overlay, OverlayCapabilities, OverlayError, OverlayResult};
-pub use parallel::{default_threads, run_indexed, set_threads, threads};
+pub use parallel::{
+    default_threads, run_indexed, run_indexed_with, set_threads, threads, with_threads,
+};
 pub use peer::{PeerId, PeerRegistry, PeerStatus};
 pub use rng::SimRng;
 pub use stats::{ClassStats, Histogram, MessageStats, OpId, OpScope, OpStats};

@@ -40,6 +40,13 @@ pub struct OverlayCapabilities {
     /// The overlay is a tree and [`Overlay::access_load_by_level`] reports
     /// per-level load.
     pub level_load: bool,
+    /// The overlay offers a direct deterministic bulk construction next to
+    /// its default join-by-join build (registered as the `bulk` constructor
+    /// of its `OverlaySpec`).  A bulk-built overlay is structurally valid
+    /// and behaviourally equivalent to a join-built one, but not
+    /// byte-identical — drivers only take the fast path when explicitly
+    /// asked (`build: Bulk` scenario knob, perf-harness scale rows).
+    pub bulk_build: bool,
 }
 
 impl OverlayCapabilities {
@@ -49,6 +56,7 @@ impl OverlayCapabilities {
         load_balancing: false,
         failures: false,
         level_load: false,
+        bulk_build: false,
     };
 
     /// Capabilities of an order-preserving tree without balancing.
@@ -57,15 +65,24 @@ impl OverlayCapabilities {
         load_balancing: false,
         failures: false,
         level_load: true,
+        bulk_build: false,
     };
 
-    /// Every capability enabled.
+    /// Every workload capability enabled (bulk construction stays a
+    /// per-overlay opt-in via [`with_bulk_build`](Self::with_bulk_build)).
     pub const FULL: Self = Self {
         range_queries: true,
         load_balancing: true,
         failures: true,
         level_load: true,
+        bulk_build: false,
     };
+
+    /// This preset, plus the bulk-construction capability.
+    pub const fn with_bulk_build(mut self) -> Self {
+        self.bulk_build = true;
+        self
+    }
 }
 
 /// Message cost of one churn event (join, leave or failure recovery).
@@ -241,6 +258,20 @@ pub trait Overlay {
         Err(OverlayError::Unsupported("targeted failure"))
     }
 
+    /// Places a dataset directly into the owning nodes' stores without
+    /// routing — the data-load analogue of a bulk construction: zero
+    /// messages, and every key lands at the node a routed insert would
+    /// reach, so queries see the same dataset either way.  Returns `false`
+    /// when the overlay has no direct path; callers fall back to routed
+    /// inserts.  Like bulk construction itself, drivers only take this path
+    /// when explicitly asked (`build: Bulk` scenario runs).
+    ///
+    /// Default: `false` — only overlays advertising
+    /// [`OverlayCapabilities::bulk_build`] are expected to implement it.
+    fn load_direct(&mut self, _data: &[(u64, u64)]) -> bool {
+        false
+    }
+
     /// Inserts `value` under `key` from a random issuer.
     fn insert(&mut self, key: u64, value: u64) -> OverlayResult<OpCost>;
 
@@ -381,5 +412,9 @@ mod tests {
         assert_eq!(presets.iter().filter(|c| c.range_queries).count(), 2);
         assert_eq!(presets.iter().filter(|c| c.load_balancing).count(), 1);
         assert_eq!(presets.iter().filter(|c| c.level_load).count(), 2);
+        // Bulk construction is never part of a preset; overlays opt in.
+        assert_eq!(presets.iter().filter(|c| c.bulk_build).count(), 0);
+        let bulk = OverlayCapabilities::FULL.with_bulk_build();
+        assert!(bulk.bulk_build && bulk.range_queries);
     }
 }

@@ -14,10 +14,15 @@
 //! finished.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 /// `0` means "not set": fall back to the machine's available parallelism.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Serialises [`with_threads`] callers: the budget is process-global, so
+/// two concurrent scoped overrides would cross-talk without this lock.
+static THREADS_SCOPE: Mutex<()> = Mutex::new(());
 
 /// Sets the worker-thread budget for this process.
 ///
@@ -43,6 +48,28 @@ pub fn default_threads() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Runs `f` with the process-global thread budget temporarily set to `n`,
+/// restoring the previous value afterwards (also on panic).
+///
+/// Scoped overrides from different threads are **serialised** against each
+/// other: `set_threads` writes a process-wide atomic, so two concurrent
+/// callers would otherwise observe each other's budget mid-run.  Tests and
+/// harness code that need a specific budget should use this instead of raw
+/// `set_threads`/`set_threads(0)` pairs.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _scope = THREADS_SCOPE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(THREADS.swap(n, Ordering::Relaxed));
+    f()
+}
+
 /// Runs `count` independent units on up to [`threads`] worker threads and
 /// returns their results **in index order**.
 ///
@@ -57,7 +84,21 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = threads().min(count);
+    run_indexed_with(threads(), count, f)
+}
+
+/// [`run_indexed`] with an **explicit** thread budget instead of the
+/// process-global one.
+///
+/// This is the test-safe entry point: callers that must not be affected by
+/// (or affect) the global `--threads` knob pass their budget directly, so
+/// concurrently running tests cannot cross-talk through the shared atomic.
+pub fn run_indexed_with<T, F>(thread_budget: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = thread_budget.max(1).min(count);
     if workers <= 1 {
         return (0..count).map(f).collect();
     }
@@ -102,17 +143,13 @@ mod tests {
 
     #[test]
     fn results_come_back_in_index_order() {
-        set_threads(4);
-        let out = run_indexed(100, |i| i * i);
-        set_threads(0);
+        let out = run_indexed_with(4, 100, |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]
     fn single_thread_budget_runs_inline() {
-        set_threads(1);
-        let out = run_indexed(10, |i| i + 1);
-        set_threads(0);
+        let out = run_indexed_with(1, 10, |i| i + 1);
         assert_eq!(out, (1..=10).collect::<Vec<_>>());
     }
 
@@ -124,10 +161,43 @@ mod tests {
 
     #[test]
     fn thread_budget_round_trips() {
-        set_threads(3);
-        assert_eq!(threads(), 3);
-        set_threads(0);
+        with_threads(3, || assert_eq!(threads(), 3));
         assert!(threads() >= 1);
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_budget_ignores_the_global_knob() {
+        with_threads(1, || {
+            // The global says "1 worker"; the explicit call still fans out
+            // (and, more importantly, still returns index-ordered results).
+            let out = run_indexed_with(4, 50, |i| i + 7);
+            assert_eq!(out, (7..57).collect::<Vec<_>>());
+            assert_eq!(threads(), 1);
+        });
+    }
+
+    #[test]
+    fn scoped_overrides_do_not_cross_talk() {
+        // Regression test for the process-wide `set_threads` atomic: two
+        // threads racing scoped overrides must each observe exactly their
+        // own budget for the whole scope, and the prior value must be
+        // restored afterwards.
+        let before = threads();
+        thread::scope(|scope| {
+            for budget in [2usize, 5] {
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        with_threads(budget, || {
+                            assert_eq!(threads(), budget);
+                            let out = run_indexed(8, |i| i);
+                            assert_eq!(out, (0..8).collect::<Vec<_>>());
+                            assert_eq!(threads(), budget);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(threads(), before);
     }
 }

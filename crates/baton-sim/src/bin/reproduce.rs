@@ -32,6 +32,12 @@
 //! run or debugged in isolation; the BATON-only figures 8(f)–(i) are
 //! unaffected.
 //!
+//! `--build join|bulk` selects how scenario overlays are constructed: `join`
+//! (the default) builds node by node exactly as every committed fixture was
+//! generated; `bulk` takes the direct deterministic fast path on overlays
+//! that offer one (BATON, Chord) and falls back to `join` on the rest.
+//! Figures always use the join path.
+//!
 //! Output modes: the default prints text tables.  `--json` emits the figure
 //! array, the scenario array, or — when both are requested — one object
 //! `{"figures": [...], "scenarios": [...]}`.  `--csv` prints one CSV block
@@ -49,6 +55,7 @@ struct Options {
     profile: Profile,
     overlays: Vec<String>,
     threads: usize,
+    build: Option<scenario::BuildKind>,
     json: bool,
     csv: bool,
     list: bool,
@@ -61,6 +68,7 @@ fn parse_args() -> Result<Options, String> {
     let mut seed: Option<u64> = None;
     let mut overlays = Vec::new();
     let mut threads = baton_net::default_threads();
+    let mut build = None;
     let mut json = false;
     let mut csv = false;
     let mut list = false;
@@ -116,6 +124,14 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--threads needs at least 1".into());
                 }
             }
+            "--build" | "-b" => {
+                let value = args.next().ok_or("--build needs a value")?;
+                build = match value.as_str() {
+                    "join" => Some(scenario::BuildKind::Join),
+                    "bulk" => Some(scenario::BuildKind::Bulk),
+                    other => return Err(format!("--build wants join|bulk, got '{other}'")),
+                };
+            }
             "--json" => json = true,
             "--csv" => csv = true,
             "--list" => list = true,
@@ -125,7 +141,8 @@ fn parse_args() -> Result<Options, String> {
                      [--scenario {}|all|none (comma-separated)] \
                      [--profile smoke|quick|full|paper] [--seed N] \
                      [--threads N (default: available parallelism)] \
-                     [--overlays NAME[,NAME...]] [--json] [--csv] [--list]",
+                     [--overlays NAME[,NAME...]] [--build join|bulk] \
+                     [--json] [--csv] [--list]",
                     scenario::all_scenario_ids().join("|")
                 ))
             }
@@ -143,6 +160,7 @@ fn parse_args() -> Result<Options, String> {
         profile,
         overlays,
         threads,
+        build,
         json,
         csv,
         list,
@@ -238,7 +256,10 @@ fn main() -> ExitCode {
 
     let scenarios: Vec<_> = scenario_ids
         .into_iter()
-        .map(|id| scenario::run_scenario(id, &options.profile).expect("registered scenario"))
+        .map(|id| {
+            scenario::run_scenario_with_build(id, &options.profile, options.build)
+                .expect("registered scenario")
+        })
         .collect();
 
     if options.json {

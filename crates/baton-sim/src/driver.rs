@@ -22,12 +22,20 @@ use baton_workload::{runner, DatasetPlan, KeyDistribution};
 
 use crate::profile::Profile;
 
+/// An overlay constructor: profile, node count, seed.
+type BuildFn = fn(&Profile, usize, u64) -> Box<dyn Overlay>;
+
 /// How to build one overlay system for an experiment.
 pub struct OverlaySpec {
     /// Series label used in figures ("BATON", "Chord", …).  Matches
     /// [`Overlay::name`] of the built system.
     pub series: &'static str,
-    build: fn(&Profile, usize, u64) -> Box<dyn Overlay>,
+    build: BuildFn,
+    /// Direct deterministic construction, for overlays that offer one
+    /// (`OverlayCapabilities::bulk_build`).  Behaviourally equivalent to
+    /// `build` but not byte-identical, so it is only taken when explicitly
+    /// requested.
+    bulk: Option<BuildFn>,
 }
 
 impl OverlaySpec {
@@ -35,20 +43,49 @@ impl OverlaySpec {
     pub fn build(&self, profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
         (self.build)(profile, n, seed)
     }
+
+    /// `true` if this overlay registers a bulk constructor.
+    pub fn supports_bulk(&self) -> bool {
+        self.bulk.is_some()
+    }
+
+    /// Builds an overlay of `n` nodes through the bulk fast path, falling
+    /// back to the join-by-join build for overlays without one.
+    pub fn build_bulk(&self, profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+        match self.bulk {
+            Some(bulk) => bulk(profile, n, seed),
+            None => self.build(profile, n, seed),
+        }
+    }
 }
 
-fn build_baton(profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+fn baton_config(profile: &Profile, n: usize) -> BatonConfig {
     // Load-balancing thresholds sized for the profile's expected average
     // load so that the skew experiments can trigger balancing while the
     // uniform ones mostly do not, as in the paper.
     let avg_load = (profile.dataset_size(n) / n.max(1)).max(4);
-    let config =
-        BatonConfig::default().with_load_balance(LoadBalanceConfig::for_average_load(avg_load));
+    BatonConfig::default().with_load_balance(LoadBalanceConfig::for_average_load(avg_load))
+}
+
+fn build_baton(profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+    let config = baton_config(profile, n);
     Box::new(BatonSystem::build(config, seed, n).expect("building the BATON overlay cannot fail"))
+}
+
+fn bulk_baton(profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+    let config = baton_config(profile, n);
+    Box::new(
+        BatonSystem::bulk_build(config, seed, n)
+            .expect("bulk-building the BATON overlay cannot fail"),
+    )
 }
 
 fn build_chord(_profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
     Box::new(ChordSystem::build(seed, n).expect("building the Chord ring cannot fail"))
+}
+
+fn bulk_chord(_profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
+    Box::new(ChordSystem::bulk_build(seed, n).expect("bulk-building the Chord ring cannot fail"))
 }
 
 fn build_mtree(_profile: &Profile, n: usize, seed: u64) -> Box<dyn Overlay> {
@@ -65,6 +102,7 @@ pub fn reference_overlay() -> OverlaySpec {
     OverlaySpec {
         series: super::figures::SERIES_BATON,
         build: build_baton,
+        bulk: Some(bulk_baton),
     }
 }
 
@@ -76,14 +114,17 @@ pub fn all_overlays() -> Vec<OverlaySpec> {
         OverlaySpec {
             series: super::figures::SERIES_CHORD,
             build: build_chord,
+            bulk: Some(bulk_chord),
         },
         OverlaySpec {
             series: super::figures::SERIES_MTREE,
             build: build_mtree,
+            bulk: None,
         },
         OverlaySpec {
             series: super::figures::SERIES_D3TREE,
             build: build_d3tree,
+            bulk: None,
         },
     ]
 }
@@ -152,15 +193,48 @@ pub fn load_overlay(
     distribution: KeyDistribution,
     seed: u64,
 ) -> Vec<(u64, u64)> {
+    let data = generate_dataset(profile, overlay.node_count(), distribution, seed);
+    runner::bulk_load(overlay, &data).expect("bulk load cannot fail");
+    data
+}
+
+/// Like [`load_overlay`], but places the dataset directly into the owning
+/// nodes' stores when the overlay has a zero-message direct path
+/// ([`Overlay::load_direct`]), falling back to routed inserts otherwise.
+/// Bulk-built scenario runs use this so per-repetition setup cost does not
+/// swamp the workload being measured; the default join-built path never
+/// takes it.
+pub fn load_overlay_direct(
+    profile: &Profile,
+    overlay: &mut dyn Overlay,
+    distribution: KeyDistribution,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    let data = {
+        let _t = baton_net::profiler::scope("load.generate");
+        generate_dataset(profile, overlay.node_count(), distribution, seed)
+    };
+    let _t = baton_net::profiler::scope("load.place");
+    if !overlay.load_direct(&data) {
+        runner::bulk_load(overlay, &data).expect("bulk load cannot fail");
+    }
+    data
+}
+
+/// The profile-scaled `(key, value)` dataset both load paths insert.
+fn generate_dataset(
+    profile: &Profile,
+    node_count: usize,
+    distribution: KeyDistribution,
+    seed: u64,
+) -> Vec<(u64, u64)> {
     let plan = DatasetPlan {
         values_per_node: 1000,
         distribution,
     }
     .scaled(profile.data_scale);
     let mut rng = SimRng::seeded(seed ^ 0xDA7A);
-    let data = plan.generate(&mut rng, overlay.node_count());
-    runner::bulk_load(overlay, &data).expect("bulk load cannot fail");
-    data
+    plan.generate(&mut rng, node_count)
 }
 
 #[cfg(test)]
@@ -185,6 +259,29 @@ mod tests {
         // BATON, the multiway tree and the D3-Tree; Chord cannot answer
         // range queries.
         assert_eq!(range_capable, 3);
+    }
+
+    #[test]
+    fn bulk_builds_agree_with_the_advertised_capability() {
+        let profile = Profile::smoke();
+        for spec in all_overlays() {
+            let joined = spec.build(&profile, 12, 5);
+            assert_eq!(
+                spec.supports_bulk(),
+                joined.capabilities().bulk_build,
+                "spec registry and trait capability disagree for {}",
+                spec.series
+            );
+            // build_bulk always yields a usable overlay: the fast path when
+            // one is registered, the join-by-join build otherwise.
+            let bulk = spec.build_bulk(&profile, 12, 5);
+            assert_eq!(bulk.name(), spec.series);
+            assert_eq!(bulk.node_count(), 12);
+            bulk.validate().unwrap();
+            if spec.supports_bulk() {
+                assert_eq!(bulk.stats().total_sent(), 0);
+            }
+        }
     }
 
     #[test]

@@ -63,6 +63,6 @@ pub use profile::Profile;
 pub use report::{json_string, render_json, render_report, render_scenarios_json};
 pub use result::{Averager, FigureResult, SeriesPoint};
 pub use scenario::{
-    all_scenarios, flash_crowd, latency_under_churn, run_scenario, ScenarioPlan, ScenarioResult,
-    ScenarioSeries, ScenarioSpec,
+    all_scenarios, flash_crowd, latency_under_churn, run_scenario, run_scenario_with_build,
+    BuildKind, ScenarioPlan, ScenarioResult, ScenarioSeries, ScenarioSpec,
 };

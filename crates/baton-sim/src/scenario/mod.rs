@@ -30,10 +30,10 @@ use std::fmt::Write as _;
 use baton_net::SimRng;
 use baton_workload::{run_phased, LatencySummary, OpClass};
 
-use crate::driver::{load_overlay, standard_overlays};
+use crate::driver::{load_overlay, load_overlay_direct, standard_overlays};
 use crate::profile::Profile;
 
-pub use specs::ScenarioPlan;
+pub use specs::{BuildKind, ScenarioPlan};
 
 /// Latency percentiles of one operation class, in milliseconds of virtual
 /// time.
@@ -217,10 +217,24 @@ pub fn all_scenario_ids() -> Vec<&'static str> {
 /// Runs a scenario by identifier (case-insensitive); `None` for an unknown
 /// one.
 pub fn run_scenario(id: &str, profile: &Profile) -> Option<ScenarioResult> {
+    run_scenario_with_build(id, profile, None)
+}
+
+/// [`run_scenario`] with the plan's [`BuildKind`] overridden (`None` keeps
+/// the plan's own setting — [`BuildKind::Join`] for every registered
+/// scenario, which is what pins the committed fixtures).
+pub fn run_scenario_with_build(
+    id: &str,
+    profile: &Profile,
+    build: Option<BuildKind>,
+) -> Option<ScenarioResult> {
     let spec = all_scenarios()
         .into_iter()
         .find(|s| s.id.eq_ignore_ascii_case(id))?;
-    let plan = (spec.build)(profile);
+    let mut plan = (spec.build)(profile);
+    if let Some(build) = build {
+        plan.build = build;
+    }
     Some(ScenarioResult {
         id: spec.id.to_owned(),
         title: plan.title.clone(),
@@ -252,11 +266,27 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
         let spec = &specs[unit / reps];
         let rep = unit % reps;
         let seed = profile.rep_seed(rep);
-        let mut overlay = spec.build(profile, n, seed);
-        load_overlay(profile, &mut *overlay, plan.load, seed);
+        let mut overlay = {
+            let _t = baton_net::profiler::scope("scenario.build");
+            match plan.build {
+                BuildKind::Join => spec.build(profile, n, seed),
+                BuildKind::Bulk => spec.build_bulk(profile, n, seed),
+            }
+        };
+        {
+            let _t = baton_net::profiler::scope("scenario.load");
+            match plan.build {
+                BuildKind::Join => load_overlay(profile, &mut *overlay, plan.load, seed),
+                BuildKind::Bulk => load_overlay_direct(profile, &mut *overlay, plan.load, seed),
+            };
+        }
         overlay.set_latency_model(plan.latency.build(seed ^ 0x1A7E));
         let mut rng = SimRng::seeded(seed ^ 0x0BE7);
-        let events = plan.workload.schedule(&mut rng.derive(1));
+        let events = {
+            let _t = baton_net::profiler::scope("scenario.schedule");
+            plan.workload.schedule(&mut rng.derive(1))
+        };
+        let _t = baton_net::profiler::scope("scenario.run_phased");
         run_phased(
             &mut *overlay,
             &events,
@@ -432,6 +462,31 @@ mod tests {
         let table = result.to_table();
         assert!(table.contains("flash_crowd"));
         assert!(table.contains("hottest 1%"));
+    }
+
+    #[test]
+    fn bulk_built_scenarios_run_every_overlay() {
+        // The Bulk knob swaps only the construction path: the workload still
+        // runs and reports for every overlay, including the two without a
+        // bulk constructor (they fall back to the join build).
+        let profile = Profile::smoke();
+        let result =
+            run_scenario_with_build("latency_under_churn", &profile, Some(BuildKind::Bulk))
+                .expect("registered scenario");
+        assert_eq!(result.series.len(), 4);
+        for series in &result.series {
+            assert!(
+                series.throughput > 0.0,
+                "{} idle under the bulk build",
+                series.overlay
+            );
+            let search = series
+                .classes
+                .iter()
+                .find(|c| c.class == "search")
+                .unwrap_or_else(|| panic!("{} ran no searches", series.overlay));
+            assert!(search.count > 0);
+        }
     }
 
     #[test]

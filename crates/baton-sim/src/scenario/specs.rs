@@ -19,6 +19,19 @@ use baton_workload::{
 
 use crate::profile::Profile;
 
+/// How the scenario's overlays are constructed before the workload runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BuildKind {
+    /// Join-by-join construction — the default, and what every committed
+    /// fixture was generated with.
+    #[default]
+    Join,
+    /// The bulk fast path for overlays that register one
+    /// ([`OverlaySpec::supports_bulk`](crate::driver::OverlaySpec::supports_bulk));
+    /// the rest silently fall back to the join build.
+    Bulk,
+}
+
 /// A declarative scenario: everything the generic engine needs to run it.
 #[derive(Clone, Debug)]
 pub struct ScenarioPlan {
@@ -26,6 +39,8 @@ pub struct ScenarioPlan {
     pub title: String,
     /// Network size (every overlay is built with this many nodes).
     pub n: usize,
+    /// How the overlays are constructed ([`BuildKind::Join`] by default).
+    pub build: BuildKind,
     /// Distribution of the bulk-loaded dataset.
     pub load: KeyDistribution,
     /// The link-latency topology, instantiated per repetition seed.
@@ -62,6 +77,7 @@ pub fn latency_under_churn_plan(profile: &Profile) -> ScenarioPlan {
              log-normal links (median 40ms, σ = 0.5)"
         ),
         n,
+        build: BuildKind::default(),
         load: KeyDistribution::Uniform,
         latency: LatencyPlan::LogNormal {
             median: SimTime::from_millis(40),
@@ -117,6 +133,7 @@ pub fn flash_crowd_plan(profile: &Profile) -> ScenarioPlan {
              during t = [20s, 40s), log-normal links (median 40ms, σ = 0.5)"
         ),
         n,
+        build: BuildKind::default(),
         load: KeyDistribution::Uniform,
         latency: LatencyPlan::LogNormal {
             median: SimTime::from_millis(40),
@@ -172,6 +189,7 @@ pub fn regional_failure_plan(profile: &Profile) -> ScenarioPlan {
              (intra 10ms, inter 60ms)"
         ),
         n,
+        build: BuildKind::default(),
         load: KeyDistribution::Uniform,
         latency,
         workload: PhasedWorkload {
@@ -234,6 +252,7 @@ pub fn degraded_links_plan(profile: &Profile) -> ScenarioPlan {
              (intra 10ms, inter 60ms)"
         ),
         n,
+        build: BuildKind::default(),
         load: KeyDistribution::Uniform,
         latency,
         workload: PhasedWorkload::single(
@@ -276,6 +295,7 @@ pub fn skew_ramp_plan(profile: &Profile) -> ScenarioPlan {
              (median 40ms, σ = 0.5)"
         ),
         n,
+        build: BuildKind::default(),
         load: KeyDistribution::Uniform,
         latency: LatencyPlan::LogNormal {
             median: SimTime::from_millis(40),

@@ -191,6 +191,7 @@ impl OpenLoopOutcome {
         // Everything the dispatch begun has finished: retire it into the
         // per-class aggregates so a long open-loop run holds O(in-flight)
         // operation state, not O(operations-ever).
+        let _t = baton_net::profiler::scope("stats.retire");
         overlay.stats_mut().retire_finished();
     }
 }
@@ -287,8 +288,19 @@ pub fn run_phased(
         while let Some(fault) = fault_queue.next_if(|f| f.at <= event.at) {
             apply_fault(overlay, fault, &mut fault_rng, min_nodes, &mut outcome)?;
         }
-        overlay.advance_to(event.at);
+        {
+            let _t = baton_net::profiler::scope("openloop.advance");
+            overlay.advance_to(event.at);
+        }
         let first_op = OpId(overlay.stats().next_op_id());
+        let _t = baton_net::profiler::scope(match event.class {
+            OpClass::Search => "openloop.search",
+            OpClass::Range => "openloop.range",
+            OpClass::Insert => "openloop.insert",
+            OpClass::Join => "openloop.join",
+            OpClass::Leave => "openloop.leave",
+            OpClass::Fail => "openloop.fail",
+        });
         let messages = match event.class {
             OpClass::Search => Some(overlay.search_exact(keys.draw(event.at, rng))?.messages),
             OpClass::Range => {

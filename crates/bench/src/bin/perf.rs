@@ -22,7 +22,7 @@
 //!   across (default: available parallelism).  The `scale_churn_t*` rows
 //!   pin their own thread counts and are unaffected.
 //! * `--check PATH`: validate an existing report against the
-//!   `baton-perf/3` schema instead of running measurements (exit code 1 on
+//!   `baton-perf/4` schema instead of running measurements (exit code 1 on
 //!   schema violations) — the CI gate for the uploaded artifact.
 
 use std::process::ExitCode;
@@ -114,7 +114,7 @@ fn main() -> ExitCode {
         };
         return match validate_json(&text) {
             Ok(count) => {
-                println!("{path}: valid baton-perf/3 report with {count} measurement(s)");
+                println!("{path}: valid baton-perf/4 report with {count} measurement(s)");
                 ExitCode::SUCCESS
             }
             Err(problem) => {

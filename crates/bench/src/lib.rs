@@ -48,6 +48,16 @@ pub fn baton_overlay(n: usize, seed: u64, avg_load: usize) -> BatonSystem {
     BatonSystem::build(config, seed, n).expect("overlay build")
 }
 
+/// Bulk-builds a BATON overlay of `n` nodes via the direct constructor —
+/// same config as [`baton_overlay`], no join protocol, zero messages.  Used
+/// by the perf harness's scale rows so construction cost does not swamp the
+/// per-operation cost being measured.
+pub fn baton_overlay_bulk(n: usize, seed: u64, avg_load: usize) -> BatonSystem {
+    let config = BatonConfig::default()
+        .with_load_balance(LoadBalanceConfig::for_average_load(avg_load.max(4)));
+    BatonSystem::bulk_build(config, seed, n).expect("overlay bulk build")
+}
+
 /// Builds a D3-Tree overlay of `n` nodes, for the perf harness's baseline
 /// build/query timings.
 pub fn d3tree_overlay(n: usize, seed: u64) -> D3TreeSystem {
@@ -73,6 +83,13 @@ mod tests {
     #[test]
     fn helpers_build_small_overlays() {
         let overlay = baton_overlay(12, 3, 10);
+        assert_eq!(overlay.node_count(), 12);
+        baton_core::validate(&overlay).unwrap();
+    }
+
+    #[test]
+    fn bulk_helper_builds_a_valid_overlay() {
+        let overlay = baton_overlay_bulk(12, 3, 10);
         assert_eq!(overlay.node_count(), 12);
         baton_core::validate(&overlay).unwrap();
     }

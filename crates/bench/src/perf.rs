@@ -80,6 +80,13 @@ pub struct PerfProfile {
     pub queries: usize,
     /// Profile handed to the `latency_under_churn` scenario.
     pub scenario: Profile,
+    /// Network sizes of the per-op cost-curve rows (`curve_build_*` /
+    /// `curve_churn_*`).  Each size is bulk-built so construction cost does
+    /// not mask the per-operation trend the curve exists to show.
+    pub curve_ns: Vec<usize>,
+    /// Profile template of the cost-curve churn rows; `network_sizes` is
+    /// replaced by each entry of [`curve_ns`](Self::curve_ns) in turn.
+    pub curve_churn: Profile,
     /// Nodes in the large-scale BATON build (`scale_build` / `scale_mem`
     /// rows) — one million at the full profile.
     pub scale_n: usize,
@@ -110,6 +117,15 @@ impl PerfProfile {
                 churn_ops: 100,
                 seed: 2005,
             },
+            curve_ns: vec![1_000, 10_000, 100_000],
+            curve_churn: Profile {
+                network_sizes: vec![],
+                repetitions: 1,
+                data_scale: 0.02,
+                query_scale: 1.0,
+                churn_ops: 100,
+                seed: 2005,
+            },
             scale_n: 1_000_000,
             scale_churn: Profile {
                 network_sizes: vec![100_000],
@@ -131,6 +147,15 @@ impl PerfProfile {
             data_scale: 0.01,
             queries: 50,
             scenario: Profile::smoke(),
+            curve_ns: vec![50, 100, 200],
+            curve_churn: Profile {
+                network_sizes: vec![],
+                repetitions: 1,
+                data_scale: 0.02,
+                query_scale: 0.2,
+                churn_ops: 20,
+                seed: 2005,
+            },
             scale_n: 10_000,
             scale_churn: Profile {
                 network_sizes: vec![400],
@@ -152,6 +177,26 @@ impl PerfProfile {
             _ => None,
         }
     }
+}
+
+/// Formats a network size as a row-id suffix: `"100k"` for round thousands,
+/// the raw number otherwise (smoke-profile sizes).
+fn n_suffix(n: usize) -> String {
+    if n >= 1000 && n.is_multiple_of(1000) {
+        format!("{}k", n / 1000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Sums the per-class op counts of a finished scenario run.
+fn scenario_ops(result: &scenario::ScenarioResult) -> u64 {
+    result
+        .series
+        .iter()
+        .flat_map(|s| s.classes.iter())
+        .map(|c| c.count)
+        .sum()
 }
 
 /// Appends a `mem{id_suffix}` row: the overlay's estimated resident
@@ -336,31 +381,72 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
             || {
                 let result =
                     scenario::run_scenario(id, &scenario_profile).expect("registered scenario");
-                let ops: u64 = result
-                    .series
-                    .iter()
-                    .flat_map(|s| s.classes.iter())
-                    .map(|c| c.count)
-                    .sum();
-                (ops, ())
+                (scenario_ops(&result), ())
             },
         );
         measurements.push(scenario_m);
     }
 
-    // Million-peer scale rows (BATON only — the overlay under study).  The
-    // build/mem pair shows a million peers fit in RAM with the compact node
-    // layouts; the churn pair runs the same scenario profile single- and
-    // multi-threaded so the sharded engine's scaling is tracked in the
-    // report.  Results are byte-identical across thread counts (aggregation
-    // is in canonical unit order), so only the wall clock may differ.
+    // BATON-only scale group: the per-op cost curve, the million-peer
+    // build/mem pair, and the threaded churn comparison.  The process-wide
+    // selection is narrowed to BATON for the scenario-driven rows so they
+    // run a single series.
     if selected.contains(&"BATON") {
+        baton_sim::set_overlay_filter(&["BATON".to_owned()]).expect("BATON is registered");
+
+        // Per-op cost-curve rows: at each N the overlay is bulk-built (so
+        // construction cost does not mask the trend) and the churn scenario
+        // runs once on one thread.  Near-flat ops/s across the curve is the
+        // scaling claim these rows track.
+        for &n in &profile.curve_ns {
+            let suffix = n_suffix(n);
+            let (curve_build_m, overlay) = Measurement::timed(
+                &format!("curve_build_{suffix}"),
+                format!("BATON bulk build (direct constructor), {n} nodes"),
+                "nodes",
+                || (n as u64, crate::baton_overlay_bulk(n, seed, 1000)),
+            );
+            measurements.push(curve_build_m);
+            drop(overlay);
+
+            let mut churn_profile = profile.curve_churn.clone();
+            churn_profile.network_sizes = vec![n];
+            let (curve_churn_m, _) = Measurement::timed(
+                &format!("curve_churn_{suffix}"),
+                format!(
+                    "latency_under_churn scenario, N = {n}, BATON only, bulk-built, \
+                     1 repetition on 1 thread"
+                ),
+                "ops",
+                || {
+                    baton_net::with_threads(1, || {
+                        let result = scenario::run_scenario_with_build(
+                            "latency_under_churn",
+                            &churn_profile,
+                            Some(scenario::BuildKind::Bulk),
+                        )
+                        .expect("registered scenario");
+                        (scenario_ops(&result), ())
+                    })
+                },
+            );
+            measurements.push(curve_churn_m);
+        }
+
+        // Million-peer scale rows.  The build/mem pair shows a million peers
+        // fit in RAM with the compact node layouts (built through the bulk
+        // fast path — the join-by-join cost lives in the `build` row and the
+        // Criterion fig8a bench); the churn pair runs the same scenario
+        // profile single- and multi-threaded so the sharded engine's scaling
+        // is tracked in the report.  Results are byte-identical across
+        // thread counts (aggregation is in canonical unit order), so only
+        // the wall clock may differ.
         let n = profile.scale_n;
         let (scale_build_m, overlay) = Measurement::timed(
             "scale_build",
-            format!("BATON overlay build, {n} nodes (scale row)"),
-            "joins",
-            || (n as u64, crate::baton_overlay(n, seed, 1000)),
+            format!("BATON bulk build (direct constructor), {n} nodes (scale row)"),
+            "nodes",
+            || (n as u64, crate::baton_overlay_bulk(n, seed, 1000)),
         );
         measurements.push(scale_build_m);
         push_mem_row(&mut measurements, &overlay, "BATON", "_scale");
@@ -368,38 +454,39 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
 
         let churn_n = *profile.scale_churn.network_sizes.last().unwrap_or(&0);
         let reps = profile.scale_churn.repetitions;
-        let prior_threads = baton_net::threads();
-        baton_sim::set_overlay_filter(&["BATON".to_owned()]).expect("BATON is registered");
-        let thread_counts: &[usize] = if profile.scale_threads > 1 {
-            &[1, profile.scale_threads]
-        } else {
-            &[1]
-        };
-        for &threads in thread_counts {
-            baton_net::set_threads(threads);
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // On a single-hardware-thread host the multi-thread row would time
+        // the same serial schedule twice, so only the t1 row is recorded;
+        // the detail string carries the host parallelism either way so a
+        // report reader can tell why.
+        let mut thread_counts = vec![1];
+        if profile.scale_threads > 1 && cores > 1 {
+            thread_counts.push(profile.scale_threads);
+        }
+        for &threads in &thread_counts {
             let (churn_m, _) = Measurement::timed(
                 &format!("scale_churn_t{threads}"),
                 format!(
-                    "latency_under_churn scenario, N = {churn_n}, BATON only, \
-                     {reps} repetitions across {threads} thread(s)"
+                    "latency_under_churn scenario, N = {churn_n}, BATON only, bulk-built, \
+                     {reps} repetitions across {threads} thread(s), host parallelism {cores}"
                 ),
                 "ops",
                 || {
-                    let result =
-                        scenario::run_scenario("latency_under_churn", &profile.scale_churn)
-                            .expect("registered scenario");
-                    let ops: u64 = result
-                        .series
-                        .iter()
-                        .flat_map(|s| s.classes.iter())
-                        .map(|c| c.count)
-                        .sum();
-                    (ops, ())
+                    baton_net::with_threads(threads, || {
+                        let result = scenario::run_scenario_with_build(
+                            "latency_under_churn",
+                            &profile.scale_churn,
+                            Some(scenario::BuildKind::Bulk),
+                        )
+                        .expect("registered scenario");
+                        (scenario_ops(&result), ())
+                    })
                 },
             );
             measurements.push(churn_m);
         }
-        baton_net::set_threads(prior_threads);
         // Restore the caller's overlay selection (the full list is
         // equivalent to no filter).
         let restore: Vec<String> = selected.iter().map(|s| (*s).to_owned()).collect();
@@ -411,22 +498,30 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
 
 /// Renders a perf report as the `BENCH_perf.json` document.
 ///
-/// Schema (`baton-perf/3` — version 3 added the `mem_*` bytes-per-peer rows
-/// and the `scale_*` million-peer rows):
+/// Schema (`baton-perf/4` — version 4 added the `curve_*` per-op cost-curve
+/// rows, switched the `scale_build` row to the bulk constructor, and added
+/// the optional `"profiler"` section emitted when the harness is compiled
+/// with the `profiler` feature):
 ///
 /// ```json
 /// {
-///   "schema": "baton-perf/3",
+///   "schema": "baton-perf/4",
 ///   "profile": "full",
 ///   "measurements": [
 ///     {"id": "build", "detail": "…", "work_items": 10000,
 ///      "unit": "joins", "wall_ms": 1234.5, "per_second": 8100.2}
+///   ],
+///   "profiler": [
+///     {"name": "openloop.join", "count": 5000, "total_ns": 123456}
 ///   ]
 /// }
 /// ```
+///
+/// The `profiler` key is absent — not empty — in default builds, so the
+/// document stays byte-identical with the feature off.
 pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"baton-perf/3\",");
+    let _ = writeln!(out, "  \"schema\": \"baton-perf/4\",");
     let _ = writeln!(out, "  \"profile\": {},", json_string(profile.name));
     out.push_str("  \"measurements\": [");
     for (i, m) in measurements.iter().enumerate() {
@@ -445,13 +540,33 @@ pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> Strin
     if !measurements.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str("]\n}\n");
+    out.push(']');
+    if baton_net::profiler::enabled() {
+        let scopes = baton_net::profiler::snapshot();
+        if !scopes.is_empty() {
+            out.push_str(",\n  \"profiler\": [");
+            for (i, (name, count, total_ns)) in scopes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    {");
+                let _ = write!(out, "\"name\": {}, ", json_string(name));
+                let _ = write!(out, "\"count\": {count}, ");
+                let _ = write!(out, "\"total_ns\": {total_ns}");
+                out.push('}');
+            }
+            out.push_str("\n  ]");
+        }
+    }
+    out.push_str("\n}\n");
     out
 }
 
-/// Validates that `text` parses as a `baton-perf/3` document: well-formed
-/// JSON (for the subset the renderer emits), the schema marker, and at least
-/// one measurement carrying every required field with finite numbers.
+/// Validates that `text` parses as a `baton-perf/4` document: well-formed
+/// JSON (for the subset the renderer emits), the schema marker, at least
+/// one measurement carrying every required field with finite numbers, and —
+/// when the optional `"profiler"` section is present — well-formed scope
+/// rows.
 ///
 /// Returns the number of measurements, or a description of the first
 /// problem.  Used by the `perf --check` mode so CI can gate on the artifact
@@ -463,7 +578,7 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "baton-perf/3" {
+    if schema != "baton-perf/4" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     root.get("profile")
@@ -492,6 +607,30 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
                 .ok_or_else(|| format!("measurement {i} missing number {key:?}"))?;
             if !number.is_finite() || number < 0.0 {
                 return Err(format!("measurement {i} has bad {key}: {number}"));
+            }
+        }
+    }
+    if let Some(scopes) = root.get("profiler") {
+        let scopes = scopes.as_array().ok_or("\"profiler\" is not an array")?;
+        if scopes.is_empty() {
+            return Err("empty \"profiler\" section (omit the key instead)".into());
+        }
+        for (i, scope) in scopes.iter().enumerate() {
+            let scope = scope
+                .as_object()
+                .ok_or_else(|| format!("profiler row {i} is not an object"))?;
+            scope
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("profiler row {i} missing string \"name\""))?;
+            for key in ["count", "total_ns"] {
+                let number = scope
+                    .get(key)
+                    .and_then(Json::as_number)
+                    .ok_or_else(|| format!("profiler row {i} missing number {key:?}"))?;
+                if !number.is_finite() || number < 0.0 {
+                    return Err(format!("profiler row {i} has bad {key}: {number}"));
+                }
             }
         }
     }
@@ -751,45 +890,63 @@ mod tests {
     fn smoke_profile_runs_filters_and_renders_valid_json() {
         let profile = PerfProfile::smoke();
         let measurements = run(&profile);
-        assert_eq!(measurements.len(), 16);
         let ids: Vec<&str> = measurements.iter().map(|m| m.id.as_str()).collect();
-        assert_eq!(
-            ids,
-            vec![
-                "build",
-                "exact_fig8d",
-                "range_fig8e",
-                "mem",
-                "build_d3tree",
-                "exact_fig8d_d3tree",
-                "range_fig8e_d3tree",
-                "mem_d3tree",
-                "mem_chord",
-                "mem_mtree",
-                "latency_under_churn",
-                "regional_failure",
-                "scale_build",
-                "mem_scale",
-                "scale_churn_t1",
-                "scale_churn_t2"
-            ]
-        );
+        // The multi-threaded churn row only exists on hosts with more than
+        // one hardware thread (on a single core it would time the same
+        // serial schedule twice).
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let mut expected = vec![
+            "build",
+            "exact_fig8d",
+            "range_fig8e",
+            "mem",
+            "build_d3tree",
+            "exact_fig8d_d3tree",
+            "range_fig8e_d3tree",
+            "mem_d3tree",
+            "mem_chord",
+            "mem_mtree",
+            "latency_under_churn",
+            "regional_failure",
+            "curve_build_50",
+            "curve_churn_50",
+            "curve_build_100",
+            "curve_churn_100",
+            "curve_build_200",
+            "curve_churn_200",
+            "scale_build",
+            "mem_scale",
+            "scale_churn_t1",
+        ];
+        if cores > 1 {
+            expected.push("scale_churn_t2");
+        }
+        assert_eq!(ids, expected);
         for m in &measurements {
             assert!(m.work_items > 0, "{} did no work", m.id);
             assert!(m.wall_ms.is_finite() && m.wall_ms >= 0.0);
         }
         let rendered = render_json(&profile, &measurements);
-        assert_eq!(validate_json(&rendered), Ok(16));
+        assert_eq!(validate_json(&rendered), Ok(expected.len()));
+
+        // The threaded churn rows record the host's parallelism so a report
+        // reader can tell why the t2 row is or is not present.
+        let t1 = measurements
+            .iter()
+            .find(|m| m.id == "scale_churn_t1")
+            .expect("t1 row");
+        assert!(t1.detail.contains(&format!("host parallelism {cores}")));
 
         // The thread-count comparison times the same deterministic work, so
-        // both rows must report the same op count.
-        let t1 = measurements.iter().find(|m| m.id == "scale_churn_t1");
-        let t2 = measurements.iter().find(|m| m.id == "scale_churn_t2");
-        assert_eq!(
-            t1.map(|m| m.work_items),
-            t2.map(|m| m.work_items),
-            "thread count changed the scenario's op count"
-        );
+        // when both rows exist they must report the same op count.
+        if let Some(t2) = measurements.iter().find(|m| m.id == "scale_churn_t2") {
+            assert_eq!(
+                t1.work_items, t2.work_items,
+                "thread count changed the scenario's op count"
+            );
+        }
 
         // Narrowed to one overlay, the timing groups, the scenario and the
         // scale rows follow the same selection — the scenario detail names
@@ -818,8 +975,8 @@ mod tests {
         assert!(validate_json("").is_err());
         assert!(validate_json("{}").is_err());
         assert!(validate_json("{\"schema\": \"other/1\"}").is_err());
-        // The previous schema version is rejected — consumers must not mix
-        // pre-`mem_*`/`scale_*` reports into the trajectory.
+        // Previous schema versions are rejected — consumers must not mix
+        // pre-`curve_*` (or older) reports into the trajectory.
         assert!(validate_json(
             "{\"schema\": \"baton-perf/2\", \"profile\": \"x\", \"measurements\": []}"
         )
@@ -828,11 +985,40 @@ mod tests {
             "{\"schema\": \"baton-perf/3\", \"profile\": \"x\", \"measurements\": []}"
         )
         .is_err());
+        assert!(validate_json(
+            "{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \"measurements\": []}"
+        )
+        .is_err());
         // Bad number in an otherwise complete measurement.
-        let bad = "{\"schema\": \"baton-perf/3\", \"profile\": \"x\", \"measurements\": [\
+        let bad = "{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \"measurements\": [\
                    {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                    \"work_items\": 1, \"wall_ms\": -5.0, \"per_second\": 0.0}]}";
         assert!(validate_json(bad).unwrap_err().contains("wall_ms"));
+    }
+
+    #[test]
+    fn validator_checks_the_profiler_section() {
+        let one_measurement = "{\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
+                               \"work_items\": 1, \"wall_ms\": 5.0, \"per_second\": 0.2}";
+        let good = format!(
+            "{{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \
+             \"measurements\": [{one_measurement}], \"profiler\": [\
+             {{\"name\": \"openloop.join\", \"count\": 3, \"total_ns\": 900}}]}}"
+        );
+        assert_eq!(validate_json(&good), Ok(1));
+        // An empty section must be omitted, not emitted.
+        let empty = format!(
+            "{{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \
+             \"measurements\": [{one_measurement}], \"profiler\": []}}"
+        );
+        assert!(validate_json(&empty).unwrap_err().contains("profiler"));
+        // A row missing its counters is rejected.
+        let bad = format!(
+            "{{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \
+             \"measurements\": [{one_measurement}], \"profiler\": [\
+             {{\"name\": \"openloop.join\", \"count\": 3}}]}}"
+        );
+        assert!(validate_json(&bad).unwrap_err().contains("total_ns"));
     }
 
     #[test]
@@ -845,6 +1031,124 @@ mod tests {
         assert!(super::json::parse("[1, 2,]").is_err());
         assert!(super::json::parse("{\"a\" 1}").is_err());
         assert!(super::json::parse("[1] trailing").is_err());
+    }
+
+    /// With the `profiler` feature on, a scenario run populates the scope
+    /// table, counters only grow, and the rendered report carries a
+    /// `"profiler"` section the validator accepts.
+    #[cfg(feature = "profiler")]
+    #[test]
+    fn profiler_feature_records_scopes_and_renders_them() {
+        assert!(baton_net::profiler::enabled());
+        baton_net::profiler::reset();
+        let scenario_profile = Profile::smoke();
+        scenario::run_scenario_with_build(
+            "latency_under_churn",
+            &scenario_profile,
+            Some(scenario::BuildKind::Bulk),
+        )
+        .expect("registered scenario");
+        let first = baton_net::profiler::snapshot();
+        assert!(!first.is_empty(), "a scenario run must record scopes");
+        assert!(first.iter().any(|(name, _, _)| *name == "scenario.build"));
+        scenario::run_scenario_with_build(
+            "latency_under_churn",
+            &scenario_profile,
+            Some(scenario::BuildKind::Bulk),
+        )
+        .expect("registered scenario");
+        let second = baton_net::profiler::snapshot();
+        for (name, count, total_ns) in &first {
+            let later = second
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .unwrap_or_else(|| panic!("scope {name} disappeared"));
+            assert!(later.1 >= *count, "count of {name} went backwards");
+            assert!(later.2 >= *total_ns, "total_ns of {name} went backwards");
+        }
+
+        let profile = PerfProfile::smoke();
+        let rendered = render_json(
+            &profile,
+            &[Measurement {
+                id: "a".into(),
+                detail: "d".into(),
+                work_items: 1,
+                unit: "u".into(),
+                wall_ms: 1.0,
+                per_second: 1.0,
+            }],
+        );
+        assert!(rendered.contains("\"profiler\": ["));
+        assert_eq!(validate_json(&rendered), Ok(1));
+    }
+
+    /// Without the feature, the scope table stays empty and the report has
+    /// no `"profiler"` key at all — default output is byte-identical.
+    #[cfg(not(feature = "profiler"))]
+    #[test]
+    fn disabled_profiler_leaves_the_report_untouched() {
+        assert!(!baton_net::profiler::enabled());
+        assert!(baton_net::profiler::snapshot().is_empty());
+        let profile = PerfProfile::smoke();
+        let rendered = render_json(
+            &profile,
+            &[Measurement {
+                id: "a".into(),
+                detail: "d".into(),
+                work_items: 1,
+                unit: "u".into(),
+                wall_ms: 1.0,
+                per_second: 1.0,
+            }],
+        );
+        assert!(!rendered.contains("profiler"));
+        assert_eq!(validate_json(&rendered), Ok(1));
+    }
+
+    /// Diagnostic probe, not part of any suite: profiles one bulk-built
+    /// `latency_under_churn` repetition at `PROBE_N` nodes (default 30k)
+    /// and prints the per-scope cost breakdown.  Run it manually with
+    /// `PROBE_N=30000 cargo test -p baton-bench --features profiler \
+    /// --release probe_churn_profile -- --ignored --nocapture`.
+    #[cfg(feature = "profiler")]
+    #[test]
+    #[ignore = "diagnostic probe, run manually"]
+    fn probe_churn_profile() {
+        let n: usize = std::env::var("PROBE_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30_000);
+        let churn_profile = Profile {
+            network_sizes: vec![n],
+            repetitions: 1,
+            data_scale: 0.02,
+            query_scale: 1.0,
+            churn_ops: 100,
+            seed: 2005,
+        };
+        baton_sim::set_overlay_filter(&["BATON".to_owned()]).expect("BATON is registered");
+        baton_net::profiler::reset();
+        let started = Instant::now();
+        let result = scenario::run_scenario_with_build(
+            "latency_under_churn",
+            &churn_profile,
+            Some(scenario::BuildKind::Bulk),
+        )
+        .expect("registered scenario");
+        let wall = started.elapsed().as_secs_f64();
+        baton_sim::clear_overlay_filter();
+        let ops = scenario_ops(&result);
+        eprintln!(
+            "N = {n}: {ops} ops in {wall:.2}s ({:.0} ops/s)",
+            ops as f64 / wall
+        );
+        for (name, count, total_ns) in baton_net::profiler::snapshot() {
+            eprintln!(
+                "  {name:<24} {count:>10} calls {:>12.1} ms",
+                total_ns as f64 / 1e6
+            );
+        }
     }
 
     #[test]
