@@ -93,6 +93,14 @@ impl Overlay for ChordSystem {
         true
     }
 
+    fn replication(&self) -> usize {
+        ChordSystem::replication(self)
+    }
+
+    fn set_replication(&mut self, k: usize) -> OverlayResult<()> {
+        ChordSystem::set_replication(self, k).map_err(op_err)
+    }
+
     fn insert(&mut self, key: u64, value: u64) -> OverlayResult<OpCost> {
         let report = ChordSystem::insert(self, key, value).map_err(op_err)?;
         Ok(OpCost {

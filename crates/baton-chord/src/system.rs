@@ -53,6 +53,8 @@ pub enum ChordError {
     EmptyRing,
     /// The last node cannot leave.
     LastNode,
+    /// The requested replication degree is outside the supported range.
+    ReplicationUnsupported(usize),
 }
 
 impl std::fmt::Display for ChordError {
@@ -61,6 +63,11 @@ impl std::fmt::Display for ChordError {
             ChordError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
             ChordError::EmptyRing => write!(f, "the ring is empty"),
             ChordError::LastNode => write!(f, "the last node cannot leave"),
+            ChordError::ReplicationUnsupported(k) => write!(
+                f,
+                "replication degree {k} outside 1..={}",
+                ChordSystem::MAX_REPLICATION
+            ),
         }
     }
 }
@@ -109,6 +116,10 @@ pub struct ChordSystem {
     /// the set's key footprint at million-node scale.
     used_ids: HashSet<u32>,
     rng: SimRng,
+    /// Replication degree k: each key lives at its successor owner plus the
+    /// k−1 following ring successors.  1 = no replication (the default and
+    /// the byte-identical legacy configuration).
+    replication: usize,
 }
 
 impl ChordSystem {
@@ -120,6 +131,7 @@ impl ChordSystem {
             peer_list: Vec::new(),
             used_ids: HashSet::new(),
             rng: SimRng::seeded(seed),
+            replication: 1,
         }
     }
 
@@ -627,6 +639,56 @@ impl ChordSystem {
         self.leave(peer)
     }
 
+    /// The replication degree k in effect (1 = no replication).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Highest replication degree the successor-list placement supports.
+    pub const MAX_REPLICATION: usize = 8;
+
+    /// Sets the replication degree: each key's k−1 extra copies live on the
+    /// owner's ring successors.
+    pub fn set_replication(&mut self, k: usize) -> Result<()> {
+        if k == 0 || k > Self::MAX_REPLICATION {
+            return Err(ChordError::ReplicationUnsupported(k));
+        }
+        self.replication = k;
+        Ok(())
+    }
+
+    /// The k−1 ring successors holding the replica copies of `peer`'s keys.
+    /// Empty at k = 1.
+    pub fn replica_targets(&self, peer: PeerId) -> Vec<PeerId> {
+        if self.replication <= 1 {
+            return Vec::new();
+        }
+        let mut targets = Vec::new();
+        let mut current = peer;
+        for _ in 0..self.replication - 1 {
+            let Some(node) = self.nodes.get(&current) else {
+                break;
+            };
+            let successor = node.successor.0;
+            if successor == peer || targets.contains(&successor) {
+                break;
+            }
+            targets.push(successor);
+            current = successor;
+        }
+        targets
+    }
+
+    /// Charges the replica-copy messages a write at `owner` costs at k > 1.
+    fn charge_replica_copies(&mut self, op: OpScope, owner: PeerId) -> u64 {
+        let mut copies = 0u64;
+        for target in self.replica_targets(owner) {
+            self.net.count_message(op, "chord.replica", owner, target);
+            copies += 1;
+        }
+        copies
+    }
+
     /// Inserts `value` under `key` (hashed onto the ring).
     pub fn insert(&mut self, key: u64, value: u64) -> Result<ChordOpReport> {
         let issuer = self.random_peer().ok_or(ChordError::EmptyRing)?;
@@ -640,6 +702,7 @@ impl ChordSystem {
             .entry(id.value())
             .or_default()
             .push(value);
+        messages += self.charge_replica_copies(op, owner);
         self.net.finish_op(op);
         Ok(ChordOpReport {
             messages,
@@ -669,6 +732,9 @@ impl ChordSystem {
                 None => false,
             }
         };
+        if removed {
+            messages += self.charge_replica_copies(op, owner);
+        }
         self.net.finish_op(op);
         Ok(ChordOpReport {
             messages,

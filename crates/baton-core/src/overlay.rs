@@ -5,7 +5,7 @@
 
 use baton_net::{
     ChurnCost, Histogram, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities,
-    OverlayError, OverlayResult, PeerId, SimTime,
+    OverlayError, OverlayResult, PeerId, RepairPolicy, SimTime,
 };
 
 use crate::error::BatonError;
@@ -14,6 +14,20 @@ use crate::system::BatonSystem;
 
 fn op_err(error: BatonError) -> OverlayError {
     OverlayError::Op(error.to_string())
+}
+
+/// Error mapping for the query/update paths: an operation that bounced off
+/// an unrepaired failure (a dead peer in the way, or a routing walk whose
+/// budget drowned in dead candidates) is an *availability* miss — the
+/// workload layer counts it instead of aborting the run.  Every other error
+/// stays a hard [`OverlayError::Op`].
+fn avail_err(error: BatonError) -> OverlayError {
+    match error {
+        BatonError::PeerNotAlive(_) | BatonError::RoutingLoop { .. } => {
+            OverlayError::Unavailable(error.to_string())
+        }
+        other => OverlayError::Op(other.to_string()),
+    }
 }
 
 impl Overlay for BatonSystem {
@@ -58,7 +72,7 @@ impl Overlay for BatonSystem {
     }
 
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {
-        let report = BatonSystem::join_random(self).map_err(op_err)?;
+        let report = BatonSystem::join_random(self).map_err(avail_err)?;
         Ok(ChurnCost {
             locate_messages: report.locate_messages,
             update_messages: report.update_messages,
@@ -71,7 +85,7 @@ impl Overlay for BatonSystem {
     }
 
     fn leave_random(&mut self) -> OverlayResult<ChurnCost> {
-        let report = BatonSystem::leave_random(self).map_err(op_err)?;
+        let report = BatonSystem::leave_random(self).map_err(avail_err)?;
         Ok(ChurnCost {
             locate_messages: report.locate_messages,
             update_messages: report.update_messages,
@@ -80,7 +94,7 @@ impl Overlay for BatonSystem {
     }
 
     fn leave_peer(&mut self, peer: PeerId) -> OverlayResult<ChurnCost> {
-        let report = BatonSystem::leave(self, peer).map_err(op_err)?;
+        let report = BatonSystem::leave(self, peer).map_err(avail_err)?;
         Ok(ChurnCost {
             locate_messages: report.locate_messages,
             update_messages: report.update_messages,
@@ -104,13 +118,55 @@ impl Overlay for BatonSystem {
         })
     }
 
+    fn replication(&self) -> usize {
+        BatonSystem::replication(self)
+    }
+
+    fn set_replication(&mut self, k: usize) -> OverlayResult<()> {
+        BatonSystem::set_replication(self, k).map_err(op_err)
+    }
+
+    fn peer_alive(&self, peer: PeerId) -> bool {
+        self.node(peer).is_some() && self.net.is_alive(peer)
+    }
+
+    fn fail_peer_deferred(
+        &mut self,
+        peer: PeerId,
+        policy: &RepairPolicy,
+    ) -> OverlayResult<SimTime> {
+        self.fail_deferred(peer, policy).map_err(op_err)
+    }
+
+    fn repair_fast_eligible(&self, peer: PeerId) -> bool {
+        BatonSystem::replication(self) > 1
+            && self.node(peer).is_some()
+            && !self.net.is_alive(peer)
+            && self.replica_survives(peer)
+    }
+
+    fn repair_peer(&mut self, peer: PeerId) -> OverlayResult<ChurnCost> {
+        let report = match self.recover_failed(peer) {
+            Ok(report) => report,
+            // A victim chosen as replacement for an earlier repair was
+            // already absorbed into the tree: nothing left to repair.
+            Err(BatonError::UnknownPeer(_)) => return Ok(ChurnCost::default()),
+            Err(e) => return Err(avail_err(e)),
+        };
+        Ok(ChurnCost {
+            locate_messages: report.departure_messages,
+            update_messages: report.regeneration_messages,
+            lost_items: report.lost_items,
+        })
+    }
+
     fn load_direct(&mut self, data: &[(u64, u64)]) -> bool {
         BatonSystem::load_direct(self, data);
         true
     }
 
     fn insert(&mut self, key: u64, value: u64) -> OverlayResult<OpCost> {
-        let report = BatonSystem::insert(self, key, value).map_err(op_err)?;
+        let report = BatonSystem::insert(self, key, value).map_err(avail_err)?;
         Ok(OpCost {
             // Routing plus any leftmost/rightmost domain expansion; load
             // balancing is reported separately, per the OpCost contract.
@@ -122,7 +178,7 @@ impl Overlay for BatonSystem {
     }
 
     fn delete(&mut self, key: u64) -> OverlayResult<OpCost> {
-        let report = BatonSystem::delete(self, key).map_err(op_err)?;
+        let report = BatonSystem::delete(self, key).map_err(avail_err)?;
         Ok(OpCost {
             messages: report.messages,
             matches: usize::from(report.removed),
@@ -134,7 +190,7 @@ impl Overlay for BatonSystem {
     fn search_exact(&mut self, key: u64) -> OverlayResult<OpCost> {
         // Count-only variant: the trait reports costs, so the matched
         // values are never materialised on this hot path.
-        let report = BatonSystem::search_exact_count(self, key).map_err(op_err)?;
+        let report = BatonSystem::search_exact_count(self, key).map_err(avail_err)?;
         Ok(OpCost {
             messages: report.messages,
             matches: report.matches,
@@ -145,7 +201,7 @@ impl Overlay for BatonSystem {
 
     fn search_range(&mut self, low: u64, high: u64) -> OverlayResult<OpCost> {
         let report =
-            BatonSystem::search_range_count(self, KeyRange::new(low, high)).map_err(op_err)?;
+            BatonSystem::search_range_count(self, KeyRange::new(low, high)).map_err(avail_err)?;
         Ok(OpCost {
             messages: report.messages,
             matches: report.matches,

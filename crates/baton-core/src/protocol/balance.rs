@@ -56,6 +56,13 @@ impl BatonSystem {
         if !self.config.load_balance.enabled {
             return Ok(None);
         }
+        // While failures await repair, the restructuring shift chains could
+        // route through dead nodes and corrupt mid-plan; postpone balancing
+        // until the overlay is whole again.  Legacy runs repair immediately,
+        // so the gate never fires there.
+        if !self.dead_peers.is_empty() {
+            return Ok(None);
+        }
         let threshold = self.config.load_balance.overload_threshold;
         let load = self.node_ref(owner)?.load();
         if load <= threshold {

@@ -33,11 +33,16 @@ impl BatonSystem {
         let op = self.net.begin_op("insert");
         let walk = self.locate_owner(op, issuer, key, "insert")?;
         let mut expansion_messages = 0u64;
-        let owner_range = self.node_ref(walk.owner)?.range;
-        if !owner_range.contains(key) {
+        // `walk.data` is the node whose slice takes the key: the owner
+        // itself, or — at k > 1 while the owner is dead — the dead node
+        // whose retained slice a replica holder serves.  Range-checking the
+        // *data* node is what keeps a failover write from being mistaken
+        // for an out-of-domain expansion.
+        let target_range = self.node_ref(walk.data)?.range;
+        if !target_range.contains(key) {
             // Leftmost / rightmost expansion.
             {
-                let node = self.node_mut(walk.owner)?;
+                let node = self.node_mut(walk.data)?;
                 if key < node.range.low() {
                     node.range = node.range.extend_low(key);
                 } else {
@@ -49,15 +54,22 @@ impl BatonSystem {
             } else if key >= self.domain.high() {
                 self.domain = self.domain.extend_high(key + 1);
             }
-            expansion_messages = self.broadcast_range_update(op, walk.owner)?;
+            expansion_messages = self.broadcast_range_update(op, walk.data)?;
         }
-        self.node_mut(walk.owner)?.store.insert(key, value);
-        let balance = self.maybe_balance_after_insert(op, walk.owner)?;
+        self.node_mut(walk.data)?.store.insert(key, value);
+        let replication_messages = self.charge_replica_copies(op, walk.owner, walk.data);
+        let balance = if walk.data == walk.owner {
+            self.maybe_balance_after_insert(op, walk.data)?
+        } else {
+            // Failover write into a dead node's slice: balancing waits for
+            // the repair.
+            None
+        };
         self.net.finish_op(op);
         Ok(InsertReport {
             key,
-            owner: walk.owner,
-            messages: walk.messages,
+            owner: walk.data,
+            messages: walk.messages + replication_messages,
             expansion_messages,
             balance,
         })
@@ -77,13 +89,18 @@ impl BatonSystem {
         self.check_key(key)?;
         let op = self.net.begin_op("delete");
         let walk = self.locate_owner(op, issuer, key, "delete")?;
-        let removed = self.node_mut(walk.owner)?.store.remove_one(key).is_some();
+        let removed = self.node_mut(walk.data)?.store.remove_one(key).is_some();
+        let replication_messages = if removed {
+            self.charge_replica_copies(op, walk.owner, walk.data)
+        } else {
+            0
+        };
         self.net.finish_op(op);
         Ok(DeleteReport {
             key,
-            owner: walk.owner,
+            owner: walk.data,
             removed,
-            messages: walk.messages,
+            messages: walk.messages + replication_messages,
             balance: None,
         })
     }

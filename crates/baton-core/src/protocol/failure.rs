@@ -13,7 +13,7 @@
 //! parent or by the replacement node so that the overlay keeps covering the
 //! whole domain.
 
-use baton_net::PeerId;
+use baton_net::{PeerId, RepairPolicy, SimTime};
 
 use crate::error::{BatonError, Result};
 use crate::messages::BatonMessage;
@@ -32,7 +32,33 @@ impl BatonSystem {
     pub fn fail_silently(&mut self, peer: PeerId) -> Result<()> {
         self.check_alive(peer)?;
         self.net.fail_peer(peer);
+        self.mark_dead(peer);
         Ok(())
+    }
+
+    /// Fails `peer` abruptly and returns the virtual delay after which its
+    /// repair ([`BatonSystem::recover_failed`]) should run: the policy's
+    /// fast path when a replica of the slice survives, the slow
+    /// detect-and-rebuild path otherwise, plus a detection round-trip drawn
+    /// from the network's latency model.  Until the repair runs, queries
+    /// route around the dead node (§III-D) and, at k > 1, fail over to its
+    /// replica holders.
+    pub fn fail_deferred(&mut self, peer: PeerId, policy: &RepairPolicy) -> Result<SimTime> {
+        self.check_alive(peer)?;
+        let survives = self.replication > 1 && self.replica_survives(peer);
+        // The failure is *detected* by a linked neighbour timing out, so the
+        // repair start jitters by one round-trip on that link.
+        let detector = self
+            .node_ref(peer)?
+            .linked_peers()
+            .into_iter()
+            .next()
+            .unwrap_or(peer);
+        let round_trip =
+            self.net.sample_latency(detector, peer) + self.net.sample_latency(peer, detector);
+        self.net.fail_peer(peer);
+        self.mark_dead(peer);
+        Ok(policy.delay(survives) + round_trip)
     }
 
     /// Runs the §III-C recovery protocol for a peer previously failed with
@@ -67,6 +93,7 @@ impl BatonSystem {
             self.net.fail_peer(peer);
             let node = self.unregister_node(peer).expect("checked above");
             self.vacate(node.position, peer);
+            self.mark_repaired(peer);
             self.net.finish_op(op);
             return Ok(FailureReport {
                 failed: peer,
@@ -85,13 +112,23 @@ impl BatonSystem {
         // over the recovery.
         let (coordinator, reporter, lost_items, is_removable_leaf) = {
             let node = self.node_ref(peer)?;
-            let coordinator = node
-                .parent
-                .map(|l| l.peer)
-                .or_else(|| node.left_child.map(|l| l.peer))
-                .or_else(|| node.right_child.map(|l| l.peer))
-                .or_else(|| node.left_adjacent.map(|l| l.peer))
-                .or_else(|| node.right_adjacent.map(|l| l.peer))
+            // Prefer the first *alive* linked candidate: under deferred
+            // repair a neighbour may itself be dead and cannot coordinate.
+            // With no dead peers (every legacy run) the first candidate —
+            // the parent — is alive, so the order is unchanged.
+            let candidates = [
+                node.parent.map(|l| l.peer),
+                node.left_child.map(|l| l.peer),
+                node.right_child.map(|l| l.peer),
+                node.left_adjacent.map(|l| l.peer),
+                node.right_adjacent.map(|l| l.peer),
+            ];
+            let coordinator = candidates
+                .iter()
+                .flatten()
+                .copied()
+                .find(|p| self.net.is_alive(*p))
+                .or_else(|| candidates.iter().flatten().copied().next())
                 .ok_or_else(|| {
                     BatonError::InvariantViolation(
                         "failed node has no links but the overlay has other nodes".into(),
@@ -135,9 +172,28 @@ impl BatonSystem {
             regeneration_messages += 2;
         }
 
-        // The failed node's data is lost (no replication); clear it before
-        // the departure protocol merges the (now empty) content away.
-        self.node_mut(peer)?.store = Default::default();
+        // At k = 1 the failed node's data is lost (no replication); clear it
+        // before the departure protocol merges the (now empty) content away.
+        // At k > 1 with a surviving replica holder, the slice is streamed
+        // back from the replica (one fetch + one copy message) and the
+        // departure protocol hands the restored content over instead.
+        let replica_source = self
+            .replica_targets(peer)
+            .into_iter()
+            .find(|t| self.net.is_alive(*t))
+            .filter(|_| self.replication > 1);
+        let lost_items = match replica_source {
+            Some(source) => {
+                self.notify(op, "failure.replica_fetch", coordinator, source);
+                self.notify(op, "failure.replica_copy", source, coordinator);
+                regeneration_messages += 2;
+                0
+            }
+            None => {
+                self.node_mut(peer)?.store = Default::default();
+                lost_items
+            }
+        };
 
         // Graceful departure on the failed node's behalf, driven by the
         // coordinator.
@@ -147,12 +203,21 @@ impl BatonSystem {
             None
         } else {
             let (replacement, locate) = self.find_replacement_via(op, peer, coordinator)?;
+            if !self.net.is_alive(replacement) {
+                // The walk landed on a leaf that is itself dead (possible
+                // only while several failures overlap).  Nothing has been
+                // mutated yet: report the collision so the caller can retry
+                // the repair after the replacement's own repair has run.
+                self.net.finish_op(op);
+                return Err(BatonError::PeerNotAlive(replacement));
+            }
             departure_messages += locate;
             departure_messages += self.detach_leaf(op, replacement, replacement)?;
             departure_messages += self.take_over_position(op, peer, replacement, coordinator)?;
             Some(replacement)
         };
 
+        self.mark_repaired(peer);
         self.net.finish_op(op);
         Ok(FailureReport {
             failed: peer,
@@ -177,20 +242,31 @@ impl BatonSystem {
         // differs.  Reuse the existing walk by temporarily charging the
         // initial hop to the coordinator.
         let departing_pos = self.node_ref(departing)?.position;
+        // Every hop below prefers an *alive* candidate over the first one:
+        // a dead node cannot forward the FINDREPLACEMENT request, and
+        // descending into a dead subtree can only land on a dead
+        // replacement — the §III-D detour rule, applied to the departure
+        // walk.  Overlapping failures are the only runs with dead peers in
+        // reach, so with every peer alive the first candidate wins and the
+        // walk is exactly the legacy one.
+        let prefer_alive = |system: &Self, candidates: &[PeerId]| -> Option<PeerId> {
+            candidates
+                .iter()
+                .copied()
+                .find(|p| system.net.is_alive(*p))
+                .or_else(|| candidates.first().copied())
+        };
         let start = {
             let node = self.node_ref(departing)?;
             if node.is_leaf() {
-                let entry = node
-                    .left_table
-                    .first_with_a_child()
-                    .or_else(|| node.right_table.first_with_a_child())
-                    .map(|(_, e)| *e);
-                match entry {
-                    Some(e) => e.left_child.or(e.right_child).ok_or_else(|| {
-                        BatonError::InvariantViolation(
-                            "routing entry claims children but records none".into(),
-                        )
-                    })?,
+                let children: Vec<PeerId> = Side::BOTH
+                    .iter()
+                    .flat_map(|s| node.table(*s).iter())
+                    .flat_map(|(_, e)| [e.left_child, e.right_child])
+                    .flatten()
+                    .collect();
+                match prefer_alive(self, &children) {
+                    Some(peer) => peer,
                     None => {
                         return Err(BatonError::InvariantViolation(
                             "find_replacement_via called on a directly removable leaf".into(),
@@ -198,22 +274,24 @@ impl BatonSystem {
                     }
                 }
             } else {
-                match (&node.left_adjacent, &node.right_adjacent) {
+                let legacy = match (&node.left_adjacent, &node.right_adjacent) {
                     (Some(l), Some(r)) => {
                         if r.position.level() >= l.position.level() {
-                            r.peer
+                            [Some(r.peer), Some(l.peer)]
                         } else {
-                            l.peer
+                            [Some(l.peer), Some(r.peer)]
                         }
                     }
-                    (Some(l), None) => l.peer,
-                    (None, Some(r)) => r.peer,
+                    (Some(l), None) => [Some(l.peer), None],
+                    (None, Some(r)) => [Some(r.peer), None],
                     (None, None) => {
                         return Err(BatonError::InvariantViolation(
                             "non-leaf node without adjacent links".into(),
                         ))
                     }
-                }
+                };
+                let candidates: Vec<PeerId> = legacy.into_iter().flatten().collect();
+                prefer_alive(self, &candidates).expect("at least one adjacent link")
             }
         };
         let mut messages = 1u64;
@@ -233,24 +311,23 @@ impl BatonSystem {
         loop {
             let next = {
                 let node = self.node_ref(current)?;
+                let mut candidates: Vec<PeerId> = Vec::new();
                 if let Some(lc) = &node.left_child {
-                    Some(lc.peer)
-                } else if let Some(rc) = &node.right_child {
-                    Some(rc.peer)
-                } else {
-                    node.left_table
-                        .first_with_a_child()
-                        .or_else(|| node.right_table.first_with_a_child())
-                        .map(|(_, e)| e.left_child.or(e.right_child))
-                        .map(|child| {
-                            child.ok_or_else(|| {
-                                BatonError::InvariantViolation(
-                                    "routing entry claims children but records none".into(),
-                                )
-                            })
-                        })
-                        .transpose()?
+                    candidates.push(lc.peer);
                 }
+                if let Some(rc) = &node.right_child {
+                    candidates.push(rc.peer);
+                }
+                if candidates.is_empty() {
+                    candidates.extend(
+                        Side::BOTH
+                            .iter()
+                            .flat_map(|s| node.table(*s).iter())
+                            .flat_map(|(_, e)| [e.left_child, e.right_child])
+                            .flatten(),
+                    );
+                }
+                prefer_alive(self, &candidates)
             };
             let Some(next) = next else {
                 return Ok((current, messages));

@@ -38,6 +38,9 @@ impl BatonSystem {
         let op = self.net.begin_op("join");
         let (acceptor, locate_messages) = self.locate_join_node(op, joiner, contact)?;
         let (position, range, update_messages) = self.attach_child(op, acceptor, joiner)?;
+        // At k > 1 the range split moved replica boundaries: the new node
+        // seeds its replica targets with its slice (k−1 handoff messages).
+        let handoff_messages = self.charge_replica_handoffs(op, joiner);
         self.net.finish_op(op);
         Ok(JoinReport {
             new_peer: joiner,
@@ -45,7 +48,7 @@ impl BatonSystem {
             position,
             range,
             locate_messages,
-            update_messages,
+            update_messages: update_messages + handoff_messages,
             restructure: None,
         })
     }
@@ -74,7 +77,11 @@ impl BatonSystem {
         let mut current = contact;
         loop {
             let node = self.node_ref(current)?;
-            if node.can_accept_child() {
+            // A dead (unrepaired) node must not accept: `attach_child`
+            // splits the acceptor's store and range *before* its first hop,
+            // so accepting at a dead node would corrupt both.  Legacy runs
+            // never route past dead nodes, so the extra check is free.
+            if node.can_accept_child() && self.net.is_alive(current) {
                 return Ok((current, messages));
             }
             let next = if !node.tables_full() {

@@ -32,7 +32,11 @@ impl BatonSystem {
         let op = self.net.begin_op("leave");
         let node = self.node_ref(peer)?;
         let report = if node.can_leave_without_replacement() {
-            let update_messages = self.detach_leaf(op, peer, peer)?;
+            // At k > 1 the departing slice moves replica boundaries for the
+            // neighbours holding its copies; charge the handoff while the
+            // links still exist.
+            let mut update_messages = self.charge_replica_handoffs(op, peer);
+            update_messages += self.detach_leaf(op, peer, peer)?;
             LeaveReport {
                 departed: peer,
                 replacement: None,
@@ -42,10 +46,20 @@ impl BatonSystem {
             }
         } else {
             let (replacement, locate_messages) = self.find_replacement(op, peer)?;
+            if !self.net.is_alive(replacement) {
+                // Possible only while unrepaired failures linger: the
+                // replacement walk landed on a dead leaf.  `detach_leaf`
+                // takes the replacement's store before hopping *from* it,
+                // so bail out cleanly before any mutation; the caller
+                // retries once the dead leaf's repair has run.
+                self.net.finish_op(op);
+                return Err(BatonError::PeerNotAlive(replacement));
+            }
             // The replacement leaf first departs from its own position …
             let mut update_messages = self.detach_leaf(op, replacement, replacement)?;
             // … and then takes over the departing node's position.
             update_messages += self.take_over_position(op, peer, replacement, peer)?;
+            update_messages += self.charge_replica_handoffs(op, replacement);
             LeaveReport {
                 departed: peer,
                 replacement: Some(replacement),

@@ -23,6 +23,11 @@ pub(crate) struct OwnerWalk {
     /// The node whose range contains the key (or the boundary node when the
     /// key lies outside the current domain).
     pub owner: PeerId,
+    /// The node whose *store* answers for the key.  Equal to `owner` except
+    /// at k > 1 when the true owner is dead: the walk then terminates at an
+    /// alive replica holder (`owner`) serving the dead node's retained
+    /// slice, and `data` names that dead node.
+    pub data: PeerId,
     /// Messages used by the walk.
     pub messages: u64,
     /// Overlay hops taken.
@@ -124,7 +129,7 @@ impl BatonSystem {
     /// Exact-match query issued at `issuer` (paper §IV-A).
     pub fn search_exact_from(&mut self, issuer: PeerId, key: Key) -> Result<SearchReport> {
         let walk = self.search_exact_walk(issuer, key)?;
-        let matches = self.node_ref(walk.owner)?.store.get(key).to_vec();
+        let matches = self.node_ref(walk.data)?.store.get(key).to_vec();
         Ok(SearchReport {
             key,
             owner: walk.owner,
@@ -140,7 +145,7 @@ impl BatonSystem {
     pub fn search_exact_count(&mut self, key: Key) -> Result<SearchCostReport> {
         let issuer = self.random_peer().ok_or(BatonError::EmptyNetwork)?;
         let walk = self.search_exact_walk(issuer, key)?;
-        let matches = self.node_ref(walk.owner)?.store.get(key).len();
+        let matches = self.node_ref(walk.data)?.store.get(key).len();
         Ok(SearchCostReport {
             matches,
             messages: walk.messages,
@@ -246,7 +251,13 @@ impl BatonSystem {
         let walk = self.locate_owner(op, issuer, clamped.low(), "search_range")?;
         let mut messages = walk.messages;
         let mut nodes_visited = 0usize;
-        let mut current = walk.owner;
+        // At k > 1 the walk may have terminated at a replica holder for a
+        // dead owner; the sweep then starts inside the dead node's retained
+        // slice, served on its behalf.  `from` tracks the last *alive* node
+        // so every hop has a live sender.
+        let mut current = walk.data;
+        let mut from = walk.owner;
+        let mut dead_run = usize::from(walk.data != walk.owner);
         let limit = self.walk_limit() as usize + self.node_count();
         loop {
             let (node_range, next) = {
@@ -261,7 +272,7 @@ impl BatonSystem {
             let Some(next) = next else { break };
             let delivered = self.hop(
                 op,
-                current,
+                from,
                 next,
                 walk.hops + nodes_visited as u32,
                 BatonMessage::SearchRange {
@@ -270,10 +281,23 @@ impl BatonSystem {
                 },
             )?;
             messages += 1;
-            if !delivered {
-                // The adjacent node is unreachable (an unrecovered failure):
-                // return the partial answer gathered so far.
+            if delivered {
+                dead_run = 0;
+                from = next;
+            } else if self.replication <= 1 {
+                // The adjacent node is unreachable (an unrecovered failure)
+                // and nothing replicates its slice: return the partial
+                // answer gathered so far.
                 break;
+            } else {
+                dead_run += 1;
+                if dead_run >= self.replication {
+                    // Every holder of this slice died inside one repair
+                    // window: the range cannot be answered until repair.
+                    return Err(BatonError::PeerNotAlive(next));
+                }
+                // A surviving neighbour replicates the dead node's slice:
+                // sweep through the retained content on its behalf.
             }
             current = next;
             if nodes_visited > limit {
@@ -295,6 +319,38 @@ impl BatonSystem {
         Ok(node.range.contains(key)
             || (key >= node.range.high() && node.range.high() >= domain.high())
             || (key < node.range.low() && node.range.low() <= domain.low()))
+    }
+
+    /// Failover termination at k > 1: an alive node also terminates the
+    /// walk when it holds the replica of a *dead* adjacent neighbour whose
+    /// range contains `key` — the query is answered from the replica
+    /// instead of bouncing off the dead owner until the budget runs out.
+    /// Returns the dead node whose retained slice serves the answer.
+    ///
+    /// Free at k = 1 (and on any run without failures): the first guard
+    /// short-circuits before touching any link.
+    fn replica_terminates_at(&self, peer: PeerId, key: Key) -> Result<Option<PeerId>> {
+        if self.replication <= 1 || self.dead_peers.is_empty() {
+            return Ok(None);
+        }
+        let node = self.node_ref(peer)?;
+        for link in [node.left_adjacent, node.right_adjacent]
+            .into_iter()
+            .flatten()
+        {
+            let candidate = link.peer;
+            if self.net.is_alive(candidate) {
+                continue;
+            }
+            let Some(candidate_node) = self.node(candidate) else {
+                continue;
+            };
+            if candidate_node.range.contains(key) && self.replica_targets(candidate).contains(&peer)
+            {
+                return Ok(Some(candidate));
+            }
+        }
+        Ok(None)
     }
 
     /// Appends the greedy candidate links of `peer` for forwarding a query
@@ -436,6 +492,15 @@ impl BatonSystem {
         if self.walk_terminates_at(issuer, key)? {
             return Ok(OwnerWalk {
                 owner: issuer,
+                data: issuer,
+                messages: 0,
+                hops: 0,
+            });
+        }
+        if let Some(dead) = self.replica_terminates_at(issuer, key)? {
+            return Ok(OwnerWalk {
+                owner: issuer,
+                data: dead,
                 messages: 0,
                 hops: 0,
             });
@@ -545,6 +610,15 @@ impl BatonSystem {
             if self.walk_terminates_at(candidate, key)? {
                 return Ok(OwnerWalk {
                     owner: candidate,
+                    data: candidate,
+                    messages,
+                    hops,
+                });
+            }
+            if let Some(dead) = self.replica_terminates_at(candidate, key)? {
+                return Ok(OwnerWalk {
+                    owner: candidate,
+                    data: dead,
                     messages,
                     hops,
                 });

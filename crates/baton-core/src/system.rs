@@ -122,6 +122,15 @@ pub struct BatonSystem {
     pub(crate) domain: KeyRange,
     pub(crate) rng: SimRng,
     pub(crate) balance_shift_sizes: Histogram,
+    /// Replication degree k: every key lives at its routed owner plus k−1
+    /// adjacent-link replica peers.  1 (the default) means no replication
+    /// and leaves every legacy code path untouched.
+    pub(crate) replication: usize,
+    /// Peers currently dead but still registered — failures awaiting their
+    /// deferred repair ([`fail_silently`](Self::fail_silently) /
+    /// `fail_peer_deferred`).  Empty in every legacy run, which is what
+    /// keeps the extra liveness checks byte-invisible.
+    pub(crate) dead_peers: Vec<PeerId>,
     /// Reusable buffers for the fault-tolerant search walk (see
     /// [`crate::protocol::search`]); carried here so a walk allocates
     /// nothing in steady state.
@@ -141,6 +150,8 @@ impl BatonSystem {
             config,
             rng: SimRng::seeded(seed),
             balance_shift_sizes: Histogram::new(),
+            replication: 1,
+            dead_peers: Vec::new(),
             walk_scratch: Default::default(),
         }
     }
@@ -293,7 +304,126 @@ impl BatonSystem {
             return None;
         }
         let idx = self.rng.index(self.peer_list.len());
-        Some(self.peer_list[idx])
+        let peer = self.peer_list[idx];
+        // Unrepaired failures keep their peer-list slot (their slice is
+        // still owned, just dark), but a dead peer cannot issue operations:
+        // redraw until a live one comes up.  The extra draws only happen
+        // while `dead_peers` is non-empty, so legacy (immediately repaired)
+        // runs consume exactly one draw per call, as before.
+        if self.dead_peers.is_empty() || self.net.is_alive(peer) {
+            return Some(peer);
+        }
+        for _ in 0..4 * self.peer_list.len() {
+            let idx = self.rng.index(self.peer_list.len());
+            let peer = self.peer_list[idx];
+            if self.net.is_alive(peer) {
+                return Some(peer);
+            }
+        }
+        self.peer_list
+            .iter()
+            .find(|p| self.net.is_alive(**p))
+            .copied()
+    }
+
+    /// The replication degree k in effect (1 = no replication).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Sets the replication degree.  BATON's placement rule puts each key's
+    /// k−1 extra copies on the owner's adjacent-link neighbours, so at most
+    /// [`MAX_REPLICATION`](Self::MAX_REPLICATION) copies exist.
+    pub fn set_replication(&mut self, k: usize) -> Result<()> {
+        if k == 0 || k > Self::MAX_REPLICATION {
+            return Err(BatonError::InvariantViolation(format!(
+                "replication degree {k} outside 1..={}",
+                Self::MAX_REPLICATION
+            )));
+        }
+        self.replication = k;
+        Ok(())
+    }
+
+    /// Highest replication degree the adjacent-link placement rule supports:
+    /// the owner plus its two in-order adjacent neighbours.
+    pub const MAX_REPLICATION: usize = 3;
+
+    /// The peers holding the k−1 replica copies of `peer`'s slice, per the
+    /// adjacent-link placement rule: the right adjacent first, then the
+    /// left.  Empty at k = 1.  Dead targets are included — callers decide
+    /// whether a dead replica still counts (it does not for failover).
+    pub fn replica_targets(&self, peer: PeerId) -> Vec<PeerId> {
+        if self.replication <= 1 {
+            return Vec::new();
+        }
+        let Some(node) = self.node(peer) else {
+            return Vec::new();
+        };
+        let mut targets: Vec<PeerId> = Vec::new();
+        fn push(targets: &mut Vec<PeerId>, peer: PeerId, link: Option<&NodeLink>) {
+            if let Some(l) = link {
+                if l.peer != peer && !targets.contains(&l.peer) {
+                    targets.push(l.peer);
+                }
+            }
+        }
+        push(&mut targets, peer, node.right_adjacent.as_ref());
+        if self.replication > 2 || targets.is_empty() {
+            push(&mut targets, peer, node.left_adjacent.as_ref());
+        }
+        targets.truncate(self.replication - 1);
+        targets
+    }
+
+    /// `true` if at least one replica target of `peer` is currently alive —
+    /// the condition for a fast (replica-streamed) repair and for zero data
+    /// loss when the peer fails.
+    pub fn replica_survives(&self, peer: PeerId) -> bool {
+        self.replica_targets(peer)
+            .iter()
+            .any(|t| self.net.is_alive(*t))
+    }
+
+    /// Charges the k−1 replica-copy notifications a write to `source`'s
+    /// slice costs, sent by `sender` (the alive node that terminated the
+    /// walk) to every alive replica target of `source`.  Returns the number
+    /// of messages charged — always 0 at k = 1.
+    pub(crate) fn charge_replica_copies(
+        &mut self,
+        op: OpScope,
+        sender: PeerId,
+        source: PeerId,
+    ) -> u64 {
+        if self.replication <= 1 {
+            return 0;
+        }
+        let mut copies = 0u64;
+        for target in self.replica_targets(source) {
+            if target != sender && self.net.is_alive(target) {
+                self.notify(op, "replicate.copy", sender, target);
+                copies += 1;
+            }
+        }
+        copies
+    }
+
+    /// Charges the replica-handoff notifications a membership change costs
+    /// at k > 1: the node whose slice boundaries moved re-seeds its replica
+    /// targets with the slice content.  Returns the number of messages
+    /// charged — always 0 at k = 1.
+    pub(crate) fn charge_replica_handoffs(&mut self, op: OpScope, peer: PeerId) -> u64 {
+        if self.replication <= 1 {
+            return 0;
+        }
+        let mut handoffs = 0u64;
+        for target in self.replica_targets(peer) {
+            if self.net.is_alive(target) {
+                self.notify(op, "replication.handoff", peer, target);
+                handoffs += 1;
+            }
+        }
+        handoffs
     }
 
     /// Virtual time the overlay's network has reached.
@@ -531,6 +661,18 @@ impl BatonSystem {
         } else {
             Err(BatonError::KeyOutOfDomain(key))
         }
+    }
+
+    /// Records `peer` as dead-but-unrepaired (it keeps its peer-list slot).
+    pub(crate) fn mark_dead(&mut self, peer: PeerId) {
+        if !self.dead_peers.contains(&peer) {
+            self.dead_peers.push(peer);
+        }
+    }
+
+    /// Clears the dead-but-unrepaired record of `peer` after its repair.
+    pub(crate) fn mark_repaired(&mut self, peer: PeerId) {
+        self.dead_peers.retain(|p| *p != peer);
     }
 
     /// Ensures `peer` is a live member of the overlay.

@@ -38,6 +38,7 @@ pub fn validate(system: &BatonSystem) -> Result<()> {
     check_routing_tables(system)?;
     check_adjacency_and_ranges(system)?;
     check_data_placement(system)?;
+    check_replication(system)?;
     Ok(())
 }
 
@@ -393,6 +394,52 @@ fn check_data_placement(system: &BatonSystem) -> Result<()> {
     Ok(())
 }
 
+/// The k-replica placement invariant (no-op at k = 1): with more than one
+/// node in the overlay, every node must resolve at least one replica target,
+/// all targets must be distinct live members different from the owner, and
+/// there are at most k−1 of them.
+fn check_replication(system: &BatonSystem) -> Result<()> {
+    let k = system.replication();
+    if k <= 1 || system.node_count() <= 1 {
+        return Ok(());
+    }
+    for &peer in system.peers() {
+        let targets = system.replica_targets(peer);
+        if targets.is_empty() {
+            return Err(violation(format!(
+                "replication k={k}: {peer} resolves no replica target although \
+                 the overlay has {} nodes",
+                system.node_count()
+            )));
+        }
+        if targets.len() > k - 1 {
+            return Err(violation(format!(
+                "replication k={k}: {peer} resolves {} replica targets (max {})",
+                targets.len(),
+                k - 1
+            )));
+        }
+        for (i, target) in targets.iter().enumerate() {
+            if *target == peer {
+                return Err(violation(format!(
+                    "replication k={k}: {peer} lists itself as a replica target"
+                )));
+            }
+            if system.node(*target).is_none() {
+                return Err(violation(format!(
+                    "replication k={k}: {peer} replica target {target} is not a member"
+                )));
+            }
+            if targets[..i].contains(target) {
+                return Err(violation(format!(
+                    "replication k={k}: {peer} lists replica target {target} twice"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +458,15 @@ mod tests {
         for n in [1usize, 2, 3, 5, 10, 50, 128] {
             let system = BatonSystem::build(BatonConfig::default(), 42, n).unwrap();
             validate(&system).unwrap_or_else(|e| panic!("{n}-node overlay invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn replica_invariant_holds_at_every_supported_k() {
+        for k in [2usize, 3] {
+            let mut system = BatonSystem::build(BatonConfig::default(), 9, 40).unwrap();
+            system.set_replication(k).unwrap();
+            validate(&system).unwrap_or_else(|e| panic!("k={k}: {e}"));
         }
     }
 

@@ -151,6 +151,14 @@ impl Overlay for D3TreeSystem {
         D3TreeSystem::access_load_by_level(self)
     }
 
+    fn replication(&self) -> usize {
+        D3TreeSystem::replication(self)
+    }
+
+    fn set_replication(&mut self, k: usize) -> OverlayResult<()> {
+        D3TreeSystem::set_replication(self, k).map_err(op_err)
+    }
+
     fn balance_shift_histogram(&self) -> Option<&Histogram> {
         Some(D3TreeSystem::balance_shift_histogram(self))
     }

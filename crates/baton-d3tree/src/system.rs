@@ -85,6 +85,8 @@ pub enum D3Error {
     LastNode,
     /// The key is outside the indexed domain.
     KeyOutOfDomain(u64),
+    /// The requested replication degree is outside the supported range.
+    ReplicationUnsupported(usize),
 }
 
 impl std::fmt::Display for D3Error {
@@ -94,6 +96,11 @@ impl std::fmt::Display for D3Error {
             D3Error::Empty => write!(f, "the overlay is empty"),
             D3Error::LastNode => write!(f, "the last node cannot leave"),
             D3Error::KeyOutOfDomain(k) => write!(f, "key {k} outside the domain"),
+            D3Error::ReplicationUnsupported(k) => write!(
+                f,
+                "replication degree {k} outside 1..={}",
+                D3TreeSystem::MAX_REPLICATION
+            ),
         }
     }
 }
@@ -148,6 +155,10 @@ pub struct D3TreeSystem {
     item_weights: Vec<Vec<u64>>,
     /// Shift sizes of every item redistribution (Figure 8(h) analogue).
     balance_hist: Histogram,
+    /// Replication degree k: each key lives at its routed owner plus up to
+    /// k−1 siblings of the same leaf bucket.  1 = no replication (the
+    /// default and the byte-identical legacy configuration).
+    replication: usize,
 }
 
 impl D3TreeSystem {
@@ -169,6 +180,7 @@ impl D3TreeSystem {
             peer_weights: vec![vec![0]],
             item_weights: vec![vec![0]],
             balance_hist: Histogram::new(),
+            replication: 1,
         }
     }
 
@@ -781,19 +793,24 @@ impl D3TreeSystem {
                 return Err(e);
             }
         };
-        let lost_items = if keep_keys { 0 } else { departing.keys.len() };
+        // A failed peer's items survive at k > 1 when a sibling of its
+        // bucket is still around to stream the replica back; gracious
+        // leaves always keep their keys.  `preserve` governs the data,
+        // `keep_keys` keeps governing the depart-vs-fail network marking.
+        let preserve = keep_keys || (self.replication > 1 && !self.buckets[bucket].is_empty());
+        let lost_items = if preserve { 0 } else { departing.keys.len() };
 
         let (hb, hp, absorb_left) = self.heir_of_slice(bucket, departing.range.low);
         let heir_peer = {
             let heir = &mut self.buckets[hb].peers[hp];
             if absorb_left {
                 heir.range = DRange::new(heir.range.low, departing.range.high);
-                if keep_keys {
+                if preserve {
                     heir.keys.extend_from_slice(&departing.keys);
                 }
             } else {
                 heir.range = DRange::new(departing.range.low, heir.range.high);
-                if keep_keys {
+                if preserve {
                     let mut keys = departing.keys.clone();
                     keys.extend_from_slice(&heir.keys);
                     heir.keys = keys;
@@ -802,8 +819,14 @@ impl D3TreeSystem {
             heir.peer
         };
         // Departure / detection message towards the heir.
-        let locate_messages = 1u64;
+        let mut locate_messages = 1u64;
         self.net.count_message(op, label, heir_peer, peer);
+        if preserve && !keep_keys {
+            // The replica copy is streamed from a bucket sibling to the heir.
+            self.net
+                .count_message(op, "d3.replica", heir_peer, heir_peer);
+            locate_messages += 1;
+        }
         if keep_keys {
             self.net.depart_peer(peer);
         } else {
@@ -814,7 +837,7 @@ impl D3TreeSystem {
         // land on the heir's leaf (graceful) or vanish (failure).
         self.shift_peer_weights(bucket, -1);
         self.shift_item_weights(bucket, -(departing.keys.len() as i64));
-        if keep_keys {
+        if preserve {
             self.shift_item_weights(hb, departing.keys.len() as i64);
         }
 
@@ -894,13 +917,62 @@ impl D3TreeSystem {
         }
     }
 
+    /// The replication degree k in effect (1 = no replication).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Highest replication degree the bucket-sibling placement supports.
+    pub const MAX_REPLICATION: usize = 4;
+
+    /// Sets the replication degree: each key's k−1 extra copies live on
+    /// siblings of the owner's leaf bucket.  With a sibling alive, a failed
+    /// peer's items survive the failure (`lost_items == 0`).
+    pub fn set_replication(&mut self, k: usize) -> Result<()> {
+        if k == 0 || k > Self::MAX_REPLICATION {
+            return Err(D3Error::ReplicationUnsupported(k));
+        }
+        self.replication = k;
+        Ok(())
+    }
+
+    /// The bucket siblings holding the k−1 replica copies of `peer`'s keys
+    /// (in bucket order, the owner excluded).  Empty at k = 1.
+    pub fn replica_targets(&self, peer: PeerId) -> Vec<PeerId> {
+        if self.replication <= 1 {
+            return Vec::new();
+        }
+        let Some(&bucket) = self.bucket_of.get(&peer) else {
+            return Vec::new();
+        };
+        self.buckets[bucket]
+            .peers
+            .iter()
+            .map(|p| p.peer)
+            .filter(|p| *p != peer)
+            .take(self.replication - 1)
+            .collect()
+    }
+
+    /// Charges the replica-copy messages a write at `owner` costs at k > 1.
+    fn charge_replica_copies(&mut self, op: OpScope, owner: PeerId) -> u64 {
+        let mut copies = 0u64;
+        for target in self.replica_targets(owner) {
+            self.net.count_message(op, "d3.replica", owner, target);
+            copies += 1;
+        }
+        copies
+    }
+
     /// Inserts a value under `key` from a random issuer.
     pub fn insert(&mut self, key: u64) -> Result<D3OpReport> {
         self.check_key(key)?;
         let issuer = self.random_peer().ok_or(D3Error::Empty)?;
         let op = self.net.begin_op("d3.insert");
-        let (bucket, position, messages) = self.route_to_owner(op, issuer, key)?;
+        let (bucket, position, mut messages) = self.route_to_owner(op, issuer, key)?;
         self.buckets[bucket].peers[position].insert_key(key);
+        let owner = self.buckets[bucket].peers[position].peer;
+        messages += self.charge_replica_copies(op, owner);
         self.shift_item_weights(bucket, 1);
         let balance_messages = self.rebalance_items_on_path(op, bucket);
         self.net.finish_op(op);
@@ -917,10 +989,12 @@ impl D3TreeSystem {
         self.check_key(key)?;
         let issuer = self.random_peer().ok_or(D3Error::Empty)?;
         let op = self.net.begin_op("d3.delete");
-        let (bucket, position, messages) = self.route_to_owner(op, issuer, key)?;
+        let (bucket, position, mut messages) = self.route_to_owner(op, issuer, key)?;
         let removed = self.buckets[bucket].peers[position].remove_key(key);
         let mut balance_messages = 0;
         if removed {
+            let owner = self.buckets[bucket].peers[position].peer;
+            messages += self.charge_replica_copies(op, owner);
             self.shift_item_weights(bucket, -1);
             balance_messages = self.rebalance_items_on_path(op, bucket);
         }

@@ -146,6 +146,14 @@ impl Overlay for MTreeSystem {
         levels
     }
 
+    fn replication(&self) -> usize {
+        MTreeSystem::replication(self)
+    }
+
+    fn set_replication(&mut self, k: usize) -> OverlayResult<()> {
+        MTreeSystem::set_replication(self, k).map_err(op_err)
+    }
+
     fn validate(&self) -> Result<(), String> {
         MTreeSystem::validate(self)
     }

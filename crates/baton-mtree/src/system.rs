@@ -58,6 +58,8 @@ pub enum MTreeError {
     LastNode,
     /// The key is outside the indexed domain.
     KeyOutOfDomain(u64),
+    /// The requested replication degree is outside the supported range.
+    ReplicationUnsupported(usize),
 }
 
 impl std::fmt::Display for MTreeError {
@@ -67,6 +69,11 @@ impl std::fmt::Display for MTreeError {
             MTreeError::Empty => write!(f, "the overlay is empty"),
             MTreeError::LastNode => write!(f, "the last node cannot leave"),
             MTreeError::KeyOutOfDomain(k) => write!(f, "key {k} outside the domain"),
+            MTreeError::ReplicationUnsupported(k) => write!(
+                f,
+                "replication degree {k} outside 1..={}",
+                MTreeSystem::MAX_REPLICATION
+            ),
         }
     }
 }
@@ -109,6 +116,10 @@ pub struct MTreeSystem {
     root: Option<PeerId>,
     domain: MRange,
     rng: SimRng,
+    /// Replication degree k: each key lives at its routed owner plus its
+    /// k−1 in-order neighbours.  1 = no replication (the default and the
+    /// byte-identical legacy configuration).
+    replication: usize,
 }
 
 impl MTreeSystem {
@@ -126,6 +137,7 @@ impl MTreeSystem {
             root: None,
             domain,
             rng: SimRng::seeded(seed),
+            replication: 1,
         }
     }
 
@@ -622,6 +634,57 @@ impl MTreeSystem {
         Ok(messages)
     }
 
+    /// The replication degree k in effect (1 = no replication).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Highest replication degree the neighbour-link placement supports:
+    /// the owner plus its two in-order neighbours.
+    pub const MAX_REPLICATION: usize = 3;
+
+    /// Sets the replication degree: each key's k−1 extra copies live on the
+    /// owner's in-order neighbours.
+    pub fn set_replication(&mut self, k: usize) -> Result<()> {
+        if k == 0 || k > Self::MAX_REPLICATION {
+            return Err(MTreeError::ReplicationUnsupported(k));
+        }
+        self.replication = k;
+        Ok(())
+    }
+
+    /// The in-order neighbours holding the k−1 replica copies of `peer`'s
+    /// keys: the right neighbour first, then the left.  Empty at k = 1.
+    pub fn replica_targets(&self, peer: PeerId) -> Vec<PeerId> {
+        if self.replication <= 1 {
+            return Vec::new();
+        }
+        let Some(node) = self.nodes.get(&peer) else {
+            return Vec::new();
+        };
+        let mut targets = Vec::new();
+        for link in [node.right_neighbor, node.left_neighbor]
+            .into_iter()
+            .flatten()
+        {
+            if link.peer != peer && !targets.contains(&link.peer) {
+                targets.push(link.peer);
+            }
+        }
+        targets.truncate(self.replication - 1);
+        targets
+    }
+
+    /// Charges the replica-copy messages a write at `owner` costs at k > 1.
+    fn charge_replica_copies(&mut self, op: OpScope, owner: PeerId) -> u64 {
+        let mut copies = 0u64;
+        for target in self.replica_targets(owner) {
+            self.net.count_message(op, "mtree.replica", owner, target);
+            copies += 1;
+        }
+        copies
+    }
+
     /// Inserts a value under `key`.
     pub fn insert(&mut self, key: u64) -> Result<MTreeOpReport> {
         if !self.domain.contains(key) {
@@ -629,8 +692,9 @@ impl MTreeSystem {
         }
         let issuer = self.random_peer().ok_or(MTreeError::Empty)?;
         let op = self.net.begin_op("mtree.insert");
-        let (owner, messages) = self.route_to_owner(op, issuer, key)?;
+        let (owner, mut messages) = self.route_to_owner(op, issuer, key)?;
         self.node_mut(owner)?.insert_key(key);
+        messages += self.charge_replica_copies(op, owner);
         self.net.finish_op(op);
         Ok(MTreeOpReport {
             messages,
@@ -646,8 +710,11 @@ impl MTreeSystem {
         }
         let issuer = self.random_peer().ok_or(MTreeError::Empty)?;
         let op = self.net.begin_op("mtree.delete");
-        let (owner, messages) = self.route_to_owner(op, issuer, key)?;
+        let (owner, mut messages) = self.route_to_owner(op, issuer, key)?;
         let removed = usize::from(self.node_mut(owner)?.remove_key(key));
+        if removed > 0 {
+            messages += self.charge_replica_copies(op, owner);
+        }
         self.net.finish_op(op);
         Ok(MTreeOpReport {
             messages,

@@ -81,7 +81,9 @@ pub mod time;
 
 pub use message::{Envelope, NetMessage};
 pub use network::{DeliveryError, SendError, SimNetwork};
-pub use overlay::{ChurnCost, OpCost, Overlay, OverlayCapabilities, OverlayError, OverlayResult};
+pub use overlay::{
+    ChurnCost, OpCost, Overlay, OverlayCapabilities, OverlayError, OverlayResult, RepairPolicy,
+};
 pub use parallel::{
     default_threads, run_indexed, run_indexed_with, set_threads, threads, with_threads,
 };

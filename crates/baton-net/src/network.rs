@@ -342,6 +342,18 @@ impl<M: NetMessage> SimNetwork<M> {
         &self.latency
     }
 
+    /// Draws one link-latency sample for the `from → to` link at the current
+    /// virtual instant, advancing the model's latency stream.
+    ///
+    /// Protocols use this for delays that ride on the topology but are not
+    /// messages — e.g. the failure-detection round-trip that offsets a
+    /// deferred repair.  The draw comes from the same seeded streams as
+    /// message deliveries, so runs stay deterministic.
+    pub fn sample_latency(&mut self, from: PeerId, to: PeerId) -> SimTime {
+        let at = self.now();
+        self.latency.sample(from, to, at)
+    }
+
     /// The virtual instant the simulation has reached: the latest of the
     /// arrival clock and every delivery performed or scheduled.
     pub fn now(&self) -> SimTime {

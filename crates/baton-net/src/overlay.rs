@@ -21,6 +21,35 @@ use crate::peer::PeerId;
 use crate::stats::{Histogram, MessageStats};
 use crate::time::{LatencyModel, SimTime};
 
+/// How long a failed peer stays dead before the surviving replicas finish
+/// re-replicating its slice (tentpole (c): timed repair on the virtual
+/// clock).
+///
+/// Two delays model the two recovery regimes: `fast` is the re-replication
+/// time when at least one replica of the dead peer's slice survives (the
+/// copy is streamed from a live neighbour), `slow` is the full
+/// detect-and-rebuild time when no replica survived — which is always the
+/// case at k = 1, where the repair must wait for the §III-D failure
+/// protocol's timeout-driven detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairPolicy {
+    /// Repair delay when a surviving replica can stream the slice back.
+    pub fast: SimTime,
+    /// Repair delay when no replica survived (timeout-detected rebuild).
+    pub slow: SimTime,
+}
+
+impl RepairPolicy {
+    /// The base repair delay for a failure, by replica survival.
+    pub fn delay(&self, replica_survives: bool) -> SimTime {
+        if replica_survives {
+            self.fast
+        } else {
+            self.slow
+        }
+    }
+}
+
 /// What an overlay implementation can and cannot do.
 ///
 /// Drivers consult the capabilities instead of hard-coding system names, so
@@ -131,6 +160,11 @@ pub enum OverlayError {
     /// The operation failed; the message is the underlying system's error
     /// rendering.
     Op(String),
+    /// The operation could not be completed because the peers holding (or
+    /// leading to) the data are currently dead — the key's availability
+    /// window, not a protocol bug.  Workload runners count these per op
+    /// class instead of treating them as generic failures.
+    Unavailable(String),
 }
 
 impl std::fmt::Display for OverlayError {
@@ -138,6 +172,9 @@ impl std::fmt::Display for OverlayError {
         match self {
             OverlayError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             OverlayError::Op(message) => write!(f, "overlay operation failed: {message}"),
+            OverlayError::Unavailable(message) => {
+                write!(f, "operation hit an availability window: {message}")
+            }
         }
     }
 }
@@ -256,6 +293,77 @@ pub trait Overlay {
     /// targeted form is skipped rather than losing a random peer.
     fn fail_peer(&mut self, _peer: PeerId) -> OverlayResult<ChurnCost> {
         Err(OverlayError::Unsupported("targeted failure"))
+    }
+
+    /// The replication degree k currently in effect: every key lives at its
+    /// routed owner plus k−1 deterministic replica peers.
+    ///
+    /// Default: 1 — no replication.
+    fn replication(&self) -> usize {
+        1
+    }
+
+    /// Sets the replication degree.  k = 1 (no replication) always
+    /// succeeds; higher degrees are only accepted by overlays with a
+    /// replica-placement rule.
+    fn set_replication(&mut self, k: usize) -> OverlayResult<()> {
+        if k == 1 {
+            Ok(())
+        } else {
+            Err(OverlayError::Unsupported("replication"))
+        }
+    }
+
+    /// `true` if `peer` is a member of the overlay and currently alive.
+    ///
+    /// Under deferred repair a failed peer stays in [`peers`](Self::peers)
+    /// (its slice is still owned, just unavailable) until its repair runs,
+    /// so fault plans filter victims through this instead of membership.
+    ///
+    /// Default: membership — for overlays that remove dead peers
+    /// immediately, membership and liveness coincide.
+    fn peer_alive(&self, peer: PeerId) -> bool {
+        self.peers().binary_search(&peer).is_ok()
+    }
+
+    /// The *specific* peer `peer` fails abruptly but is **not** repaired
+    /// yet: the overlay marks it dead and returns the repair delay (drawn
+    /// per the policy and the replica survival of the peer's slice) after
+    /// which the caller should invoke [`repair_peer`](Self::repair_peer).
+    /// Between the two calls, reads for the dead peer's keys either fail
+    /// over to a replica (k > 1) or surface
+    /// [`OverlayError::Unavailable`].
+    ///
+    /// Default: unsupported — callers degrade to the immediate
+    /// [`fail_peer`](Self::fail_peer) recovery.
+    fn fail_peer_deferred(
+        &mut self,
+        _peer: PeerId,
+        _policy: &RepairPolicy,
+    ) -> OverlayResult<SimTime> {
+        Err(OverlayError::Unsupported("deferred failure repair"))
+    }
+
+    /// Runs the repair for a peer previously failed through
+    /// [`fail_peer_deferred`](Self::fail_peer_deferred): surviving replicas
+    /// re-replicate the dead peer's slice and the structure is mended.
+    ///
+    /// Default: unsupported.
+    fn repair_peer(&mut self, _peer: PeerId) -> OverlayResult<ChurnCost> {
+        Err(OverlayError::Unsupported("deferred failure repair"))
+    }
+
+    /// `true` when a currently-dead peer's slice could stream from a live
+    /// replica holder *right now* — the condition for its pending repair to
+    /// take the policy's fast path.  The repair queue polls this after each
+    /// completed repair: a victim classified for the slow path at kill time
+    /// (its replica holders were dead too) is re-staged onto the fast path
+    /// the moment an earlier repair brings a holder back.
+    ///
+    /// Default: `false` — overlays without replicated deferred repair never
+    /// accelerate.
+    fn repair_fast_eligible(&self, _peer: PeerId) -> bool {
+        false
     }
 
     /// Places a dataset directly into the owning nodes' stores without
@@ -416,5 +524,34 @@ mod tests {
         assert_eq!(presets.iter().filter(|c| c.bulk_build).count(), 0);
         let bulk = OverlayCapabilities::FULL.with_bulk_build();
         assert!(bulk.bulk_build && bulk.range_queries);
+    }
+
+    #[test]
+    fn replication_and_repair_defaults_are_off() {
+        let mut toy = Toy {
+            stats: MessageStats::new(),
+            items: 0,
+            nodes: 1,
+        };
+        let overlay: &mut dyn Overlay = &mut toy;
+        assert_eq!(overlay.replication(), 1);
+        overlay.set_replication(1).unwrap();
+        assert!(matches!(
+            overlay.set_replication(2),
+            Err(OverlayError::Unsupported(_))
+        ));
+        // No peer list exposed: nothing is alive.
+        assert!(!overlay.peer_alive(PeerId(0)));
+        let policy = RepairPolicy {
+            fast: SimTime::from_millis(500),
+            slow: SimTime::from_secs(10),
+        };
+        assert_eq!(policy.delay(true), SimTime::from_millis(500));
+        assert_eq!(policy.delay(false), SimTime::from_secs(10));
+        assert!(overlay.fail_peer_deferred(PeerId(0), &policy).is_err());
+        assert!(overlay.repair_peer(PeerId(0)).is_err());
+        assert!(OverlayError::Unavailable("owner dead".into())
+            .to_string()
+            .contains("availability window"));
     }
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! reproduce [--figure 8a|8b|...|8i|all|none] [--scenario ID[,ID...]|all|none]
 //!           [--profile quick|full|paper|smoke] [--seed N] [--threads N]
-//!           [--overlays NAME[,NAME...]] [--json] [--csv] [--list]
+//!           [--overlays NAME[,NAME...]] [--replicas N] [--json] [--csv] [--list]
 //! ```
 //!
 //! By default every figure is regenerated at the `quick` profile and printed
@@ -32,6 +32,13 @@
 //! run or debugged in isolation; the BATON-only figures 8(f)–(i) are
 //! unaffected.
 //!
+//! `--replicas N` sets the replication degree for scenario runs: every key
+//! is held by its routed owner plus `N − 1` deterministic replica peers,
+//! clamped per overlay to its advertised maximum (`--list` prints the
+//! support matrix).  The default (1) is the legacy owner-only placement and
+//! reproduces every committed fixture byte for byte.  Figures ignore the
+//! flag.
+//!
 //! `--build join|bulk` selects how scenario overlays are constructed: `join`
 //! (the default) builds node by node exactly as every committed fixture was
 //! generated; `bulk` takes the direct deterministic fast path on overlays
@@ -56,6 +63,7 @@ struct Options {
     overlays: Vec<String>,
     threads: usize,
     build: Option<scenario::BuildKind>,
+    replicas: Option<usize>,
     json: bool,
     csv: bool,
     list: bool,
@@ -69,6 +77,7 @@ fn parse_args() -> Result<Options, String> {
     let mut overlays = Vec::new();
     let mut threads = baton_net::default_threads();
     let mut build = None;
+    let mut replicas = None;
     let mut json = false;
     let mut csv = false;
     let mut list = false;
@@ -132,6 +141,16 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("--build wants join|bulk, got '{other}'")),
                 };
             }
+            "--replicas" | "-r" => {
+                let value = args.next().ok_or("--replicas needs a value")?;
+                let k = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--replicas needs an unsigned integer, got '{value}'"))?;
+                if k < 1 {
+                    return Err("--replicas needs at least 1 (1 = owner-only placement)".into());
+                }
+                replicas = Some(k);
+            }
             "--json" => json = true,
             "--csv" => csv = true,
             "--list" => list = true,
@@ -142,7 +161,7 @@ fn parse_args() -> Result<Options, String> {
                      [--profile smoke|quick|full|paper] [--seed N] \
                      [--threads N (default: available parallelism)] \
                      [--overlays NAME[,NAME...]] [--build join|bulk] \
-                     [--json] [--csv] [--list]",
+                     [--replicas N] [--json] [--csv] [--list]",
                     scenario::all_scenario_ids().join("|")
                 ))
             }
@@ -161,6 +180,7 @@ fn parse_args() -> Result<Options, String> {
         overlays,
         threads,
         build,
+        replicas,
         json,
         csv,
         list,
@@ -205,6 +225,10 @@ fn print_catalog() {
     println!("overlays:");
     for name in overlay_names() {
         println!("  {name}");
+    }
+    println!("replication (--replicas clamps to each overlay's maximum):");
+    for spec in baton_sim::standard_overlays() {
+        println!("  {}: k = 1..={}", spec.series, spec.replication.max_k);
     }
     println!("threads: {} (default)", baton_net::default_threads());
 }
@@ -257,8 +281,13 @@ fn main() -> ExitCode {
     let scenarios: Vec<_> = scenario_ids
         .into_iter()
         .map(|id| {
-            scenario::run_scenario_with_build(id, &options.profile, options.build)
-                .expect("registered scenario")
+            scenario::run_scenario_with_options(
+                id,
+                &options.profile,
+                options.build,
+                options.replicas,
+            )
+            .expect("registered scenario")
         })
         .collect();
 

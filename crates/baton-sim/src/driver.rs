@@ -36,6 +36,25 @@ pub struct OverlaySpec {
     /// `build` but not byte-identical, so it is only taken when explicitly
     /// requested.
     bulk: Option<BuildFn>,
+    /// The overlay's replication capability.
+    pub replication: Replication,
+}
+
+/// How many replicas an overlay's placement rule can maintain: each key
+/// lives at its routed owner plus up to `max_k − 1` deterministic replica
+/// peers (adjacent links, ring successors or bucket siblings, depending on
+/// the overlay).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Replication {
+    /// Largest supported replication degree (1 = owner only).
+    pub max_k: usize,
+}
+
+impl Replication {
+    /// Clamps a requested degree to what this overlay supports.
+    pub fn clamp(&self, k: usize) -> usize {
+        k.clamp(1, self.max_k)
+    }
 }
 
 impl OverlaySpec {
@@ -103,6 +122,9 @@ pub fn reference_overlay() -> OverlaySpec {
         series: super::figures::SERIES_BATON,
         build: build_baton,
         bulk: Some(bulk_baton),
+        replication: Replication {
+            max_k: baton_core::BatonSystem::MAX_REPLICATION,
+        },
     }
 }
 
@@ -115,16 +137,25 @@ pub fn all_overlays() -> Vec<OverlaySpec> {
             series: super::figures::SERIES_CHORD,
             build: build_chord,
             bulk: Some(bulk_chord),
+            replication: Replication {
+                max_k: ChordSystem::MAX_REPLICATION,
+            },
         },
         OverlaySpec {
             series: super::figures::SERIES_MTREE,
             build: build_mtree,
             bulk: None,
+            replication: Replication {
+                max_k: MTreeSystem::MAX_REPLICATION,
+            },
         },
         OverlaySpec {
             series: super::figures::SERIES_D3TREE,
             build: build_d3tree,
             bulk: None,
+            replication: Replication {
+                max_k: D3TreeSystem::MAX_REPLICATION,
+            },
         },
     ]
 }
@@ -259,6 +290,30 @@ mod tests {
         // BATON, the multiway tree and the D3-Tree; Chord cannot answer
         // range queries.
         assert_eq!(range_capable, 3);
+    }
+
+    #[test]
+    fn every_overlay_accepts_its_advertised_replication_range() {
+        let profile = Profile::smoke();
+        for spec in all_overlays() {
+            let max_k = spec.replication.max_k;
+            assert!(max_k >= 2, "{}: k = 2 must be available", spec.series);
+            let mut overlay = spec.build(&profile, 20, 11);
+            assert_eq!(overlay.replication(), 1, "{}", spec.series);
+            for k in 1..=max_k {
+                overlay
+                    .set_replication(k)
+                    .unwrap_or_else(|e| panic!("{} rejected k = {k}: {e}", spec.series));
+                assert_eq!(overlay.replication(), k);
+            }
+            assert!(
+                overlay.set_replication(max_k + 1).is_err(),
+                "{} accepted k beyond its advertised max {max_k}",
+                spec.series
+            );
+            assert_eq!(spec.replication.clamp(0), 1);
+            assert_eq!(spec.replication.clamp(max_k + 5), max_k);
+        }
     }
 
     #[test]

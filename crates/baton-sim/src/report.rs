@@ -100,6 +100,31 @@ pub fn render_scenarios_json(results: &[ScenarioResult]) -> String {
             if series.fault_kills > 0 {
                 let _ = write!(out, " \"fault_kills\": {},", series.fault_kills);
             }
+            // Availability keys appear only once an operation was dispatched
+            // inside a fault window, and repair keys only once a deferred
+            // repair completed: faultless legacy scenarios (and immediate-
+            // kill plans) carry neither, keeping their fixtures stable.
+            if let Some(availability) = series.availability {
+                let _ = write!(out, " \"availability\": {},", json_number(availability));
+                let _ = write!(out, " \"window_attempts\": {},", series.window_attempts);
+                out.push_str(" \"unavailable\": {");
+                for (k, (class, count)) in series.unavailable.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: {}", json_string(class), count);
+                }
+                out.push_str("},");
+            }
+            if series.repairs > 0 {
+                let _ = write!(
+                    out,
+                    " \"repairs\": {}, \"repair_mean_ms\": {}, \"repair_p95_ms\": {},",
+                    series.repairs,
+                    json_number(series.repair_mean_ms),
+                    json_number(series.repair_p95_ms)
+                );
+            }
             out.push_str(" \"skipped\": {");
             for (k, (class, count)) in series.skipped.iter().enumerate() {
                 if k > 0 {

@@ -22,6 +22,7 @@
 //! | `regional_failure` | half of one region fails at once, then refills |
 //! | `degraded_links` | inter-region latency ramps 5× mid-run |
 //! | `skew_ramp` | Zipf read/write mix whose skew tightens over time |
+//! | `cascading_failure` | two staggered regional waves under timed repair |
 
 pub mod specs;
 
@@ -72,15 +73,40 @@ pub struct ScenarioSeries {
     /// leaves".  Classes with zero skips are omitted.
     pub skipped: Vec<(String, u64)>,
     /// Peers killed by the scenario's fault plan across all repetitions
-    /// (zero for scenarios without injected faults; the kills also count
-    /// toward the `fail` class).
+    /// (zero for scenarios without injected faults; under an immediate-kill
+    /// plan the kills also count toward the `fail` class).
     pub fault_kills: u64,
+    /// Operations that hit an availability miss anywhere in the run, per
+    /// class (classes with zero omitted): attempted, reached a dead
+    /// not-yet-repaired peer, and no replica could answer.
+    pub unavailable: Vec<(String, u64)>,
+    /// Operations dispatched inside a fault-assessment window
+    /// (`[fault.at, fault.at + policy.slow]` per fault event), across all
+    /// repetitions — the denominator of `availability`.
+    pub window_attempts: u64,
+    /// Fraction of fault-window dispatches that succeeded; `None` when no
+    /// operation arrived during a window (every faultless scenario).  The
+    /// numerator counts only in-window misses, so a straggling failure
+    /// after the window closes appears in `unavailable` but not here.
+    pub availability: Option<f64>,
+    /// Deferred repairs completed across all repetitions.
+    pub repairs: u64,
+    /// Mean time from kill to completed repair, in virtual milliseconds
+    /// (0 when `repairs` is 0).
+    pub repair_mean_ms: f64,
+    /// 95th-percentile time-to-repair, in virtual milliseconds.
+    pub repair_p95_ms: f64,
 }
 
 impl ScenarioSeries {
     /// Total operations skipped across all classes.
     pub fn skipped_total(&self) -> u64 {
         self.skipped.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total operations lost to availability windows across all classes.
+    pub fn unavailable_total(&self) -> u64 {
+        self.unavailable.iter().map(|(_, n)| n).sum()
     }
 }
 
@@ -99,12 +125,18 @@ impl ScenarioResult {
     /// Renders the per-class latency rows as CSV (one row per overlay and
     /// operation class; overlay-level totals live in the JSON rendering).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("scenario,overlay,class,count,mean_ms,p50_ms,p95_ms,p99_ms\n");
+        let mut out = String::from(
+            "scenario,overlay,class,count,mean_ms,p50_ms,p95_ms,p99_ms,availability\n",
+        );
         for series in &self.series {
+            let availability = series
+                .availability
+                .map(|a| format!("{a:.4}"))
+                .unwrap_or_default();
             for class in &series.classes {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{},{:.3},{:.3},{:.3},{:.3}",
+                    "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{}",
                     self.id,
                     series.overlay,
                     class.class,
@@ -112,7 +144,8 @@ impl ScenarioResult {
                     class.mean_ms,
                     class.p50_ms,
                     class.p95_ms,
-                    class.p99_ms
+                    class.p99_ms,
+                    availability
                 );
             }
         }
@@ -139,15 +172,28 @@ impl ScenarioResult {
             } else {
                 String::new()
             };
+            let availability = match series.availability {
+                Some(a) => format!(
+                    ", availability {:.2}% over {} fault-window ops ({} unavailable, \
+                     {} repairs, mean {:.0}ms)",
+                    a * 100.0,
+                    series.window_attempts,
+                    series.unavailable_total(),
+                    series.repairs,
+                    series.repair_mean_ms
+                ),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "  {}: {:.2} ops per virtual second over {:.1}s, {} messages, {}{}",
+                "  {}: {:.2} ops per virtual second over {:.1}s, {} messages, {}{}{}",
                 series.overlay,
                 series.throughput,
                 series.virtual_seconds,
                 series.messages,
                 skipped,
-                faults
+                faults,
+                availability
             );
             let _ = writeln!(
                 out,
@@ -206,6 +252,10 @@ pub fn all_scenarios() -> Vec<ScenarioSpec> {
             id: "skew_ramp",
             build: specs::skew_ramp_plan,
         },
+        ScenarioSpec {
+            id: "cascading_failure",
+            build: specs::cascading_failure_plan,
+        },
     ]
 }
 
@@ -228,12 +278,27 @@ pub fn run_scenario_with_build(
     profile: &Profile,
     build: Option<BuildKind>,
 ) -> Option<ScenarioResult> {
+    run_scenario_with_options(id, profile, build, None)
+}
+
+/// [`run_scenario`] with the plan's [`BuildKind`] and replication degree
+/// overridden (`None` keeps the plan's own settings — `Join` and k = 1 for
+/// every registered scenario, which is what pins the committed fixtures).
+pub fn run_scenario_with_options(
+    id: &str,
+    profile: &Profile,
+    build: Option<BuildKind>,
+    replicas: Option<usize>,
+) -> Option<ScenarioResult> {
     let spec = all_scenarios()
         .into_iter()
         .find(|s| s.id.eq_ignore_ascii_case(id))?;
     let mut plan = (spec.build)(profile);
     if let Some(build) = build {
         plan.build = build;
+    }
+    if let Some(replicas) = replicas {
+        plan.replicas = replicas;
     }
     Some(ScenarioResult {
         id: spec.id.to_owned(),
@@ -280,6 +345,14 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
                 BuildKind::Bulk => load_overlay_direct(profile, &mut *overlay, plan.load, seed),
             };
         }
+        // k = 1 skips the call entirely: replication is strictly additive
+        // and the legacy fixtures pin the k = 1 byte stream.
+        let k = spec.replication.clamp(plan.replicas);
+        if k > 1 {
+            overlay
+                .set_replication(k)
+                .expect("clamped replication degree is supported");
+        }
         overlay.set_latency_model(plan.latency.build(seed ^ 0x1A7E));
         let mut rng = SimRng::seeded(seed ^ 0x0BE7);
         let events = {
@@ -302,14 +375,24 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
         let mut latencies: std::collections::BTreeMap<&'static str, Vec<baton_net::SimTime>> =
             Default::default();
         let mut skipped: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        let mut unavailable: std::collections::BTreeMap<&'static str, u64> = Default::default();
         let mut messages = 0u64;
         let mut fault_kills = 0u64;
+        let mut window_attempts = 0u64;
+        let mut window_unavailable = 0u64;
+        let mut repair_samples: Vec<baton_net::SimTime> = Vec::new();
         let mut throughput_sum = 0.0f64;
         let mut seconds_sum = 0.0f64;
         for outcome in &outcomes[idx * reps..(idx + 1) * reps] {
             for (class, count) in &outcome.skipped {
                 *skipped.entry(class).or_insert(0) += count;
             }
+            for (class, count) in &outcome.unavailable {
+                *unavailable.entry(class).or_insert(0) += count;
+            }
+            window_attempts += outcome.window_attempts.values().sum::<u64>();
+            window_unavailable += outcome.window_unavailable.values().sum::<u64>();
+            repair_samples.extend(&outcome.repair_times);
             messages += outcome.messages;
             fault_kills += outcome.fault_kills;
             throughput_sum += outcome.throughput();
@@ -318,6 +401,15 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
                 latencies.entry(class).or_default().extend(samples);
             }
         }
+        // The numerator is the in-window failure count: a straggling
+        // repair can fail an operation after its assessment window
+        // closed, and that failure belongs to `unavailable` but not to
+        // the availability fraction (see `OpenLoopOutcome::availability`).
+        let availability = (window_attempts > 0).then(|| {
+            (window_attempts - window_unavailable.min(window_attempts)) as f64
+                / window_attempts as f64
+        });
+        let repair_summary = LatencySummary::from_samples(&repair_samples);
         let divisor = reps.max(1) as f64;
         let classes = OpClass::ALL
             .iter()
@@ -348,6 +440,18 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
                 })
                 .collect(),
             fault_kills,
+            unavailable: OpClass::ALL
+                .iter()
+                .filter_map(|class| {
+                    let count = *unavailable.get(class.name())?;
+                    (count > 0).then(|| (class.name().to_owned(), count))
+                })
+                .collect(),
+            window_attempts,
+            availability,
+            repairs: repair_samples.len() as u64,
+            repair_mean_ms: repair_summary.map_or(0.0, |s| s.mean.as_millis_f64()),
+            repair_p95_ms: repair_summary.map_or(0.0, |s| s.p95.as_millis_f64()),
         });
     }
     series
@@ -498,7 +602,8 @@ mod tests {
                 "flash_crowd",
                 "regional_failure",
                 "degraded_links",
-                "skew_ramp"
+                "skew_ramp",
+                "cascading_failure"
             ]
         );
         let profile = Profile::smoke();
@@ -520,22 +625,107 @@ mod tests {
                 "{} saw no fault kills",
                 series.overlay
             );
+            // Deferred kills (overlays with a repair protocol) are mended
+            // one repair per kill; on the rest the kills run the immediate
+            // fail-and-recover protocol under the `fail` class.
             let fails: u64 = series
                 .classes
                 .iter()
                 .filter(|c| c.class == "fail")
                 .map(|c| c.count)
                 .sum();
+            if series.repairs > 0 {
+                assert_eq!(
+                    series.repairs, series.fault_kills,
+                    "{}: every deferred kill must be repaired",
+                    series.overlay
+                );
+                assert!(series.repair_mean_ms > 0.0);
+                assert!(series.repair_p95_ms >= series.repair_mean_ms * 0.5);
+            } else {
+                assert!(
+                    fails >= series.fault_kills,
+                    "{}: fail class ({fails}) must cover the {} fault kills",
+                    series.overlay,
+                    series.fault_kills
+                );
+            }
+            assert!(series.throughput > 0.0);
+        }
+        // BATON defers its kills: its series measures the availability
+        // window the other overlays close instantly.
+        let baton = &result.series[0];
+        assert_eq!(baton.overlay, "BATON");
+        assert!(baton.repairs > 0, "BATON must take the deferred path");
+        assert!(
+            baton.window_attempts > 0,
+            "operations must arrive inside the fault window"
+        );
+        assert!(baton.availability.is_some());
+        let table = result.to_table();
+        assert!(table.contains("killed by faults"));
+        assert!(table.contains("availability"));
+    }
+
+    #[test]
+    fn cascading_failure_measures_availability_under_two_waves() {
+        let profile = Profile::smoke();
+        let result = run_scenario("cascading_failure", &profile).expect("registered");
+        assert_eq!(result.series.len(), 4);
+        for series in &result.series {
             assert!(
-                fails >= series.fault_kills,
-                "{}: fail class ({fails}) must cover the {} fault kills",
-                series.overlay,
-                series.fault_kills
+                series.fault_kills > 0,
+                "{} saw no fault kills",
+                series.overlay
             );
             assert!(series.throughput > 0.0);
         }
-        let table = result.to_table();
-        assert!(table.contains("killed by faults"));
+        let baton = &result.series[0];
+        assert_eq!(baton.overlay, "BATON");
+        assert_eq!(baton.repairs, baton.fault_kills);
+        let availability = baton.availability.expect("window operations arrived");
+        assert!((0.0..=1.0).contains(&availability));
+        // Both ~10s slow-repair windows see traffic; whether any of it lands
+        // on a dead slice is seed luck at smoke scale, so only the
+        // measurement plumbing is pinned here (the k-contrast lives in
+        // `replication_raises_availability_under_regional_failure`).
+        assert!(baton.window_attempts > 0);
+        // The JSON rendering carries the availability keys for this
+        // scenario and omits them for the faultless legacy ones.
+        let json = crate::report::render_scenarios_json(&[result]);
+        assert!(json.contains("\"availability\""));
+        assert!(json.contains("\"repairs\""));
+        assert!(json.contains("\"unavailable\""));
+        let legacy = run_scenario("flash_crowd", &profile).expect("registered");
+        let legacy_json = crate::report::render_scenarios_json(&[legacy]);
+        assert!(!legacy_json.contains("\"availability\""));
+        assert!(!legacy_json.contains("\"repairs\""));
+    }
+
+    #[test]
+    fn replication_raises_availability_under_regional_failure() {
+        let profile = Profile::smoke();
+        let k1 = run_scenario_with_options("regional_failure", &profile, None, Some(1))
+            .expect("registered");
+        let k2 = run_scenario_with_options("regional_failure", &profile, None, Some(2))
+            .expect("registered");
+        let a1 = k1.series[0].availability.expect("k=1 window ops");
+        // The assessment window is fixed at `[fault.at, fault.at +
+        // policy.slow]` regardless of k, so both runs sample the same
+        // arrival stream — the denominators match and k=2 always observes.
+        let a2 = k2.series[0].availability.expect("k=2 window ops");
+        assert_eq!(
+            k1.series[0].window_attempts, k2.series[0].window_attempts,
+            "fixed windows must give k-independent denominators"
+        );
+        assert!(a1 <= 0.90, "k=1 availability {a1:.3} suspiciously high");
+        assert!(
+            a2 > a1,
+            "k=2 availability ({a2:.3}) must beat k=1 ({a1:.3})"
+        );
+        assert!(a2 >= 0.99, "k=2 availability {a2:.3} below 99%");
+        // Replica maintenance costs messages: the k=2 run spends more.
+        assert!(k2.series[0].messages > k1.series[0].messages);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! `tests/fixtures/scenario_smoke_seed.json`): their rate arithmetic, seeds
 //! and key-draw order are deliberately identical.
 
-use baton_net::{LatencyPlan, LinkDegradation, LinkScope, RegionMap, SimTime};
+use baton_net::{LatencyPlan, LinkDegradation, LinkScope, RegionMap, RepairPolicy, SimTime};
 use baton_workload::{
     FaultEvent, FaultKind, FaultPlan, KeyDistribution, KeyMix, KeyWindow, OpRates, Phase,
     PhasedWorkload, DOMAIN_HIGH, DOMAIN_LOW,
@@ -49,6 +49,11 @@ pub struct ScenarioPlan {
     pub workload: PhasedWorkload,
     /// Timed fault events injected into the run.
     pub faults: FaultPlan,
+    /// Replication degree k applied to every overlay after construction
+    /// (clamped to each overlay's supported maximum).  1 — the default and
+    /// every legacy plan — leaves the overlays byte-identical to the
+    /// pre-replication engine.
+    pub replicas: usize,
 }
 
 /// The scenario's network size: the profile's largest configured network.
@@ -96,6 +101,7 @@ pub fn latency_under_churn_plan(profile: &Profile) -> ScenarioPlan {
             KeyMix::Uniform,
         ),
         faults: FaultPlan::none(),
+        replicas: 1,
     }
 }
 
@@ -141,6 +147,7 @@ pub fn flash_crowd_plan(profile: &Profile) -> ScenarioPlan {
         },
         workload,
         faults: FaultPlan::none(),
+        replicas: 1,
     }
 }
 
@@ -223,7 +230,104 @@ pub fn regional_failure_plan(profile: &Profile) -> ScenarioPlan {
                 region: 1,
                 fraction: 0.5,
             },
-        }]),
+        }])
+        .with_repair(repair_policy()),
+        replicas: 1,
+    }
+}
+
+/// The repair timing shared by the deferred-failure scenarios: a surviving
+/// replica streams the slice back in ~250ms; with no replica the slice
+/// waits out a ~10s timeout-detected rebuild.
+fn repair_policy() -> RepairPolicy {
+    RepairPolicy {
+        fast: SimTime::from_millis(250),
+        slow: SimTime::from_secs(10),
+    }
+}
+
+/// `cascading_failure` — two correlated waves: half of region 1 fails at
+/// t = 15s and, before its repairs can finish, half of region 2 follows at
+/// t = 30s.  Elevated joins refill the overlay after each wave.  Victims
+/// stay dead until their timed repair runs, so the scenario measures
+/// availability under compounding damage — the regime where replication
+/// degree decides whether exact-match reads keep answering.
+pub fn cascading_failure_plan(profile: &Profile) -> ScenarioPlan {
+    let n = scenario_n(profile);
+    let (map, latency) = four_regions(profile, 0xCA5C);
+    let phase_len = SimTime::from_secs(15);
+    let search_rate = (profile.query_count() as f64 / 60.0).max(0.5);
+    let steady = OpRates {
+        search: search_rate,
+        range: search_rate / 4.0,
+        insert: search_rate / 2.0,
+        ..OpRates::zero()
+    };
+    // Each wave kills ~n/8 peers; the following phase replaces them.
+    let recovery_join = (n as f64 / 8.0) / 15.0;
+    ScenarioPlan {
+        title: format!(
+            "cascading regional failures, N = {n}: 50% of region 1 fails at t = 15s \
+             and 50% of region 2 at t = 30s, joins refill after each wave; \
+             timed repair (fast 250ms / slow 10s), log-normal links \
+             (intra 10ms, inter 60ms)"
+        ),
+        n,
+        build: BuildKind::default(),
+        load: KeyDistribution::Uniform,
+        latency,
+        workload: PhasedWorkload {
+            phases: vec![
+                Phase {
+                    duration: phase_len,
+                    rates: steady,
+                    keys: KeyMix::Uniform,
+                },
+                Phase {
+                    duration: phase_len,
+                    rates: OpRates {
+                        join: recovery_join,
+                        ..steady
+                    },
+                    keys: KeyMix::Uniform,
+                },
+                Phase {
+                    duration: phase_len,
+                    rates: OpRates {
+                        join: recovery_join,
+                        ..steady
+                    },
+                    keys: KeyMix::Uniform,
+                },
+                Phase {
+                    duration: phase_len,
+                    rates: steady,
+                    keys: KeyMix::Uniform,
+                },
+            ],
+            windows: Vec::new(),
+            range_selectivity: 0.001,
+        },
+        faults: FaultPlan::new(vec![
+            FaultEvent {
+                at: SimTime::from_secs(15),
+                kind: FaultKind::KillRegion {
+                    map,
+                    region: 1,
+                    fraction: 0.5,
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(30),
+                kind: FaultKind::KillRegion {
+                    map,
+                    region: 2,
+                    fraction: 0.5,
+                },
+            },
+        ])
+        .with_repair(repair_policy()),
+        replicas: 1,
     }
 }
 
@@ -266,6 +370,7 @@ pub fn degraded_links_plan(profile: &Profile) -> ScenarioPlan {
             KeyMix::Uniform,
         ),
         faults: FaultPlan::none(),
+        replicas: 1,
     }
 }
 
@@ -307,6 +412,7 @@ pub fn skew_ramp_plan(profile: &Profile) -> ScenarioPlan {
             range_selectivity: 0.001,
         },
         faults: FaultPlan::none(),
+        replicas: 1,
     }
 }
 
@@ -350,6 +456,26 @@ mod tests {
             FaultKind::KillRegion { region: 1, .. }
         ));
         assert!(regional.latency.region_map().is_some());
+        // Deferred kills: victims wait out the repair policy's delay.
+        let policy = regional.faults.repair().expect("regional defers repairs");
+        assert!(policy.fast < policy.slow);
+
+        let cascading = cascading_failure_plan(&profile);
+        assert_eq!(cascading.workload.phases.len(), 4);
+        assert_eq!(cascading.faults.events().len(), 2);
+        assert!(cascading.faults.events()[0].at < cascading.faults.events()[1].at);
+        let regions: Vec<u32> = cascading
+            .faults
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::KillRegion { region, .. } => region,
+                other => panic!("cascading wants regional kills, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(regions, vec![1, 2], "the waves hit different regions");
+        assert_eq!(cascading.faults.repair(), Some(&repair_policy()));
+        assert_eq!(cascading.replicas, 1, "k stays a CLI / caller knob");
 
         let degraded = degraded_links_plan(&profile);
         assert!(degraded.faults.is_empty());
@@ -389,6 +515,12 @@ mod tests {
             .region_map()
             .unwrap();
         let b = degraded_links_plan(&profile).latency.region_map().unwrap();
+        let c = cascading_failure_plan(&profile)
+            .latency
+            .region_map()
+            .unwrap();
         assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
     }
 }

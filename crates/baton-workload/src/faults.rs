@@ -9,7 +9,7 @@
 //! deterministically from the run's seeded RNG, so a fault plan is as
 //! reproducible as the workload around it.
 
-use baton_net::{PeerId, RegionMap, SimRng, SimTime};
+use baton_net::{PeerId, RegionMap, RepairPolicy, SimRng, SimTime};
 
 /// What a [`FaultEvent`] does when it fires.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -79,6 +79,11 @@ fn pick(mut pool: Vec<PeerId>, count: usize, rng: &mut SimRng) -> Vec<PeerId> {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+    /// When set, fault kills are *deferred*: the victim is marked dead and
+    /// repaired only after the policy's delay, opening a measurable
+    /// availability window.  `None` (the default, and every legacy plan)
+    /// keeps the immediate kill-and-recover behaviour.
+    repair: Option<RepairPolicy>,
 }
 
 impl FaultPlan {
@@ -90,7 +95,21 @@ impl FaultPlan {
     /// A plan firing the given events (sorted by time on construction).
     pub fn new(mut events: Vec<FaultEvent>) -> Self {
         events.sort_by_key(|e| e.at);
-        Self { events }
+        Self {
+            events,
+            repair: None,
+        }
+    }
+
+    /// Switches the plan to deferred kills repaired per `policy`.
+    pub fn with_repair(mut self, policy: RepairPolicy) -> Self {
+        self.repair = Some(policy);
+        self
+    }
+
+    /// The repair policy, if the plan defers its kills.
+    pub fn repair(&self) -> Option<&RepairPolicy> {
+        self.repair.as_ref()
     }
 
     /// The events, in firing order.

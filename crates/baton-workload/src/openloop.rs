@@ -18,7 +18,9 @@
 
 use std::collections::BTreeMap;
 
-use baton_net::{OpId, Overlay, OverlayError, OverlayResult, PeerId, SimRng, SimTime};
+use baton_net::{
+    OpId, Overlay, OverlayError, OverlayResult, PeerId, RepairPolicy, SimRng, SimTime,
+};
 
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::keys::{DOMAIN_HIGH, DOMAIN_LOW};
@@ -139,6 +141,27 @@ pub struct OpenLoopOutcome {
     /// `executed`, tallied here as well so reports can attribute correlated
     /// failures separately from the Poisson `fail` arrivals).
     pub fault_kills: u64,
+    /// Operations that reached a dead, not-yet-repaired peer with no
+    /// replica able to answer, per class, over the whole run.  Distinct
+    /// from `skipped` (the operation was never attempted) — an unavailable
+    /// operation was attempted and failed.
+    pub unavailable: BTreeMap<&'static str, u64>,
+    /// Operations dispatched inside a fault-assessment window
+    /// (`[fault.at, fault.at + policy.slow]` per fault event), per class —
+    /// the denominator of [`availability`](Self::availability).
+    pub window_attempts: BTreeMap<&'static str, u64>,
+    /// The in-window subset of [`unavailable`](Self::unavailable), per
+    /// class — the numerator of [`availability`](Self::availability).
+    /// (A straggling repair can fail an operation *after* its window
+    /// closed; that failure counts in `unavailable` but not here.)
+    pub window_unavailable: BTreeMap<&'static str, u64>,
+    /// Time from each deferred kill to its completed repair, in completion
+    /// order (including retry delays when the first repair attempt itself
+    /// hit an availability window).
+    pub repair_times: Vec<SimTime>,
+    /// Deferred repairs abandoned after exhausting their retry budget.
+    /// Zero in any healthy run; non-zero flags unrecoverable state.
+    pub repairs_abandoned: u64,
 }
 
 impl OpenLoopOutcome {
@@ -172,6 +195,34 @@ impl OpenLoopOutcome {
         self.latencies
             .get(class.name())
             .and_then(|samples| LatencySummary::from_samples(samples))
+    }
+
+    /// Total operations that surfaced unavailability, across the run.
+    pub fn total_unavailable(&self) -> u64 {
+        self.unavailable.values().sum()
+    }
+
+    /// Operations of one class that surfaced unavailability.
+    pub fn unavailable_of(&self, class: OpClass) -> u64 {
+        self.unavailable.get(class.name()).copied().unwrap_or(0)
+    }
+
+    /// Fraction of fault-window dispatches that succeeded, in `[0, 1]`;
+    /// `None` when no operation was dispatched during a window (nothing to
+    /// measure — in particular every faultless legacy run).
+    pub fn availability(&self) -> Option<f64> {
+        let attempts: u64 = self.window_attempts.values().sum();
+        if attempts == 0 {
+            return None;
+        }
+        let failed = self.window_unavailable.values().sum::<u64>().min(attempts);
+        Some((attempts - failed) as f64 / attempts as f64)
+    }
+
+    /// Latency percentiles of the time-to-repair samples; `None` if no
+    /// deferred repair completed.
+    pub fn repair_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_samples(&self.repair_times)
     }
 
     /// Records a completed dispatch: the executed count, its messages, and
@@ -214,10 +265,107 @@ fn kill_peer(overlay: &mut dyn Overlay, victim: PeerId) -> OverlayResult<Option<
     }
 }
 
+/// A deferred repair awaiting its scheduled instant.
+#[derive(Clone, Copy, Debug)]
+struct PendingRepair {
+    /// Instant the repair runs.
+    at: SimTime,
+    /// The dead peer to mend.
+    victim: PeerId,
+    /// Instant the peer was killed — `at − killed_at` is the time-to-repair
+    /// sample once the repair completes.
+    killed_at: SimTime,
+    /// Retry count: a repair can itself hit an availability window (its
+    /// replacement peer is also dead) and be re-queued.
+    retries: u32,
+}
+
+/// Retry budget of one deferred repair.  Retries converge because repairs
+/// run in time order — whatever dead peer blocked this repair has its own
+/// pending repair — so the cap only guards against unrecoverable state.
+const REPAIR_RETRY_LIMIT: u32 = 32;
+
+/// Runs every pending repair due at or before `until` (all of them when
+/// `None`), earliest first.  A repair that hits an availability window is
+/// re-queued one retry delay later, up to [`REPAIR_RETRY_LIMIT`].  Each
+/// completed repair re-stages any pending victim that regained a live
+/// replica holder onto the fast path (see
+/// [`Overlay::repair_fast_eligible`]), so correlated kills recover as a
+/// fast-path cascade instead of serialising on the slow path.
+fn drain_repairs(
+    overlay: &mut dyn Overlay,
+    pending: &mut Vec<PendingRepair>,
+    retry_delay: SimTime,
+    until: Option<SimTime>,
+    outcome: &mut OpenLoopOutcome,
+) -> OverlayResult<()> {
+    loop {
+        let due = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| until.is_none_or(|t| r.at <= t))
+            .min_by_key(|(_, r)| (r.at, r.victim))
+            .map(|(i, _)| i);
+        let Some(index) = due else {
+            return Ok(());
+        };
+        let repair = pending.remove(index);
+        overlay.advance_to(repair.at);
+        match overlay.repair_peer(repair.victim) {
+            Ok(cost) => {
+                outcome.messages += cost.total_messages();
+                outcome
+                    .repair_times
+                    .push(repair.at.saturating_sub(repair.killed_at));
+                // A completed repair can bring back the replica holder of
+                // another still-pending victim.  That victim's slice can
+                // stream from the restored replica *now*, so its remaining
+                // wait collapses from the slow detect-and-rebuild path to
+                // the fast path — re-staged, never postponed.  (At k = 1
+                // nothing is ever fast-eligible and the queue is untouched.)
+                let fast_at = repair.at + retry_delay;
+                for other in pending.iter_mut() {
+                    if other.at > fast_at && overlay.repair_fast_eligible(other.victim) {
+                        other.at = fast_at;
+                    }
+                }
+            }
+            Err(OverlayError::Unavailable(_)) if repair.retries < REPAIR_RETRY_LIMIT => {
+                // A blocked repair is waiting on some other victim's repair
+                // (its replacement walk landed on a dead leaf).  Blind
+                // fixed-delay retries can exhaust the budget while the dead
+                // cluster blocking us drains, so follow the queue instead:
+                // the next pending repair is the earliest event that can
+                // unblock this one — retry one fast delay after it (after
+                // ourselves when nothing later is pending).
+                let step = retry_delay.max(SimTime::from_millis(1));
+                let next_change = pending
+                    .iter()
+                    .map(|other| other.at)
+                    .filter(|at| *at > repair.at)
+                    .min()
+                    .unwrap_or(repair.at);
+                pending.push(PendingRepair {
+                    at: next_change + step,
+                    retries: repair.retries + 1,
+                    ..repair
+                });
+            }
+            Err(OverlayError::Unavailable(_)) => outcome.repairs_abandoned += 1,
+            Err(other) => return Err(other),
+        }
+    }
+}
+
 /// Fires one fault event: advances the clock to the fault's instant,
 /// selects the victims from the live peer list, and kills each one
 /// (respecting the node floor).  Kills are accounted under the `fail`
 /// class, exactly like Poisson `fail` arrivals.
+///
+/// With a repair policy the kills are *deferred*: each victim is marked
+/// dead and a repair is queued after the policy's delay — the availability
+/// window the outcome measures.  Without one (every legacy plan) the kill
+/// runs the immediate fail-and-recover protocol as before.
 ///
 /// `fault_rng` is a stream dedicated to victim selection, separate from the
 /// key-draw stream: the number of draws a selection consumes depends on the
@@ -229,20 +377,50 @@ fn apply_fault(
     fault: &FaultEvent,
     fault_rng: &mut SimRng,
     min_nodes: usize,
+    repair: Option<&RepairPolicy>,
+    pending: &mut Vec<PendingRepair>,
     outcome: &mut OpenLoopOutcome,
 ) -> OverlayResult<()> {
     overlay.advance_to(fault.at);
-    let victims = fault.select_victims(overlay.peers(), fault_rng);
+    // Select from the *alive* peers only.  Under deferred repair the
+    // victims of an earlier wave are still members; selecting over raw
+    // membership would let a wave re-kill an already-dead peer — failing
+    // the kill and under-delivering the wave's intended severity.
+    let pool: Vec<PeerId> = overlay
+        .peers()
+        .iter()
+        .copied()
+        .filter(|p| overlay.peer_alive(*p))
+        .collect();
+    let victims = fault.select_victims(&pool, fault_rng);
     for victim in victims {
         if overlay.node_count() <= min_nodes {
             *outcome.skipped.entry(OpClass::Fail.name()).or_insert(0) += 1;
             continue;
         }
-        // A victim can disappear between selection and execution (an
+        // A victim can die or disappear between selection and execution (an
         // earlier kill's replacement protocol may have vacated it).
-        if overlay.peers().binary_search(&victim).is_err() {
+        if !overlay.peer_alive(victim) {
             *outcome.skipped.entry(OpClass::Fail.name()).or_insert(0) += 1;
             continue;
+        }
+        if let Some(policy) = repair {
+            match overlay.fail_peer_deferred(victim, policy) {
+                Ok(delay) => {
+                    pending.push(PendingRepair {
+                        at: fault.at + delay,
+                        victim,
+                        killed_at: fault.at,
+                        retries: 0,
+                    });
+                    outcome.fault_kills += 1;
+                    continue;
+                }
+                // No deferred-repair protocol: fall through to the
+                // immediate kill below.
+                Err(OverlayError::Unsupported(_)) => {}
+                Err(other) => return Err(other),
+            }
         }
         let first_op = OpId(overlay.stats().next_op_id());
         let Some(messages) = kill_peer(overlay, victim)? else {
@@ -267,6 +445,21 @@ fn apply_fault(
 /// failures degrade to graceful departures on overlays without failure
 /// support; range queries are skipped on overlays without range support —
 /// one schedule drives every system, as with the closed-loop runners.
+///
+/// When the fault plan carries a [`RepairPolicy`], its kills open
+/// *availability windows*: victims stay dead until their queued repair
+/// runs, operations dispatched inside a window are tallied per class under
+/// `window_attempts`, and any that surface [`OverlayError::Unavailable`]
+/// (the dead peer's slice had no answering replica) land in `unavailable`
+/// instead of aborting the run.  Each fault event opens a *fixed-length*
+/// assessment window `[fault.at, fault.at + policy.slow]` — the worst-case
+/// outage span.  The length is deliberately independent of how fast the
+/// repairs actually finish: a replicated overlay that mends in half a
+/// second is scored over the same denominator as the k = 1 overlay that
+/// stays dark for the full slow path, so faster repair shows up as higher
+/// availability rather than as a shorter (and therefore noisier) window.
+/// Repairs still pending after the last arrival are drained before the
+/// outcome is returned, so the overlay ends the run fully mended.
 pub fn run_phased(
     overlay: &mut dyn Overlay,
     events: &[ArrivalEvent],
@@ -284,13 +477,56 @@ pub fn run_phased(
     // run consumes `rng` exactly as the pre-fault engine did.
     let mut fault_rng = rng.derive(0xFA17);
     let mut fault_queue = faults.events().iter().peekable();
+    let repair = faults.repair();
+    let retry_delay = repair.map(|p| p.fast).unwrap_or_default();
+    // The fixed assessment windows (see above): one per fault event, from
+    // the kill to its worst-case (slow-path) repair.
+    let windows: Vec<(SimTime, SimTime)> = repair
+        .map(|policy| {
+            faults
+                .events()
+                .iter()
+                .map(|fault| (fault.at, fault.at + policy.slow))
+                .collect()
+        })
+        .unwrap_or_default();
+    let in_window = |at: SimTime| windows.iter().any(|(from, to)| at >= *from && at <= *to);
+    let mut pending: Vec<PendingRepair> = Vec::new();
     for event in events {
         while let Some(fault) = fault_queue.next_if(|f| f.at <= event.at) {
-            apply_fault(overlay, fault, &mut fault_rng, min_nodes, &mut outcome)?;
+            drain_repairs(
+                overlay,
+                &mut pending,
+                retry_delay,
+                Some(fault.at),
+                &mut outcome,
+            )?;
+            apply_fault(
+                overlay,
+                fault,
+                &mut fault_rng,
+                min_nodes,
+                repair,
+                &mut pending,
+                &mut outcome,
+            )?;
         }
+        drain_repairs(
+            overlay,
+            &mut pending,
+            retry_delay,
+            Some(event.at),
+            &mut outcome,
+        )?;
         {
             let _t = baton_net::profiler::scope("openloop.advance");
             overlay.advance_to(event.at);
+        }
+        if in_window(event.at) {
+            *outcome
+                .window_attempts
+                .entry(event.class.name())
+                .or_insert(0) += 1;
         }
         let first_op = OpId(overlay.stats().next_op_id());
         let _t = baton_net::profiler::scope(match event.class {
@@ -301,52 +537,127 @@ pub fn run_phased(
             OpClass::Leave => "openloop.leave",
             OpClass::Fail => "openloop.fail",
         });
-        let messages = match event.class {
-            OpClass::Search => Some(overlay.search_exact(keys.draw(event.at, rng))?.messages),
-            OpClass::Range => {
-                let low = keys.draw(event.at, rng);
-                let high = (low + range_width).min(DOMAIN_HIGH);
-                match overlay.search_range(low, high) {
-                    Ok(cost) => Some(cost.messages),
-                    Err(OverlayError::Unsupported(_)) => None,
-                    Err(other) => return Err(other),
+        let messages = match dispatch(
+            overlay,
+            event.class,
+            event.at,
+            &keys,
+            range_width,
+            rng,
+            min_nodes,
+        )? {
+            Dispatch::Done(messages) => messages,
+            Dispatch::Skipped => {
+                *outcome.skipped.entry(event.class.name()).or_insert(0) += 1;
+                continue;
+            }
+            Dispatch::Unavailable => {
+                *outcome.unavailable.entry(event.class.name()).or_insert(0) += 1;
+                if in_window(event.at) {
+                    *outcome
+                        .window_unavailable
+                        .entry(event.class.name())
+                        .or_insert(0) += 1;
                 }
+                continue;
             }
-            OpClass::Insert => {
-                let key = keys.draw(event.at, rng);
-                let cost = overlay.insert(key, key)?;
-                Some(cost.messages + cost.balance_messages)
-            }
-            OpClass::Join => Some(overlay.join_random()?.total_messages()),
-            OpClass::Leave | OpClass::Fail => {
-                if overlay.node_count() <= min_nodes {
-                    None
-                } else if event.class == OpClass::Fail {
-                    match overlay.fail_random() {
-                        Ok(cost) => Some(cost.total_messages()),
-                        // No failure protocol: degrade to a graceful leave.
-                        Err(OverlayError::Unsupported(_)) => {
-                            Some(overlay.leave_random()?.total_messages())
-                        }
-                        Err(other) => return Err(other),
-                    }
-                } else {
-                    Some(overlay.leave_random()?.total_messages())
-                }
-            }
-        };
-        let Some(messages) = messages else {
-            *outcome.skipped.entry(event.class.name()).or_insert(0) += 1;
-            continue;
         };
         outcome.record(overlay, event.class, first_op, messages);
     }
     // Faults scheduled after the last arrival still fire.
     for fault in fault_queue {
-        apply_fault(overlay, fault, &mut fault_rng, min_nodes, &mut outcome)?;
+        drain_repairs(
+            overlay,
+            &mut pending,
+            retry_delay,
+            Some(fault.at),
+            &mut outcome,
+        )?;
+        apply_fault(
+            overlay,
+            fault,
+            &mut fault_rng,
+            min_nodes,
+            repair,
+            &mut pending,
+            &mut outcome,
+        )?;
     }
+    // ... and so do repairs still queued past the last event.
+    drain_repairs(overlay, &mut pending, retry_delay, None, &mut outcome)?;
     outcome.makespan = overlay.now();
     Ok(outcome)
+}
+
+/// Result of one arrival dispatch.
+enum Dispatch {
+    /// Executed, spending this many messages.
+    Done(u64),
+    /// Not attempted (unsupported class or node floor).
+    Skipped,
+    /// Attempted and lost to an availability window.
+    Unavailable,
+}
+
+/// Dispatches one arrival, folding [`OverlayError::Unavailable`] into a
+/// countable outcome instead of an abort.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    overlay: &mut dyn Overlay,
+    class: OpClass,
+    at: SimTime,
+    keys: &crate::phases::ResolvedKeys,
+    range_width: u64,
+    rng: &mut SimRng,
+    min_nodes: usize,
+) -> OverlayResult<Dispatch> {
+    let attempt = |result: OverlayResult<u64>| match result {
+        Ok(messages) => Ok(Dispatch::Done(messages)),
+        Err(OverlayError::Unavailable(_)) => Ok(Dispatch::Unavailable),
+        Err(other) => Err(other),
+    };
+    match class {
+        OpClass::Search => {
+            let key = keys.draw(at, rng);
+            attempt(overlay.search_exact(key).map(|c| c.messages))
+        }
+        OpClass::Range => {
+            let low = keys.draw(at, rng);
+            let high = (low + range_width).min(DOMAIN_HIGH);
+            match overlay.search_range(low, high) {
+                Ok(cost) => Ok(Dispatch::Done(cost.messages)),
+                Err(OverlayError::Unsupported(_)) => Ok(Dispatch::Skipped),
+                Err(OverlayError::Unavailable(_)) => Ok(Dispatch::Unavailable),
+                Err(other) => Err(other),
+            }
+        }
+        OpClass::Insert => {
+            let key = keys.draw(at, rng);
+            attempt(
+                overlay
+                    .insert(key, key)
+                    .map(|c| c.messages + c.balance_messages),
+            )
+        }
+        OpClass::Join => attempt(overlay.join_random().map(|c| c.total_messages())),
+        OpClass::Leave | OpClass::Fail => {
+            if overlay.node_count() <= min_nodes {
+                Ok(Dispatch::Skipped)
+            } else if class == OpClass::Fail {
+                match overlay.fail_random() {
+                    Ok(cost) => Ok(Dispatch::Done(cost.total_messages())),
+                    // No failure protocol: degrade to a graceful leave.
+                    Err(OverlayError::Unsupported(_)) => {
+                        attempt(overlay.leave_random().map(|c| c.total_messages()))
+                    }
+                    Err(OverlayError::Unavailable(_)) => Ok(Dispatch::Unavailable),
+                    Err(other) => Err(other),
+                }
+            } else {
+                attempt(overlay.leave_random().map(|c| c.total_messages()))
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,8 +9,10 @@
 //! * `--profile full` (default): paper scale — a 10,000-node BATON build,
 //!   1000 exact-match (fig8d) and 1000 range (fig8e) queries, the
 //!   `latency_under_churn` and `regional_failure` scenarios at N = 1000,
-//!   plus the million-node `scale_build`/`mem_scale` rows and the
-//!   single- vs multi-threaded `scale_churn_t*` comparison at N = 100,000.
+//!   plus the million-node `scale_build`/`mem_scale` rows, the
+//!   single- vs multi-threaded `scale_churn_t*` comparison at N = 100,000,
+//!   and the `avail_k1`..`avail_k3` availability-under-replication rows
+//!   (`regional_failure` at N = 10,000, replication degrees 1–3).
 //! * `--profile smoke`: a reduced run for CI (seconds), including reduced
 //!   scale rows.
 //! * `--out PATH`: where to write the JSON report (default
@@ -22,7 +24,7 @@
 //!   across (default: available parallelism).  The `scale_churn_t*` rows
 //!   pin their own thread counts and are unaffected.
 //! * `--check PATH`: validate an existing report against the
-//!   `baton-perf/4` schema instead of running measurements (exit code 1 on
+//!   `baton-perf/5` schema instead of running measurements (exit code 1 on
 //!   schema violations) — the CI gate for the uploaded artifact.
 
 use std::process::ExitCode;
@@ -114,7 +116,7 @@ fn main() -> ExitCode {
         };
         return match validate_json(&text) {
             Ok(count) => {
-                println!("{path}: valid baton-perf/4 report with {count} measurement(s)");
+                println!("{path}: valid baton-perf/5 report with {count} measurement(s)");
                 ExitCode::SUCCESS
             }
             Err(problem) => {

@@ -34,6 +34,9 @@ pub struct Measurement {
     pub wall_ms: f64,
     /// Work items per wall-clock second.
     pub per_second: f64,
+    /// Availability fraction measured by the run (the `avail_k*` rows);
+    /// `None` for pure timing rows.  When present it is in `[0, 1]`.
+    pub availability: Option<f64>,
 }
 
 impl Measurement {
@@ -60,6 +63,7 @@ impl Measurement {
                 unit: unit.to_owned(),
                 wall_ms,
                 per_second,
+                availability: None,
             },
             value,
         )
@@ -97,6 +101,10 @@ pub struct PerfProfile {
     /// Worker threads of the parallel scale-churn row (compared against a
     /// single-threaded run of the same profile).
     pub scale_threads: usize,
+    /// Profile of the availability rows (`avail_k1`..`avail_k3`): the
+    /// `regional_failure` scenario, BATON only, at replication degrees
+    /// 1 through 3.
+    pub avail: Profile,
 }
 
 impl PerfProfile {
@@ -136,6 +144,14 @@ impl PerfProfile {
                 seed: 2005,
             },
             scale_threads: 4,
+            avail: Profile {
+                network_sizes: vec![10_000],
+                repetitions: 1,
+                data_scale: 0.02,
+                query_scale: 1.0,
+                churn_ops: 100,
+                seed: 2005,
+            },
         }
     }
 
@@ -166,6 +182,14 @@ impl PerfProfile {
                 seed: 2005,
             },
             scale_threads: 2,
+            avail: Profile {
+                network_sizes: vec![200],
+                repetitions: 1,
+                data_scale: 0.02,
+                query_scale: 1.0,
+                churn_ops: 20,
+                seed: 2005,
+            },
         }
     }
 
@@ -218,6 +242,7 @@ fn push_mem_row(
         unit: "bytes/peer".to_owned(),
         wall_ms: 0.0,
         per_second: 0.0,
+        availability: None,
     });
 }
 
@@ -487,6 +512,36 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
             );
             measurements.push(churn_m);
         }
+        // Availability-under-replication rows: the `regional_failure`
+        // scenario at replication degrees k = 1..3.  The wall clock is
+        // recorded like any other scenario row, but the headline column is
+        // `availability` — the fraction of operations dispatched inside the
+        // fault window that succeeded, rising from the unreplicated baseline
+        // to near-1 once every key has a live replica.
+        let avail_n = *profile.avail.network_sizes.last().unwrap_or(&0);
+        for k in 1..=3usize {
+            let (mut avail_m, availability) = Measurement::timed(
+                &format!("avail_k{k}"),
+                format!(
+                    "regional_failure scenario, N = {avail_n}, BATON only, bulk-built, \
+                     replication k = {k}"
+                ),
+                "ops",
+                || {
+                    let result = scenario::run_scenario_with_options(
+                        "regional_failure",
+                        &profile.avail,
+                        Some(scenario::BuildKind::Bulk),
+                        Some(k),
+                    )
+                    .expect("registered scenario");
+                    (scenario_ops(&result), result.series[0].availability)
+                },
+            );
+            avail_m.availability = availability;
+            measurements.push(avail_m);
+        }
+
         // Restore the caller's overlay selection (the full list is
         // equivalent to no filter).
         let restore: Vec<String> = selected.iter().map(|s| (*s).to_owned()).collect();
@@ -498,18 +553,24 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
 
 /// Renders a perf report as the `BENCH_perf.json` document.
 ///
-/// Schema (`baton-perf/4` — version 4 added the `curve_*` per-op cost-curve
-/// rows, switched the `scale_build` row to the bulk constructor, and added
-/// the optional `"profiler"` section emitted when the harness is compiled
-/// with the `profiler` feature):
+/// Schema (`baton-perf/5` — version 5 added the `avail_k1`..`avail_k3`
+/// availability rows and the optional per-measurement `"availability"`
+/// field carrying the fraction of fault-window operations that succeeded;
+/// version 4 added the `curve_*` per-op cost-curve rows, switched the
+/// `scale_build` row to the bulk constructor, and added the optional
+/// `"profiler"` section emitted when the harness is compiled with the
+/// `profiler` feature):
 ///
 /// ```json
 /// {
-///   "schema": "baton-perf/4",
+///   "schema": "baton-perf/5",
 ///   "profile": "full",
 ///   "measurements": [
 ///     {"id": "build", "detail": "…", "work_items": 10000,
-///      "unit": "joins", "wall_ms": 1234.5, "per_second": 8100.2}
+///      "unit": "joins", "wall_ms": 1234.5, "per_second": 8100.2},
+///     {"id": "avail_k2", "detail": "…", "work_items": 4000,
+///      "unit": "ops", "wall_ms": 901.2, "per_second": 4438.5,
+///      "availability": 0.9987}
 ///   ],
 ///   "profiler": [
 ///     {"name": "openloop.join", "count": 5000, "total_ns": 123456}
@@ -521,7 +582,7 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
 /// document stays byte-identical with the feature off.
 pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"baton-perf/4\",");
+    let _ = writeln!(out, "  \"schema\": \"baton-perf/5\",");
     let _ = writeln!(out, "  \"profile\": {},", json_string(profile.name));
     out.push_str("  \"measurements\": [");
     for (i, m) in measurements.iter().enumerate() {
@@ -535,6 +596,9 @@ pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> Strin
         let _ = write!(out, "\"unit\": {}, ", json_string(&m.unit));
         let _ = write!(out, "\"wall_ms\": {:.3}, ", m.wall_ms);
         let _ = write!(out, "\"per_second\": {:.3}", m.per_second);
+        if let Some(availability) = m.availability {
+            let _ = write!(out, ", \"availability\": {availability:.4}");
+        }
         out.push('}');
     }
     if !measurements.is_empty() {
@@ -562,11 +626,11 @@ pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> Strin
     out
 }
 
-/// Validates that `text` parses as a `baton-perf/4` document: well-formed
+/// Validates that `text` parses as a `baton-perf/5` document: well-formed
 /// JSON (for the subset the renderer emits), the schema marker, at least
-/// one measurement carrying every required field with finite numbers, and —
-/// when the optional `"profiler"` section is present — well-formed scope
-/// rows.
+/// one measurement carrying every required field with finite numbers (and,
+/// when present, an `availability` fraction in `[0, 1]`), and — when the
+/// optional `"profiler"` section is present — well-formed scope rows.
 ///
 /// Returns the number of measurements, or a description of the first
 /// problem.  Used by the `perf --check` mode so CI can gate on the artifact
@@ -578,7 +642,7 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "baton-perf/4" {
+    if schema != "baton-perf/5" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     root.get("profile")
@@ -607,6 +671,16 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
                 .ok_or_else(|| format!("measurement {i} missing number {key:?}"))?;
             if !number.is_finite() || number < 0.0 {
                 return Err(format!("measurement {i} has bad {key}: {number}"));
+            }
+        }
+        if let Some(availability) = m.get("availability") {
+            let number = availability
+                .as_number()
+                .ok_or_else(|| format!("measurement {i} has non-number \"availability\""))?;
+            if !number.is_finite() || !(0.0..=1.0).contains(&number) {
+                return Err(format!(
+                    "measurement {i} has availability outside [0, 1]: {number}"
+                ));
             }
         }
     }
@@ -923,10 +997,14 @@ mod tests {
         if cores > 1 {
             expected.push("scale_churn_t2");
         }
+        expected.extend(["avail_k1", "avail_k2", "avail_k3"]);
         assert_eq!(ids, expected);
         for m in &measurements {
             assert!(m.work_items > 0, "{} did no work", m.id);
             assert!(m.wall_ms.is_finite() && m.wall_ms >= 0.0);
+            if let Some(a) = m.availability {
+                assert!((0.0..=1.0).contains(&a), "{}: availability {a}", m.id);
+            }
         }
         let rendered = render_json(&profile, &measurements);
         assert_eq!(validate_json(&rendered), Ok(expected.len()));
@@ -989,11 +1067,23 @@ mod tests {
             "{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \"measurements\": []}"
         )
         .is_err());
+        assert!(validate_json(
+            "{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \"measurements\": []}"
+        )
+        .is_err());
         // Bad number in an otherwise complete measurement.
-        let bad = "{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \"measurements\": [\
+        let bad = "{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \"measurements\": [\
                    {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                    \"work_items\": 1, \"wall_ms\": -5.0, \"per_second\": 0.0}]}";
         assert!(validate_json(bad).unwrap_err().contains("wall_ms"));
+        // An availability outside [0, 1] is rejected.
+        let bad_avail = "{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \"measurements\": [\
+                         {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
+                         \"work_items\": 1, \"wall_ms\": 5.0, \"per_second\": 0.2, \
+                         \"availability\": 1.5}]}";
+        assert!(validate_json(bad_avail)
+            .unwrap_err()
+            .contains("availability"));
     }
 
     #[test]
@@ -1001,20 +1091,20 @@ mod tests {
         let one_measurement = "{\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                                \"work_items\": 1, \"wall_ms\": 5.0, \"per_second\": 0.2}";
         let good = format!(
-            "{{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \
+            "{{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \
              \"measurements\": [{one_measurement}], \"profiler\": [\
              {{\"name\": \"openloop.join\", \"count\": 3, \"total_ns\": 900}}]}}"
         );
         assert_eq!(validate_json(&good), Ok(1));
         // An empty section must be omitted, not emitted.
         let empty = format!(
-            "{{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \
+            "{{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \
              \"measurements\": [{one_measurement}], \"profiler\": []}}"
         );
         assert!(validate_json(&empty).unwrap_err().contains("profiler"));
         // A row missing its counters is rejected.
         let bad = format!(
-            "{{\"schema\": \"baton-perf/4\", \"profile\": \"x\", \
+            "{{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \
              \"measurements\": [{one_measurement}], \"profiler\": [\
              {{\"name\": \"openloop.join\", \"count\": 3}}]}}"
         );
@@ -1077,6 +1167,7 @@ mod tests {
                 unit: "u".into(),
                 wall_ms: 1.0,
                 per_second: 1.0,
+                availability: None,
             }],
         );
         assert!(rendered.contains("\"profiler\": ["));
@@ -1100,6 +1191,7 @@ mod tests {
                 unit: "u".into(),
                 wall_ms: 1.0,
                 per_second: 1.0,
+                availability: None,
             }],
         );
         assert!(!rendered.contains("profiler"));

@@ -1,0 +1,116 @@
+//! Replication property suite: with k ≥ 2 replicas, killing any single
+//! internal peer must cost *nothing observable* — every exact-match search
+//! issued during the failover window answers with the multiplicity the
+//! sorted-vector oracle predicts (zero unavailable reads), and once the
+//! timed repair runs, the overlay holds exactly the oracle's key set (zero
+//! lost keys).  Extends the oracle pattern of `bulk_equivalence.rs` from
+//! query equivalence to fault transparency.
+//!
+//! Internal peers are the sharp case: leaves only lose their own range,
+//! but an internal BATON node is also a routing waypoint, so its death
+//! exercises both the replica read path (for its keys) and the DFS detour
+//! path (for everyone else's).
+
+use baton_core::{validate, BatonConfig, BatonSystem};
+use baton_net::{PeerId, RepairPolicy, SimRng, SimTime};
+use baton_workload::{KeyDistribution, KeyGenerator};
+
+/// Multiplicity of `key` according to the sorted oracle.
+fn oracle_multiplicity(oracle: &[u64], key: u64) -> usize {
+    oracle.partition_point(|k| *k < key + 1) - oracle.partition_point(|k| *k < key)
+}
+
+/// The seeded key set of `bulk_equivalence.rs`: 400 uniform keys plus every
+/// ninth one repeated, so duplicate multiplicities are exercised too.
+fn seeded_keys() -> Vec<u64> {
+    let generator = KeyGenerator::paper(KeyDistribution::Uniform);
+    let mut rng = SimRng::seeded(0xB01D);
+    let mut keys = generator.keys(&mut rng, 400);
+    let repeats: Vec<u64> = keys.iter().copied().step_by(9).collect();
+    keys.extend(repeats);
+    keys
+}
+
+#[test]
+fn killing_any_internal_peer_loses_no_reads_and_no_keys() {
+    let keys = seeded_keys();
+    for k in [2usize, 3] {
+        let mut system = BatonSystem::build(BatonConfig::default(), 77, 40).expect("build");
+        system
+            .set_replication(k)
+            .expect("k is within BATON's advertised range");
+
+        let mut oracle: Vec<u64> = Vec::new();
+        for key in &keys {
+            system.insert(*key, *key).expect("insert");
+            let at = oracle.partition_point(|c| *c <= *key);
+            oracle.insert(at, *key);
+        }
+        assert_eq!(system.total_items(), oracle.len(), "k={k}");
+
+        let policy = RepairPolicy {
+            fast: SimTime::from_millis(500),
+            slow: SimTime::from_secs(10),
+        };
+        let internal: Vec<PeerId> = system
+            .peers()
+            .to_vec()
+            .into_iter()
+            .filter(|p| {
+                let node = system.node(*p).expect("member");
+                node.left_child.is_some() || node.right_child.is_some()
+            })
+            .collect();
+        assert!(
+            internal.len() >= 10,
+            "a 40-node tree has plenty of internal nodes"
+        );
+
+        for victim in internal {
+            system
+                .fail_deferred(victim, &policy)
+                .unwrap_or_else(|e| panic!("k={k}: deferred failure of {victim}: {e}"));
+
+            // The failover window: the victim is dead, its repair has not
+            // run.  Every key — the victim's included — must answer from a
+            // surviving issuer with the oracle's multiplicity.
+            let issuer = system
+                .peers()
+                .iter()
+                .copied()
+                .find(|p| *p != victim)
+                .expect("a 40-node overlay has survivors");
+            for key in &keys {
+                let report = system
+                    .search_exact_from(issuer, *key)
+                    .unwrap_or_else(|e| panic!("k={k}: search {key} with {victim} dead: {e}"));
+                assert_eq!(
+                    report.matches.len(),
+                    oracle_multiplicity(&oracle, *key),
+                    "k={k}: exact {key} wrong during failover of {victim}"
+                );
+            }
+
+            // The timed repair mends the tree; nothing may have leaked.
+            system
+                .recover_failed(victim)
+                .unwrap_or_else(|e| panic!("k={k}: repair of {victim}: {e}"));
+            assert_eq!(
+                system.total_items(),
+                oracle.len(),
+                "k={k}: keys lost across the failure/repair of {victim}"
+            );
+            validate(&system)
+                .unwrap_or_else(|e| panic!("k={k}: invariants broken after {victim}: {e}"));
+        }
+
+        // After the full sweep the overlay still answers like the oracle.
+        for key in keys.iter().step_by(7) {
+            assert_eq!(
+                system.search_exact(*key).expect("exact").matches.len(),
+                oracle_multiplicity(&oracle, *key),
+                "k={k}: post-sweep exact {key}"
+            );
+        }
+    }
+}

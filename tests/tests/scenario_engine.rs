@@ -89,9 +89,10 @@ fn every_scenario_covers_every_overlay_by_registration_alone() {
     }
 }
 
-/// The correlated regional kill fires on all four overlays (targeted
-/// failure where supported, degrading to targeted graceful departures
-/// elsewhere) and its kills land in the `fail` class.
+/// The correlated regional kill fires on all four overlays: deferred
+/// fail-then-repair where the overlay supports it (BATON), and the
+/// immediate fail-and-recover protocol — attributed to the `fail` class —
+/// everywhere else.
 #[test]
 fn regional_failure_kills_peers_on_every_overlay() {
     let profile = Profile::smoke();
@@ -102,19 +103,30 @@ fn regional_failure_kills_peers_on_every_overlay() {
             "{} saw no correlated kills",
             series.overlay
         );
-        let fail_count: u64 = series
-            .classes
-            .iter()
-            .filter(|c| c.class == OpClass::Fail.name())
-            .map(|c| c.count)
-            .sum();
-        assert!(
-            fail_count >= series.fault_kills,
-            "{}: fail class ({fail_count}) must include the {} fault kills",
-            series.overlay,
-            series.fault_kills
-        );
+        if series.repairs > 0 {
+            assert_eq!(
+                series.repairs, series.fault_kills,
+                "{}: every deferred kill must be repaired",
+                series.overlay
+            );
+        } else {
+            let fail_count: u64 = series
+                .classes
+                .iter()
+                .filter(|c| c.class == OpClass::Fail.name())
+                .map(|c| c.count)
+                .sum();
+            assert!(
+                fail_count >= series.fault_kills,
+                "{}: fail class ({fail_count}) must include the {} fault kills",
+                series.overlay,
+                series.fault_kills
+            );
+        }
     }
+    // BATON is the overlay with a deferred-repair protocol: its series
+    // carries the repair bookkeeping.
+    assert!(result.series[0].repairs > 0);
     // The kills surface in the JSON rendering (legacy scenarios, with zero
     // kills, omit the key — that is what keeps their fixture stable).
     let json = render_scenarios_json(&[result]);
@@ -186,6 +198,56 @@ fn targeted_region_kills_remove_exactly_the_selected_victims() {
             )
         });
     }
+}
+
+/// Regression: a fault wave must never select a victim that is already
+/// dead.  Under deferred repair the victims of an earlier wave stay in the
+/// membership list until their repair runs, so selection over raw
+/// membership could re-kill a dead peer — erroring the kill and
+/// under-delivering the wave's severity.  Two same-instant `Kill` waves
+/// with a slow repair policy are the sharpest case: every wave-1 victim is
+/// still dead while wave 2 selects.
+#[test]
+fn staggered_fault_waves_never_reselect_dead_victims() {
+    use baton_core::{BatonConfig, BatonSystem};
+    use baton_net::{Overlay, RepairPolicy, SimRng};
+    use baton_workload::{run_phased, PhasedWorkload};
+
+    let mut overlay = BatonSystem::build(BatonConfig::default(), 0xC0FFEE, 60).expect("build");
+    overlay
+        .set_replication(2)
+        .expect("k=2 within BATON's range");
+    let workload = PhasedWorkload::queries_only(SimTime::from_secs(4), 0.0);
+    let policy = RepairPolicy {
+        fast: SimTime::from_millis(500),
+        slow: SimTime::from_secs(10),
+    };
+    let faults = FaultPlan::new(vec![
+        FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::Kill { count: 8 },
+        },
+        FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::Kill { count: 8 },
+        },
+    ])
+    .with_repair(policy);
+    let mut rng = SimRng::seeded(7);
+    let events = workload.schedule(&mut rng.derive(1));
+    let outcome = run_phased(&mut overlay, &events, &workload, &faults, &mut rng, 5).expect("run");
+
+    // 16 *distinct* peers died: dead victims are filtered out of the second
+    // wave's selection pool, so no kill is wasted or skipped.
+    assert_eq!(outcome.fault_kills, 16);
+    assert_eq!(outcome.skipped_of(OpClass::Fail), 0);
+    // Every deferred kill was repaired before the run returned.
+    assert_eq!(outcome.repair_times.len(), 16);
+    assert_eq!(outcome.repairs_abandoned, 0);
+    assert_eq!(Overlay::node_count(&overlay), 60 - 16);
+    overlay
+        .validate()
+        .expect("invariants hold after all repairs");
 }
 
 /// Fault-victim selection must not consume the shared key-draw stream:
