@@ -7,7 +7,7 @@
 
 use baton_net::{
     ChurnCost, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError,
-    OverlayResult, PeerId, SimTime,
+    OverlayResult, PeerId, SimTime, TraceBuffer, TraceConfig,
 };
 
 use crate::system::{ChordError, ChordSystem};
@@ -55,6 +55,14 @@ impl Overlay for ChordSystem {
 
     fn estimated_state_bytes(&self) -> u64 {
         ChordSystem::estimated_state_bytes(self)
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        ChordSystem::set_trace(self, config);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceBuffer> {
+        ChordSystem::take_trace(self)
     }
 
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {

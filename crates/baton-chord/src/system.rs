@@ -15,7 +15,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use baton_net::{NetMessage, OpScope, PeerId, SimNetwork, SimRng};
+use baton_net::{LinkKind, NetMessage, OpScope, PeerId, SimNetwork, SimRng};
 
 use crate::id::{ChordId, M};
 use crate::node::{ChordNode, Finger};
@@ -253,16 +253,22 @@ impl ChordSystem {
     /// (hash-table slots at the ~8/7 load-factor reciprocal), every node's
     /// finger table and key store, the sampling list and the live-id set.
     /// The shared network substrate is excluded.
+    ///
+    /// The hash-table components are modelled from `len()`, not
+    /// `capacity()`: after delete/insert churn the table's allocated
+    /// capacity depends on the per-process `RandomState` seed (rehash in
+    /// place vs. grow is decided by where hashes land), and this estimate
+    /// is sampled into deterministic scenario time series.
     pub fn estimated_state_bytes(&self) -> u64 {
         let slot = std::mem::size_of::<(PeerId, ChordNode)>() as u64 + 1;
-        let map = self.nodes.capacity() as u64 * slot * 8 / 7;
+        let map = self.nodes.len() as u64 * slot * 8 / 7;
         let heap: u64 = self
             .nodes
             .values()
             .map(|node| node.estimated_state_bytes() - std::mem::size_of::<ChordNode>() as u64)
             .sum();
         let peers = (self.peer_list.capacity() * std::mem::size_of::<PeerId>()) as u64;
-        let ids = self.used_ids.capacity() as u64 * (std::mem::size_of::<u32>() as u64 + 1) * 8 / 7;
+        let ids = self.used_ids.len() as u64 * (std::mem::size_of::<u32>() as u64 + 1) * 8 / 7;
         map + heap + peers + ids
     }
 
@@ -292,6 +298,17 @@ impl ChordSystem {
     /// [`baton_net::SimNetwork::advance_to`]).
     pub fn advance_to(&mut self, at: baton_net::SimTime) {
         self.net.advance_to(at);
+    }
+
+    /// Installs a route recorder on the underlying network (see
+    /// [`SimNetwork::set_trace`](baton_net::SimNetwork::set_trace)).
+    pub fn set_trace(&mut self, config: baton_net::TraceConfig) {
+        self.net.set_trace(config);
+    }
+
+    /// Removes and returns the route recorder, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<baton_net::TraceBuffer> {
+        self.net.take_trace()
     }
 
     /// Replaces the network's link-latency model.
@@ -396,19 +413,26 @@ impl ChordSystem {
             if target.in_half_open_interval(node.id, node.successor.1) {
                 let successor = node.successor.0;
                 self.net
-                    .send_with_hop(op, current, successor, hops + 1, ChordMessage::Lookup)
+                    .send_with_kind(
+                        op,
+                        current,
+                        successor,
+                        hops + 1,
+                        LinkKind::Successor,
+                        ChordMessage::Lookup,
+                    )
                     .ok();
                 let _ = self.net.deliver_next();
                 messages += 1;
                 hops += 1;
                 return Ok((successor, messages, hops));
             }
-            let next = node
-                .closest_preceding(target)
-                .map(|(p, _)| p)
-                .unwrap_or(node.successor.0);
+            let (next, kind) = match node.closest_preceding(target) {
+                Some((p, _)) => (p, LinkKind::Finger),
+                None => (node.successor.0, LinkKind::Successor),
+            };
             self.net
-                .send_with_hop(op, current, next, hops + 1, ChordMessage::Lookup)
+                .send_with_kind(op, current, next, hops + 1, kind, ChordMessage::Lookup)
                 .ok();
             let _ = self.net.deliver_next();
             messages += 1;

@@ -5,7 +5,7 @@
 
 use baton_net::{
     ChurnCost, Histogram, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities,
-    OverlayError, OverlayResult, PeerId, RepairPolicy, SimTime,
+    OverlayError, OverlayResult, PeerId, RepairPolicy, SimTime, TraceBuffer, TraceConfig,
 };
 
 use crate::error::BatonError;
@@ -69,6 +69,14 @@ impl Overlay for BatonSystem {
 
     fn estimated_state_bytes(&self) -> u64 {
         BatonSystem::estimated_state_bytes(self)
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        self.net.set_trace(config);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.net.take_trace()
     }
 
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {

@@ -20,7 +20,7 @@
 //! handshakes peer by peer adds no fidelity to the message counts the paper
 //! reports.
 
-use baton_net::{Histogram, LatencyModel, OpScope, PeerId, SimNetwork, SimRng, SimTime};
+use baton_net::{Histogram, LatencyModel, LinkKind, OpScope, PeerId, SimNetwork, SimRng, SimTime};
 
 use crate::config::BatonConfig;
 use crate::error::{BatonError, Result};
@@ -537,13 +537,47 @@ impl BatonSystem {
         hop_no: u32,
         message: BatonMessage,
     ) -> Result<bool> {
+        // Link classification is trace-only work: skip the sender lookup
+        // entirely on untraced runs so the hot path stays unchanged.
+        let kind = if self.net.trace_enabled() {
+            self.classify_link(from, to)
+        } else {
+            LinkKind::Other
+        };
         self.net
-            .send_with_hop(op, from, to, hop_no, message)
+            .send_with_kind(op, from, to, hop_no, kind, message)
             .map_err(|_| BatonError::PeerNotAlive(from))?;
         match self.net.deliver_next() {
             Some(Ok(_)) => Ok(true),
             Some(Err(_)) => Ok(false),
             None => Ok(true),
+        }
+    }
+
+    /// The class of the link a `from → to` hop travels, from the sender's
+    /// view: parent, child, adjacent, or a left/right routing-table entry
+    /// (paper §II).  `Other` when the sender is unknown or holds no link to
+    /// `to` (e.g. a §III-D fallback jump assembled from stale state).
+    fn classify_link(&self, from: PeerId, to: PeerId) -> LinkKind {
+        let Some(node) = self.node(from) else {
+            return LinkKind::Other;
+        };
+        let links_to = |link: &Option<NodeLink>| link.as_ref().is_some_and(|l| l.peer == to);
+        if links_to(&node.parent) {
+            LinkKind::Parent
+        } else if links_to(&node.left_child) || links_to(&node.right_child) {
+            LinkKind::Child
+        } else if links_to(&node.left_adjacent) || links_to(&node.right_adjacent) {
+            LinkKind::Adjacent
+        } else if node
+            .left_table
+            .iter()
+            .chain(node.right_table.iter())
+            .any(|(_, entry)| entry.link.peer == to)
+        {
+            LinkKind::RoutingTable
+        } else {
+            LinkKind::Other
         }
     }
 

@@ -7,7 +7,7 @@
 
 use baton_net::{
     ChurnCost, Histogram, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities,
-    OverlayError, OverlayResult, PeerId, SimTime,
+    OverlayError, OverlayResult, PeerId, SimTime, TraceBuffer, TraceConfig,
 };
 
 use crate::system::{D3Error, D3TreeSystem};
@@ -55,6 +55,14 @@ impl Overlay for D3TreeSystem {
 
     fn estimated_state_bytes(&self) -> u64 {
         D3TreeSystem::estimated_state_bytes(self)
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        D3TreeSystem::set_trace(self, config);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceBuffer> {
+        D3TreeSystem::take_trace(self)
     }
 
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {

@@ -31,7 +31,7 @@
 
 use std::collections::HashMap;
 
-use baton_net::{Histogram, NetMessage, OpScope, PeerId, SimNetwork, SimRng};
+use baton_net::{Histogram, LinkKind, NetMessage, OpScope, PeerId, SimNetwork, SimRng};
 
 use crate::node::{Bucket, BucketPeer};
 use crate::range::DRange;
@@ -202,7 +202,10 @@ impl D3TreeSystem {
     /// vectors and their peers' key multisets, the peer→bucket map
     /// (hash-table slots at the ~8/7 load-factor reciprocal), the sampling
     /// list and the backbone weight matrices.  The shared network substrate
-    /// is excluded.
+    /// is excluded.  The peer→bucket map is modelled from `len()`, not
+    /// `capacity()`: after churn the hash table's allocated capacity
+    /// depends on the per-process `RandomState` seed, and this estimate is
+    /// sampled into deterministic scenario time series.
     pub fn estimated_state_bytes(&self) -> u64 {
         let buckets = (self.buckets.capacity() * std::mem::size_of::<Bucket>()) as u64;
         let peers_in_buckets: u64 = self
@@ -217,7 +220,7 @@ impl D3TreeSystem {
             })
             .sum();
         let slot = std::mem::size_of::<(PeerId, usize)>() as u64 + 1;
-        let map = self.bucket_of.capacity() as u64 * slot * 8 / 7;
+        let map = self.bucket_of.len() as u64 * slot * 8 / 7;
         let peers = (self.peer_list.capacity() * std::mem::size_of::<PeerId>()) as u64;
         let weights: u64 = self
             .peer_weights
@@ -269,6 +272,17 @@ impl D3TreeSystem {
         self.net.advance_to(at);
     }
 
+    /// Installs a route recorder on the underlying network (see
+    /// [`SimNetwork::set_trace`](baton_net::SimNetwork::set_trace)).
+    pub fn set_trace(&mut self, config: baton_net::TraceConfig) {
+        self.net.set_trace(config);
+    }
+
+    /// Removes and returns the route recorder, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<baton_net::TraceBuffer> {
+        self.net.take_trace()
+    }
+
     /// Replaces the network's link-latency model.
     pub fn set_latency_model(&mut self, model: baton_net::LatencyModel) {
         self.net.set_latency_model(model);
@@ -300,13 +314,20 @@ impl D3TreeSystem {
 
     /// One routed hop: counted, scheduled, delivered.  Hops between two
     /// backbone roles hosted by the *same* peer are free (no message).
-    fn hop(&mut self, op: OpScope, from: PeerId, to: PeerId, hop_no: &mut u32) -> u64 {
+    fn hop(
+        &mut self,
+        op: OpScope,
+        from: PeerId,
+        to: PeerId,
+        hop_no: &mut u32,
+        kind: LinkKind,
+    ) -> u64 {
         if from == to {
             return 0;
         }
         *hop_no += 1;
         self.net
-            .send_with_hop(op, from, to, *hop_no, D3Message::Search)
+            .send_with_kind(op, from, to, *hop_no, kind, D3Message::Search)
             .ok();
         let _ = self.net.deliver_next();
         1
@@ -332,7 +353,7 @@ impl D3TreeSystem {
         let mut current = issuer;
 
         let start_head = self.buckets[start].head();
-        messages += self.hop(op, current, start_head, &mut hop_no);
+        messages += self.hop(op, current, start_head, &mut hop_no, LinkKind::Bucket);
         current = start_head;
 
         if start != target {
@@ -341,12 +362,12 @@ impl D3TreeSystem {
             let top = 63 - diff.leading_zeros();
             for k in 1..=top + 1 {
                 let next = self.host(self.height - k, start >> k);
-                messages += self.hop(op, current, next, &mut hop_no);
+                messages += self.hop(op, current, next, &mut hop_no, LinkKind::Backbone);
                 current = next;
             }
             for k in (0..=top).rev() {
                 let next = self.host(self.height - k, target >> k);
-                messages += self.hop(op, current, next, &mut hop_no);
+                messages += self.hop(op, current, next, &mut hop_no, LinkKind::Backbone);
                 current = next;
             }
         }
@@ -357,7 +378,7 @@ impl D3TreeSystem {
         for p in 1..=position {
             let from = self.buckets[target].peers[p - 1].peer;
             let to = self.buckets[target].peers[p].peer;
-            messages += self.hop(op, from, to, &mut hop_no);
+            messages += self.hop(op, from, to, &mut hop_no, LinkKind::Bucket);
         }
         Ok((target, position, messages))
     }
@@ -652,11 +673,11 @@ impl D3TreeSystem {
         // Climb from the contact's leaf to the root…
         let start = self.bucket_of[&contact];
         let start_head = self.buckets[start].head();
-        locate_messages += self.hop(op, current, start_head, &mut hop_no);
+        locate_messages += self.hop(op, current, start_head, &mut hop_no, LinkKind::Bucket);
         current = start_head;
         for k in 1..=self.height {
             let next = self.host(self.height - k, start >> k);
-            locate_messages += self.hop(op, current, next, &mut hop_no);
+            locate_messages += self.hop(op, current, next, &mut hop_no, LinkKind::Backbone);
             current = next;
         }
         // …then descend towards the lighter child (ties go left).
@@ -666,7 +687,7 @@ impl D3TreeSystem {
             let right = self.peer_weights[level as usize + 1][2 * node + 1];
             node = if right < left { 2 * node + 1 } else { 2 * node };
             let next = self.host(level + 1, node);
-            locate_messages += self.hop(op, current, next, &mut hop_no);
+            locate_messages += self.hop(op, current, next, &mut hop_no, LinkKind::Backbone);
             current = next;
         }
         let target = node;
@@ -1058,7 +1079,7 @@ impl D3TreeSystem {
                 break;
             }
             let to = self.buckets[bucket].peers[position].peer;
-            messages += self.hop(op, from, to, &mut hop_no);
+            messages += self.hop(op, from, to, &mut hop_no, LinkKind::Bucket);
         }
         self.net.finish_op(op);
         Ok(D3OpReport {

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use baton_net::{
     ChurnCost, LatencyModel, MessageStats, OpCost, Overlay, OverlayCapabilities, OverlayError,
-    OverlayResult, PeerId, SimTime,
+    OverlayResult, PeerId, SimTime, TraceBuffer, TraceConfig,
 };
 
 use crate::system::{MTreeError, MTreeSystem};
@@ -56,6 +56,14 @@ impl Overlay for MTreeSystem {
 
     fn estimated_state_bytes(&self) -> u64 {
         MTreeSystem::estimated_state_bytes(self)
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        MTreeSystem::set_trace(self, config);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceBuffer> {
+        MTreeSystem::take_trace(self)
     }
 
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use baton_net::{NetMessage, OpScope, PeerId, SimNetwork, SimRng};
+use baton_net::{LinkKind, NetMessage, OpScope, PeerId, SimNetwork, SimRng};
 
 use crate::node::{MLink, MNode};
 use crate::range::MRange;
@@ -158,10 +158,14 @@ impl MTreeSystem {
     /// Approximate resident bytes of per-peer protocol state: the node map
     /// (hash-table slots at the ~8/7 load-factor reciprocal), every node's
     /// child-link and key vectors, and the sampling list.  The shared
-    /// network substrate is excluded.
+    /// network substrate is excluded.  The node-map component is modelled
+    /// from `len()`, not `capacity()`: after churn the hash table's
+    /// allocated capacity depends on the per-process `RandomState` seed,
+    /// and this estimate is sampled into deterministic scenario time
+    /// series.
     pub fn estimated_state_bytes(&self) -> u64 {
         let slot = std::mem::size_of::<(PeerId, MNode)>() as u64 + 1;
-        let map = self.nodes.capacity() as u64 * slot * 8 / 7;
+        let map = self.nodes.len() as u64 * slot * 8 / 7;
         let heap: u64 = self
             .nodes
             .values()
@@ -209,6 +213,17 @@ impl MTreeSystem {
     /// [`baton_net::SimNetwork::advance_to`]).
     pub fn advance_to(&mut self, at: baton_net::SimTime) {
         self.net.advance_to(at);
+    }
+
+    /// Installs a route recorder on the underlying network (see
+    /// [`SimNetwork::set_trace`](baton_net::SimNetwork::set_trace)).
+    pub fn set_trace(&mut self, config: baton_net::TraceConfig) {
+        self.net.set_trace(config);
+    }
+
+    /// Removes and returns the route recorder, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<baton_net::TraceBuffer> {
+        self.net.take_trace()
     }
 
     /// Replaces the network's link-latency model.
@@ -268,19 +283,26 @@ impl MTreeSystem {
             if node.range.contains(key) {
                 return Ok((current, messages));
             }
-            let next = if node.coverage.contains(key) {
+            let (next, kind) = if node.coverage.contains(key) {
                 match node.child_covering(key) {
-                    Some(child) => child.peer,
+                    Some(child) => (child.peer, LinkKind::Child),
                     None => return Ok((current, messages)),
                 }
             } else {
                 match &node.parent {
-                    Some(p) => p.peer,
+                    Some(p) => (p.peer, LinkKind::Parent),
                     None => return Ok((current, messages)),
                 }
             };
             self.net
-                .send_with_hop(op, current, next, messages as u32 + 1, MTreeMessage::Search)
+                .send_with_kind(
+                    op,
+                    current,
+                    next,
+                    messages as u32 + 1,
+                    kind,
+                    MTreeMessage::Search,
+                )
                 .ok();
             let _ = self.net.deliver_next();
             messages += 1;
@@ -764,11 +786,12 @@ impl MTreeSystem {
                 break;
             };
             self.net
-                .send_with_hop(
+                .send_with_kind(
                     op,
                     current,
                     next,
                     nodes_visited as u32,
+                    LinkKind::Neighbor,
                     MTreeMessage::Search,
                 )
                 .ok();

@@ -78,6 +78,7 @@ pub mod profiler;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use message::{Envelope, NetMessage};
 pub use network::{DeliveryError, SendError, SimNetwork};
@@ -93,3 +94,4 @@ pub use stats::{ClassStats, Histogram, MessageStats, OpId, OpScope, OpStats};
 pub use time::{
     LatencyModel, LatencyPlan, LinkDegradation, LinkScope, RegionMap, RegionalLatency, SimTime,
 };
+pub use trace::{HopRecord, LinkKind, Span, TraceBuffer, TraceConfig};

@@ -28,6 +28,7 @@ use crate::message::{Envelope, NetMessage};
 use crate::peer::{PeerId, PeerRegistry, PeerStatus};
 use crate::stats::{MessageStats, OpScope};
 use crate::time::{LatencyModel, RegionMap, SimTime};
+use crate::trace::{HopRecord, LinkKind, TraceBuffer, TraceConfig};
 
 /// Error returned by [`SimNetwork::send`] when the *sender* is not a live
 /// peer (sending from a dead peer indicates a protocol bug, not a simulated
@@ -277,6 +278,9 @@ pub struct SimNetwork<M> {
     horizon: SimTime,
     latency: LatencyModel,
     stats: MessageStats,
+    /// Opt-in route recorder; `None` (the default) is a pure `is_some`
+    /// check on every hot path, so disabled tracing costs nothing.
+    trace: Option<Box<TraceBuffer>>,
 }
 
 impl<M: NetMessage> SimNetwork<M> {
@@ -298,6 +302,7 @@ impl<M: NetMessage> SimNetwork<M> {
             horizon: SimTime::ZERO,
             latency,
             stats: MessageStats::new(),
+            trace: None,
         }
     }
 
@@ -414,7 +419,11 @@ impl<M: NetMessage> SimNetwork<M> {
     /// Opens a new operation accounting scope with the given label, issued
     /// at the current arrival clock.
     pub fn begin_op(&mut self, label: &str) -> OpScope {
-        self.stats.begin_op_at(label, self.arrival_clock)
+        let scope = self.stats.begin_op_at(label, self.arrival_clock);
+        if let Some(trace) = &mut self.trace {
+            trace.begin(scope.id, label, self.arrival_clock);
+        }
+        scope
     }
 
     /// Closes an operation scope, stamping the operation's completion time
@@ -423,6 +432,39 @@ impl<M: NetMessage> SimNetwork<M> {
     /// [`OpStats::latency`](crate::stats::OpStats::latency).
     pub fn finish_op(&mut self, scope: OpScope) {
         self.stats.finish_op(scope.id);
+        if let Some(trace) = &mut self.trace {
+            let at = self
+                .stats
+                .op(scope.id)
+                .and_then(|s| s.finished_at)
+                .unwrap_or(self.arrival_clock);
+            trace.finish(scope.id, at);
+        }
+    }
+
+    /// Installs a route recorder: every sampled operation begun from now on
+    /// records a [`Span`](crate::trace::Span) of its hops, bounded by the
+    /// config's ring-buffer capacity.  Tracing is pure observation — it
+    /// never perturbs statistics, latency draws or the event queue.
+    pub fn set_trace(&mut self, config: TraceConfig) {
+        self.trace = Some(Box::new(TraceBuffer::new(config)));
+    }
+
+    /// Removes and returns the route recorder, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.trace.take().map(|boxed| *boxed)
+    }
+
+    /// `true` while a route recorder is installed.  Overlays check this
+    /// before doing any per-hop link classification work, keeping the
+    /// disabled path zero-cost.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Read-only access to the installed route recorder, if any.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_deref()
     }
 
     /// Sends a message from `from` to `to`, attributed to operation `op`,
@@ -440,16 +482,55 @@ impl<M: NetMessage> SimNetwork<M> {
         hop: u32,
         payload: M,
     ) -> Result<(), SendError> {
+        self.send_with_kind(op, from, to, hop, LinkKind::Other, payload)
+    }
+
+    /// [`send_with_hop`](Self::send_with_hop) with an explicit link-kind tag
+    /// for the route recorder.
+    ///
+    /// Overlays call this from their send sites with the class of the link
+    /// the hop travels (BATON parent/child/adjacent/routing-table, Chord
+    /// successor/finger, …); the tag is only consumed when tracing is
+    /// enabled and never affects accounting or scheduling.
+    pub fn send_with_kind(
+        &mut self,
+        op: OpScope,
+        from: PeerId,
+        to: PeerId,
+        hop: u32,
+        kind: LinkKind,
+        payload: M,
+    ) -> Result<(), SendError> {
         match self.peers.status(from) {
             None => return Err(SendError::UnknownSender(from)),
             Some(status) if !status.is_alive() => return Err(SendError::DeadSender(from)),
             Some(_) => {}
         }
         let bytes = payload.approximate_size();
-        self.stats.record_send(op.id, payload.kind(), bytes, hop);
+        let message = payload.kind();
+        self.stats.record_send(op.id, message, bytes, hop);
         let sent_at = self.stats.op_frontier(op.id).unwrap_or(self.arrival_clock);
         let deliver_at = sent_at + self.latency.sample(from, to, sent_at);
         self.horizon = self.horizon.max(deliver_at);
+        if let Some(trace) = &mut self.trace {
+            // Recorded optimistically as delivered; `deliver_next` flips
+            // the flag if the destination turns out to be dead.
+            let detour = self.stats.op(op.id).is_some_and(|s| s.in_detour());
+            trace.record_hop(
+                op.id,
+                HopRecord {
+                    from,
+                    to,
+                    hop,
+                    kind,
+                    message,
+                    sent_at,
+                    arrive_at: deliver_at,
+                    delivered: true,
+                    detour,
+                },
+            );
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Scheduled {
@@ -495,10 +576,28 @@ impl<M: NetMessage> SimNetwork<M> {
         let lands_at = sent_at + self.latency.sample(from, to, sent_at);
         self.horizon = self.horizon.max(lands_at);
         self.stats.extend_op_completion(op.id, lands_at);
-        if self.peers.is_alive(to) {
+        let delivered = self.peers.is_alive(to);
+        if delivered {
             self.stats.record_delivery(to);
         } else {
             self.stats.record_failure(op.id);
+        }
+        if let Some(trace) = &mut self.trace {
+            let detour = self.stats.op(op.id).is_some_and(|s| s.in_detour());
+            trace.record_hop(
+                op.id,
+                HopRecord {
+                    from,
+                    to,
+                    hop: 1,
+                    kind: LinkKind::Notify,
+                    message: kind,
+                    sent_at,
+                    arrive_at: lands_at,
+                    delivered,
+                    detour,
+                },
+            );
         }
     }
 
@@ -533,6 +632,9 @@ impl<M: NetMessage> SimNetwork<M> {
             Some(Ok(envelope))
         } else {
             self.stats.record_failure(envelope.op);
+            if let Some(trace) = &mut self.trace {
+                trace.mark_bounce(envelope.op, envelope.to, envelope.deliver_at);
+            }
             Some(Err(DeliveryError {
                 envelope,
                 destination_status: status,

@@ -20,6 +20,7 @@
 use crate::peer::PeerId;
 use crate::stats::{Histogram, MessageStats};
 use crate::time::{LatencyModel, SimTime};
+use crate::trace::{TraceBuffer, TraceConfig};
 
 /// How long a failed peer stays dead before the surviving replicas finish
 /// re-replicating its slice (tentpole (c): timed repair on the virtual
@@ -246,6 +247,24 @@ pub trait Overlay {
     /// reports next to the paper's message counts.
     fn op_latencies(&self) -> Vec<(String, SimTime)> {
         self.stats().op_latencies()
+    }
+
+    /// Installs a route recorder on the overlay's network: every sampled
+    /// operation from now on records a per-hop
+    /// [`Span`](crate::trace::Span), bounded by the config's ring-buffer
+    /// capacity.  Pure observation — statistics, latency draws and message
+    /// counts are untouched.
+    ///
+    /// Default: no-op — for test doubles without a simulated network;
+    /// [`take_trace`](Self::take_trace) then returns `None`.
+    fn set_trace(&mut self, _config: TraceConfig) {}
+
+    /// Removes and returns the route recorder installed by
+    /// [`set_trace`](Self::set_trace), disabling tracing.
+    ///
+    /// Default: `None`.
+    fn take_trace(&mut self) -> Option<TraceBuffer> {
+        None
     }
 
     /// The live peers, sorted by id.

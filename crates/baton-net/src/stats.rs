@@ -37,6 +37,15 @@ pub struct OpStats {
     pub messages: u64,
     /// Messages that could not be delivered because the destination was dead.
     pub failed_deliveries: u64,
+    /// Messages charged to the operation's failover detour: the first
+    /// message that bounced off a dead peer plus everything sent after it.
+    /// A healthy operation keeps this at zero, so
+    /// `messages == primary + detour` splits first-try routing cost from
+    /// recovery cost.
+    pub detour_messages: u64,
+    /// `true` once the operation has bounced off at least one dead peer;
+    /// subsequent sends are recovery work and count as detour messages.
+    pub(crate) detour: bool,
     /// Total bytes of the messages (approximate, see
     /// [`crate::message::NetMessage::approximate_size`]).
     pub bytes: u64,
@@ -64,6 +73,17 @@ impl OpStats {
     pub fn latency(&self) -> Option<SimTime> {
         self.finished_at
             .map(|finished| finished.saturating_sub(self.started_at))
+    }
+
+    /// Messages sent before the operation's first bounce (first-try routing
+    /// cost): `messages − detour_messages`.
+    pub fn primary_messages(&self) -> u64 {
+        self.messages - self.detour_messages
+    }
+
+    /// `true` once the operation has entered failover-detour mode.
+    pub fn in_detour(&self) -> bool {
+        self.detour
     }
 }
 
@@ -214,6 +234,7 @@ pub struct ClassStats {
     messages_sum: u64,
     bytes: u64,
     failed_deliveries: u64,
+    detour_hops: u64,
     latency_us_sum: u64,
     messages: Histogram,
     hops: Histogram,
@@ -233,6 +254,7 @@ impl ClassStats {
         self.messages_sum += op.messages;
         self.bytes += op.bytes;
         self.failed_deliveries += op.failed_deliveries;
+        self.detour_hops += op.detour_messages;
         self.messages.record(op.messages as usize);
         self.hops.record(op.max_hops as usize);
         let latency = op.latency().unwrap_or(SimTime::ZERO);
@@ -264,6 +286,20 @@ impl ClassStats {
     /// Total failed deliveries across retired operations.
     pub fn failed_deliveries(&self) -> u64 {
         self.failed_deliveries
+    }
+
+    /// Total failover-detour hops across retired operations: messages sent
+    /// at or after each operation's first bounce off a dead peer.  Splits
+    /// the class's hop budget into first-try routing and recovery work —
+    /// `messages_sum() == primary_hops() + detour_hops()` always holds.
+    pub fn detour_hops(&self) -> u64 {
+        self.detour_hops
+    }
+
+    /// Total first-try hops across retired operations (messages sent before
+    /// any bounce).
+    pub fn primary_hops(&self) -> u64 {
+        self.messages_sum - self.detour_hops
     }
 
     /// Distribution of messages per retired operation.
@@ -578,6 +614,9 @@ impl MessageStats {
             stats.messages += 1;
             stats.bytes += bytes as u64;
             stats.max_hops = stats.max_hops.max(hop);
+            if stats.detour {
+                stats.detour_messages += 1;
+            }
         }
     }
 
@@ -596,6 +635,14 @@ impl MessageStats {
         self.total_failed += 1;
         if let Some(stats) = self.live_mut(op) {
             stats.failed_deliveries += 1;
+            // The bounced message opens the operation's failover detour:
+            // it was counted as first-try at send time (the sender could
+            // not know the destination was dead), so reclassify it, and
+            // every later send of this op counts as detour at send time.
+            if !stats.detour {
+                stats.detour = true;
+                stats.detour_messages += 1;
+            }
         }
     }
 

@@ -49,6 +49,19 @@
 //! array, the scenario array, or — when both are requested — one object
 //! `{"figures": [...], "scenarios": [...]}`.  `--csv` prints one CSV block
 //! per figure and per scenario.
+//!
+//! Observability: `--trace PATH` attaches the route recorder to the first
+//! repetition of every overlay in every selected scenario and writes the
+//! captured span trees to `PATH` — `--trace-format jsonl` (the default; one
+//! span per line, validated by `--check-trace`) or `chrome` (the
+//! `trace_event` format `chrome://tracing` and Perfetto load).
+//! `--trace-sample N` records every Nth operation (default 1 = all); the
+//! recorder holds at most 4096 finished spans per overlay (oldest evicted).
+//! A hop-anatomy summary table (hops by link kind per overlay) goes to
+//! stderr.  Traced runs produce byte-identical reports — the recorder
+//! observes without perturbing.  `--check-trace PATH` validates a JSONL
+//! dump (schema, closed link-kind enum, frontier-ordered hop times) and
+//! exits.
 
 use std::process::ExitCode;
 
@@ -67,6 +80,16 @@ struct Options {
     json: bool,
     csv: bool,
     list: bool,
+    trace: Option<String>,
+    trace_format: TraceFormat,
+    trace_sample: u64,
+    check_trace: Option<String>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -81,6 +104,10 @@ fn parse_args() -> Result<Options, String> {
     let mut json = false;
     let mut csv = false;
     let mut list = false;
+    let mut trace = None;
+    let mut trace_format = TraceFormat::Jsonl;
+    let mut trace_sample = 1u64;
+    let mut check_trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -154,6 +181,32 @@ fn parse_args() -> Result<Options, String> {
             "--json" => json = true,
             "--csv" => csv = true,
             "--list" => list = true,
+            "--trace" => {
+                trace = Some(args.next().ok_or("--trace needs an output path")?);
+            }
+            "--trace-format" => {
+                let value = args.next().ok_or("--trace-format needs a value")?;
+                trace_format = match value.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        return Err(format!("--trace-format wants jsonl|chrome, got '{other}'"))
+                    }
+                };
+            }
+            "--trace-sample" => {
+                let value = args.next().ok_or("--trace-sample needs a value")?;
+                let n = value.parse::<u64>().map_err(|_| {
+                    format!("--trace-sample needs an unsigned integer, got '{value}'")
+                })?;
+                if n == 0 {
+                    return Err("--trace-sample needs at least 1 (1 = every operation)".into());
+                }
+                trace_sample = n;
+            }
+            "--check-trace" => {
+                check_trace = Some(args.next().ok_or("--check-trace needs a path")?);
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: reproduce [--figure 8a..8i|all|none] \
@@ -161,7 +214,9 @@ fn parse_args() -> Result<Options, String> {
                      [--profile smoke|quick|full|paper] [--seed N] \
                      [--threads N (default: available parallelism)] \
                      [--overlays NAME[,NAME...]] [--build join|bulk] \
-                     [--replicas N] [--json] [--csv] [--list]",
+                     [--replicas N] [--json] [--csv] [--list] \
+                     [--trace PATH] [--trace-format jsonl|chrome] \
+                     [--trace-sample N] [--check-trace PATH]",
                     scenario::all_scenario_ids().join("|")
                 ))
             }
@@ -184,6 +239,10 @@ fn parse_args() -> Result<Options, String> {
         json,
         csv,
         list,
+        trace,
+        trace_format,
+        trace_sample,
+        check_trace,
     })
 }
 
@@ -230,7 +289,47 @@ fn print_catalog() {
     for spec in baton_sim::standard_overlays() {
         println!("  {}: k = 1..={}", spec.series, spec.replication.max_k);
     }
+    println!("link kinds (--trace tags every hop with one of these):");
+    for spec in baton_sim::standard_overlays() {
+        let kinds: Vec<&str> = spec.link_kinds.iter().map(|kind| kind.name()).collect();
+        println!("  {}: {}", spec.series, kinds.join(", "));
+    }
+    println!("metrics sampling (rep-0 virtual-time series in the JSON report):");
+    for spec in scenario::all_scenarios() {
+        let plan = (spec.build)(&Profile::smoke());
+        let status = if plan.metrics.is_some() {
+            "sampled"
+        } else {
+            "off"
+        };
+        println!("  {}: {status}", spec.id);
+    }
     println!("threads: {} (default)", baton_net::default_threads());
+}
+
+/// Validates a JSONL trace dump and reports the result; the `--check-trace`
+/// mode runs nothing else.
+fn run_check_trace(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("--check-trace: cannot read '{path}': {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match baton_sim::check_trace_jsonl(&text) {
+        Ok(check) => {
+            println!(
+                "trace ok: {} span(s), {} hop(s), link kinds closed, hop times frontier-ordered",
+                check.spans, check.hops
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("trace invalid: {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -244,6 +343,9 @@ fn main() -> ExitCode {
     if options.list {
         print_catalog();
         return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &options.check_trace {
+        return run_check_trace(path);
     }
     baton_net::set_threads(options.threads);
     if let Err(msg) = baton_sim::set_overlay_filter(&options.overlays) {
@@ -278,18 +380,43 @@ fn main() -> ExitCode {
         }
     };
 
-    let scenarios: Vec<_> = scenario_ids
-        .into_iter()
-        .map(|id| {
-            scenario::run_scenario_with_options(
-                id,
-                &options.profile,
-                options.build,
-                options.replicas,
-            )
-            .expect("registered scenario")
-        })
-        .collect();
+    // A traced run captures one route recorder per overlay per scenario (the
+    // first repetition) without touching the measured results; the untraced
+    // path is the exact legacy code path.
+    let trace_config = options
+        .trace
+        .as_ref()
+        .map(|_| baton_net::TraceConfig::default().with_sample(options.trace_sample));
+    let mut scenarios = Vec::new();
+    let mut traces: Vec<(String, baton_net::TraceBuffer)> = Vec::new();
+    for id in scenario_ids {
+        let (result, captured) = scenario::run_scenario_full(
+            id,
+            &options.profile,
+            options.build,
+            options.replicas,
+            trace_config,
+        )
+        .expect("registered scenario");
+        for (overlay, buffer) in captured {
+            traces.push((format!("{id}:{overlay}"), buffer));
+        }
+        scenarios.push(result);
+    }
+    if let Some(path) = &options.trace {
+        let dump = match options.trace_format {
+            TraceFormat::Jsonl => baton_sim::render_trace_jsonl(&traces),
+            TraceFormat::Chrome => baton_sim::render_trace_chrome(&traces),
+        };
+        if let Err(err) = std::fs::write(path, dump) {
+            eprintln!("--trace: cannot write '{path}': {err}");
+            return ExitCode::FAILURE;
+        }
+        // The anatomy summary goes to stderr so `--json`/`--csv` stdout
+        // stays machine-parseable.
+        eprint!("{}", baton_sim::trace_summary_table(&traces));
+        eprintln!("trace written to {path}");
+    }
 
     if options.json {
         // A figures-only (or scenarios-only) request emits the bare array so

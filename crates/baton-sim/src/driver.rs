@@ -17,7 +17,7 @@ use baton_chord::ChordSystem;
 use baton_core::{BatonConfig, BatonSystem, LoadBalanceConfig};
 use baton_d3tree::D3TreeSystem;
 use baton_mtree::MTreeSystem;
-use baton_net::{Overlay, SimRng};
+use baton_net::{LinkKind, Overlay, SimRng};
 use baton_workload::{runner, DatasetPlan, KeyDistribution};
 
 use crate::profile::Profile;
@@ -38,6 +38,11 @@ pub struct OverlaySpec {
     bulk: Option<BuildFn>,
     /// The overlay's replication capability.
     pub replication: Replication,
+    /// The link-kind taxonomy this overlay's route recorder emits: the
+    /// tagged kinds of its send sites, plus `Notify` (fire-and-forget
+    /// notifications) and `Other` (untagged protocol sends).  `--list`
+    /// prints this matrix.
+    pub link_kinds: &'static [LinkKind],
 }
 
 /// How many replicas an overlay's placement rule can maintain: each key
@@ -125,6 +130,14 @@ pub fn reference_overlay() -> OverlaySpec {
         replication: Replication {
             max_k: baton_core::BatonSystem::MAX_REPLICATION,
         },
+        link_kinds: &[
+            LinkKind::Parent,
+            LinkKind::Child,
+            LinkKind::Adjacent,
+            LinkKind::RoutingTable,
+            LinkKind::Notify,
+            LinkKind::Other,
+        ],
     }
 }
 
@@ -140,6 +153,12 @@ pub fn all_overlays() -> Vec<OverlaySpec> {
             replication: Replication {
                 max_k: ChordSystem::MAX_REPLICATION,
             },
+            link_kinds: &[
+                LinkKind::Successor,
+                LinkKind::Finger,
+                LinkKind::Notify,
+                LinkKind::Other,
+            ],
         },
         OverlaySpec {
             series: super::figures::SERIES_MTREE,
@@ -148,6 +167,13 @@ pub fn all_overlays() -> Vec<OverlaySpec> {
             replication: Replication {
                 max_k: MTreeSystem::MAX_REPLICATION,
             },
+            link_kinds: &[
+                LinkKind::Parent,
+                LinkKind::Child,
+                LinkKind::Neighbor,
+                LinkKind::Notify,
+                LinkKind::Other,
+            ],
         },
         OverlaySpec {
             series: super::figures::SERIES_D3TREE,
@@ -156,6 +182,12 @@ pub fn all_overlays() -> Vec<OverlaySpec> {
             replication: Replication {
                 max_k: D3TreeSystem::MAX_REPLICATION,
             },
+            link_kinds: &[
+                LinkKind::Backbone,
+                LinkKind::Bucket,
+                LinkKind::Notify,
+                LinkKind::Other,
+            ],
         },
     ]
 }

@@ -50,6 +50,7 @@
 
 pub mod driver;
 pub mod figures;
+pub mod observe;
 pub mod profile;
 pub mod report;
 pub mod result;
@@ -59,10 +60,14 @@ pub use driver::{
     all_overlays, clear_overlay_filter, load_overlay, overlay_names, reference_overlay,
     set_overlay_filter, standard_overlays, OverlaySpec,
 };
+pub use observe::{
+    check_trace_jsonl, render_trace_chrome, render_trace_jsonl, trace_summary_table, TraceCheck,
+};
 pub use profile::Profile;
 pub use report::{json_string, render_json, render_report, render_scenarios_json};
 pub use result::{Averager, FigureResult, SeriesPoint};
 pub use scenario::{
-    all_scenarios, flash_crowd, latency_under_churn, run_scenario, run_scenario_with_build,
-    BuildKind, ScenarioPlan, ScenarioResult, ScenarioSeries, ScenarioSpec,
+    all_scenarios, flash_crowd, latency_under_churn, run_scenario, run_scenario_full,
+    run_scenario_traced, run_scenario_with_build, BuildKind, ScenarioPlan, ScenarioResult,
+    ScenarioSeries, ScenarioSpec,
 };

@@ -125,6 +125,48 @@ pub fn render_scenarios_json(results: &[ScenarioResult]) -> String {
                     json_number(series.repair_p95_ms)
                 );
             }
+            // The sampled time series appears only when the plan carried a
+            // metrics config (the two fault scenarios): legacy fixtures
+            // never see the key.  One object per virtual-time tick.
+            if !series.timeseries.is_empty() {
+                out.push_str("\n       \"timeseries\": [");
+                for (k, sample) in series.timeseries.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "\n        {{\"t_s\": {}, \"executed\": {}, \"ops_per_sec\": {}, \
+                         \"nodes\": {}, \"in_flight\": {}, \"unavailable\": {}, \
+                         \"repair_backlog\": {}, \"state_bytes\": {}, \"classes\": {{",
+                        json_number(sample.at.as_secs_f64()),
+                        sample.executed,
+                        json_number(sample.ops_per_sec),
+                        sample.node_count,
+                        sample.in_flight,
+                        sample.unavailable,
+                        sample.repair_backlog,
+                        sample.state_bytes
+                    );
+                    for (c, (class, summary)) in sample.classes.iter().enumerate() {
+                        if c > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(
+                            out,
+                            "{}: {{\"count\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \
+                             \"p99_ms\": {}}}",
+                            json_string(class),
+                            summary.count,
+                            json_number(summary.p50.as_millis_f64()),
+                            json_number(summary.p95.as_millis_f64()),
+                            json_number(summary.p99.as_millis_f64())
+                        );
+                    }
+                    out.push_str("}}");
+                }
+                out.push_str("\n       ],");
+            }
             out.push_str(" \"skipped\": {");
             for (k, (class, count)) in series.skipped.iter().enumerate() {
                 if k > 0 {

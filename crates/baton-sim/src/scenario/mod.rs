@@ -28,8 +28,8 @@ pub mod specs;
 
 use std::fmt::Write as _;
 
-use baton_net::SimRng;
-use baton_workload::{run_phased, LatencySummary, OpClass};
+use baton_net::{SimRng, TraceBuffer, TraceConfig};
+use baton_workload::{run_phased_with_metrics, LatencySummary, MetricsSample, OpClass};
 
 use crate::driver::{load_overlay, load_overlay_direct, standard_overlays};
 use crate::profile::Profile;
@@ -96,6 +96,11 @@ pub struct ScenarioSeries {
     pub repair_mean_ms: f64,
     /// 95th-percentile time-to-repair, in virtual milliseconds.
     pub repair_p95_ms: f64,
+    /// Virtual-time metrics samples from the overlay's *first* repetition
+    /// (repetitions diverge, so their trajectories cannot be averaged) —
+    /// empty unless the plan carries a
+    /// [`MetricsConfig`](baton_workload::MetricsConfig).
+    pub timeseries: Vec<MetricsSample>,
 }
 
 impl ScenarioSeries {
@@ -290,6 +295,33 @@ pub fn run_scenario_with_options(
     build: Option<BuildKind>,
     replicas: Option<usize>,
 ) -> Option<ScenarioResult> {
+    run_scenario_full(id, profile, build, replicas, None).map(|(result, _)| result)
+}
+
+/// [`run_scenario`] with the route recorder attached: the first repetition
+/// of every overlay records its per-operation span trees under `trace`, and
+/// the captured buffers come back alongside the result as `(overlay name,
+/// buffer)` pairs.  The result itself is byte-identical to [`run_scenario`]
+/// — the recorder observes the message stream without perturbing it.
+pub fn run_scenario_traced(
+    id: &str,
+    profile: &Profile,
+    trace: TraceConfig,
+) -> Option<(ScenarioResult, Vec<(String, TraceBuffer)>)> {
+    run_scenario_full(id, profile, None, None, Some(trace))
+}
+
+/// The fully-general scenario entry point: [`BuildKind`] and replication
+/// overrides plus the optional route recorder, all in one call (the
+/// `reproduce` binary's combination).  Every other `run_scenario_*` variant
+/// delegates here.
+pub fn run_scenario_full(
+    id: &str,
+    profile: &Profile,
+    build: Option<BuildKind>,
+    replicas: Option<usize>,
+    trace: Option<TraceConfig>,
+) -> Option<(ScenarioResult, Vec<(String, TraceBuffer)>)> {
     let spec = all_scenarios()
         .into_iter()
         .find(|s| s.id.eq_ignore_ascii_case(id))?;
@@ -300,11 +332,15 @@ pub fn run_scenario_with_options(
     if let Some(replicas) = replicas {
         plan.replicas = replicas;
     }
-    Some(ScenarioResult {
-        id: spec.id.to_owned(),
-        title: plan.title.clone(),
-        series: run_plan(profile, &plan),
-    })
+    let (series, traces) = run_plan_traced(profile, &plan, trace);
+    Some((
+        ScenarioResult {
+            id: spec.id.to_owned(),
+            title: plan.title.clone(),
+            series,
+        },
+        traces,
+    ))
 }
 
 /// The generic scenario engine: drives every overlay of
@@ -317,6 +353,21 @@ pub fn run_scenario_with_options(
 /// seeding matches the pre-registry engine byte for byte, which is what pins
 /// the legacy scenarios to their fixtures.
 pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
+    run_plan_traced(profile, plan, None).0
+}
+
+/// [`run_plan`] with an optional route recorder: with a
+/// [`TraceConfig`], the *first* repetition of every overlay runs with the
+/// recorder attached (sampling and capacity per the config) and the
+/// captured buffers come back alongside the series, one `(overlay name,
+/// buffer)` pair per overlay that produced one.  Tracing reads the message
+/// stream without touching it, so the series are byte-identical to an
+/// untraced run.
+pub fn run_plan_traced(
+    profile: &Profile,
+    plan: &ScenarioPlan,
+    trace: Option<TraceConfig>,
+) -> (Vec<ScenarioSeries>, Vec<(String, TraceBuffer)>) {
     let n = plan.n;
     let specs = standard_overlays();
     let reps = profile.repetitions;
@@ -354,23 +405,39 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
                 .expect("clamped replication degree is supported");
         }
         overlay.set_latency_model(plan.latency.build(seed ^ 0x1A7E));
+        // Observability rides on the first repetition only: repetitions
+        // diverge by seed, so one trajectory (not an average of
+        // incomparable ones) is the honest time series, and one trace
+        // buffer per overlay bounds the recorder's footprint.
+        if rep == 0 {
+            if let Some(config) = trace {
+                overlay.set_trace(config);
+            }
+        }
+        let metrics = (rep == 0).then_some(plan.metrics.as_ref()).flatten();
         let mut rng = SimRng::seeded(seed ^ 0x0BE7);
         let events = {
             let _t = baton_net::profiler::scope("scenario.schedule");
             plan.workload.schedule(&mut rng.derive(1))
         };
-        let _t = baton_net::profiler::scope("scenario.run_phased");
-        run_phased(
-            &mut *overlay,
-            &events,
-            &plan.workload,
-            &plan.faults,
-            &mut rng,
-            n / 2,
-        )
-        .expect("open-loop run cannot fail")
+        let outcome = {
+            let _t = baton_net::profiler::scope("scenario.run_phased");
+            run_phased_with_metrics(
+                &mut *overlay,
+                &events,
+                &plan.workload,
+                &plan.faults,
+                &mut rng,
+                n / 2,
+                metrics,
+            )
+            .expect("open-loop run cannot fail")
+        };
+        (outcome, overlay.take_trace())
     });
+    let mut outcomes = outcomes;
     let mut series = Vec::new();
+    let mut traces = Vec::new();
     for (idx, spec) in specs.iter().enumerate() {
         let mut latencies: std::collections::BTreeMap<&'static str, Vec<baton_net::SimTime>> =
             Default::default();
@@ -383,7 +450,7 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
         let mut repair_samples: Vec<baton_net::SimTime> = Vec::new();
         let mut throughput_sum = 0.0f64;
         let mut seconds_sum = 0.0f64;
-        for outcome in &outcomes[idx * reps..(idx + 1) * reps] {
+        for (outcome, _) in &outcomes[idx * reps..(idx + 1) * reps] {
             for (class, count) in &outcome.skipped {
                 *skipped.entry(class).or_insert(0) += count;
             }
@@ -452,9 +519,13 @@ pub fn run_plan(profile: &Profile, plan: &ScenarioPlan) -> Vec<ScenarioSeries> {
             repairs: repair_samples.len() as u64,
             repair_mean_ms: repair_summary.map_or(0.0, |s| s.mean.as_millis_f64()),
             repair_p95_ms: repair_summary.map_or(0.0, |s| s.p95.as_millis_f64()),
+            timeseries: std::mem::take(&mut outcomes[idx * reps].0.samples),
         });
+        if let Some(buffer) = outcomes[idx * reps].1.take() {
+            traces.push((spec.series.to_owned(), buffer));
+        }
     }
-    series
+    (series, traces)
 }
 
 /// The `latency_under_churn` scenario: search/insert/range traffic measured

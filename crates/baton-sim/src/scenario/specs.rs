@@ -13,8 +13,8 @@
 
 use baton_net::{LatencyPlan, LinkDegradation, LinkScope, RegionMap, RepairPolicy, SimTime};
 use baton_workload::{
-    FaultEvent, FaultKind, FaultPlan, KeyDistribution, KeyMix, KeyWindow, OpRates, Phase,
-    PhasedWorkload, DOMAIN_HIGH, DOMAIN_LOW,
+    FaultEvent, FaultKind, FaultPlan, KeyDistribution, KeyMix, KeyWindow, MetricsConfig, OpRates,
+    Phase, PhasedWorkload, DOMAIN_HIGH, DOMAIN_LOW,
 };
 
 use crate::profile::Profile;
@@ -54,6 +54,12 @@ pub struct ScenarioPlan {
     /// every legacy plan — leaves the overlays byte-identical to the
     /// pre-replication engine.
     pub replicas: usize,
+    /// Virtual-time metrics sampling for the first repetition of every
+    /// overlay (`None` — every legacy plan — disables it and keeps the
+    /// fixtures byte-identical).  The fault scenarios sample once per
+    /// virtual second, turning their reports into dip-and-recover time
+    /// series.
+    pub metrics: Option<MetricsConfig>,
 }
 
 /// The scenario's network size: the profile's largest configured network.
@@ -102,6 +108,7 @@ pub fn latency_under_churn_plan(profile: &Profile) -> ScenarioPlan {
         ),
         faults: FaultPlan::none(),
         replicas: 1,
+        metrics: None,
     }
 }
 
@@ -148,6 +155,7 @@ pub fn flash_crowd_plan(profile: &Profile) -> ScenarioPlan {
         workload,
         faults: FaultPlan::none(),
         replicas: 1,
+        metrics: None,
     }
 }
 
@@ -233,6 +241,7 @@ pub fn regional_failure_plan(profile: &Profile) -> ScenarioPlan {
         }])
         .with_repair(repair_policy()),
         replicas: 1,
+        metrics: Some(MetricsConfig::default()),
     }
 }
 
@@ -328,6 +337,7 @@ pub fn cascading_failure_plan(profile: &Profile) -> ScenarioPlan {
         ])
         .with_repair(repair_policy()),
         replicas: 1,
+        metrics: Some(MetricsConfig::default()),
     }
 }
 
@@ -371,6 +381,7 @@ pub fn degraded_links_plan(profile: &Profile) -> ScenarioPlan {
         ),
         faults: FaultPlan::none(),
         replicas: 1,
+        metrics: None,
     }
 }
 
@@ -413,6 +424,7 @@ pub fn skew_ramp_plan(profile: &Profile) -> ScenarioPlan {
         },
         faults: FaultPlan::none(),
         replicas: 1,
+        metrics: None,
     }
 }
 

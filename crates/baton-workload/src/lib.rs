@@ -41,7 +41,10 @@ pub use churn::{ChurnEvent, ChurnWorkload, ConcurrentChurnBatch};
 pub use dataset::DatasetPlan;
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use keys::{KeyDistribution, KeyGenerator, DOMAIN_HIGH, DOMAIN_LOW};
-pub use openloop::{run_phased, ArrivalEvent, LatencySummary, OpClass, OpenLoopOutcome};
+pub use openloop::{
+    run_phased, run_phased_with_metrics, ArrivalEvent, LatencySummary, MetricsConfig,
+    MetricsSample, OpClass, OpenLoopOutcome,
+};
 pub use phases::{KeyMix, KeyWindow, OpRates, Phase, PhasedWorkload, ResolvedKeys};
 pub use queries::{Query, QueryWorkload};
 pub use runner::{bulk_load, run_churn, run_queries, ChurnOutcome, LoadOutcome, QueryOutcome};

@@ -120,6 +120,120 @@ impl LatencySummary {
     }
 }
 
+/// Configuration of the virtual-time metrics sampler: how often
+/// [`run_phased_with_metrics`] snapshots the run into a
+/// [`MetricsSample`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Virtual time between samples (clamped to at least 1µs).
+    pub interval: SimTime,
+}
+
+impl MetricsConfig {
+    /// A sampler ticking every `interval` of virtual time.
+    pub fn new(interval: SimTime) -> Self {
+        Self {
+            interval: interval.max(SimTime::from_micros(1)),
+        }
+    }
+}
+
+impl Default for MetricsConfig {
+    /// One sample per virtual second.
+    fn default() -> Self {
+        Self::new(SimTime::from_secs(1))
+    }
+}
+
+/// One snapshot of a running open-loop scenario, taken on the sampler's
+/// virtual-time tick.  A sequence of these is the *time series* behind the
+/// dip-and-recover plots: throughput and tail latency collapse when a fault
+/// wave lands, the repair backlog spikes, then both mend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSample {
+    /// Virtual instant of the tick.
+    pub at: SimTime,
+    /// Operations completed inside this tick's window
+    /// `(at − interval, at]`.
+    pub executed: u64,
+    /// Completed operations per virtual second over the window.
+    pub ops_per_sec: f64,
+    /// Window latency percentiles per class (classes idle in the window
+    /// are omitted).
+    pub classes: BTreeMap<&'static str, LatencySummary>,
+    /// Overlay membership at the tick (dead-but-unrepaired peers under
+    /// deferred repair still count as members).
+    pub node_count: usize,
+    /// Operations begun but not yet retired into class aggregates.
+    pub in_flight: usize,
+    /// Cumulative availability misses since the run began.
+    pub unavailable: u64,
+    /// Deferred repairs still queued at the tick.
+    pub repair_backlog: usize,
+    /// The overlay's estimated routing/replica state footprint, in bytes.
+    pub state_bytes: u64,
+}
+
+/// The sampler state threaded through [`run_phased_with_metrics`]: marks
+/// into the outcome's per-class latency vectors delimit each window, so the
+/// samples borrow the latencies the run records anyway instead of keeping a
+/// second copy.
+struct Sampler {
+    interval: SimTime,
+    next: SimTime,
+    marks: BTreeMap<&'static str, usize>,
+    last_total: u64,
+}
+
+impl Sampler {
+    fn new(config: &MetricsConfig) -> Self {
+        Self {
+            interval: config.interval.max(SimTime::from_micros(1)),
+            next: config.interval.max(SimTime::from_micros(1)),
+            marks: BTreeMap::new(),
+            last_total: 0,
+        }
+    }
+
+    /// Emits every tick due at or before `until`, snapshotting the overlay
+    /// and outcome as they stand (ticks never touch the rng or the clock,
+    /// so sampling cannot perturb the run).
+    fn flush(
+        &mut self,
+        until: SimTime,
+        overlay: &dyn Overlay,
+        repair_backlog: usize,
+        outcome: &mut OpenLoopOutcome,
+    ) {
+        while self.next <= until {
+            let at = self.next;
+            let mut classes = BTreeMap::new();
+            for (class, samples) in &outcome.latencies {
+                let mark = self.marks.entry(class).or_insert(0);
+                if let Some(summary) = LatencySummary::from_samples(&samples[*mark..]) {
+                    classes.insert(*class, summary);
+                }
+                *mark = samples.len();
+            }
+            let total = outcome.total_executed();
+            let executed = total - self.last_total;
+            self.last_total = total;
+            outcome.samples.push(MetricsSample {
+                at,
+                executed,
+                ops_per_sec: executed as f64 / self.interval.as_secs_f64(),
+                classes,
+                node_count: overlay.node_count(),
+                in_flight: overlay.stats().live_op_count(),
+                unavailable: outcome.total_unavailable(),
+                repair_backlog,
+                state_bytes: overlay.estimated_state_bytes(),
+            });
+            self.next += self.interval;
+        }
+    }
+}
+
 /// Aggregate outcome of an open-loop run.
 #[derive(Clone, Debug, Default)]
 pub struct OpenLoopOutcome {
@@ -162,6 +276,10 @@ pub struct OpenLoopOutcome {
     /// Deferred repairs abandoned after exhausting their retry budget.
     /// Zero in any healthy run; non-zero flags unrecoverable state.
     pub repairs_abandoned: u64,
+    /// Virtual-time metrics samples, in tick order — empty unless the run
+    /// was started through [`run_phased_with_metrics`] with a
+    /// [`MetricsConfig`].
+    pub samples: Vec<MetricsSample>,
 }
 
 impl OpenLoopOutcome {
@@ -468,6 +586,29 @@ pub fn run_phased(
     rng: &mut SimRng,
     min_nodes: usize,
 ) -> OverlayResult<OpenLoopOutcome> {
+    run_phased_with_metrics(overlay, events, workload, faults, rng, min_nodes, None)
+}
+
+/// [`run_phased`] with an optional virtual-time metrics sampler.
+///
+/// With a [`MetricsConfig`], a tick fires every `interval` of virtual time
+/// (interleaved with arrivals and faults in time order) and snapshots the
+/// run into [`OpenLoopOutcome::samples`]: window throughput and per-class
+/// percentiles, membership, in-flight operations, cumulative availability
+/// misses, the deferred-repair backlog and the overlay's estimated state
+/// footprint.  Ticks read state only — they never draw from the rng or
+/// advance the clock — so a sampled run's statistics are byte-identical to
+/// an unsampled one.  `None` is exactly [`run_phased`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_phased_with_metrics(
+    overlay: &mut dyn Overlay,
+    events: &[ArrivalEvent],
+    workload: &PhasedWorkload,
+    faults: &FaultPlan,
+    rng: &mut SimRng,
+    min_nodes: usize,
+    metrics: Option<&MetricsConfig>,
+) -> OverlayResult<OpenLoopOutcome> {
     let keys = workload.resolve_keys();
     let range_width =
         (((DOMAIN_HIGH - DOMAIN_LOW) as f64 * workload.range_selectivity) as u64).max(1);
@@ -492,6 +633,7 @@ pub fn run_phased(
         .unwrap_or_default();
     let in_window = |at: SimTime| windows.iter().any(|(from, to)| at >= *from && at <= *to);
     let mut pending: Vec<PendingRepair> = Vec::new();
+    let mut sampler = metrics.map(Sampler::new);
     for event in events {
         while let Some(fault) = fault_queue.next_if(|f| f.at <= event.at) {
             drain_repairs(
@@ -501,6 +643,11 @@ pub fn run_phased(
                 Some(fault.at),
                 &mut outcome,
             )?;
+            // Ticks due before the fault fires snapshot the pre-fault
+            // state; the wave's damage lands in the following tick.
+            if let Some(s) = sampler.as_mut() {
+                s.flush(fault.at, overlay, pending.len(), &mut outcome);
+            }
             apply_fault(
                 overlay,
                 fault,
@@ -518,6 +665,9 @@ pub fn run_phased(
             Some(event.at),
             &mut outcome,
         )?;
+        if let Some(s) = sampler.as_mut() {
+            s.flush(event.at, overlay, pending.len(), &mut outcome);
+        }
         {
             let _t = baton_net::profiler::scope("openloop.advance");
             overlay.advance_to(event.at);
@@ -573,6 +723,9 @@ pub fn run_phased(
             Some(fault.at),
             &mut outcome,
         )?;
+        if let Some(s) = sampler.as_mut() {
+            s.flush(fault.at, overlay, pending.len(), &mut outcome);
+        }
         apply_fault(
             overlay,
             fault,
@@ -586,6 +739,12 @@ pub fn run_phased(
     // ... and so do repairs still queued past the last event.
     drain_repairs(overlay, &mut pending, retry_delay, None, &mut outcome)?;
     outcome.makespan = overlay.now();
+    // Trailing ticks (the tail of the run after the last arrival) close
+    // the series at the makespan, so the final sample shows the overlay
+    // fully mended.
+    if let Some(s) = sampler.as_mut() {
+        s.flush(outcome.makespan, overlay, pending.len(), &mut outcome);
+    }
     Ok(outcome)
 }
 

@@ -24,12 +24,17 @@
 //!   across (default: available parallelism).  The `scale_churn_t*` rows
 //!   pin their own thread counts and are unaffected.
 //! * `--check PATH`: validate an existing report against the
-//!   `baton-perf/5` schema instead of running measurements (exit code 1 on
+//!   `baton-perf/6` schema instead of running measurements (exit code 1 on
 //!   schema violations) — the CI gate for the uploaded artifact.
+//!
+//! After the timed rows the harness traces the fig8d exact-match workload
+//! through the route recorder and emits the `"observability"` section:
+//! mean hops per query split by link kind (BATON across the cost-curve
+//! sizes, each baseline at the main build size).
 
 use std::process::ExitCode;
 
-use baton_bench::perf::{render_json, run, validate_json, PerfProfile};
+use baton_bench::perf::{render_json, route_anatomy, run, validate_json, PerfProfile};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -116,7 +121,7 @@ fn main() -> ExitCode {
         };
         return match validate_json(&text) {
             Ok(count) => {
-                println!("{path}: valid baton-perf/5 report with {count} measurement(s)");
+                println!("{path}: valid baton-perf/6 report with {count} measurement(s)");
                 ExitCode::SUCCESS
             }
             Err(problem) => {
@@ -154,7 +159,22 @@ fn main() -> ExitCode {
             m.id, m.wall_ms, m.per_second, m.unit, m.detail
         );
     }
-    let rendered = render_json(&profile, &measurements);
+    let anatomy = route_anatomy(&profile);
+    for row in &anatomy {
+        let kinds: Vec<String> = row
+            .by_kind
+            .iter()
+            .map(|(kind, mean)| format!("{kind} {mean:.2}"))
+            .collect();
+        eprintln!(
+            "  {:<20} {:>12} ops   {:>8.2} hops/op   ({})",
+            row.id,
+            row.ops,
+            row.mean_hops,
+            kinds.join(", ")
+        );
+    }
+    let rendered = render_json(&profile, &measurements, &anatomy);
     if let Err(error) = std::fs::write(&out_path, &rendered) {
         eprintln!("cannot write {out_path}: {error}");
         return ExitCode::FAILURE;

@@ -14,7 +14,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use baton_net::{Overlay, SimRng};
+use baton_net::{LinkKind, Overlay, SimRng, TraceConfig};
 use baton_sim::{json_string, scenario, Profile};
 use baton_workload::{runner, KeyDistribution, QueryWorkload};
 
@@ -551,19 +551,137 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
     measurements
 }
 
+/// One route-anatomy row of the report's `"observability"` section: mean
+/// hops per exact-match query, split by link kind, for one overlay at one
+/// network size.  Captured by the route recorder over the fig8d-shaped
+/// workload — the structural counterpart of the wall-clock rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteAnatomy {
+    /// Stable row identifier (`"anatomy_1k"`, `"anatomy_chord"`, …).
+    pub id: String,
+    /// Overlay series name (`"BATON"`, `"Chord"`, …).
+    pub overlay: String,
+    /// Network size the overlay was built at.
+    pub nodes: usize,
+    /// Exact-match operations the recorder sampled.
+    pub ops: u64,
+    /// Total hops across the sampled spans.
+    pub hops: u64,
+    /// Mean hops per sampled operation.
+    pub mean_hops: f64,
+    /// Mean hops per operation for every link kind that appeared, in
+    /// canonical [`LinkKind::ALL`] order.
+    pub by_kind: Vec<(&'static str, f64)>,
+}
+
+/// Bulk-loads `overlay`, traces the fig8d exact-match workload through the
+/// route recorder and condenses the captured spans into one anatomy row.
+fn anatomy_row(
+    id: &str,
+    label: &str,
+    n: usize,
+    profile: &PerfProfile,
+    seed: u64,
+    mut overlay: Box<dyn Overlay>,
+) -> RouteAnatomy {
+    eprintln!("perf: tracing route anatomy {id} ({label}, {n} nodes)");
+    let plan = baton_workload::DatasetPlan {
+        values_per_node: 1000,
+        distribution: KeyDistribution::Uniform,
+    }
+    .scaled(profile.data_scale);
+    let data = plan.generate(&mut SimRng::seeded(seed ^ 0xDA7A), n);
+    runner::bulk_load(&mut *overlay, &data).expect("bulk load");
+    let workload = QueryWorkload {
+        exact_queries: profile.queries,
+        range_queries: 0,
+        distribution: KeyDistribution::Uniform,
+        ..QueryWorkload::paper()
+    };
+    let exact = workload.exact(&mut SimRng::seeded(seed ^ 0xE5AC));
+    // Capacity covers the whole workload so eviction never skews the means.
+    overlay.set_trace(TraceConfig::new(exact.len().max(1)));
+    runner::run_queries(&mut *overlay, &exact).expect("exact queries");
+    let buffer = overlay.take_trace().expect("trace was installed");
+    let ops = buffer.sampled();
+    let counts = buffer.hop_counts_by_kind();
+    let hops: u64 = counts.iter().sum();
+    let per_op = |count: u64| count as f64 / ops.max(1) as f64;
+    RouteAnatomy {
+        id: id.to_owned(),
+        overlay: label.to_owned(),
+        nodes: n,
+        ops,
+        hops,
+        mean_hops: per_op(hops),
+        by_kind: LinkKind::ALL
+            .into_iter()
+            .filter(|kind| counts[kind.index()] > 0)
+            .map(|kind| (kind.name(), per_op(counts[kind.index()])))
+            .collect(),
+    }
+}
+
+/// Captures the route-anatomy rows for the report's `"observability"`
+/// section: BATON across the cost-curve sizes (bulk-built, so the rows
+/// isolate routing structure), plus every other selected overlay at the
+/// main build size.  Selection follows the same process-wide overlay
+/// filter as [`run`].
+pub fn route_anatomy(profile: &PerfProfile) -> Vec<RouteAnatomy> {
+    let seed = 2005;
+    let selected: Vec<&'static str> = baton_sim::standard_overlays()
+        .iter()
+        .map(|spec| spec.series)
+        .collect();
+    let mut rows = Vec::new();
+    if selected.contains(&"BATON") {
+        for &n in &profile.curve_ns {
+            rows.push(anatomy_row(
+                &format!("anatomy_{}", n_suffix(n)),
+                "BATON",
+                n,
+                profile,
+                seed,
+                Box::new(crate::baton_overlay_bulk(n, seed, 1000)),
+            ));
+        }
+    }
+    type AnatomyBuild = fn(usize, u64) -> Box<dyn Overlay>;
+    let baselines: [(&str, &str, AnatomyBuild); 3] = [
+        ("Chord", "anatomy_chord", |n, seed| {
+            Box::new(crate::chord_overlay(n, seed))
+        }),
+        ("Multiway tree", "anatomy_mtree", |n, seed| {
+            Box::new(crate::mtree_overlay(n, seed))
+        }),
+        ("D3-Tree", "anatomy_d3tree", |n, seed| {
+            Box::new(crate::d3tree_overlay(n, seed))
+        }),
+    ];
+    for (label, id, build) in baselines {
+        if !selected.contains(&label) {
+            continue;
+        }
+        let n = profile.build_n;
+        rows.push(anatomy_row(id, label, n, profile, seed, build(n, seed)));
+    }
+    rows
+}
+
 /// Renders a perf report as the `BENCH_perf.json` document.
 ///
-/// Schema (`baton-perf/5` — version 5 added the `avail_k1`..`avail_k3`
-/// availability rows and the optional per-measurement `"availability"`
-/// field carrying the fraction of fault-window operations that succeeded;
-/// version 4 added the `curve_*` per-op cost-curve rows, switched the
-/// `scale_build` row to the bulk constructor, and added the optional
-/// `"profiler"` section emitted when the harness is compiled with the
-/// `profiler` feature):
+/// Schema (`baton-perf/6` — version 6 added the `"observability"` section:
+/// its `"route_anatomy"` rows carry the route recorder's mean hops per
+/// exact-match query split by link kind, and the former top-level
+/// `"profiler"` array moved inside it as `"scopes"`; version 5 added the
+/// `avail_k1`..`avail_k3` availability rows and the optional
+/// per-measurement `"availability"` field; version 4 added the `curve_*`
+/// per-op cost-curve rows and switched the `scale_build` row to the bulk
+/// constructor):
 ///
 /// ```json
 /// {
-///   "schema": "baton-perf/5",
+///   "schema": "baton-perf/6",
 ///   "profile": "full",
 ///   "measurements": [
 ///     {"id": "build", "detail": "…", "work_items": 10000,
@@ -572,17 +690,30 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
 ///      "unit": "ops", "wall_ms": 901.2, "per_second": 4438.5,
 ///      "availability": 0.9987}
 ///   ],
-///   "profiler": [
-///     {"name": "openloop.join", "count": 5000, "total_ns": 123456}
-///   ]
+///   "observability": {
+///     "route_anatomy": [
+///       {"id": "anatomy_10k", "overlay": "BATON", "nodes": 10000,
+///        "ops": 1000, "hops": 9120, "mean_hops": 9.12,
+///        "by_kind": {"routing_table": 6.8, "child": 1.9, "adjacent": 0.42}}
+///     ],
+///     "scopes": [
+///       {"name": "openloop.join", "count": 5000, "total_ns": 123456}
+///     ]
+///   }
 /// }
 /// ```
 ///
-/// The `profiler` key is absent — not empty — in default builds, so the
-/// document stays byte-identical with the feature off.
-pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> String {
+/// `"scopes"` appears only when the harness is compiled with the
+/// `profiler` feature; the whole `"observability"` key is absent — not
+/// empty — when there is nothing to report, so default documents carry no
+/// placeholder keys.
+pub fn render_json(
+    profile: &PerfProfile,
+    measurements: &[Measurement],
+    anatomy: &[RouteAnatomy],
+) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"baton-perf/5\",");
+    let _ = writeln!(out, "  \"schema\": \"baton-perf/6\",");
     let _ = writeln!(out, "  \"profile\": {},", json_string(profile.name));
     out.push_str("  \"measurements\": [");
     for (i, m) in measurements.iter().enumerate() {
@@ -605,32 +736,68 @@ pub fn render_json(profile: &PerfProfile, measurements: &[Measurement]) -> Strin
         out.push_str("\n  ");
     }
     out.push(']');
-    if baton_net::profiler::enabled() {
-        let scopes = baton_net::profiler::snapshot();
+    let scopes = if baton_net::profiler::enabled() {
+        baton_net::profiler::snapshot()
+    } else {
+        Vec::new()
+    };
+    if !anatomy.is_empty() || !scopes.is_empty() {
+        out.push_str(",\n  \"observability\": {");
+        if !anatomy.is_empty() {
+            out.push_str("\n    \"route_anatomy\": [");
+            for (i, row) in anatomy.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {");
+                let _ = write!(out, "\"id\": {}, ", json_string(&row.id));
+                let _ = write!(out, "\"overlay\": {}, ", json_string(&row.overlay));
+                let _ = write!(out, "\"nodes\": {}, ", row.nodes);
+                let _ = write!(out, "\"ops\": {}, ", row.ops);
+                let _ = write!(out, "\"hops\": {}, ", row.hops);
+                let _ = write!(out, "\"mean_hops\": {:.3}, ", row.mean_hops);
+                out.push_str("\"by_kind\": {");
+                for (k, (kind, mean)) in row.by_kind.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: {mean:.3}", json_string(kind));
+                }
+                out.push_str("}}");
+            }
+            out.push_str("\n    ]");
+        }
         if !scopes.is_empty() {
-            out.push_str(",\n  \"profiler\": [");
+            if !anatomy.is_empty() {
+                out.push(',');
+            }
+            out.push_str("\n    \"scopes\": [");
             for (i, (name, count, total_ns)) in scopes.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
-                out.push_str("\n    {");
+                out.push_str("\n      {");
                 let _ = write!(out, "\"name\": {}, ", json_string(name));
                 let _ = write!(out, "\"count\": {count}, ");
                 let _ = write!(out, "\"total_ns\": {total_ns}");
                 out.push('}');
             }
-            out.push_str("\n  ]");
+            out.push_str("\n    ]");
         }
+        out.push_str("\n  }");
     }
     out.push_str("\n}\n");
     out
 }
 
-/// Validates that `text` parses as a `baton-perf/5` document: well-formed
+/// Validates that `text` parses as a `baton-perf/6` document: well-formed
 /// JSON (for the subset the renderer emits), the schema marker, at least
 /// one measurement carrying every required field with finite numbers (and,
 /// when present, an `availability` fraction in `[0, 1]`), and — when the
-/// optional `"profiler"` section is present — well-formed scope rows.
+/// optional `"observability"` section is present — well-formed
+/// `route_anatomy` rows (link-kind names from the closed [`LinkKind`]
+/// enum) and `scopes` rows.  The pre-/6 top-level `"profiler"` key is
+/// rejected with a pointer to its new home.
 ///
 /// Returns the number of measurements, or a description of the first
 /// problem.  Used by the `perf --check` mode so CI can gate on the artifact
@@ -642,7 +809,7 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "baton-perf/5" {
+    if schema != "baton-perf/6" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     root.get("profile")
@@ -684,28 +851,89 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
             }
         }
     }
-    if let Some(scopes) = root.get("profiler") {
-        let scopes = scopes.as_array().ok_or("\"profiler\" is not an array")?;
-        if scopes.is_empty() {
-            return Err("empty \"profiler\" section (omit the key instead)".into());
-        }
-        for (i, scope) in scopes.iter().enumerate() {
-            let scope = scope
-                .as_object()
-                .ok_or_else(|| format!("profiler row {i} is not an object"))?;
-            scope
-                .get("name")
-                .and_then(Json::as_str)
-                .ok_or_else(|| format!("profiler row {i} missing string \"name\""))?;
-            for key in ["count", "total_ns"] {
-                let number = scope
-                    .get(key)
-                    .and_then(Json::as_number)
-                    .ok_or_else(|| format!("profiler row {i} missing number {key:?}"))?;
-                if !number.is_finite() || number < 0.0 {
-                    return Err(format!("profiler row {i} has bad {key}: {number}"));
+    if root.get("profiler").is_some() {
+        return Err(
+            "legacy top-level \"profiler\" section (moved to \"observability\".\"scopes\" \
+             in baton-perf/6)"
+                .into(),
+        );
+    }
+    if let Some(observability) = root.get("observability") {
+        let observability = observability
+            .as_object()
+            .ok_or("\"observability\" is not an object")?;
+        let mut saw_section = false;
+        if let Some(rows) = observability.get("route_anatomy") {
+            saw_section = true;
+            let rows = rows.as_array().ok_or("\"route_anatomy\" is not an array")?;
+            if rows.is_empty() {
+                return Err("empty \"route_anatomy\" section (omit the key instead)".into());
+            }
+            for (i, row) in rows.iter().enumerate() {
+                let row = row
+                    .as_object()
+                    .ok_or_else(|| format!("anatomy row {i} is not an object"))?;
+                for key in ["id", "overlay"] {
+                    row.get(key)
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("anatomy row {i} missing string {key:?}"))?;
+                }
+                for key in ["nodes", "ops", "hops", "mean_hops"] {
+                    let number = row
+                        .get(key)
+                        .and_then(Json::as_number)
+                        .ok_or_else(|| format!("anatomy row {i} missing number {key:?}"))?;
+                    if !number.is_finite() || number < 0.0 {
+                        return Err(format!("anatomy row {i} has bad {key}: {number}"));
+                    }
+                }
+                let kinds = row
+                    .get("by_kind")
+                    .and_then(Json::as_object_pairs)
+                    .ok_or_else(|| format!("anatomy row {i} missing object \"by_kind\""))?;
+                for (kind, mean) in kinds {
+                    if LinkKind::parse(kind).is_none() {
+                        return Err(format!(
+                            "anatomy row {i} has unknown link kind {kind:?} \
+                             (outside the closed enum)"
+                        ));
+                    }
+                    let mean = mean.as_number().ok_or_else(|| {
+                        format!("anatomy row {i} has non-number mean for {kind:?}")
+                    })?;
+                    if !mean.is_finite() || mean < 0.0 {
+                        return Err(format!("anatomy row {i} has bad mean for {kind:?}: {mean}"));
+                    }
                 }
             }
+        }
+        if let Some(scopes) = observability.get("scopes") {
+            saw_section = true;
+            let scopes = scopes.as_array().ok_or("\"scopes\" is not an array")?;
+            if scopes.is_empty() {
+                return Err("empty \"scopes\" section (omit the key instead)".into());
+            }
+            for (i, scope) in scopes.iter().enumerate() {
+                let scope = scope
+                    .as_object()
+                    .ok_or_else(|| format!("scope row {i} is not an object"))?;
+                scope
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("scope row {i} missing string \"name\""))?;
+                for key in ["count", "total_ns"] {
+                    let number = scope
+                        .get(key)
+                        .and_then(Json::as_number)
+                        .ok_or_else(|| format!("scope row {i} missing number {key:?}"))?;
+                    if !number.is_finite() || number < 0.0 {
+                        return Err(format!("scope row {i} has bad {key}: {number}"));
+                    }
+                }
+            }
+        }
+        if !saw_section {
+            return Err("empty \"observability\" section (omit the key instead)".into());
         }
     }
     Ok(measurements.len())
@@ -764,6 +992,15 @@ mod json {
         pub fn as_object(&self) -> Option<ObjectView<'_>> {
             match self {
                 Json::Object(pairs) => Some(ObjectView { pairs }),
+                _ => None,
+            }
+        }
+
+        /// The raw key/value pairs in insertion order, if this is an
+        /// object — for validators that must check every key.
+        pub fn as_object_pairs(&self) -> Option<&[(String, Json)]> {
+            match self {
+                Json::Object(pairs) => Some(pairs),
                 _ => None,
             }
         }
@@ -1006,7 +1243,32 @@ mod tests {
                 assert!((0.0..=1.0).contains(&a), "{}: availability {a}", m.id);
             }
         }
-        let rendered = render_json(&profile, &measurements);
+        // Route-anatomy rows ride in the same report's observability
+        // section: BATON across the curve sizes, baselines at build_n.
+        let anatomy = route_anatomy(&profile);
+        let anatomy_ids: Vec<&str> = anatomy.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            anatomy_ids,
+            vec![
+                "anatomy_50",
+                "anatomy_100",
+                "anatomy_200",
+                "anatomy_chord",
+                "anatomy_mtree",
+                "anatomy_d3tree"
+            ]
+        );
+        for row in &anatomy {
+            assert!(row.ops > 0 && row.hops > 0, "{} traced nothing", row.id);
+            // The per-kind means partition the overall mean.
+            let sum: f64 = row.by_kind.iter().map(|(_, mean)| mean).sum();
+            assert!((sum - row.mean_hops).abs() < 1e-6, "{} kind split", row.id);
+            for (kind, _) in &row.by_kind {
+                assert!(LinkKind::parse(kind).is_some(), "open kind {kind}");
+            }
+        }
+        let rendered = render_json(&profile, &measurements, &anatomy);
+        assert!(rendered.contains("\"route_anatomy\": ["));
         assert_eq!(validate_json(&rendered), Ok(expected.len()));
 
         // The threaded churn rows record the host's parallelism so a report
@@ -1046,6 +1308,13 @@ mod tests {
         );
         let scenario = narrowed.last().expect("scenario measurement");
         assert!(scenario.detail.contains("overlays: D3-Tree"));
+
+        // The anatomy rows follow the same process-wide selection.
+        baton_sim::set_overlay_filter(&["D3-Tree".to_owned()]).expect("known overlay");
+        let narrowed_anatomy = route_anatomy(&profile);
+        baton_sim::clear_overlay_filter();
+        let ids: Vec<&str> = narrowed_anatomy.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["anatomy_d3tree"]);
     }
 
     #[test]
@@ -1071,13 +1340,17 @@ mod tests {
             "{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \"measurements\": []}"
         )
         .is_err());
+        assert!(validate_json(
+            "{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \"measurements\": []}"
+        )
+        .is_err());
         // Bad number in an otherwise complete measurement.
-        let bad = "{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \"measurements\": [\
+        let bad = "{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \"measurements\": [\
                    {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                    \"work_items\": 1, \"wall_ms\": -5.0, \"per_second\": 0.0}]}";
         assert!(validate_json(bad).unwrap_err().contains("wall_ms"));
         // An availability outside [0, 1] is rejected.
-        let bad_avail = "{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \"measurements\": [\
+        let bad_avail = "{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \"measurements\": [\
                          {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                          \"work_items\": 1, \"wall_ms\": 5.0, \"per_second\": 0.2, \
                          \"availability\": 1.5}]}";
@@ -1087,26 +1360,49 @@ mod tests {
     }
 
     #[test]
-    fn validator_checks_the_profiler_section() {
+    fn validator_checks_the_observability_section() {
         let one_measurement = "{\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                                \"work_items\": 1, \"wall_ms\": 5.0, \"per_second\": 0.2}";
         let good = format!(
-            "{{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \
+            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
+             \"measurements\": [{one_measurement}], \"observability\": {{\
+             \"route_anatomy\": [{{\"id\": \"anatomy_1k\", \"overlay\": \"BATON\", \
+             \"nodes\": 1000, \"ops\": 50, \"hops\": 400, \"mean_hops\": 8.0, \
+             \"by_kind\": {{\"routing_table\": 6.0, \"child\": 2.0}}}}], \
+             \"scopes\": [\
+             {{\"name\": \"openloop.join\", \"count\": 3, \"total_ns\": 900}}]}}}}"
+        );
+        assert_eq!(validate_json(&good), Ok(1));
+        // The pre-/6 top-level section is rejected with a pointer to its
+        // new home.
+        let legacy = format!(
+            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
              \"measurements\": [{one_measurement}], \"profiler\": [\
              {{\"name\": \"openloop.join\", \"count\": 3, \"total_ns\": 900}}]}}"
         );
-        assert_eq!(validate_json(&good), Ok(1));
+        assert!(validate_json(&legacy)
+            .unwrap_err()
+            .contains("observability"));
         // An empty section must be omitted, not emitted.
         let empty = format!(
-            "{{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \
-             \"measurements\": [{one_measurement}], \"profiler\": []}}"
+            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
+             \"measurements\": [{one_measurement}], \"observability\": {{}}}}"
         );
-        assert!(validate_json(&empty).unwrap_err().contains("profiler"));
-        // A row missing its counters is rejected.
+        assert!(validate_json(&empty).unwrap_err().contains("observability"));
+        // A link kind outside the closed enum is rejected.
+        let bad_kind = format!(
+            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
+             \"measurements\": [{one_measurement}], \"observability\": {{\
+             \"route_anatomy\": [{{\"id\": \"a\", \"overlay\": \"BATON\", \
+             \"nodes\": 10, \"ops\": 5, \"hops\": 10, \"mean_hops\": 2.0, \
+             \"by_kind\": {{\"warp\": 2.0}}}}]}}}}"
+        );
+        assert!(validate_json(&bad_kind).unwrap_err().contains("warp"));
+        // A scope row missing its counters is rejected.
         let bad = format!(
-            "{{\"schema\": \"baton-perf/5\", \"profile\": \"x\", \
-             \"measurements\": [{one_measurement}], \"profiler\": [\
-             {{\"name\": \"openloop.join\", \"count\": 3}}]}}"
+            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
+             \"measurements\": [{one_measurement}], \"observability\": {{\"scopes\": [\
+             {{\"name\": \"openloop.join\", \"count\": 3}}]}}}}"
         );
         assert!(validate_json(&bad).unwrap_err().contains("total_ns"));
     }
@@ -1169,13 +1465,16 @@ mod tests {
                 per_second: 1.0,
                 availability: None,
             }],
+            &[],
         );
-        assert!(rendered.contains("\"profiler\": ["));
+        assert!(rendered.contains("\"observability\": {"));
+        assert!(rendered.contains("\"scopes\": ["));
         assert_eq!(validate_json(&rendered), Ok(1));
     }
 
-    /// Without the feature, the scope table stays empty and the report has
-    /// no `"profiler"` key at all — default output is byte-identical.
+    /// Without the feature, the scope table stays empty; with no anatomy
+    /// rows either, the report has no `"observability"` key at all —
+    /// default output carries no placeholder keys.
     #[cfg(not(feature = "profiler"))]
     #[test]
     fn disabled_profiler_leaves_the_report_untouched() {
@@ -1193,7 +1492,9 @@ mod tests {
                 per_second: 1.0,
                 availability: None,
             }],
+            &[],
         );
+        assert!(!rendered.contains("observability"));
         assert!(!rendered.contains("profiler"));
         assert_eq!(validate_json(&rendered), Ok(1));
     }

@@ -1,0 +1,238 @@
+//! Observability integration tests: the route recorder's spans must agree
+//! with the [`baton_net::MessageStats`] accounting (trace ↔ stats oracle),
+//! the recorder's ring buffer must bound memory under long runs, and the
+//! per-class detour split (`messages == primary + detour`) must hold with
+//! and without failures.
+
+use baton_core::{BatonConfig, BatonSystem};
+use baton_net::{LatencyModel, Overlay, SimRng, SimTime, TraceConfig};
+use baton_sim::{scenario, standard_overlays, Profile};
+use baton_workload::{runner, QueryWorkload};
+
+/// The operation-class label each overlay's exact-match search retires
+/// under (the label its `begin_op` call uses).
+fn search_class(series: &str) -> &'static str {
+    match series {
+        "BATON" => "search.exact",
+        "Chord" => "chord.search",
+        "Multiway tree" => "mtree.search",
+        "D3-Tree" => "d3.search",
+        other => panic!("unknown overlay series {other}"),
+    }
+}
+
+/// Total retired messages across every class aggregate.
+fn retired_messages(overlay: &dyn Overlay) -> u64 {
+    overlay.stats().classes().map(|c| c.messages_sum()).sum()
+}
+
+/// Trace ↔ stats oracle: with sampling 1 and ample capacity, the recorder
+/// captures one span per exact-match query on every overlay, the spans'
+/// hop counts reconstruct exactly the message totals `MessageStats`
+/// retires, and every span's timestamps are frontier-ordered under a
+/// non-zero latency model.
+#[test]
+fn trace_spans_reconcile_with_message_stats_on_every_overlay() {
+    let profile = Profile::smoke();
+    let data: Vec<(u64, u64)> = (0..200u64).map(|i| (1 + i * 4_999_999, i)).collect();
+    for spec in standard_overlays() {
+        let mut overlay = spec.build(&profile, 60, 99);
+        runner::bulk_load(&mut *overlay, &data).expect("load");
+        overlay.set_latency_model(LatencyModel::uniform(
+            SimTime::from_millis(2),
+            SimTime::from_millis(9),
+            5,
+        ));
+        overlay.stats_mut().retire_finished();
+        let before = retired_messages(&*overlay);
+
+        let workload = QueryWorkload::paper().scaled(0.05);
+        let exact = workload.exact(&mut SimRng::seeded(4242));
+        overlay.set_trace(TraceConfig::new(exact.len().max(1)));
+        let outcome = runner::run_queries(&mut *overlay, &exact).expect("queries");
+        overlay.stats_mut().retire_finished();
+        let buffer = overlay.take_trace().expect("trace was installed");
+        let after = retired_messages(&*overlay);
+
+        // One span per executed query, none lost to sampling or eviction.
+        assert_eq!(
+            buffer.len() as u64,
+            outcome.exact_executed,
+            "{}: span count != executed queries",
+            spec.series
+        );
+        assert_eq!(buffer.sampled(), buffer.ops_seen(), "{}", spec.series);
+        assert_eq!(buffer.evicted(), 0, "{}", spec.series);
+
+        // The spans reconstruct exactly the message count the stats
+        // retired over the same window.
+        let traced: u64 = buffer.spans().map(|s| s.message_count()).sum();
+        assert_eq!(
+            traced,
+            after - before,
+            "{}: traced hops != retired messages",
+            spec.series
+        );
+
+        let class = search_class(spec.series);
+        for span in buffer.spans() {
+            assert_eq!(span.class, class, "{}: unexpected span class", spec.series);
+            let finished = span
+                .finished_at
+                .unwrap_or_else(|| panic!("{}: span left open", spec.series));
+            assert!(finished >= span.started_at, "{}", spec.series);
+            // Frontier order: send times never regress within an op, and
+            // a hop arrives no earlier than it was sent.
+            let mut frontier = span.started_at;
+            for hop in &span.hops {
+                assert!(
+                    hop.sent_at >= frontier,
+                    "{}: frontier regressed in op {}",
+                    spec.series,
+                    span.op
+                );
+                assert!(hop.arrive_at >= hop.sent_at, "{}", spec.series);
+                frontier = hop.sent_at;
+            }
+        }
+    }
+}
+
+/// The recorder's ring buffer bounds memory under a long open-loop run:
+/// the scenario engine drives far more operations than the configured
+/// capacity, yet the buffer never holds more than `capacity` spans and
+/// counts the overflow as evictions.
+#[test]
+fn ring_buffer_eviction_bounds_memory_under_an_open_loop_run() {
+    let capacity = 8;
+    let (_, traces) = scenario::run_scenario_traced(
+        "latency_under_churn",
+        &Profile::smoke(),
+        TraceConfig::new(capacity),
+    )
+    .expect("registered scenario");
+    assert!(!traces.is_empty());
+    for (overlay, buffer) in &traces {
+        assert!(
+            buffer.len() <= capacity,
+            "{overlay}: {} spans exceed capacity {capacity}",
+            buffer.len()
+        );
+        assert!(
+            buffer.evicted() > 0,
+            "{overlay}: run too short to overflow the buffer"
+        );
+        // Every sampled operation is accounted for: retained or evicted.
+        assert_eq!(
+            buffer.len() as u64 + buffer.evicted(),
+            buffer.sampled(),
+            "{overlay}: spans leaked"
+        );
+    }
+}
+
+/// Sampling keeps observation cost proportional: a 1-in-3 modulus records
+/// about a third of the operations, deterministically.
+#[test]
+fn sampling_modulus_thins_the_recorded_spans() {
+    let (_, traces) = scenario::run_scenario_traced(
+        "latency_under_churn",
+        &Profile::smoke(),
+        TraceConfig::default().with_sample(3),
+    )
+    .expect("registered scenario");
+    for (overlay, buffer) in &traces {
+        assert!(buffer.ops_seen() > 0, "{overlay}: no ops observed");
+        assert!(
+            buffer.sampled() < buffer.ops_seen(),
+            "{overlay}: sampling recorded everything"
+        );
+        assert!(
+            buffer.sampled() <= buffer.ops_seen() / 3 + 1,
+            "{overlay}: sampled {} of {} ops at modulus 3",
+            buffer.sampled(),
+            buffer.ops_seen()
+        );
+    }
+}
+
+/// Regression test for the per-class detour split: `messages_sum ==
+/// primary_hops + detour_hops` always holds, a healthy run charges zero
+/// detour hops, and with an unrepaired failure the recovery hops land in
+/// `detour_hops` — in exact agreement with the route recorder's per-span
+/// charge.
+#[test]
+fn detour_accounting_splits_primary_and_recovery_hops() {
+    let mut overlay = BatonSystem::build(BatonConfig::default(), 11, 150).expect("build");
+    let keys: Vec<u64> = (0..100u64).map(|i| 1 + i * 9_999_991).collect();
+    for (i, key) in keys.iter().enumerate() {
+        overlay.insert(*key, i as u64).unwrap();
+    }
+
+    // Healthy run: every hop is first-try routing.
+    for key in &keys {
+        overlay.search_exact(*key).unwrap();
+    }
+    overlay.stats_mut().retire_finished();
+    let healthy = overlay
+        .stats()
+        .class_stats("search.exact")
+        .expect("searches retired")
+        .clone();
+    assert_eq!(
+        healthy.messages_sum(),
+        healthy.primary_hops() + healthy.detour_hops()
+    );
+    assert_eq!(
+        healthy.detour_hops(),
+        0,
+        "a healthy run must charge no detour hops"
+    );
+
+    // Fail one internal node silently: live-owned keys stay reachable
+    // (paper §III-D) but some routes must bounce off the hole and detour.
+    let mut peers = overlay.peers().to_vec();
+    peers.sort_unstable();
+    let victim = peers
+        .iter()
+        .copied()
+        .find(|p| {
+            let node = overlay.node(*p).unwrap();
+            !node.is_leaf() && !node.is_root()
+        })
+        .expect("internal node exists");
+    let victim_range = overlay.node(victim).unwrap().range;
+    overlay.fail_silently(victim).unwrap();
+    let issuer = peers.iter().copied().find(|p| *p != victim).unwrap();
+
+    Overlay::set_trace(&mut overlay, TraceConfig::new(keys.len()));
+    for key in &keys {
+        if victim_range.contains(*key) {
+            continue; // owned by the dead node: legitimately unreachable
+        }
+        overlay.search_exact_from(issuer, *key).unwrap();
+    }
+    overlay.stats_mut().retire_finished();
+    let buffer = Overlay::take_trace(&mut overlay).expect("trace was installed");
+    let degraded = overlay
+        .stats()
+        .class_stats("search.exact")
+        .expect("searches retired");
+
+    let detour_delta = degraded.detour_hops() - healthy.detour_hops();
+    assert_eq!(
+        degraded.messages_sum(),
+        degraded.primary_hops() + degraded.detour_hops()
+    );
+    assert!(
+        detour_delta > 0,
+        "routing around a dead internal node must charge detour hops"
+    );
+    // The trace charges the same hops to the detour as the stats do: the
+    // bounce that opens the detour plus everything sent after it.
+    let traced_detour: u64 = buffer.spans().map(|s| s.detour_count()).sum();
+    assert_eq!(
+        traced_detour, detour_delta,
+        "span detour charge disagrees with ClassStats::detour_hops"
+    );
+}
