@@ -837,6 +837,49 @@ impl ChordSystem {
         }
         Ok(())
     }
+
+    /// Builds a [`baton_net::serve::RoutingSnapshot`] of the ring's current
+    /// state for the concurrent serve front-end: slots are the live nodes
+    /// in ascending identifier order (successor placement resolves a hashed
+    /// key to the first slot with `id >= hash`, wrapping), items are each
+    /// node's store keyed by identifier, links carry the successor and
+    /// finger tables, and replicas are the `k−1` following ring successors.
+    /// Extraction is read-only: statistics and RNG streams are untouched.
+    pub fn build_routing_snapshot(&self) -> baton_net::serve::RoutingSnapshot {
+        use baton_net::serve::{ExactPlacement, SnapshotBuilder};
+
+        let mut builder = SnapshotBuilder::new(
+            "Chord",
+            ExactPlacement::HashedRing,
+            false,
+            (0, crate::id::RING),
+        );
+        let mut order: Vec<&ChordNode> = self.nodes.values().collect();
+        order.sort_by_key(|node| node.id);
+        for node in &order {
+            builder.push_slot(node.peer.0, node.id.value(), true);
+            for (id_value, values) in &node.store {
+                builder.push_item(*id_value, values.len() as u64);
+            }
+            builder.seal_slot();
+        }
+        for (slot, node) in order.iter().enumerate() {
+            if let Some(target) = builder.slot_of(node.successor.0 .0) {
+                builder.link(slot, target, LinkKind::Successor);
+            }
+            for finger in node.fingers.iter().flatten() {
+                if let Some(target) = builder.slot_of(finger.node.0) {
+                    builder.link(slot, target, LinkKind::Finger);
+                }
+            }
+            for target in self.replica_targets(node.peer) {
+                if let Some(t) = builder.slot_of(target.0) {
+                    builder.replica(slot, t);
+                }
+            }
+        }
+        builder.finish()
+    }
 }
 
 #[cfg(test)]

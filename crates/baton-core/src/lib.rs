@@ -71,6 +71,7 @@ pub mod protocol;
 pub mod range;
 pub mod reports;
 pub mod routing;
+pub mod snapshot;
 pub mod store;
 pub mod system;
 pub mod validate;

@@ -79,6 +79,10 @@ impl Overlay for BatonSystem {
         self.net.take_trace()
     }
 
+    fn routing_snapshot(&self) -> Option<baton_net::serve::RoutingSnapshot> {
+        Some(self.build_routing_snapshot())
+    }
+
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = BatonSystem::join_random(self).map_err(avail_err)?;
         Ok(ChurnCost {

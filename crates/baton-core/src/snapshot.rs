@@ -1,0 +1,121 @@
+//! Routing-snapshot extraction for the concurrent serve front-end.
+//!
+//! Serializes the overlay's current ownership into a
+//! [`RoutingSnapshot`]: the in-order traversal of the tree is an ordered
+//! partition of the key domain, so slots are the nodes sorted by range low,
+//! items are each node's store run-length-encoded by key, links carry the
+//! paper's §II link taxonomy (parent, children, adjacents, sideways routing
+//! tables) and replicas are the adjacent-link replica targets of the
+//! k-replica capability.  Extraction is read-only: statistics, RNG streams
+//! and the virtual clock are untouched.
+
+use std::collections::HashSet;
+
+use baton_net::serve::{ExactPlacement, RoutingSnapshot, SnapshotBuilder};
+use baton_net::{LinkKind, PeerId};
+
+use crate::system::BatonSystem;
+
+impl BatonSystem {
+    /// Builds a [`RoutingSnapshot`] of the overlay's current state.
+    pub fn build_routing_snapshot(&self) -> RoutingSnapshot {
+        let domain = self.domain();
+        let mut builder = SnapshotBuilder::new(
+            "BATON",
+            ExactPlacement::DomainPartition,
+            true,
+            (domain.low(), domain.high()),
+        );
+        let dead: HashSet<PeerId> = self.dead_peers.iter().copied().collect();
+        // Slots in key order: the in-order traversal of the tree.
+        let mut nodes: Vec<(PeerId, &crate::node::BatonNode)> = self.iter_nodes().collect();
+        nodes.sort_by_key(|(_, node)| node.range.low());
+        for (peer, node) in &nodes {
+            builder.push_slot(peer.0, node.range.high(), !dead.contains(peer));
+            // Run-length encode the store's (key, value) stream: one item
+            // per distinct key with its value count.
+            let mut run: Option<(u64, u64)> = None;
+            for (key, _) in node.store.iter() {
+                match &mut run {
+                    Some((k, count)) if *k == key => *count += 1,
+                    _ => {
+                        if let Some((k, count)) = run.take() {
+                            builder.push_item(k, count);
+                        }
+                        run = Some((key, 1));
+                    }
+                }
+            }
+            if let Some((k, count)) = run {
+                builder.push_item(k, count);
+            }
+            builder.seal_slot();
+        }
+        for (slot, (peer, node)) in nodes.iter().enumerate() {
+            let link = |target: PeerId, kind: LinkKind, b: &mut SnapshotBuilder| {
+                if let Some(t) = b.slot_of(target.0) {
+                    b.link(slot, t, kind);
+                }
+            };
+            if let Some(parent) = &node.parent {
+                link(parent.peer, LinkKind::Parent, &mut builder);
+            }
+            for child in [&node.left_child, &node.right_child].into_iter().flatten() {
+                link(child.peer, LinkKind::Child, &mut builder);
+            }
+            for adjacent in [&node.left_adjacent, &node.right_adjacent]
+                .into_iter()
+                .flatten()
+            {
+                link(adjacent.peer, LinkKind::Adjacent, &mut builder);
+            }
+            for table in [&node.left_table, &node.right_table] {
+                for (_, entry) in table.iter() {
+                    link(entry.link.peer, LinkKind::RoutingTable, &mut builder);
+                }
+            }
+            for target in self.replica_targets(*peer) {
+                if let Some(t) = builder.slot_of(target.0) {
+                    builder.replica(slot, t);
+                }
+            }
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use baton_net::serve::ServeCounters;
+    use baton_net::Overlay;
+
+    use crate::config::BatonConfig;
+    use crate::system::BatonSystem;
+
+    #[test]
+    fn snapshot_slots_partition_the_domain_in_key_order() {
+        let system = BatonSystem::build(BatonConfig::default(), 7, 40).unwrap();
+        let snapshot = system.build_routing_snapshot();
+        assert_eq!(snapshot.slots(), 40);
+        assert_eq!(snapshot.overlay(), "BATON");
+        assert!(snapshot.range_supported());
+        assert_eq!(
+            snapshot.total_items() as usize,
+            Overlay::total_items(&system)
+        );
+    }
+
+    #[test]
+    fn snapshot_exact_matches_store_contents() {
+        let mut system = BatonSystem::build(BatonConfig::default(), 11, 32).unwrap();
+        for key in [5u64, 5, 123_456, 999_999_998] {
+            system.insert(key, key).unwrap();
+        }
+        let snapshot = system.build_routing_snapshot();
+        let mut counters = ServeCounters::default();
+        assert_eq!(snapshot.exact(5, 0, &mut counters).matches, 2);
+        assert_eq!(snapshot.exact(123_456, 3, &mut counters).matches, 1);
+        assert_eq!(snapshot.exact(77, 9, &mut counters).matches, 0);
+        assert!(counters.hops > 0, "greedy routing should charge hops");
+    }
+}

@@ -1226,6 +1226,82 @@ impl D3TreeSystem {
         }
         Ok(())
     }
+
+    /// Builds a [`baton_net::serve::RoutingSnapshot`] of the overlay's
+    /// current state for the concurrent serve front-end: slots are the
+    /// bucket peers in global key order (bucket order × in-bucket order
+    /// partitions the domain), items are the sorted key multisets
+    /// run-length-encoded, links carry the in-bucket adjacency
+    /// ([`LinkKind::Bucket`]) plus power-of-two jumps between bucket heads
+    /// standing in for the backbone ([`LinkKind::Backbone`]), and replicas
+    /// are the bucket-sibling replica targets.  Extraction is read-only.
+    pub fn build_routing_snapshot(&self) -> baton_net::serve::RoutingSnapshot {
+        use baton_net::serve::{ExactPlacement, SnapshotBuilder};
+
+        let mut builder = SnapshotBuilder::new(
+            "D3-Tree",
+            ExactPlacement::DomainPartition,
+            true,
+            (self.domain.low, self.domain.high),
+        );
+        // Slot layout: global in-order peer sequence, with each bucket's
+        // first slot remembered as its head.
+        let mut heads: Vec<usize> = Vec::with_capacity(self.buckets.len());
+        let mut peers_of: Vec<(usize, &BucketPeer)> = Vec::new();
+        for bucket in &self.buckets {
+            if !bucket.is_empty() {
+                heads.push(peers_of.len());
+            }
+            for peer in &bucket.peers {
+                let slot = builder.push_slot(peer.peer.0, peer.range.high, true);
+                let mut run: Option<(u64, u64)> = None;
+                for &key in &peer.keys {
+                    match &mut run {
+                        Some((k, count)) if *k == key => *count += 1,
+                        _ => {
+                            if let Some((k, count)) = run.take() {
+                                builder.push_item(k, count);
+                            }
+                            run = Some((key, 1));
+                        }
+                    }
+                }
+                if let Some((k, count)) = run {
+                    builder.push_item(k, count);
+                }
+                builder.seal_slot();
+                peers_of.push((slot, peer));
+            }
+        }
+        for (index, head) in heads.iter().enumerate() {
+            // Backbone stand-in: bucket heads link at ±2^j bucket strides,
+            // giving greedy routing the O(log N) reach an LCA climb has.
+            let mut stride = 1usize;
+            while stride < heads.len() {
+                if index >= stride {
+                    builder.link(*head, heads[index - stride], LinkKind::Backbone);
+                }
+                if index + stride < heads.len() {
+                    builder.link(*head, heads[index + stride], LinkKind::Backbone);
+                }
+                stride *= 2;
+            }
+        }
+        for &(slot, peer) in &peers_of {
+            if slot > 0 {
+                builder.link(slot, slot - 1, LinkKind::Bucket);
+            }
+            if slot + 1 < peers_of.len() {
+                builder.link(slot, slot + 1, LinkKind::Bucket);
+            }
+            for target in self.replica_targets(peer.peer) {
+                if let Some(t) = builder.slot_of(target.0) {
+                    builder.replica(slot, t);
+                }
+            }
+        }
+        builder.finish()
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,10 @@ impl Overlay for MTreeSystem {
         MTreeSystem::take_trace(self)
     }
 
+    fn routing_snapshot(&self) -> Option<baton_net::serve::RoutingSnapshot> {
+        Some(self.build_routing_snapshot())
+    }
+
     fn join_random(&mut self) -> OverlayResult<ChurnCost> {
         let report = MTreeSystem::join_random(self).map_err(op_err)?;
         Ok(ChurnCost {

@@ -855,6 +855,71 @@ impl MTreeSystem {
         }
         Ok(())
     }
+
+    /// Builds a [`baton_net::serve::RoutingSnapshot`] of the tree's current
+    /// state for the concurrent serve front-end: slots are the nodes in key
+    /// order (their direct ranges partition the domain), items are the
+    /// sorted key multisets run-length-encoded, links carry the
+    /// parent/child tree edges and the in-order neighbour chain range
+    /// sweeps walk, and replicas are the in-order replica targets of the
+    /// k-replica capability.  Extraction is read-only.
+    pub fn build_routing_snapshot(&self) -> baton_net::serve::RoutingSnapshot {
+        use baton_net::serve::{ExactPlacement, SnapshotBuilder};
+
+        let mut builder = SnapshotBuilder::new(
+            "Multiway tree",
+            ExactPlacement::DomainPartition,
+            true,
+            (self.domain.low, self.domain.high),
+        );
+        let mut order: Vec<&MNode> = self.nodes.values().collect();
+        order.sort_by_key(|node| node.range.low);
+        for node in &order {
+            builder.push_slot(node.peer.0, node.range.high, true);
+            let mut run: Option<(u64, u64)> = None;
+            for &key in &node.keys {
+                match &mut run {
+                    Some((k, count)) if *k == key => *count += 1,
+                    _ => {
+                        if let Some((k, count)) = run.take() {
+                            builder.push_item(k, count);
+                        }
+                        run = Some((key, 1));
+                    }
+                }
+            }
+            if let Some((k, count)) = run {
+                builder.push_item(k, count);
+            }
+            builder.seal_slot();
+        }
+        for (slot, node) in order.iter().enumerate() {
+            if let Some(parent) = &node.parent {
+                if let Some(target) = builder.slot_of(parent.peer.0) {
+                    builder.link(slot, target, LinkKind::Parent);
+                }
+            }
+            for child in &node.children {
+                if let Some(target) = builder.slot_of(child.peer.0) {
+                    builder.link(slot, target, LinkKind::Child);
+                }
+            }
+            for neighbor in [&node.left_neighbor, &node.right_neighbor]
+                .into_iter()
+                .flatten()
+            {
+                if let Some(target) = builder.slot_of(neighbor.peer.0) {
+                    builder.link(slot, target, LinkKind::Neighbor);
+                }
+            }
+            for target in self.replica_targets(node.peer) {
+                if let Some(t) = builder.slot_of(target.0) {
+                    builder.replica(slot, t);
+                }
+            }
+        }
+        builder.finish()
+    }
 }
 
 #[cfg(test)]

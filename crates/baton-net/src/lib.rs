@@ -76,6 +76,7 @@ pub mod parallel;
 pub mod peer;
 pub mod profiler;
 pub mod rng;
+pub mod serve;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -90,6 +91,10 @@ pub use parallel::{
 };
 pub use peer::{PeerId, PeerRegistry, PeerStatus};
 pub use rng::SimRng;
+pub use serve::{
+    ExactPlacement, RoutingSnapshot, ServeAnswer, ServeCounters, ServeStatus, SnapshotBuilder,
+    SnapshotCell, SnapshotReader,
+};
 pub use stats::{ClassStats, Histogram, MessageStats, OpId, OpScope, OpStats};
 pub use time::{
     LatencyModel, LatencyPlan, LinkDegradation, LinkScope, RegionMap, RegionalLatency, SimTime,

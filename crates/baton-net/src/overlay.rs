@@ -267,6 +267,21 @@ pub trait Overlay {
         None
     }
 
+    /// Extracts an immutable routing/ownership snapshot of the overlay's
+    /// current state for the concurrent serve front-end
+    /// ([`crate::serve`]): dense per-peer key ranges, item indexes, link
+    /// tables and replica sets that lock-free readers answer exact and
+    /// range queries from with zero event-queue traffic.  Pure
+    /// observation — statistics, RNG streams and the virtual clock are
+    /// untouched, so a run that extracts snapshots stays byte-identical
+    /// to one that does not.
+    ///
+    /// Default: `None` — for test doubles and overlays without snapshot
+    /// support.
+    fn routing_snapshot(&self) -> Option<crate::serve::RoutingSnapshot> {
+        None
+    }
+
     /// The live peers, sorted by id.
     ///
     /// Fault plans use this to target *specific* peers (e.g. "kill half of

@@ -1,0 +1,870 @@
+//! Concurrent serve mode: immutable routing/ownership snapshots and the
+//! lock-free read path over them.
+//!
+//! The discrete-event engine answers one query at a time behind the virtual
+//! clock; a real deployment answers thousands concurrently.  This module is
+//! the bridge: an overlay exports its current routing/ownership state as an
+//! immutable [`RoutingSnapshot`] — dense arrays of per-peer key ranges, link
+//! tables, item indexes and replica sets — which any number of OS threads
+//! can then query without locks, allocation, or event-queue traffic.
+//!
+//! Structural operations (join/leave/balance/repair) never mutate a
+//! published snapshot.  Instead the owner rebuilds one and *publishes* it
+//! through a [`SnapshotCell`]; readers hold a [`SnapshotReader`] whose
+//! cached `Arc` is refreshed only when the cell's version counter changes
+//! (a single relaxed-acquire atomic load on the fast path).  A reader that
+//! has not yet refreshed keeps answering from its stale snapshot — answers
+//! are always internally consistent with *one* version, never a mix.
+//!
+//! The per-query cost model is deliberately minimal: owner resolution is a
+//! binary search over the slot partition (or the hashed ring), matches come
+//! from a prefix-summed item index, and hop counts are produced by greedy
+//! routing over the snapshot's link tables so the reports keep the
+//! per-[`LinkKind`] anatomy of the traced event engine without paying for
+//! it per message.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::trace::LinkKind;
+
+/// How exact queries map a key to its owning slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExactPlacement {
+    /// Slots partition a contiguous key domain in key order; the owner of a
+    /// key is the slot whose `[low, high)` range contains it (BATON, the
+    /// multiway tree, D3-Tree).
+    DomainPartition,
+    /// Keys are hashed onto a ring of `domain.1` identifiers (SplitMix64
+    /// finalizer, the same mix Chord's `ChordId::hash` applies); the owner
+    /// is the first slot whose identifier is `>=` the hash, wrapping to
+    /// slot 0 (Chord successor placement).
+    HashedRing,
+}
+
+/// Outcome class of one snapshot-served query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeStatus {
+    /// Answered by the owning slot.
+    Ok,
+    /// The owner is marked dead; a live replica answered instead.
+    Failover,
+    /// The owner is dead and no replica is alive.
+    Unavailable,
+    /// The key lies outside the snapshot's domain (partition overlays
+    /// reject out-of-domain exact keys, mirroring the routed engines).
+    Rejected,
+    /// The overlay cannot answer this query class (range queries on a
+    /// hashed ring).
+    Unsupported,
+}
+
+/// One snapshot-served answer: the match count plus the read path's cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeAnswer {
+    /// Number of matching stored values — byte-identical to the routed
+    /// engine's `matches` for the same overlay state.
+    pub matches: u64,
+    /// Greedy routing hops charged to reach the owner.
+    pub hops: u32,
+    /// Slots swept by a range query (0 for exact queries and empty clamps).
+    pub slots: u32,
+    /// Outcome class.
+    pub status: ServeStatus,
+}
+
+/// Per-worker query counters, merged deterministically after a run.
+///
+/// Every field is an integer accumulated in query order, so merging worker
+/// counters in canonical worker order (or any order — all sums and XORs
+/// commute) produces identical totals at any thread count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Queries admitted (including rejected/unavailable ones).
+    pub queries: u64,
+    /// Sum of `matches` over all answered queries.
+    pub matches: u64,
+    /// Total routing hops.
+    pub hops: u64,
+    /// Routing hops split by the link kind they travelled, indexed by the
+    /// position of the kind in [`LinkKind::ALL`].
+    pub hops_by_kind: [u64; 11],
+    /// Slots swept by range queries.
+    pub slots_swept: u64,
+    /// Queries answered by a replica because the owner was dead.
+    pub failover: u64,
+    /// Queries that found neither the owner nor any replica alive.
+    pub unavailable: u64,
+    /// Queries rejected (out-of-domain key) or unsupported (range on a
+    /// ring).
+    pub rejected: u64,
+    /// Order-independent digest folding every `(matches, hops)` pair; equal
+    /// digests across thread counts pin work-for-work determinism.
+    pub checksum: u64,
+}
+
+impl ServeCounters {
+    /// Folds one answer into the counters.
+    #[inline]
+    pub fn record(&mut self, answer: ServeAnswer) {
+        self.queries += 1;
+        self.matches += answer.matches;
+        self.hops += u64::from(answer.hops);
+        self.slots_swept += u64::from(answer.slots);
+        match answer.status {
+            ServeStatus::Ok => {}
+            ServeStatus::Failover => self.failover += 1,
+            ServeStatus::Unavailable => self.unavailable += 1,
+            ServeStatus::Rejected | ServeStatus::Unsupported => self.rejected += 1,
+        }
+        // SplitMix64-style fold; XOR keeps the merge order-independent.
+        let mut z = answer
+            .matches
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(answer.hops))
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+        self.checksum ^= z;
+    }
+
+    /// Merges another worker's counters into this one.
+    pub fn merge(&mut self, other: &ServeCounters) {
+        self.queries += other.queries;
+        self.matches += other.matches;
+        self.hops += other.hops;
+        for (a, b) in self.hops_by_kind.iter_mut().zip(other.hops_by_kind) {
+            *a += b;
+        }
+        self.slots_swept += other.slots_swept;
+        self.failover += other.failover;
+        self.unavailable += other.unavailable;
+        self.rejected += other.rejected;
+        self.checksum ^= other.checksum;
+    }
+
+    /// Mean routing hops per admitted query.
+    pub fn mean_hops(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.queries as f64
+        }
+    }
+}
+
+/// An immutable, versioned routing/ownership snapshot of one overlay.
+///
+/// Slots are the overlay's peers in key order (partition overlays) or ring
+/// identifier order (hashed ring).  All per-slot data lives in dense
+/// flat/CSR arrays, so a snapshot is a handful of contiguous allocations
+/// that any number of threads can read concurrently.
+#[derive(Clone, Debug)]
+pub struct RoutingSnapshot {
+    version: u64,
+    overlay: String,
+    placement: ExactPlacement,
+    range_supported: bool,
+    /// `[low, high)` key domain (partition) or `[0, ring_size)` (ring).
+    domain: (u64, u64),
+    /// Peer address of each slot ([`crate::PeerId::raw`]-compatible).
+    slot_peer: Vec<u32>,
+    /// Exclusive range high of each slot (partition), or the slot's ring
+    /// identifier (ring); strictly increasing either way.
+    slot_high: Vec<u64>,
+    /// Liveness of each slot's peer at snapshot time.
+    slot_alive: Vec<bool>,
+    /// CSR offsets into `item_key`/`item_cum` (`len == slots + 1`).
+    item_off: Vec<u32>,
+    /// Distinct stored keys per slot, sorted within each slot segment; the
+    /// concatenation over partition slots is globally sorted.
+    item_key: Vec<u64>,
+    /// Prefix sums of per-key value counts (`len == item_key.len() + 1`):
+    /// the count stored under `item_key[i]` is `item_cum[i+1]-item_cum[i]`.
+    item_cum: Vec<u64>,
+    /// CSR offsets into the link arrays (`len == slots + 1`).
+    link_off: Vec<u32>,
+    /// Link targets, as slot indices.
+    link_target: Vec<u32>,
+    /// Link classes, parallel to `link_target`.
+    link_kind: Vec<LinkKind>,
+    /// CSR offsets into `repl_target` (`len == slots + 1`).
+    repl_off: Vec<u32>,
+    /// Replica slots per slot, in placement preference order.
+    repl_target: Vec<u32>,
+}
+
+/// Hashes a key onto a ring of `ring` identifiers — the SplitMix64
+/// finalizer, bit-identical to Chord's `ChordId::hash` when `ring == 2^32`.
+#[inline]
+pub fn ring_hash(key: u64, ring: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z % ring
+}
+
+impl RoutingSnapshot {
+    /// The version assigned at publication (0 before the first publish).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Name of the overlay this snapshot was extracted from.
+    pub fn overlay(&self) -> &str {
+        &self.overlay
+    }
+
+    /// Number of slots (peers) in the snapshot.
+    pub fn slots(&self) -> usize {
+        self.slot_peer.len()
+    }
+
+    /// `true` if the snapshot can answer range queries.
+    pub fn range_supported(&self) -> bool {
+        self.range_supported
+    }
+
+    /// The snapshot's key domain `[low, high)` (ring size for hashed
+    /// placement).
+    pub fn domain(&self) -> (u64, u64) {
+        self.domain
+    }
+
+    /// How exact queries resolve their owner.
+    pub fn placement(&self) -> ExactPlacement {
+        self.placement
+    }
+
+    /// Peer address of `slot`.
+    pub fn peer_of(&self, slot: usize) -> u32 {
+        self.slot_peer[slot]
+    }
+
+    /// Liveness of `slot` at snapshot time.
+    pub fn alive(&self, slot: usize) -> bool {
+        self.slot_alive[slot]
+    }
+
+    /// Total stored values across all slots.
+    pub fn total_items(&self) -> u64 {
+        *self.item_cum.last().unwrap_or(&0)
+    }
+
+    /// Approximate resident bytes of the snapshot's arrays.
+    pub fn estimated_bytes(&self) -> u64 {
+        (self.slot_peer.len() * 4
+            + self.slot_high.len() * 8
+            + self.slot_alive.len()
+            + self.item_off.len() * 4
+            + self.item_key.len() * 8
+            + self.item_cum.len() * 8
+            + self.link_off.len() * 4
+            + self.link_target.len() * 4
+            + self.link_kind.len()
+            + self.repl_off.len() * 4
+            + self.repl_target.len() * 4) as u64
+    }
+
+    /// The slot owning `key`, per the snapshot's placement, or `None` for
+    /// an out-of-domain key on a partition (the routed engines reject
+    /// those) or an empty snapshot.
+    #[inline]
+    pub fn owner_of(&self, key: u64) -> Option<usize> {
+        if self.slot_peer.is_empty() {
+            return None;
+        }
+        match self.placement {
+            ExactPlacement::DomainPartition => {
+                if key < self.domain.0 || key >= self.domain.1 {
+                    return None;
+                }
+                // First slot whose exclusive high exceeds the key.
+                Some(self.slot_high.partition_point(|&h| h <= key))
+            }
+            ExactPlacement::HashedRing => {
+                let id = ring_hash(key, self.domain.1.max(1));
+                // Successor placement: first slot id >= hash, wrapping.
+                let at = self.slot_high.partition_point(|&h| h < id);
+                Some(if at == self.slot_high.len() { 0 } else { at })
+            }
+        }
+    }
+
+    /// Values stored under `key` at `slot` (the key is pre-mapped for ring
+    /// placement).
+    #[inline]
+    fn count_at(&self, slot: usize, stored_key: u64) -> u64 {
+        let lo = self.item_off[slot] as usize;
+        let hi = self.item_off[slot + 1] as usize;
+        let seg = &self.item_key[lo..hi];
+        match seg.binary_search(&stored_key) {
+            Ok(i) => self.item_cum[lo + i + 1] - self.item_cum[lo + i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Values stored at `slot` with keys in `[low, high)`.
+    #[inline]
+    fn count_in(&self, slot: usize, low: u64, high: u64) -> u64 {
+        let off = self.item_off[slot] as usize;
+        let seg = &self.item_key[off..self.item_off[slot + 1] as usize];
+        let a = off + seg.partition_point(|&k| k < low);
+        let b = off + seg.partition_point(|&k| k < high);
+        self.item_cum[b] - self.item_cum[a]
+    }
+
+    /// Index distance from `a` to `b` under the placement's geometry:
+    /// absolute distance on a partition, forward (clockwise) distance on a
+    /// ring.
+    #[inline]
+    fn distance(&self, a: usize, b: usize) -> u64 {
+        match self.placement {
+            ExactPlacement::DomainPartition => (a as i64 - b as i64).unsigned_abs(),
+            ExactPlacement::HashedRing => {
+                let n = self.slot_peer.len() as u64;
+                (b as u64 + n - a as u64) % n
+            }
+        }
+    }
+
+    /// Greedy routing from `from` to `to` over the snapshot's link tables:
+    /// each hop takes the link that most shrinks the remaining distance and
+    /// is charged to its [`LinkKind`]; when no link improves, the reader
+    /// jumps straight to the target for one `Other` hop (it has the full
+    /// partition, a luxury a real peer pays for with its own link walk).
+    #[inline]
+    fn route(&self, from: usize, to: usize, counters: &mut ServeCounters) -> u32 {
+        let mut current = from;
+        let mut hops = 0u32;
+        while current != to {
+            let remaining = self.distance(current, to);
+            let mut best: Option<(u64, usize, LinkKind)> = None;
+            let lo = self.link_off[current] as usize;
+            let hi = self.link_off[current + 1] as usize;
+            for i in lo..hi {
+                let target = self.link_target[i] as usize;
+                let d = self.distance(target, to);
+                if d < remaining && best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, target, self.link_kind[i]));
+                }
+            }
+            match best {
+                Some((_, next, kind)) => {
+                    current = next;
+                    counters.hops_by_kind[kind as usize] += 1;
+                }
+                None => {
+                    current = to;
+                    counters.hops_by_kind[LinkKind::Other as usize] += 1;
+                }
+            }
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Resolves a dead owner to a live replica: `Ok` when the owner is
+    /// alive, `Failover` when a replica answers, `Unavailable` otherwise.
+    #[inline]
+    fn liveness(&self, slot: usize) -> ServeStatus {
+        if self.slot_alive[slot] {
+            return ServeStatus::Ok;
+        }
+        let lo = self.repl_off[slot] as usize;
+        let hi = self.repl_off[slot + 1] as usize;
+        for i in lo..hi {
+            if self.slot_alive[self.repl_target[i] as usize] {
+                return ServeStatus::Failover;
+            }
+        }
+        ServeStatus::Unavailable
+    }
+
+    /// Answers an exact-match query for `key` from the snapshot, starting
+    /// the routing walk at `start_hint % slots`.  Matches are
+    /// byte-identical to the routed engine's answer for the same overlay
+    /// state; zero allocation.
+    #[inline]
+    pub fn exact(&self, key: u64, start_hint: u64, counters: &mut ServeCounters) -> ServeAnswer {
+        let mut answer = ServeAnswer {
+            matches: 0,
+            hops: 0,
+            slots: 0,
+            status: ServeStatus::Ok,
+        };
+        let Some(owner) = self.owner_of(key) else {
+            answer.status = if self.slot_peer.is_empty() {
+                ServeStatus::Unavailable
+            } else {
+                ServeStatus::Rejected
+            };
+            counters.record(answer);
+            return answer;
+        };
+        let start = (start_hint % self.slot_peer.len() as u64) as usize;
+        answer.hops = self.route(start, owner, counters);
+        answer.status = self.liveness(owner);
+        if answer.status == ServeStatus::Failover {
+            // The replica holds a copy of the owner's slice; one extra hop
+            // reaches it.
+            answer.hops += 1;
+            counters.hops_by_kind[LinkKind::Other as usize] += 1;
+        }
+        if answer.status != ServeStatus::Unavailable {
+            let stored = match self.placement {
+                ExactPlacement::DomainPartition => key,
+                ExactPlacement::HashedRing => ring_hash(key, self.domain.1.max(1)),
+            };
+            answer.matches = self.count_at(owner, stored);
+        }
+        counters.record(answer);
+        answer
+    }
+
+    /// Answers a range query for `[low, high)` from the snapshot: clamp to
+    /// the domain, route to the owner of the clamped low, then sweep right
+    /// across the partition until the range is covered — the same
+    /// owner-then-adjacent sweep all three range-capable engines execute,
+    /// so matches byte-agree.  An empty clamp answers zero without routing.
+    #[inline]
+    pub fn range(
+        &self,
+        low: u64,
+        high: u64,
+        start_hint: u64,
+        counters: &mut ServeCounters,
+    ) -> ServeAnswer {
+        let mut answer = ServeAnswer {
+            matches: 0,
+            hops: 0,
+            slots: 0,
+            status: ServeStatus::Ok,
+        };
+        if !self.range_supported {
+            answer.status = ServeStatus::Unsupported;
+            counters.record(answer);
+            return answer;
+        }
+        if self.slot_peer.is_empty() {
+            answer.status = ServeStatus::Unavailable;
+            counters.record(answer);
+            return answer;
+        }
+        let lo = low.max(self.domain.0);
+        let hi = high.min(self.domain.1);
+        if lo >= hi {
+            counters.record(answer);
+            return answer;
+        }
+        let owner = self.slot_high.partition_point(|&h| h <= lo);
+        let start = (start_hint % self.slot_peer.len() as u64) as usize;
+        answer.hops = self.route(start, owner, counters);
+        let mut slot = owner;
+        loop {
+            answer.slots += 1;
+            match self.liveness(slot) {
+                ServeStatus::Failover if answer.status == ServeStatus::Ok => {
+                    answer.status = ServeStatus::Failover;
+                }
+                ServeStatus::Unavailable => answer.status = ServeStatus::Unavailable,
+                _ => {}
+            }
+            answer.matches += self.count_in(slot, lo, hi);
+            if self.slot_high[slot] >= hi || slot + 1 == self.slot_peer.len() {
+                break;
+            }
+            slot += 1;
+            answer.hops += 1;
+            counters.hops_by_kind[LinkKind::Adjacent as usize] += 1;
+        }
+        counters.record(answer);
+        answer
+    }
+}
+
+/// Builds a [`RoutingSnapshot`] slot by slot.
+///
+/// Extraction order matters: partition overlays must push slots in key
+/// order, ring overlays in ascending identifier order.  Items must arrive
+/// sorted within each slot.  Links and replicas are resolved to slot
+/// indices through [`SnapshotBuilder::slot_of`] after all slots are pushed.
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    snapshot: RoutingSnapshot,
+    links: Vec<Vec<(u32, LinkKind)>>,
+    replicas: Vec<Vec<u32>>,
+}
+
+impl SnapshotBuilder {
+    /// Starts a snapshot of `overlay` with the given placement and domain.
+    pub fn new(
+        overlay: &str,
+        placement: ExactPlacement,
+        range_supported: bool,
+        domain: (u64, u64),
+    ) -> Self {
+        Self {
+            snapshot: RoutingSnapshot {
+                version: 0,
+                overlay: overlay.to_string(),
+                placement,
+                range_supported,
+                domain,
+                slot_peer: Vec::new(),
+                slot_high: Vec::new(),
+                slot_alive: Vec::new(),
+                item_off: vec![0],
+                item_key: Vec::new(),
+                item_cum: vec![0],
+                link_off: Vec::new(),
+                link_target: Vec::new(),
+                link_kind: Vec::new(),
+                repl_off: Vec::new(),
+                repl_target: Vec::new(),
+            },
+            links: Vec::new(),
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Appends a slot for `peer` whose range ends at (exclusive) `high` —
+    /// or whose ring identifier is `high` under hashed placement.  Returns
+    /// the slot index.
+    pub fn push_slot(&mut self, peer: u32, high: u64, alive: bool) -> usize {
+        debug_assert!(
+            self.snapshot
+                .slot_high
+                .last()
+                .is_none_or(|&prev| prev < high),
+            "slots must be pushed in ascending order"
+        );
+        self.snapshot.slot_peer.push(peer);
+        self.snapshot.slot_high.push(high);
+        self.snapshot.slot_alive.push(alive);
+        self.links.push(Vec::new());
+        self.replicas.push(Vec::new());
+        self.snapshot.slot_peer.len() - 1
+    }
+
+    /// Appends one distinct stored key (with its value count) to the most
+    /// recently pushed slot.  Keys must arrive sorted per slot.
+    pub fn push_item(&mut self, key: u64, count: u64) {
+        debug_assert!(!self.snapshot.slot_peer.is_empty(), "push_slot first");
+        debug_assert!(count > 0, "zero-count item");
+        self.snapshot.item_key.push(key);
+        let total = self.snapshot.item_cum.last().copied().unwrap_or(0);
+        self.snapshot.item_cum.push(total + count);
+    }
+
+    /// Seals the most recently pushed slot's item segment.  Must be called
+    /// once per slot, after its items.
+    pub fn seal_slot(&mut self) {
+        self.snapshot
+            .item_off
+            .push(self.snapshot.item_key.len() as u32);
+    }
+
+    /// The slot index a peer landed at, for link/replica resolution.
+    pub fn slot_of(&self, peer: u32) -> Option<usize> {
+        // Extraction-time only; a scan keeps the builder allocation-light
+        // and extraction is O(N) slots anyway.
+        self.snapshot.slot_peer.iter().position(|&p| p == peer)
+    }
+
+    /// Records a routing link from `slot` to `target` of class `kind`.
+    pub fn link(&mut self, slot: usize, target: usize, kind: LinkKind) {
+        if slot != target {
+            self.links[slot].push((target as u32, kind));
+        }
+    }
+
+    /// Records that `target` holds a replica of `slot`'s slice.
+    pub fn replica(&mut self, slot: usize, target: usize) {
+        if slot != target {
+            self.replicas[slot].push(target as u32);
+        }
+    }
+
+    /// Flattens the per-slot link/replica tables and returns the finished
+    /// snapshot (version 0 until published through a [`SnapshotCell`]).
+    pub fn finish(mut self) -> RoutingSnapshot {
+        debug_assert_eq!(
+            self.snapshot.item_off.len(),
+            self.snapshot.slot_peer.len() + 1,
+            "every slot must be sealed exactly once"
+        );
+        self.snapshot.link_off.push(0);
+        for links in &self.links {
+            for &(target, kind) in links {
+                self.snapshot.link_target.push(target);
+                self.snapshot.link_kind.push(kind);
+            }
+            self.snapshot
+                .link_off
+                .push(self.snapshot.link_target.len() as u32);
+        }
+        self.snapshot.repl_off.push(0);
+        for replicas in &self.replicas {
+            self.snapshot.repl_target.extend_from_slice(replicas);
+            self.snapshot
+                .repl_off
+                .push(self.snapshot.repl_target.len() as u32);
+        }
+        self.snapshot
+    }
+}
+
+/// The swap point between structural writers and lock-free readers.
+///
+/// A writer that commits a structural change rebuilds the snapshot and
+/// [`publish`](SnapshotCell::publish)es it; the cell stamps it with the
+/// next version and swaps the shared `Arc` under a mutex that only writers
+/// and *refreshing* readers ever touch.  Steady-state readers poll the
+/// version with one atomic acquire-load per batch and skip the mutex
+/// entirely while it is unchanged — the lock-free fast path batched
+/// admission amortizes.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    version: AtomicU64,
+    current: Mutex<Arc<RoutingSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Creates a cell publishing `snapshot` as version 1.
+    pub fn new(mut snapshot: RoutingSnapshot) -> Self {
+        snapshot.version = 1;
+        Self {
+            version: AtomicU64::new(1),
+            current: Mutex::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The currently published version.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Publishes a new snapshot, stamping it with the next version, and
+    /// returns that version.  In-flight readers keep their old `Arc` and
+    /// finish their batch on it; they observe the new version at their next
+    /// refresh.
+    pub fn publish(&self, mut snapshot: RoutingSnapshot) -> u64 {
+        let mut current = self.current.lock().expect("snapshot cell poisoned");
+        let next = self.version.load(Ordering::Relaxed) + 1;
+        snapshot.version = next;
+        *current = Arc::new(snapshot);
+        // Published only after the Arc swap, so a reader that observes the
+        // new version and then locks is guaranteed to see the new Arc.
+        self.version.store(next, Ordering::Release);
+        next
+    }
+
+    /// Clones the current snapshot handle (locks; readers should prefer a
+    /// [`SnapshotReader`]).
+    pub fn load(&self) -> Arc<RoutingSnapshot> {
+        self.current.lock().expect("snapshot cell poisoned").clone()
+    }
+}
+
+/// A per-worker view of a [`SnapshotCell`]: caches the `Arc` and refreshes
+/// it only when the published version moves, so steady-state reads touch no
+/// lock and perform no allocation.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    cell: Arc<SnapshotCell>,
+    cached: Arc<RoutingSnapshot>,
+    seen: u64,
+    /// Number of refreshes that actually swapped the cached snapshot.
+    pub refreshes: u64,
+}
+
+impl SnapshotReader {
+    /// Attaches a reader to `cell`.
+    pub fn new(cell: Arc<SnapshotCell>) -> Self {
+        let cached = cell.load();
+        let seen = cached.version();
+        Self {
+            cell,
+            cached,
+            seen,
+            refreshes: 0,
+        }
+    }
+
+    /// Refreshes the cached snapshot if a newer version was published.
+    /// Call once per batch: one atomic load when nothing changed.
+    #[inline]
+    pub fn refresh(&mut self) {
+        let published = self.cell.version.load(Ordering::Acquire);
+        if published != self.seen {
+            let current = self.cell.current.lock().expect("snapshot cell poisoned");
+            self.cached = current.clone();
+            self.seen = self.cached.version();
+            self.refreshes += 1;
+        }
+    }
+
+    /// The snapshot this reader currently answers from.
+    #[inline]
+    pub fn snapshot(&self) -> &RoutingSnapshot {
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Four slots over [0, 100): ranges [0,25) [25,50) [50,75) [75,100),
+    /// a chain of adjacent links, one item per slot.
+    fn toy() -> RoutingSnapshot {
+        let mut b = SnapshotBuilder::new("toy", ExactPlacement::DomainPartition, true, (0, 100));
+        for (i, high) in [25u64, 50, 75, 100].into_iter().enumerate() {
+            b.push_slot(i as u32, high, true);
+            b.push_item(i as u64 * 25 + 10, (i + 1) as u64);
+            b.seal_slot();
+        }
+        for i in 0..4usize {
+            if i > 0 {
+                b.link(i, i - 1, LinkKind::Adjacent);
+            }
+            if i < 3 {
+                b.link(i, i + 1, LinkKind::Adjacent);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn exact_resolves_owner_and_counts() {
+        let snap = toy();
+        let mut c = ServeCounters::default();
+        assert_eq!(snap.owner_of(0), Some(0));
+        assert_eq!(snap.owner_of(24), Some(0));
+        assert_eq!(snap.owner_of(25), Some(1));
+        assert_eq!(snap.owner_of(99), Some(3));
+        assert_eq!(snap.owner_of(100), None);
+        let hit = snap.exact(60, 0, &mut c);
+        assert_eq!((hit.matches, hit.status), (3, ServeStatus::Ok));
+        assert_eq!(hit.hops, 2, "adjacent chain from slot 0 to slot 2");
+        let miss = snap.exact(61, 0, &mut c);
+        assert_eq!(miss.matches, 0);
+        let rejected = snap.exact(100, 0, &mut c);
+        assert_eq!(rejected.status, ServeStatus::Rejected);
+        assert_eq!(c.queries, 3);
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.hops_by_kind[LinkKind::Adjacent as usize], 4);
+    }
+
+    #[test]
+    fn range_sweeps_and_clamps() {
+        let snap = toy();
+        let mut c = ServeCounters::default();
+        // Covers items 10 (1), 35 (2), 60 (3).
+        let a = snap.range(5, 70, 0, &mut c);
+        assert_eq!((a.matches, a.slots), (6, 3));
+        // Out-of-domain clamp is empty: zero everything.
+        let empty = snap.range(200, 300, 0, &mut c);
+        assert_eq!((empty.matches, empty.slots, empty.hops), (0, 0, 0));
+        // Whole domain.
+        let all = snap.range(0, 100, 3, &mut c);
+        assert_eq!((all.matches, all.slots), (10, 4));
+    }
+
+    #[test]
+    fn ring_placement_wraps_to_successor() {
+        let mut b = SnapshotBuilder::new("ring", ExactPlacement::HashedRing, false, (0, 1 << 32));
+        b.push_slot(7, 1_000, true);
+        b.seal_slot();
+        b.push_slot(9, 3_000_000_000, true);
+        b.seal_slot();
+        let snap = b.finish();
+        let mut c = ServeCounters::default();
+        assert_eq!(
+            snap.range(1, 10, 0, &mut c).status,
+            ServeStatus::Unsupported
+        );
+        // Every key owns *some* slot; ids above the top wrap to slot 0.
+        for key in 0..50u64 {
+            let owner = snap.owner_of(key).unwrap();
+            let id = ring_hash(key, 1 << 32);
+            let expect = if id <= 1_000 || id > 3_000_000_000 {
+                0
+            } else {
+                1
+            };
+            assert_eq!(owner, expect, "key {key} id {id}");
+        }
+    }
+
+    #[test]
+    fn dead_owner_fails_over_then_unavailable() {
+        let mut b = SnapshotBuilder::new("t", ExactPlacement::DomainPartition, true, (0, 100));
+        b.push_slot(0, 50, false);
+        b.push_item(10, 4);
+        b.seal_slot();
+        b.push_slot(1, 100, true);
+        b.seal_slot();
+        b.replica(0, 1);
+        let snap = b.finish();
+        let mut c = ServeCounters::default();
+        let a = snap.exact(10, 1, &mut c);
+        assert_eq!((a.status, a.matches), (ServeStatus::Failover, 4));
+
+        let mut b = SnapshotBuilder::new("t", ExactPlacement::DomainPartition, true, (0, 100));
+        b.push_slot(0, 50, false);
+        b.push_item(10, 4);
+        b.seal_slot();
+        b.push_slot(1, 100, true);
+        b.seal_slot();
+        let snap = b.finish();
+        let a = snap.exact(10, 1, &mut c);
+        assert_eq!((a.status, a.matches), (ServeStatus::Unavailable, 0));
+        assert_eq!(c.failover, 1);
+        assert_eq!(c.unavailable, 1);
+    }
+
+    #[test]
+    fn cell_publishes_versions_and_readers_refresh_lazily() {
+        let cell = Arc::new(SnapshotCell::new(toy()));
+        let mut reader = SnapshotReader::new(cell.clone());
+        assert_eq!(reader.snapshot().version(), 1);
+        reader.refresh();
+        assert_eq!(reader.refreshes, 0, "no publish, no refresh");
+
+        let mut b = SnapshotBuilder::new("toy", ExactPlacement::DomainPartition, true, (0, 100));
+        b.push_slot(0, 100, true);
+        b.push_item(42, 9);
+        b.seal_slot();
+        assert_eq!(cell.publish(b.finish()), 2);
+
+        // The stale reader still answers from version 1 (never mixes).
+        let mut c = ServeCounters::default();
+        assert_eq!(reader.snapshot().version(), 1);
+        assert_eq!(reader.snapshot().exact(60, 0, &mut c).matches, 3);
+        reader.refresh();
+        assert_eq!(reader.snapshot().version(), 2);
+        assert_eq!(reader.snapshot().exact(42, 0, &mut c).matches, 9);
+        assert_eq!(reader.refreshes, 1);
+    }
+
+    #[test]
+    fn counters_merge_is_order_independent() {
+        let snap = toy();
+        let mut serial = ServeCounters::default();
+        for key in 0..100 {
+            snap.exact(key, key, &mut serial);
+        }
+        let (mut even, mut odd) = (ServeCounters::default(), ServeCounters::default());
+        for key in 0..100 {
+            let c = if key % 2 == 0 { &mut even } else { &mut odd };
+            snap.exact(key, key, c);
+        }
+        let mut merged = ServeCounters::default();
+        merged.merge(&odd);
+        merged.merge(&even);
+        assert_eq!(merged, serial);
+    }
+}

@@ -17,6 +17,12 @@
 //! exits — the machine-checkable catalog, so CI and users never have to grep
 //! the source for valid identifiers.
 //!
+//! `--serve-check` runs the snapshot-vs-routed parity check first (every
+//! overlay's exact and range answers from its [`baton_net::RoutingSnapshot`]
+//! must equal the routed engine's), reporting to **stderr** only, then
+//! continues normally — stdout stays byte-identical with or without the
+//! flag, so fixture diffs hold.
+//!
 //! `--seed N` overrides the profile's base RNG seed for quick variance
 //! spot-checks.  The committed fixtures (`tests/fixtures/*.json`) assume the
 //! default seed; a run with an overridden seed will not diff clean against
@@ -80,6 +86,7 @@ struct Options {
     json: bool,
     csv: bool,
     list: bool,
+    serve_check: bool,
     trace: Option<String>,
     trace_format: TraceFormat,
     trace_sample: u64,
@@ -104,6 +111,7 @@ fn parse_args() -> Result<Options, String> {
     let mut json = false;
     let mut csv = false;
     let mut list = false;
+    let mut serve_check = false;
     let mut trace = None;
     let mut trace_format = TraceFormat::Jsonl;
     let mut trace_sample = 1u64;
@@ -152,13 +160,7 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--threads" | "-t" => {
-                let value = args.next().ok_or("--threads needs a value")?;
-                threads = value
-                    .parse::<usize>()
-                    .map_err(|_| format!("--threads needs an unsigned integer, got '{value}'"))?;
-                if threads == 0 {
-                    return Err("--threads needs at least 1".into());
-                }
+                threads = baton_sim::parse_threads(args.next())?;
             }
             "--build" | "-b" => {
                 let value = args.next().ok_or("--build needs a value")?;
@@ -181,6 +183,7 @@ fn parse_args() -> Result<Options, String> {
             "--json" => json = true,
             "--csv" => csv = true,
             "--list" => list = true,
+            "--serve-check" => serve_check = true,
             "--trace" => {
                 trace = Some(args.next().ok_or("--trace needs an output path")?);
             }
@@ -214,7 +217,7 @@ fn parse_args() -> Result<Options, String> {
                      [--profile smoke|quick|full|paper] [--seed N] \
                      [--threads N (default: available parallelism)] \
                      [--overlays NAME[,NAME...]] [--build join|bulk] \
-                     [--replicas N] [--json] [--csv] [--list] \
+                     [--replicas N] [--json] [--csv] [--list] [--serve-check] \
                      [--trace PATH] [--trace-format jsonl|chrome] \
                      [--trace-sample N] [--check-trace PATH]",
                     scenario::all_scenario_ids().join("|")
@@ -239,6 +242,7 @@ fn parse_args() -> Result<Options, String> {
         json,
         csv,
         list,
+        serve_check,
         trace,
         trace_format,
         trace_sample,
@@ -293,6 +297,20 @@ fn print_catalog() {
     for spec in baton_sim::standard_overlays() {
         let kinds: Vec<&str> = spec.link_kinds.iter().map(|kind| kind.name()).collect();
         println!("  {}: {}", spec.series, kinds.join(", "));
+    }
+    println!("serve (lock-free snapshot reads; --serve-check verifies parity):");
+    for spec in baton_sim::standard_overlays() {
+        let mut modes = Vec::new();
+        if spec.serve.snapshot {
+            modes.push("snapshot");
+        }
+        if spec.serve.exact {
+            modes.push("exact");
+        }
+        if spec.serve.range {
+            modes.push("range");
+        }
+        println!("  {}: {}", spec.series, modes.join(", "));
     }
     println!("metrics sampling (rep-0 virtual-time series in the JSON report):");
     for spec in scenario::all_scenarios() {
@@ -351,6 +369,22 @@ fn main() -> ExitCode {
     if let Err(msg) = baton_sim::set_overlay_filter(&options.overlays) {
         eprintln!("{msg}");
         return ExitCode::FAILURE;
+    }
+    // The serve check runs before figures and scenarios, and writes only to
+    // stderr: stdout stays byte-identical with or without the flag, so CI
+    // can diff a `--serve-check` run against the committed fixtures.
+    if options.serve_check {
+        match baton_sim::run_serve_check(&options.profile) {
+            Ok(report) => eprintln!(
+                "serve-check ok: {} overlay(s), {} exact, {} range queries byte-agree with the \
+                 routed engine",
+                report.overlays, report.exact_checked, report.range_checked
+            ),
+            Err(msg) => {
+                eprintln!("serve-check FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     // Validate the scenario selection before any figure runs: a typo'd id
     // must not cost a full (possibly paper-profile) figure pass first.

@@ -43,6 +43,39 @@ pub struct OverlaySpec {
     /// notifications) and `Other` (untagged protocol sends).  `--list`
     /// prints this matrix.
     pub link_kinds: &'static [LinkKind],
+    /// What the overlay's routing snapshot can serve; `--list` prints this
+    /// matrix too.
+    pub serve: ServeSupport,
+}
+
+/// Serve-mode capabilities of one overlay: whether it exports a
+/// [`baton_net::RoutingSnapshot`] and which query shapes the snapshot can
+/// answer without touching the event engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeSupport {
+    /// [`Overlay::routing_snapshot`] returns `Some`.
+    pub snapshot: bool,
+    /// Exact-match queries over the snapshot.
+    pub exact: bool,
+    /// Range queries over the snapshot — key-ordered partitions only, so
+    /// every overlay but Chord (hashed placement destroys key order).
+    pub range: bool,
+}
+
+/// Parses the value of a `--threads` flag, shared by `reproduce`, `perf`
+/// and `serve-bench` so all three agree on validation: the value is
+/// required, must be an unsigned integer, and must be at least 1.  When the
+/// flag is absent entirely, binaries default to
+/// [`baton_net::default_threads`] (available parallelism).
+pub fn parse_threads(value: Option<String>) -> Result<usize, String> {
+    let value = value.ok_or_else(|| "--threads needs a value".to_owned())?;
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        Ok(_) => Err("--threads needs at least 1".to_owned()),
+        Err(_) => Err(format!(
+            "--threads needs an unsigned integer, got '{value}'"
+        )),
+    }
 }
 
 /// How many replicas an overlay's placement rule can maintain: each key
@@ -138,6 +171,11 @@ pub fn reference_overlay() -> OverlaySpec {
             LinkKind::Notify,
             LinkKind::Other,
         ],
+        serve: ServeSupport {
+            snapshot: true,
+            exact: true,
+            range: true,
+        },
     }
 }
 
@@ -159,6 +197,11 @@ pub fn all_overlays() -> Vec<OverlaySpec> {
                 LinkKind::Notify,
                 LinkKind::Other,
             ],
+            serve: ServeSupport {
+                snapshot: true,
+                exact: true,
+                range: false,
+            },
         },
         OverlaySpec {
             series: super::figures::SERIES_MTREE,
@@ -174,6 +217,11 @@ pub fn all_overlays() -> Vec<OverlaySpec> {
                 LinkKind::Notify,
                 LinkKind::Other,
             ],
+            serve: ServeSupport {
+                snapshot: true,
+                exact: true,
+                range: true,
+            },
         },
         OverlaySpec {
             series: super::figures::SERIES_D3TREE,
@@ -188,6 +236,11 @@ pub fn all_overlays() -> Vec<OverlaySpec> {
                 LinkKind::Notify,
                 LinkKind::Other,
             ],
+            serve: ServeSupport {
+                snapshot: true,
+                exact: true,
+                range: true,
+            },
         },
     ]
 }
@@ -380,6 +433,40 @@ mod tests {
             assert_eq!(data.len(), profile.dataset_size(10));
             assert_eq!(overlay.total_items(), data.len());
         }
+    }
+
+    #[test]
+    fn serve_matrix_matches_what_snapshots_actually_support() {
+        let profile = Profile::smoke();
+        for spec in all_overlays() {
+            let overlay = spec.build(&profile, 15, 7);
+            let snapshot = overlay.routing_snapshot();
+            assert_eq!(
+                snapshot.is_some(),
+                spec.serve.snapshot,
+                "{}: spec registry and routing_snapshot() disagree",
+                spec.series
+            );
+            if let Some(snapshot) = snapshot {
+                assert!(spec.serve.exact, "{}: snapshots serve exact", spec.series);
+                assert_eq!(
+                    snapshot.range_supported(),
+                    spec.serve.range,
+                    "{}: spec registry and snapshot range support disagree",
+                    spec.series
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_garbage() {
+        assert_eq!(parse_threads(Some("1".to_owned())), Ok(1));
+        assert_eq!(parse_threads(Some("16".to_owned())), Ok(16));
+        assert!(parse_threads(Some("0".to_owned())).is_err());
+        assert!(parse_threads(Some("-2".to_owned())).is_err());
+        assert!(parse_threads(Some("two".to_owned())).is_err());
+        assert!(parse_threads(None).is_err());
     }
 
     #[test]

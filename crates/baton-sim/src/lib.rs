@@ -55,10 +55,11 @@ pub mod profile;
 pub mod report;
 pub mod result;
 pub mod scenario;
+pub mod serve_check;
 
 pub use driver::{
-    all_overlays, clear_overlay_filter, load_overlay, overlay_names, reference_overlay,
-    set_overlay_filter, standard_overlays, OverlaySpec,
+    all_overlays, clear_overlay_filter, load_overlay, overlay_names, parse_threads,
+    reference_overlay, set_overlay_filter, standard_overlays, OverlaySpec, ServeSupport,
 };
 pub use observe::{
     check_trace_jsonl, render_trace_chrome, render_trace_jsonl, trace_summary_table, TraceCheck,
@@ -71,3 +72,4 @@ pub use scenario::{
     run_scenario_traced, run_scenario_with_build, BuildKind, ScenarioPlan, ScenarioResult,
     ScenarioSeries, ScenarioSpec,
 };
+pub use serve_check::{run_serve_check, ServeCheckReport};

@@ -96,6 +96,11 @@ pub struct ScenarioSeries {
     pub repair_mean_ms: f64,
     /// 95th-percentile time-to-repair, in virtual milliseconds.
     pub repair_p95_ms: f64,
+    /// **Wall-clock** time spent executing deferred repairs across all
+    /// repetitions.  Never rendered into the JSON/CSV/table reports (those
+    /// stay deterministic); the perf harness cites it in the `avail_k*`
+    /// rows so slow-path repair cost is not misread as query throughput.
+    pub repair_wall: std::time::Duration,
     /// Virtual-time metrics samples from the overlay's *first* repetition
     /// (repetitions diverge, so their trajectories cannot be averaged) —
     /// empty unless the plan carries a
@@ -448,6 +453,7 @@ pub fn run_plan_traced(
         let mut window_attempts = 0u64;
         let mut window_unavailable = 0u64;
         let mut repair_samples: Vec<baton_net::SimTime> = Vec::new();
+        let mut repair_wall = std::time::Duration::ZERO;
         let mut throughput_sum = 0.0f64;
         let mut seconds_sum = 0.0f64;
         for (outcome, _) in &outcomes[idx * reps..(idx + 1) * reps] {
@@ -460,6 +466,7 @@ pub fn run_plan_traced(
             window_attempts += outcome.window_attempts.values().sum::<u64>();
             window_unavailable += outcome.window_unavailable.values().sum::<u64>();
             repair_samples.extend(&outcome.repair_times);
+            repair_wall += outcome.repair_wall;
             messages += outcome.messages;
             fault_kills += outcome.fault_kills;
             throughput_sum += outcome.throughput();
@@ -519,6 +526,7 @@ pub fn run_plan_traced(
             repairs: repair_samples.len() as u64,
             repair_mean_ms: repair_summary.map_or(0.0, |s| s.mean.as_millis_f64()),
             repair_p95_ms: repair_summary.map_or(0.0, |s| s.p95.as_millis_f64()),
+            repair_wall,
             timeseries: std::mem::take(&mut outcomes[idx * reps].0.samples),
         });
         if let Some(buffer) = outcomes[idx * reps].1.take() {

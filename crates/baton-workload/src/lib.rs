@@ -36,6 +36,7 @@ pub mod openloop;
 pub mod phases;
 pub mod queries;
 pub mod runner;
+pub mod serve;
 
 pub use churn::{ChurnEvent, ChurnWorkload, ConcurrentChurnBatch};
 pub use dataset::DatasetPlan;
@@ -48,3 +49,4 @@ pub use openloop::{
 pub use phases::{KeyMix, KeyWindow, OpRates, Phase, PhasedWorkload, ResolvedKeys};
 pub use queries::{Query, QueryWorkload};
 pub use runner::{bulk_load, run_churn, run_queries, ChurnOutcome, LoadOutcome, QueryOutcome};
+pub use serve::{run_serve, ServeConfig, ServeOutcome};

@@ -276,6 +276,12 @@ pub struct OpenLoopOutcome {
     /// Deferred repairs abandoned after exhausting their retry budget.
     /// Zero in any healthy run; non-zero flags unrecoverable state.
     pub repairs_abandoned: u64,
+    /// Wall-clock time spent executing deferred repairs (the
+    /// `repair_peer` calls plus their queue management).  Wall-clock, so
+    /// it never appears in a deterministic report; the perf harness's
+    /// `avail_k*` rows cite it so the slow-path repair cost at k = 1 is
+    /// not misread as query-throughput regression.
+    pub repair_wall: std::time::Duration,
     /// Virtual-time metrics samples, in tick order — empty unless the run
     /// was started through [`run_phased_with_metrics`] with a
     /// [`MetricsConfig`].
@@ -411,6 +417,20 @@ const REPAIR_RETRY_LIMIT: u32 = 32;
 /// [`Overlay::repair_fast_eligible`]), so correlated kills recover as a
 /// fast-path cascade instead of serialising on the slow path.
 fn drain_repairs(
+    overlay: &mut dyn Overlay,
+    pending: &mut Vec<PendingRepair>,
+    retry_delay: SimTime,
+    until: Option<SimTime>,
+    outcome: &mut OpenLoopOutcome,
+) -> OverlayResult<()> {
+    let started = std::time::Instant::now();
+    let result = drain_repairs_inner(overlay, pending, retry_delay, until, outcome);
+    outcome.repair_wall += started.elapsed();
+    result
+}
+
+/// [`drain_repairs`] minus the wall-clock accounting wrapper.
+fn drain_repairs_inner(
     overlay: &mut dyn Overlay,
     pending: &mut Vec<PendingRepair>,
     retry_delay: SimTime,

@@ -11,8 +11,11 @@
 //!   `latency_under_churn` and `regional_failure` scenarios at N = 1000,
 //!   plus the million-node `scale_build`/`mem_scale` rows, the
 //!   single- vs multi-threaded `scale_churn_t*` comparison at N = 100,000,
-//!   and the `avail_k1`..`avail_k3` availability-under-replication rows
-//!   (`regional_failure` at N = 10,000, replication degrees 1–3).
+//!   the `avail_k1`..`avail_k3` availability-under-replication rows
+//!   (`regional_failure` at N = 10,000, replication degrees 1–3), and the
+//!   serve rows (`serve_snapshot_build`, `serve_exact_t{1,2,4}`,
+//!   `serve_range_t1`, `serve_snapshot_staleness`: the lock-free snapshot
+//!   read path; see the `serve-bench` binary for the standalone driver).
 //! * `--profile smoke`: a reduced run for CI (seconds), including reduced
 //!   scale rows.
 //! * `--out PATH`: where to write the JSON report (default
@@ -24,7 +27,7 @@
 //!   across (default: available parallelism).  The `scale_churn_t*` rows
 //!   pin their own thread counts and are unaffected.
 //! * `--check PATH`: validate an existing report against the
-//!   `baton-perf/6` schema instead of running measurements (exit code 1 on
+//!   `baton-perf/7` schema instead of running measurements (exit code 1 on
 //!   schema violations) — the CI gate for the uploaded artifact.
 //!
 //! After the timed rows the harness traces the fig8d exact-match workload
@@ -83,19 +86,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--threads" => {
-                let Some(value) = args.next() else {
-                    eprintln!("--threads needs a value");
+            "--threads" => match baton_sim::parse_threads(args.next()) {
+                Ok(n) => threads = n,
+                Err(msg) => {
+                    eprintln!("{msg}");
                     return ExitCode::FAILURE;
-                };
-                match value.parse::<usize>() {
-                    Ok(n) if n >= 1 => threads = n,
-                    _ => {
-                        eprintln!("--threads needs an integer >= 1, got {value:?}");
-                        return ExitCode::FAILURE;
-                    }
                 }
-            }
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: perf [--profile full|smoke] [--overlays NAME[,NAME...]] \
@@ -121,7 +118,7 @@ fn main() -> ExitCode {
         };
         return match validate_json(&text) {
             Ok(count) => {
-                println!("{path}: valid baton-perf/6 report with {count} measurement(s)");
+                println!("{path}: valid baton-perf/7 report with {count} measurement(s)");
                 ExitCode::SUCCESS
             }
             Err(problem) => {

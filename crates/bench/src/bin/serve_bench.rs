@@ -1,0 +1,199 @@
+//! Standalone driver for the concurrent serve front-end: batched exact and
+//! range queries over a published [`baton_net::RoutingSnapshot`] from a
+//! fixed number of OS threads.
+//!
+//! ```text
+//! serve-bench [--profile full|smoke] [--threads N] [--mix uniform|zipf]
+//!             [--batch N] [--queries N] [--sample-ms N]
+//! ```
+//!
+//! Output contract, relied on by CI: **stdout carries only deterministic
+//! fields** — query counts, matches, total hops, the order-independent
+//! checksum, batch counts.  Those are derived from `(seed, batch index)`
+//! alone, so two runs that differ only in `--threads` must print
+//! byte-identical stdout (CI literally `diff`s them).  Wall-clock figures
+//! (queries/second, elapsed, snapshot build time, sampler output) go to
+//! stderr.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use baton_bench::perf::PerfProfile;
+use baton_bench::serve::{range_span, served_overlay};
+use baton_net::SnapshotCell;
+use baton_workload::{run_serve, KeyDistribution, ServeConfig, ServeOutcome};
+
+/// One deterministic stdout row.  Everything printed here must be
+/// invariant under `--threads`.
+fn print_row(kind: &str, outcome: &ServeOutcome) {
+    println!(
+        "{kind} queries={} matches={} hops={} slots_swept={} rejected={} \
+         checksum={:016x} batches={}",
+        outcome.counters.queries,
+        outcome.counters.matches,
+        outcome.counters.hops,
+        outcome.counters.slots_swept,
+        outcome.counters.rejected,
+        outcome.counters.checksum,
+        outcome.batches,
+    );
+}
+
+/// The wall-clock half of a row, kept off stdout.
+fn report_wall(kind: &str, outcome: &ServeOutcome) {
+    eprintln!(
+        "serve-bench: {kind}: {:.1} ms, {:.0} queries/s, {} snapshot refreshes",
+        outcome.elapsed.as_secs_f64() * 1e3,
+        outcome.per_second(),
+        outcome.refreshes,
+    );
+    for sample in &outcome.samples {
+        eprintln!(
+            "serve-bench: {kind} sample at {} us: {} executed, {:.0} q/s, {} in flight",
+            sample.at.as_micros(),
+            sample.executed,
+            sample.ops_per_sec,
+            sample.in_flight,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut profile = PerfProfile::full();
+    let mut threads = 1usize;
+    let mut distribution = KeyDistribution::Uniform;
+    let mut batch: Option<usize> = None;
+    let mut queries: Option<u64> = None;
+    let mut sample_every: Option<Duration> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--profile needs a value (full|smoke)");
+                    return ExitCode::FAILURE;
+                };
+                match PerfProfile::by_name(&name) {
+                    Some(p) => profile = p,
+                    None => {
+                        eprintln!("unknown profile {name:?} (expected full|smoke)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--threads" => match baton_sim::parse_threads(args.next()) {
+                Ok(n) => threads = n,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--mix" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--mix needs a value (uniform|zipf)");
+                    return ExitCode::FAILURE;
+                };
+                distribution = match name.as_str() {
+                    "uniform" => KeyDistribution::Uniform,
+                    "zipf" => KeyDistribution::Zipf { theta: 1.0 },
+                    other => {
+                        eprintln!("unknown mix {other:?} (expected uniform|zipf)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--batch" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => batch = Some(n),
+                _ => {
+                    eprintln!("--batch needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--queries" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => queries = Some(n),
+                _ => {
+                    eprintln!("--queries needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sample-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => sample_every = Some(Duration::from_millis(n)),
+                _ => {
+                    eprintln!("--sample-ms needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: serve-bench [--profile full|smoke] [--threads N] \
+                     [--mix uniform|zipf] [--batch N] [--queries N] [--sample-ms N]\n\
+                     stdout is deterministic (thread-count invariant); wall-clock \
+                     figures go to stderr"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seed = 2005u64;
+    let mix = match distribution {
+        KeyDistribution::Uniform => "uniform",
+        KeyDistribution::Zipf { .. } => "zipf",
+    };
+    eprintln!(
+        "serve-bench: profile {}, {threads} thread(s), {mix} mix, building \
+         {}-node BATON overlay",
+        profile.name, profile.build_n
+    );
+    let started = Instant::now();
+    let overlay = served_overlay(&profile, seed);
+    let snapshot = overlay
+        .routing_snapshot()
+        .expect("BATON exports routing snapshots");
+    eprintln!(
+        "serve-bench: overlay + snapshot ready in {:.1} ms ({} slots, ~{} bytes)",
+        started.elapsed().as_secs_f64() * 1e3,
+        snapshot.slots(),
+        snapshot.estimated_bytes(),
+    );
+    let cell = Arc::new(SnapshotCell::new(snapshot));
+
+    // Header row: run shape, minus anything wall-clock or thread-dependent.
+    let exact_queries = queries.unwrap_or(profile.serve_queries);
+    let range_queries = queries
+        .map(|q| q.div_ceil(10))
+        .unwrap_or(profile.serve_range_queries);
+    let mut exact = ServeConfig::exact(exact_queries, threads, seed ^ 0x5EE7);
+    exact.distribution = distribution;
+    if let Some(b) = batch {
+        exact.batch = b;
+    }
+    exact.sample_every = sample_every;
+    println!(
+        "serve-bench profile={} mix={mix} batch={} span={}",
+        profile.name,
+        exact.batch,
+        range_span()
+    );
+
+    let outcome = run_serve(&cell, &exact);
+    print_row("exact", &outcome);
+    report_wall("exact", &outcome);
+
+    let mut range = ServeConfig::range(range_queries, threads, seed ^ 0x4A4E, range_span());
+    range.distribution = distribution;
+    if let Some(b) = batch {
+        range.batch = b;
+    }
+    range.sample_every = sample_every;
+    let outcome = run_serve(&cell, &range);
+    print_row("range", &outcome);
+    report_wall("range", &outcome);
+
+    ExitCode::SUCCESS
+}

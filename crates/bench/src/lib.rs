@@ -20,6 +20,7 @@ use baton_mtree::MTreeSystem;
 use baton_sim::{figures, Profile};
 
 pub mod perf;
+pub mod serve;
 
 /// Profile used when a bench reproduces its figure (kept small so that
 /// `cargo bench` completes in minutes; use the `reproduce` binary for the

@@ -40,7 +40,12 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    fn timed<T>(id: &str, detail: String, unit: &str, run: impl FnOnce() -> (u64, T)) -> (Self, T) {
+    pub(crate) fn timed<T>(
+        id: &str,
+        detail: String,
+        unit: &str,
+        run: impl FnOnce() -> (u64, T),
+    ) -> (Self, T) {
         // Progress goes to stderr as each stage starts and finishes — full
         // runs take minutes, and a silent harness is indistinguishable from
         // a hung one.
@@ -105,6 +110,17 @@ pub struct PerfProfile {
     /// `regional_failure` scenario, BATON only, at replication degrees
     /// 1 through 3.
     pub avail: Profile,
+    /// Exact-match queries of each `serve_exact_t*` row (the lock-free
+    /// snapshot read path; same work at every thread count).
+    pub serve_queries: u64,
+    /// Range queries of the `serve_range_t1` row.
+    pub serve_range_queries: u64,
+    /// Churn-commit → snapshot-publish swaps of the
+    /// `serve_snapshot_staleness` row.
+    pub serve_swaps: usize,
+    /// Largest serve worker count: exact rows run at 1, 2 and 4 threads,
+    /// capped by this and by the host's parallelism.
+    pub serve_threads_max: usize,
 }
 
 impl PerfProfile {
@@ -152,6 +168,10 @@ impl PerfProfile {
                 churn_ops: 100,
                 seed: 2005,
             },
+            serve_queries: 1_000_000,
+            serve_range_queries: 100_000,
+            serve_swaps: 200,
+            serve_threads_max: 4,
         }
     }
 
@@ -190,6 +210,10 @@ impl PerfProfile {
                 churn_ops: 20,
                 seed: 2005,
             },
+            serve_queries: 20_000,
+            serve_range_queries: 2_000,
+            serve_swaps: 20,
+            serve_threads_max: 2,
         }
     }
 
@@ -520,7 +544,7 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
         // to near-1 once every key has a live replica.
         let avail_n = *profile.avail.network_sizes.last().unwrap_or(&0);
         for k in 1..=3usize {
-            let (mut avail_m, availability) = Measurement::timed(
+            let (mut avail_m, run_outcome) = Measurement::timed(
                 &format!("avail_k{k}"),
                 format!(
                     "regional_failure scenario, N = {avail_n}, BATON only, bulk-built, \
@@ -535,12 +559,32 @@ pub fn run(profile: &PerfProfile) -> Vec<Measurement> {
                         Some(k),
                     )
                     .expect("registered scenario");
-                    (scenario_ops(&result), result.series[0].availability)
+                    let series = &result.series[0];
+                    (
+                        scenario_ops(&result),
+                        (series.availability, series.repair_wall),
+                    )
                 },
             );
+            let (availability, repair_wall) = run_outcome;
             avail_m.availability = availability;
+            // The wall clock of these rows is dominated by slow-path repair
+            // execution, heaviest at k = 1 where every lost key needs a
+            // routed re-insert; the detail carries that share so a long
+            // avail_k1 wall time is not misread as a query-throughput
+            // regression.
+            let _ = write!(
+                avail_m.detail,
+                "; repair_wall_ms={:.1} ({:.0}% of wall)",
+                repair_wall.as_secs_f64() * 1e3,
+                100.0 * (repair_wall.as_secs_f64() * 1e3) / avail_m.wall_ms.max(1e-9)
+            );
             measurements.push(avail_m);
         }
+
+        // The serve rows: snapshot export, the lock-free read path at 1..4
+        // threads, and the publish-staleness bound.
+        measurements.extend(crate::serve::serve_rows(profile));
 
         // Restore the caller's overlay selection (the full list is
         // equivalent to no filter).
@@ -670,18 +714,21 @@ pub fn route_anatomy(profile: &PerfProfile) -> Vec<RouteAnatomy> {
 
 /// Renders a perf report as the `BENCH_perf.json` document.
 ///
-/// Schema (`baton-perf/6` — version 6 added the `"observability"` section:
-/// its `"route_anatomy"` rows carry the route recorder's mean hops per
-/// exact-match query split by link kind, and the former top-level
-/// `"profiler"` array moved inside it as `"scopes"`; version 5 added the
-/// `avail_k1`..`avail_k3` availability rows and the optional
-/// per-measurement `"availability"` field; version 4 added the `curve_*`
-/// per-op cost-curve rows and switched the `scale_build` row to the bulk
-/// constructor):
+/// Schema (`baton-perf/7` — version 7 added the serve rows
+/// (`serve_snapshot_build`, `serve_exact_t{1,2,4}`, `serve_range_t1`,
+/// `serve_snapshot_staleness`: the lock-free snapshot read path) and the
+/// `repair_wall_ms` annotation in the `avail_k*` detail strings; version 6
+/// added the `"observability"` section: its `"route_anatomy"` rows carry
+/// the route recorder's mean hops per exact-match query split by link
+/// kind, and the former top-level `"profiler"` array moved inside it as
+/// `"scopes"`; version 5 added the `avail_k1`..`avail_k3` availability
+/// rows and the optional per-measurement `"availability"` field; version 4
+/// added the `curve_*` per-op cost-curve rows and switched the
+/// `scale_build` row to the bulk constructor):
 ///
 /// ```json
 /// {
-///   "schema": "baton-perf/6",
+///   "schema": "baton-perf/7",
 ///   "profile": "full",
 ///   "measurements": [
 ///     {"id": "build", "detail": "…", "work_items": 10000,
@@ -713,7 +760,7 @@ pub fn render_json(
     anatomy: &[RouteAnatomy],
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"baton-perf/6\",");
+    let _ = writeln!(out, "  \"schema\": \"baton-perf/7\",");
     let _ = writeln!(out, "  \"profile\": {},", json_string(profile.name));
     out.push_str("  \"measurements\": [");
     for (i, m) in measurements.iter().enumerate() {
@@ -790,7 +837,7 @@ pub fn render_json(
     out
 }
 
-/// Validates that `text` parses as a `baton-perf/6` document: well-formed
+/// Validates that `text` parses as a `baton-perf/7` document: well-formed
 /// JSON (for the subset the renderer emits), the schema marker, at least
 /// one measurement carrying every required field with finite numbers (and,
 /// when present, an `availability` fraction in `[0, 1]`), and — when the
@@ -809,7 +856,7 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "baton-perf/6" {
+    if schema != "baton-perf/7" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     root.get("profile")
@@ -1235,6 +1282,12 @@ mod tests {
             expected.push("scale_churn_t2");
         }
         expected.extend(["avail_k1", "avail_k2", "avail_k3"]);
+        expected.push("serve_snapshot_build");
+        expected.push("serve_exact_t1");
+        if cores > 1 {
+            expected.push("serve_exact_t2");
+        }
+        expected.extend(["serve_range_t1", "serve_snapshot_staleness"]);
         assert_eq!(ids, expected);
         for m in &measurements {
             assert!(m.work_items > 0, "{} did no work", m.id);
@@ -1285,6 +1338,28 @@ mod tests {
             assert_eq!(
                 t1.work_items, t2.work_items,
                 "thread count changed the scenario's op count"
+            );
+        }
+
+        // Every availability row cites its slow-path repair wall time so a
+        // long avail_k1 wall clock is not misread as query throughput.
+        for m in measurements.iter().filter(|m| m.id.starts_with("avail_k")) {
+            assert!(
+                m.detail.contains("repair_wall_ms="),
+                "{}: missing repair wall annotation",
+                m.id
+            );
+        }
+
+        // The serve exact rows did identical work at every thread count.
+        let serve_exact: Vec<&Measurement> = measurements
+            .iter()
+            .filter(|m| m.id.starts_with("serve_exact_t"))
+            .collect();
+        for row in &serve_exact {
+            assert_eq!(
+                row.work_items, serve_exact[0].work_items,
+                "thread count changed the serve workload"
             );
         }
 
@@ -1341,16 +1416,20 @@ mod tests {
         )
         .is_err());
         assert!(validate_json(
-            "{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \"measurements\": []}"
+            "{\"schema\": \"baton-perf/7\", \"profile\": \"x\", \"measurements\": []}"
+        )
+        .is_err());
+        assert!(validate_json(
+            "{\"schema\": \"baton-perf/7\", \"profile\": \"x\", \"measurements\": []}"
         )
         .is_err());
         // Bad number in an otherwise complete measurement.
-        let bad = "{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \"measurements\": [\
+        let bad = "{\"schema\": \"baton-perf/7\", \"profile\": \"x\", \"measurements\": [\
                    {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                    \"work_items\": 1, \"wall_ms\": -5.0, \"per_second\": 0.0}]}";
         assert!(validate_json(bad).unwrap_err().contains("wall_ms"));
         // An availability outside [0, 1] is rejected.
-        let bad_avail = "{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \"measurements\": [\
+        let bad_avail = "{\"schema\": \"baton-perf/7\", \"profile\": \"x\", \"measurements\": [\
                          {\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                          \"work_items\": 1, \"wall_ms\": 5.0, \"per_second\": 0.2, \
                          \"availability\": 1.5}]}";
@@ -1364,7 +1443,7 @@ mod tests {
         let one_measurement = "{\"id\": \"a\", \"detail\": \"d\", \"unit\": \"u\", \
                                \"work_items\": 1, \"wall_ms\": 5.0, \"per_second\": 0.2}";
         let good = format!(
-            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
+            "{{\"schema\": \"baton-perf/7\", \"profile\": \"x\", \
              \"measurements\": [{one_measurement}], \"observability\": {{\
              \"route_anatomy\": [{{\"id\": \"anatomy_1k\", \"overlay\": \"BATON\", \
              \"nodes\": 1000, \"ops\": 50, \"hops\": 400, \"mean_hops\": 8.0, \
@@ -1376,7 +1455,7 @@ mod tests {
         // The pre-/6 top-level section is rejected with a pointer to its
         // new home.
         let legacy = format!(
-            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
+            "{{\"schema\": \"baton-perf/7\", \"profile\": \"x\", \
              \"measurements\": [{one_measurement}], \"profiler\": [\
              {{\"name\": \"openloop.join\", \"count\": 3, \"total_ns\": 900}}]}}"
         );
@@ -1385,13 +1464,13 @@ mod tests {
             .contains("observability"));
         // An empty section must be omitted, not emitted.
         let empty = format!(
-            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
+            "{{\"schema\": \"baton-perf/7\", \"profile\": \"x\", \
              \"measurements\": [{one_measurement}], \"observability\": {{}}}}"
         );
         assert!(validate_json(&empty).unwrap_err().contains("observability"));
         // A link kind outside the closed enum is rejected.
         let bad_kind = format!(
-            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
+            "{{\"schema\": \"baton-perf/7\", \"profile\": \"x\", \
              \"measurements\": [{one_measurement}], \"observability\": {{\
              \"route_anatomy\": [{{\"id\": \"a\", \"overlay\": \"BATON\", \
              \"nodes\": 10, \"ops\": 5, \"hops\": 10, \"mean_hops\": 2.0, \
@@ -1400,7 +1479,7 @@ mod tests {
         assert!(validate_json(&bad_kind).unwrap_err().contains("warp"));
         // A scope row missing its counters is rejected.
         let bad = format!(
-            "{{\"schema\": \"baton-perf/6\", \"profile\": \"x\", \
+            "{{\"schema\": \"baton-perf/7\", \"profile\": \"x\", \
              \"measurements\": [{one_measurement}], \"observability\": {{\"scopes\": [\
              {{\"name\": \"openloop.join\", \"count\": 3}}]}}}}"
         );
